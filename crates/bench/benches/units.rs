@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks of the behavioral arithmetic units and the
+//! design-choice ablations called out in DESIGN.md.
+//!
+//! These measure *simulation* throughput (how fast the bit-accurate
+//! models run on the host), plus the carry-spacing ablation of
+//! Sec. III-E / Sec. V (5 vs 11 vs 55) at the behavioral level.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csfma_bits::Bits;
+use csfma_carrysave::CsNumber;
+use csfma_core::{ChainEvaluator, ClassicFma, CsFmaFormat, CsFmaUnit, CsOperand};
+use csfma_softfloat::{FpFormat, Round, SoftFloat};
+use std::hint::black_box;
+
+fn sf(v: f64) -> SoftFloat {
+    SoftFloat::from_f64(FpFormat::BINARY64, v)
+}
+
+fn bench_fma_units(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fma_units");
+    let a = sf(1.234567890123);
+    let b = sf(-0.987654321);
+    let cc = sf(3.14159265358979);
+
+    for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
+        let unit = CsFmaUnit::new(fmt);
+        let ao = CsOperand::from_ieee(&a, fmt);
+        let co = CsOperand::from_ieee(&cc, fmt);
+        g.bench_function(fmt.name, |bch| {
+            bch.iter(|| black_box(unit.fma(black_box(&ao), black_box(&b), black_box(&co))))
+        });
+    }
+
+    let classic = ClassicFma::new(Round::NearestEven);
+    g.bench_function("Classic FMA (soft-float)", |bch| {
+        bch.iter(|| black_box(classic.fma(black_box(&a), black_box(&b), black_box(&cc))))
+    });
+    g.bench_function("discrete mul+add (soft-float)", |bch| {
+        bch.iter(|| black_box(b.mul(black_box(&cc)).add(black_box(&a))))
+    });
+    g.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conversions");
+    let v = sf(2.718281828459045);
+    for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+        g.bench_function(format!("ieee_to_cs/{}", fmt.name), |bch| {
+            bch.iter(|| black_box(CsOperand::from_ieee(black_box(&v), fmt)))
+        });
+        let op = CsOperand::from_ieee(&v, fmt);
+        g.bench_function(format!("cs_to_ieee/{}", fmt.name), |bch| {
+            bch.iter(|| black_box(op.to_ieee(FpFormat::BINARY64, Round::NearestEven)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: carry-reduce spacing 5 / 11 / 55 over the 385-bit window
+/// (Sec. III-E weighs these; the paper picks 11 for area at nearly the
+/// 5-bit delay — here we measure the behavioral cost and, in the fabric
+/// model's terms, the stored carry bits).
+fn bench_carry_spacing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_carry_spacing");
+    let sum = Bits::from_limbs(385, &[0x123456789abcdef0; 7]);
+    let carry = Bits::from_limbs(385, &[0x0fedcba987654321; 7]);
+    let cs = CsNumber::new(sum, carry);
+    for spacing in [5usize, 11, 55] {
+        g.bench_function(format!("spacing_{spacing}"), |bch| {
+            bch.iter(|| black_box(cs.carry_reduce(black_box(spacing))))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: recurrence chains through each format (the Fig. 14 workload
+/// inner loop).
+fn bench_recurrence_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recurrence_chain");
+    g.sample_size(20);
+    for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+        let chain = ChainEvaluator::new(CsFmaUnit::new(fmt));
+        let (b1, b2) = (sf(1.75), sf(-0.3125));
+        let seeds = [sf(0.3), sf(-0.7), sf(1.1)];
+        g.bench_function(format!("x50/{}", fmt.name), |bch| {
+            bch.iter_batched(
+                || (),
+                |_| {
+                    black_box(chain.run_recurrence(
+                        &b1,
+                        &b2,
+                        [&seeds[0], &seeds[1], &seeds[2]],
+                        48,
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Fused dot product vs an equivalent FMA chain (same 8 terms).
+fn bench_dot_vs_chain(c: &mut Criterion) {
+    use csfma_core::CsDotUnit;
+    let mut g = c.benchmark_group("dot_vs_chain");
+    let fmt = CsFmaFormat::FCS_29_LZA;
+    let dot = CsDotUnit::new(fmt);
+    let fma = CsFmaUnit::new(fmt);
+    let terms: Vec<(SoftFloat, CsOperand)> = (0..8)
+        .map(|i| (sf(0.1 + i as f64), CsOperand::from_ieee(&sf(1.0 - 0.05 * i as f64), fmt)))
+        .collect();
+    g.bench_function("fused_dot_8", |bch| bch.iter(|| black_box(dot.dot(black_box(&terms)))));
+    g.bench_function("fma_chain_8", |bch| {
+        bch.iter(|| {
+            let mut acc = CsOperand::zero(fmt, false);
+            for (b, cc) in &terms {
+                acc = fma.fma(&acc, b, cc);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Plain AND-array rows vs radix-4 Booth recoding in the mantissa
+/// multiplier (tree height is the architectural argument; this measures
+/// the behavioral-model cost).
+fn bench_multiplier_styles(c: &mut Criterion) {
+    use csfma_carrysave::CsNumber;
+    use csfma_units::multiplier::{multiply_cs_by_binary, multiply_cs_by_binary_booth};
+    let mut g = c.benchmark_group("multiplier_styles");
+    let cs = CsNumber::new(
+        Bits::from_limbs(110, &[0x0123_4567_89ab_cdef, 0x0fed_cba9_8765_4321]),
+        Bits::from_limbs(110, &[0x0101_0101_0101_0101, 0x1010_1010_1010_1010]),
+    );
+    let b = Bits::from_limbs(53, &[0x001f_ffff_ffff_ffff]);
+    g.bench_function("and_array_rows", |bch| {
+        bch.iter(|| black_box(multiply_cs_by_binary(black_box(&cs), black_box(&b), false)))
+    });
+    g.bench_function("booth_radix4", |bch| {
+        bch.iter(|| black_box(multiply_cs_by_binary_booth(black_box(&cs), black_box(&b), false)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fma_units,
+    bench_conversions,
+    bench_carry_spacing,
+    bench_recurrence_chain,
+    bench_dot_vs_chain,
+    bench_multiplier_styles
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: Zero Detector vs. early leading-zero anticipation
+//! (Sec. III-F vs. III-G) at equal geometry.
+//!
+//! The ZD reads the computed sum and skips exactly; the LZA decides from
+//! the inputs, trading ≤3 bits of anticipation slack (plus clamping under
+//! cancellation) for removing the detector's priority chain from the
+//! critical path. This harness quantifies both sides: accuracy on the
+//! Sec. IV-B recurrence workload and the modeled critical-path delta.
+
+use csfma_bench::table::header;
+use csfma_core::{
+    run_recurrence_exact, ulp_error_vs_exact, ChainEvaluator, CsFmaFormat, CsFmaUnit, CsOperand,
+    Normalizer,
+};
+use csfma_fabric::components::Component;
+use csfma_fabric::Virtex6;
+use csfma_softfloat::{FpFormat, SoftFloat};
+
+fn variant(base: CsFmaFormat, norm: Normalizer, name: &'static str) -> CsFmaFormat {
+    CsFmaFormat { name, normalizer: norm, ..base }
+}
+
+fn accuracy_and_skip(fmt: CsFmaFormat) -> (f64, f64) {
+    let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
+    let unit = CsFmaUnit::new(fmt);
+    let chain = ChainEvaluator::new(unit);
+    let cases = [
+        (1.75, -0.3125, [0.3, -0.7, 1.1]),
+        (-2.5, 0.625, [0.9, 0.2, -0.4]),
+        (3.5, 0.1875, [0.1, -0.9, 0.7]),
+        (-1.25, -0.875, [-0.6, 1.0, 0.5]),
+    ];
+    let mut err = 0.0;
+    for (b1, b2, seeds) in cases {
+        let exact = run_recurrence_exact(b1, b2, seeds, 48);
+        let r = chain.run_recurrence(
+            &sf(b1),
+            &sf(b2),
+            [&sf(seeds[0]), &sf(seeds[1]), &sf(seeds[2])],
+            48,
+        );
+        err += ulp_error_vs_exact(&r.exact_value(), &exact);
+    }
+    // skip statistics over a mixed-magnitude op stream
+    let mut skips = 0usize;
+    let mut ops = 0usize;
+    let mut acc = CsOperand::from_ieee(&sf(1.0), fmt);
+    for i in 0..64 {
+        let b = sf(if i % 3 == 0 { 0.01 } else { 1.9 } * if i % 2 == 0 { 1.0 } else { -1.0 });
+        let c = CsOperand::from_ieee(&sf(0.7 + 0.01 * i as f64), fmt);
+        let (r, rep) = unit.fma_traced(&acc, &b, &c, &mut csfma_core::NopSink);
+        skips += rep.skip;
+        ops += 1;
+        acc = r;
+    }
+    (err / cases.len() as f64, skips as f64 / ops as f64)
+}
+
+fn main() {
+    let v = Virtex6::SPEED_GRADE_1;
+    header(
+        "Ablation: normalizer (ZD vs early LZA)",
+        &["format", "err [ulp]", "avg skip", "norm path [ns]"],
+        &[34, 12, 10, 15],
+    );
+    let pcs = CsFmaFormat::PCS_55_ZD;
+    let fcs = CsFmaFormat::FCS_29_LZA;
+    let rows = [
+        variant(pcs, Normalizer::ZeroDetect, "PCS 55b / ZD (paper Fig. 9)"),
+        variant(pcs, Normalizer::EarlyLza, "PCS 55b / early LZA"),
+        variant(fcs, Normalizer::ZeroDetect, "FCS 29c / ZD"),
+        variant(fcs, Normalizer::EarlyLza, "FCS 29c / early LZA (Fig. 11)"),
+    ];
+    for fmt in rows {
+        let (err, skip) = accuracy_and_skip(fmt);
+        // the normalization stage the choice puts on the critical path
+        let norm_ns = match fmt.normalizer {
+            Normalizer::ZeroDetect => Component::ZeroDetector {
+                blocks: fmt.window_blocks(),
+                block_bits: fmt.block_bits,
+            }
+            .delay_ns(&v),
+            // LZA runs beside the adder; only the mux select remains
+            Normalizer::EarlyLza => Component::BlockMux {
+                ways: fmt.mux_ways(),
+                width: fmt.window_bits(),
+            }
+            .delay_ns(&v),
+        };
+        println!("{:<34} {:>12.6} {:>10.2} {:>15.2}", fmt.name, err, skip, norm_ns);
+    }
+    println!("\nthe LZA variants trade a few anticipation bits (still well beyond");
+    println!("double precision) for removing the ZD priority chain from the");
+    println!("critical path — the enabler of the FCS unit's 3-cycle pipeline.");
+}

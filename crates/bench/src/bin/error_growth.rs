@@ -1,0 +1,82 @@
+//! Error growth along the recurrence (Fig. 14 extended): average mantissa
+//! error of `x[n]` as a function of `n` for every implementation. Shows
+//! *why* the carry-save chains win — the discrete formats accumulate a
+//! rounding per operator; the fused chains accumulate only the bounded
+//! block-truncation of Sec. III-E.
+//!
+//! ```sh
+//! cargo run -q --release -p csfma-bench --bin error_growth
+//! ```
+
+use csfma_core::{
+    run_recurrence_exact, run_recurrence_softfloat, ulp_error_vs_exact, ChainEvaluator,
+    CsFmaFormat, CsFmaUnit,
+};
+use csfma_softfloat::{FpFormat, Round, SoftFloat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let runs = 12;
+    let depths = [8usize, 16, 24, 32, 48, 64, 96];
+    let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "x[n]", "64b", "68b", "PCS-ZD", "PCS-LZA", "FCS"
+    );
+    let mut last = [0.0f64; 5];
+    for &steps in &depths {
+        let mut err = [0.0f64; 5];
+        let mut rng = StdRng::seed_from_u64(7_2013);
+        for _ in 0..runs {
+            let b1 = (1.0 + rng.gen_range(0.0..31.0)) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let b2 = rng.gen_range(1e-6..1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let seeds =
+                [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+            let exact = run_recurrence_exact(b1, b2, seeds, steps);
+            for (k, fmt) in [FpFormat::BINARY64, FpFormat::B68].iter().enumerate() {
+                let r = run_recurrence_softfloat(*fmt, Round::NearestEven, b1, b2, seeds, steps);
+                err[k] += ulp_error_vs_exact(&r.to_exact(), &exact);
+            }
+            for (k, fmt) in [
+                CsFmaFormat::PCS_55_ZD,
+                CsFmaFormat::PCS_58_LZA,
+                CsFmaFormat::FCS_29_LZA,
+            ]
+            .iter()
+            .enumerate()
+            {
+                let chain = ChainEvaluator::new(CsFmaUnit::new(*fmt));
+                let r = chain.run_recurrence(
+                    &sf(b1),
+                    &sf(b2),
+                    [&sf(seeds[0]), &sf(seeds[1]), &sf(seeds[2])],
+                    steps,
+                );
+                err[2 + k] += ulp_error_vs_exact(&r.exact_value(), &exact);
+            }
+        }
+        for e in err.iter_mut() {
+            *e /= runs as f64;
+        }
+        println!(
+            "{:>6} {:>12.5} {:>12.5} {:>12.6} {:>12.6} {:>12.6}",
+            steps + 2,
+            err[0],
+            err[1],
+            err[2],
+            err[3],
+            err[4]
+        );
+        last = err;
+    }
+    println!(
+        "\nat the deepest chain, the fused formats hold {:.0}x / {:.0}x / {:.0}x the",
+        last[0] / last[2].max(1e-12),
+        last[0] / last[3].max(1e-12),
+        last[0] / last[4].max(1e-12)
+    );
+    println!("accuracy of discrete binary64 — error growth stays bounded by the");
+    println!("block-truncation budget instead of one rounding per operator.");
+}

@@ -1,0 +1,82 @@
+//! Export every experiment's data as CSV under `results/` — plot-ready
+//! series for anyone regenerating the paper's figures with their own
+//! tooling.
+//!
+//! ```sh
+//! cargo run -q -p csfma-bench --bin export_results
+//! ```
+
+use csfma_bench::{fig13, fig14, fig15, table1, table2};
+use std::fs;
+use std::io::Write as _;
+
+fn write(path: &str, content: &str) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(content.as_bytes())
+}
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("results")?;
+
+    // Table I
+    let mut t1 = String::from("architecture,fmax_mhz,cycles,luts,dsps,latency_ns\n");
+    for r in table1() {
+        t1.push_str(&format!(
+            "{},{:.1},{},{},{},{:.2}\n",
+            r.name,
+            r.fmax_mhz,
+            r.cycles,
+            r.luts,
+            r.dsps,
+            r.latency_ns()
+        ));
+    }
+    write("results/table1_synthesis.csv", &t1)?;
+
+    // Fig. 13
+    let mut f13 = String::from("architecture,latency_ns\n");
+    for (name, ns) in fig13() {
+        f13.push_str(&format!("{name},{ns:.3}\n"));
+    }
+    write("results/fig13_latency.csv", &f13)?;
+
+    // Fig. 14
+    let mut f14 = String::from("implementation,avg_mantissa_error_ulp\n");
+    for r in fig14(20, 48, 2013) {
+        f14.push_str(&format!("{},{:.9}\n", r.name, r.avg_ulp));
+    }
+    write("results/fig14_accuracy.csv", &f14)?;
+
+    // Table II
+    let mut t2 = String::from("unit,energy_nj_per_op\n");
+    for (name, nj) in table2(600, 42) {
+        t2.push_str(&format!("{name},{nj:.4}\n"));
+    }
+    write("results/table2_energy.csv", &t2)?;
+
+    // Fig. 15
+    let mut f15 = String::from(
+        "solver,kkt_dim,discrete_cycles,pcs_cycles,fcs_cycles,pcs_reduction_pct,fcs_reduction_pct,pcs_luts,fcs_luts\n",
+    );
+    for r in fig15() {
+        f15.push_str(&format!(
+            "{},{},{},{},{},{:.1},{:.1},{},{}\n",
+            r.solver,
+            r.dim,
+            r.discrete,
+            r.pcs,
+            r.fcs,
+            r.reduction_pcs(),
+            r.reduction_fcs(),
+            r.pcs_area.luts,
+            r.fcs_area.luts,
+        ));
+    }
+    write("results/fig15_schedule.csv", &f15)?;
+
+    for f in fs::read_dir("results")? {
+        let f = f?;
+        println!("wrote {} ({} bytes)", f.path().display(), f.metadata()?.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Regenerate **Fig. 13**: minimum computation time for a single
+//! multiply-add (minimum cycle time × pipeline length) per architecture.
+
+use csfma_bench::fig13;
+
+fn main() {
+    let rows = fig13();
+    let paper = [36.9, 57.9, 21.6, 14.2]; // cycles/fmax from Table I
+    println!("Fig. 13: Latency per multiply-add (ns)");
+    for ((name, ns), p) in rows.iter().zip(paper.iter()) {
+        let bar = "#".repeat((*ns / 1.2) as usize);
+        println!("{name:<22} {ns:>6.1} ns (paper ~{p:.1})  {bar}");
+    }
+    let best_competitor = rows[0].1.min(rows[1].1);
+    println!(
+        "\nspeed-up vs closest competitor: PCS {:.2}x (paper ~1.7x), FCS {:.2}x (paper ~2.5x)",
+        best_competitor / rows[2].1,
+        best_competitor / rows[3].1
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerate **Fig. 15**: `ldlsolve()` schedule length (cycles) for the
+//! three trajectory-planning solvers of increasing complexity, with
+//! discrete IEEE operators and after automatic P/FCS-FMA insertion.
+
+use csfma_bench::fig15;
+
+fn main() {
+    println!("Fig. 15: ldlsolve() schedule cycles (200 MHz operators)");
+    println!(
+        "{:<16} {:>5} {:>9} {:>14} {:>14} {:>10}",
+        "solver", "dim", "discrete", "PCS-FMA", "FCS-FMA", "FMA units"
+    );
+    let rows = fig15();
+    for r in &rows {
+        println!(
+            "{:<16} {:>5} {:>9} {:>6} (-{:>4.1}%) {:>6} (-{:>4.1}%) {:>4} / {:<4}",
+            r.solver,
+            r.dim,
+            r.discrete,
+            r.pcs,
+            r.reduction_pcs(),
+            r.fcs,
+            r.reduction_fcs(),
+            r.fma_units.0,
+            r.fma_units.1,
+        );
+    }
+    println!("\noperator-pool area (Nymble time-multiplexing model):");
+    println!(
+        "{:<16} {:>16} {:>16} {:>16}",
+        "solver", "discrete", "PCS-FMA", "FCS-FMA"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>9} LUTs {:>2}D {:>9} LUTs {:>2}D {:>9} LUTs {:>2}D",
+            r.solver,
+            r.discrete_area.luts,
+            r.discrete_area.dsps,
+            r.pcs_area.luts,
+            r.pcs_area.dsps,
+            r.fcs_area.luts,
+            r.fcs_area.dsps,
+        );
+    }
+    let max_red = rows.iter().map(|r| r.reduction_fcs()).fold(0.0, f64::max);
+    let min_red = rows.iter().map(|r| r.reduction_pcs()).fold(100.0, f64::min);
+    println!(
+        "\nreductions span {min_red:.1}% .. {max_red:.1}% (paper: 26.0% .. 50.1%, up to 39 units)"
+    );
+}

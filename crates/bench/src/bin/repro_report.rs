@@ -1,0 +1,61 @@
+//! One-shot reproduction report: every table and figure of the paper's
+//! evaluation, printed in sequence with the paper's values alongside.
+//!
+//! ```sh
+//! cargo run -q --release -p csfma-bench --bin repro_report
+//! ```
+
+use csfma_bench::{fig13, fig14, fig15, table1, table2};
+
+fn main() {
+    println!("================================================================");
+    println!(" csfma reproduction report — Liebig/Huthmann/Koch, IPDPSW 2013");
+    println!("================================================================");
+
+    println!("\n--- Table I: synthesis results (measured / paper) ---");
+    let paper1: [(f64, usize, usize, usize); 4] =
+        [(244.0, 9, 1253, 13), (190.0, 11, 1508, 7), (231.0, 5, 5832, 21), (211.0, 3, 4685, 12)];
+    for (r, p) in table1().iter().zip(paper1.iter()) {
+        println!(
+            "{:<20} fMax {:>3.0}/{:<3.0}  cyc {:>2}/{:<2}  LUT {:>4}/{:<4}  DSP {:>2}/{:<2}",
+            r.name, r.fmax_mhz, p.0, r.cycles, p.1, r.luts, p.2, r.dsps, p.3
+        );
+    }
+
+    println!("\n--- Fig. 13: latency per multiply-add ---");
+    let rows = fig13();
+    let best = rows[0].1.min(rows[1].1);
+    for (n, ns) in &rows {
+        println!("{n:<20} {ns:>6.1} ns");
+    }
+    println!(
+        "speedups: PCS {:.2}x (paper ~1.7x), FCS {:.2}x (paper ~2.5x)",
+        best / rows[2].1,
+        best / rows[3].1
+    );
+
+    println!("\n--- Fig. 14: avg mantissa error of x[50] (20 runs) ---");
+    for r in fig14(20, 48, 2013) {
+        println!("{:<22} {:>12.6} ulp", r.name, r.avg_ulp);
+    }
+
+    println!("\n--- Table II: energy per multiply-add ---");
+    let paper2 = [0.54, 0.74, 2.67, 2.36];
+    for ((n, nj), p) in table2(600, 42).iter().zip(paper2.iter()) {
+        println!("{n:<20} {nj:>5.2} nJ (paper {p:.2})");
+    }
+
+    println!("\n--- Fig. 15: ldlsolve schedule cycles ---");
+    for r in fig15() {
+        println!(
+            "{:<16} discrete {:>4}  PCS {:>4} (-{:>4.1}%)  FCS {:>4} (-{:>4.1}%)",
+            r.solver,
+            r.discrete,
+            r.pcs,
+            r.reduction_pcs(),
+            r.fcs,
+            r.reduction_fcs()
+        );
+    }
+    println!("(paper: 26.0%..50.1% reduction, up to 39 time-multiplexed units)");
+}

@@ -1,0 +1,120 @@
+//! Differential stress test: hammer every FMA format with random and
+//! adversarial operand mixes, tracking the worst observed deviation from
+//! the exact result (in double ULPs at the dominant-operand scale — the
+//! "never more inaccurate than IEEE 754 double precision" envelope).
+//!
+//! ```sh
+//! cargo run -q --release -p csfma-bench --bin stress_accuracy [ops]
+//! ```
+
+use csfma_core::{exact_fma, CsFmaFormat, CsFmaUnit, CsOperand};
+use csfma_softfloat::{FpFormat, SoftFloat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Stats {
+    ops: usize,
+    worst: f64,
+    worst_case: (f64, f64, f64),
+    buckets: [usize; 7], // log10 error buckets: <1e-18 .. >=1e-12
+}
+
+impl Stats {
+    fn new() -> Self {
+        Stats { ops: 0, worst: 0.0, worst_case: (0.0, 0.0, 0.0), buckets: [0; 7] }
+    }
+
+    fn record(&mut self, rel: f64, case: (f64, f64, f64)) {
+        self.ops += 1;
+        if rel > self.worst {
+            self.worst = rel;
+            self.worst_case = case;
+        }
+        let b = if rel <= 0.0 {
+            0
+        } else {
+            ((rel.log10() + 18.0).floor().clamp(0.0, 6.0)) as usize
+        };
+        self.buckets[b] += 1;
+    }
+}
+
+fn main() {
+    let ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let mut rng = StdRng::seed_from_u64(0xC5F3A);
+    let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
+
+    let formats = [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA];
+    for fmt in formats {
+        let unit = CsFmaUnit::new(fmt);
+        let mut st = Stats::new();
+        for i in 0..ops {
+            // mix of regimes: uniform, wide exponents, near-cancellation
+            let (a, b, c) = match i % 4 {
+                0 => (
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                ),
+                1 => {
+                    let e = |r: &mut StdRng| 2f64.powi(r.gen_range(-200..200));
+                    (
+                        rng.gen_range(-1.0..1.0) * e(&mut rng),
+                        rng.gen_range(-1.0..1.0) * e(&mut rng),
+                        rng.gen_range(-1.0..1.0) * e(&mut rng),
+                    )
+                }
+                2 => {
+                    // a ~ -b*c up to a small perturbation
+                    let b = rng.gen_range(0.5..2.0);
+                    let c = rng.gen_range(0.5..2.0);
+                    let a = -(b * c) * (1.0 + rng.gen_range(-1e-10..1e-10));
+                    (a, b, c)
+                }
+                _ => (
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(1.0..32.0),
+                    rng.gen_range(-1.0..1.0),
+                ),
+            };
+            let (av, bv, cv) = (sf(a), sf(b), sf(c));
+            let ao = CsOperand::from_ieee(&av, fmt);
+            let co = CsOperand::from_ieee(&cv, fmt);
+            let r = unit.fma(&ao, &bv, &co);
+            let exact = exact_fma(&av, &bv, &cv);
+            let diff = r.exact_value().sub(&exact);
+            if diff.is_zero() {
+                st.record(0.0, (a, b, c));
+                continue;
+            }
+            // error relative to the dominant operand (the double envelope)
+            let p = bv.to_exact().mul(&cv.to_exact());
+            let dom = if av.to_exact().cmp_magnitude(&p) == std::cmp::Ordering::Greater {
+                av.to_exact()
+            } else {
+                p
+            };
+            let rel = diff.to_f64_lossy().abs() / dom.to_f64_lossy().abs().max(1e-300);
+            st.record(rel, (a, b, c));
+        }
+        println!("\n{}: {} ops", fmt.name, st.ops);
+        println!("  worst relative error: {:.3e} (double envelope: 1.1e-16)", st.worst);
+        println!("  worst case: a={:.6e} b={:.6e} c={:.6e}", st.worst_case.0, st.worst_case.1, st.worst_case.2);
+        let labels = ["<1e-17", "1e-17", "1e-16", "1e-15", "1e-14", "1e-13", ">=1e-12"];
+        print!("  histogram:");
+        for (l, b) in labels.iter().zip(st.buckets.iter()) {
+            print!(" {l}:{b}");
+        }
+        println!();
+        assert!(
+            st.worst < 1.12e-16,
+            "{} exceeded the double envelope: {:.3e}",
+            fmt.name,
+            st.worst
+        );
+    }
+    println!("\nall formats stayed within one binary64 ULP of the dominant operand.");
+}

@@ -1,0 +1,28 @@
+//! Regenerate **Table I** (synthesis results): fMax, cycles, LUTs, DSPs
+//! for CoreGen, FloPoCo, PCS-FMA and FCS-FMA on the calibrated Virtex-6
+//! model.
+
+use csfma_bench::table1;
+
+const PAPER: [(&str, f64, usize, usize, usize); 4] = [
+    ("Xilinx CoreGen", 244.0, 9, 1253, 13),
+    ("FloPoCo FPPipeline", 190.0, 11, 1508, 7),
+    ("PCS-FMA", 231.0, 5, 5832, 21),
+    ("FCS-FMA", 211.0, 3, 4685, 12),
+];
+
+fn main() {
+    println!("Table I: Synthesis results (model vs paper, Virtex-6 speed grade -1)");
+    println!(
+        "{:<22} {:>12} {:>8} {:>16} {:>6}",
+        "Architecture", "fMax [MHz]", "Cycles", "LUTs", "DSPs"
+    );
+    for (r, p) in table1().iter().zip(PAPER.iter()) {
+        assert_eq!(r.name, p.0);
+        println!(
+            "{:<22} {:>5.0} ({:>4.0}) {:>4} ({:>2}) {:>7} ({:>5}) {:>3} ({:>2})",
+            r.name, r.fmax_mhz, p.1, r.cycles, p.2, r.luts, p.3, r.dsps, p.4
+        );
+    }
+    println!("\n(model value first, paper's post-layout value in parentheses)");
+}

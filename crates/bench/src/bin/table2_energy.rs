@@ -1,0 +1,20 @@
+//! Regenerate **Table II**: average energy per multiply-add computation
+//! (nJ), from the switching-activity model in pipeline steady state on
+//! the Sec. IV-B workload.
+
+use csfma_bench::table2;
+
+fn main() {
+    let rows = table2(600, 42);
+    let paper = [0.54, 0.74, 2.67, 2.36];
+    println!("Table II: Average energy per multiply-add computation (nJ)");
+    for ((name, nj), p) in rows.iter().zip(paper.iter()) {
+        println!("{name:<18} {nj:>6.2} nJ (paper {p:.2})");
+    }
+    let x = rows[0].1;
+    println!(
+        "\nCS units vs CoreGen: PCS {:.1}x, FCS {:.1}x (paper: 4.9x / 4.4x; \"4x to 5x increase\")",
+        rows[2].1 / x,
+        rows[3].1 / x
+    );
+}

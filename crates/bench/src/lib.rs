@@ -1,0 +1,12 @@
+//! # csfma-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (Sec. IV). Each
+//! experiment is a plain function returning structured rows, consumed by
+//! the `src/bin/*` report binaries, the workspace integration tests, and
+//! EXPERIMENTS.md. Criterion micro-benchmarks of the behavioral units
+//! live in `benches/`.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{fig13, fig14, fig15, table1, table2, Fig14Row, Fig15Row};

@@ -1,0 +1,33 @@
+//! Small helpers for printing paper-style report tables.
+
+/// Print a header line followed by a separator.
+pub fn header(title: &str, cols: &[&str], widths: &[usize]) {
+    println!("\n=== {title} ===");
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} "));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Format a paper-vs-measured pair with relative deviation.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:.2}");
+    }
+    let dev = 100.0 * (measured - paper) / paper;
+    format!("{measured:.2} (paper {paper:.2}, {dev:+.1}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_paper_formats() {
+        let s = vs_paper(231.0, 244.0);
+        assert!(s.contains("paper 244.00"));
+        assert!(s.contains("-5.3%"));
+    }
+}

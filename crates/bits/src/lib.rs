@@ -1,0 +1,23 @@
+//! # csfma-bits — wide two's-complement bit vectors
+//!
+//! The arithmetic units in this workspace operate on datapaths that are far
+//! wider than any machine integer: the PCS-FMA carries a 385-bit internal
+//! adder, the FCS-FMA a 377-digit alignment window. This crate provides the
+//! [`Bits`] type — an arbitrary-width bit vector stored as little-endian
+//! `u64` limbs — together with the wrapping two's-complement arithmetic,
+//! shifting, slicing and counting operations the behavioral hardware models
+//! are built from.
+//!
+//! Semantics follow hardware registers: every value has an explicit `width`,
+//! all arithmetic wraps modulo `2^width`, and signedness is a property of
+//! the *operation* (e.g. [`Bits::sext`], [`Bits::signed_cmp`]), not of the
+//! value.
+
+mod bits;
+mod ops;
+mod slice;
+
+pub use bits::Bits;
+
+#[cfg(test)]
+mod tests;

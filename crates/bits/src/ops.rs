@@ -1,0 +1,225 @@
+//! Arithmetic, logic and shift operations on [`Bits`].
+//!
+//! All arithmetic is wrapping modulo `2^width`, mirroring fixed-width
+//! hardware registers. Mixed-width operands are rejected by assertion —
+//! hardware adders have one width; widen explicitly with
+//! [`Bits::zext`]/[`Bits::sext`] first.
+
+use crate::bits::Bits;
+use std::cmp::Ordering;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+impl Bits {
+    /// Wrapping addition; returns the sum and the carry-out of the MSB.
+    ///
+    /// # Panics
+    /// If widths differ.
+    pub fn carrying_add(&self, rhs: &Bits) -> (Bits, bool) {
+        assert_eq!(self.width, rhs.width, "carrying_add width mismatch");
+        let mut out = Bits::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 | c2) as u64;
+        }
+        // Carry-out must be taken at bit `width`, not at the limb boundary.
+        let rem = self.width % 64;
+        let carry_out = if self.width == 0 {
+            false
+        } else if rem == 0 {
+            carry == 1
+        } else {
+            let last = self.limbs.len() - 1;
+            let c = out.limbs[last] >> rem != 0;
+            out.mask_top();
+            c
+        };
+        (out, carry_out)
+    }
+
+    /// Wrapping addition modulo `2^width`.
+    pub fn wrapping_add(&self, rhs: &Bits) -> Bits {
+        self.carrying_add(rhs).0
+    }
+
+    /// Wrapping subtraction modulo `2^width`.
+    pub fn wrapping_sub(&self, rhs: &Bits) -> Bits {
+        self.wrapping_add(&rhs.wrapping_neg())
+    }
+
+    /// Two's-complement negation modulo `2^width`.
+    pub fn wrapping_neg(&self) -> Bits {
+        let inv = !self;
+        inv.wrapping_add(&Bits::from_u64(self.width, if self.width == 0 { 0 } else { 1 }))
+    }
+
+    /// Add a single `u64` (wrapping).
+    pub fn wrapping_add_u64(&self, v: u64) -> Bits {
+        self.wrapping_add(&Bits::from_u64(self.width, v))
+    }
+
+    /// Schoolbook unsigned multiply producing a full-width product of
+    /// `self.width + rhs.width` bits. Never overflows.
+    pub fn mul_full(&self, rhs: &Bits) -> Bits {
+        let out_width = self.width + rhs.width;
+        let mut out = Bits::zero(out_width);
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let idx = i + j;
+                if idx >= out.limbs.len() {
+                    break;
+                }
+                let t = a as u128 * b as u128 + out.limbs[idx] as u128 + carry;
+                out.limbs[idx] = t as u64;
+                carry = t >> 64;
+            }
+            let mut idx = i + rhs.limbs.len();
+            while carry != 0 && idx < out.limbs.len() {
+                let t = out.limbs[idx] as u128 + carry;
+                out.limbs[idx] = t as u64;
+                carry = t >> 64;
+                idx += 1;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Signed (two's complement) multiply producing `self.width + rhs.width`
+    /// bits, computed as sign/magnitude around [`Bits::mul_full`].
+    pub fn mul_full_signed(&self, rhs: &Bits) -> Bits {
+        let neg = self.sign_bit() ^ rhs.sign_bit();
+        let a = if self.sign_bit() { self.wrapping_neg() } else { self.clone() };
+        let b = if rhs.sign_bit() { rhs.wrapping_neg() } else { rhs.clone() };
+        let p = a.mul_full(&b);
+        if neg {
+            p.wrapping_neg()
+        } else {
+            p
+        }
+    }
+
+    /// Logical shift left by `n`, dropping bits shifted past `width`.
+    pub fn shl(&self, n: usize) -> Bits {
+        if n >= self.width {
+            return Bits::zero(self.width);
+        }
+        let mut out = Bits::zero(self.width);
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        for i in (0..self.limbs.len()).rev() {
+            let mut v = 0u64;
+            if i >= limb_shift {
+                v = self.limbs[i - limb_shift] << bit_shift;
+                if bit_shift != 0 && i > limb_shift {
+                    v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+                }
+            }
+            out.limbs[i] = v;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Logical shift right by `n`, filling with zeros.
+    pub fn shr(&self, n: usize) -> Bits {
+        if n >= self.width {
+            return Bits::zero(self.width);
+        }
+        let mut out = Bits::zero(self.width);
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        for i in 0..self.limbs.len() {
+            let src = i + limb_shift;
+            let mut v = 0u64;
+            if src < self.limbs.len() {
+                v = self.limbs[src] >> bit_shift;
+                if bit_shift != 0 && src + 1 < self.limbs.len() {
+                    v |= self.limbs[src + 1] << (64 - bit_shift);
+                }
+            }
+            out.limbs[i] = v;
+        }
+        out
+    }
+
+    /// Arithmetic shift right by `n`, replicating the sign bit.
+    pub fn sar(&self, n: usize) -> Bits {
+        if !self.sign_bit() {
+            return self.shr(n);
+        }
+        if n >= self.width {
+            return Bits::ones(self.width);
+        }
+        let mut out = self.shr(n);
+        // fill the vacated top n bits with ones
+        for pos in self.width - n..self.width {
+            out.set_bit(pos, true);
+        }
+        out
+    }
+
+    /// Unsigned comparison.
+    pub fn unsigned_cmp(&self, rhs: &Bits) -> Ordering {
+        assert_eq!(self.width, rhs.width, "unsigned_cmp width mismatch");
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Two's-complement signed comparison.
+    pub fn signed_cmp(&self, rhs: &Bits) -> Ordering {
+        assert_eq!(self.width, rhs.width, "signed_cmp width mismatch");
+        match (self.sign_bit(), rhs.sign_bit()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.unsigned_cmp(rhs),
+        }
+    }
+}
+
+impl Not for &Bits {
+    type Output = Bits;
+    fn not(self) -> Bits {
+        let mut out = Bits {
+            width: self.width,
+            limbs: self.limbs.iter().map(|l| !l).collect(),
+        };
+        out.mask_top();
+        out
+    }
+}
+
+macro_rules! impl_bitop {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for &Bits {
+            type Output = Bits;
+            fn $fn(self, rhs: &Bits) -> Bits {
+                assert_eq!(self.width, rhs.width, concat!(stringify!($fn), " width mismatch"));
+                Bits {
+                    width: self.width,
+                    limbs: self
+                        .limbs
+                        .iter()
+                        .zip(rhs.limbs.iter())
+                        .map(|(a, b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+    };
+}
+
+impl_bitop!(BitAnd, bitand, &);
+impl_bitop!(BitOr, bitor, |);
+impl_bitop!(BitXor, bitxor, ^);

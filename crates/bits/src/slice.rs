@@ -1,0 +1,119 @@
+//! Width changes, slicing, block decomposition and concatenation.
+//!
+//! The block-oriented normalization of the P/FCS-FMA units (Sec. III-D of
+//! the paper) works on fixed-size mantissa blocks; [`Bits::blocks`] and
+//! [`Bits::concat`] are the behavioral counterparts of that wiring.
+
+use crate::bits::Bits;
+
+impl Bits {
+    /// Zero-extend or truncate to `new_width` (unsigned resize).
+    pub fn zext(&self, new_width: usize) -> Bits {
+        let mut out = Bits::zero(new_width);
+        let n = out.limbs.len().min(self.limbs.len());
+        out.limbs[..n].copy_from_slice(&self.limbs[..n]);
+        out.mask_top();
+        out
+    }
+
+    /// Sign-extend or truncate to `new_width` (two's-complement resize).
+    pub fn sext(&self, new_width: usize) -> Bits {
+        if new_width <= self.width || !self.sign_bit() {
+            return self.zext(new_width);
+        }
+        let mut out = Bits::ones(new_width);
+        // copy the original limbs, then patch the partial top limb
+        for i in 0..self.limbs.len() {
+            out.limbs[i] = self.limbs[i];
+        }
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = (self.width - 1) / 64;
+            out.limbs[last] |= !0u64 << rem;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Truncate to the low `new_width` bits.
+    pub fn trunc(&self, new_width: usize) -> Bits {
+        assert!(new_width <= self.width, "trunc cannot widen");
+        self.zext(new_width)
+    }
+
+    /// Extract bits `[lo, lo + len)` (weight `2^lo` becomes weight `2^0`).
+    /// Bits beyond `width` read as zero.
+    pub fn extract(&self, lo: usize, len: usize) -> Bits {
+        self.shr(lo).zext(len)
+    }
+
+    /// Concatenate with `low`: `self` becomes the high part.
+    /// Result width is `self.width + low.width`.
+    pub fn concat(&self, low: &Bits) -> Bits {
+        let w = self.width + low.width;
+        let hi = self.zext(w).shl(low.width);
+        let lo = low.zext(w);
+        &hi | &lo
+    }
+
+    /// Split into `count` blocks of `block_width` bits, most significant
+    /// block first. The value must be exactly `count * block_width` wide.
+    ///
+    /// # Panics
+    /// If `width != count * block_width`.
+    pub fn blocks(&self, block_width: usize, count: usize) -> Vec<Bits> {
+        assert_eq!(
+            self.width,
+            block_width * count,
+            "blocks: width {} != {count} x {block_width}",
+            self.width
+        );
+        (0..count)
+            .rev()
+            .map(|i| self.extract(i * block_width, block_width))
+            .collect()
+    }
+
+    /// Reassemble from blocks (most significant first), inverse of
+    /// [`Bits::blocks`].
+    pub fn from_blocks(blocks: &[Bits]) -> Bits {
+        let mut out = Bits::zero(0);
+        for b in blocks {
+            out = out.concat(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_roundtrip() {
+        let v = Bits::from_u128(110, 0x1234_5678_9abc_def0_1122_3344u128);
+        let blocks = v.blocks(55, 2);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(Bits::from_blocks(&blocks), v);
+    }
+
+    #[test]
+    fn extract_past_width_reads_zero() {
+        let v = Bits::from_u64(8, 0xff);
+        assert_eq!(v.extract(4, 8).to_u64(), 0x0f);
+    }
+
+    #[test]
+    fn concat_orders_high_low() {
+        let hi = Bits::from_u64(4, 0xA);
+        let lo = Bits::from_u64(8, 0x55);
+        assert_eq!(hi.concat(&lo).to_u64(), 0xA55);
+    }
+
+    #[test]
+    fn sext_partial_limb() {
+        let v = Bits::from_u64(5, 0b10000); // -16 in 5 bits
+        assert_eq!(v.sext(64).to_i128(), -16);
+        assert_eq!(v.sext(130).to_i128(), -16);
+    }
+}

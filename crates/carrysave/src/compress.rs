@@ -1,0 +1,90 @@
+//! Carry-save compressors and reduction trees.
+//!
+//! These are the behavioral models of the CSA structures inside the
+//! paper's mantissa multipliers and wide adders. The value contract is
+//! always: *output value ≡ sum of input values (mod 2^width)*.
+
+use crate::cs::CsNumber;
+use csfma_bits::Bits;
+
+/// 3:2 compressor (full-adder row): three addends become a CS pair in one
+/// full-adder delay, independent of width.
+///
+/// `sum = a ⊕ b ⊕ c`, `carry = majority(a,b,c) << 1`.
+pub fn csa3_2(a: &Bits, b: &Bits, c: &Bits) -> CsNumber {
+    assert!(
+        a.width() == b.width() && b.width() == c.width(),
+        "csa3_2 width mismatch"
+    );
+    let sum = &(a ^ b) ^ c;
+    let maj = &(&(a & b) | &(b & c)) | &(a & c);
+    CsNumber::new(sum, maj.shl(1))
+}
+
+/// 4:2 compressor row: four addends to a CS pair. Built from two chained
+/// 3:2 rows (the transfer bits never interact, so the delay is still two
+/// full-adder levels regardless of width — the structure FPGA carry logic
+/// implements directly).
+pub fn csa4_2(a: &Bits, b: &Bits, c: &Bits, d: &Bits) -> CsNumber {
+    let first = csa3_2(a, b, c);
+    let second = csa3_2(first.sum(), &first.carry().zext(a.width()), d);
+    second
+}
+
+/// Result of reducing many addends: the CS pair plus the number of 3:2
+/// levels used — the quantity the fabric timing model charges for
+/// ("the height of its CSA tree depends on the number of inputs",
+/// Sec. III-D).
+#[derive(Clone, Debug)]
+pub struct ReduceResult {
+    /// The compressed carry-save pair.
+    pub cs: CsNumber,
+    /// Number of 3:2 compressor levels on the critical path.
+    pub levels: usize,
+}
+
+/// Wallace-style reduction of an arbitrary set of addends to one CS pair
+/// using 3:2 rows. All addends must share one width; the caller pre-shifts
+/// partial products into place.
+pub fn reduce_to_cs(addends: &[Bits], width: usize) -> ReduceResult {
+    let mut layer: Vec<Bits> = addends.iter().map(|a| a.zext(width)).collect();
+    let mut levels = 0;
+    if layer.is_empty() {
+        return ReduceResult { cs: CsNumber::zero(width), levels: 0 };
+    }
+    while layer.len() > 2 {
+        let mut next = Vec::with_capacity(layer.len() * 2 / 3 + 1);
+        let mut chunks = layer.chunks_exact(3);
+        for ch in &mut chunks {
+            let cs = csa3_2(&ch[0], &ch[1], &ch[2]);
+            next.push(cs.sum().clone());
+            next.push(cs.carry().clone());
+        }
+        next.extend_from_slice(chunks.remainder());
+        layer = next;
+        levels += 1;
+    }
+    let cs = match layer.len() {
+        1 => CsNumber::from_binary(layer.pop().unwrap()),
+        _ => {
+            let c = layer.pop().unwrap();
+            let s = layer.pop().unwrap();
+            CsNumber::new(s, c)
+        }
+    };
+    ReduceResult { cs, levels }
+}
+
+/// Number of 3:2 levels needed to reduce `n` addends to two rows
+/// (the Dadda/Wallace bound) — used by the fabric model to derive CSA-tree
+/// depth from the input count without building the tree.
+pub fn reduction_depth_3_2(n: usize) -> usize {
+    // sequence of maximum reducible heights: 2, 3, 4, 6, 9, 13, 19, ...
+    let mut height = 2usize;
+    let mut levels = 0;
+    while height < n {
+        height = height * 3 / 2;
+        levels += 1;
+    }
+    levels
+}

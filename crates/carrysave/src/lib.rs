@@ -1,0 +1,31 @@
+//! # csfma-carrysave — carry-save number formats and compressors
+//!
+//! Carry-save (CS) arithmetic is the core enabling technique of the paper's
+//! FMA units: instead of propagating carries across a wide word, a number
+//! is held as a pair *(sum, carry)* whose true value is `sum + carry`. Each
+//! digit position can then hold the values {0, 1, 2} (Sec. II), addition
+//! becomes a constant-time 3:2 compression, and the expensive carry
+//! propagation is deferred — in this workspace, sometimes across an entire
+//! chain of fused multiply-adds.
+//!
+//! This crate provides:
+//!
+//! * [`CsNumber`] — a full carry-save (FCS) pair with value semantics,
+//! * [`csa3_2`] / [`csa4_2`] and [`reduce_to_cs`] — the compressors and
+//!   reduction trees used inside the multipliers and adders (with depth
+//!   reporting for the `csfma-fabric` timing model),
+//! * [`PcsNumber`] — the *partial carry-save* representation of
+//!   Sec. III-E: explicit carry bits only every `k`-th position (the paper
+//!   settles on `k = 11`), produced by the constant-time
+//!   [`CsNumber::carry_reduce`] step.
+
+mod compress;
+mod cs;
+mod pcs;
+
+pub use compress::{csa3_2, csa4_2, reduce_to_cs, reduction_depth_3_2, ReduceResult};
+pub use cs::CsNumber;
+pub use pcs::PcsNumber;
+
+#[cfg(test)]
+mod tests;

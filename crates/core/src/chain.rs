@@ -1,0 +1,221 @@
+//! Chained FMA evaluation — the usage pattern the whole architecture
+//! exists for (Listing 1 / Fig. 1: dependent multiply-add chains on the
+//! critical path of a solver datapath).
+//!
+//! Between chained operators the value stays in the carry-save transport
+//! format: no normalization, no rounding — just the per-operand rounding
+//! *data* that the next unit folds into its multiplier (Sec. III-C).
+
+use crate::operand::CsOperand;
+use crate::unit::CsFmaUnit;
+use csfma_softfloat::{ExactFloat, FpFormat, Round, SoftFloat};
+
+/// Evaluates dependence chains on one FMA unit, keeping intermediate
+/// values fused (in the CS transport format) end to end.
+///
+/// ```
+/// use csfma_core::{ChainEvaluator, CsFmaFormat, CsFmaUnit};
+/// use csfma_softfloat::{FpFormat, Round};
+///
+/// let chain = ChainEvaluator::new(CsFmaUnit::new(CsFmaFormat::PCS_55_ZD));
+/// // p(x) = 1 + 2x + 3x^2 at x = 0.5, evaluated as a fused Horner chain
+/// let r = chain.horner(&[1.0, 2.0, 3.0], 0.5);
+/// assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 2.75);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ChainEvaluator {
+    unit: CsFmaUnit,
+}
+
+impl ChainEvaluator {
+    /// Wrap a unit.
+    pub fn new(unit: CsFmaUnit) -> Self {
+        ChainEvaluator { unit }
+    }
+
+    /// The wrapped unit.
+    pub fn unit(&self) -> &CsFmaUnit {
+        &self.unit
+    }
+
+    /// One recurrence step of the Sec. IV-B benchmark:
+    /// `x[n] = b1 * x1 + b2 * x2 + x3`, computed as two chained FMAs with
+    /// the intermediate kept in CS form.
+    pub fn recurrence_step(
+        &self,
+        b1: &SoftFloat,
+        x1: &CsOperand,
+        b2: &SoftFloat,
+        x2: &CsOperand,
+        x3: &CsOperand,
+    ) -> CsOperand {
+        // t = x3 + b2 * x2 ; x = t + b1 * x1
+        let t = self.unit.fma(x3, b2, x2);
+        self.unit.fma(&t, b1, x1)
+    }
+
+    /// Run the full Sec. IV-B recurrence `x[n] = B1·x[n-1] + B2·x[n-2] +
+    /// x[n-3]` for `steps` iterations from three binary64 seeds, returning
+    /// `x[steps + 2]` still in the transport format.
+    pub fn run_recurrence(
+        &self,
+        b1: &SoftFloat,
+        b2: &SoftFloat,
+        seeds: [&SoftFloat; 3],
+        steps: usize,
+    ) -> CsOperand {
+        let f = *self.unit.format();
+        let mut x3 = CsOperand::from_ieee(seeds[0], f); // x[n-3]
+        let mut x2 = CsOperand::from_ieee(seeds[1], f); // x[n-2]
+        let mut x1 = CsOperand::from_ieee(seeds[2], f); // x[n-1]
+        for _ in 0..steps {
+            let x = self.recurrence_step(b1, &x1, b2, &x2, &x3);
+            x3 = x2;
+            x2 = x1;
+            x1 = x;
+        }
+        x1
+    }
+}
+
+/// The same recurrence computed with discrete soft-float operators in the
+/// given format — the CoreGen-style reference runs of Fig. 14 (64b, 68b,
+/// and the 75b golden reference).
+pub fn run_recurrence_softfloat(
+    fmt: FpFormat,
+    mode: Round,
+    b1: f64,
+    b2: f64,
+    seeds: [f64; 3],
+    steps: usize,
+) -> SoftFloat {
+    let b1 = SoftFloat::from_f64(fmt, b1);
+    let b2 = SoftFloat::from_f64(fmt, b2);
+    let mut x3 = SoftFloat::from_f64(fmt, seeds[0]);
+    let mut x2 = SoftFloat::from_f64(fmt, seeds[1]);
+    let mut x1 = SoftFloat::from_f64(fmt, seeds[2]);
+    for _ in 0..steps {
+        // discrete operators: each multiply and each add rounds
+        let t1 = b1.mul_r(&x1, mode);
+        let t2 = b2.mul_r(&x2, mode);
+        let x = t1.add_r(&t2, mode).add_r(&x3, mode);
+        x3 = x2;
+        x2 = x1;
+        x1 = x;
+    }
+    x1
+}
+
+/// The recurrence evaluated exactly (error-free), as the ideal reference.
+pub fn run_recurrence_exact(b1: f64, b2: f64, seeds: [f64; 3], steps: usize) -> ExactFloat {
+    let b1 = ExactFloat::from_f64(b1);
+    let b2 = ExactFloat::from_f64(b2);
+    let mut x3 = ExactFloat::from_f64(seeds[0]);
+    let mut x2 = ExactFloat::from_f64(seeds[1]);
+    let mut x1 = ExactFloat::from_f64(seeds[2]);
+    for _ in 0..steps {
+        let x = b1.mul(&x1).add(&b2.mul(&x2)).add(&x3);
+        x3 = x2;
+        x2 = x1;
+        x1 = x;
+    }
+    x1
+}
+
+/// Horner-rule polynomial evaluation `p(x) = c0 + x*(c1 + x*(c2 + ...))`
+/// on a fused chain — the other canonical dependent multiply-add workload
+/// (filters and polynomial approximations of transcendentals, the signal
+/// processing kernels of the paper's introduction).
+///
+/// Coefficients are binary64; `x` is the chained `B` input and the
+/// accumulator stays in the carry-save transport format throughout.
+impl ChainEvaluator {
+    /// Evaluate `Σ coeffs[i] · x^i` (coefficients lowest-order first).
+    pub fn horner(&self, coeffs: &[f64], x: f64) -> CsOperand {
+        let f = *self.unit.format();
+        let fmt64 = FpFormat::BINARY64;
+        let xb = SoftFloat::from_f64(fmt64, x);
+        let mut acc = match coeffs.last() {
+            Some(&c) => CsOperand::from_ieee(&SoftFloat::from_f64(fmt64, c), f),
+            None => return CsOperand::zero(f, false),
+        };
+        for &c in coeffs.iter().rev().skip(1) {
+            // acc = c + x * acc
+            let a = CsOperand::from_ieee(&SoftFloat::from_f64(fmt64, c), f);
+            acc = self.unit.fma(&a, &xb, &acc);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod horner_tests {
+    use super::*;
+    use crate::format::CsFmaFormat;
+    use crate::reference::ulp_error_vs_exact;
+    use crate::unit::CsFmaUnit;
+    use csfma_softfloat::ExactFloat;
+
+    fn exact_horner(coeffs: &[f64], x: f64) -> ExactFloat {
+        let xe = ExactFloat::from_f64(x);
+        let mut acc = ExactFloat::from_f64(*coeffs.last().unwrap());
+        for &c in coeffs.iter().rev().skip(1) {
+            acc = ExactFloat::from_f64(c).add(&xe.mul(&acc));
+        }
+        acc
+    }
+
+    #[test]
+    fn small_polynomial_exact() {
+        // p(x) = 1 + 2x + 3x^2 at x = 0.5 -> 2.75
+        let chain = ChainEvaluator::new(CsFmaUnit::new(CsFmaFormat::FCS_29_LZA));
+        let r = chain.horner(&[1.0, 2.0, 3.0], 0.5);
+        assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 2.75);
+    }
+
+    #[test]
+    fn exp_series_beats_discrete() {
+        // truncated exp(x) series: 12 terms at x = 0.7
+        let coeffs: Vec<f64> = {
+            let mut c = vec![1.0];
+            let mut fact = 1.0;
+            for k in 1..12 {
+                fact *= k as f64;
+                c.push(1.0 / fact);
+            }
+            c
+        };
+        let x = 0.7;
+        let exact = exact_horner(&coeffs, x);
+        // discrete double Horner
+        let mut plain = *coeffs.last().unwrap();
+        for &c in coeffs.iter().rev().skip(1) {
+            plain = c + x * plain;
+        }
+        let err_plain = ulp_error_vs_exact(&ExactFloat::from_f64(plain), &exact);
+        for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+            let chain = ChainEvaluator::new(CsFmaUnit::new(fmt));
+            let r = chain.horner(&coeffs, x);
+            let err_fused = ulp_error_vs_exact(&r.exact_value(), &exact);
+            assert!(
+                err_fused < err_plain.max(0.5),
+                "{}: fused {err_fused} vs plain {err_plain}",
+                fmt.name
+            );
+            assert!(err_fused < 0.01, "{}: {err_fused} ulp", fmt.name);
+        }
+    }
+
+    #[test]
+    fn empty_and_constant_polynomials() {
+        let chain = ChainEvaluator::new(CsFmaUnit::new(CsFmaFormat::PCS_55_ZD));
+        assert!(chain
+            .horner(&[], 3.0)
+            .to_ieee(FpFormat::BINARY64, Round::NearestEven)
+            .is_zero());
+        assert_eq!(
+            chain.horner(&[42.0], 3.0).to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+            42.0
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Fused dot-product unit — the paper's future-work direction
+//! ("the concept of mantissas represented in partial/full carry save
+//! formats could be applied to other floating-point operations", Sec. V;
+//! fused dot products are the classic instance \[9\][10]).
+//!
+//! `dot(terms) = Σ_i b_i · c_i` with **one** normalization at the very
+//! end: every product is formed by the same integrated-rounding CS
+//! multiplier as the FMA, aligned into a shared window anchored at the
+//! largest product exponent, compressed by one big CSA tree, and
+//! block-normalized once. Compared to a chain of FMAs this removes the
+//! per-link block normalization *and* the serial dependence — all
+//! products compress in parallel.
+
+use crate::format::CsFmaFormat;
+use crate::operand::CsOperand;
+use crate::trace::{NopSink, TraceSink};
+use csfma_bits::Bits;
+use csfma_carrysave::reduce_to_cs;
+use csfma_softfloat::{FpClass, SoftFloat};
+use csfma_units::align::align_addend;
+use csfma_units::block_mux::select_blocks;
+use csfma_units::exponent::BiasedExp;
+use csfma_units::multiplier::{apply_sign, multiply_cs_by_binary};
+use csfma_units::rounding::round_up_from_block;
+use csfma_units::zero_detect::leading_skippable_blocks;
+
+/// A fused dot-product unit over a carry-save transport format.
+///
+/// ```
+/// use csfma_core::{CsDotUnit, CsFmaFormat, CsOperand};
+/// use csfma_softfloat::{FpFormat, Round, SoftFloat};
+///
+/// let unit = CsDotUnit::new(CsFmaFormat::PCS_55_ZD);
+/// let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
+/// let term = |b: f64, c: f64| (sf(b), CsOperand::from_ieee(&sf(c), CsFmaFormat::PCS_55_ZD));
+/// let r = unit.dot(&[term(1.5, 2.0), term(-0.5, 4.0)]);
+/// assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 1.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CsDotUnit {
+    format: CsFmaFormat,
+}
+
+impl CsDotUnit {
+    /// Create a unit; the format's window must leave headroom for the
+    /// term count (the left alignment blocks absorb the `log2(n)` growth
+    /// of the sum).
+    pub fn new(format: CsFmaFormat) -> Self {
+        CsDotUnit { format }
+    }
+
+    /// The transport format.
+    pub fn format(&self) -> &CsFmaFormat {
+        &self.format
+    }
+
+    /// Largest number of terms the window headroom supports.
+    pub fn max_terms(&self) -> usize {
+        // keep two guard bits of the left region for the two-word sums
+        1usize << (self.format.left_blocks * self.format.block_bits).saturating_sub(2).min(20)
+    }
+
+    /// Fused `Σ b_i · c_i`.
+    ///
+    /// # Panics
+    /// If `terms` is empty or exceeds [`CsDotUnit::max_terms`].
+    pub fn dot(&self, terms: &[(SoftFloat, CsOperand)]) -> CsOperand {
+        self.dot_traced(terms, &mut NopSink)
+    }
+
+    /// Fused dot product with activity tracing.
+    pub fn dot_traced(
+        &self,
+        terms: &[(SoftFloat, CsOperand)],
+        sink: &mut dyn TraceSink,
+    ) -> CsOperand {
+        let f = &self.format;
+        assert!(!terms.is_empty(), "empty dot product");
+        assert!(terms.len() <= self.max_terms(), "too many dot terms for the window");
+
+        // exception wires
+        if terms.iter().any(|(b, c)| b.is_nan() || c.class() == FpClass::Nan) {
+            return CsOperand::nan(*f);
+        }
+        let mut inf_sign: Option<bool> = None;
+        for (b, c) in terms {
+            let pclass = match (b.class(), c.class()) {
+                (FpClass::Inf, FpClass::Zero) | (FpClass::Zero, FpClass::Inf) => {
+                    return CsOperand::nan(*f)
+                }
+                (FpClass::Inf, _) | (_, FpClass::Inf) => FpClass::Inf,
+                _ => FpClass::Normal,
+            };
+            if pclass == FpClass::Inf {
+                let sign = b.sign()
+                    ^ match c.class() {
+                        FpClass::Normal => c.mant().resolve_signed_extended().sign_bit(),
+                        _ => c.sign_hint(),
+                    };
+                match inf_sign {
+                    None => inf_sign = Some(sign),
+                    Some(s) if s != sign => return CsOperand::nan(*f),
+                    _ => {}
+                }
+            }
+        }
+        if let Some(sign) = inf_sign {
+            return CsOperand::inf(*f, sign);
+        }
+
+        let bb = f.block_bits;
+        let w = f.window_bits();
+        let nb = f.window_blocks();
+        let fc = f.frac_bits() as i64;
+        let right_off = (f.right_blocks * bb) as i64;
+
+        // anchor: largest product exponent
+        let live: Vec<&(SoftFloat, CsOperand)> = terms
+            .iter()
+            .filter(|(b, c)| b.class() == FpClass::Normal && c.class() == FpClass::Normal)
+            .collect();
+        if live.is_empty() {
+            return CsOperand::zero(*f, false);
+        }
+        let e_anchor = live
+            .iter()
+            .map(|(b, c)| b.exp() as i64 + c.exp().unbiased() as i64)
+            .max()
+            .unwrap();
+        let fb_b = live[0].0.format().frac_bits as i64;
+        let wls = e_anchor - fc - fb_b - right_off;
+
+        // per-term multipliers, aligned into the shared window
+        let mut rows: Vec<Bits> = Vec::with_capacity(2 * live.len());
+        for (b, c) in &live {
+            let up_c = round_up_from_block(c.round());
+            let b_sig = Bits::from_u64(f.b_sig_bits, b.significand());
+            let mul = multiply_cs_by_binary(c.mant(), &b_sig, up_c);
+            let product = apply_sign(mul.product, b.sign());
+            let e_term = b.exp() as i64 + c.exp().unbiased() as i64;
+            let shift = right_off + (e_term - e_anchor);
+            let aligned = align_addend(&product, w, shift);
+            debug_assert!(!aligned.dropped_high, "window headroom violated");
+            rows.push(aligned.value.sum().clone());
+            rows.push(aligned.value.carry().clone());
+        }
+        let reduced = reduce_to_cs(&rows, w);
+        let window = reduced.cs;
+        sink.record("win.sum", window.sum());
+        sink.record("win.carry", window.carry());
+
+        let window = match f.carry_spacing {
+            Some(k) => window.carry_reduce(k).to_cs(),
+            None => window,
+        };
+
+        // one block normalization at the very end (Zero Detector for all
+        // formats: the dot unit is not latency-critical per link)
+        let blocks = window.blocks(bb, nb);
+        let skip = leading_skippable_blocks(&blocks, f.mant_blocks);
+        let sel = select_blocks(&blocks, f.mant_blocks, skip);
+        sink.record("res.sum", sel.result.sum());
+        sink.record("res.carry", sel.result.carry());
+
+        let e_r = (nb - sel.skip - f.mant_blocks) as i64 * bb as i64 + wls + fc;
+        let sign_hint = sel.result.resolve_signed_extended().sign_bit();
+        CsOperand::from_raw(
+            *f,
+            FpClass::Normal,
+            sign_hint,
+            sel.result,
+            sel.round_data,
+            BiasedExp::from_unbiased_saturating(e_r),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ulp_error_vs_exact;
+    use csfma_softfloat::{ExactFloat, FpFormat, Round};
+    use proptest::prelude::*;
+
+    const B64: FpFormat = FpFormat::BINARY64;
+
+    fn sf(v: f64) -> SoftFloat {
+        SoftFloat::from_f64(B64, v)
+    }
+
+    fn term(fmt: CsFmaFormat, b: f64, c: f64) -> (SoftFloat, CsOperand) {
+        (sf(b), CsOperand::from_ieee(&sf(c), fmt))
+    }
+
+    fn exact_dot(pairs: &[(f64, f64)]) -> ExactFloat {
+        pairs.iter().fold(ExactFloat::zero(), |acc, &(b, c)| {
+            acc.add(&ExactFloat::from_f64(b).mul(&ExactFloat::from_f64(c)))
+        })
+    }
+
+    #[test]
+    fn small_dot_products() {
+        for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+            let unit = CsDotUnit::new(fmt);
+            let terms = vec![term(fmt, 1.5, 2.0), term(fmt, -0.5, 4.0), term(fmt, 3.0, 1.0)];
+            let r = unit.dot(&terms);
+            let got = r.to_ieee(B64, Round::NearestEven).to_f64();
+            assert_eq!(got, 1.5 * 2.0 - 0.5 * 4.0 + 3.0, "{}", fmt.name);
+        }
+    }
+
+    #[test]
+    fn cancellation_in_the_window_is_exact() {
+        // Σ = a*b - a*b + tiny: a fused dot keeps `tiny` exactly; a chain
+        // of discrete ops may wash it out
+        let fmt = CsFmaFormat::FCS_29_LZA;
+        let unit = CsDotUnit::new(fmt);
+        let tiny = 2f64.powi(-40);
+        let terms =
+            vec![term(fmt, 1.1, 3.3), term(fmt, -1.1, 3.3), term(fmt, tiny, 1.0)];
+        let r = unit.dot(&terms);
+        assert_eq!(r.to_ieee(B64, Round::NearestEven).to_f64(), tiny);
+    }
+
+    #[test]
+    fn specials() {
+        let fmt = CsFmaFormat::PCS_55_ZD;
+        let unit = CsDotUnit::new(fmt);
+        let inf = (SoftFloat::inf(B64, false), CsOperand::from_ieee(&sf(2.0), fmt));
+        let neg_inf = (SoftFloat::inf(B64, true), CsOperand::from_ieee(&sf(2.0), fmt));
+        let num = term(fmt, 1.0, 1.0);
+        assert!(unit
+            .dot(&[inf.clone(), num.clone()])
+            .to_ieee(B64, Round::NearestEven)
+            .is_inf());
+        assert!(unit
+            .dot(&[inf.clone(), neg_inf])
+            .to_ieee(B64, Round::NearestEven)
+            .is_nan());
+        let inf_times_zero = (SoftFloat::inf(B64, false), CsOperand::zero(fmt, false));
+        assert!(unit
+            .dot(&[inf_times_zero, num.clone()])
+            .to_ieee(B64, Round::NearestEven)
+            .is_nan());
+        // all-zero terms
+        let z = (sf(0.0), CsOperand::from_ieee(&sf(5.0), fmt));
+        let r = unit.dot(&[z]);
+        assert!(r.to_ieee(B64, Round::NearestEven).is_zero());
+    }
+
+    #[test]
+    fn dot_beats_fma_chain_on_scattered_exponents() {
+        // terms of very different magnitudes: the fused window keeps
+        // everything; the FMA chain truncates at each link's round block
+        let fmt = CsFmaFormat::PCS_55_ZD;
+        let unit = CsDotUnit::new(fmt);
+        let pairs: Vec<(f64, f64)> = (0..8)
+            .map(|i| (2f64.powi(-12 * i) * 1.7, 0.9 + 0.01 * i as f64))
+            .collect();
+        let terms: Vec<_> = pairs.iter().map(|&(b, c)| term(fmt, b, c)).collect();
+        let r = unit.dot(&terms);
+        let exact = exact_dot(&pairs);
+        let err = ulp_error_vs_exact(&r.exact_value(), &exact);
+        assert!(err < 1e-3, "fused dot error {err} ulp");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn prop_dot_double_envelope(
+            pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..10),
+        ) {
+            for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+                let unit = CsDotUnit::new(fmt);
+                let terms: Vec<_> = pairs.iter().map(|&(b, c)| term(fmt, b, c)).collect();
+                let r = unit.dot(&terms);
+                let exact = exact_dot(&pairs);
+                let diff = r.exact_value().sub(&exact);
+                if diff.is_zero() {
+                    continue;
+                }
+                // one double ulp at the largest term's magnitude
+                let dom = pairs
+                    .iter()
+                    .map(|&(b, c)| (b * c).abs())
+                    .fold(1e-300, f64::max);
+                let envelope = dom.log2().floor() as i64 - 50; // n-term slack
+                prop_assert!(
+                    diff.msb_exp() <= envelope,
+                    "{}: err 2^{} vs envelope 2^{}",
+                    fmt.name, diff.msb_exp(), envelope
+                );
+            }
+        }
+    }
+}

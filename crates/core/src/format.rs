@@ -1,0 +1,215 @@
+//! Parameter sets of the carry-save FMA architectures.
+
+/// How the unit finds the leading significant block of the wide sum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Normalizer {
+    /// Zero Detector on the computed sum (Sec. III-F): exact block skip,
+    /// but the detector sits on the critical path after the adder.
+    ZeroDetect,
+    /// Early leading-zero anticipation from the inputs (Sec. III-G): the
+    /// block select is ready before the sum, at the cost of up to 3 bits
+    /// of slack the widened blocks absorb.
+    EarlyLza,
+}
+
+/// Full parameterization of a P/FCS-FMA unit (the paper's units are
+/// "freely parametrizable"; these are the three concrete design points it
+/// evaluates, plus anything a caller wants to explore).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CsFmaFormat {
+    /// Human-readable tag used in reports.
+    pub name: &'static str,
+    /// Digits per mantissa block (55, 58, or 29 in the paper).
+    pub block_bits: usize,
+    /// Blocks kept in the result mantissa (2 for PCS, 3 for FCS).
+    pub mant_blocks: usize,
+    /// Alignment headroom *left* of the product, in blocks.
+    pub left_blocks: usize,
+    /// Alignment headroom *right* of the product, in blocks.
+    pub right_blocks: usize,
+    /// Explicit-carry spacing: `Some(11)` for partial carry-save (one
+    /// carry bit every 11th position, Sec. III-E), `None` for full
+    /// carry-save (Sec. III-H, needs DSP pre-adders).
+    pub carry_spacing: Option<usize>,
+    /// Block-skip strategy.
+    pub normalizer: Normalizer,
+    /// Significand width of the plain-binary `B` input (53 for binary64).
+    pub b_sig_bits: usize,
+}
+
+impl CsFmaFormat {
+    /// The PCS-FMA of Fig. 9: 55-bit blocks, 110b mantissa + 10 carry
+    /// bits, Zero-Detector normalization, 385-bit internal window.
+    pub const PCS_55_ZD: CsFmaFormat = CsFmaFormat {
+        name: "PCS-FMA (55b blocks, ZD)",
+        block_bits: 55,
+        mant_blocks: 2,
+        left_blocks: 2,
+        right_blocks: 2,
+        carry_spacing: Some(11),
+        normalizer: Normalizer::ZeroDetect,
+        b_sig_bits: 53,
+    };
+
+    /// The early-LZA PCS variant of Sec. III-G: blocks widened from 55 to
+    /// 58 bits so the ≤3-bit anticipation error still leaves 53
+    /// significant mantissa bits in the two selected blocks.
+    ///
+    /// The carry spacing must divide the block width so carries stay
+    /// "equally distributed in every mantissa block" (Sec. III-E) — the
+    /// valid spacings for 58-bit blocks are 2, 29 and 58; we use 29
+    /// (a 29-bit segment adder still clears the 200 MHz cycle budget,
+    /// cf. the paper's 5b/11b/55b analysis and its future-work note on
+    /// re-exploring carry densities for wider blocks).
+    pub const PCS_58_LZA: CsFmaFormat = CsFmaFormat {
+        name: "PCS-FMA (58b blocks, early LZA)",
+        block_bits: 58,
+        mant_blocks: 2,
+        left_blocks: 2,
+        right_blocks: 2,
+        carry_spacing: Some(29),
+        normalizer: Normalizer::EarlyLza,
+        b_sig_bits: 53,
+    };
+
+    /// The FCS-FMA of Fig. 11: full carry-save, three 29-digit blocks
+    /// (87c mantissa + 29c rounding data), 13-block window, 11:1 mux.
+    pub const FCS_29_LZA: CsFmaFormat = CsFmaFormat {
+        name: "FCS-FMA (29c blocks, early LZA)",
+        block_bits: 29,
+        mant_blocks: 3,
+        left_blocks: 5,
+        right_blocks: 3,
+        carry_spacing: None,
+        normalizer: Normalizer::EarlyLza,
+        b_sig_bits: 53,
+    };
+
+    /// Single-precision PCS instance ("our architectures are freely
+    /// parametrizable", Sec. III): binary32 `B` input (24-bit
+    /// significand), two 27-digit blocks (54-bit mantissa = 23 + 1
+    /// implied + sign + guard + block slack), carries every 9th position.
+    pub const PCS_27_SP: CsFmaFormat = CsFmaFormat {
+        name: "PCS-FMA-SP (27b blocks, ZD)",
+        block_bits: 27,
+        mant_blocks: 2,
+        left_blocks: 2,
+        right_blocks: 2,
+        carry_spacing: Some(9),
+        normalizer: Normalizer::ZeroDetect,
+        b_sig_bits: 24,
+    };
+
+    /// Single-precision FCS instance: three 15-digit full-carry-save
+    /// blocks (45-digit mantissa), early LZA.
+    pub const FCS_15_SP: CsFmaFormat = CsFmaFormat {
+        name: "FCS-FMA-SP (15c blocks, early LZA)",
+        block_bits: 15,
+        mant_blocks: 3,
+        left_blocks: 4,
+        right_blocks: 3,
+        carry_spacing: None,
+        normalizer: Normalizer::EarlyLza,
+        b_sig_bits: 24,
+    };
+
+    /// Mantissa width in digits (`block_bits * mant_blocks`): 110 / 116 / 87.
+    pub const fn mant_bits(&self) -> usize {
+        self.block_bits * self.mant_blocks
+    }
+
+    /// Fraction anchor: bit position of the "integer one" of a converted
+    /// IEEE significand. Two's complement sign + one guard bit occupy the
+    /// top (Sec. III-D's 52+1+1+1 = 55 counting), so the anchor sits three
+    /// below the mantissa MSB.
+    pub const fn frac_bits(&self) -> usize {
+        self.mant_bits() - 3
+    }
+
+    /// Width of the product `B_M * C_M` in digits.
+    pub const fn product_bits(&self) -> usize {
+        self.mant_bits() + self.b_sig_bits
+    }
+
+    /// Blocks the product spans (rounded up).
+    pub const fn product_blocks(&self) -> usize {
+        self.product_bits().div_ceil(self.block_bits)
+    }
+
+    /// Total window blocks: left headroom + product + right headroom
+    /// (7 for PCS, 13 for FCS).
+    pub const fn window_blocks(&self) -> usize {
+        self.left_blocks + self.product_blocks() + self.right_blocks
+    }
+
+    /// Window width in digits (385 for PCS-55, 377 for FCS-29).
+    pub const fn window_bits(&self) -> usize {
+        self.window_blocks() * self.block_bits
+    }
+
+    /// Result-mux ways (`window_blocks - mant_blocks + 1`): 6:1 for PCS,
+    /// 11:1 for FCS (Fig. 7 / Sec. III-H).
+    pub const fn mux_ways(&self) -> usize {
+        self.window_blocks() - self.mant_blocks + 1
+    }
+
+    /// Storage bits of one operand as packed for transport: mantissa sum +
+    /// explicit carries + rounding block (sum + carries) + 12b exponent.
+    /// 192 bits for the PCS format (Sec. III-F).
+    pub fn operand_bits(&self) -> usize {
+        let m = self.mant_bits();
+        let r = self.block_bits;
+        let (mc, rc) = match self.carry_spacing {
+            Some(k) => (m / k, r / k),
+            // full carry-save: a carry bit per digit
+            None => (m, r),
+        };
+        m + mc + r + rc + 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcs_matches_paper_dimensions() {
+        let f = CsFmaFormat::PCS_55_ZD;
+        assert_eq!(f.mant_bits(), 110);
+        assert_eq!(f.product_bits(), 163);
+        assert_eq!(f.product_blocks(), 3);
+        assert_eq!(f.window_blocks(), 7);
+        assert_eq!(f.window_bits(), 385);
+        assert_eq!(f.mux_ways(), 6);
+        // Sec. III-F: A, C and the result are 192b words
+        assert_eq!(f.operand_bits(), 192);
+    }
+
+    #[test]
+    fn fcs_matches_paper_dimensions() {
+        let f = CsFmaFormat::FCS_29_LZA;
+        assert_eq!(f.mant_bits(), 87);
+        assert_eq!(f.product_blocks(), 5); // "the multiplication yields a five block wide result"
+        assert_eq!(f.window_blocks(), 13);
+        assert_eq!(f.window_bits(), 377);
+        assert_eq!(f.mux_ways(), 11);
+    }
+
+    #[test]
+    fn single_precision_instances() {
+        let sp = CsFmaFormat::PCS_27_SP;
+        assert_eq!(sp.mant_bits(), 54);
+        assert!(sp.mant_bits() >= 24 + 3, "covers the binary32 significand + guards");
+        assert_eq!(sp.window_bits() % sp.block_bits, 0);
+        let fsp = CsFmaFormat::FCS_15_SP;
+        assert_eq!(fsp.mant_bits(), 45);
+        assert!(fsp.operand_bits() < CsFmaFormat::FCS_29_LZA.operand_bits());
+    }
+
+    #[test]
+    fn lza_variant_is_wider() {
+        let f = CsFmaFormat::PCS_58_LZA;
+        assert_eq!(f.mant_bits(), 116);
+        assert_eq!(f.block_bits - CsFmaFormat::PCS_55_ZD.block_bits, 3); // the 3-bit slack
+    }
+}

@@ -1,0 +1,314 @@
+//! Operands of the carry-save FMA units (Figs. 8 / 9 / 11).
+//!
+//! A [`CsOperand`] is what travels between chained FMA operators on the
+//! critical path: an *unrounded*, *non-normalized* two's-complement
+//! mantissa in (partial) carry-save form, one block of rounding data, and
+//! a 12-bit excess-2047 exponent, with the exception class on separate
+//! wires. For the PCS format this packs into the paper's 192-bit word.
+//!
+//! ## Value semantics
+//!
+//! For a finite operand:
+//!
+//! ```text
+//! value = ( sext(mant.sum) + sext(mant.carry)
+//!           + (round.sum + round.carry) / 2^block_bits )
+//!         * 2^(exp - frac_bits)
+//! ```
+//!
+//! i.e. the mantissa is the *signed sum of its two words* — exactly how
+//! the datapath consumes it (the multiplier and the aligner sign-extend
+//! each word separately) — and the rounding block is an unsigned fraction
+//! one block below it. `frac_bits = mant_bits - 3` anchors a converted
+//! IEEE significand three positions below the mantissa MSB (sign + guard +
+//! integer bit, Sec. III-D).
+
+use crate::format::CsFmaFormat;
+use csfma_bits::Bits;
+use csfma_carrysave::CsNumber;
+use csfma_softfloat::{ExactFloat, FpClass, FpFormat, Round, SoftFloat};
+use csfma_units::exponent::BiasedExp;
+
+/// A number in a carry-save FMA transport format.
+#[derive(Clone, Debug)]
+pub struct CsOperand {
+    format: CsFmaFormat,
+    class: FpClass,
+    sign_hint: bool,
+    mant: CsNumber,
+    round: CsNumber,
+    exp: BiasedExp,
+}
+
+impl CsOperand {
+    /// Exact zero (class wire `Zero`, empty mantissa).
+    pub fn zero(format: CsFmaFormat, sign: bool) -> Self {
+        CsOperand {
+            format,
+            class: FpClass::Zero,
+            sign_hint: sign,
+            mant: CsNumber::zero(format.mant_bits()),
+            round: CsNumber::zero(format.block_bits),
+            exp: BiasedExp::from_unbiased(0),
+        }
+    }
+
+    /// Signed infinity (class wire only).
+    pub fn inf(format: CsFmaFormat, sign: bool) -> Self {
+        let mut v = Self::zero(format, sign);
+        v.class = FpClass::Inf;
+        v
+    }
+
+    /// NaN (class wire only).
+    pub fn nan(format: CsFmaFormat) -> Self {
+        let mut v = Self::zero(format, false);
+        v.class = FpClass::Nan;
+        v
+    }
+
+    /// Assemble from raw parts (used by the FMA unit's output stage).
+    pub(crate) fn from_raw(
+        format: CsFmaFormat,
+        class: FpClass,
+        sign_hint: bool,
+        mant: CsNumber,
+        round: CsNumber,
+        exp: BiasedExp,
+    ) -> Self {
+        debug_assert_eq!(mant.width(), format.mant_bits());
+        debug_assert_eq!(round.width(), format.block_bits);
+        CsOperand { format, class, sign_hint, mant, round, exp }
+    }
+
+    /// Convert an IEEE-style [`SoftFloat`] into the transport format —
+    /// the `IEEE 754 → CS` conversion box the HLS pass inserts (Fig. 12).
+    ///
+    /// The significand (with its implied one) lands with its integer bit
+    /// at `frac_bits`; negative numbers are two's-complemented. This is
+    /// pure wiring plus one optional negation — the cheap direction.
+    pub fn from_ieee(value: &SoftFloat, format: CsFmaFormat) -> Self {
+        match value.class() {
+            FpClass::Zero => CsOperand::zero(format, value.sign()),
+            FpClass::Inf => CsOperand::inf(format, value.sign()),
+            FpClass::Nan => CsOperand::nan(format),
+            FpClass::Normal => {
+                let m = format.mant_bits();
+                let shift = format.frac_bits() - value.format().frac_bits as usize;
+                let mut mant_bits =
+                    Bits::from_u64(m, value.significand()).shl(shift);
+                if value.sign() {
+                    mant_bits = mant_bits.wrapping_neg();
+                }
+                CsOperand {
+                    format,
+                    class: FpClass::Normal,
+                    sign_hint: value.sign(),
+                    mant: CsNumber::from_binary(mant_bits),
+                    round: CsNumber::zero(format.block_bits),
+                    exp: BiasedExp::from_unbiased(value.exp()),
+                }
+            }
+        }
+    }
+
+    /// Convenience: convert a host double straight into the transport
+    /// format (binary64 on the `B`-side semantics).
+    pub fn from_f64(value: f64, format: CsFmaFormat) -> Self {
+        Self::from_ieee(&SoftFloat::from_f64(FpFormat::BINARY64, value), format)
+    }
+
+    /// Convert back to an IEEE-style format — the `CS → IEEE 754` box:
+    /// resolve the carries, detect the sign, normalize at single-bit
+    /// granularity and round. This is the expensive direction the fusion
+    /// pass tries to keep off the critical path.
+    pub fn to_ieee(&self, target: FpFormat, mode: Round) -> SoftFloat {
+        match self.class {
+            FpClass::Zero => SoftFloat::zero(target, self.sign_hint),
+            FpClass::Inf => SoftFloat::inf(target, self.sign_hint),
+            FpClass::Nan => SoftFloat::nan(target),
+            FpClass::Normal => {
+                let e = self.exact_value();
+                if e.is_zero() {
+                    return SoftFloat::zero(target, false);
+                }
+                SoftFloat::from_rounded(target, e.round(target, mode))
+            }
+        }
+    }
+
+    /// The exact real value this operand denotes (mantissa and rounding
+    /// block resolved jointly, so no inter-slice carry is lost).
+    ///
+    /// # Panics
+    /// On Inf/NaN.
+    pub fn exact_value(&self) -> ExactFloat {
+        match self.class {
+            FpClass::Zero => {
+                let z = ExactFloat::zero();
+                if self.sign_hint {
+                    z.neg()
+                } else {
+                    z
+                }
+            }
+            FpClass::Normal => {
+                let bb = self.format.block_bits;
+                let w = self.mant.width() + bb + 2;
+                // signed two-word sum of the mantissa, unsigned fragment below
+                let mant_val = self.mant.resolve_signed_extended().sext(w).shl(bb);
+                let round_val = self.round.resolve_extended().zext(w);
+                let total = mant_val.wrapping_add(&round_val);
+                let sign = total.sign_bit();
+                let mag = if sign {
+                    total.wrapping_neg().zext(w + 1)
+                } else {
+                    total.zext(w + 1)
+                };
+                let scale = self.exp.unbiased() as i64
+                    - self.format.frac_bits() as i64
+                    - bb as i64;
+                ExactFloat::from_parts(sign, mag, scale)
+            }
+            _ => panic!("exact_value on {:?}", self.class),
+        }
+    }
+
+    /// Transport format of this operand.
+    pub fn format(&self) -> &CsFmaFormat {
+        &self.format
+    }
+
+    /// Exception class (separate wires, FloPoCo-style).
+    pub fn class(&self) -> FpClass {
+        self.class
+    }
+
+    /// Mantissa (two's complement CS, `mant_bits` wide).
+    pub fn mant(&self) -> &CsNumber {
+        &self.mant
+    }
+
+    /// Rounding-data block (`block_bits` wide).
+    pub fn round(&self) -> &CsNumber {
+        &self.round
+    }
+
+    /// 12-bit excess-2047 exponent.
+    pub fn exp(&self) -> BiasedExp {
+        self.exp
+    }
+
+    /// Sign hint used for the zero/inf classes (the numeric sign of a
+    /// normal operand lives in the two's-complement mantissa).
+    pub fn sign_hint(&self) -> bool {
+        self.sign_hint
+    }
+
+    /// Check the PCS carry-sparsity invariant: for `carry_spacing =
+    /// Some(k)`, explicit carries may only sit at positions ≡ 0 (mod k)
+    /// of the mantissa and rounding words.
+    pub fn spacing_holds(&self) -> bool {
+        let Some(k) = self.format.carry_spacing else {
+            return true;
+        };
+        let check = |w: &CsNumber| (0..w.width()).all(|p| !w.carry().bit(p) || p % k == 0);
+        check(&self.mant) && check(&self.round)
+    }
+
+    /// Pack into the transport word (mantissa sum, sparse carry bits,
+    /// rounding sum, sparse rounding carries, 12-bit exponent) — the
+    /// register image used for switching-activity accounting. Width is
+    /// [`CsFmaFormat::operand_bits`] (192 for PCS).
+    pub fn pack(&self) -> Bits {
+        let gather = |word: &CsNumber, step: usize| -> Bits {
+            let n = word.width() / step;
+            let mut out = Bits::zero(n.max(1));
+            for i in 0..n {
+                if word.carry().bit(i * step) {
+                    out.set_bit(i, true);
+                }
+            }
+            out
+        };
+        let step = self.format.carry_spacing.unwrap_or(1);
+        let exp = Bits::from_u64(12, self.exp.field() as u64);
+        let mut packed = self.mant.sum().clone();
+        packed = packed.concat(&gather(&self.mant, step));
+        packed = packed.concat(self.round.sum());
+        packed = packed.concat(&gather(&self.round, step));
+        packed = packed.concat(&exp);
+        packed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: CsFmaFormat = CsFmaFormat::PCS_55_ZD;
+
+    #[test]
+    fn ieee_roundtrip_exact() {
+        for v in [1.0, -2.5, 0.1, 6.02e23, -3.3e-200, 1.0 / 3.0] {
+            let sf = SoftFloat::from_f64(FpFormat::BINARY64, v);
+            let op = CsOperand::from_ieee(&sf, F);
+            assert!(op.spacing_holds());
+            let back = op.to_ieee(FpFormat::BINARY64, Round::NearestEven);
+            assert_eq!(back.to_f64(), v, "roundtrip of {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_formats() {
+        for f in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
+            let sf = SoftFloat::from_f64(FpFormat::BINARY64, -0.7853981633974483);
+            let op = CsOperand::from_ieee(&sf, f);
+            assert_eq!(op.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), sf.to_f64());
+        }
+    }
+
+    #[test]
+    fn specials_travel_on_class_wires() {
+        let nan = CsOperand::from_ieee(&SoftFloat::nan(FpFormat::BINARY64), F);
+        assert!(nan.to_ieee(FpFormat::BINARY64, Round::NearestEven).is_nan());
+        let inf = CsOperand::from_ieee(&SoftFloat::inf(FpFormat::BINARY64, true), F);
+        let b = inf.to_ieee(FpFormat::BINARY64, Round::NearestEven);
+        assert!(b.is_inf() && b.sign());
+        let z = CsOperand::from_ieee(&SoftFloat::zero(FpFormat::BINARY64, true), F);
+        assert!(z.to_ieee(FpFormat::BINARY64, Round::NearestEven).is_zero());
+    }
+
+    #[test]
+    fn exact_value_matches_ieee() {
+        let sf = SoftFloat::from_f64(FpFormat::BINARY64, 2.75);
+        let op = CsOperand::from_ieee(&sf, F);
+        assert!(op.exact_value().sub(&sf.to_exact()).is_zero());
+        let neg = CsOperand::from_ieee(&sf.neg(), F);
+        assert!(neg.exact_value().sub(&sf.to_exact().neg()).is_zero());
+    }
+
+    #[test]
+    fn pack_width_is_192_for_pcs() {
+        let op = CsOperand::from_ieee(&SoftFloat::one(FpFormat::BINARY64), F);
+        assert_eq!(op.pack().width(), 192);
+    }
+
+    #[test]
+    fn wide_exponent_survives_transport() {
+        // an intermediate exponent beyond IEEE 754's range stays exact in
+        // the operand and only clamps at the final conversion
+        let op = CsOperand::from_raw(
+            F,
+            FpClass::Normal,
+            false,
+            CsNumber::from_binary(Bits::one_hot(110, 107)),
+            CsNumber::zero(55),
+            BiasedExp::from_unbiased(1500),
+        );
+        let back = op.to_ieee(FpFormat::BINARY64, Round::NearestEven);
+        assert!(back.is_inf()); // clamped only here
+        let e = op.exact_value();
+        assert_eq!(e.msb_exp(), 1500); // exact inside the chain
+    }
+}

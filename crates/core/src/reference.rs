@@ -1,0 +1,85 @@
+//! Exact reference computations and error metrics for the accuracy
+//! evaluation (Sec. IV-B, Fig. 14).
+
+use csfma_softfloat::{ExactFloat, SoftFloat};
+
+/// The exact (error-free) value of `a + b * c`.
+///
+/// # Panics
+/// If any operand is Inf/NaN.
+pub fn exact_fma(a: &SoftFloat, b: &SoftFloat, c: &SoftFloat) -> ExactFloat {
+    b.to_exact().mul(&c.to_exact()).add(&a.to_exact())
+}
+
+/// Error of `result` against the exact `reference`, expressed in units in
+/// the last place of a binary64 mantissa *at the reference's magnitude*
+/// (i.e. `|result - reference| / 2^(msb(reference) - 52)`).
+///
+/// This is the metric behind the paper's "average mantissa error": an
+/// IEEE-correctly-rounded double has error ≤ 0.5 by construction, so any
+/// unit scoring below that on average is "exceeding double precision".
+/// Returns 0 when both are exactly zero and `f64::INFINITY` when the
+/// reference is zero but the result is not.
+pub fn ulp_error_vs_exact(result: &ExactFloat, reference: &ExactFloat) -> f64 {
+    let diff = result.sub(reference);
+    if diff.is_zero() {
+        return 0.0;
+    }
+    if reference.is_zero() {
+        return f64::INFINITY;
+    }
+    let ulp_exp = reference.msb_exp() - 52;
+    let err = diff.msb_exp() - ulp_exp;
+    // |diff| in [2^e, 2^(e+1)) -> between 2^(e-ulp) and 2^(e-ulp+1) ulps;
+    // refine with the lossy mantissa for a smooth metric
+    let lead = diff.to_f64_lossy().abs();
+    let scale = reference.to_f64_lossy().abs();
+    if scale.is_finite() && scale > 0.0 && lead.is_finite() {
+        let r = lead / scale * 2f64.powi(52);
+        if r.is_finite() {
+            return r;
+        }
+    }
+    2f64.powi(err.clamp(-1000, 1000) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csfma_softfloat::FpFormat;
+
+    fn sf(v: f64) -> SoftFloat {
+        SoftFloat::from_f64(FpFormat::BINARY64, v)
+    }
+
+    #[test]
+    fn exact_fma_is_exact() {
+        let e = exact_fma(&sf(1.0), &sf(3.0), &sf(1.0 / 3.0));
+        // 3 * nearest(1/3) + 1 = 1 + 3*nearest(1/3), not exactly 2
+        let host = 3.0f64.mul_add(1.0 / 3.0, 1.0);
+        assert!((e.to_f64_lossy() - host).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_error_for_exact_result() {
+        let r = sf(2.0).to_exact();
+        assert_eq!(ulp_error_vs_exact(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn half_ulp_for_correct_rounding() {
+        // reference = 1 + 2^-53 (a binary64 tie); rounded result = 1.0
+        let reference = ExactFloat::from_u128(false, (1u128 << 53) + 1, -53);
+        let rounded = sf(1.0).to_exact();
+        let e = ulp_error_vs_exact(&rounded, &reference);
+        assert!((e - 0.5).abs() < 1e-9, "expected ~0.5 ulp, got {e}");
+    }
+
+    #[test]
+    fn one_ulp_detected() {
+        let reference = sf(1.0).to_exact();
+        let off = ExactFloat::from_u128(false, (1u128 << 52) + 1, -52);
+        let e = ulp_error_vs_exact(&off, &reference);
+        assert!((e - 1.0).abs() < 1e-9, "expected ~1 ulp, got {e}");
+    }
+}

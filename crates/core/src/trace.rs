@@ -1,0 +1,52 @@
+//! Switching-activity capture for the energy model (Table II).
+//!
+//! The paper measured energy with XPower from the switching activity of a
+//! post-layout simulation. Our substitute records the value of every named
+//! datapath net during behavioral evaluation; `csfma-fabric` replays a
+//! workload, counts bit toggles between consecutive operations per net,
+//! and converts them to energy with per-resource coefficients.
+
+use csfma_bits::Bits;
+
+/// Receives the value appearing on a named net during one evaluation.
+pub trait TraceSink {
+    /// Record that `net` carried `value` in this operation.
+    fn record(&mut self, net: &'static str, value: &Bits);
+}
+
+/// Discards everything (the default for plain computation).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NopSink;
+
+impl TraceSink for NopSink {
+    #[inline]
+    fn record(&mut self, _net: &'static str, _value: &Bits) {}
+}
+
+/// Collects `(net, value)` pairs in order.
+#[derive(Default, Clone, Debug)]
+pub struct VecSink {
+    /// Recorded values in evaluation order.
+    pub events: Vec<(&'static str, Bits)>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, net: &'static str, value: &Bits) {
+        self.events.push((net, value.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut s = VecSink::default();
+        s.record("a", &Bits::from_u64(4, 1));
+        s.record("b", &Bits::from_u64(4, 2));
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].0, "a");
+        assert_eq!(s.events[1].1.to_u64(), 2);
+    }
+}

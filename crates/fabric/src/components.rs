@@ -1,0 +1,204 @@
+//! Primitive datapath components with delay and area functions.
+
+use crate::virtex6::Virtex6;
+use csfma_carrysave::reduction_depth_3_2;
+
+/// Area of a component, in the units Table I reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Area {
+    /// 6-input LUTs.
+    pub luts: usize,
+    /// DSP48E1 blocks.
+    pub dsps: usize,
+    /// Flip-flops (not in Table I but tracked for the energy model).
+    pub regs: usize,
+}
+
+impl Area {
+    /// Component-wise sum.
+    pub fn plus(self, other: Area) -> Area {
+        Area {
+            luts: self.luts + other.luts,
+            dsps: self.dsps + other.dsps,
+            regs: self.regs + other.regs,
+        }
+    }
+}
+
+/// How a mantissa multiplier maps onto DSP48E1 blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultStyle {
+    /// Vendor-style full tiling of `a x b` into 24x17 tiles plus one
+    /// correction DSP (CoreGen's 13-DSP double multiplier; the PCS unit's
+    /// 110x53 comes out at 21).
+    FullTiling,
+    /// FloPoCo-style truncated tiling \[17\]\[24\]: fewer tiles, LUT
+    /// correction logic (7 DSPs for double precision).
+    Truncated,
+    /// FCS style (Sec. III-H): the carry-save `C` input is pre-added in
+    /// 23-bit chunks by the DSP48E1 pre-adders, each chunk feeding a
+    /// column of `ceil(b/18)` DSPs — 12 for the 87c x 53 case.
+    PreAdded {
+        /// Chunk width handled by one pre-adder (23 bits, Sec. III-H).
+        chunk: usize,
+    },
+}
+
+/// Number of DSP48E1 blocks for an `a_bits x b_bits` multiplier.
+pub fn dsp_count(a_bits: usize, b_bits: usize, style: MultStyle) -> usize {
+    match style {
+        MultStyle::FullTiling => a_bits.div_ceil(24) * b_bits.div_ceil(17) + 1,
+        MultStyle::Truncated => {
+            // keep only the tiles above the truncation line and patch the
+            // rest in LUTs — the 7/12 ratio is calibrated to FloPoCo's
+            // faithfully-rounded 53x53 multiplier (7 DSPs, Table I)
+            let full = a_bits.div_ceil(24) * b_bits.div_ceil(17);
+            (full * 7).div_ceil(12)
+        }
+        MultStyle::PreAdded { chunk } => a_bits.div_ceil(chunk) * b_bits.div_ceil(18),
+    }
+}
+
+/// A primitive component of an operator datapath.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Component {
+    /// Carry-propagating (carry-chain) adder.
+    RippleAdder { width: usize },
+    /// PCS segment adders: `width/segment` independent short adders
+    /// (constant time — this is the Carry Reduce step).
+    SegmentedAdder { width: usize, segment: usize },
+    /// Carry-save compression of `rows` addends at `width` bits.
+    CsaTree { rows: usize, width: usize },
+    /// DSP-based mantissa multiplier producing a CS result.
+    DspMultiplier { a_bits: usize, b_bits: usize, style: MultStyle },
+    /// Variable-distance barrel shifter.
+    Shifter { width: usize, max_distance: usize },
+    /// N-to-1 block multiplexer.
+    BlockMux { ways: usize, width: usize },
+    /// Leading-zero anticipator (parallel prefix over `width` bits).
+    Lza { width: usize },
+    /// Block-granular zero detector over `blocks` blocks with its
+    /// priority chain.
+    ZeroDetector { blocks: usize, block_bits: usize },
+    /// Rounding decision + increment injection.
+    Rounder { width: usize },
+    /// Conditional two's complement.
+    Complement { width: usize },
+    /// Exponent datapath (compare/add/adjust on ~12-bit quantities).
+    ExponentPath,
+    /// Fixed LUT logic of a given depth and size (glue, exception wires).
+    Logic { levels: usize, luts: usize },
+}
+
+impl Component {
+    /// Combinational delay on the device.
+    pub fn delay_ns(&self, v: &Virtex6) -> f64 {
+        match *self {
+            Component::RippleAdder { width } => v.adder_ns(width),
+            Component::SegmentedAdder { segment, .. } => v.adder_ns(segment),
+            Component::CsaTree { rows, width } => {
+                let levels = reduction_depth_3_2(rows.max(2));
+                let route =
+                    width.saturating_sub(v.route_free_bits) as f64 * v.route_per_bit_ns * 0.25;
+                v.logic_ns(levels.max(1)) + route
+            }
+            Component::DspMultiplier { style, .. } => {
+                let pre = match style {
+                    MultStyle::PreAdded { .. } => v.dsp_preadder_ns,
+                    _ => 0.0,
+                };
+                v.dsp_stage_ns + pre
+            }
+            Component::Shifter { width, max_distance } => v.shifter_ns(width, max_distance),
+            Component::BlockMux { ways, width } => {
+                let route =
+                    width.saturating_sub(v.route_free_bits) as f64 * v.route_per_bit_ns * 0.25;
+                v.mux_ns(ways) + route
+            }
+            Component::Lza { width } => {
+                // parallel-prefix: log2 levels over the indicator string
+                let levels = (usize::BITS - width.max(2).leading_zeros()) as usize / 2 + 1;
+                v.logic_ns(levels)
+            }
+            Component::ZeroDetector { blocks, block_bits } => {
+                // per-block digit AND-trees (6-LUT reduction) in parallel,
+                // then a priority chain across blocks (the part early LZA
+                // removes from the critical path)
+                let mut tree = 1;
+                let mut cap = 6usize;
+                while cap < block_bits {
+                    cap *= 6;
+                    tree += 1;
+                }
+                v.logic_ns(tree + blocks.div_ceil(4))
+            }
+            Component::Rounder { width } => v.adder_ns(width.min(64)) * 0.5 + v.logic_ns(1),
+            Component::Complement { width } => v.adder_ns(width),
+            Component::ExponentPath => v.adder_ns(13),
+            Component::Logic { levels, .. } => v.logic_ns(levels),
+        }
+    }
+
+    /// Silicon area.
+    pub fn area(&self) -> Area {
+        let a = |luts: usize| Area { luts, dsps: 0, regs: 0 };
+        match *self {
+            Component::RippleAdder { width } => a(width),
+            Component::SegmentedAdder { width, .. } => a(width),
+            Component::CsaTree { rows, width } => a(width * rows.saturating_sub(2).max(1)),
+            Component::DspMultiplier { a_bits, b_bits, style } => Area {
+                // LUT glue for partial-product alignment & recombination
+                luts: (a_bits + b_bits) * 2,
+                dsps: dsp_count(a_bits, b_bits, style),
+                regs: 0,
+            },
+            Component::Shifter { width, max_distance } => {
+                let dist_bits = (usize::BITS - max_distance.max(1).leading_zeros()) as usize;
+                a(width * dist_bits.div_ceil(2))
+            }
+            Component::BlockMux { ways, width } => a(width * ways.div_ceil(3)),
+            Component::Lza { width } => a(width * 2),
+            Component::ZeroDetector { blocks, block_bits } => a(blocks * block_bits / 2),
+            Component::Rounder { width } => a(width),
+            Component::Complement { width } => a(width),
+            Component::ExponentPath => a(26),
+            Component::Logic { luts, .. } => a(luts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsp_tiling_matches_table1() {
+        // CoreGen double-precision multiplier: 13 DSP48E1s
+        assert_eq!(dsp_count(53, 53, MultStyle::FullTiling), 13);
+        // PCS-FMA 110x53 multiplier: 21 DSPs (Table I)
+        assert_eq!(dsp_count(110, 53, MultStyle::FullTiling), 21);
+        // FCS-FMA with 23b pre-adder chunks on the 87c mantissa: 12 DSPs
+        assert_eq!(dsp_count(87, 53, MultStyle::PreAdded { chunk: 23 }), 12);
+        // FloPoCo truncated double multiplier: 7 DSPs
+        assert_eq!(dsp_count(53, 53, MultStyle::Truncated), 7);
+    }
+
+    #[test]
+    fn component_delays_ordered() {
+        let v = Virtex6::SPEED_GRADE_1;
+        let wide = Component::RippleAdder { width: 385 }.delay_ns(&v);
+        let seg = Component::SegmentedAdder { width: 385, segment: 11 }.delay_ns(&v);
+        assert!(seg < 2.0 && wide > 8.0, "segmenting must break the carry chain");
+        let shifter = Component::Shifter { width: 162, max_distance: 162 }.delay_ns(&v);
+        let mux = Component::BlockMux { ways: 6, width: 110 }.delay_ns(&v);
+        assert!(mux < shifter, "Fig. 7: block mux replaces the slow shifter");
+    }
+
+    #[test]
+    fn areas_accumulate() {
+        let t = Component::CsaTree { rows: 106, width: 163 }.area();
+        assert!(t.luts > 5000, "the big CSA trees dominate LUT count: {}", t.luts);
+        let sum = t.plus(Component::ExponentPath.area());
+        assert_eq!(sum.luts, t.luts + 26);
+    }
+}

@@ -1,0 +1,457 @@
+//! Structural descriptions of the four evaluated operator implementations
+//! (Table I rows), each as a critical-path component chain plus the
+//! blocks that run beside it.
+
+use crate::components::{Component as C, MultStyle};
+use crate::pipeline::{pipeline_fixed, PipelineResult};
+use crate::report::SynthesisReport;
+use crate::virtex6::Virtex6;
+use csfma_core::CsFmaFormat;
+
+/// Which Table I row a design corresponds to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// Xilinx CoreGen discrete multiply + add ("low latency" 5+4 cycles).
+    CoreGen,
+    /// FloPoCo FPPipeline fused multiply-add (11 cycles).
+    FloPoCo,
+    /// The paper's PCS-FMA (Fig. 9, 5 cycles).
+    PcsFma,
+    /// The paper's FCS-FMA (Fig. 11, 3 cycles).
+    FcsFma,
+}
+
+/// A named operator design ready for pipelining.
+#[derive(Clone, Debug)]
+pub struct UnitDesign {
+    /// Table name.
+    pub name: &'static str,
+    /// Row identity.
+    pub kind: UnitKind,
+    /// Components on the register-to-register critical path, in order.
+    pub critical: Vec<C>,
+    /// Components running in parallel (area only).
+    pub parallel: Vec<C>,
+    /// Designer-chosen pipeline depth (Sec. IV-A: vendor configuration /
+    /// manual pipelining).
+    pub cycles: usize,
+}
+
+impl UnitDesign {
+    /// Pipeline on the device and produce the Table I row.
+    pub fn synthesize(&self, v: &Virtex6) -> SynthesisReport {
+        let r: PipelineResult = pipeline_fixed(v, &self.critical, &self.parallel, self.cycles);
+        SynthesisReport {
+            name: self.name,
+            fmax_mhz: r.fmax_mhz,
+            cycles: r.cycles,
+            luts: r.area.luts,
+            dsps: r.area.dsps,
+            regs: r.area.regs,
+            critical_ns: r.critical_ns,
+        }
+    }
+}
+
+/// Xilinx CoreGen: discrete double-precision multiplier (5 cycles) chained
+/// with a discrete adder (4 cycles). Both operators normalize and round.
+pub fn coregen_muladd() -> UnitDesign {
+    UnitDesign {
+        name: "Xilinx CoreGen",
+        kind: UnitKind::CoreGen,
+        critical: vec![
+            // multiplier: operand prep, 3 DSP cascade stages, product add
+            C::Logic { levels: 1, luts: 120 },
+            C::DspMultiplier { a_bits: 53, b_bits: 53, style: MultStyle::FullTiling },
+            C::Logic { levels: 2, luts: 90 },
+            C::RippleAdder { width: 106 },
+            C::Rounder { width: 53 },
+            // adder: swap/align, mantissa add, normalize, round
+            C::Logic { levels: 2, luts: 110 },
+            C::Shifter { width: 57, max_distance: 57 },
+            C::RippleAdder { width: 57 },
+            C::Shifter { width: 57, max_distance: 57 },
+            C::Rounder { width: 53 },
+        ],
+        parallel: vec![C::ExponentPath, C::ExponentPath, C::Logic { levels: 1, luts: 160 }],
+        cycles: 9,
+    }
+}
+
+/// FloPoCo FPPipeline fused multiply-add: truncated DSP multiplier with
+/// LUT correction, one wide merged addition, single normalize/round.
+pub fn flopoco_fused() -> UnitDesign {
+    UnitDesign {
+        name: "FloPoCo FPPipeline",
+        kind: UnitKind::FloPoCo,
+        critical: vec![
+            C::Logic { levels: 2, luts: 60 },
+            C::DspMultiplier { a_bits: 53, b_bits: 53, style: MultStyle::Truncated },
+            // truncation correction logic in LUTs
+            C::CsaTree { rows: 5, width: 66 },
+            C::Shifter { width: 56, max_distance: 56 },
+            // the wide fused addition is the critical component (cf. the
+            // classic FMA's 161b adder, Sec. III-A)
+            C::RippleAdder { width: 161 },
+            C::Complement { width: 110 },
+            C::Shifter { width: 110, max_distance: 110 },
+            C::RippleAdder { width: 56 },
+            C::Rounder { width: 53 },
+        ],
+        parallel: vec![
+            C::Lza { width: 57 },
+            C::ExponentPath,
+            C::Logic { levels: 1, luts: 80 },
+        ],
+        cycles: 11,
+    }
+}
+
+/// The paper's PCS-FMA (Fig. 9): multiplier with integrated rounding,
+/// window compression, Carry Reduce, Zero Detector (critical, Sec. III-F),
+/// 6:1 block mux.
+pub fn pcs_fma() -> UnitDesign {
+    let f = CsFmaFormat::PCS_55_ZD;
+    let w = f.window_bits();
+    UnitDesign {
+        name: "PCS-FMA",
+        kind: UnitKind::PcsFma,
+        critical: vec![
+            C::DspMultiplier { a_bits: f.mant_bits(), b_bits: 53, style: MultStyle::FullTiling },
+            // compress the DSP column outputs + rounding-correction row
+            // (each of the 5 cascaded columns contributes a CS pair)
+            C::CsaTree { rows: 10, width: f.product_bits() },
+            // window compression: product CS + aligned A CS + increment
+            C::CsaTree { rows: 5, width: w },
+            // "the Carry Reduce step is carried out in parallel with ZD,
+            // the latter is now critical" (Sec. III-F)
+            C::ZeroDetector { blocks: f.window_blocks(), block_bits: f.block_bits },
+            // mux moves the result+round CS pair (sum and carry wires)
+            C::BlockMux { ways: f.mux_ways(), width: 2 * (f.mant_bits() + f.block_bits) },
+        ],
+        parallel: vec![
+            C::SegmentedAdder { width: w, segment: 11 },
+            // the aligner shifts the addend's CS pair into the window
+            C::Shifter { width: 2 * f.mant_bits(), max_distance: w - f.mant_bits() },
+            C::Rounder { width: f.block_bits },
+            C::Rounder { width: f.block_bits },
+            C::ExponentPath,
+            C::Logic { levels: 1, luts: 180 },
+        ],
+        cycles: 5,
+    }
+}
+
+/// The paper's FCS-FMA (Fig. 11): DSP pre-adders fold the CS→binary
+/// conversion of `C_M` into the multiplier; no Carry Reduce; early LZA
+/// off the critical path; 11:1 mux.
+pub fn fcs_fma() -> UnitDesign {
+    let f = CsFmaFormat::FCS_29_LZA;
+    let w = f.window_bits();
+    UnitDesign {
+        name: "FCS-FMA",
+        kind: UnitKind::FcsFma,
+        critical: vec![
+            C::DspMultiplier {
+                a_bits: f.mant_bits(),
+                b_bits: 53,
+                style: MultStyle::PreAdded { chunk: 23 },
+            },
+            C::CsaTree { rows: 8, width: f.product_bits() },
+            C::CsaTree { rows: 5, width: w },
+            // the "more complex multiplexer" (11:1 over the CS pair)
+            C::BlockMux { ways: f.mux_ways(), width: 2 * (f.mant_bits() + f.block_bits) },
+        ],
+        parallel: vec![
+            C::Shifter { width: 2 * f.mant_bits(), max_distance: w - f.mant_bits() },
+            C::Lza { width: f.mant_bits() },
+            C::Lza { width: f.mant_bits() },
+            C::Rounder { width: f.block_bits },
+            C::Rounder { width: f.block_bits },
+            C::ExponentPath,
+            C::Logic { levels: 1, luts: 150 },
+        ],
+        cycles: 3,
+    }
+}
+
+/// All four Table I designs in row order.
+///
+/// ```
+/// use csfma_fabric::{all_units, Virtex6};
+/// let reports: Vec<_> = all_units()
+///     .iter()
+///     .map(|u| u.synthesize(&Virtex6::SPEED_GRADE_1))
+///     .collect();
+/// // the FCS-FMA needs only 3 cycles and 12 DSPs (Table I)
+/// assert_eq!((reports[3].cycles, reports[3].dsps), (3, 12));
+/// ```
+pub fn all_units() -> Vec<UnitDesign> {
+    vec![coregen_muladd(), flopoco_fused(), pcs_fma(), fcs_fma()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsp_counts_match_table1() {
+        let v = Virtex6::SPEED_GRADE_1;
+        let reports: Vec<_> = all_units().iter().map(|u| u.synthesize(&v)).collect();
+        assert_eq!(reports[0].dsps, 13, "CoreGen");
+        assert_eq!(reports[1].dsps, 7, "FloPoCo");
+        assert_eq!(reports[2].dsps, 21, "PCS");
+        assert_eq!(reports[3].dsps, 12, "FCS");
+    }
+
+    #[test]
+    fn cycle_counts_match_table1() {
+        let v = Virtex6::SPEED_GRADE_1;
+        let cycles: Vec<_> = all_units().iter().map(|u| u.synthesize(&v).cycles).collect();
+        assert_eq!(cycles, vec![9, 11, 5, 3]);
+    }
+
+    #[test]
+    fn synthesis_calibration_against_table1() {
+        // Every modeled fMax must land within 15% of the paper's
+        // post-layout number, and the orderings must be exact.
+        let v = Virtex6::SPEED_GRADE_1;
+        let paper_fmax = [244.0, 190.0, 231.0, 211.0];
+        let paper_luts = [1253.0, 1508.0, 5832.0, 4685.0];
+        let reports: Vec<_> = all_units().iter().map(|u| u.synthesize(&v)).collect();
+        for (r, (&pf, &pl)) in reports.iter().zip(paper_fmax.iter().zip(paper_luts.iter())) {
+            let fmax_err = (r.fmax_mhz - pf).abs() / pf;
+            assert!(fmax_err < 0.15, "{}: fMax {:.0} vs paper {:.0}", r.name, r.fmax_mhz, pf);
+            let lut_err = (r.luts as f64 - pl).abs() / pl;
+            assert!(lut_err < 0.30, "{}: LUTs {} vs paper {}", r.name, r.luts, pl);
+        }
+        // shape: all units clear 200 MHz except FloPoCo
+        assert!(reports[1].fmax_mhz < 200.0);
+        for i in [0usize, 2, 3] {
+            assert!(reports[i].fmax_mhz >= 200.0, "{}", reports[i].name);
+        }
+        // shape: our units need more LUTs than both competitors
+        assert!(reports[2].luts > reports[0].luts && reports[2].luts > reports[1].luts);
+        assert!(reports[3].luts > reports[0].luts && reports[3].luts > reports[1].luts);
+        // shape: FCS beats PCS in area thanks to the pre-adders
+        assert!(reports[3].luts < reports[2].luts);
+    }
+
+    #[test]
+    fn fig13_latency_ordering() {
+        // Fig. 13: latency = cycles x min clock period; FCS ~2.5x and PCS
+        // ~1.7x faster than the best competitor
+        let v = Virtex6::SPEED_GRADE_1;
+        let lat: Vec<f64> = all_units().iter().map(|u| u.synthesize(&v).latency_ns()).collect();
+        let best_competitor = lat[0].min(lat[1]);
+        let pcs_speedup = best_competitor / lat[2];
+        let fcs_speedup = best_competitor / lat[3];
+        assert!(
+            (1.4..=2.1).contains(&pcs_speedup),
+            "PCS speedup {pcs_speedup:.2} (paper ~1.7x)"
+        );
+        assert!(
+            (2.0..=3.0).contains(&fcs_speedup),
+            "FCS speedup {fcs_speedup:.2} (paper ~2.5x)"
+        );
+    }
+}
+
+/// The CoreGen double-precision multiplier alone (5 cycles) — for
+/// datapath-level area accounting of time-multiplexed operator pools.
+pub fn coregen_multiplier() -> UnitDesign {
+    UnitDesign {
+        name: "CoreGen Mul",
+        kind: UnitKind::CoreGen,
+        critical: vec![
+            C::Logic { levels: 1, luts: 120 },
+            C::DspMultiplier { a_bits: 53, b_bits: 53, style: MultStyle::FullTiling },
+            C::Logic { levels: 2, luts: 90 },
+            C::RippleAdder { width: 106 },
+            C::Rounder { width: 53 },
+        ],
+        parallel: vec![C::ExponentPath, C::Logic { levels: 1, luts: 80 }],
+        cycles: 5,
+    }
+}
+
+/// The CoreGen double-precision adder alone (4 cycles).
+pub fn coregen_adder() -> UnitDesign {
+    UnitDesign {
+        name: "CoreGen Add",
+        kind: UnitKind::CoreGen,
+        critical: vec![
+            C::Logic { levels: 2, luts: 110 },
+            C::Shifter { width: 57, max_distance: 57 },
+            C::RippleAdder { width: 57 },
+            C::Shifter { width: 57, max_distance: 57 },
+            C::Rounder { width: 53 },
+        ],
+        parallel: vec![C::ExponentPath, C::Logic { levels: 1, luts: 80 }],
+        cycles: 4,
+    }
+}
+
+/// The `IEEE 754 → CS` conversion hardware the fusion pass inserts:
+/// widening wiring plus a registered conditional complement (1 cycle).
+pub fn converter_ieee_to_cs(f: &CsFmaFormat) -> UnitDesign {
+    UnitDesign {
+        name: "IEEE->CS",
+        kind: if f.carry_spacing.is_some() { UnitKind::PcsFma } else { UnitKind::FcsFma },
+        critical: vec![C::Complement { width: f.mant_bits() }],
+        parallel: vec![C::ExponentPath],
+        cycles: 1,
+    }
+}
+
+/// The `CS → IEEE 754` conversion: carry resolve, complement, normalize
+/// at bit granularity, round (3 cycles) — the expensive direction.
+pub fn converter_cs_to_ieee(f: &CsFmaFormat) -> UnitDesign {
+    let m = f.mant_bits();
+    UnitDesign {
+        name: "CS->IEEE",
+        kind: if f.carry_spacing.is_some() { UnitKind::PcsFma } else { UnitKind::FcsFma },
+        critical: vec![
+            C::RippleAdder { width: m }, // carry resolve
+            // conditional complement as carry-select logic beside the adder
+            C::Logic { levels: 1, luts: m },
+            C::Shifter { width: m, max_distance: m }, // single-bit normalize
+            C::Rounder { width: 53 },
+        ],
+        parallel: vec![C::Lza { width: m }, C::ExponentPath],
+        cycles: 3,
+    }
+}
+
+#[cfg(test)]
+mod operator_pool_tests {
+    use super::*;
+
+    #[test]
+    fn single_operators_meet_timing() {
+        let v = Virtex6::SPEED_GRADE_1;
+        for u in [coregen_multiplier(), coregen_adder()] {
+            let r = u.synthesize(&v);
+            assert!(r.fmax_mhz >= 200.0, "{}: {:.0}", u.name, r.fmax_mhz);
+        }
+        for f in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+            for u in [converter_ieee_to_cs(&f), converter_cs_to_ieee(&f)] {
+                let r = u.synthesize(&v);
+                assert!(r.fmax_mhz >= 200.0, "{} {}: {:.0}", f.name, u.name, r.fmax_mhz);
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_direction_asymmetry() {
+        // IEEE->CS is nearly free; CS->IEEE pays for resolve+normalize
+        let v = Virtex6::SPEED_GRADE_1;
+        let f = CsFmaFormat::PCS_55_ZD;
+        let i2c = converter_ieee_to_cs(&f).synthesize(&v);
+        let c2i = converter_cs_to_ieee(&f).synthesize(&v);
+        assert!(c2i.luts > 2 * i2c.luts);
+        assert!(c2i.cycles > i2c.cycles);
+    }
+}
+
+/// Derive a unit design *from the format parameters* — the generalization
+/// that makes the model an exploration tool rather than four hard-coded
+/// rows: any `CsFmaFormat` (block size, carry spacing, normalizer, window
+/// geometry) gets a synthesizable component chain built the same way the
+/// paper's two design points were.
+pub fn design_from_format(f: &CsFmaFormat, cycles: usize) -> UnitDesign {
+    use csfma_core::Normalizer;
+    let w = f.window_bits();
+    let full_cs = f.carry_spacing.is_none();
+
+    let mult_style = if full_cs {
+        // pre-adders absorb the CS->binary conversion (Sec. III-H)
+        MultStyle::PreAdded { chunk: 23 }
+    } else {
+        MultStyle::FullTiling
+    };
+    // DSP column outputs: one CS pair per multiplicand tile column
+    let columns = if full_cs { f.mant_bits().div_ceil(23) } else { f.mant_bits().div_ceil(24) };
+    let mut critical = vec![
+        C::DspMultiplier { a_bits: f.mant_bits(), b_bits: f.b_sig_bits, style: mult_style },
+        C::CsaTree { rows: 2 * columns, width: f.product_bits() },
+        C::CsaTree { rows: 5, width: w },
+    ];
+    let mut parallel = vec![
+        C::Shifter { width: 2 * f.mant_bits(), max_distance: w - f.mant_bits() },
+        C::Rounder { width: f.block_bits },
+        C::Rounder { width: f.block_bits },
+        C::ExponentPath,
+        C::Logic { levels: 1, luts: 150 },
+    ];
+    if let Some(k) = f.carry_spacing {
+        // Carry Reduce runs in parallel with the ZD (Sec. III-F)
+        parallel.push(C::SegmentedAdder { width: w, segment: k });
+    }
+    match f.normalizer {
+        Normalizer::ZeroDetect => critical.push(C::ZeroDetector {
+            blocks: f.window_blocks(),
+            block_bits: f.block_bits,
+        }),
+        Normalizer::EarlyLza => {
+            parallel.push(C::Lza { width: f.mant_bits() });
+            parallel.push(C::Lza { width: f.mant_bits() });
+        }
+    }
+    critical.push(C::BlockMux {
+        ways: f.mux_ways(),
+        width: 2 * (f.mant_bits() + f.block_bits),
+    });
+    UnitDesign { name: f.name, kind: UnitKind::PcsFma, critical, parallel, cycles }
+}
+
+#[cfg(test)]
+mod derived_design_tests {
+    use super::*;
+    use csfma_core::Normalizer;
+
+    #[test]
+    fn derived_designs_track_the_hand_built_ones() {
+        // the generator must land near the curated Table I rows
+        let v = Virtex6::SPEED_GRADE_1;
+        let pcs_hand = pcs_fma().synthesize(&v);
+        let pcs_gen = design_from_format(&CsFmaFormat::PCS_55_ZD, 5).synthesize(&v);
+        assert_eq!(pcs_gen.dsps, pcs_hand.dsps);
+        assert!((pcs_gen.fmax_mhz - pcs_hand.fmax_mhz).abs() / pcs_hand.fmax_mhz < 0.10);
+        assert!((pcs_gen.luts as f64 - pcs_hand.luts as f64).abs() / (pcs_hand.luts as f64) < 0.25);
+
+        let fcs_hand = fcs_fma().synthesize(&v);
+        let fcs_gen = design_from_format(&CsFmaFormat::FCS_29_LZA, 3).synthesize(&v);
+        assert_eq!(fcs_gen.dsps, fcs_hand.dsps);
+        assert!((fcs_gen.fmax_mhz - fcs_hand.fmax_mhz).abs() / fcs_hand.fmax_mhz < 0.10);
+    }
+
+    #[test]
+    fn exploration_trends_hold() {
+        let v = Virtex6::SPEED_GRADE_1;
+        // wider blocks shrink the mux but grow the mantissa datapath
+        let mk = |bb: usize, spacing: usize| CsFmaFormat {
+            name: "explore",
+            block_bits: bb,
+            mant_blocks: 2,
+            left_blocks: 2,
+            right_blocks: 2,
+            carry_spacing: Some(spacing),
+            normalizer: Normalizer::ZeroDetect,
+            b_sig_bits: 53,
+        };
+        let narrow = design_from_format(&mk(44, 11), 5).synthesize(&v);
+        let wide = design_from_format(&mk(66, 11), 5).synthesize(&v);
+        assert!(wide.luts > narrow.luts, "wider mantissa costs LUTs");
+        assert!(wide.dsps >= narrow.dsps, "wider C means more DSP tiles");
+        // the early-LZA variant of the same geometry clears a higher fMax
+        // at the same depth (the ZD priority chain leaves the critical path)
+        let zd = design_from_format(&mk(55, 11), 4).synthesize(&v);
+        let lza = design_from_format(
+            &CsFmaFormat { normalizer: Normalizer::EarlyLza, ..mk(55, 11) },
+            4,
+        )
+        .synthesize(&v);
+        assert!(lza.fmax_mhz > zd.fmax_mhz, "{} vs {}", lza.fmax_mhz, zd.fmax_mhz);
+    }
+}

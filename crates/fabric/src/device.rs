@@ -1,0 +1,122 @@
+//! Device capacity check — does a datapath fit the part?
+//!
+//! The paper targets the Virtex-6 family and notes it was "forced to
+//! reduce the mantissa from 116b down to 87b" on the FCS unit "due to
+//! routing difficulties using ISE 14.1 on Virtex-6" — resource pressure
+//! is part of the design story. This module holds the published
+//! capacities of representative family members and computes utilization.
+
+use crate::components::Area;
+
+/// A Virtex-6 family member's usable resources.
+#[derive(Clone, Copy, Debug)]
+pub struct Device {
+    /// Part name.
+    pub name: &'static str,
+    /// 6-input LUTs.
+    pub luts: usize,
+    /// DSP48E1 slices.
+    pub dsps: usize,
+    /// Flip-flops.
+    pub regs: usize,
+}
+
+/// The mid-range part commonly used on ML605 evaluation boards.
+pub const XC6VLX240T: Device = Device {
+    name: "XC6VLX240T",
+    luts: 150_720,
+    dsps: 768,
+    regs: 301_440,
+};
+
+/// A smaller family member.
+pub const XC6VLX75T: Device = Device {
+    name: "XC6VLX75T",
+    luts: 46_560,
+    dsps: 288,
+    regs: 93_120,
+};
+
+/// Utilization of one device by one datapath.
+#[derive(Clone, Copy, Debug)]
+pub struct Utilization {
+    /// LUT share in percent.
+    pub luts_pct: f64,
+    /// DSP share in percent.
+    pub dsps_pct: f64,
+    /// Register share in percent.
+    pub regs_pct: f64,
+}
+
+impl Utilization {
+    /// True when every resource is within the device.
+    pub fn fits(&self) -> bool {
+        self.luts_pct <= 100.0 && self.dsps_pct <= 100.0 && self.regs_pct <= 100.0
+    }
+
+    /// The binding resource share in percent.
+    pub fn bottleneck_pct(&self) -> f64 {
+        self.luts_pct.max(self.dsps_pct).max(self.regs_pct)
+    }
+}
+
+impl Device {
+    /// Compute utilization of this device by an area requirement.
+    pub fn utilization(&self, area: &Area) -> Utilization {
+        Utilization {
+            luts_pct: 100.0 * area.luts as f64 / self.luts as f64,
+            dsps_pct: 100.0 * area.dsps as f64 / self.dsps as f64,
+            regs_pct: 100.0 * area.regs as f64 / self.regs as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::all_units;
+    use crate::virtex6::Virtex6;
+
+    #[test]
+    fn single_units_fit_comfortably() {
+        // every evaluated operator fits even the small family member
+        let v = Virtex6::SPEED_GRADE_1;
+        for u in all_units() {
+            let r = u.synthesize(&v);
+            let area = Area { luts: r.luts, dsps: r.dsps, regs: r.regs };
+            let util = XC6VLX75T.utilization(&area);
+            assert!(util.fits(), "{}: {:.1}%", u.name, util.bottleneck_pct());
+            assert!(util.bottleneck_pct() < 25.0, "{}", u.name);
+        }
+    }
+
+    #[test]
+    fn many_pcs_units_pressure_the_dsps() {
+        // the Sec. IV-D datapaths used up to 39 FMA units; on the LX240T
+        // the PCS unit's 21 DSPs become the binding resource near there
+        let v = Virtex6::SPEED_GRADE_1;
+        let pcs = crate::designs::pcs_fma().synthesize(&v);
+        let one = Area { luts: pcs.luts, dsps: pcs.dsps, regs: pcs.regs };
+        let mut area = Area::default();
+        for _ in 0..39 {
+            area = area.plus(one);
+        }
+        let util = XC6VLX240T.utilization(&area);
+        assert!(util.dsps_pct > 90.0, "39 x 21 DSPs = {:.0}%", util.dsps_pct);
+        // a full 39-unit PCS pool overcommits the LX240T — why the paper
+        // time-multiplexes and fuses only selectively
+        assert!(!util.fits());
+    }
+
+    #[test]
+    fn utilization_math() {
+        let u = XC6VLX240T.utilization(&Area { luts: 15_072, dsps: 384, regs: 0 });
+        assert!((u.luts_pct - 10.0).abs() < 1e-9);
+        assert!((u.dsps_pct - 50.0).abs() < 1e-9);
+        assert_eq!(u.bottleneck_pct(), u.dsps_pct);
+        assert!(u.fits());
+        assert!(!XC6VLX75T
+            .utilization(&Area { luts: 50_000, dsps: 0, regs: 0 })
+            .fits());
+    }
+}

@@ -1,0 +1,40 @@
+//! # csfma-fabric — calibrated Virtex-6 timing / area / energy model
+//!
+//! The paper's synthesis evaluation (Table I, Figs. 13/15, Table II) ran
+//! through Xilinx ISE 14.1 on a Virtex-6 (speed grade -1). No vendor
+//! toolchain exists here, so this crate substitutes a **structural cost
+//! model**: every operator is described as a DAG of primitive components
+//! (ripple/segment adders, CSA trees, DSP48E1 tiles, muxes, shifters,
+//! detectors), each with a delay and area function calibrated against the
+//! anchors the paper itself prints:
+//!
+//! * 5-bit adder 1.650 ns, 11-bit adder 1.742 ns (Sec. III-E),
+//! * 385-bit adder 8.95 ns register-to-register (Sec. III-D),
+//! * CoreGen double ops at 244 MHz (5-cycle mul + 4-cycle add),
+//! * FloPoCo fused pipeline at 190 MHz / 11 cycles,
+//! * the paper's own PCS-FMA (231 MHz / 5) and FCS-FMA (211 MHz / 3).
+//!
+//! A greedy pipeliner cuts each DAG into stages under a target clock
+//! period and reports `{fMax, cycles, LUTs, DSPs}` — the Table I columns.
+//! The energy model (Table II) replays a workload through the behavioral
+//! units, counts per-net bit toggles (the XPower substitute) and weights
+//! them with per-resource-class coefficients.
+
+pub mod components;
+pub mod designs;
+pub mod device;
+pub mod energy;
+pub mod pipeline;
+pub mod report;
+pub mod vcd;
+pub mod virtex6;
+
+pub use designs::{
+    all_units, converter_cs_to_ieee, converter_ieee_to_cs, coregen_adder, coregen_multiplier,
+    design_from_format, fcs_fma, pcs_fma,
+    UnitDesign, UnitKind,
+};
+pub use device::{Device, Utilization, XC6VLX240T, XC6VLX75T};
+pub use pipeline::{pipeline_design, PipelineResult};
+pub use report::SynthesisReport;
+pub use virtex6::Virtex6;

@@ -1,0 +1,253 @@
+//! Greedy retiming of a component chain into pipeline stages.
+//!
+//! The paper's units were "manually pipelined to 200 MHz operation"
+//! (Sec. IV-A); this module automates exactly that: walk the operator's
+//! critical-path component chain, accumulate combinational delay, and cut
+//! a register stage whenever the next component would exceed the target
+//! period. `fMax` is then set by the slowest stage.
+
+use crate::components::{Area, Component};
+use crate::virtex6::Virtex6;
+
+/// One pipelined operator implementation.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Number of pipeline stages (= operator latency in cycles).
+    pub cycles: usize,
+    /// Slowest stage delay including register overhead, in ns.
+    pub critical_ns: f64,
+    /// Achievable clock in MHz.
+    pub fmax_mhz: f64,
+    /// Combinational area of all components.
+    pub area: Area,
+    /// Per-stage combinational delays (diagnostics).
+    pub stage_ns: Vec<f64>,
+}
+
+/// Pipeline the given critical-path component chain for `target_mhz`.
+///
+/// `parallel` components (off the critical path — e.g. the exponent
+/// datapath, the LZA running beside the adder) contribute area but not
+/// stage delay, exactly like their hardware counterparts.
+pub fn pipeline_design(
+    v: &Virtex6,
+    critical_chain: &[Component],
+    parallel: &[Component],
+    target_mhz: f64,
+) -> PipelineResult {
+    let period = 1000.0 / target_mhz;
+    let budget = (period - v.reg_overhead_ns).max(0.1);
+
+    let mut stages: Vec<f64> = Vec::new();
+    let mut current = 0.0f64;
+    for comp in critical_chain {
+        let d = comp.delay_ns(v);
+        if current > 0.0 && current + d > budget {
+            stages.push(current);
+            current = 0.0;
+        }
+        current += d;
+    }
+    if current > 0.0 || stages.is_empty() {
+        stages.push(current);
+    }
+
+    let worst = stages.iter().cloned().fold(0.0f64, f64::max) + v.reg_overhead_ns;
+    let mut area = Area::default();
+    for c in critical_chain.iter().chain(parallel) {
+        area = area.plus(c.area());
+    }
+    // pipeline registers: one full-width rank per cut (approximated by the
+    // widest component)
+    let width_proxy = critical_chain
+        .iter()
+        .map(|c| c.area().luts)
+        .max()
+        .unwrap_or(0);
+    area.regs += stages.len().saturating_sub(1) * width_proxy.min(512);
+
+    PipelineResult {
+        cycles: stages.len(),
+        critical_ns: worst,
+        fmax_mhz: 1000.0 / worst,
+        area,
+        stage_ns: stages,
+    }
+}
+
+/// Pipeline the chain into exactly `cycles` balanced stages — the
+/// "manually pipelined" mode of Sec. IV-A (vendor cores and the paper's
+/// own units come with designer-chosen latencies). Uses the optimal
+/// linear-partition DP: contiguous components, minimize the largest stage.
+pub fn pipeline_fixed(
+    v: &Virtex6,
+    critical_chain: &[Component],
+    parallel: &[Component],
+    cycles: usize,
+) -> PipelineResult {
+    assert!(cycles >= 1);
+    let delays: Vec<f64> = critical_chain.iter().map(|c| c.delay_ns(v)).collect();
+    let n = delays.len();
+    let k = cycles.min(n.max(1));
+
+    // prefix sums + DP over (items, stages)
+    let mut prefix = vec![0.0f64; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i] + delays[i];
+    }
+    let seg = |i: usize, j: usize| prefix[j] - prefix[i];
+    let mut dp = vec![vec![f64::INFINITY; k + 1]; n + 1];
+    let mut cut = vec![vec![0usize; k + 1]; n + 1];
+    dp[0][0] = 0.0;
+    for j in 1..=k {
+        for i in j..=n {
+            for p in (j - 1)..i {
+                let cand = dp[p][j - 1].max(seg(p, i));
+                if cand < dp[i][j] {
+                    dp[i][j] = cand;
+                    cut[i][j] = p;
+                }
+            }
+        }
+    }
+    // recover stage delays
+    let mut stages = Vec::with_capacity(k);
+    let mut i = n;
+    for j in (1..=k).rev() {
+        let p = cut[i][j];
+        stages.push(seg(p, i));
+        i = p;
+    }
+    stages.reverse();
+    if stages.is_empty() {
+        stages.push(0.0);
+    }
+
+    let worst = stages.iter().cloned().fold(0.0f64, f64::max) + v.reg_overhead_ns;
+    let mut area = Area::default();
+    for c in critical_chain.iter().chain(parallel) {
+        area = area.plus(c.area());
+    }
+    let width_proxy = critical_chain.iter().map(|c| c.area().luts).max().unwrap_or(0);
+    area.regs += cycles.saturating_sub(1) * width_proxy.min(512);
+
+    PipelineResult {
+        cycles,
+        critical_ns: worst,
+        fmax_mhz: 1000.0 / worst,
+        area,
+        stage_ns: stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::Component as C;
+
+    const V: Virtex6 = Virtex6::SPEED_GRADE_1;
+
+    #[test]
+    fn single_fast_component_is_one_stage() {
+        let r = pipeline_design(&V, &[C::RippleAdder { width: 11 }], &[], 200.0);
+        assert_eq!(r.cycles, 1);
+        assert!(r.fmax_mhz > 200.0);
+    }
+
+    #[test]
+    fn long_chain_gets_cut() {
+        let chain = vec![
+            C::RippleAdder { width: 64 },
+            C::RippleAdder { width: 64 },
+            C::RippleAdder { width: 64 },
+            C::RippleAdder { width: 64 },
+        ];
+        let r = pipeline_design(&V, &chain, &[], 200.0);
+        assert!(r.cycles >= 3, "4 x 2.55ns does not fit two 5ns stages: {}", r.cycles);
+        assert!(r.fmax_mhz >= 200.0);
+    }
+
+    #[test]
+    fn slow_monolith_limits_fmax() {
+        // a single 385b adder cannot be cut: fMax ends up well under 200
+        let r = pipeline_design(&V, &[C::RippleAdder { width: 385 }], &[], 200.0);
+        assert_eq!(r.cycles, 1);
+        assert!(r.fmax_mhz < 120.0);
+    }
+
+    #[test]
+    fn fixed_partition_is_balanced() {
+        let chain = vec![
+            C::RippleAdder { width: 32 },
+            C::RippleAdder { width: 32 },
+            C::RippleAdder { width: 32 },
+            C::RippleAdder { width: 32 },
+        ];
+        let r = pipeline_fixed(&V, &chain, &[], 2);
+        assert_eq!(r.cycles, 2);
+        // optimal 2-partition of 4 equal items: 2 + 2
+        let d = C::RippleAdder { width: 32 }.delay_ns(&V);
+        assert!((r.stage_ns[0] - 2.0 * d).abs() < 1e-9);
+        assert!((r.stage_ns[1] - 2.0 * d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_more_stages_never_slower() {
+        let chain = vec![
+            C::DspMultiplier { a_bits: 53, b_bits: 53, style: crate::components::MultStyle::FullTiling },
+            C::RippleAdder { width: 106 },
+            C::RippleAdder { width: 57 },
+        ];
+        let r2 = pipeline_fixed(&V, &chain, &[], 2);
+        let r3 = pipeline_fixed(&V, &chain, &[], 3);
+        assert!(r3.fmax_mhz >= r2.fmax_mhz);
+    }
+
+    #[test]
+    fn stage_delays_partition_the_total() {
+        // for both pipelining modes: stage delays sum to the chain total
+        let chain = vec![
+            C::RippleAdder { width: 32 },
+            C::Shifter { width: 57, max_distance: 57 },
+            C::RippleAdder { width: 106 },
+            C::Rounder { width: 53 },
+        ];
+        let total: f64 = chain.iter().map(|c| c.delay_ns(&V)).sum();
+        for r in [pipeline_design(&V, &chain, &[], 200.0), pipeline_fixed(&V, &chain, &[], 3)] {
+            let sum: f64 = r.stage_ns.iter().sum();
+            assert!((sum - total).abs() < 1e-9, "{sum} vs {total}");
+            // the worst stage is at least the average
+            let worst = r.stage_ns.iter().cloned().fold(0.0, f64::max);
+            assert!(worst + 1e-9 >= total / r.stage_ns.len() as f64);
+        }
+    }
+
+    #[test]
+    fn fixed_is_optimal_partition() {
+        // DP result must never be worse than the greedy cut at the same
+        // stage count
+        let chain = vec![
+            C::RippleAdder { width: 64 },
+            C::Logic { levels: 3, luts: 10 },
+            C::RippleAdder { width: 96 },
+            C::Logic { levels: 1, luts: 10 },
+            C::RippleAdder { width: 32 },
+        ];
+        let greedy = pipeline_design(&V, &chain, &[], 220.0);
+        let fixed = pipeline_fixed(&V, &chain, &[], greedy.cycles);
+        assert!(fixed.critical_ns <= greedy.critical_ns + 1e-9);
+    }
+
+    #[test]
+    fn parallel_components_add_area_not_delay() {
+        let base = pipeline_design(&V, &[C::RippleAdder { width: 32 }], &[], 200.0);
+        let with = pipeline_design(
+            &V,
+            &[C::RippleAdder { width: 32 }],
+            &[C::Lza { width: 120 }],
+            200.0,
+        );
+        assert_eq!(base.cycles, with.cycles);
+        assert!(with.area.luts > base.area.luts);
+    }
+}

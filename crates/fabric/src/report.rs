@@ -1,0 +1,75 @@
+//! Synthesis report rows — the schema of Table I and Fig. 13.
+
+use std::fmt;
+
+/// One operator implementation's synthesis outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthesisReport {
+    /// Operator name (Table I row label).
+    pub name: &'static str,
+    /// Achievable clock in MHz.
+    pub fmax_mhz: f64,
+    /// Pipeline latency in cycles.
+    pub cycles: usize,
+    /// 6-input LUTs.
+    pub luts: usize,
+    /// DSP48E1 blocks.
+    pub dsps: usize,
+    /// Flip-flops (not a Table I column; kept for the energy model).
+    pub regs: usize,
+    /// Critical stage delay in ns.
+    pub critical_ns: f64,
+}
+
+impl SynthesisReport {
+    /// Fig. 13's metric: minimum computation time for one multiply-add =
+    /// minimum cycle time × pipeline length.
+    pub fn latency_ns(&self) -> f64 {
+        self.cycles as f64 * 1000.0 / self.fmax_mhz
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:>6.0} {:>7} {:>6} {:>5} {:>10.2}",
+            self.name,
+            self.fmax_mhz,
+            self.cycles,
+            self.luts,
+            self.dsps,
+            self.latency_ns()
+        )
+    }
+}
+
+/// Print a Table I-style header plus rows.
+pub fn print_table(rows: &[SynthesisReport]) {
+    println!(
+        "{:<22} {:>6} {:>7} {:>6} {:>5} {:>10}",
+        "Architecture", "fMax", "Cycles", "LUTs", "DSPs", "Lat(ns)"
+    );
+    for r in rows {
+        println!("{r}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_metric() {
+        let r = SynthesisReport {
+            name: "x",
+            fmax_mhz: 250.0,
+            cycles: 5,
+            luts: 0,
+            dsps: 0,
+            regs: 0,
+            critical_ns: 4.0,
+        };
+        assert!((r.latency_ns() - 20.0).abs() < 1e-9);
+    }
+}

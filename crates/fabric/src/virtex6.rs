@@ -1,0 +1,106 @@
+//! Virtex-6 (-1 speed grade) primitive timing and area constants.
+//!
+//! Calibration: the per-bit carry-chain delay and the base LUT+routing
+//! delay are solved from the paper's 5b/11b adder anchors; the wide-adder
+//! routing penalty from its 385b anchor. Everything else is standard
+//! Virtex-6 data-sheet magnitudes tuned so the end-to-end unit reports
+//! land near Table I.
+
+/// The device model. All delays in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Virtex6 {
+    /// Base delay of a LUT hop including local routing.
+    pub lut_level_ns: f64,
+    /// Extra delay per carry-chain bit.
+    pub carry_per_bit_ns: f64,
+    /// Base delay of a carry-chain structure (first LUT + chain entry).
+    pub adder_base_ns: f64,
+    /// Long-line routing penalty per bit beyond [`Self::route_free_bits`].
+    pub route_per_bit_ns: f64,
+    /// Width up to which a datapath stays in one column (no long-line
+    /// penalty).
+    pub route_free_bits: usize,
+    /// Register clock-to-out plus setup (pipeline overhead per stage).
+    pub reg_overhead_ns: f64,
+    /// Delay of one fully pipelined DSP48E1 stage.
+    pub dsp_stage_ns: f64,
+    /// Extra DSP input delay when the pre-adder is used (Virtex-6 only).
+    pub dsp_preadder_ns: f64,
+}
+
+impl Virtex6 {
+    /// The `-1` speed grade model used throughout the paper.
+    pub const SPEED_GRADE_1: Virtex6 = Virtex6 {
+        lut_level_ns: 0.68,
+        carry_per_bit_ns: 0.015_333,
+        adder_base_ns: 1.573_3,
+        route_per_bit_ns: 0.004_59,
+        route_free_bits: 64,
+        reg_overhead_ns: 0.60,
+        dsp_stage_ns: 2.00,
+        dsp_preadder_ns: 1.30,
+    };
+
+    /// Register-to-register delay of a `width`-bit ripple (carry-chain)
+    /// adder. Reproduces the paper's anchors: 1.650 ns at 5b, 1.742 ns at
+    /// 11b, 8.95 ns at 385b.
+    pub fn adder_ns(&self, width: usize) -> f64 {
+        let route = width.saturating_sub(self.route_free_bits) as f64 * self.route_per_bit_ns;
+        self.adder_base_ns + width as f64 * self.carry_per_bit_ns + route
+    }
+
+    /// Delay of `levels` LUT levels of random logic.
+    pub fn logic_ns(&self, levels: usize) -> f64 {
+        levels as f64 * self.lut_level_ns
+    }
+
+    /// Delay of an `ways`-to-1 multiplexer of any width (tree of 4:1 LUT
+    /// muxes; width adds routing, not logic depth).
+    pub fn mux_ns(&self, ways: usize) -> f64 {
+        let levels = (usize::BITS - (ways.max(2) - 1).leading_zeros()).div_ceil(2) as usize;
+        self.logic_ns(levels.max(1))
+    }
+
+    /// Delay of a barrel shifter over `width` bits with up to
+    /// `max_distance` positions: one 4:1 mux level per 2 distance bits.
+    pub fn shifter_ns(&self, width: usize, max_distance: usize) -> f64 {
+        let dist_bits = (usize::BITS - max_distance.max(1).leading_zeros()) as usize;
+        let levels = dist_bits.div_ceil(2).max(1);
+        let route = width.saturating_sub(self.route_free_bits) as f64 * self.route_per_bit_ns * 0.5;
+        self.logic_ns(levels) + route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: Virtex6 = Virtex6::SPEED_GRADE_1;
+
+    #[test]
+    fn adder_anchors_from_paper() {
+        // Sec. III-E: 5b vs 11b adder delays
+        assert!((V.adder_ns(5) - 1.650).abs() < 0.002, "{}", V.adder_ns(5));
+        assert!((V.adder_ns(11) - 1.742).abs() < 0.002, "{}", V.adder_ns(11));
+        // Sec. III-D: a single 385b adder is about 8.95 ns — "far too slow"
+        assert!((V.adder_ns(385) - 8.95).abs() < 0.02, "{}", V.adder_ns(385));
+    }
+
+    #[test]
+    fn wide_adders_miss_200mhz() {
+        // the architectural motivation: plain binary addition at the
+        // window width cannot make the 5 ns cycle budget
+        assert!(V.adder_ns(385) > 5.0);
+        assert!(V.adder_ns(161) > 4.0); // classic FMA adder is also critical
+                                        // while short segment adders fit easily
+        assert!(V.adder_ns(11) < 2.0);
+        assert!(V.adder_ns(29) < 2.5);
+    }
+
+    #[test]
+    fn mux_and_shifter_scale() {
+        assert!(V.mux_ns(6) < V.mux_ns(64));
+        assert!(V.shifter_ns(162, 162) > V.mux_ns(6)); // Fig. 7's point
+        assert!(V.shifter_ns(385, 385) > V.shifter_ns(64, 64));
+    }
+}

@@ -1,0 +1,224 @@
+//! The automatic FMA insertion pass (Sec. III-I, Fig. 12).
+//!
+//! Starting from a scheduled IEEE-754 datapath, the pass repeatedly:
+//!
+//! 1. finds a multiply→add pair where **both** nodes lie on a critical
+//!    path (zero slack between ASAP and ALAP schedules),
+//! 2. replaces the pair with a carry-save FMA surrounded by the required
+//!    `IEEE ↔ CS` conversions (Fig. 12b) — subtractions fold into the
+//!    unit via the free sign flip of the `B` input or the addend,
+//! 3. cancels back-to-back `CS → IEEE → CS` conversion pairs between
+//!    chained FMAs (Fig. 12c) and drops dead nodes,
+//! 4. reschedules,
+//!
+//! until no zero-slack multiply→add pair remains.
+
+use crate::cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
+use crate::sched::{alap_schedule, asap_schedule, OpTiming};
+
+/// Configuration of the fusion pass.
+#[derive(Clone, Copy, Debug)]
+pub struct FusionConfig {
+    /// Which FMA unit to insert.
+    pub kind: FmaKind,
+    /// Operator timing used for the schedules.
+    pub timing: OpTiming,
+    /// Safety bound on fusion iterations.
+    pub max_passes: usize,
+}
+
+impl FusionConfig {
+    /// Default pass for a unit kind.
+    pub fn new(kind: FmaKind) -> Self {
+        FusionConfig { kind, timing: OpTiming::default(), max_passes: 100_000 }
+    }
+}
+
+/// Outcome of the pass.
+#[derive(Clone, Debug)]
+pub struct FusionReport {
+    /// The transformed datapath.
+    pub fused: Cdfg,
+    /// Dataflow schedule length before any fusion.
+    pub initial_length: u32,
+    /// Dataflow schedule length after the pass.
+    pub final_length: u32,
+    /// Number of FMA nodes inserted (before time-multiplexing).
+    pub fma_nodes: usize,
+    /// Fusion iterations performed.
+    pub passes: usize,
+}
+
+/// One fusible candidate: an add/sub consuming a multiply, both critical.
+struct Candidate {
+    add_id: NodeId,
+    mul_id: NodeId,
+    /// Addend (IEEE), to be converted; `negate_a` folds `m - x` patterns.
+    a_arg: NodeId,
+    negate_a: bool,
+    /// IEEE multiplier input `B`; `negate_b` folds `x - m` patterns.
+    b_arg: NodeId,
+    negate_b: bool,
+    /// Critical multiplier input `C` (goes through the CS port).
+    c_arg: NodeId,
+}
+
+fn find_candidates(g: &Cdfg, t: &OpTiming) -> Vec<Candidate> {
+    let s = asap_schedule(g, t);
+    let alap = alap_schedule(g, t);
+    let critical = |id: NodeId| s.start[id] == alap.start[id];
+    let finish = |id: NodeId| s.start[id] + t.latency(&g.nodes()[id].op);
+
+    let mut out = Vec::new();
+    for add_id in 0..g.len() {
+        let n = &g.nodes()[add_id];
+        let (is_sub, ok) = match n.op {
+            Op::Add => (false, true),
+            Op::Sub => (true, true),
+            _ => (false, false),
+        };
+        if !ok || !critical(add_id) {
+            continue;
+        }
+        // find a critical multiply among the arguments
+        for (pos, &arg) in n.args.iter().enumerate() {
+            if !matches!(g.nodes()[arg].op, Op::Mul) || !critical(arg) {
+                continue;
+            }
+            let mul_id = arg;
+            let other = n.args[1 - pos];
+            let (negate_a, negate_b) = if !is_sub {
+                (false, false)
+            } else if pos == 1 {
+                (false, true) // x - m  =  x + (-b)*c
+            } else {
+                (true, false) // m - x  =  (-x) + b*c
+            };
+            // pick the critical (later-finishing) multiplier input as C
+            let (u, w) = (g.nodes()[mul_id].args[0], g.nodes()[mul_id].args[1]);
+            let (b_arg, c_arg) = if finish(u) >= finish(w) { (w, u) } else { (u, w) };
+            out.push(Candidate {
+                add_id,
+                mul_id,
+                a_arg: other,
+                negate_a,
+                b_arg,
+                negate_b,
+                c_arg,
+            });
+        }
+    }
+    out
+}
+
+/// Rebuild the graph with one candidate replaced by a conversion-wrapped
+/// FMA (Fig. 12b).
+fn apply(g: &Cdfg, cand: &Candidate, kind: FmaKind) -> Cdfg {
+    let mut out = Cdfg::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(g.len());
+    for (id, n) in g.nodes().iter().enumerate() {
+        if id == cand.add_id {
+            let mut a = map[cand.a_arg];
+            if cand.negate_a {
+                a = out.push(Op::Neg, vec![a]);
+            }
+            let a_cs = out.push(Op::IeeeToCs(kind), vec![a]);
+            let c_cs = out.push(Op::IeeeToCs(kind), vec![map[cand.c_arg]]);
+            let fma = out.push(
+                Op::Fma { kind, negate_b: cand.negate_b },
+                vec![a_cs, map[cand.b_arg], c_cs],
+            );
+            let res = out.push(Op::CsToIeee(kind), vec![fma]);
+            map.push(res);
+        } else {
+            let args = n.args.iter().map(|&a| map[a]).collect();
+            map.push(out.push(n.op.clone(), args));
+        }
+    }
+    let _ = cand.mul_id; // kept; dead-eliminated if unused
+    out
+}
+
+/// Cancel `IEEE→CS` conversions fed by matching `CS→IEEE` conversions and
+/// deduplicate identical conversions of the same source (Fig. 12c).
+fn eliminate_conversions(g: &Cdfg) -> Cdfg {
+    let mut out = Cdfg::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(g.len());
+    let mut conv_cache: std::collections::HashMap<(NodeId, bool), NodeId> = Default::default();
+    for n in g.nodes() {
+        let mapped: Vec<NodeId> = n.args.iter().map(|&a| map[a]).collect();
+        let id = match &n.op {
+            Op::IeeeToCs(k) => {
+                let src = mapped[0];
+                // feed of a matching CS→IEEE? use the CS value directly
+                if let Op::CsToIeee(k2) = &out.nodes()[src].op {
+                    if k2 == k {
+                        map.push(out.nodes()[src].args[0]);
+                        continue;
+                    }
+                }
+                *conv_cache
+                    .entry((src, true))
+                    .or_insert_with(|| out.push(Op::IeeeToCs(*k), vec![src]))
+            }
+            Op::CsToIeee(k) => *conv_cache
+                .entry((mapped[0], false))
+                .or_insert_with(|| out.push(Op::CsToIeee(*k), vec![mapped[0]])),
+            _ => out.push(n.op.clone(), mapped),
+        };
+        map.push(id);
+    }
+    out
+}
+
+/// Run the full Fig. 12 pass.
+///
+/// ```
+/// use csfma_hls::{fuse_critical_paths, parse_program, FmaKind, FusionConfig};
+/// let g = parse_program("x1 = a*b + c*d; x2 = e*f + g*x1; out y = h*i + k*x2;").unwrap();
+/// let rep = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Fcs));
+/// assert!(rep.final_length < rep.initial_length);
+/// assert_eq!(rep.fma_nodes, 3); // all three chain links fuse
+/// ```
+pub fn fuse_critical_paths(g: &Cdfg, cfg: &FusionConfig) -> FusionReport {
+    g.validate();
+    let t = &cfg.timing;
+    let initial_length = asap_schedule(g, t).length;
+    let mut cur = g.clone();
+    let mut cur_length = initial_length;
+    let mut passes = 0;
+    'outer: while passes < cfg.max_passes {
+        // try candidates in discovery order; accept the first that does
+        // not lengthen the dataflow schedule (neutral fusions are kept:
+        // they become profitable once neighboring links fuse and the
+        // conversions between them cancel)
+        for cand in find_candidates(&cur, t) {
+            let trial = eliminate_conversions(&apply(&cur, &cand, cfg.kind)).eliminate_dead().0;
+            let len = asap_schedule(&trial, t).length;
+            if len <= cur_length {
+                cur = trial;
+                cur_length = len;
+                passes += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur.validate();
+    let final_length = asap_schedule(&cur, t).length;
+    let fma_nodes = cur.count_ops(|o| matches!(o, Op::Fma { .. }));
+    FusionReport { fused: cur, initial_length, final_length, fma_nodes, passes }
+}
+
+/// Sanity helper for tests and reports: domains of all nodes are
+/// consistent and every FMA is conversion-wrapped or chained.
+pub fn domains_consistent(g: &Cdfg) -> bool {
+    g.nodes().iter().all(|n| match &n.op {
+        Op::Fma { .. } => {
+            g.nodes()[n.args[0]].op.domain() == Domain::Cs
+                && g.nodes()[n.args[1]].op.domain() == Domain::Ieee
+                && g.nodes()[n.args[2]].op.domain() == Domain::Cs
+        }
+        _ => true,
+    })
+}

@@ -1,0 +1,42 @@
+//! # csfma-hls — Nymble-style datapath compilation with automatic
+//! P/FCS-FMA insertion (Sec. III-I, Fig. 12)
+//!
+//! The paper integrates its FMA units into the Nymble C-to-hardware
+//! compiler: the datapath is first assembled from IEEE 754 operators and
+//! scheduled; then multiply→add pairs **on the critical path** are
+//! greedily replaced by carry-save FMA units wrapped in format
+//! conversions; redundant back-to-back conversions between chained FMAs
+//! are removed; the datapath is rescheduled; and the procedure repeats
+//! until no further insertion helps.
+//!
+//! This crate provides the pieces of that flow:
+//!
+//! * [`Cdfg`] — a control-data-flow-graph IR for straight-line
+//!   floating-point datapaths (the shape CVXGEN solvers compile to),
+//! * [`interp`] — reference (f64) and bit-accurate (soft-float +
+//!   behavioral FMA) interpreters, used to prove the pass preserves
+//!   semantics,
+//! * [`sched`] — ASAP / resource-constrained list scheduling with the
+//!   200 MHz operator latency table,
+//! * [`fuse`] — the Fig. 12 fusion pass.
+
+pub mod cdfg;
+pub mod fuse;
+pub mod interp;
+pub mod optimize;
+pub mod parser;
+pub mod printer;
+pub mod sched;
+
+pub use cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
+pub use fuse::{fuse_critical_paths, FusionConfig, FusionReport};
+pub use optimize::{optimize, OptimizeReport};
+pub use parser::{parse_program, ParseError};
+pub use printer::to_source;
+pub use sched::{
+    alap_schedule, asap_schedule, critical_path, list_schedule, occupancy_chart, OpTiming,
+    Schedule,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,280 @@
+//! Classical datapath cleanups that run before FMA insertion: constant
+//! folding, algebraic identities, and common-subexpression elimination.
+//!
+//! Generated solver code (and hand-written DSP kernels) is full of
+//! repeated products and `x*1 / x+0` patterns; shrinking the graph first
+//! makes the schedules tighter and the fusion pass cheaper. All rewrites
+//! preserve IEEE semantics: identities that would change signed-zero or
+//! NaN behavior on *variable* inputs are only applied where safe for the
+//! finite-math datapaths Nymble compiles (documented per rule).
+
+use crate::cdfg::{Cdfg, NodeId, Op};
+
+/// Outcome of the cleanup pipeline.
+#[derive(Clone, Debug)]
+pub struct OptimizeReport {
+    /// The optimized graph.
+    pub optimized: Cdfg,
+    /// Nodes before.
+    pub nodes_before: usize,
+    /// Nodes after.
+    pub nodes_after: usize,
+}
+
+/// A structural key identifying a node's computation for CSE.
+#[derive(Clone, PartialEq)]
+enum Key {
+    Input(String),
+    Const(u64), // f64 bits (canonicalized NaN never appears in Const)
+    Op(&'static str, bool, Vec<NodeId>),
+    Opaque(NodeId),
+}
+
+fn commutative(op: &Op) -> bool {
+    matches!(op, Op::Add | Op::Mul)
+}
+
+fn op_tag(op: &Op) -> &'static str {
+    match op {
+        Op::Add => "add",
+        Op::Sub => "sub",
+        Op::Mul => "mul",
+        Op::Div => "div",
+        Op::Neg => "neg",
+        _ => "other",
+    }
+}
+
+/// Run constant folding + identities + CSE to a fixpoint (bounded).
+pub fn optimize(g: &Cdfg) -> OptimizeReport {
+    let nodes_before = g.len();
+    let mut cur = g.clone();
+    for _ in 0..8 {
+        let next = one_pass(&cur);
+        let next = next.eliminate_dead().0;
+        if next.len() == cur.len() {
+            cur = next;
+            break;
+        }
+        cur = next;
+    }
+    cur.validate();
+    OptimizeReport { nodes_after: cur.len(), optimized: cur, nodes_before }
+}
+
+fn const_of(g: &Cdfg, id: NodeId) -> Option<f64> {
+    match g.nodes()[id].op {
+        Op::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn intern(
+    out: &mut Cdfg,
+    seen: &mut Vec<(Key, NodeId)>,
+    key: Key,
+    op: Op,
+    args: Vec<NodeId>,
+) -> NodeId {
+    if !matches!(key, Key::Opaque(_)) {
+        if let Some((_, id)) = seen.iter().find(|(k, _)| *k == key) {
+            return *id;
+        }
+    }
+    let id = out.push(op, args);
+    seen.push((key, id));
+    id
+}
+
+fn one_pass(g: &Cdfg) -> Cdfg {
+    let mut out = Cdfg::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(g.len());
+    // CSE table over the *output* graph
+    let mut seen: Vec<(Key, NodeId)> = Vec::new();
+
+    for n in g.nodes() {
+        let id = match &n.op {
+            Op::Input(name) => intern(
+                &mut out,
+                &mut seen,
+                Key::Input(name.clone()),
+                Op::Input(name.clone()),
+                vec![],
+            ),
+            Op::Const(v) => {
+                intern(&mut out, &mut seen, Key::Const(v.to_bits()), Op::Const(*v), vec![])
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Neg => {
+                let args: Vec<NodeId> = n.args.iter().map(|&x| map[x]).collect();
+                // constant folding
+                let cvals: Vec<Option<f64>> = args.iter().map(|&x| const_of(&out, x)).collect();
+                let folded = match (&n.op, cvals.as_slice()) {
+                    (Op::Add, [Some(x), Some(y)]) => Some(x + y),
+                    (Op::Sub, [Some(x), Some(y)]) => Some(x - y),
+                    (Op::Mul, [Some(x), Some(y)]) => Some(x * y),
+                    (Op::Div, [Some(x), Some(y)]) if *y != 0.0 => Some(x / y),
+                    (Op::Neg, [Some(x)]) => Some(-x),
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    intern(&mut out, &mut seen, Key::Const(v.to_bits()), Op::Const(v), vec![])
+                } else {
+                    // algebraic identities (finite-math safe subset)
+                    let ident = match &n.op {
+                        // x * 1 = x ; 1 * x = x (exact in IEEE)
+                        Op::Mul if cvals[0] == Some(1.0) => Some(args[1]),
+                        Op::Mul if cvals[1] == Some(1.0) => Some(args[0]),
+                        // x / 1 = x
+                        Op::Div if cvals[1] == Some(1.0) => Some(args[0]),
+                        // x + 0 = x and x - 0 = x (exact except the
+                        // -0 + +0 corner, which solver datapaths never
+                        // depend on; documented finite-math rule)
+                        Op::Add if cvals[0] == Some(0.0) => Some(args[1]),
+                        Op::Add if cvals[1] == Some(0.0) => Some(args[0]),
+                        Op::Sub if cvals[1] == Some(0.0) => Some(args[0]),
+                        // --x = x
+                        Op::Neg
+                            if matches!(out.nodes()[args[0]].op, Op::Neg) =>
+                        {
+                            Some(out.nodes()[args[0]].args[0])
+                        }
+                        _ => None,
+                    };
+                    if let Some(target) = ident {
+                        target
+                    } else {
+                        let mut key_args = args.clone();
+                        if commutative(&n.op) {
+                            key_args.sort_unstable();
+                        }
+                        intern(
+                            &mut out,
+                            &mut seen,
+                            Key::Op(op_tag(&n.op), false, key_args),
+                            n.op.clone(),
+                            args,
+                        )
+                    }
+                }
+            }
+            // fused/conversion/output nodes pass through opaquely (CSE on
+            // conversions already happens in the fusion pass)
+            other => {
+                let args: Vec<NodeId> = n.args.iter().map(|&x| map[x]).collect();
+                let id = out.push(other.clone(), args);
+                seen.push((Key::Opaque(id), id));
+                id
+            }
+        };
+        map.push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval_f64;
+    use crate::parser::parse_program;
+    use proptest::prelude::*;
+    use std::collections::HashMap as Map;
+
+    fn count(g: &Cdfg, tag: &str) -> usize {
+        g.count_ops(|o| op_tag(o) == tag)
+    }
+
+    #[test]
+    fn folds_constants() {
+        let g = parse_program("out y = a * (2.0 + 3.0);").unwrap();
+        let r = optimize(&g);
+        assert_eq!(count(&r.optimized, "add"), 0);
+        let ins: Map<String, f64> = [("a".to_string(), 2.0)].into_iter().collect();
+        assert_eq!(eval_f64(&r.optimized, &ins)["y"], 10.0);
+    }
+
+    #[test]
+    fn applies_identities() {
+        let g = parse_program("out y = (a * 1.0) + 0.0 - 0.0;").unwrap();
+        let r = optimize(&g);
+        assert_eq!(count(&r.optimized, "mul"), 0);
+        assert_eq!(count(&r.optimized, "add"), 0);
+        assert_eq!(count(&r.optimized, "sub"), 0);
+    }
+
+    #[test]
+    fn cse_merges_repeated_products() {
+        let g = parse_program("out y = a*b + a*b + b*a;").unwrap();
+        let r = optimize(&g);
+        // commutative key: one multiply survives
+        assert_eq!(count(&r.optimized, "mul"), 1);
+        let ins: Map<String, f64> =
+            [("a".to_string(), 3.0), ("b".to_string(), 4.0)].into_iter().collect();
+        assert_eq!(eval_f64(&r.optimized, &ins)["y"], 36.0);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let g = parse_program("out y = -(-x);").unwrap();
+        let r = optimize(&g);
+        assert_eq!(g.count_ops(|o| matches!(o, Op::Neg)), 2);
+        assert_eq!(r.optimized.count_ops(|o| matches!(o, Op::Neg)), 0);
+    }
+
+    #[test]
+    fn shrinks_generated_solver_code() {
+        // a dense-ish synthetic kernel with redundancy (the real ldlsolve
+        // shrink test lives in the workspace integration tests, since
+        // csfma-solvers depends on this crate)
+        let mut src = String::new();
+        for i in 0..6 {
+            src.push_str(&format!("y{i} = a{i}*w + b{i}*w + a{i}*w;\n"));
+        }
+        src.push_str("out z = y0 + y1 + y2 + y3 + y4 + y5;");
+        let g = parse_program(&src).unwrap();
+        let r = optimize(&g);
+        assert!(r.nodes_after < r.nodes_before, "{} -> {}", r.nodes_before, r.nodes_after);
+        assert_eq!(count(&r.optimized, "mul"), 12); // a_i*w deduped
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Optimization preserves values on random DAGs built from a small
+        /// grammar with repeated subexpressions and constants.
+        #[test]
+        fn prop_optimize_preserves_values(
+            ops in prop::collection::vec((0usize..6, 0usize..32, 0usize..32), 3..28),
+            vals in prop::collection::vec(-4.0f64..4.0, 4),
+        ) {
+            let mut g = Cdfg::new();
+            let mut pool: Vec<NodeId> = (0..4).map(|i| g.input(format!("v{i}"))).collect();
+            pool.push(g.constant(0.0));
+            pool.push(g.constant(1.0));
+            pool.push(g.constant(2.5));
+            for &(op, i1, i2) in &ops {
+                let x = pool[i1 % pool.len()];
+                let y = pool[i2 % pool.len()];
+                let id = match op {
+                    0 => g.add(x, y),
+                    1 => g.sub(x, y),
+                    2 | 3 => g.mul(x, y),
+                    4 => g.push(Op::Neg, vec![x]),
+                    _ => g.add(x, x),
+                };
+                pool.push(id);
+            }
+            g.output("y", *pool.last().unwrap());
+            let ins: Map<String, f64> =
+                vals.iter().enumerate().map(|(i, v)| (format!("v{i}"), *v)).collect();
+            let want = eval_f64(&g, &ins)["y"];
+            let r = optimize(&g);
+            prop_assert!(r.nodes_after <= r.nodes_before);
+            let got = eval_f64(&r.optimized, &ins)["y"];
+            if want.is_nan() {
+                prop_assert!(got.is_nan());
+            } else {
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

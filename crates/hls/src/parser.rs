@@ -1,0 +1,364 @@
+//! A small straight-line expression language — the front door of the
+//! compiler flow, standing in for Nymble's C input.
+//!
+//! Grammar (semicolon-terminated statements):
+//!
+//! ```text
+//! program :=  stmt*
+//! stmt    :=  ["out"] ident "=" expr ";"
+//! expr    :=  term  (("+" | "-") term)*
+//! term    :=  factor (("*" | "/") factor)*
+//! factor  :=  "-" factor | ident | number | "(" expr ")"
+//! ```
+//!
+//! Identifiers read before being assigned become datapath inputs;
+//! statements prefixed with `out` become outputs. Listing 1 of the paper
+//! is literally:
+//!
+//! ```text
+//! x1 = a*b + c*d;
+//! x2 = e*f + g*x1;
+//! out x3 = h*i + k*x2;
+//! ```
+
+use crate::cdfg::{Cdfg, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Byte offset into the source.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eq,
+    Semi,
+    LParen,
+    RParen,
+    Out,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '+' => {
+                toks.push((i, Tok::Plus));
+                i += 1;
+            }
+            '-' => {
+                toks.push((i, Tok::Minus));
+                i += 1;
+            }
+            '*' => {
+                toks.push((i, Tok::Star));
+                i += 1;
+            }
+            '/' => {
+                toks.push((i, Tok::Slash));
+                i += 1;
+            }
+            '=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            ';' => {
+                toks.push((i, Tok::Semi));
+                i += 1;
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                toks.push((
+                    start,
+                    if word == "out" { Tok::Out } else { Tok::Ident(word.to_string()) },
+                ));
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: f64 = text.parse().map_err(|_| ParseError {
+                    pos: start,
+                    message: format!("invalid number literal {text:?}"),
+                })?;
+                toks.push((start, Tok::Number(v)));
+            }
+            _ => {
+                return Err(ParseError { pos: i, message: format!("unexpected character {c:?}") })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: &'a [(usize, Tok)],
+    idx: usize,
+    g: Cdfg,
+    vars: HashMap<String, NodeId>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.idx).map(|(p, _)| *p).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(_, t)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.idx += 1;
+            Ok(())
+        } else {
+            Err(ParseError { pos: self.pos(), message: format!("expected {what}") })
+        }
+    }
+
+    fn lookup(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.vars.get(name) {
+            return id;
+        }
+        let id = self.g.input(name);
+        self.vars.insert(name.to_string(), id);
+        id
+    }
+
+    fn factor(&mut self) -> Result<NodeId, ParseError> {
+        match self.bump() {
+            Some(Tok::Minus) => {
+                let f = self.factor()?;
+                Ok(self.g.push(crate::cdfg::Op::Neg, vec![f]))
+            }
+            Some(Tok::Ident(name)) => Ok(self.lookup(&name)),
+            Some(Tok::Number(v)) => Ok(self.g.constant(v)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => Err(ParseError {
+                pos: self.pos(),
+                message: "expected identifier, number, '-' or '('".into(),
+            }),
+        }
+    }
+
+    fn term(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.idx += 1;
+                    let rhs = self.factor()?;
+                    lhs = self.g.mul(lhs, rhs);
+                }
+                Some(Tok::Slash) => {
+                    self.idx += 1;
+                    let rhs = self.factor()?;
+                    lhs = self.g.div(lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.idx += 1;
+                    let rhs = self.term()?;
+                    lhs = self.g.add(lhs, rhs);
+                }
+                Some(Tok::Minus) => {
+                    self.idx += 1;
+                    let rhs = self.term()?;
+                    lhs = self.g.sub(lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<(), ParseError> {
+        let is_out = if self.peek() == Some(&Tok::Out) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        };
+        let name = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => {
+                return Err(ParseError {
+                    pos: self.pos(),
+                    message: "expected identifier on the left of '='".into(),
+                })
+            }
+        };
+        self.expect(&Tok::Eq, "'='")?;
+        let value = self.expr()?;
+        self.expect(&Tok::Semi, "';'")?;
+        self.vars.insert(name.clone(), value);
+        if is_out {
+            self.g.output(name, value);
+        }
+        Ok(())
+    }
+}
+
+/// Parse a straight-line program into a [`Cdfg`].
+///
+/// ```
+/// use csfma_hls::{asap_schedule, parse_program, OpTiming};
+/// let g = parse_program("x1 = a*b + c*d; out y = e*x1 + f;").unwrap();
+/// let len = asap_schedule(&g, &OpTiming::default()).length;
+/// assert_eq!(len, 18); // two dependent multiply-add links at 5+4 cycles
+/// ```
+pub fn parse_program(src: &str) -> Result<Cdfg, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks: &toks, idx: 0, g: Cdfg::new(), vars: HashMap::new() };
+    while p.peek().is_some() {
+        p.stmt()?;
+    }
+    if p.g.outputs().is_empty() {
+        return Err(ParseError {
+            pos: src.len(),
+            message: "program has no 'out' statement".into(),
+        });
+    }
+    p.g.validate();
+    Ok(p.g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdfg::Op;
+    use crate::interp::eval_f64;
+    use crate::sched::{asap_schedule, OpTiming};
+
+    #[test]
+    fn listing1_parses() {
+        let g = parse_program(
+            "x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;",
+        )
+        .unwrap();
+        assert_eq!(g.count_ops(|o| matches!(o, Op::Mul)), 6);
+        assert_eq!(g.count_ops(|o| matches!(o, Op::Add)), 3);
+        assert_eq!(asap_schedule(&g, &OpTiming::default()).length, 27);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let g = parse_program("out y = a + b * (c - d) / e;").unwrap();
+        let ins: std::collections::HashMap<String, f64> =
+            [("a", 1.0), ("b", 6.0), ("c", 5.0), ("d", 3.0), ("e", 4.0)]
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect();
+        assert_eq!(eval_f64(&g, &ins)["y"], 1.0 + 6.0 * (5.0 - 3.0) / 4.0);
+    }
+
+    #[test]
+    fn unary_minus_and_constants() {
+        let g = parse_program("out y = -x * 2.5 + 1e-3;").unwrap();
+        let ins = [("x".to_string(), 4.0)].into_iter().collect();
+        assert_eq!(eval_f64(&g, &ins)["y"], -10.0 + 1e-3);
+    }
+
+    #[test]
+    fn comments_and_reassignment() {
+        let g = parse_program(
+            "# accumulate twice\nacc = a * b;\nacc = acc + c;\nout y = acc;",
+        )
+        .unwrap();
+        let ins: std::collections::HashMap<String, f64> =
+            [("a", 2.0), ("b", 3.0), ("c", 1.0)].iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        assert_eq!(eval_f64(&g, &ins)["y"], 7.0);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let e = parse_program("out y = a + ;").unwrap_err();
+        assert!(e.message.contains("expected identifier"));
+        assert!(parse_program("y = a;").unwrap_err().message.contains("no 'out'"));
+        assert!(parse_program("out y = a $ b;").is_err());
+        assert!(parse_program("out y = 1.2.3;").is_err());
+    }
+
+    #[test]
+    fn parsed_program_fuses() {
+        use crate::fuse::{fuse_critical_paths, FusionConfig};
+        use crate::cdfg::FmaKind;
+        let g = parse_program(
+            "x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;",
+        )
+        .unwrap();
+        let rep = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Fcs));
+        assert!(rep.final_length < rep.initial_length);
+        assert!(rep.fma_nodes >= 2);
+    }
+}

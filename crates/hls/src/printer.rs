@@ -1,0 +1,150 @@
+//! Pretty-printer: render a CDFG back into the straight-line source
+//! language of [`crate::parser`]. Fused graphs print with explicit
+//! `fma`/conversion pseudo-calls for human inspection; pure IEEE graphs
+//! round-trip through the parser (property-tested).
+
+use crate::cdfg::{Cdfg, FmaKind, Op};
+use std::fmt::Write as _;
+
+fn kind_tag(k: FmaKind) -> &'static str {
+    match k {
+        FmaKind::Pcs => "pcs",
+        FmaKind::Fcs => "fcs",
+    }
+}
+
+/// Render the graph as one statement per non-trivial node.
+///
+/// IEEE-only graphs use exactly the parser grammar; graphs containing
+/// fused nodes additionally use `fma_pcs(a, b, c)`-style pseudo-calls
+/// (not re-parseable — they exist for dumps and diffs).
+pub fn to_source(g: &Cdfg) -> String {
+    let mut out = String::new();
+    let mut names: Vec<String> = Vec::with_capacity(g.len());
+    let mut tmp = 0usize;
+    for (id, n) in g.nodes().iter().enumerate() {
+        let arg = |k: usize| names[n.args[k]].clone();
+        let (name, rhs) = match &n.op {
+            Op::Input(name) => (name.clone(), None),
+            Op::Const(v) => {
+                let mut t = format!("{v:?}");
+                if !t.contains('.') && !t.contains('e') {
+                    t.push_str(".0");
+                }
+                (t, None)
+            }
+            Op::Add => (fresh(&mut tmp), Some(format!("{} + {}", arg(0), arg(1)))),
+            Op::Sub => (fresh(&mut tmp), Some(format!("{} - {}", arg(0), arg(1)))),
+            Op::Mul => (fresh(&mut tmp), Some(format!("{} * {}", arg(0), arg(1)))),
+            Op::Div => (fresh(&mut tmp), Some(format!("{} / {}", arg(0), arg(1)))),
+            Op::Neg => (fresh(&mut tmp), Some(format!("-{}", arg(0)))),
+            Op::Fma { kind, negate_b } => (
+                fresh(&mut tmp),
+                Some(format!(
+                    "fma_{}({}, {}{}, {})",
+                    kind_tag(*kind),
+                    arg(0),
+                    if *negate_b { "-" } else { "" },
+                    arg(1),
+                    arg(2)
+                )),
+            ),
+            Op::IeeeToCs(k) => {
+                (fresh(&mut tmp), Some(format!("to_cs_{}({})", kind_tag(*k), arg(0))))
+            }
+            Op::CsToIeee(k) => {
+                (fresh(&mut tmp), Some(format!("from_cs_{}({})", kind_tag(*k), arg(0))))
+            }
+            Op::Output(name) => {
+                let _ = writeln!(out, "out {} = {};", name, arg(0));
+                names.push(name.clone());
+                continue;
+            }
+        };
+        if let Some(rhs) = rhs {
+            let _ = writeln!(out, "{name} = {rhs};");
+        }
+        names.push(name);
+        let _ = id;
+    }
+    out
+}
+
+fn fresh(tmp: &mut usize) -> String {
+    let n = format!("t{tmp}");
+    *tmp += 1;
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval_f64;
+    use crate::parser::parse_program;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn prints_listing1_shape() {
+        let g = parse_program("x1 = a*b + c*d; out y = x1 * a;").unwrap();
+        let src = to_source(&g);
+        assert!(src.contains("a * b"));
+        assert!(src.contains("out y ="));
+        // the print is itself parseable for IEEE graphs
+        let g2 = parse_program(&src).unwrap();
+        let ins: HashMap<String, f64> = [("a", 2.0), ("b", 3.0), ("c", 4.0), ("d", 5.0)]
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        assert_eq!(eval_f64(&g, &ins)["y"], eval_f64(&g2, &ins)["y"]);
+    }
+
+    #[test]
+    fn fused_graphs_print_pseudocalls() {
+        use crate::fuse::{fuse_critical_paths, FusionConfig};
+        use crate::cdfg::FmaKind;
+        let g = parse_program("m = a*b; out y = c + m;").unwrap();
+        let rep = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Fcs));
+        let src = to_source(&rep.fused);
+        assert!(src.contains("fma_fcs("), "{src}");
+        assert!(src.contains("to_cs_fcs("));
+        assert!(src.contains("from_cs_fcs("));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// print -> parse round-trip preserves semantics on IEEE graphs.
+        #[test]
+        fn prop_print_parse_roundtrip(
+            ops in prop::collection::vec((0usize..4, 0usize..16, 0usize..16), 2..20),
+            vals in prop::collection::vec(0.25f64..4.0, 4),
+        ) {
+            let mut g = crate::cdfg::Cdfg::new();
+            let mut pool: Vec<crate::cdfg::NodeId> =
+                (0..4).map(|i| g.input(format!("v{i}"))).collect();
+            for &(op, i1, i2) in &ops {
+                let x = pool[i1 % pool.len()];
+                let y = pool[i2 % pool.len()];
+                pool.push(match op {
+                    0 => g.add(x, y),
+                    1 => g.sub(x, y),
+                    2 => g.mul(x, y),
+                    _ => g.div(x, y),
+                });
+            }
+            g.output("y", *pool.last().unwrap());
+            let src = to_source(&g);
+            let g2 = parse_program(&src).unwrap();
+            let ins: HashMap<String, f64> =
+                vals.iter().enumerate().map(|(i, v)| (format!("v{i}"), *v)).collect();
+            let a = eval_f64(&g, &ins)["y"];
+            let b = eval_f64(&g2, &ins)["y"];
+            if a.is_nan() {
+                prop_assert!(b.is_nan());
+            } else {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

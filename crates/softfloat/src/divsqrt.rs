@@ -1,0 +1,227 @@
+//! Correctly rounded division and square root.
+//!
+//! CoreGen ships divider and square-root operators alongside multiply/add
+//! (the `Div` nodes of generated solver code run on them); these
+//! implementations produce the correctly rounded result in any mode via
+//! integer long division / integer square root with guard and sticky —
+//! the same remainder-based decision real SRT dividers make.
+
+use crate::exact::ExactFloat;
+use crate::format::{FpClass, Round};
+use crate::value::SoftFloat;
+use csfma_bits::Bits;
+
+impl SoftFloat {
+    /// Division, round to nearest even.
+    pub fn div(&self, rhs: &Self) -> Self {
+        self.div_r(rhs, Round::NearestEven)
+    }
+
+    /// Division with explicit rounding mode.
+    pub fn div_r(&self, rhs: &Self, mode: Round) -> Self {
+        let fmt = self.format();
+        assert_eq!(fmt, rhs.format(), "mixed-format division");
+        if self.is_nan() || rhs.is_nan() {
+            return SoftFloat::nan(fmt);
+        }
+        let sign = self.sign() ^ rhs.sign();
+        match (self.class(), rhs.class()) {
+            (FpClass::Inf, FpClass::Inf) | (FpClass::Zero, FpClass::Zero) => {
+                return SoftFloat::nan(fmt)
+            }
+            (FpClass::Inf, _) | (_, FpClass::Zero) => return SoftFloat::inf(fmt, sign),
+            (FpClass::Zero, _) | (_, FpClass::Inf) => return SoftFloat::zero(fmt, sign),
+            _ => {}
+        }
+
+        // integer long division with fb + 3 extra quotient bits:
+        // q = (sig_a << k) / sig_b, remainder -> sticky
+        let fb = fmt.frac_bits as usize;
+        let k = fb + 3;
+        let num = Bits::from_u64(64, self.significand()).zext(64 + k).shl(k);
+        let den = Bits::from_u64(64 + k, rhs.significand());
+        let (q, r) = long_divide(&num, &den);
+        // value = q * 2^(ea - eb - k); fold the sticky as an extra LSB
+        let mut mag = q.concat(&Bits::from_u64(1, (!r.is_zero()) as u64));
+        let scale = self.exp() as i64 - rhs.exp() as i64 - k as i64 - 1;
+        // (the concat shifted the quotient up one bit; scale adjusts)
+        if mag.is_zero() {
+            mag = Bits::zero(1);
+        }
+        let e = ExactFloat::from_parts(sign, mag, scale);
+        SoftFloat::from_rounded(fmt, e.round(fmt, mode))
+    }
+
+    /// Square root, round to nearest even.
+    pub fn sqrt(&self) -> Self {
+        self.sqrt_r(Round::NearestEven)
+    }
+
+    /// Square root with explicit rounding mode. Negative inputs yield NaN.
+    pub fn sqrt_r(&self, mode: Round) -> Self {
+        let fmt = self.format();
+        if self.is_nan() || (self.sign() && !self.is_zero()) {
+            return SoftFloat::nan(fmt);
+        }
+        match self.class() {
+            FpClass::Zero => return *self,
+            FpClass::Inf => return SoftFloat::inf(fmt, false),
+            _ => {}
+        }
+        // sig * 2^e: make the exponent even, take isqrt of sig << k
+        let fb = fmt.frac_bits as usize;
+        let mut e = self.exp() as i64 - fb as i64;
+        let mut sig = Bits::from_u64(64, self.significand()).zext(128 + 2 * fb);
+        if e % 2 != 0 {
+            sig = sig.shl(1);
+            e -= 1;
+        }
+        let shifted = sig.shl(2 * fb + 6);
+        let e_out = (e - (2 * fb as i64 + 6)) / 2;
+        let (root, rem) = isqrt(&shifted);
+        let mag = root.concat(&Bits::from_u64(1, (!rem.is_zero()) as u64));
+        let ex = ExactFloat::from_parts(false, mag, e_out - 1);
+        SoftFloat::from_rounded(fmt, ex.round(fmt, mode))
+    }
+}
+
+/// Bit-serial restoring long division: returns `(quotient, remainder)`.
+fn long_divide(num: &Bits, den: &Bits) -> (Bits, Bits) {
+    let w = num.width();
+    let den = den.zext(w);
+    let mut rem = Bits::zero(w);
+    let mut quo = Bits::zero(w);
+    for pos in (0..w).rev() {
+        rem = rem.shl(1);
+        if num.bit(pos) {
+            rem = rem.wrapping_add_u64(1);
+        }
+        if rem.unsigned_cmp(&den) != std::cmp::Ordering::Less {
+            rem = rem.wrapping_sub(&den);
+            quo.set_bit(pos, true);
+        }
+    }
+    (quo, rem)
+}
+
+/// Bit-pair integer square root: returns `(root, remainder)` with
+/// `root^2 + remainder == input` and `remainder <= 2*root`.
+fn isqrt(v: &Bits) -> (Bits, Bits) {
+    let w = v.width();
+    let half = w.div_ceil(2);
+    let mut root = Bits::zero(half + 1);
+    let mut rem = Bits::zero(w + 2);
+    let pairs = w.div_ceil(2);
+    for i in (0..pairs).rev() {
+        // bring down the next two bits
+        let two = v.extract(2 * i, 2).zext(w + 2);
+        rem = rem.shl(2).wrapping_add(&two);
+        // trial subtrahend: (root << 2) + 1
+        let trial = root.zext(w + 2).shl(2).wrapping_add_u64(1);
+        if rem.unsigned_cmp(&trial) != std::cmp::Ordering::Less {
+            rem = rem.wrapping_sub(&trial);
+            root = root.shl(1).wrapping_add_u64(1);
+        } else {
+            root = root.shl(1);
+        }
+    }
+    (root, rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    use crate::format::FpFormat;
+    const F: FpFormat = FpFormat::BINARY64;
+
+    fn sf(v: f64) -> SoftFloat {
+        SoftFloat::from_f64(F, v)
+    }
+
+    #[test]
+    fn exact_divisions() {
+        for (a, b) in [(6.0, 3.0), (1.0, 2.0), (10.0, 4.0), (-9.0, 3.0)] {
+            assert_eq!(sf(a).div(&sf(b)).to_f64(), a / b);
+        }
+    }
+
+    #[test]
+    fn inexact_division_matches_host() {
+        for (a, b) in [(1.0, 3.0), (2.0, 7.0), (0.1, 0.3), (-5.0, 1.1)] {
+            assert_eq!(sf(a).div(&sf(b)).to_f64().to_bits(), (a / b).to_bits(), "{a}/{b}");
+        }
+    }
+
+    #[test]
+    fn division_specials() {
+        let inf = SoftFloat::inf(F, false);
+        let zero = SoftFloat::zero(F, false);
+        assert!(inf.div(&inf).is_nan());
+        assert!(zero.div(&zero).is_nan());
+        assert!(sf(1.0).div(&zero).is_inf());
+        assert!(sf(-1.0).div(&zero).is_inf() && sf(-1.0).div(&zero).sign());
+        assert!(sf(1.0).div(&inf).is_zero());
+    }
+
+    #[test]
+    fn sqrt_matches_host() {
+        for v in [4.0, 2.0, 0.25, 1e10, 7.3, 0.1] {
+            assert_eq!(sf(v).sqrt().to_f64().to_bits(), v.sqrt().to_bits(), "sqrt({v})");
+        }
+        assert!(sf(-1.0).sqrt().is_nan());
+        assert!(SoftFloat::zero(F, true).sqrt().is_zero());
+        assert!(SoftFloat::inf(F, false).sqrt().is_inf());
+    }
+
+    #[test]
+    fn isqrt_contract() {
+        for v in [0u64, 1, 2, 3, 4, 15, 16, 17, 255, 256, 1 << 40] {
+            let (r, rem) = isqrt(&Bits::from_u64(64, v));
+            let root = r.to_u64();
+            assert_eq!(root * root + rem.to_u64(), v, "isqrt({v})");
+            assert!(rem.to_u64() <= 2 * root, "remainder bound at {v}");
+        }
+    }
+
+    fn normal_f64() -> impl Strategy<Value = f64> {
+        (any::<bool>(), 0u64..(1u64 << 52), -300i32..=300).prop_map(|(s, m, e)| {
+            let v = f64::from_bits(((1023 + e) as u64) << 52 | m);
+            if s {
+                -v
+            } else {
+                v
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn prop_div_matches_host(a in normal_f64(), b in normal_f64()) {
+            let want = a / b;
+            prop_assume!(want.is_finite() && (want == 0.0 || !want.is_subnormal()));
+            let got = sf(a).div(&sf(b)).to_f64();
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "{} / {}", a, b);
+        }
+
+        #[test]
+        fn prop_sqrt_matches_host(a in normal_f64()) {
+            let a = a.abs();
+            let want = a.sqrt();
+            let got = sf(a).sqrt().to_f64();
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "sqrt({})", a);
+        }
+
+        #[test]
+        fn prop_directed_div_brackets(a in normal_f64(), b in normal_f64()) {
+            prop_assume!((a / b).is_finite() && !(a / b).is_subnormal() && a / b != 0.0);
+            let dn = sf(a).div_r(&sf(b), Round::TowardNegInf).to_f64();
+            let up = sf(a).div_r(&sf(b), Round::TowardPosInf).to_f64();
+            prop_assert!(dn <= up);
+            prop_assert!((up - dn).abs() <= (a / b).abs() * 2f64.powi(-51));
+        }
+    }
+}

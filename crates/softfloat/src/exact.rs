@@ -1,0 +1,430 @@
+//! Exact binary fixed-point intermediates.
+//!
+//! Every soft-float operation computes its result exactly as a signed
+//! magnitude `(-1)^sign * mag * 2^scale` with an arbitrary-width magnitude,
+//! then rounds once. This is the software analogue of the "fused region"
+//! of the paper (Fig. 3): no intermediate normalization or rounding happens
+//! until the value leaves the region.
+
+use crate::format::{FpClass, FpFormat, Round};
+use csfma_bits::Bits;
+
+/// Multiply by `2^e` in safe chunks: a single `powi` over/underflows for
+/// |e| beyond the f64 range even when the final product is representable.
+fn mul_pow2(mut v: f64, mut e: i32) -> f64 {
+    while e > 1023 {
+        v *= 2f64.powi(1023);
+        e -= 1023;
+    }
+    while e < -1022 {
+        v *= 2f64.powi(-1022);
+        e += 1022;
+    }
+    v * 2f64.powi(e)
+}
+
+/// An exact (error-free) binary floating-point value
+/// `(-1)^sign * mag * 2^scale`.
+#[derive(Clone, Debug)]
+pub struct ExactFloat {
+    sign: bool,
+    mag: Bits,
+    scale: i64,
+}
+
+/// Result of rounding an [`ExactFloat`] into a finite format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundedParts {
+    /// Exception class of the rounded result (`Zero`, `Normal`, `Inf`).
+    pub class: FpClass,
+    /// Sign of the result.
+    pub sign: bool,
+    /// Unbiased exponent (valid only for `Normal`).
+    pub exp: i32,
+    /// Fraction bits below the implied one (valid only for `Normal`).
+    pub frac: u64,
+    /// True iff rounding discarded nonzero bits (inexact).
+    pub inexact: bool,
+}
+
+impl ExactFloat {
+    /// Exact zero (positively signed).
+    pub fn zero() -> Self {
+        ExactFloat { sign: false, mag: Bits::zero(1), scale: 0 }
+    }
+
+    /// Build from sign, magnitude and scale. The representation is
+    /// canonicalized (trailing zeros folded into the scale, magnitude
+    /// trimmed to its significant width).
+    pub fn from_parts(sign: bool, mag: Bits, scale: i64) -> Self {
+        let mut e = ExactFloat { sign, mag, scale };
+        e.canonicalize();
+        e
+    }
+
+    /// Build from an unsigned significand in a `u128`.
+    pub fn from_u128(sign: bool, mag: u128, scale: i64) -> Self {
+        Self::from_parts(sign, Bits::from_u128(128, mag), scale)
+    }
+
+    /// Build the exact value of a finite `f64` (subnormals included —
+    /// exactness here is about the *reference*, not the no-subnormal
+    /// operator model).
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite(), "ExactFloat::from_f64 requires a finite value");
+        if v == 0.0 {
+            let mut z = Self::zero();
+            z.sign = v.is_sign_negative();
+            return z;
+        }
+        let bits = v.to_bits();
+        let sign = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (sig, exp) = if biased == 0 {
+            (frac, -1022 - 52) // subnormal: 0.frac * 2^-1022
+        } else {
+            (frac | (1u64 << 52), biased as i64 as i32 - 1023 - 52)
+        };
+        Self::from_parts(sign, Bits::from_u64(64, sig), exp as i64)
+    }
+
+    /// True iff the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Sign (meaningful for zero as well: signed zero).
+    pub fn sign(&self) -> bool {
+        self.sign
+    }
+
+    /// Magnitude bits (canonical: odd, i.e. LSB set, unless zero).
+    pub fn magnitude(&self) -> &Bits {
+        &self.mag
+    }
+
+    /// Binary scale of the magnitude LSB.
+    pub fn scale(&self) -> i64 {
+        self.scale
+    }
+
+    fn canonicalize(&mut self) {
+        if self.mag.is_zero() {
+            self.mag = Bits::zero(1);
+            self.scale = 0;
+            return;
+        }
+        // fold trailing zeros into the scale
+        let mut tz = 0;
+        while !self.mag.bit(tz) {
+            tz += 1;
+        }
+        if tz > 0 {
+            self.mag = self.mag.shr(tz);
+            self.scale += tz as i64;
+        }
+        // trim to the significant width
+        let sig_width = self.mag.width() - self.mag.leading_zeros();
+        self.mag = self.mag.trunc(sig_width);
+    }
+
+    /// Position of the most significant bit relative to `2^0`
+    /// (i.e. `floor(log2(|value|))`). Panics on zero.
+    pub fn msb_exp(&self) -> i64 {
+        assert!(!self.is_zero(), "msb_exp of zero");
+        self.scale + (self.mag.width() as i64 - 1)
+    }
+
+    /// Exact negation.
+    pub fn neg(&self) -> Self {
+        let mut out = self.clone();
+        out.sign = !out.sign;
+        out
+    }
+
+    /// Exact product.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            let mut z = Self::zero();
+            z.sign = self.sign ^ rhs.sign;
+            return z;
+        }
+        Self::from_parts(
+            self.sign ^ rhs.sign,
+            self.mag.mul_full(&rhs.mag),
+            self.scale + rhs.scale,
+        )
+    }
+
+    /// Exact sum.
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        let scale = self.scale.min(rhs.scale);
+        let sa = (self.scale - scale) as usize;
+        let sb = (rhs.scale - scale) as usize;
+        let width = (self.mag.width() + sa).max(rhs.mag.width() + sb) + 1;
+        let a = self.mag.zext(width).shl(sa);
+        let b = rhs.mag.zext(width).shl(sb);
+        if self.sign == rhs.sign {
+            return Self::from_parts(self.sign, a.wrapping_add(&b), scale);
+        }
+        match a.unsigned_cmp(&b) {
+            std::cmp::Ordering::Equal => Self::zero(),
+            std::cmp::Ordering::Greater => Self::from_parts(self.sign, a.wrapping_sub(&b), scale),
+            std::cmp::Ordering::Less => Self::from_parts(rhs.sign, b.wrapping_sub(&a), scale),
+        }
+    }
+
+    /// Exact difference `self - rhs`.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.add(&rhs.neg())
+    }
+
+    /// Compare magnitudes: `|self|` vs `|rhs|`.
+    pub fn cmp_magnitude(&self, rhs: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.is_zero(), rhs.is_zero()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            _ => {}
+        }
+        match self.msb_exp().cmp(&rhs.msb_exp()) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        // same MSB position: widen both to a common width and compare
+        let scale = self.scale.min(rhs.scale);
+        let sa = (self.scale - scale) as usize;
+        let sb = (rhs.scale - scale) as usize;
+        let width = (self.mag.width() + sa).max(rhs.mag.width() + sb);
+        let a = self.mag.zext(width).shl(sa);
+        let b = rhs.mag.zext(width).shl(sb);
+        a.unsigned_cmp(&b)
+    }
+
+    /// Lossy conversion to `f64` (round to nearest even), for reporting.
+    /// Saturates to `±f64::MAX` far out of range.
+    pub fn to_f64_lossy(&self) -> f64 {
+        if self.is_zero() {
+            return if self.sign { -0.0 } else { 0.0 };
+        }
+        let msb = self.msb_exp();
+        if msb > 1200 {
+            return if self.sign { f64::MIN } else { f64::MAX };
+        }
+        if msb < -1200 {
+            return if self.sign { -0.0 } else { 0.0 };
+        }
+        // take the top 54 bits (53 + guard) and a sticky
+        let w = self.mag.width();
+        let take = 54.min(w);
+        let top = self.mag.extract(w - take, take).to_u64();
+        let sticky = if w > take {
+            !self.mag.extract(0, w - take).is_zero()
+        } else {
+            false
+        };
+        let mut val = top as f64;
+        if sticky {
+            // nudge below half an ulp of the 54-bit window; enough to break
+            // round-to-even ties correctly in this lossy path
+            val += 0.25;
+        }
+        let exp = (msb - take as i64 + 1) as i32;
+        let r = mul_pow2(val, exp);
+        if self.sign {
+            -r
+        } else {
+            r
+        }
+    }
+
+    /// Round into `format` with rounding mode `mode`.
+    ///
+    /// Results below the normal range flush to zero (no subnormals);
+    /// results above it follow the IEEE overflow rules for the mode
+    /// (to-nearest modes produce infinity; directed modes clamp to the
+    /// largest finite value when rounding toward zero).
+    pub fn round(&self, format: FpFormat, mode: Round) -> RoundedParts {
+        if self.is_zero() {
+            return RoundedParts {
+                class: FpClass::Zero,
+                sign: self.sign,
+                exp: 0,
+                frac: 0,
+                inexact: false,
+            };
+        }
+        let fb = format.frac_bits as usize;
+        let w = self.mag.width();
+        let mut exp = self.msb_exp();
+
+        // Split into kept fraction / guard / sticky. The kept window is the
+        // implied one plus `fb` fraction bits.
+        let keep = fb + 1;
+        let (mut sig, guard, sticky) = if w <= keep {
+            (self.mag.zext(keep).shl(keep - w).to_u128(), false, false)
+        } else {
+            let sig = self.mag.extract(w - keep, keep).to_u128();
+            let guard = self.mag.bit(w - keep - 1);
+            let sticky = w > keep + 1 && !self.mag.extract(0, w - keep - 1).is_zero();
+            (sig, guard, sticky)
+        };
+
+        let inexact_pre = guard || sticky;
+        let round_up = match mode {
+            Round::NearestEven => guard && (sticky || sig & 1 == 1),
+            Round::HalfAwayFromZero => guard,
+            Round::TowardZero => false,
+            Round::TowardPosInf => inexact_pre && !self.sign,
+            Round::TowardNegInf => inexact_pre && self.sign,
+        };
+        if round_up {
+            sig += 1;
+            if sig >> keep != 0 {
+                sig >>= 1;
+                exp += 1;
+            }
+        }
+
+        if exp > format.emax() as i64 {
+            return self.overflow(format, mode);
+        }
+        if exp < format.emin() as i64 {
+            // flush to zero: no subnormals anywhere in this workspace
+            return RoundedParts {
+                class: FpClass::Zero,
+                sign: self.sign,
+                exp: 0,
+                frac: 0,
+                inexact: true,
+            };
+        }
+        RoundedParts {
+            class: FpClass::Normal,
+            sign: self.sign,
+            exp: exp as i32,
+            frac: (sig as u64) & ((1u64 << fb) - 1),
+            inexact: inexact_pre,
+        }
+    }
+
+    fn overflow(&self, format: FpFormat, mode: Round) -> RoundedParts {
+        let to_inf = match mode {
+            Round::NearestEven | Round::HalfAwayFromZero => true,
+            Round::TowardZero => false,
+            Round::TowardPosInf => !self.sign,
+            Round::TowardNegInf => self.sign,
+        };
+        if to_inf {
+            RoundedParts {
+                class: FpClass::Inf,
+                sign: self.sign,
+                exp: 0,
+                frac: 0,
+                inexact: true,
+            }
+        } else {
+            RoundedParts {
+                class: FpClass::Normal,
+                sign: self.sign,
+                exp: format.emax(),
+                frac: (1u64 << format.frac_bits) - 1,
+                inexact: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        for v in [1.0, -2.5, 3.141592653589793, 1e-300, -1e300, 5e-324] {
+            let e = ExactFloat::from_f64(v);
+            assert_eq!(e.to_f64_lossy(), v, "roundtrip of {v}");
+        }
+    }
+
+    #[test]
+    fn add_cancellation_is_exact() {
+        let a = ExactFloat::from_f64(1.0 + 2f64.powi(-52));
+        let b = ExactFloat::from_f64(-1.0);
+        let d = a.add(&b);
+        assert_eq!(d.to_f64_lossy(), 2f64.powi(-52));
+    }
+
+    #[test]
+    fn mul_exactness_beyond_f64() {
+        // (1 + 2^-52)^2 = 1 + 2^-51 + 2^-104: exact here, inexact in f64
+        let a = ExactFloat::from_f64(1.0 + 2f64.powi(-52));
+        let p = a.mul(&a);
+        let expect = ExactFloat::from_f64(1.0)
+            .add(&ExactFloat::from_f64(2f64.powi(-51)))
+            .add(&ExactFloat::from_f64(2f64.powi(-104)));
+        assert!(p.sub(&expect).is_zero());
+    }
+
+    #[test]
+    fn round_nearest_even_tie() {
+        // 1 + 2^-53 is exactly halfway between 1.0 and 1+2^-52: ties to even (1.0)
+        let e = ExactFloat::from_u128(false, (1u128 << 53) + 1, -53);
+        let r = e.round(FpFormat::BINARY64, Round::NearestEven);
+        assert_eq!(r.frac, 0);
+        assert_eq!(r.exp, 0);
+        assert!(r.inexact);
+        // half away from zero rounds it up
+        let r2 = e.round(FpFormat::BINARY64, Round::HalfAwayFromZero);
+        assert_eq!(r2.frac, 1);
+    }
+
+    #[test]
+    fn round_underflow_flushes() {
+        let e = ExactFloat::from_u128(false, 1, -1040); // 2^-1040: below emin
+        let r = e.round(FpFormat::BINARY64, Round::NearestEven);
+        assert_eq!(r.class, FpClass::Zero);
+        assert!(r.inexact);
+    }
+
+    #[test]
+    fn round_overflow_modes() {
+        let e = ExactFloat::from_u128(false, 1, 2000);
+        assert_eq!(e.round(FpFormat::BINARY64, Round::NearestEven).class, FpClass::Inf);
+        let tz = e.round(FpFormat::BINARY64, Round::TowardZero);
+        assert_eq!(tz.class, FpClass::Normal);
+        assert_eq!(tz.exp, FpFormat::BINARY64.emax());
+        assert_eq!(tz.frac, (1u64 << 52) - 1);
+        assert_eq!(e.neg().round(FpFormat::BINARY64, Round::TowardPosInf).class, FpClass::Normal);
+        assert_eq!(e.round(FpFormat::BINARY64, Round::TowardPosInf).class, FpClass::Inf);
+    }
+
+    #[test]
+    fn carry_out_of_rounding_bumps_exponent() {
+        // all-ones significand + guard set rounds up to the next power of two
+        let mag = (1u128 << 54) - 1; // 53 ones + guard one
+        let e = ExactFloat::from_u128(false, mag, -53);
+        let r = e.round(FpFormat::BINARY64, Round::NearestEven);
+        assert_eq!(r.exp, 1);
+        assert_eq!(r.frac, 0);
+    }
+
+    #[test]
+    fn cmp_magnitude_orders() {
+        use std::cmp::Ordering::*;
+        let a = ExactFloat::from_f64(1.5);
+        let b = ExactFloat::from_f64(-1.75);
+        assert_eq!(a.cmp_magnitude(&b), Less);
+        assert_eq!(b.cmp_magnitude(&a), Greater);
+        assert_eq!(a.cmp_magnitude(&a), Equal);
+        assert_eq!(ExactFloat::zero().cmp_magnitude(&a), Less);
+    }
+}

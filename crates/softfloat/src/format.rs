@@ -1,0 +1,154 @@
+//! Floating-point formats, rounding modes and exception classes.
+
+/// A binary floating-point format: `1` sign bit, `exp_bits` of exponent,
+/// `frac_bits` of stored fraction (below the implied leading one).
+///
+/// No subnormals exist in any format: the smallest representable magnitude
+/// is `2^emin` and anything smaller flushes to zero, matching the Xilinx
+/// CoreGen and FloPoCo configurations used in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct FpFormat {
+    /// Exponent field width in bits (2..=17).
+    pub exp_bits: u32,
+    /// Stored fraction width in bits (1..=63; the implied one is not stored).
+    pub frac_bits: u32,
+}
+
+impl FpFormat {
+    /// IEEE 754 binary64 (double precision): 11-bit exponent, 52-bit fraction.
+    pub const BINARY64: FpFormat = FpFormat { exp_bits: 11, frac_bits: 52 };
+    /// IEEE 754 binary32 (single precision): 8-bit exponent, 23-bit fraction.
+    pub const BINARY32: FpFormat = FpFormat { exp_bits: 8, frac_bits: 23 };
+    /// The 68-bit reference format of Sec. IV-B: binary64 with 4 extra
+    /// fraction bits (11-bit exponent, 56-bit fraction).
+    pub const B68: FpFormat = FpFormat { exp_bits: 11, frac_bits: 56 };
+    /// The 75-bit golden-reference format of Sec. IV-B: binary64 with 11
+    /// extra fraction bits (11-bit exponent, 63-bit fraction).
+    pub const B75: FpFormat = FpFormat { exp_bits: 11, frac_bits: 63 };
+
+    /// Construct a format, validating the field widths.
+    pub fn new(exp_bits: u32, frac_bits: u32) -> Self {
+        assert!((2..=17).contains(&exp_bits), "exp_bits out of range");
+        assert!((1..=63).contains(&frac_bits), "frac_bits out of range");
+        FpFormat { exp_bits, frac_bits }
+    }
+
+    /// Total storage width including the sign bit.
+    pub fn total_bits(&self) -> u32 {
+        1 + self.exp_bits + self.frac_bits
+    }
+
+    /// Exponent bias (`2^(exp_bits-1) - 1`, IEEE-style).
+    pub fn bias(&self) -> i32 {
+        (1i32 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Largest unbiased exponent of a finite number (`2^exp_bits - 2`
+    /// biased — the all-ones pattern stays reserved even though exceptions
+    /// travel on separate wires, so values remain interchangeable with
+    /// conventionally-encoded IEEE operands).
+    pub fn emax(&self) -> i32 {
+        ((1i32 << self.exp_bits) - 2) - self.bias()
+    }
+
+    /// Smallest unbiased exponent of a normal number.
+    pub fn emin(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Units in the last place of 1.0: `2^-frac_bits`.
+    pub fn ulp_of_one(&self) -> f64 {
+        (2.0f64).powi(-(self.frac_bits as i32))
+    }
+}
+
+/// Rounding modes. The paper's FMA units transfer unrounded mantissas and
+/// use *round half away from zero* between chained operators (Sec. III-C:
+/// that mode needs only one extra transferred bit); the IEEE-754 default
+/// for the CoreGen/FloPoCo comparison operators is *round to nearest even*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum Round {
+    /// IEEE 754 default: ties round to the even mantissa.
+    #[default]
+    NearestEven,
+    /// Ties round away from zero (the paper's inter-operator mode).
+    HalfAwayFromZero,
+    /// Truncate toward zero.
+    TowardZero,
+    /// Round toward +infinity.
+    TowardPosInf,
+    /// Round toward -infinity.
+    TowardNegInf,
+}
+
+/// FloPoCo-style two-wire exception class accompanying every number
+/// (Sec. III-B: "two additional wires for explicitly signalling exceptions
+/// instead of encoding them in the number representation").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FpClass {
+    /// Exact zero (signed).
+    Zero,
+    /// Ordinary finite nonzero number.
+    Normal,
+    /// Signed infinity.
+    Inf,
+    /// Not a number. Sign and payload are ignored.
+    Nan,
+}
+
+impl FpClass {
+    /// Encode as the two-bit wire pattern used by FloPoCo
+    /// (`00` zero, `01` normal, `10` inf, `11` NaN).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            FpClass::Zero => 0b00,
+            FpClass::Normal => 0b01,
+            FpClass::Inf => 0b10,
+            FpClass::Nan => 0b11,
+        }
+    }
+
+    /// Decode the two-bit wire pattern.
+    pub fn from_wire(w: u8) -> Self {
+        match w & 0b11 {
+            0b00 => FpClass::Zero,
+            0b01 => FpClass::Normal,
+            0b10 => FpClass::Inf,
+            _ => FpClass::Nan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary64_parameters() {
+        let f = FpFormat::BINARY64;
+        assert_eq!(f.total_bits(), 64);
+        assert_eq!(f.bias(), 1023);
+        assert_eq!(f.emin(), -1022);
+        assert_eq!(f.emax(), 1023);
+    }
+
+    #[test]
+    fn reference_formats_are_wider() {
+        assert_eq!(FpFormat::B68.total_bits(), 68);
+        assert_eq!(FpFormat::B75.total_bits(), 75);
+        assert!(FpFormat::B75.frac_bits > FpFormat::B68.frac_bits);
+    }
+
+    #[test]
+    fn wire_encoding_roundtrip() {
+        for c in [FpClass::Zero, FpClass::Normal, FpClass::Inf, FpClass::Nan] {
+            assert_eq!(FpClass::from_wire(c.to_wire()), c);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn frac_bits_cap() {
+        FpFormat::new(11, 64);
+    }
+}

@@ -1,0 +1,33 @@
+//! # csfma-softfloat — parametric IEEE-754-like floating point, no subnormals
+//!
+//! Software model of the FPGA floating-point operators the paper compares
+//! against and uses as accuracy references:
+//!
+//! * **binary64** operators in the style of Xilinx CoreGen / FloPoCo —
+//!   IEEE 754 round-to-nearest-even, but *without subnormal support*
+//!   (both vendor libraries omit subnormals; the paper follows suit,
+//!   Sec. II). Subnormal inputs/results flush to zero.
+//! * **Widened formats** (68-bit and 75-bit words with 56b/63b fractions)
+//!   used in Sec. IV-B as accuracy references — the 75b run is the golden
+//!   reference of Fig. 14.
+//! * **FloPoCo-style two-wire exception signalling** ([`FpClass`]): the
+//!   class (zero / normal / inf / NaN) travels beside the number instead of
+//!   being encoded in special exponent patterns (Sec. III-B).
+//!
+//! All arithmetic goes through an exact binary fixed-point intermediate
+//! ([`ExactFloat`]) and rounds once at the end, so `fma` is a true fused
+//! multiply-add and every operation is correctly rounded in the chosen
+//! [`Round`] mode.
+
+mod divsqrt;
+mod exact;
+mod format;
+mod ops;
+mod value;
+
+pub use exact::ExactFloat;
+pub use format::{FpClass, FpFormat, Round};
+pub use value::SoftFloat;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,312 @@
+//! Arithmetic on [`SoftFloat`]: add, sub, mul and a true fused
+//! multiply-add, each correctly rounded in any [`Round`] mode.
+//!
+//! These model the discrete CoreGen-style operators (separate multiply and
+//! add, each rounding its result) and — via [`SoftFloat::fma_r`] — an
+//! idealized fused unit that rounds once. The paper's P/FCS-FMA behavioral
+//! models in `csfma-core` are checked against [`SoftFloat::fma_r`] and the
+//! exact path.
+
+use crate::format::{FpClass, FpFormat, Round};
+use crate::value::SoftFloat;
+
+fn result_format(a: &SoftFloat, b: &SoftFloat) -> FpFormat {
+    assert_eq!(a.format(), b.format(), "mixed-format arithmetic");
+    a.format()
+}
+
+/// Sign of an exact-zero sum under the rounding mode (IEEE 754 §6.3).
+fn zero_sum_sign(mode: Round) -> bool {
+    matches!(mode, Round::TowardNegInf)
+}
+
+impl SoftFloat {
+    /// Addition, round to nearest even.
+    pub fn add(&self, rhs: &Self) -> Self {
+        self.add_r(rhs, Round::NearestEven)
+    }
+
+    /// Subtraction, round to nearest even.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.sub_r(rhs, Round::NearestEven)
+    }
+
+    /// Multiplication, round to nearest even.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        self.mul_r(rhs, Round::NearestEven)
+    }
+
+    /// Fused multiply-add `self * b + c`, round to nearest even.
+    pub fn fma(&self, b: &Self, c: &Self) -> Self {
+        self.fma_r(b, c, Round::NearestEven)
+    }
+
+    /// Addition with explicit rounding mode.
+    pub fn add_r(&self, rhs: &Self, mode: Round) -> Self {
+        let fmt = result_format(self, rhs);
+        if self.is_nan() || rhs.is_nan() {
+            return SoftFloat::nan(fmt);
+        }
+        match (self.class(), rhs.class()) {
+            (FpClass::Inf, FpClass::Inf) => {
+                if self.sign() == rhs.sign() {
+                    *self
+                } else {
+                    SoftFloat::nan(fmt)
+                }
+            }
+            (FpClass::Inf, _) => *self,
+            (_, FpClass::Inf) => *rhs,
+            (FpClass::Zero, FpClass::Zero) => {
+                let sign = if self.sign() == rhs.sign() {
+                    self.sign()
+                } else {
+                    zero_sum_sign(mode)
+                };
+                SoftFloat::zero(fmt, sign)
+            }
+            _ => {
+                let e = self.to_exact().add(&rhs.to_exact());
+                if e.is_zero() {
+                    // exact cancellation of nonzero operands
+                    return SoftFloat::zero(fmt, zero_sum_sign(mode));
+                }
+                SoftFloat::from_rounded(fmt, e.round(fmt, mode))
+            }
+        }
+    }
+
+    /// Subtraction with explicit rounding mode.
+    pub fn sub_r(&self, rhs: &Self, mode: Round) -> Self {
+        self.add_r(&rhs.neg(), mode)
+    }
+
+    /// Multiplication with explicit rounding mode.
+    pub fn mul_r(&self, rhs: &Self, mode: Round) -> Self {
+        let fmt = result_format(self, rhs);
+        if self.is_nan() || rhs.is_nan() {
+            return SoftFloat::nan(fmt);
+        }
+        let sign = self.sign() ^ rhs.sign();
+        match (self.class(), rhs.class()) {
+            (FpClass::Inf, FpClass::Zero) | (FpClass::Zero, FpClass::Inf) => SoftFloat::nan(fmt),
+            (FpClass::Inf, _) | (_, FpClass::Inf) => SoftFloat::inf(fmt, sign),
+            (FpClass::Zero, _) | (_, FpClass::Zero) => SoftFloat::zero(fmt, sign),
+            _ => {
+                let e = self.to_exact().mul(&rhs.to_exact());
+                SoftFloat::from_rounded(fmt, e.round(fmt, mode))
+            }
+        }
+    }
+
+    /// Fused multiply-add `self * b + c` with explicit rounding mode: the
+    /// product is exact and a single rounding happens at the end.
+    pub fn fma_r(&self, b: &Self, c: &Self, mode: Round) -> Self {
+        let fmt = result_format(self, b);
+        assert_eq!(fmt, c.format(), "mixed-format fma");
+        if self.is_nan() || b.is_nan() || c.is_nan() {
+            return SoftFloat::nan(fmt);
+        }
+        let psign = self.sign() ^ b.sign();
+        // product special cases
+        let prod_class = match (self.class(), b.class()) {
+            (FpClass::Inf, FpClass::Zero) | (FpClass::Zero, FpClass::Inf) => {
+                return SoftFloat::nan(fmt)
+            }
+            (FpClass::Inf, _) | (_, FpClass::Inf) => FpClass::Inf,
+            (FpClass::Zero, _) | (_, FpClass::Zero) => FpClass::Zero,
+            _ => FpClass::Normal,
+        };
+        match (prod_class, c.class()) {
+            (FpClass::Inf, FpClass::Inf) => {
+                return if psign == c.sign() {
+                    SoftFloat::inf(fmt, psign)
+                } else {
+                    SoftFloat::nan(fmt)
+                };
+            }
+            (FpClass::Inf, _) => return SoftFloat::inf(fmt, psign),
+            (_, FpClass::Inf) => return *c,
+            (FpClass::Zero, FpClass::Zero) => {
+                let sign = if psign == c.sign() { psign } else { zero_sum_sign(mode) };
+                return SoftFloat::zero(fmt, sign);
+            }
+            (FpClass::Zero, _) => return *c,
+            _ => {}
+        }
+        let e = self.to_exact().mul(&b.to_exact()).add(&c.to_exact());
+        if e.is_zero() {
+            return SoftFloat::zero(fmt, zero_sum_sign(mode));
+        }
+        SoftFloat::from_rounded(fmt, e.round(fmt, mode))
+    }
+
+    /// Convert to another format (rounding if narrowing).
+    pub fn convert(&self, target: FpFormat, mode: Round) -> Self {
+        match self.class() {
+            FpClass::Nan => SoftFloat::nan(target),
+            FpClass::Inf => SoftFloat::inf(target, self.sign()),
+            FpClass::Zero => SoftFloat::zero(target, self.sign()),
+            FpClass::Normal => {
+                SoftFloat::from_rounded(target, self.to_exact().round(target, mode))
+            }
+        }
+    }
+
+    /// Numeric comparison: `None` if either side is NaN, otherwise the
+    /// IEEE total order of the values (with `-0 == +0`).
+    pub fn numeric_cmp(&self, rhs: &Self) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        if self.is_nan() || rhs.is_nan() {
+            return None;
+        }
+        let side = |v: &SoftFloat| -> i32 {
+            match v.class() {
+                FpClass::Inf => {
+                    if v.sign() {
+                        -2
+                    } else {
+                        2
+                    }
+                }
+                FpClass::Zero => 0,
+                FpClass::Normal => {
+                    if v.sign() {
+                        -1
+                    } else {
+                        1
+                    }
+                }
+                FpClass::Nan => unreachable!(),
+            }
+        };
+        let (sa, sb) = (side(self), side(rhs));
+        if sa != sb {
+            return Some(sa.cmp(&sb));
+        }
+        if sa == 0 || sa.abs() == 2 {
+            return Some(Ordering::Equal);
+        }
+        let mag = self.to_exact().cmp_magnitude(&rhs.to_exact());
+        Some(if sa < 0 { mag.reverse() } else { mag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FpFormat = FpFormat::BINARY64;
+
+    fn sf(v: f64) -> SoftFloat {
+        SoftFloat::from_f64(F, v)
+    }
+
+    #[test]
+    fn add_matches_host() {
+        for (a, b) in [(1.0, 2.0), (0.1, 0.2), (1e300, 1e300), (1.0, -1.0), (3.5e-12, -7.25)] {
+            assert_eq!(sf(a).add(&sf(b)).to_f64().to_bits(), (a + b).to_bits(), "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_host() {
+        for (a, b) in [(1.5, 2.5), (0.1, 0.1), (1e-160, 1e-160), (-3.0, 7.0)] {
+            let want: f64 = a * b;
+            let want = if want.is_subnormal() { 0.0 } else { want };
+            assert_eq!(sf(a).mul(&sf(b)).to_f64(), want, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn fma_matches_host_mul_add() {
+        for (a, b, c) in [(1.1, 2.2, 3.3), (1e8, 1e-8, -1.0), (0.1, 10.0, -1.0)] {
+            assert_eq!(
+                sf(a).fma(&sf(b), &sf(c)).to_f64().to_bits(),
+                a.mul_add(b, c).to_bits(),
+                "fma({a},{b},{c})"
+            );
+        }
+    }
+
+    #[test]
+    fn fma_is_fused_not_sequential() {
+        // a*b rounds away the low part; fused keeps it: (1+2^-30)^2 - 1 - 2^-29
+        let a = 1.0 + 2f64.powi(-30);
+        let fused = sf(a).fma(&sf(a), &sf(-1.0 - 2f64.powi(-29)));
+        assert_eq!(fused.to_f64(), 2f64.powi(-60));
+        let seq = sf(a).mul(&sf(a)).add(&sf(-1.0 - 2f64.powi(-29)));
+        assert_ne!(seq.to_f64(), fused.to_f64());
+    }
+
+    #[test]
+    fn inf_nan_propagation() {
+        let inf = SoftFloat::inf(F, false);
+        assert!(inf.sub(&inf).is_nan());
+        assert!(inf.mul(&sf(0.0)).is_nan());
+        assert!(sf(1.0).add(&SoftFloat::nan(F)).is_nan());
+        assert_eq!(inf.add(&sf(-1e308)).class(), FpClass::Inf);
+        assert!(SoftFloat::zero(F, false).mul(&inf).is_nan());
+        // fma: inf*1 + (-inf) = NaN
+        assert!(inf.fma(&sf(1.0), &inf.neg()).is_nan());
+    }
+
+    #[test]
+    fn overflow_to_inf() {
+        let big = sf(1e308);
+        assert!(big.mul(&sf(10.0)).is_inf());
+        assert!(big.add(&big).is_inf());
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        let tiny = sf(1e-300);
+        let r = tiny.mul(&tiny); // 1e-600: subnormal-free -> zero
+        assert!(r.is_zero());
+        assert!(!r.sign());
+        let rn = tiny.neg().mul(&tiny);
+        assert!(rn.is_zero());
+        assert!(rn.sign());
+    }
+
+    #[test]
+    fn rounding_mode_directionality() {
+        let a = sf(1.0);
+        let tiny = sf(2f64.powi(-80));
+        assert_eq!(a.add_r(&tiny, Round::TowardPosInf).to_f64(), 1.0 + 2f64.powi(-52));
+        assert_eq!(a.add_r(&tiny, Round::TowardZero).to_f64(), 1.0);
+        assert_eq!(a.add_r(&tiny, Round::NearestEven).to_f64(), 1.0);
+        assert_eq!(a.neg().sub_r(&tiny, Round::TowardNegInf).to_f64(), -1.0 - 2f64.powi(-52));
+    }
+
+    #[test]
+    fn exact_cancellation_zero_sign() {
+        let a = sf(1.5);
+        assert_eq!(a.add(&a.neg()).to_f64().to_bits(), 0.0f64.to_bits());
+        assert_eq!(
+            a.add_r(&a.neg(), Round::TowardNegInf).to_f64().to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn convert_narrow_and_widen() {
+        let third = sf(1.0 / 3.0);
+        let wide = third.convert(FpFormat::B75, Round::NearestEven);
+        assert_eq!(wide.to_f64(), 1.0 / 3.0); // widening is exact
+        let narrow = wide.convert(F, Round::NearestEven);
+        assert_eq!(narrow, third);
+        let single = sf(0.1).convert(FpFormat::BINARY32, Round::NearestEven);
+        assert_eq!(single.to_f64(), 0.1f32 as f64);
+    }
+
+    #[test]
+    fn numeric_cmp_total() {
+        use std::cmp::Ordering::*;
+        assert_eq!(sf(1.0).numeric_cmp(&sf(2.0)), Some(Less));
+        assert_eq!(sf(-1.0).numeric_cmp(&sf(-2.0)), Some(Greater));
+        assert_eq!(sf(0.0).numeric_cmp(&sf(-0.0)), Some(Equal));
+        assert_eq!(SoftFloat::inf(F, false).numeric_cmp(&sf(1e308)), Some(Greater));
+        assert_eq!(SoftFloat::nan(F).numeric_cmp(&sf(0.0)), None);
+    }
+}

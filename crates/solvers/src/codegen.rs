@@ -1,0 +1,333 @@
+//! `ldlsolve()` code generation: unroll the solve over the static L
+//! pattern into a straight-line CDFG (the CVXGEN way).
+//!
+//! The emitted code is division-free: like CVXGEN, the factor stage
+//! stores the *inverse* diagonal, so the solve is pure multiply-add —
+//! precisely the chain structure (Listing 1 / Fig. 1) whose critical path
+//! the FMA fusion pass shortens. Factor entries (`L_ij`, `1/d_i`) and the
+//! right-hand side (`b_i`) are inputs of the datapath; in the real
+//! accelerator they arrive from the `ldlfactor` stage and the
+//! interior-point residuals.
+
+use crate::ldl::LdlFactors;
+use csfma_hls::{Cdfg, NodeId};
+use std::collections::HashMap;
+
+/// A generated straight-line `ldlsolve` kernel.
+#[derive(Clone, Debug)]
+pub struct LdlSolveProgram {
+    /// The datapath.
+    pub cdfg: Cdfg,
+    /// Problem dimension.
+    pub dim: usize,
+    /// Strictly-lower nonzeros unrolled (one multiply-add each in the
+    /// forward and one in the backward pass).
+    pub nnz: usize,
+}
+
+/// Input name of a right-hand-side element.
+pub fn rhs_name(i: usize) -> String {
+    format!("b{i}")
+}
+
+/// Input name of a factor entry `L[i][j]`.
+pub fn l_name(i: usize, j: usize) -> String {
+    format!("L{i}_{j}")
+}
+
+/// Input name of an inverse-diagonal entry `1/d[i]`.
+pub fn dinv_name(i: usize) -> String {
+    format!("Dinv{i}")
+}
+
+/// Output name of a solution element.
+pub fn x_name(i: usize) -> String {
+    format!("x{i}")
+}
+
+/// Emit the unrolled `ldlsolve` for a factor pattern.
+///
+/// ```
+/// use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
+/// use csfma_hls::interp::eval_f64;
+/// let problem = &solver_suite()[0];
+/// let kkt = KktSystem::assemble(problem);
+/// let factors = LdlFactors::factor(&kkt.matrix);
+/// let prog = generate_ldlsolve(&factors);
+/// let out = eval_f64(&prog.cdfg, &prog.inputs_for(&factors, &kkt.rhs));
+/// let x = prog.extract_solution(&out);
+/// assert_eq!(x.len(), kkt.matrix.dim());
+/// ```
+pub fn generate_ldlsolve(f: &LdlFactors) -> LdlSolveProgram {
+    let n = f.dim();
+    let mut g = Cdfg::new();
+
+    // inputs
+    let b: Vec<NodeId> = (0..n).map(|i| g.input(rhs_name(i))).collect();
+    let dinv: Vec<NodeId> = (0..n).map(|i| g.input(dinv_name(i))).collect();
+    let mut l: HashMap<(usize, usize), NodeId> = HashMap::new();
+    for (i, row) in f.pattern.iter().enumerate() {
+        for &j in row {
+            l.insert((i, j), g.input(l_name(i, j)));
+        }
+    }
+
+    // forward substitution: y_i = b_i - sum_j L_ij y_j
+    let mut y: Vec<NodeId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = b[i];
+        for &j in &f.pattern[i] {
+            let m = g.mul(l[&(i, j)], y[j]);
+            acc = g.sub(acc, m);
+        }
+        y.push(acc);
+    }
+
+    // diagonal scaling with the stored inverse: z_i = y_i * (1/d_i)
+    let z: Vec<NodeId> = (0..n).map(|i| g.mul(y[i], dinv[i])).collect();
+
+    // backward substitution: x_j = z_j - sum_{i>j} L_ij x_i
+    let mut x: Vec<NodeId> = z.clone();
+    for i in (0..n).rev() {
+        for &j in f.pattern[i].iter().rev() {
+            let m = g.mul(l[&(i, j)], x[i]);
+            x[j] = g.sub(x[j], m);
+        }
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        g.output(x_name(i), xi);
+    }
+    g.validate();
+    LdlSolveProgram { cdfg: g, dim: n, nnz: f.nnz() }
+}
+
+impl LdlSolveProgram {
+    /// Bind a factorization and right-hand side to the kernel's inputs.
+    pub fn inputs_for(&self, f: &LdlFactors, rhs: &[f64]) -> HashMap<String, f64> {
+        assert_eq!(rhs.len(), self.dim);
+        let mut m = HashMap::new();
+        for (i, &v) in rhs.iter().enumerate() {
+            m.insert(rhs_name(i), v);
+        }
+        for (i, &d) in f.d.iter().enumerate() {
+            m.insert(dinv_name(i), 1.0 / d);
+        }
+        for (i, row) in f.pattern.iter().enumerate() {
+            for (pos, &j) in row.iter().enumerate() {
+                m.insert(l_name(i, j), f.l_values[i][pos]);
+            }
+        }
+        m
+    }
+
+    /// Read the solution out of an evaluation result.
+    pub fn extract_solution(&self, outputs: &HashMap<String, f64>) -> Vec<f64> {
+        (0..self.dim).map(|i| outputs[&x_name(i)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kkt::KktSystem;
+    use crate::trajectory::solver_suite;
+    use csfma_hls::interp::eval_f64;
+
+    #[test]
+    fn generated_kernel_matches_reference_solve() {
+        let p = &solver_suite()[0];
+        let k = KktSystem::assemble(p);
+        let f = LdlFactors::factor(&k.matrix);
+        let prog = generate_ldlsolve(&f);
+        let ins = prog.inputs_for(&f, &k.rhs);
+        let out = eval_f64(&prog.cdfg, &ins);
+        let got = prog.extract_solution(&out);
+        let want = f.solve(&k.rhs);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn kernel_is_multiply_add_only() {
+        use csfma_hls::Op;
+        let p = &solver_suite()[0];
+        let f = LdlFactors::factor(&KktSystem::assemble(p).matrix);
+        let prog = generate_ldlsolve(&f);
+        assert_eq!(prog.cdfg.count_ops(|o| matches!(o, Op::Div)), 0, "division-free");
+        let muls = prog.cdfg.count_ops(|o| matches!(o, Op::Mul));
+        let subs = prog.cdfg.count_ops(|o| matches!(o, Op::Sub));
+        // one mul per L entry per pass + the diagonal scaling
+        assert_eq!(muls, 2 * prog.nnz + prog.dim);
+        assert_eq!(subs, 2 * prog.nnz);
+    }
+}
+
+/// A generated straight-line `ldlfactor` kernel: numeric LDLᵀ
+/// factorization unrolled over the static fill pattern, as CVXGEN emits
+/// it. Unlike `ldlsolve` it contains divisions (one reciprocal per
+/// pivot), which is why the paper compiles `ldlsolve` — the solve runs
+/// once per interior-point iteration per right-hand side and dominates.
+#[derive(Clone, Debug)]
+pub struct LdlFactorProgram {
+    /// The datapath.
+    pub cdfg: Cdfg,
+    /// Problem dimension.
+    pub dim: usize,
+}
+
+/// Input name of a KKT entry `K[i][j]` (lower triangle incl. diagonal).
+pub fn k_name(i: usize, j: usize) -> String {
+    format!("K{i}_{j}")
+}
+
+/// Emit the unrolled `ldlfactor` over a fill pattern: outputs every
+/// `L[i][j]`, every pivot `d[i]` and its reciprocal `Dinv[i]`.
+pub fn generate_ldlfactor(pattern: &[Vec<usize>]) -> LdlFactorProgram {
+    let n = pattern.len();
+    let mut g = Cdfg::new();
+    let one = g.constant(1.0);
+
+    // K inputs over the full fill pattern (fill positions are bound to
+    // zero by `inputs_for`)
+    let mut k_in: HashMap<(usize, usize), NodeId> = HashMap::new();
+    let mut l_node: HashMap<(usize, usize), NodeId> = HashMap::new();
+    let mut ld_node: HashMap<(usize, usize), NodeId> = HashMap::new(); // L[i][j] * d[j]
+    let mut d_node: Vec<NodeId> = Vec::with_capacity(n);
+    let mut dinv_node: Vec<NodeId> = Vec::with_capacity(n);
+
+    for (i, row) in pattern.iter().enumerate() {
+        for &j in row {
+            let input = g.input(k_name(i, j));
+            k_in.insert((i, j), input);
+        }
+        k_in.insert((i, i), g.input(k_name(i, i)));
+    }
+
+    for (i, row) in pattern.iter().enumerate() {
+        for &j in row {
+            // L[i][j] = (K[i][j] - sum_{k in row(i) ∩ row(j)} L[i][k]·(L[j][k]·d[k])) / d[j]
+            let mut acc = k_in[&(i, j)];
+            for &k in row {
+                if k >= j {
+                    break;
+                }
+                if let Some(&ljk_d) = ld_node.get(&(j, k)) {
+                    let m = g.mul(l_node[&(i, k)], ljk_d);
+                    acc = g.sub(acc, m);
+                }
+            }
+            let lij = g.mul(acc, dinv_node[j]);
+            l_node.insert((i, j), lij);
+            let lijd = g.mul(lij, d_node[j]);
+            ld_node.insert((i, j), lijd);
+            g.output(l_name(i, j), lij);
+        }
+        // d[i] = K[i][i] - sum L[i][k]^2 d[k] = K[i][i] - sum L[i][k]·(L[i][k]·d[k])
+        let mut di = k_in[&(i, i)];
+        for &k in row {
+            let m = g.mul(l_node[&(i, k)], ld_node[&(i, k)]);
+            di = g.sub(di, m);
+        }
+        let dinv = g.div(one, di);
+        d_node.push(di);
+        dinv_node.push(dinv);
+        g.output(format!("d{i}"), di);
+        g.output(dinv_name(i), dinv);
+    }
+    g.validate();
+    LdlFactorProgram { cdfg: g, dim: n }
+}
+
+impl LdlFactorProgram {
+    /// Bind a KKT matrix to the kernel's inputs.
+    pub fn inputs_for(
+        &self,
+        pattern: &[Vec<usize>],
+        m: &crate::sparse::SymSparse,
+    ) -> HashMap<String, f64> {
+        let mut ins = HashMap::new();
+        for (i, row) in pattern.iter().enumerate() {
+            for &j in row {
+                ins.insert(k_name(i, j), m.get(i, j));
+            }
+            ins.insert(k_name(i, i), m.get(i, i));
+        }
+        ins
+    }
+}
+
+#[cfg(test)]
+mod factor_tests {
+    use super::*;
+    use crate::kkt::KktSystem;
+    use crate::ldl::{symbolic_ldl, LdlFactors};
+    use crate::trajectory::solver_suite;
+    use csfma_hls::interp::eval_f64;
+
+    #[test]
+    fn generated_factor_matches_reference() {
+        let p = &solver_suite()[0];
+        let k = KktSystem::assemble(p);
+        let pattern = symbolic_ldl(&k.matrix);
+        let prog = generate_ldlfactor(&pattern);
+        let ins = prog.inputs_for(&pattern, &k.matrix);
+        let out = eval_f64(&prog.cdfg, &ins);
+        let f = LdlFactors::factor(&k.matrix);
+        for (i, row) in pattern.iter().enumerate() {
+            let want_d = f.d[i];
+            let got_d = out[&format!("d{i}")];
+            assert!(
+                (got_d - want_d).abs() <= 1e-9 * want_d.abs().max(1e-9),
+                "d[{i}]: {got_d} vs {want_d}"
+            );
+            for (pos, &j) in row.iter().enumerate() {
+                let want = f.l_values[i][pos];
+                let got = out[&l_name(i, j)];
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1e-9),
+                    "L[{i}][{j}]: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factor_kernel_contains_divisions_solve_does_not() {
+        use csfma_hls::Op;
+        let p = &solver_suite()[0];
+        let k = KktSystem::assemble(p);
+        let pattern = symbolic_ldl(&k.matrix);
+        let factor = generate_ldlfactor(&pattern);
+        // exactly one reciprocal per pivot
+        assert_eq!(factor.cdfg.count_ops(|o| matches!(o, Op::Div)), k.matrix.dim());
+        let f = LdlFactors::factor(&k.matrix);
+        let solve = generate_ldlsolve(&f);
+        assert_eq!(solve.cdfg.count_ops(|o| matches!(o, Op::Div)), 0);
+    }
+
+    #[test]
+    fn factor_kernel_fusion_gains_less_than_solve() {
+        // the division chain resists fusion — the reason the paper
+        // compiles ldlsolve as the kernel
+        use csfma_hls::{asap_schedule, fuse_critical_paths, FmaKind, FusionConfig, OpTiming};
+        let p = &solver_suite()[0];
+        let k = KktSystem::assemble(p);
+        let pattern = symbolic_ldl(&k.matrix);
+        let factor = generate_ldlfactor(&pattern);
+        let t = OpTiming::default();
+        let before = asap_schedule(&factor.cdfg, &t).length;
+        let rep = fuse_critical_paths(&factor.cdfg, &FusionConfig::new(FmaKind::Fcs));
+        let factor_red = 1.0 - rep.final_length as f64 / before as f64;
+
+        let f = LdlFactors::factor(&k.matrix);
+        let solve = generate_ldlsolve(&f);
+        let sb = asap_schedule(&solve.cdfg, &t).length;
+        let srep = fuse_critical_paths(&solve.cdfg, &FusionConfig::new(FmaKind::Fcs));
+        let solve_red = 1.0 - srep.final_length as f64 / sb as f64;
+        assert!(
+            solve_red > factor_red,
+            "solve {solve_red:.2} vs factor {factor_red:.2}"
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! Primal-dual interior-point method over the fixed-pattern KKT system —
+//! the solver loop around the `ldlsolve()` kernel the paper accelerates.
+//!
+//! CVXGEN's generated solvers run a handful of interior-point iterations;
+//! each one factors and solves a KKT matrix whose **sparsity never
+//! changes** — only the `-diag(s/λ)` block updates numerically. That is
+//! what makes fully unrolled, statically scheduled `ldlfactor`/`ldlsolve`
+//! hardware possible. This module implements the loop (path-following
+//! with a fixed centering parameter and fraction-to-boundary steps),
+//! reusing [`LdlFactors`] for the per-iteration factorization; the
+//! `per-iteration solve` is byte-identical in structure to the generated
+//! kernel, which the tests cross-check.
+
+use crate::ldl::LdlFactors;
+use crate::qp::QpProblem;
+use crate::sparse::SymSparse;
+
+/// Regularization of the augmented system (CVXGEN-style).
+const EPS_REG: f64 = 1e-8;
+/// Fixed centering parameter.
+const SIGMA: f64 = 0.1;
+/// Fraction-to-boundary factor.
+const GAMMA: f64 = 0.99;
+
+/// Result of an interior-point solve.
+#[derive(Clone, Debug)]
+pub struct IpmResult {
+    /// Primal solution.
+    pub z: Vec<f64>,
+    /// Inequality duals (λ ≥ 0).
+    pub lambda: Vec<f64>,
+    /// Equality duals.
+    pub y: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final duality measure `sᵀλ / m`.
+    pub gap: f64,
+    /// Final max primal residual (equalities and inequalities).
+    pub primal_residual: f64,
+    /// Final max dual (stationarity) residual.
+    pub dual_residual: f64,
+}
+
+/// KKT variable layout: `[z | λ | y]`.
+struct Layout {
+    n: usize,
+    mi: usize,
+    me: usize,
+}
+
+impl Layout {
+    fn lam(&self, i: usize) -> usize {
+        self.n + i
+    }
+    fn yy(&self, i: usize) -> usize {
+        self.n + self.mi + i
+    }
+    fn dim(&self) -> usize {
+        self.n + self.mi + self.me
+    }
+}
+
+/// Assemble the iteration-invariant part of the KKT matrix. The
+/// `-s_i/λ_i` diagonal entries are placeholders refreshed per iteration
+/// — the *pattern* is what the generated kernel is specialized to.
+fn assemble_kkt(qp: &QpProblem, lay: &Layout) -> SymSparse {
+    let mut m = SymSparse::zeros(lay.dim());
+    for i in 0..qp.dim {
+        for &(j, v) in qp.p.row(i) {
+            m.add(i, j, v);
+        }
+    }
+    for i in 0..qp.dim {
+        m.add(i, i, EPS_REG);
+    }
+    for (r, (row, _)) in qp.ineq.iter().enumerate() {
+        m.add(lay.lam(r), lay.lam(r), -1.0); // placeholder for -s/λ
+        for &(j, v) in row {
+            m.add(lay.lam(r), j, v);
+        }
+    }
+    for (r, (row, _)) in qp.eq.iter().enumerate() {
+        m.add(lay.yy(r), lay.yy(r), -EPS_REG);
+        for &(j, v) in row {
+            m.add(lay.yy(r), j, v);
+        }
+    }
+    m
+}
+
+/// Refresh the `-s/λ` diagonal for the current iterate.
+fn refresh_diagonal(m: &mut SymSparse, lay: &Layout, s: &[f64], lambda: &[f64]) {
+    for i in 0..lay.mi {
+        let idx = lay.lam(i);
+        let want = -(s[i] / lambda[i]) - EPS_REG;
+        let cur = m.get(idx, idx);
+        m.add(idx, idx, want - cur);
+    }
+}
+
+fn dot_row(row: &[(usize, f64)], z: &[f64]) -> f64 {
+    row.iter().map(|&(j, v)| v * z[j]).sum()
+}
+
+/// The KKT matrix at a given interior iterate — public so the generated
+/// `ldlsolve` kernel can be cross-checked against an interior-point
+/// iteration (the pattern is iterate-invariant; only the `-s/λ` diagonal
+/// values change).
+pub fn kkt_at_iterate(qp: &QpProblem, s: &[f64], lambda: &[f64]) -> SymSparse {
+    let lay = Layout { n: qp.dim, mi: qp.ineq.len(), me: qp.eq.len() };
+    let mut m = assemble_kkt(qp, &lay);
+    refresh_diagonal(&mut m, &lay, s, lambda);
+    m
+}
+
+/// Solve the QP with a primal-dual path-following interior-point method.
+///
+/// Returns when the duality gap and primal residuals fall below `tol`
+/// or after `max_iter` iterations.
+pub fn solve_qp(qp: &QpProblem, max_iter: usize, tol: f64) -> IpmResult {
+    solve_qp_warm(qp, max_iter, tol, None)
+}
+
+/// [`solve_qp`] with an optional warm start from a previous solution —
+/// the standard MPC trick: consecutive control periods solve nearly
+/// identical QPs, so re-centered duals/slacks from the last period cut
+/// the iteration count substantially.
+pub fn solve_qp_warm(
+    qp: &QpProblem,
+    max_iter: usize,
+    tol: f64,
+    warm: Option<&IpmResult>,
+) -> IpmResult {
+    let lay = Layout { n: qp.dim, mi: qp.ineq.len(), me: qp.eq.len() };
+    let mut kkt = assemble_kkt(qp, &lay);
+
+    let (mut z, mut lambda, mut s, mut y) = match warm {
+        Some(w) if w.z.len() == lay.n && w.lambda.len() == lay.mi => {
+            // keep the primal/dual point but re-center the complementarity
+            // pair away from the boundary (floor at 1e-3)
+            let lambda: Vec<f64> = w.lambda.iter().map(|&l| l.max(1e-3)).collect();
+            let s: Vec<f64> = qp
+                .ineq
+                .iter()
+                .map(|(row, h)| (h - dot_row(row, &w.z)).max(1e-3))
+                .collect();
+            (w.z.clone(), lambda, s, w.y.clone())
+        }
+        _ => (
+            vec![0.0; lay.n],
+            vec![1.0; lay.mi],
+            vec![1.0; lay.mi],
+            vec![0.0; lay.me],
+        ),
+    };
+
+    let mut iterations = 0;
+    let (mut gap, mut rp_max, mut rd_max);
+    loop {
+        // residuals
+        let pz = qp.p.mul_vec(&z);
+        let mut r_dual: Vec<f64> = (0..lay.n).map(|i| pz[i] + qp.q[i]).collect();
+        for (r, (row, _)) in qp.ineq.iter().enumerate() {
+            for &(j, v) in row {
+                r_dual[j] += v * lambda[r];
+            }
+        }
+        for (r, (row, _)) in qp.eq.iter().enumerate() {
+            for &(j, v) in row {
+                r_dual[j] += v * y[r];
+            }
+        }
+        let r_ineq: Vec<f64> = qp
+            .ineq
+            .iter()
+            .enumerate()
+            .map(|(r, (row, h))| dot_row(row, &z) + s[r] - h)
+            .collect();
+        let r_eq: Vec<f64> = qp.eq.iter().map(|(row, b)| dot_row(row, &z) - b).collect();
+
+        gap = if lay.mi == 0 {
+            0.0
+        } else {
+            s.iter().zip(&lambda).map(|(a, b)| a * b).sum::<f64>() / lay.mi as f64
+        };
+        rp_max = r_eq
+            .iter()
+            .chain(r_ineq.iter())
+            .map(|v| v.abs())
+            .fold(0.0, f64::max);
+        rd_max = r_dual.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        if (gap < tol && rp_max < tol && rd_max < tol * 10.0) || iterations >= max_iter {
+            break;
+        }
+
+        // assemble rhs of the reduced system
+        let mu = gap;
+        let mut rhs = vec![0.0; lay.dim()];
+        for i in 0..lay.n {
+            rhs[i] = -r_dual[i];
+        }
+        for r in 0..lay.mi {
+            // G dz - (s/λ) dλ = -r_ineq + s - σμ/λ
+            rhs[lay.lam(r)] = -r_ineq[r] + s[r] - SIGMA * mu / lambda[r];
+        }
+        for r in 0..lay.me {
+            rhs[lay.yy(r)] = -r_eq[r];
+        }
+
+        // factor with the refreshed diagonal (fixed pattern!) and solve —
+        // this is the ldlfactor/ldlsolve pair of the generated code
+        refresh_diagonal(&mut kkt, &lay, &s, &lambda);
+        let factors = LdlFactors::factor(&kkt);
+        let d = factors.solve(&rhs);
+
+        let dz = &d[..lay.n];
+        let dl = &d[lay.n..lay.n + lay.mi];
+        let ds: Vec<f64> = (0..lay.mi)
+            .map(|r| SIGMA * mu / lambda[r] - s[r] - s[r] / lambda[r] * dl[r])
+            .collect();
+        let dy = &d[lay.n + lay.mi..];
+
+        // fraction-to-boundary step
+        let mut alpha = 1.0f64;
+        for r in 0..lay.mi {
+            if dl[r] < 0.0 {
+                alpha = alpha.min(-lambda[r] / dl[r]);
+            }
+            if ds[r] < 0.0 {
+                alpha = alpha.min(-s[r] / ds[r]);
+            }
+        }
+        let alpha = (GAMMA * alpha).min(1.0);
+
+        for i in 0..lay.n {
+            z[i] += alpha * dz[i];
+        }
+        for r in 0..lay.mi {
+            lambda[r] += alpha * dl[r];
+            s[r] += alpha * ds[r];
+        }
+        for (yi, dyi) in y.iter_mut().zip(dy) {
+            *yi += alpha * dyi;
+        }
+        iterations += 1;
+    }
+
+    IpmResult {
+        z,
+        lambda,
+        y,
+        iterations,
+        gap,
+        primal_residual: rp_max,
+        dual_residual: rd_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qp::{trajectory_qp, u_index, x_index};
+    use crate::trajectory::solver_suite;
+
+    #[test]
+    fn scalar_box_qp() {
+        // minimize (z-5)^2  s.t. z <= 2  -> z* = 2, λ* = 2(2-5)*-1 = 6
+        let mut p = crate::sparse::SymSparse::zeros(1);
+        p.add(0, 0, 2.0);
+        let qp = QpProblem {
+            dim: 1,
+            p,
+            q: vec![-10.0],
+            eq: vec![],
+            ineq: vec![(vec![(0, 1.0)], 2.0)],
+        };
+        let r = solve_qp(&qp, 50, 1e-8);
+        assert!((r.z[0] - 2.0).abs() < 1e-5, "z = {}", r.z[0]);
+        assert!((r.lambda[0] - 6.0).abs() < 1e-3, "λ = {}", r.lambda[0]);
+        assert!(r.gap < 1e-6);
+    }
+
+    #[test]
+    fn equality_only_matches_kkt_solve() {
+        // with very loose bounds the IPM must agree with the pure
+        // equality-constrained KKT solution
+        let p = &solver_suite()[0];
+        let qp = trajectory_qp(p, 1e6, 1e6);
+        let r = solve_qp(&qp, 60, 1e-9);
+        assert!(r.primal_residual < 1e-6, "primal {}", r.primal_residual);
+        assert!(r.dual_residual < 1e-4, "dual {}", r.dual_residual);
+        // compare against an explicit equality-KKT factorization
+        let lay_n = qp.dim;
+        let me = qp.eq.len();
+        let mut kkt = crate::sparse::SymSparse::zeros(lay_n + me);
+        for i in 0..lay_n {
+            for &(j, v) in qp.p.row(i) {
+                kkt.add(i, j, v);
+            }
+            kkt.add(i, i, 1e-9);
+        }
+        for (rr, (row, _)) in qp.eq.iter().enumerate() {
+            kkt.add(lay_n + rr, lay_n + rr, -1e-9);
+            for &(j, v) in row {
+                kkt.add(lay_n + rr, j, v);
+            }
+        }
+        let mut rhs = vec![0.0; lay_n + me];
+        for i in 0..lay_n {
+            rhs[i] = -qp.q[i];
+        }
+        for (rr, (_, b)) in qp.eq.iter().enumerate() {
+            rhs[lay_n + rr] = *b;
+        }
+        let f = crate::ldl::LdlFactors::factor(&kkt);
+        let x = f.solve(&rhs);
+        for i in 0..lay_n {
+            assert!(
+                (r.z[i] - x[i]).abs() < 1e-3 * x[i].abs().max(1.0),
+                "z[{i}] = {} vs {}",
+                r.z[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn actuator_limits_bind() {
+        let p = &solver_suite()[1];
+        // tight limits: the tracking problem wants more acceleration
+        let u_max = 0.8;
+        let qp = trajectory_qp(p, u_max, 1e6);
+        let r = solve_qp(&qp, 80, 1e-7);
+        assert!(r.primal_residual < 1e-5, "primal {}", r.primal_residual);
+        assert!(qp.ineq_violation(&r.z) < 1e-6);
+        // the constraint is active somewhere and controls stay in range
+        let mut max_u: f64 = 0.0;
+        for t in 0..p.horizon {
+            for k in 0..crate::trajectory::NU {
+                max_u = max_u.max(r.z[u_index(t, k)].abs());
+            }
+        }
+        assert!(max_u <= u_max + 1e-6, "max |u| = {max_u}");
+        assert!(max_u > 0.95 * u_max, "limit binds: {max_u}");
+        // objective is worse than with loose limits (constrained optimum)
+        let loose = solve_qp(&trajectory_qp(p, 1e6, 1e6), 80, 1e-7);
+        assert!(qp.objective(&r.z) >= qp.objective(&loose.z) - 1e-6);
+        // multipliers of active constraints are positive
+        assert!(r.lambda.iter().cloned().fold(0.0, f64::max) > 1e-3);
+    }
+
+    #[test]
+    fn speed_cap_binds() {
+        let p = &solver_suite()[0];
+        let v_max = 9.0; // reference wants ~12 m/s
+        let qp = trajectory_qp(p, 1e6, v_max);
+        let r = solve_qp(&qp, 80, 1e-7);
+        let mut vmax_seen: f64 = 0.0;
+        for t in 0..p.horizon {
+            vmax_seen = vmax_seen.max(r.z[x_index(t, 2)]);
+        }
+        assert!(vmax_seen <= v_max + 1e-5, "v = {vmax_seen}");
+        assert!(vmax_seen > 0.9 * v_max, "cap binds: {vmax_seen}");
+    }
+
+    #[test]
+    fn kkt_pattern_is_iteration_invariant() {
+        // the enabling property for static ldlsolve codegen: the pattern
+        // after the diagonal refresh is identical
+        let p = &solver_suite()[0];
+        let qp = trajectory_qp(p, 3.0, 15.0);
+        let lay = Layout { n: qp.dim, mi: qp.ineq.len(), me: qp.eq.len() };
+        let mut m = assemble_kkt(&qp, &lay);
+        let pat_before: Vec<Vec<usize>> = crate::ldl::symbolic_ldl(&m);
+        refresh_diagonal(&mut m, &lay, &vec![0.5; lay.mi], &vec![2.0; lay.mi]);
+        let pat_after = crate::ldl::symbolic_ldl(&m);
+        assert_eq!(pat_before, pat_after);
+    }
+}
+
+#[cfg(test)]
+mod warm_start_tests {
+    use super::*;
+    use crate::qp::trajectory_qp;
+    use crate::trajectory::solver_suite;
+
+    #[test]
+    fn warm_start_cuts_iterations() {
+        let p = &solver_suite()[1];
+        let qp = trajectory_qp(p, 2.5, 13.0);
+        let cold = solve_qp(&qp, 80, 1e-7);
+        // slightly perturbed problem (the next MPC period)
+        let mut p2 = p.clone();
+        p2.x0[0] += 1.5;
+        p2.x0[2] -= 0.3;
+        let qp2 = trajectory_qp(&p2, 2.5, 13.0);
+        let cold2 = solve_qp(&qp2, 80, 1e-7);
+        let warm2 = solve_qp_warm(&qp2, 80, 1e-7, Some(&cold));
+        assert!(warm2.gap < 1e-6 && warm2.primal_residual < 1e-5);
+        assert!(
+            warm2.iterations < cold2.iterations,
+            "warm {} vs cold {}",
+            warm2.iterations,
+            cold2.iterations
+        );
+        // both land on the same optimum
+        for (a, b) in warm2.z.iter().zip(&cold2.z) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn mismatched_warm_start_is_ignored() {
+        let p = &solver_suite()[0];
+        let qp = trajectory_qp(p, 2.5, 13.0);
+        let bogus = IpmResult {
+            z: vec![0.0; 3], // wrong dimension
+            lambda: vec![],
+            y: vec![],
+            iterations: 0,
+            gap: 0.0,
+            primal_residual: 0.0,
+            dual_residual: 0.0,
+        };
+        let r = solve_qp_warm(&qp, 80, 1e-7, Some(&bogus));
+        assert!(r.gap < 1e-6, "falls back to a cold start");
+    }
+}

@@ -1,0 +1,144 @@
+//! Regularized KKT system assembly.
+//!
+//! CVXGEN's interior-point iterations repeatedly solve
+//!
+//! ```text
+//! [ Q + εI    Aᵀ ] [ dx ]   [ r1 ]
+//! [ A       -εI  ] [ dν ] = [ r2 ]
+//! ```
+//!
+//! The ±ε regularization makes the matrix **quasi-definite**, so an LDLᵀ
+//! factorization exists for any symmetric permutation *without pivoting*
+//! — the property that lets CVXGEN (and us) fix the elimination order and
+//! fully unroll `ldlsolve()` into straight-line code.
+//!
+//! Variable ordering is the natural interleaved MPC order
+//! `u_0, x_1, ν_0, u_1, x_2, ν_1, …` which keeps the matrix banded and
+//! the fill-in local.
+
+use crate::sparse::SymSparse;
+use crate::trajectory::{TrajectoryProblem, NU, NX};
+
+/// CVXGEN-style regularization.
+pub const EPS_REG: f64 = 1e-7;
+
+/// An assembled KKT system with its right-hand side.
+#[derive(Clone, Debug)]
+pub struct KktSystem {
+    /// The quasi-definite KKT matrix.
+    pub matrix: SymSparse,
+    /// Right-hand side (one interior-point residual vector).
+    pub rhs: Vec<f64>,
+    /// Number of primal variables (prefix of the ordering).
+    pub num_primal: usize,
+}
+
+/// Index helpers for the interleaved ordering.
+struct Order {
+    horizon: usize,
+}
+
+impl Order {
+    fn block(&self, t: usize) -> usize {
+        // per step: NU controls + NX states + NX duals
+        t * (NU + NX + NX)
+    }
+    fn u(&self, t: usize, k: usize) -> usize {
+        self.block(t) + k
+    }
+    fn x(&self, t: usize, k: usize) -> usize {
+        // x_{t+1} stored in step t's block
+        self.block(t) + NU + k
+    }
+    fn nu(&self, t: usize, k: usize) -> usize {
+        self.block(t) + NU + NX + k
+    }
+    fn dim(&self) -> usize {
+        self.block(self.horizon)
+    }
+}
+
+impl KktSystem {
+    /// Assemble the KKT system of one trajectory problem.
+    pub fn assemble(p: &TrajectoryProblem) -> KktSystem {
+        let ord = Order { horizon: p.horizon };
+        let dim = ord.dim();
+        let mut m = SymSparse::zeros(dim);
+        let mut rhs = vec![0.0; dim];
+
+        let a = p.a_matrix();
+        let b = p.b_matrix();
+
+        for t in 0..p.horizon {
+            // objective blocks (+ regularization on primals)
+            for k in 0..NU {
+                m.add(ord.u(t, k), ord.u(t, k), p.r_diag[k] + EPS_REG);
+            }
+            let r = p.reference(t);
+            for k in 0..NX {
+                m.add(ord.x(t, k), ord.x(t, k), p.q_diag[k] + EPS_REG);
+                rhs[ord.x(t, k)] = p.q_diag[k] * r[k];
+            }
+            // dynamics: x_{t+1} - A x_t - B u_t = 0, dual nu_t
+            for i in 0..NX {
+                let row = ord.nu(t, i);
+                m.add(row, row, -EPS_REG);
+                m.add(row, ord.x(t, i), 1.0); // +x_{t+1}
+                for (k, bi) in b[i].iter().enumerate() {
+                    m.add(row, ord.u(t, k), -bi);
+                }
+                if t > 0 {
+                    for (k, ai) in a[i].iter().enumerate() {
+                        m.add(row, ord.x(t - 1, k), -ai);
+                    }
+                } else {
+                    // x_0 is data: A x_0 moves to the rhs
+                    let ax0: f64 = (0..NX).map(|k| a[i][k] * p.x0[k]).sum();
+                    rhs[row] = ax0;
+                }
+            }
+        }
+        KktSystem { matrix: m, rhs, num_primal: p.num_vars() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::solver_suite;
+
+    #[test]
+    fn dimensions() {
+        let p = &solver_suite()[0];
+        let k = KktSystem::assemble(p);
+        assert_eq!(k.matrix.dim(), p.num_vars() + p.num_eq());
+        assert_eq!(k.rhs.len(), k.matrix.dim());
+    }
+
+    #[test]
+    fn banded_structure() {
+        let p = &solver_suite()[1];
+        let k = KktSystem::assemble(p);
+        let dim = k.matrix.dim();
+        // bandwidth bounded by two step-blocks
+        let band = 2 * (NU + NX + NX);
+        for i in 0..dim {
+            for &(j, _) in k.matrix.row(i) {
+                assert!(i - j <= band, "entry ({i},{j}) outside band");
+            }
+        }
+    }
+
+    #[test]
+    fn quasi_definite_signs() {
+        let p = &solver_suite()[0];
+        let k = KktSystem::assemble(p);
+        let ord = Order { horizon: p.horizon };
+        for t in 0..p.horizon {
+            for kk in 0..NX {
+                assert!(k.matrix.get(ord.x(t, kk), ord.x(t, kk)) > 0.0);
+                assert!(k.matrix.get(ord.nu(t, kk), ord.nu(t, kk)) < 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! LDLᵀ factorization: symbolic fill-in analysis, numeric factorization
+//! and reference solves.
+//!
+//! CVXGEN fixes the elimination order at code-generation time, computes
+//! the fill-in pattern once, and emits fully unrolled `ldlfactor()` /
+//! `ldlsolve()` code over that static pattern. This module does the same
+//! analysis; `codegen` turns the pattern into a CDFG.
+
+use crate::sparse::SymSparse;
+
+/// The static nonzero pattern and numeric values of `K = L·D·Lᵀ`
+/// (unit lower-triangular `L`, diagonal `D`).
+#[derive(Clone, Debug)]
+pub struct LdlFactors {
+    n: usize,
+    /// Strictly-lower nonzero pattern: `pattern[i]` = sorted columns `j < i`.
+    pub pattern: Vec<Vec<usize>>,
+    /// Numeric `L` values matching `pattern`.
+    pub l_values: Vec<Vec<f64>>,
+    /// Diagonal `D`.
+    pub d: Vec<f64>,
+}
+
+/// Compute the fill-in pattern of LDLᵀ in the natural order.
+///
+/// Fill rule: `L[i][j] ≠ 0` iff `K[i][j] ≠ 0` or there is an earlier
+/// column `k < j` with `L[i][k] ≠ 0` and `L[j][k] ≠ 0` (eliminating
+/// column `k` couples every pair of rows that reach it). Computed by a
+/// forward sweep over columns with a dense boolean lower triangle — the
+/// KKT systems here are small and banded, so this is exact and cheap.
+pub fn symbolic_ldl(m: &SymSparse) -> Vec<Vec<usize>> {
+    let n = m.dim();
+    let mut lower = vec![vec![false; n]; n];
+    for (i, row) in lower.iter_mut().enumerate() {
+        for &(j, _) in m.row(i) {
+            if j < i {
+                row[j] = true;
+            }
+        }
+    }
+    for k in 0..n {
+        let reach: Vec<usize> = (k + 1..n).filter(|&i| lower[i][k]).collect();
+        for (ai, &a) in reach.iter().enumerate() {
+            for &b in &reach[ai + 1..] {
+                // a < b by construction: fill at (b, a)
+                lower[b][a] = true;
+            }
+        }
+    }
+    (0..n)
+        .map(|i| (0..i).filter(|&j| lower[i][j]).collect())
+        .collect()
+}
+
+impl LdlFactors {
+    /// Numeric factorization over the symbolic pattern (no pivoting —
+    /// valid for quasi-definite matrices).
+    ///
+    /// # Panics
+    /// If a zero pivot appears (the matrix was not quasi-definite).
+    pub fn factor(m: &SymSparse) -> LdlFactors {
+        let n = m.dim();
+        let pattern = symbolic_ldl(m);
+        let mut l_values: Vec<Vec<f64>> = pattern.iter().map(|r| vec![0.0; r.len()]).collect();
+        let mut d = vec![0.0; n];
+        // dense scratch row for clarity (n is small)
+        let mut lrow = vec![0.0; n];
+        let mut lprev: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for x in lrow.iter_mut() {
+                *x = 0.0;
+            }
+            for &(j, v) in m.row(i) {
+                if j < i {
+                    lrow[j] = v;
+                }
+            }
+            let mut di = m.get(i, i);
+            for (pos, &j) in pattern[i].iter().enumerate() {
+                let mut lij = lrow[j];
+                for (qpos, &k) in pattern[j].iter().enumerate() {
+                    lij -= lrow[k] * lprev[j][qpos] * d[k];
+                }
+                lij /= d[j];
+                lrow[j] = lij;
+                l_values[i][pos] = lij;
+                di -= lij * lij * d[j];
+            }
+            assert!(di != 0.0, "zero pivot at {i}");
+            d[i] = di;
+            lprev[i] = l_values[i].clone();
+        }
+        LdlFactors { n, pattern, l_values, d }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total strictly-lower nonzeros of `L` (the unrolled code size
+    /// driver).
+    pub fn nnz(&self) -> usize {
+        self.pattern.iter().map(|r| r.len()).sum()
+    }
+
+    /// Reference `ldlsolve`: solve `L D Lᵀ x = b` by forward substitution,
+    /// diagonal scaling and backward substitution — the computation the
+    /// generated straight-line code must reproduce.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        // forward: L y = b
+        let mut y = b.to_vec();
+        for i in 0..self.n {
+            for (pos, &j) in self.pattern[i].iter().enumerate() {
+                y[i] -= self.l_values[i][pos] * y[j];
+            }
+        }
+        // diagonal: z = D^-1 y (CVXGEN stores the inverse diagonal, so
+        // the generated code multiplies)
+        for (yi, di) in y.iter_mut().zip(&self.d) {
+            *yi /= di;
+        }
+        // backward: L^T x = z
+        for i in (0..self.n).rev() {
+            for (pos, &j) in self.pattern[i].iter().enumerate() {
+                y[j] -= self.l_values[i][pos] * y[i];
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kkt::KktSystem;
+    use crate::trajectory::solver_suite;
+
+    fn residual_norm(m: &SymSparse, x: &[f64], b: &[f64]) -> f64 {
+        m.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn small_dense_example() {
+        // K = [[4,1],[1,3]] (SPD)
+        let mut m = SymSparse::zeros(2);
+        m.add(0, 0, 4.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 3.0);
+        let f = LdlFactors::factor(&m);
+        assert!((f.d[0] - 4.0).abs() < 1e-12);
+        assert!((f.l_values[1][0] - 0.25).abs() < 1e-12);
+        let x = f.solve(&[1.0, 2.0]);
+        assert!(residual_norm(&m, &x, &[1.0, 2.0]) < 1e-12);
+    }
+
+    #[test]
+    fn fill_in_is_detected() {
+        // arrow matrix: row 3 connects to 0; rows 1,2 connect to 0 =>
+        // eliminating 0 fills 1-2, 1-3, 2-3... construct: K[i][0] != 0
+        let n = 4;
+        let mut m = SymSparse::zeros(n);
+        for i in 0..n {
+            m.add(i, i, 10.0);
+            if i > 0 {
+                m.add(i, 0, 1.0);
+            }
+        }
+        let p = symbolic_ldl(&m);
+        // eliminating column 0 makes every later pair interact
+        assert!(p[2].contains(&1));
+        assert!(p[3].contains(&2));
+    }
+
+    #[test]
+    fn kkt_factorization_solves() {
+        for p in solver_suite() {
+            let k = KktSystem::assemble(&p);
+            let f = LdlFactors::factor(&k.matrix);
+            let x = f.solve(&k.rhs);
+            let r = residual_norm(&k.matrix, &x, &k.rhs);
+            assert!(r < 1e-6, "{}: residual {r}", p.name);
+            // velocity states should track roughly forward
+            assert!(x.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn nnz_grows_with_horizon() {
+        let suite = solver_suite();
+        let nnz: Vec<usize> = suite
+            .iter()
+            .map(|p| LdlFactors::factor(&KktSystem::assemble(p).matrix).nnz())
+            .collect();
+        assert!(nnz[0] < nnz[1] && nnz[1] < nnz[2], "{nnz:?}");
+    }
+}
+
+impl LdlFactors {
+    /// Solve with one or more rounds of iterative refinement — the
+    /// companion technique CVXGEN pairs with its static regularized
+    /// factorization: solve, compute the true residual `b - Kx`, solve
+    /// for the correction, repeat. Recovers the accuracy the ±ε
+    /// regularization gave up.
+    pub fn solve_refined(&self, k: &SymSparse, b: &[f64], rounds: usize) -> Vec<f64> {
+        let mut x = self.solve(b);
+        for _ in 0..rounds {
+            let kx = k.mul_vec(&x);
+            let r: Vec<f64> = b.iter().zip(&kx).map(|(bi, ki)| bi - ki).collect();
+            let dx = self.solve(&r);
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi += di;
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod refinement_tests {
+    use super::*;
+    use crate::kkt::KktSystem;
+    use crate::trajectory::solver_suite;
+
+    #[test]
+    fn refinement_tightens_the_residual() {
+        let p = &solver_suite()[2];
+        let k = KktSystem::assemble(p);
+        let f = LdlFactors::factor(&k.matrix);
+        let res = |x: &[f64]| {
+            k.matrix
+                .mul_vec(x)
+                .iter()
+                .zip(&k.rhs)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let plain = res(&f.solve(&k.rhs));
+        let refined = res(&f.solve_refined(&k.matrix, &k.rhs, 2));
+        assert!(refined <= plain, "refined {refined:e} vs plain {plain:e}");
+        assert!(refined < 1e-9, "refined residual {refined:e}");
+    }
+}
+
+#[cfg(test)]
+mod symbolic_completeness {
+    use super::*;
+    use crate::kkt::KktSystem;
+    use crate::trajectory::solver_suite;
+
+    /// The symbolic pattern must be a superset of every numerically
+    /// nonzero L entry (no structural misses), and the factorization must
+    /// reconstruct K = L·D·Lᵀ entrywise.
+    #[test]
+    fn pattern_covers_numeric_factorization() {
+        let p = &solver_suite()[0];
+        let k = KktSystem::assemble(p);
+        let f = LdlFactors::factor(&k.matrix);
+        let n = f.dim();
+        // dense reconstruct
+        let mut l = vec![vec![0.0f64; n]; n];
+        for (i, row) in l.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        for (i, row) in f.pattern.iter().enumerate() {
+            for (pos, &j) in row.iter().enumerate() {
+                l[i][j] = f.l_values[i][pos];
+            }
+        }
+        for i in 0..n {
+            for j in 0..=i {
+                let mut v = 0.0;
+                for kk in 0..=j {
+                    v += l[i][kk] * f.d[kk] * l[j][kk];
+                }
+                let want = k.matrix.get(i, j);
+                assert!(
+                    (v - want).abs() <= 1e-8 * want.abs().max(1e-8),
+                    "K[{i}][{j}]: {v} vs {want}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! General QP description with equality and inequality constraints —
+//! the problem class CVXGEN's generated solvers handle:
+//!
+//! ```text
+//! minimize    ½ zᵀ P z + qᵀ z
+//! subject to  A z = b,   G z ≤ h
+//! ```
+//!
+//! The trajectory problems of Sec. IV-D extend their equality-constrained
+//! core with actuator and speed limits here; the interior-point method in
+//! [`crate::ipm`] then solves KKT systems of the *same fixed sparsity*
+//! every iteration — the property that lets the `ldlsolve()` kernel be
+//! generated once and reused.
+
+use crate::sparse::SymSparse;
+use crate::trajectory::{TrajectoryProblem, NU, NX};
+
+/// A sparse linear constraint row: `Σ coeffs · z (cmp) rhs`.
+pub type Row = (Vec<(usize, f64)>, f64);
+
+/// A quadratic program.
+#[derive(Clone, Debug)]
+pub struct QpProblem {
+    /// Primal dimension.
+    pub dim: usize,
+    /// Quadratic cost (symmetric PSD).
+    pub p: SymSparse,
+    /// Linear cost.
+    pub q: Vec<f64>,
+    /// Equality rows `a·z = b`.
+    pub eq: Vec<Row>,
+    /// Inequality rows `g·z ≤ h`.
+    pub ineq: Vec<Row>,
+}
+
+impl QpProblem {
+    /// Objective value at `z`.
+    pub fn objective(&self, z: &[f64]) -> f64 {
+        let pz = self.p.mul_vec(z);
+        0.5 * z.iter().zip(&pz).map(|(a, b)| a * b).sum::<f64>()
+            + self.q.iter().zip(z).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    /// Max equality violation at `z`.
+    pub fn eq_violation(&self, z: &[f64]) -> f64 {
+        self.eq
+            .iter()
+            .map(|(row, b)| (row.iter().map(|&(j, v)| v * z[j]).sum::<f64>() - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Max inequality violation at `z` (0 when feasible).
+    pub fn ineq_violation(&self, z: &[f64]) -> f64 {
+        self.ineq
+            .iter()
+            .map(|(row, h)| (row.iter().map(|&(j, v)| v * z[j]).sum::<f64>() - h).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Index of control `u_t[k]` in the interleaved MPC variable order
+/// (matching `kkt::Order`: per step `NU` controls then `NX` states).
+pub fn u_index(t: usize, k: usize) -> usize {
+    t * (NU + NX) + k
+}
+
+/// Index of state `x_{t+1}[k]`.
+pub fn x_index(t: usize, k: usize) -> usize {
+    t * (NU + NX) + NU + k
+}
+
+/// Build the constrained trajectory QP: the equality-constrained tracking
+/// problem of [`TrajectoryProblem`] plus actuator limits `|u| ≤ u_max`
+/// and a forward speed cap `v_x ≤ v_max`.
+pub fn trajectory_qp(p: &TrajectoryProblem, u_max: f64, v_max: f64) -> QpProblem {
+    let n = p.num_vars();
+    let mut pm = SymSparse::zeros(n);
+    let mut q = vec![0.0; n];
+    for t in 0..p.horizon {
+        for k in 0..NU {
+            pm.add(u_index(t, k), u_index(t, k), p.r_diag[k]);
+        }
+        let r = p.reference(t);
+        for k in 0..NX {
+            pm.add(x_index(t, k), x_index(t, k), p.q_diag[k]);
+            q[x_index(t, k)] = -p.q_diag[k] * r[k];
+        }
+    }
+
+    let a = p.a_matrix();
+    let b = p.b_matrix();
+    let mut eq: Vec<Row> = Vec::new();
+    for t in 0..p.horizon {
+        for i in 0..NX {
+            let mut row: Vec<(usize, f64)> = vec![(x_index(t, i), 1.0)];
+            for (k, bi) in b[i].iter().enumerate() {
+                if *bi != 0.0 {
+                    row.push((u_index(t, k), -bi));
+                }
+            }
+            let mut rhs = 0.0;
+            if t > 0 {
+                for (k, ai) in a[i].iter().enumerate() {
+                    if *ai != 0.0 {
+                        row.push((x_index(t - 1, k), -ai));
+                    }
+                }
+            } else {
+                rhs = (0..NX).map(|k| a[i][k] * p.x0[k]).sum();
+            }
+            eq.push((row, rhs));
+        }
+    }
+
+    let mut ineq: Vec<Row> = Vec::new();
+    for t in 0..p.horizon {
+        for k in 0..NU {
+            ineq.push((vec![(u_index(t, k), 1.0)], u_max));
+            ineq.push((vec![(u_index(t, k), -1.0)], u_max));
+        }
+        // forward speed cap
+        ineq.push((vec![(x_index(t, 2), 1.0)], v_max));
+    }
+
+    QpProblem { dim: n, p: pm, q, eq, ineq }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::solver_suite;
+
+    #[test]
+    fn dimensions_and_counts() {
+        let p = &solver_suite()[0];
+        let qp = trajectory_qp(p, 3.0, 15.0);
+        assert_eq!(qp.dim, p.num_vars());
+        assert_eq!(qp.eq.len(), p.num_eq());
+        assert_eq!(qp.ineq.len(), p.horizon * (2 * NU + 1));
+    }
+
+    #[test]
+    fn objective_and_violations() {
+        let p = &solver_suite()[0];
+        let qp = trajectory_qp(p, 3.0, 15.0);
+        let z = vec![0.0; qp.dim];
+        // zero controls/states violate the dynamics with x0 moving
+        assert!(qp.eq_violation(&z) > 0.0);
+        assert_eq!(qp.ineq_violation(&z), 0.0);
+        assert!(qp.objective(&z).abs() < 1e-12); // pure quadratic at 0
+    }
+}

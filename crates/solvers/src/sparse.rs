@@ -1,0 +1,122 @@
+//! Minimal symmetric sparse matrix for the KKT systems.
+//!
+//! Stores the **lower triangle** (including the diagonal) row-wise with
+//! sorted column indices — all this crate needs for assembly, symbolic
+//! analysis and numeric factorization of the small, banded KKT matrices
+//! the trajectory problems produce.
+
+/// Symmetric sparse matrix, lower triangle stored row-wise.
+#[derive(Clone, Debug, Default)]
+pub struct SymSparse {
+    n: usize,
+    /// `rows[i]` = sorted `(j, value)` with `j <= i`.
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl SymSparse {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymSparse { n, rows: vec![Vec::new(); n] }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Add `v` to entry `(i, j)` (symmetric: stores in the lower triangle).
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        let (r, c) = if i >= j { (i, j) } else { (j, i) };
+        assert!(r < self.n, "index {r} out of dim {}", self.n);
+        match self.rows[r].binary_search_by_key(&c, |e| e.0) {
+            Ok(pos) => self.rows[r][pos].1 += v,
+            Err(pos) => self.rows[r].insert(pos, (c, v)),
+        }
+    }
+
+    /// Entry `(i, j)` (0 when structurally absent).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (r, c) = if i >= j { (i, j) } else { (j, i) };
+        self.rows[r]
+            .binary_search_by_key(&c, |e| e.0)
+            .map(|pos| self.rows[r][pos].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Lower-triangle row `i` as sorted `(col, value)` pairs.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// Number of stored (lower-triangle) nonzeros.
+    pub fn nnz_lower(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+
+    /// Dense copy (for the reference solve in tests).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.n]; self.n];
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, v) in row {
+                d[i][j] = v;
+                d[j][i] = v;
+            }
+        }
+        d
+    }
+
+    /// `y = M x` (symmetric multiply, for residual checks).
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, v) in row {
+                y[i] += v * x[j];
+                if i != j {
+                    y[j] += v * x[i];
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_symmetric() {
+        let mut m = SymSparse::zeros(3);
+        m.add(0, 2, 5.0);
+        m.add(1, 1, 2.0);
+        m.add(2, 0, 1.0); // accumulates into the same entry
+        assert_eq!(m.get(0, 2), 6.0);
+        assert_eq!(m.get(2, 0), 6.0);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.nnz_lower(), 2);
+    }
+
+    #[test]
+    fn mul_vec_symmetric() {
+        let mut m = SymSparse::zeros(2);
+        m.add(0, 0, 2.0);
+        m.add(1, 0, 3.0);
+        m.add(1, 1, 4.0);
+        let y = m.mul_vec(&[1.0, 2.0]);
+        assert_eq!(y, vec![2.0 + 6.0, 3.0 + 8.0]);
+    }
+
+    #[test]
+    fn dense_matches() {
+        let mut m = SymSparse::zeros(2);
+        m.add(0, 1, -1.5);
+        let d = m.to_dense();
+        assert_eq!(d[0][1], -1.5);
+        assert_eq!(d[1][0], -1.5);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end: trajectory QP → KKT → LDLᵀ → generated `ldlsolve` → HLS
+//! fusion → bit-accurate evaluation. This is the full Sec. IV-D pipeline
+//! in one test module (the Fig. 15 numbers come from `csfma-bench`).
+
+use crate::codegen::generate_ldlsolve;
+use crate::kkt::KktSystem;
+use crate::ldl::LdlFactors;
+use crate::trajectory::solver_suite;
+use csfma_hls::interp::{eval_bit_accurate, eval_f64};
+use csfma_hls::{asap_schedule, fuse_critical_paths, FmaKind, FusionConfig, OpTiming};
+
+#[test]
+fn fusion_accelerates_ldlsolve() {
+    let p = &solver_suite()[0];
+    let k = KktSystem::assemble(p);
+    let f = LdlFactors::factor(&k.matrix);
+    let prog = generate_ldlsolve(&f);
+    let t = OpTiming::default();
+    let before = asap_schedule(&prog.cdfg, &t).length;
+    for (kind, min_reduction) in [(FmaKind::Pcs, 0.15), (FmaKind::Fcs, 0.30)] {
+        let rep = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(kind));
+        let red = 1.0 - rep.final_length as f64 / before as f64;
+        assert!(
+            red >= min_reduction,
+            "{kind:?}: schedule {} -> {} ({:.1}%)",
+            before,
+            rep.final_length,
+            red * 100.0
+        );
+        assert!(rep.fma_nodes > 0);
+    }
+}
+
+#[test]
+fn fused_ldlsolve_stays_numerically_faithful() {
+    let p = &solver_suite()[0];
+    let k = KktSystem::assemble(p);
+    let f = LdlFactors::factor(&k.matrix);
+    let prog = generate_ldlsolve(&f);
+    let ins = prog.inputs_for(&f, &k.rhs);
+    let reference = f.solve(&k.rhs);
+
+    let rep = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(FmaKind::Fcs));
+    let out = eval_bit_accurate(&rep.fused, &ins);
+    let got = prog.extract_solution(&out);
+    // the fused datapath must agree with the double-precision reference
+    // well within the solver's own accuracy needs
+    for (g, w) in got.iter().zip(&reference) {
+        assert!(
+            (g - w).abs() <= 1e-8 * w.abs().max(1.0),
+            "fused {g} vs reference {w}"
+        );
+    }
+    // and the unfused f64 interpretation agrees with the reference exactly
+    let plain = prog.extract_solution(&eval_f64(&prog.cdfg, &ins));
+    for (g, w) in plain.iter().zip(&reference) {
+        assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0));
+    }
+}
+
+#[test]
+fn schedule_grows_with_solver_complexity() {
+    let t = OpTiming::default();
+    let mut lengths = Vec::new();
+    for p in solver_suite() {
+        let k = KktSystem::assemble(&p);
+        let f = LdlFactors::factor(&k.matrix);
+        let prog = generate_ldlsolve(&f);
+        lengths.push(asap_schedule(&prog.cdfg, &t).length);
+    }
+    assert!(lengths[0] < lengths[1] && lengths[1] < lengths[2], "{lengths:?}");
+}
+
+#[test]
+fn ipm_iteration_runs_through_the_generated_kernel() {
+    // one interior-point iteration's KKT solve, executed by the unrolled
+    // ldlsolve CDFG and by the fused FCS-FMA datapath
+    use crate::ipm::kkt_at_iterate;
+    use crate::qp::trajectory_qp;
+    use csfma_hls::interp::eval_f64;
+
+    let p = &solver_suite()[0];
+    let qp = trajectory_qp(p, 2.0, 14.0);
+    let mi = qp.ineq.len();
+    // an arbitrary strictly interior iterate
+    let s: Vec<f64> = (0..mi).map(|i| 0.4 + 0.05 * i as f64).collect();
+    let lambda: Vec<f64> = (0..mi).map(|i| 1.5 - 0.03 * i as f64).collect();
+    let kkt = kkt_at_iterate(&qp, &s, &lambda);
+    let f = LdlFactors::factor(&kkt);
+    let prog = generate_ldlsolve(&f);
+    let rhs: Vec<f64> = (0..kkt.dim()).map(|i| ((i * 7919) % 13) as f64 / 6.5 - 1.0).collect();
+
+    let want = f.solve(&rhs);
+    let ins = prog.inputs_for(&f, &rhs);
+    let plain = prog.extract_solution(&eval_f64(&prog.cdfg, &ins));
+    for (g, w) in plain.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0));
+    }
+    let rep = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(FmaKind::Fcs));
+    let fused = prog.extract_solution(&eval_bit_accurate(&rep.fused, &ins));
+    for (g, w) in fused.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-7 * w.abs().max(1.0), "{g} vs {w}");
+    }
+}
+
+#[test]
+fn full_ipm_trajectory_respects_limits_and_avoids_obstacle() {
+    use crate::ipm::solve_qp;
+    use crate::qp::{trajectory_qp, u_index, x_index};
+    let p = &solver_suite()[1];
+    let qp = trajectory_qp(p, 2.5, 13.0);
+    let r = solve_qp(&qp, 80, 1e-7);
+    assert!(r.gap < 1e-6 && r.primal_residual < 1e-5);
+    for t in 0..p.horizon {
+        for k in 0..crate::trajectory::NU {
+            assert!(r.z[u_index(t, k)].abs() <= 2.5 + 1e-5);
+        }
+        assert!(r.z[x_index(t, 2)] <= 13.0 + 1e-5);
+    }
+    // swerve behavior survives the constraints
+    let max_lat = (0..p.horizon).map(|t| r.z[x_index(t, 1)]).fold(f64::MIN, f64::max);
+    assert!(max_lat > 0.3, "lateral peak {max_lat}");
+}

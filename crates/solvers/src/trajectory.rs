@@ -1,0 +1,137 @@
+//! Trajectory-planning QPs for collision avoidance (Sec. I / Sec. IV-D).
+//!
+//! Model-predictive control of a 2-D double-integrator ground vehicle:
+//! states `x_t = (p_x, p_y, v_x, v_y)`, controls `u_t = (a_x, a_y)`,
+//! dynamics `x_{t+1} = A x_t + B u_t`. The QP tracks a reference path
+//! around an obstacle while penalizing control effort:
+//!
+//! ```text
+//! minimize   Σ_t (x_t - r_t)ᵀ Q (x_t - r_t) + u_tᵀ R u_t
+//! subject to x_{t+1} = A x_t + B u_t,   x_0 given
+//! ```
+//!
+//! Obstacle avoidance enters through the reference (a swerve path) and a
+//! position-weight schedule — inequality constraints would add log-barrier
+//! diagonal terms to the same KKT structure, so the kernel the paper
+//! compiles (`ldlsolve`) is unchanged in shape.
+//!
+//! Three horizons give the paper's "three solvers of increasing
+//! complexity".
+
+/// State dimension (position + velocity in 2-D).
+pub const NX: usize = 4;
+/// Control dimension (acceleration in 2-D).
+pub const NU: usize = 2;
+
+/// One trajectory-planning problem instance.
+#[derive(Clone, Debug)]
+pub struct TrajectoryProblem {
+    /// Display name ("solver 1" .. "solver 3").
+    pub name: &'static str,
+    /// MPC horizon (number of steps).
+    pub horizon: usize,
+    /// Integration time step.
+    pub dt: f64,
+    /// State tracking weights (diagonal of `Q`).
+    pub q_diag: [f64; NX],
+    /// Control effort weights (diagonal of `R`).
+    pub r_diag: [f64; NU],
+    /// Initial state.
+    pub x0: [f64; NX],
+    /// Obstacle position the swerve reference avoids.
+    pub obstacle: [f64; 2],
+}
+
+impl TrajectoryProblem {
+    /// Number of decision variables: `T` controls and `T` states.
+    pub fn num_vars(&self) -> usize {
+        self.horizon * (NX + NU)
+    }
+
+    /// Number of equality (dynamics) constraints.
+    pub fn num_eq(&self) -> usize {
+        self.horizon * NX
+    }
+
+    /// Discrete double-integrator dynamics matrix `A` (4x4).
+    pub fn a_matrix(&self) -> [[f64; NX]; NX] {
+        let dt = self.dt;
+        [
+            [1.0, 0.0, dt, 0.0],
+            [0.0, 1.0, 0.0, dt],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    }
+
+    /// Discrete input matrix `B` (4x2).
+    pub fn b_matrix(&self) -> [[f64; NU]; NX] {
+        let dt = self.dt;
+        let h = 0.5 * dt * dt;
+        [[h, 0.0], [0.0, h], [dt, 0.0], [0.0, dt]]
+    }
+
+    /// Reference trajectory: a lane-change swerve around the obstacle.
+    pub fn reference(&self, t: usize) -> [f64; NX] {
+        let s = (t + 1) as f64 / self.horizon as f64;
+        let forward = self.x0[0] + s * 12.0;
+        // lateral offset peaks beside the obstacle
+        let dist = (forward - self.obstacle[0]).abs();
+        let lateral = self.obstacle[1] + 2.5 * (-dist * dist / 8.0).exp();
+        [forward, lateral, 12.0 / (self.horizon as f64 * self.dt), 0.0]
+    }
+}
+
+/// The paper's three solvers of increasing complexity.
+pub fn solver_suite() -> Vec<TrajectoryProblem> {
+    let base = TrajectoryProblem {
+        name: "solver 1 (T=4)",
+        horizon: 4,
+        dt: 0.25,
+        q_diag: [10.0, 10.0, 1.0, 1.0],
+        r_diag: [0.5, 0.5],
+        x0: [0.0, 0.0, 8.0, 0.0],
+        obstacle: [6.0, 0.0],
+    };
+    vec![
+        base.clone(),
+        TrajectoryProblem { name: "solver 2 (T=8)", horizon: 8, ..base.clone() },
+        TrajectoryProblem { name: "solver 3 (T=12)", horizon: 12, ..base },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_increases_in_complexity() {
+        let suite = solver_suite();
+        assert_eq!(suite.len(), 3);
+        assert!(suite[0].num_vars() < suite[1].num_vars());
+        assert!(suite[1].num_vars() < suite[2].num_vars());
+        assert_eq!(suite[2].num_vars(), 12 * 6);
+        assert_eq!(suite[2].num_eq(), 48);
+    }
+
+    #[test]
+    fn reference_swerves_around_obstacle() {
+        let p = &solver_suite()[2];
+        let lateral_mid: f64 = (0..p.horizon)
+            .map(|t| p.reference(t)[1])
+            .fold(0.0, f64::max);
+        let lateral_end = p.reference(p.horizon - 1)[1];
+        assert!(lateral_mid > 1.0, "swerve peak {lateral_mid}");
+        assert!(lateral_end < lateral_mid, "returns toward the lane");
+    }
+
+    #[test]
+    fn dynamics_shapes() {
+        let p = &solver_suite()[0];
+        let a = p.a_matrix();
+        let b = p.b_matrix();
+        assert_eq!(a[0][2], p.dt);
+        assert_eq!(b[2][0], p.dt);
+        assert!(b[0][0] > 0.0);
+    }
+}

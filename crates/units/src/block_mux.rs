@@ -1,0 +1,89 @@
+//! The result block multiplexer (Fig. 7): a small N-to-1 mux per output
+//! block replaces the full variable-distance normalization shifter.
+//!
+//! The PCS unit selects 2 of 7 blocks (a 6:1 choice per the paper's
+//! counting, since at least two blocks must remain); the FCS unit selects
+//! 3 of 13 (11:1). A parallel mux taps the block immediately right of the
+//! result as rounding data for the *next* operator (Sec. III-C).
+
+use csfma_carrysave::CsNumber;
+
+/// Output of the block selection.
+#[derive(Clone, Debug)]
+pub struct BlockSelection {
+    /// The `keep` selected blocks, reassembled MSB-first.
+    pub result: CsNumber,
+    /// The single block immediately right of the result (zero if the
+    /// selection already reaches the window LSB).
+    pub round_data: CsNumber,
+    /// The skip value actually applied (clamped to the mux range).
+    pub skip: usize,
+}
+
+/// Select `keep` consecutive blocks starting after `skip` leading blocks,
+/// plus the next block as rounding data.
+///
+/// `skip` is clamped to `blocks.len() - keep` — the mux has only that many
+/// positions (6 for PCS, 11 for FCS).
+pub fn select_blocks(blocks: &[CsNumber], keep: usize, skip: usize) -> BlockSelection {
+    assert!(keep >= 1 && keep <= blocks.len(), "mux keep out of range");
+    let max_skip = blocks.len() - keep;
+    let skip = skip.min(max_skip);
+    let result = CsNumber::from_blocks(&blocks[skip..skip + keep]);
+    let block_width = blocks[0].width();
+    let round_data = if skip + keep < blocks.len() {
+        blocks[skip + keep].clone()
+    } else {
+        CsNumber::zero(block_width)
+    };
+    BlockSelection { result, round_data, skip }
+}
+
+/// Number of mux positions ("N-to-1") for a window of `total` blocks
+/// keeping `keep`: the paper's 6-to-1 (7 blocks, keep 2) and 11-to-1
+/// (13 blocks, keep 3).
+pub fn mux_ways(total: usize, keep: usize) -> usize {
+    total - keep + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csfma_bits::Bits;
+
+    fn blk(v: u64) -> CsNumber {
+        CsNumber::new(Bits::from_u64(8, v), Bits::zero(8))
+    }
+
+    #[test]
+    fn paper_mux_sizes() {
+        assert_eq!(mux_ways(7, 2), 6); // PCS: Fig. 7
+        assert_eq!(mux_ways(13, 3), 11); // FCS: Sec. III-H
+    }
+
+    #[test]
+    fn selection_and_round_block() {
+        let blocks = vec![blk(0), blk(0), blk(0xAB), blk(0xCD), blk(0xEF)];
+        let sel = select_blocks(&blocks, 2, 2);
+        assert_eq!(sel.result.resolve().to_u64(), 0xABCD);
+        assert_eq!(sel.round_data.resolve().to_u64(), 0xEF);
+        assert_eq!(sel.skip, 2);
+    }
+
+    #[test]
+    fn skip_clamps_to_mux_range() {
+        let blocks = vec![blk(1), blk(2), blk(3)];
+        let sel = select_blocks(&blocks, 2, 9);
+        assert_eq!(sel.skip, 1);
+        assert_eq!(sel.result.resolve().to_u64(), 0x0203);
+        assert!(sel.round_data.resolve().is_zero()); // at window LSB
+    }
+
+    #[test]
+    fn zero_skip_keeps_top() {
+        let blocks = vec![blk(9), blk(8), blk(7)];
+        let sel = select_blocks(&blocks, 2, 0);
+        assert_eq!(sel.result.resolve().to_u64(), 0x0908);
+        assert_eq!(sel.round_data.resolve().to_u64(), 7);
+    }
+}

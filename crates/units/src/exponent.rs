@@ -1,0 +1,120 @@
+//! Excess-2047 exponent datapath (Sec. III-F).
+//!
+//! The P/FCS operands carry a 12-bit exponent in excess-2047 notation,
+//! "explicitly chosen to surpass the range of the 11b exponent specified
+//! by IEEE 754": intermediate results of a fused chain may wander outside
+//! the binary64 exponent range without overflowing, and only the final
+//! conversion back to IEEE 754 clamps.
+
+/// A 12-bit excess-2047 biased exponent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BiasedExp {
+    biased: u16,
+}
+
+impl BiasedExp {
+    /// Field width in bits.
+    pub const BITS: u32 = 12;
+    /// Bias (excess) value.
+    pub const BIAS: i32 = 2047;
+    /// Smallest representable unbiased exponent.
+    pub const MIN_UNBIASED: i32 = -Self::BIAS;
+    /// Largest representable unbiased exponent.
+    pub const MAX_UNBIASED: i32 = (1 << Self::BITS) - 1 - Self::BIAS;
+
+    /// Construct from an unbiased exponent.
+    ///
+    /// # Panics
+    /// If out of the 12-bit excess-2047 range.
+    pub fn from_unbiased(e: i32) -> Self {
+        assert!(
+            (Self::MIN_UNBIASED..=Self::MAX_UNBIASED).contains(&e),
+            "exponent {e} out of excess-2047 range"
+        );
+        BiasedExp { biased: (e + Self::BIAS) as u16 }
+    }
+
+    /// Construct from an unbiased exponent, saturating at the range ends.
+    pub fn from_unbiased_saturating(e: i64) -> Self {
+        let clamped = e.clamp(Self::MIN_UNBIASED as i64, Self::MAX_UNBIASED as i64) as i32;
+        Self::from_unbiased(clamped)
+    }
+
+    /// Construct directly from the 12-bit field value.
+    pub fn from_field(field: u16) -> Self {
+        assert!(field < (1 << Self::BITS), "exponent field wider than 12 bits");
+        BiasedExp { biased: field }
+    }
+
+    /// The raw 12-bit field.
+    pub fn field(&self) -> u16 {
+        self.biased
+    }
+
+    /// Unbiased exponent value.
+    pub fn unbiased(&self) -> i32 {
+        self.biased as i32 - Self::BIAS
+    }
+
+    /// Exponent of a product (`e_b + e_c`), saturating at the field range
+    /// like the hardware adder with clamp logic.
+    pub fn product(b: BiasedExp, c: BiasedExp) -> BiasedExp {
+        Self::from_unbiased_saturating(b.unbiased() as i64 + c.unbiased() as i64)
+    }
+
+    /// Signed difference `self - rhs` (the alignment shift distance).
+    pub fn diff(&self, rhs: BiasedExp) -> i32 {
+        self.unbiased() - rhs.unbiased()
+    }
+
+    /// Adjust by a signed amount (block-skip renormalization), saturating.
+    pub fn adjusted(&self, delta: i64) -> BiasedExp {
+        Self::from_unbiased_saturating(self.unbiased() as i64 + delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_exceeds_ieee754_double() {
+        // the IEEE 754 11-bit exponent spans [-1022, 1023]; excess-2047
+        // must strictly contain it (Sec. III-F)
+        assert!(BiasedExp::MIN_UNBIASED < -1022);
+        assert!(BiasedExp::MAX_UNBIASED > 1023);
+        assert_eq!(BiasedExp::MAX_UNBIASED, 2048);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for e in [-2047, -1022, 0, 1023, 2048] {
+            assert_eq!(BiasedExp::from_unbiased(e).unbiased(), e);
+        }
+    }
+
+    #[test]
+    fn product_saturates() {
+        let big = BiasedExp::from_unbiased(2000);
+        assert_eq!(BiasedExp::product(big, big).unbiased(), BiasedExp::MAX_UNBIASED);
+        let small = BiasedExp::from_unbiased(-2000);
+        assert_eq!(BiasedExp::product(small, small).unbiased(), BiasedExp::MIN_UNBIASED);
+        let a = BiasedExp::from_unbiased(100);
+        let b = BiasedExp::from_unbiased(-40);
+        assert_eq!(BiasedExp::product(a, b).unbiased(), 60);
+    }
+
+    #[test]
+    fn diff_and_adjust() {
+        let a = BiasedExp::from_unbiased(10);
+        let b = BiasedExp::from_unbiased(-5);
+        assert_eq!(a.diff(b), 15);
+        assert_eq!(a.adjusted(-55).unbiased(), -45);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        BiasedExp::from_unbiased(3000);
+    }
+}

@@ -1,0 +1,26 @@
+//! # csfma-units — behavioral models of the FMA datapath blocks
+//!
+//! Each module here is the bit-accurate software counterpart of one box in
+//! the paper's architecture figures:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`multiplier`] | mantissa multiplier with the rounding-correction row folded into the CSA tree (Fig. 6) |
+//! | [`align`] | addend pre-shifter running in parallel with the multiply (Figs. 4/9/11) |
+//! | [`lza`] | leading-zero anticipation over carry-save pairs (Sec. III-G, [Schmookler/Nowka]) |
+//! | [`zero_detect`] | block-granular Zero Detector with the two's-complement-CS skip rules of Fig. 10 |
+//! | [`block_mux`] | the 6:1 / 11:1 result block multiplexer replacing the variable-distance shifter (Fig. 7) |
+//! | [`rounding`] | block-granular round-half-away-from-zero decision with the bounded misrounding of Sec. III-E |
+//! | [`exponent`] | excess-2047 exponent helpers (12-bit, exceeding the IEEE 754 11-bit range) |
+//!
+//! The value contract of every block is stated in its docs and enforced by
+//! property tests; `csfma-core` assembles these blocks into the Classic,
+//! PCS and FCS FMA units.
+
+pub mod align;
+pub mod block_mux;
+pub mod exponent;
+pub mod lza;
+pub mod multiplier;
+pub mod rounding;
+pub mod zero_detect;

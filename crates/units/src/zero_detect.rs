@@ -1,0 +1,372 @@
+//! Block-granular Zero Detector (ZD) for two's-complement carry-save
+//! mantissas (Sec. III-F, Fig. 10).
+//!
+//! After the block-mux normalization replaces the variable-distance
+//! shifter (Fig. 7), leading zeros only need to be found at *block*
+//! granularity. The CS representation complicates what "leading zero
+//! block" means: Fig. 10 of the paper lists all-`0` blocks, all-`1`
+//! blocks (sign replication), `1…1 2 0…0` blocks (a ripple carry that
+//! zeroes the block), and an overflow hazard that forbids skipping when
+//! the succeeding block's top digits could flip the sign.
+//!
+//! ## Value convention and exact skip conditions
+//!
+//! Our datapath consumes a CS pair by *sign-extending each word*
+//! (multiplier rows, alignment — exactly what the FPGA wiring does), so
+//! the value of a pair is `sext(sum) + sext(carry)`. Under that
+//! convention, splitting off a top block `T` from a remainder `L` gives
+//!
+//! ```text
+//! skip valid  ⟺  St' + Ct'  =  −(sl_msb + cl_msb)
+//! ```
+//!
+//! where `St'`,`Ct'` are the top-block word values re-signed at block
+//! width and `sl_msb + cl_msb` is the remainder's leading *digit*. Working
+//! the three Fig. 10 patterns through this equation yields exact local
+//! rules, each checking one digit of the succeeding block:
+//!
+//! * **all-0 block** (`St'+Ct' = 0`): skippable iff the next block's
+//!   leading digit is `0`;
+//! * **all-1 block** (`St'+Ct' = −1`): skippable iff the next leading
+//!   digit is exactly `1`;
+//! * **ripple-zero block** `1…1 2 0…0` with at least one leading `1`
+//!   (`St'+Ct' = 0`): skippable iff the next leading digit is `0`. The
+//!   degenerate `2 0…0` pattern re-signs to `−2^b` and is never
+//!   skippable.
+//!
+//! These are the analogues, for the two-word signed-sum semantics, of the
+//! paper's guard "skip an all-0 block only if the first two CS digits of
+//! the succeeding block are also 0" (which matches a carry-resolving
+//! consumer). The property test below checks value preservation on random
+//! CS words digit by digit.
+
+use csfma_carrysave::CsNumber;
+
+/// Classification of a single CS block as seen by the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// All digits zero (Fig. 10 a).
+    AllZero,
+    /// All digits one (Fig. 10 b).
+    AllOne,
+    /// `1…1 2 0…0` with at least one leading one: the `2` ripples the
+    /// block to zero with a carry-out beyond it (Fig. 10 c).
+    RippleZero,
+    /// Anything else — significant.
+    Significant,
+}
+
+/// Classify one block by its digit string.
+pub fn classify_block(block: &CsNumber) -> BlockKind {
+    let b = block.width();
+    let mut all_zero = true;
+    let mut all_one = true;
+    for i in 0..b {
+        let d = block.digit(i);
+        all_zero &= d == 0;
+        all_one &= d == 1;
+    }
+    if all_zero {
+        return BlockKind::AllZero;
+    }
+    if all_one {
+        return BlockKind::AllOne;
+    }
+    // ripple pattern, MSB downwards: 1+ 2 0*
+    if block.digit(b - 1) == 1 {
+        let mut i = b - 1;
+        while i > 0 && block.digit(i) == 1 {
+            i -= 1;
+        }
+        if block.digit(i) == 2 && (0..i).all(|j| block.digit(j) == 0) {
+            return BlockKind::RippleZero;
+        }
+    }
+    BlockKind::Significant
+}
+
+/// Run the Zero Detector over MSB-first blocks: return how many leading
+/// blocks can be skipped while preserving the signed two-word value of
+/// the remainder. At least `min_keep` blocks are always kept.
+pub fn leading_skippable_blocks(blocks: &[CsNumber], min_keep: usize) -> usize {
+    let mut skip = 0;
+    while blocks.len() - skip > min_keep {
+        let cur = &blocks[skip];
+        let next = &blocks[skip + 1]; // exists: len - skip > min_keep >= 1
+        let next_top = next.digit(next.width() - 1);
+        let ok = match classify_block(cur) {
+            BlockKind::AllZero | BlockKind::RippleZero => next_top == 0,
+            BlockKind::AllOne => next_top == 1,
+            BlockKind::Significant => false,
+        };
+        if !ok {
+            break;
+        }
+        skip += 1;
+    }
+    skip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csfma_bits::Bits;
+    use proptest::prelude::*;
+
+    fn block_from_digits(digits: &[u8]) -> CsNumber {
+        // MSB-first digit string -> CS pair (digit 1 goes to sum, 2 sets both)
+        let b = digits.len();
+        let mut sum = Bits::zero(b);
+        let mut carry = Bits::zero(b);
+        for (k, &d) in digits.iter().enumerate() {
+            let pos = b - 1 - k;
+            match d {
+                0 => {}
+                1 => sum.set_bit(pos, true),
+                2 => {
+                    sum.set_bit(pos, true);
+                    carry.set_bit(pos, true);
+                }
+                _ => panic!("digit out of range"),
+            }
+        }
+        CsNumber::new(sum, carry)
+    }
+
+    fn signed_value(blocks: &[CsNumber]) -> i128 {
+        CsNumber::from_blocks(blocks).resolve_signed_extended().to_i128()
+    }
+
+    #[test]
+    fn classify_fig10_cases() {
+        assert_eq!(classify_block(&block_from_digits(&[0, 0, 0, 0, 0, 0, 0])), BlockKind::AllZero);
+        assert_eq!(classify_block(&block_from_digits(&[1, 1, 1, 1, 1, 1, 1])), BlockKind::AllOne);
+        assert_eq!(
+            classify_block(&block_from_digits(&[1, 1, 1, 1, 2, 0, 0])),
+            BlockKind::RippleZero
+        );
+        // the degenerate `2 0…0` pattern is NOT a ripple-zero here: its
+        // re-signed top-block value is -2^b, which no succeeding digit
+        // can compensate
+        assert_eq!(
+            classify_block(&block_from_digits(&[2, 0, 0, 0, 0, 0, 0])),
+            BlockKind::Significant
+        );
+        assert_eq!(
+            classify_block(&block_from_digits(&[0, 0, 0, 0, 0, 1, 2])),
+            BlockKind::Significant
+        );
+        assert_eq!(
+            classify_block(&block_from_digits(&[1, 1, 2, 1, 0, 0, 0])),
+            BlockKind::Significant
+        );
+    }
+
+    #[test]
+    fn all_zero_skip_requires_zero_digit() {
+        let skippable = vec![
+            block_from_digits(&[0, 0, 0]),
+            block_from_digits(&[0, 1, 2]),
+        ];
+        assert_eq!(leading_skippable_blocks(&skippable, 1), 1);
+        assert_eq!(signed_value(&skippable), signed_value(&skippable[1..]));
+        let blocked = vec![
+            block_from_digits(&[0, 0, 0]),
+            block_from_digits(&[1, 0, 0]),
+        ];
+        assert_eq!(leading_skippable_blocks(&blocked, 1), 0);
+    }
+
+    #[test]
+    fn all_one_skip_requires_one_digit() {
+        let skippable = vec![
+            block_from_digits(&[1, 1, 1]),
+            block_from_digits(&[1, 0, 2]),
+        ];
+        assert_eq!(leading_skippable_blocks(&skippable, 1), 1);
+        assert_eq!(signed_value(&skippable), signed_value(&skippable[1..]));
+        for top in [0u8, 2] {
+            let blocked = vec![
+                block_from_digits(&[1, 1, 1]),
+                block_from_digits(&[top, 0, 0]),
+            ];
+            assert_eq!(leading_skippable_blocks(&blocked, 1), 0, "next top {top}");
+        }
+    }
+
+    #[test]
+    fn ripple_zero_skip() {
+        let skippable = vec![
+            block_from_digits(&[1, 1, 2, 0]),
+            block_from_digits(&[0, 1, 1, 0]),
+        ];
+        assert_eq!(leading_skippable_blocks(&skippable, 1), 1);
+        assert_eq!(signed_value(&skippable), signed_value(&skippable[1..]));
+    }
+
+    #[test]
+    fn iterative_skipping() {
+        let blocks = vec![
+            block_from_digits(&[0, 0, 0]),
+            block_from_digits(&[0, 0, 0]),
+            block_from_digits(&[0, 1, 0]),
+            block_from_digits(&[2, 2, 2]),
+        ];
+        assert_eq!(leading_skippable_blocks(&blocks, 1), 2);
+        assert_eq!(signed_value(&blocks), signed_value(&blocks[2..]));
+    }
+
+    #[test]
+    fn min_keep_is_respected() {
+        let blocks = vec![
+            block_from_digits(&[0, 0, 0, 0]),
+            block_from_digits(&[0, 0, 0, 0]),
+            block_from_digits(&[0, 0, 0, 0]),
+        ];
+        assert_eq!(leading_skippable_blocks(&blocks, 2), 1);
+        assert_eq!(leading_skippable_blocks(&blocks, 3), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4000))]
+
+        /// The one property everything rests on: skipping preserves the
+        /// signed two-word value, for every digit string and every word
+        /// split of each digit (digit 1 may live in either word).
+        #[test]
+        fn prop_skip_preserves_signed_value(
+            digits in prop::collection::vec(0u8..=2, 12),
+            split_mask in any::<u16>(),
+        ) {
+            let blocks: Vec<CsNumber> = digits
+                .chunks(3)
+                .enumerate()
+                .map(|(bi, ch)| {
+                    let b = ch.len();
+                    let mut sum = Bits::zero(b);
+                    let mut carry = Bits::zero(b);
+                    for (k, &d) in ch.iter().enumerate() {
+                        let pos = b - 1 - k;
+                        let idx = bi * 3 + k;
+                        match d {
+                            0 => {}
+                            1 => {
+                                // put the single one in sum or carry per mask
+                                if split_mask >> idx & 1 == 1 {
+                                    carry.set_bit(pos, true);
+                                } else {
+                                    sum.set_bit(pos, true);
+                                }
+                            }
+                            _ => {
+                                sum.set_bit(pos, true);
+                                carry.set_bit(pos, true);
+                            }
+                        }
+                    }
+                    CsNumber::new(sum, carry)
+                })
+                .collect();
+            let skip = leading_skippable_blocks(&blocks, 1);
+            for s in 0..=skip {
+                prop_assert_eq!(
+                    signed_value(&blocks),
+                    signed_value(&blocks[s..]),
+                    "skip {} of {:?}",
+                    s,
+                    digits
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod exhaustive_tests {
+    use super::*;
+    use csfma_bits::Bits;
+
+    fn block(digits: &[u8]) -> CsNumber {
+        let b = digits.len();
+        let mut sum = Bits::zero(b);
+        let mut carry = Bits::zero(b);
+        for (k, &d) in digits.iter().enumerate() {
+            let pos = b - 1 - k;
+            if d >= 1 {
+                sum.set_bit(pos, true);
+            }
+            if d == 2 {
+                carry.set_bit(pos, true);
+            }
+        }
+        CsNumber::new(sum, carry)
+    }
+
+    /// Slow reference classifier straight from the Fig. 10 prose.
+    fn reference_classify(digits: &[u8]) -> BlockKind {
+        if digits.iter().all(|&d| d == 0) {
+            return BlockKind::AllZero;
+        }
+        if digits.iter().all(|&d| d == 1) {
+            return BlockKind::AllOne;
+        }
+        // 1+ 2 0*
+        if digits[0] == 1 {
+            let ones = digits.iter().take_while(|&&d| d == 1).count();
+            if digits.get(ones) == Some(&2) && digits[ones + 1..].iter().all(|&d| d == 0) {
+                return BlockKind::RippleZero;
+            }
+        }
+        BlockKind::Significant
+    }
+
+    /// All 3^5 digit strings of a 5-digit block.
+    #[test]
+    fn exhaustive_block_classification() {
+        let mut counts = [0usize; 4];
+        for code in 0..3usize.pow(5) {
+            let digits: Vec<u8> = (0..5)
+                .rev()
+                .map(|k| ((code / 3usize.pow(k)) % 3) as u8)
+                .collect();
+            let got = classify_block(&block(&digits));
+            let want = reference_classify(&digits);
+            assert_eq!(got, want, "digits {digits:?}");
+            counts[match got {
+                BlockKind::AllZero => 0,
+                BlockKind::AllOne => 1,
+                BlockKind::RippleZero => 2,
+                BlockKind::Significant => 3,
+            }] += 1;
+        }
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 4, "patterns 12000, 11200, 11120, 11112");
+        assert_eq!(counts[0] + counts[1] + counts[2] + counts[3], 243);
+    }
+
+    /// Exhaustive 2-block skip validity: every skip the detector takes
+    /// preserves the signed two-word value (soundness over the complete
+    /// digit space; word splits of digit 1 are covered by the random
+    /// property test in the parent module).
+    #[test]
+    fn exhaustive_two_block_soundness() {
+        for code in 0..3usize.pow(6) {
+            let digits: Vec<u8> = (0..6)
+                .rev()
+                .map(|k| ((code / 3usize.pow(k)) % 3) as u8)
+                .collect();
+            let blocks = vec![block(&digits[..3]), block(&digits[3..])];
+            let skip = leading_skippable_blocks(&blocks, 1);
+            if skip == 1 {
+                let full = CsNumber::from_blocks(&blocks);
+                let kept = CsNumber::from_blocks(&blocks[1..]);
+                assert_eq!(
+                    full.resolve_signed_extended().to_i128(),
+                    kept.resolve_signed_extended().to_i128(),
+                    "unsound skip for {digits:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: compute a fused multiply-add chain with the FCS-FMA unit
+//! and compare against plain double precision.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use csfma::core::{CsFmaFormat, CsFmaUnit, CsOperand};
+use csfma::softfloat::{FpFormat, Round, SoftFloat};
+
+fn main() {
+    // Build the paper's FCS-FMA (Fig. 11): full carry-save mantissas,
+    // 29-digit blocks, early leading-zero anticipation, 3 cycles @ 200 MHz.
+    let unit = CsFmaUnit::new(CsFmaFormat::FCS_29_LZA);
+    let fmt = *unit.format();
+    println!("unit: {}", fmt.name);
+    println!(
+        "  mantissa {} digits in {} blocks, window {} digits, {}:1 result mux",
+        fmt.mant_bits(),
+        fmt.mant_blocks,
+        fmt.window_bits(),
+        fmt.mux_ways()
+    );
+
+    // Evaluate x = ((a + b1*c1) + b2*c2) + b3*c3 without any intermediate
+    // normalization or rounding: values stay in the carry-save transport
+    // format between the chained units (Sec. III-C).
+    let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
+    let a = CsOperand::from_ieee(&sf(0.1), fmt);
+    let terms = [(3.7, 0.21), (-1.9, 1.41421356237), (0.333333333333, -2.5)];
+
+    let mut acc = a;
+    for (b, c) in terms {
+        let c_op = CsOperand::from_ieee(&sf(c), fmt);
+        acc = unit.fma(&acc, &sf(b), &c_op);
+    }
+    let fused = acc.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64();
+
+    // the same chain with discrete double operators (each step rounds)
+    let mut plain = 0.1f64;
+    for (b, c) in terms {
+        plain += b * c;
+    }
+    // and the exact value for reference
+    let exact = acc.exact_value().to_f64_lossy();
+
+    println!("\nfused chain   = {fused:.17}");
+    println!("discrete f64  = {plain:.17}");
+    println!("exact         = {exact:.17}");
+    println!(
+        "fused error   = {:.3e}, discrete error = {:.3e}",
+        (fused - exact).abs(),
+        (plain - exact).abs()
+    );
+}

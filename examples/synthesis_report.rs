@@ -1,0 +1,56 @@
+//! Print the full synthesis / latency / energy report of all four
+//! operator implementations — Tables I & II and Fig. 13 in one place.
+//!
+//! ```sh
+//! cargo run --example synthesis_report
+//! ```
+
+use csfma::core::CsFmaFormat;
+use csfma::fabric::energy::{
+    measure_cs_unit, measure_discrete, DiscreteKind, EnergyCoefficients, ResourceClass,
+};
+use csfma::fabric::{all_units, Virtex6};
+
+fn main() {
+    let v = Virtex6::SPEED_GRADE_1;
+    println!("Virtex-6 (-1) synthesis model");
+    println!(
+        "{:<22} {:>6} {:>7} {:>6} {:>5} {:>9}",
+        "Architecture", "fMax", "Cycles", "LUTs", "DSPs", "Lat [ns]"
+    );
+    for u in all_units() {
+        let r = u.synthesize(&v);
+        println!(
+            "{:<22} {:>6.0} {:>7} {:>6} {:>5} {:>9.2}",
+            r.name,
+            r.fmax_mhz,
+            r.cycles,
+            r.luts,
+            r.dsps,
+            r.latency_ns()
+        );
+    }
+
+    println!("\nEnergy per multiply-add (switching-activity model, 600-op steady state):");
+    let co = EnergyCoefficients::default();
+    let rows = [
+        ("Xilinx (Mul+Add)", measure_discrete(DiscreteKind::CoreGen, 600, 42)),
+        ("FloPoCo", measure_discrete(DiscreteKind::FloPoCo, 600, 42)),
+        ("PCS-FMA", measure_cs_unit(CsFmaFormat::PCS_55_ZD, 600, 42)),
+        ("FCS-FMA", measure_cs_unit(CsFmaFormat::FCS_29_LZA, 600, 42)),
+    ];
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>10}",
+        "unit", "nJ/op", "dsp tog", "fabric tog", "reg tog"
+    );
+    for (name, acc) in rows {
+        println!(
+            "{:<18} {:>8.2} {:>10.0} {:>10.0} {:>10.0}",
+            name,
+            acc.energy_nj_per_op(&co),
+            acc.toggles_per_op(ResourceClass::Dsp),
+            acc.toggles_per_op(ResourceClass::Fabric),
+            acc.toggles_per_op(ResourceClass::Reg),
+        );
+    }
+}

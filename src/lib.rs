@@ -1,0 +1,41 @@
+//! # csfma — carry-save floating-point fused multiply-add exploration
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+//!
+//! This is a from-scratch Rust reproduction of *“Architecture Exploration of
+//! High-Performance Floating-Point Fused Multiply-Add Units and their
+//! Automatic Use in High-Level Synthesis”* (Liebig, Huthmann, Koch; 2013):
+//! bit-accurate behavioral models of the PCS- and FCS-FMA units, a
+//! calibrated Virtex-6 timing/area/energy model, a Nymble-like HLS fusion
+//! pass, and a CVXGEN-like convex-solver kernel generator.
+
+pub use csfma_bits as bits;
+pub use csfma_carrysave as carrysave;
+pub use csfma_core as core;
+pub use csfma_fabric as fabric;
+pub use csfma_hls as hls;
+pub use csfma_softfloat as softfloat;
+pub use csfma_solvers as solvers;
+pub use csfma_units as units;
+
+/// Everything most users need, in one import.
+///
+/// ```
+/// use csfma::prelude::*;
+/// let unit = CsFmaUnit::new(CsFmaFormat::FCS_29_LZA);
+/// let a = CsOperand::from_f64(1.0, *unit.format());
+/// let c = CsOperand::from_f64(2.0, *unit.format());
+/// let r = unit.fma(&a, &SoftFloat::from_f64(FpFormat::BINARY64, 3.0), &c);
+/// assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 7.0);
+/// ```
+pub mod prelude {
+    pub use csfma_core::{
+        ChainEvaluator, ClassicFma, CsDotUnit, CsFmaFormat, CsFmaUnit, CsOperand, PipelinedFma,
+    };
+    pub use csfma_hls::{
+        fuse_critical_paths, parse_program, asap_schedule, FmaKind, FusionConfig, OpTiming,
+    };
+    pub use csfma_softfloat::{FpClass, FpFormat, Round, SoftFloat};
+    pub use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
+}

@@ -1,0 +1,51 @@
+//! Bit-level determinism across the whole stack: hardware models must be
+//! pure functions of their inputs (a prerequisite for the VCD traces, the
+//! energy accounting and any regression comparison).
+
+use csfma::prelude::*;
+
+#[test]
+fn fma_units_are_pure_functions() {
+    for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
+        let unit = CsFmaUnit::new(fmt);
+        let a = CsOperand::from_f64(0.123456789, fmt);
+        let b = SoftFloat::from_f64(FpFormat::BINARY64, -7.89);
+        let c = CsOperand::from_f64(4.2e-7, fmt);
+        let r1 = unit.fma(&a, &b, &c);
+        let r2 = unit.fma(&a, &b, &c);
+        assert_eq!(r1.pack(), r2.pack(), "{}", fmt.name);
+        assert_eq!(r1.exp(), r2.exp());
+    }
+}
+
+#[test]
+fn full_flow_is_reproducible() {
+    // solver -> codegen -> fusion -> schedule: byte-identical both times
+    let run = || {
+        let p = &solver_suite()[0];
+        let kkt = KktSystem::assemble(p);
+        let f = LdlFactors::factor(&kkt.matrix);
+        let prog = generate_ldlsolve(&f);
+        let rep = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(FmaKind::Fcs));
+        let t = OpTiming::default();
+        let sched = asap_schedule(&rep.fused, &t);
+        (rep.final_length, rep.fma_nodes, sched.start, csfma::hls::to_source(&rep.fused))
+    };
+    let (l1, n1, s1, src1) = run();
+    let (l2, n2, s2, src2) = run();
+    assert_eq!(l1, l2);
+    assert_eq!(n1, n2);
+    assert_eq!(s1, s2);
+    assert_eq!(src1, src2);
+}
+
+#[test]
+fn chain_state_is_bit_stable_across_orders_of_construction() {
+    // building the same operand via different call paths must produce the
+    // same packed transport word
+    let fmt = CsFmaFormat::PCS_55_ZD;
+    let direct = CsOperand::from_f64(2.5, fmt);
+    let via_ieee =
+        CsOperand::from_ieee(&SoftFloat::from_f64(FpFormat::BINARY64, 2.5), fmt);
+    assert_eq!(direct.pack(), via_ieee.pack());
+}

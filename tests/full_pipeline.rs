@@ -1,0 +1,69 @@
+//! Cross-crate integration: solver → codegen → fusion → bit-accurate
+//! hardware evaluation → solution validation against the dense algebra.
+
+use csfma::hls::interp::eval_bit_accurate;
+use csfma::hls::{fuse_critical_paths, FmaKind, FusionConfig};
+use csfma::solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
+
+/// Residual of `K x = b` under the symmetric sparse matrix.
+fn residual(k: &csfma::solvers::SymSparse, x: &[f64], b: &[f64]) -> f64 {
+    k.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bb)| (ax - bb).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn fused_hardware_solves_the_kkt_system() {
+    for (pi, p) in solver_suite().iter().enumerate().take(2) {
+        let kkt = KktSystem::assemble(p);
+        let f = LdlFactors::factor(&kkt.matrix);
+        let prog = generate_ldlsolve(&f);
+        let ins = prog.inputs_for(&f, &kkt.rhs);
+        for kind in [FmaKind::Pcs, FmaKind::Fcs] {
+            let rep = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(kind));
+            let out = eval_bit_accurate(&rep.fused, &ins);
+            let x = prog.extract_solution(&out);
+            let r = residual(&kkt.matrix, &x, &kkt.rhs);
+            assert!(
+                r < 1e-5,
+                "solver {pi} with {kind:?}: KKT residual {r:.2e} after fused evaluation"
+            );
+        }
+    }
+}
+
+#[test]
+fn planned_trajectory_avoids_the_obstacle() {
+    // the solution of the biggest solver is an actual swerve trajectory
+    let p = &solver_suite()[2];
+    let kkt = KktSystem::assemble(p);
+    let f = LdlFactors::factor(&kkt.matrix);
+    let x = f.solve(&kkt.rhs);
+    // positions: interleaved blocks of (u[2], x[4], nu[4]) per step
+    let pos = |t: usize| (x[t * 10 + 2], x[t * 10 + 3]);
+    let mut min_dist = f64::INFINITY;
+    let mut max_lateral: f64 = 0.0;
+    for t in 0..p.horizon {
+        let (px, py) = pos(t);
+        let d = ((px - p.obstacle[0]).powi(2) + (py - p.obstacle[1]).powi(2)).sqrt();
+        min_dist = min_dist.min(d);
+        max_lateral = max_lateral.max(py.abs());
+    }
+    assert!(max_lateral > 0.5, "trajectory swerves laterally: {max_lateral:.2}");
+    assert!(min_dist > 0.8, "keeps distance from the obstacle: {min_dist:.2}");
+}
+
+#[test]
+fn facade_reexports_work() {
+    // the public API is reachable through the facade crate
+    use csfma::core::{CsFmaFormat, CsFmaUnit, CsOperand};
+    use csfma::softfloat::{FpFormat, Round, SoftFloat};
+    let unit = CsFmaUnit::new(CsFmaFormat::PCS_55_ZD);
+    let one = SoftFloat::one(FpFormat::BINARY64);
+    let a = CsOperand::from_ieee(&one, *unit.format());
+    let c = CsOperand::from_ieee(&one, *unit.format());
+    let r = unit.fma(&a, &one, &c);
+    assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 2.0);
+}

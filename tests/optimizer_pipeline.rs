@@ -1,0 +1,54 @@
+//! Integration: the CDFG optimizer composes with codegen and fusion
+//! without changing results.
+
+use csfma::hls::interp::eval_f64;
+use csfma::hls::optimize::optimize;
+use csfma::hls::{asap_schedule, fuse_critical_paths, FmaKind, FusionConfig, OpTiming};
+use csfma::solvers::{generate_ldlfactor, solver_suite, KktSystem};
+use csfma::solvers::ldl::symbolic_ldl;
+
+#[test]
+fn optimizer_preserves_generated_factor_kernel() {
+    let p = &solver_suite()[0];
+    let kkt = KktSystem::assemble(p);
+    let pattern = symbolic_ldl(&kkt.matrix);
+    let prog = generate_ldlfactor(&pattern);
+    let ins = prog.inputs_for(&pattern, &kkt.matrix);
+
+    let before = eval_f64(&prog.cdfg, &ins);
+    let opt = optimize(&prog.cdfg);
+    assert!(opt.nodes_after <= opt.nodes_before);
+    let after = eval_f64(&opt.optimized, &ins);
+    for (k, v) in &before {
+        let w = after[k];
+        assert!(
+            (v - w).abs() <= 1e-12 * v.abs().max(1e-12),
+            "{k}: {v} vs {w}"
+        );
+    }
+}
+
+#[test]
+fn optimize_then_fuse_composes() {
+    use csfma::hls::parse_program;
+    // a redundant DSP kernel: repeated taps, dead constants, identities
+    let src = "
+        t0 = x0 * c + 0.0;
+        t1 = x1 * c * 1.0;
+        t2 = x0 * c;            # duplicate of t0's product
+        acc = t0 + t1;
+        acc = acc + t2;
+        out y = acc * 1.0;
+    ";
+    let g = parse_program(src).unwrap();
+    let t = OpTiming::default();
+    let opt = optimize(&g);
+    assert!(opt.nodes_after < g.len());
+    let rep = fuse_critical_paths(&opt.optimized, &FusionConfig::new(FmaKind::Fcs));
+    assert!(rep.final_length <= asap_schedule(&g, &t).length);
+    let ins: std::collections::HashMap<String, f64> =
+        [("x0", 1.5), ("x1", -2.5), ("c", 0.8)].iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let want = eval_f64(&g, &ins)["y"];
+    let got = csfma::hls::interp::eval_bit_accurate(&rep.fused, &ins)["y"];
+    assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0));
+}
