@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints as errors, and the full test suite.
+# Run from the repository root. Fails fast on the first broken step.
+set -eu
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace

@@ -60,8 +60,13 @@ fn bench_optimizer(c: &mut Criterion) {
     let mut g = c.benchmark_group("optimizer");
     let mut src = String::new();
     for i in 0..40 {
-        src.push_str(&format!("y{i} = a{} * w + b{} * w + a{} * w * 1.0 + 0.0;
-", i % 8, i % 8, i % 8));
+        src.push_str(&format!(
+            "y{i} = a{} * w + b{} * w + a{} * w * 1.0 + 0.0;
+",
+            i % 8,
+            i % 8,
+            i % 8
+        ));
     }
     src.push_str("out z = y0");
     for i in 1..40 {

@@ -20,9 +20,13 @@ fn bench_fma_units(c: &mut Criterion) {
     let mut g = c.benchmark_group("fma_units");
     let a = sf(1.234567890123);
     let b = sf(-0.987654321);
-    let cc = sf(3.14159265358979);
+    let cc = sf(std::f64::consts::PI);
 
-    for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
+    for fmt in [
+        CsFmaFormat::PCS_55_ZD,
+        CsFmaFormat::PCS_58_LZA,
+        CsFmaFormat::FCS_29_LZA,
+    ] {
         let unit = CsFmaUnit::new(fmt);
         let ao = CsOperand::from_ieee(&a, fmt);
         let co = CsOperand::from_ieee(&cc, fmt);
@@ -43,7 +47,7 @@ fn bench_fma_units(c: &mut Criterion) {
 
 fn bench_conversions(c: &mut Criterion) {
     let mut g = c.benchmark_group("conversions");
-    let v = sf(2.718281828459045);
+    let v = sf(std::f64::consts::E);
     for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
         g.bench_function(format!("ieee_to_cs/{}", fmt.name), |bch| {
             bch.iter(|| black_box(CsOperand::from_ieee(black_box(&v), fmt)))
@@ -86,12 +90,7 @@ fn bench_recurrence_chain(c: &mut Criterion) {
             bch.iter_batched(
                 || (),
                 |_| {
-                    black_box(chain.run_recurrence(
-                        &b1,
-                        &b2,
-                        [&seeds[0], &seeds[1], &seeds[2]],
-                        48,
-                    ))
+                    black_box(chain.run_recurrence(&b1, &b2, [&seeds[0], &seeds[1], &seeds[2]], 48))
                 },
                 BatchSize::SmallInput,
             )
@@ -108,9 +107,16 @@ fn bench_dot_vs_chain(c: &mut Criterion) {
     let dot = CsDotUnit::new(fmt);
     let fma = CsFmaUnit::new(fmt);
     let terms: Vec<(SoftFloat, CsOperand)> = (0..8)
-        .map(|i| (sf(0.1 + i as f64), CsOperand::from_ieee(&sf(1.0 - 0.05 * i as f64), fmt)))
+        .map(|i| {
+            (
+                sf(0.1 + i as f64),
+                CsOperand::from_ieee(&sf(1.0 - 0.05 * i as f64), fmt),
+            )
+        })
         .collect();
-    g.bench_function("fused_dot_8", |bch| bch.iter(|| black_box(dot.dot(black_box(&terms)))));
+    g.bench_function("fused_dot_8", |bch| {
+        bch.iter(|| black_box(dot.dot(black_box(&terms))))
+    });
     g.bench_function("fma_chain_8", |bch| {
         bch.iter(|| {
             let mut acc = CsOperand::zero(fmt, false);
@@ -139,7 +145,13 @@ fn bench_multiplier_styles(c: &mut Criterion) {
         bch.iter(|| black_box(multiply_cs_by_binary(black_box(&cs), black_box(&b), false)))
     });
     g.bench_function("booth_radix4", |bch| {
-        bch.iter(|| black_box(multiply_cs_by_binary_booth(black_box(&cs), black_box(&b), false)))
+        bch.iter(|| {
+            black_box(multiply_cs_by_binary_booth(
+                black_box(&cs),
+                black_box(&b),
+                false,
+            ))
+        })
     });
     g.finish();
 }

@@ -66,7 +66,17 @@ fn main() {
     let v = Virtex6::SPEED_GRADE_1;
     header(
         "Ablation: PCS block size x carry spacing (full design-space report)",
-        &["block", "spacing", "seg add [ns]", "carries", "operand [b]", "err [ulp]", "fMax@5 [MHz]", "LUTs", "DSPs"],
+        &[
+            "block",
+            "spacing",
+            "seg add [ns]",
+            "carries",
+            "operand [b]",
+            "err [ulp]",
+            "fMax@5 [MHz]",
+            "LUTs",
+            "DSPs",
+        ],
         &[6, 8, 13, 8, 12, 12, 13, 7, 5],
     );
     for block in [55usize, 56, 58] {

@@ -17,7 +17,11 @@ use csfma_fabric::Virtex6;
 use csfma_softfloat::{FpFormat, SoftFloat};
 
 fn variant(base: CsFmaFormat, norm: Normalizer, name: &'static str) -> CsFmaFormat {
-    CsFmaFormat { name, normalizer: norm, ..base }
+    CsFmaFormat {
+        name,
+        normalizer: norm,
+        ..base
+    }
 }
 
 fn accuracy_and_skip(fmt: CsFmaFormat) -> (f64, f64) {
@@ -87,7 +91,10 @@ fn main() {
             }
             .delay_ns(&v),
         };
-        println!("{:<34} {:>12.6} {:>10.2} {:>15.2}", fmt.name, err, skip, norm_ns);
+        println!(
+            "{:<34} {:>12.6} {:>10.2} {:>15.2}",
+            fmt.name, err, skip, norm_ns
+        );
     }
     println!("\nthe LZA variants trade a few anticipation bits (still well beyond");
     println!("double precision) for removing the ZD priority chain from the");

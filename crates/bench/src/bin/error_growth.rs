@@ -32,8 +32,11 @@ fn main() {
         for _ in 0..runs {
             let b1 = (1.0 + rng.gen_range(0.0..31.0)) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             let b2 = rng.gen_range(1e-6..1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-            let seeds =
-                [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+            let seeds = [
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ];
             let exact = run_recurrence_exact(b1, b2, seeds, steps);
             for (k, fmt) in [FpFormat::BINARY64, FpFormat::B68].iter().enumerate() {
                 let r = run_recurrence_softfloat(*fmt, Round::NearestEven, b1, b2, seeds, steps);

@@ -76,7 +76,11 @@ fn main() -> std::io::Result<()> {
 
     for f in fs::read_dir("results")? {
         let f = f?;
-        println!("wrote {} ({} bytes)", f.path().display(), f.metadata()?.len());
+        println!(
+            "wrote {} ({} bytes)",
+            f.path().display(),
+            f.metadata()?.len()
+        );
     }
     Ok(())
 }

@@ -13,8 +13,12 @@ fn main() {
     println!("================================================================");
 
     println!("\n--- Table I: synthesis results (measured / paper) ---");
-    let paper1: [(f64, usize, usize, usize); 4] =
-        [(244.0, 9, 1253, 13), (190.0, 11, 1508, 7), (231.0, 5, 5832, 21), (211.0, 3, 4685, 12)];
+    let paper1: [(f64, usize, usize, usize); 4] = [
+        (244.0, 9, 1253, 13),
+        (190.0, 11, 1508, 7),
+        (231.0, 5, 5832, 21),
+        (211.0, 3, 4685, 12),
+    ];
     for (r, p) in table1().iter().zip(paper1.iter()) {
         println!(
             "{:<20} fMax {:>3.0}/{:<3.0}  cyc {:>2}/{:<2}  LUT {:>4}/{:<4}  DSP {:>2}/{:<2}",

@@ -21,7 +21,12 @@ struct Stats {
 
 impl Stats {
     fn new() -> Self {
-        Stats { ops: 0, worst: 0.0, worst_case: (0.0, 0.0, 0.0), buckets: [0; 7] }
+        Stats {
+            ops: 0,
+            worst: 0.0,
+            worst_case: (0.0, 0.0, 0.0),
+            buckets: [0; 7],
+        }
     }
 
     fn record(&mut self, rel: f64, case: (f64, f64, f64)) {
@@ -47,7 +52,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xC5F3A);
     let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
 
-    let formats = [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA];
+    let formats = [
+        CsFmaFormat::PCS_55_ZD,
+        CsFmaFormat::PCS_58_LZA,
+        CsFmaFormat::FCS_29_LZA,
+    ];
     for fmt in formats {
         let unit = CsFmaUnit::new(fmt);
         let mut st = Stats::new();
@@ -101,9 +110,17 @@ fn main() {
             st.record(rel, (a, b, c));
         }
         println!("\n{}: {} ops", fmt.name, st.ops);
-        println!("  worst relative error: {:.3e} (double envelope: 1.1e-16)", st.worst);
-        println!("  worst case: a={:.6e} b={:.6e} c={:.6e}", st.worst_case.0, st.worst_case.1, st.worst_case.2);
-        let labels = ["<1e-17", "1e-17", "1e-16", "1e-15", "1e-14", "1e-13", ">=1e-12"];
+        println!(
+            "  worst relative error: {:.3e} (double envelope: 1.1e-16)",
+            st.worst
+        );
+        println!(
+            "  worst case: a={:.6e} b={:.6e} c={:.6e}",
+            st.worst_case.0, st.worst_case.1, st.worst_case.2
+        );
+        let labels = [
+            "<1e-17", "1e-17", "1e-16", "1e-15", "1e-14", "1e-13", ">=1e-12",
+        ];
         print!("  histogram:");
         for (l, b) in labels.iter().zip(st.buckets.iter()) {
             print!(" {l}:{b}");

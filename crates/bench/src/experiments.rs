@@ -1,8 +1,8 @@
 //! The five experiments of the paper's evaluation section.
 
 use csfma_core::{
-    run_recurrence_exact, run_recurrence_softfloat, ChainEvaluator, CsFmaFormat, CsFmaUnit,
-    ulp_error_vs_exact,
+    run_recurrence_exact, run_recurrence_softfloat, ulp_error_vs_exact, ChainEvaluator,
+    CsFmaFormat, CsFmaUnit,
 };
 use csfma_fabric::components::Area;
 use csfma_fabric::energy::{measure_cs_unit, measure_discrete, DiscreteKind, EnergyCoefficients};
@@ -10,7 +10,9 @@ use csfma_fabric::{
     all_units, converter_cs_to_ieee, converter_ieee_to_cs, coregen_adder, coregen_multiplier,
     SynthesisReport, Virtex6,
 };
-use csfma_hls::{asap_schedule, fuse_critical_paths, list_schedule, FmaKind, FusionConfig, OpTiming};
+use csfma_hls::{
+    asap_schedule, fuse_critical_paths, list_schedule, FmaKind, FusionConfig, OpTiming,
+};
 use csfma_softfloat::{FpFormat, Round, SoftFloat};
 use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
 use rand::rngs::StdRng;
@@ -64,7 +66,11 @@ pub fn fig14(runs: usize, steps: usize, seed: u64) -> Vec<Fig14Row> {
             err[k] += ulp_error_vs_exact(&r.to_exact(), &exact);
             k += 1;
         }
-        for f in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
+        for f in [
+            CsFmaFormat::PCS_55_ZD,
+            CsFmaFormat::PCS_58_LZA,
+            CsFmaFormat::FCS_29_LZA,
+        ] {
             let chain = ChainEvaluator::new(CsFmaUnit::new(f));
             let r = chain.run_recurrence(
                 &sf(b1),
@@ -87,7 +93,10 @@ pub fn fig14(runs: usize, steps: usize, seed: u64) -> Vec<Fig14Row> {
     names
         .iter()
         .zip(err.iter())
-        .map(|(&name, &e)| Fig14Row { name, avg_ulp: e / runs as f64 })
+        .map(|(&name, &e)| Fig14Row {
+            name,
+            avg_ulp: e / runs as f64,
+        })
         .collect()
 }
 
@@ -193,16 +202,25 @@ fn minimal_pools(g: &csfma_hls::Cdfg, t: &OpTiming) -> csfma_hls::sched::Resourc
     use csfma_hls::Op;
     let mut caps = ResourceLimits {
         mul: Some(search(
-            &|k| ResourceLimits { mul: Some(k), ..Default::default() },
+            &|k| ResourceLimits {
+                mul: Some(k),
+                ..Default::default()
+            },
             peak_starts(g, t, |o| matches!(o, Op::Mul)).max(1),
         )),
         add: Some(search(
-            &|k| ResourceLimits { add: Some(k), ..Default::default() },
+            &|k| ResourceLimits {
+                add: Some(k),
+                ..Default::default()
+            },
             peak_starts(g, t, |o| matches!(o, Op::Add | Op::Sub)).max(1),
         )),
         div: Some(1),
         fma: Some(search(
-            &|k| ResourceLimits { fma: Some(k), ..Default::default() },
+            &|k| ResourceLimits {
+                fma: Some(k),
+                ..Default::default()
+            },
             peak_starts(g, t, |o| matches!(o, Op::Fma { .. })).max(1),
         )),
     };
@@ -234,15 +252,27 @@ fn datapath_area(g: &csfma_hls::Cdfg, t: &OpTiming, kind: FmaKind) -> Area {
     let has = |pred: &dyn Fn(&Op) -> bool| g.count_ops(pred) > 0;
     let pools: [(usize, Area); 5] = [
         (
-            if has(&|o| matches!(o, Op::Mul)) { caps.mul.unwrap_or(0) } else { 0 },
+            if has(&|o| matches!(o, Op::Mul)) {
+                caps.mul.unwrap_or(0)
+            } else {
+                0
+            },
             area_of(&coregen_multiplier(), &v),
         ),
         (
-            if has(&|o| matches!(o, Op::Add | Op::Sub)) { caps.add.unwrap_or(0) } else { 0 },
+            if has(&|o| matches!(o, Op::Add | Op::Sub)) {
+                caps.add.unwrap_or(0)
+            } else {
+                0
+            },
             area_of(&coregen_adder(), &v),
         ),
         (
-            if has(&|o| matches!(o, Op::Fma { .. })) { caps.fma.unwrap_or(0) } else { 0 },
+            if has(&|o| matches!(o, Op::Fma { .. })) {
+                caps.fma.unwrap_or(0)
+            } else {
+                0
+            },
             area_of(&fma_design, &v),
         ),
         (
@@ -265,7 +295,11 @@ fn datapath_area(g: &csfma_hls::Cdfg, t: &OpTiming, kind: FmaKind) -> Area {
 
 fn area_of(u: &csfma_fabric::UnitDesign, v: &Virtex6) -> Area {
     let r = u.synthesize(v);
-    Area { luts: r.luts, dsps: r.dsps, regs: r.regs }
+    Area {
+        luts: r.luts,
+        dsps: r.dsps,
+        regs: r.regs,
+    }
 }
 
 /// **Fig. 15** — `ldlsolve()` schedule length for the three trajectory
@@ -281,6 +315,23 @@ pub fn fig15() -> Vec<Fig15Row> {
             let discrete = asap_schedule(&prog.cdfg, &t).length;
             let pcs = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(FmaKind::Pcs));
             let fcs = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(FmaKind::Fcs));
+            // every published schedule must pass the static checker
+            for fused in [&pcs.fused, &fcs.fused] {
+                let mut diags = csfma_hls::lint_dataflow(fused, &t);
+                let s = asap_schedule(fused, &t);
+                diags.extend(csfma_hls::lint_schedule(
+                    fused,
+                    &t,
+                    &s,
+                    &csfma_hls::ResourceLimits::default(),
+                ));
+                assert!(
+                    !csfma_verify::has_errors(&diags),
+                    "{}: fused datapath failed lint\n{}",
+                    p.name,
+                    csfma_verify::render_report(&diags)
+                );
+            }
             Fig15Row {
                 solver: p.name,
                 dim: k.matrix.dim(),
@@ -345,7 +396,7 @@ mod smoke {
         assert!(list_schedule(&prog.cdfg, &t, &caps).length <= target);
         // and shrinking any pool below the found cap lengthens it
         let mut tighter = caps;
-        tighter.mul = caps.mul.map(|k| k.saturating_sub(1).max(0));
+        tighter.mul = caps.mul.map(|k| k.saturating_sub(1));
         if tighter.mul != caps.mul && tighter.mul != Some(0) {
             assert!(list_schedule(&prog.cdfg, &t, &tighter).length >= target);
         }

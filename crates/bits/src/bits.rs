@@ -156,7 +156,11 @@ impl Bits {
     /// If `pos >= width`.
     #[inline]
     pub fn set_bit(&mut self, pos: usize, value: bool) {
-        assert!(pos < self.width, "set_bit {pos} out of width {}", self.width);
+        assert!(
+            pos < self.width,
+            "set_bit {pos} out of width {}",
+            self.width
+        );
         let limb = pos / 64;
         let off = pos % 64;
         if value {

@@ -52,7 +52,10 @@ impl Bits {
     /// Two's-complement negation modulo `2^width`.
     pub fn wrapping_neg(&self) -> Bits {
         let inv = !self;
-        inv.wrapping_add(&Bits::from_u64(self.width, if self.width == 0 { 0 } else { 1 }))
+        inv.wrapping_add(&Bits::from_u64(
+            self.width,
+            if self.width == 0 { 0 } else { 1 },
+        ))
     }
 
     /// Add a single `u64` (wrapping).
@@ -95,8 +98,16 @@ impl Bits {
     /// bits, computed as sign/magnitude around [`Bits::mul_full`].
     pub fn mul_full_signed(&self, rhs: &Bits) -> Bits {
         let neg = self.sign_bit() ^ rhs.sign_bit();
-        let a = if self.sign_bit() { self.wrapping_neg() } else { self.clone() };
-        let b = if rhs.sign_bit() { rhs.wrapping_neg() } else { rhs.clone() };
+        let a = if self.sign_bit() {
+            self.wrapping_neg()
+        } else {
+            self.clone()
+        };
+        let b = if rhs.sign_bit() {
+            rhs.wrapping_neg()
+        } else {
+            rhs.clone()
+        };
         let p = a.mul_full(&b);
         if neg {
             p.wrapping_neg()

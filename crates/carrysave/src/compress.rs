@@ -7,6 +7,15 @@
 use crate::cs::CsNumber;
 use csfma_bits::Bits;
 
+/// Extra width a CSA tree needs above the nominal result so the *signed
+/// two-word sum* stays exact: each 3:2 level's `majority << 1` discards
+/// the top weight unless every word keeps a redundant sign bit, and the
+/// final two-word addition needs one more position. Two bits cover both
+/// (one redundant sign + one carry-out) for any tree depth — the
+/// multiplier widens its output by this much, and `csfma-verify`'s W001
+/// rule demands the same headroom of every FMA window geometry.
+pub const COMPRESSOR_HEADROOM_BITS: usize = 2;
+
 /// 3:2 compressor (full-adder row): three addends become a CS pair in one
 /// full-adder delay, independent of width.
 ///
@@ -50,7 +59,10 @@ pub fn reduce_to_cs(addends: &[Bits], width: usize) -> ReduceResult {
     let mut layer: Vec<Bits> = addends.iter().map(|a| a.zext(width)).collect();
     let mut levels = 0;
     if layer.is_empty() {
-        return ReduceResult { cs: CsNumber::zero(width), levels: 0 };
+        return ReduceResult {
+            cs: CsNumber::zero(width),
+            levels: 0,
+        };
     }
     while layer.len() > 2 {
         let mut next = Vec::with_capacity(layer.len() * 2 / 3 + 1);

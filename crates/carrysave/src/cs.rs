@@ -34,7 +34,10 @@ pub struct CsNumber {
 impl CsNumber {
     /// Zero in CS form.
     pub fn zero(width: usize) -> Self {
-        CsNumber { sum: Bits::zero(width), carry: Bits::zero(width) }
+        CsNumber {
+            sum: Bits::zero(width),
+            carry: Bits::zero(width),
+        }
     }
 
     /// Wrap a plain binary value (empty carry word).
@@ -98,27 +101,43 @@ impl CsNumber {
 
     /// Zero-extend both words.
     pub fn zext(&self, new_width: usize) -> Self {
-        CsNumber { sum: self.sum.zext(new_width), carry: self.carry.zext(new_width) }
+        CsNumber {
+            sum: self.sum.zext(new_width),
+            carry: self.carry.zext(new_width),
+        }
     }
 
     /// Sign-extend both words (two's complement CS).
     pub fn sext(&self, new_width: usize) -> Self {
-        CsNumber { sum: self.sum.sext(new_width), carry: self.carry.sext(new_width) }
+        CsNumber {
+            sum: self.sum.sext(new_width),
+            carry: self.carry.sext(new_width),
+        }
     }
 
     /// Shift both words left (weights increase; bits drop off the top).
     pub fn shl(&self, n: usize) -> Self {
-        CsNumber { sum: self.sum.shl(n), carry: self.carry.shl(n) }
+        CsNumber {
+            sum: self.sum.shl(n),
+            carry: self.carry.shl(n),
+        }
     }
 
     /// Extract a digit block `[lo, lo+len)` as a CS pair of width `len`.
     pub fn extract(&self, lo: usize, len: usize) -> Self {
-        CsNumber { sum: self.sum.extract(lo, len), carry: self.carry.extract(lo, len) }
+        CsNumber {
+            sum: self.sum.extract(lo, len),
+            carry: self.carry.extract(lo, len),
+        }
     }
 
     /// Split into `count` blocks of `block_width` digits, MSB block first.
     pub fn blocks(&self, block_width: usize, count: usize) -> Vec<CsNumber> {
-        assert_eq!(self.width(), block_width * count, "CS blocks width mismatch");
+        assert_eq!(
+            self.width(),
+            block_width * count,
+            "CS blocks width mismatch"
+        );
         (0..count)
             .rev()
             .map(|i| self.extract(i * block_width, block_width))
@@ -133,7 +152,10 @@ impl CsNumber {
             sums.push(b.sum.clone());
             carries.push(b.carry.clone());
         }
-        CsNumber { sum: Bits::from_blocks(&sums), carry: Bits::from_blocks(&carries) }
+        CsNumber {
+            sum: Bits::from_blocks(&sums),
+            carry: Bits::from_blocks(&carries),
+        }
     }
 
     /// Two's-complement negation kept in CS form: `-(s + c) = !s + !c + 2`,

@@ -23,7 +23,9 @@ mod compress;
 mod cs;
 mod pcs;
 
-pub use compress::{csa3_2, csa4_2, reduce_to_cs, reduction_depth_3_2, ReduceResult};
+pub use compress::{
+    csa3_2, csa4_2, reduce_to_cs, reduction_depth_3_2, ReduceResult, COMPRESSOR_HEADROOM_BITS,
+};
 pub use cs::CsNumber;
 pub use pcs::PcsNumber;
 

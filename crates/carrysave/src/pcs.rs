@@ -23,14 +23,22 @@ impl PcsNumber {
     /// Zero in PCS form.
     pub fn zero(width: usize, spacing: usize) -> Self {
         assert!(spacing >= 1);
-        PcsNumber { sum: Bits::zero(width), carry: Bits::zero(width), spacing }
+        PcsNumber {
+            sum: Bits::zero(width),
+            carry: Bits::zero(width),
+            spacing,
+        }
     }
 
     /// Wrap a plain binary value (no explicit carries).
     pub fn from_binary(sum: Bits, spacing: usize) -> Self {
         assert!(spacing >= 1);
         let carry = Bits::zero(sum.width());
-        PcsNumber { sum, carry, spacing }
+        PcsNumber {
+            sum,
+            carry,
+            spacing,
+        }
     }
 
     /// Assemble from words, validating the carry-position invariant.
@@ -48,7 +56,11 @@ impl PcsNumber {
                 );
             }
         }
-        PcsNumber { sum, carry, spacing }
+        PcsNumber {
+            sum,
+            carry,
+            spacing,
+        }
     }
 
     /// The constant-time carry-reduction step (Fig. 9, "Carry Reduction"):
@@ -77,7 +89,11 @@ impl PcsNumber {
             }
             lo += len;
         }
-        PcsNumber { sum, carry, spacing }
+        PcsNumber {
+            sum,
+            carry,
+            spacing,
+        }
     }
 
     /// Word width.
@@ -123,19 +139,23 @@ impl PcsNumber {
     /// Extract digits `[lo, lo+len)` as a PCS number of width `len`.
     /// `lo` must be a multiple of `spacing` so the invariant is kept.
     pub fn extract(&self, lo: usize, len: usize) -> Self {
-        assert!(lo.is_multiple_of(self.spacing), "PCS extract must start on a segment base");
+        assert!(
+            lo.is_multiple_of(self.spacing),
+            "PCS extract must start on a segment base"
+        );
         let mut carry = self.carry.extract(lo, len);
         // a carry that sat exactly at `lo` has position 0 in the slice,
         // which the invariant forbids — it belongs to this slice's value,
         // so fold it into the sum via the segment adder.
         if carry.bit(0) {
             carry.set_bit(0, false);
-            let cs = CsNumber::new(
-                self.sum.extract(lo, len).wrapping_add_u64(1),
-                carry,
-            );
+            let cs = CsNumber::new(self.sum.extract(lo, len).wrapping_add_u64(1), carry);
             return PcsNumber::reduce_from(&cs, self.spacing);
         }
-        PcsNumber { sum: self.sum.extract(lo, len), carry, spacing: self.spacing }
+        PcsNumber {
+            sum: self.sum.extract(lo, len),
+            carry,
+            spacing: self.spacing,
+        }
     }
 }

@@ -41,7 +41,10 @@ fn cs_representation_of_half_is_not_unique() {
     // the value is one half.
     let w = 5; // digits: x.xxxx with weight 2^-1 at bit 3
     let plain = CsNumber::from_binary(Bits::from_bin_str(w, "01000"));
-    let redundant = CsNumber::new(Bits::from_bin_str(w, "00100"), Bits::from_bin_str(w, "00100"));
+    let redundant = CsNumber::new(
+        Bits::from_bin_str(w, "00100"),
+        Bits::from_bin_str(w, "00100"),
+    );
     assert_eq!(plain.resolve(), redundant.resolve());
     assert!(!redundant.sum().bit(3)); // examining one digit misjudges 0.5
 }
@@ -88,7 +91,7 @@ fn carry_storage_matches_paper() {
     let pcs = PcsNumber::zero(385, 11);
     assert_eq!(pcs.carry_storage_bits(), 34); // positions 11,22,...,374
                                               // (the paper counts the top segment's carry-out too: 35)
-    // and a 110b mantissa at spacing 11 carries ~10 carry bits (Fig. 8)
+                                              // and a 110b mantissa at spacing 11 carries ~10 carry bits (Fig. 8)
     let mant = PcsNumber::zero(110, 11);
     assert_eq!(mant.carry_storage_bits(), 9);
 }
@@ -97,9 +100,8 @@ fn carry_storage_matches_paper() {
 fn pcs_new_rejects_bad_positions() {
     let ok = PcsNumber::new(Bits::zero(22), Bits::from_u64(22, 1 << 11), 11);
     assert!(ok.carry().bit(11));
-    let bad = std::panic::catch_unwind(|| {
-        PcsNumber::new(Bits::zero(22), Bits::from_u64(22, 1 << 5), 11)
-    });
+    let bad =
+        std::panic::catch_unwind(|| PcsNumber::new(Bits::zero(22), Bits::from_u64(22, 1 << 5), 11));
     assert!(bad.is_err());
 }
 

@@ -170,7 +170,10 @@ mod horner_tests {
         // p(x) = 1 + 2x + 3x^2 at x = 0.5 -> 2.75
         let chain = ChainEvaluator::new(CsFmaUnit::new(CsFmaFormat::FCS_29_LZA));
         let r = chain.horner(&[1.0, 2.0, 3.0], 0.5);
-        assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 2.75);
+        assert_eq!(
+            r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+            2.75
+        );
     }
 
     #[test]
@@ -214,7 +217,10 @@ mod horner_tests {
             .to_ieee(FpFormat::BINARY64, Round::NearestEven)
             .is_zero());
         assert_eq!(
-            chain.horner(&[42.0], 3.0).to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+            chain
+                .horner(&[42.0], 3.0)
+                .to_ieee(FpFormat::BINARY64, Round::NearestEven)
+                .to_f64(),
             42.0
         );
     }

@@ -67,7 +67,11 @@ impl ClassicFma {
         use csfma_bits::Bits;
 
         let fmt = a.format();
-        assert_eq!(fmt, FpFormat::BINARY64, "structural model is the binary64 instance");
+        assert_eq!(
+            fmt,
+            FpFormat::BINARY64,
+            "structural model is the binary64 instance"
+        );
         // exception classes resolve exactly as in the value model
         if a.is_nan()
             || b.is_nan()
@@ -153,7 +157,11 @@ impl ClassicFma {
         // ---- round to nearest even with guard + sticky ----
         let keep = 53usize;
         let (mut sig, guard, low_sticky) = if msb < keep {
-            (mag.extract(0, msb + 1).shl(keep - msb - 1).to_u128(), false, false)
+            (
+                mag.extract(0, msb + 1).shl(keep - msb - 1).to_u128(),
+                false,
+                false,
+            )
         } else {
             let cut = msb + 1 - keep;
             let sig = mag.extract(cut, keep).to_u128();

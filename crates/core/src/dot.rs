@@ -57,7 +57,10 @@ impl CsDotUnit {
     /// Largest number of terms the window headroom supports.
     pub fn max_terms(&self) -> usize {
         // keep two guard bits of the left region for the two-word sums
-        1usize << (self.format.left_blocks * self.format.block_bits).saturating_sub(2).min(20)
+        1usize
+            << (self.format.left_blocks * self.format.block_bits)
+                .saturating_sub(2)
+                .min(20)
     }
 
     /// Fused `Σ b_i · c_i`.
@@ -76,10 +79,16 @@ impl CsDotUnit {
     ) -> CsOperand {
         let f = &self.format;
         assert!(!terms.is_empty(), "empty dot product");
-        assert!(terms.len() <= self.max_terms(), "too many dot terms for the window");
+        assert!(
+            terms.len() <= self.max_terms(),
+            "too many dot terms for the window"
+        );
 
         // exception wires
-        if terms.iter().any(|(b, c)| b.is_nan() || c.class() == FpClass::Nan) {
+        if terms
+            .iter()
+            .any(|(b, c)| b.is_nan() || c.class() == FpClass::Nan)
+        {
             return CsOperand::nan(*f);
         }
         let mut inf_sign: Option<bool> = None;
@@ -202,7 +211,11 @@ mod tests {
     fn small_dot_products() {
         for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
             let unit = CsDotUnit::new(fmt);
-            let terms = vec![term(fmt, 1.5, 2.0), term(fmt, -0.5, 4.0), term(fmt, 3.0, 1.0)];
+            let terms = vec![
+                term(fmt, 1.5, 2.0),
+                term(fmt, -0.5, 4.0),
+                term(fmt, 3.0, 1.0),
+            ];
             let r = unit.dot(&terms);
             let got = r.to_ieee(B64, Round::NearestEven).to_f64();
             assert_eq!(got, 1.5 * 2.0 - 0.5 * 4.0 + 3.0, "{}", fmt.name);
@@ -216,8 +229,11 @@ mod tests {
         let fmt = CsFmaFormat::FCS_29_LZA;
         let unit = CsDotUnit::new(fmt);
         let tiny = 2f64.powi(-40);
-        let terms =
-            vec![term(fmt, 1.1, 3.3), term(fmt, -1.1, 3.3), term(fmt, tiny, 1.0)];
+        let terms = vec![
+            term(fmt, 1.1, 3.3),
+            term(fmt, -1.1, 3.3),
+            term(fmt, tiny, 1.0),
+        ];
         let r = unit.dot(&terms);
         assert_eq!(r.to_ieee(B64, Round::NearestEven).to_f64(), tiny);
     }
@@ -226,8 +242,14 @@ mod tests {
     fn specials() {
         let fmt = CsFmaFormat::PCS_55_ZD;
         let unit = CsDotUnit::new(fmt);
-        let inf = (SoftFloat::inf(B64, false), CsOperand::from_ieee(&sf(2.0), fmt));
-        let neg_inf = (SoftFloat::inf(B64, true), CsOperand::from_ieee(&sf(2.0), fmt));
+        let inf = (
+            SoftFloat::inf(B64, false),
+            CsOperand::from_ieee(&sf(2.0), fmt),
+        );
+        let neg_inf = (
+            SoftFloat::inf(B64, true),
+            CsOperand::from_ieee(&sf(2.0), fmt),
+        );
         let num = term(fmt, 1.0, 1.0);
         assert!(unit
             .dot(&[inf.clone(), num.clone()])

@@ -199,7 +199,10 @@ mod tests {
     fn single_precision_instances() {
         let sp = CsFmaFormat::PCS_27_SP;
         assert_eq!(sp.mant_bits(), 54);
-        assert!(sp.mant_bits() >= 24 + 3, "covers the binary32 significand + guards");
+        assert!(
+            sp.mant_bits() >= 24 + 3,
+            "covers the binary32 significand + guards"
+        );
         assert_eq!(sp.window_bits() % sp.block_bits, 0);
         let fsp = CsFmaFormat::FCS_15_SP;
         assert_eq!(fsp.mant_bits(), 45);

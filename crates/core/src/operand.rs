@@ -78,7 +78,14 @@ impl CsOperand {
     ) -> Self {
         debug_assert_eq!(mant.width(), format.mant_bits());
         debug_assert_eq!(round.width(), format.block_bits);
-        CsOperand { format, class, sign_hint, mant, round, exp }
+        CsOperand {
+            format,
+            class,
+            sign_hint,
+            mant,
+            round,
+            exp,
+        }
     }
 
     /// Convert an IEEE-style [`SoftFloat`] into the transport format —
@@ -95,8 +102,7 @@ impl CsOperand {
             FpClass::Normal => {
                 let m = format.mant_bits();
                 let shift = format.frac_bits() - value.format().frac_bits as usize;
-                let mut mant_bits =
-                    Bits::from_u64(m, value.significand()).shl(shift);
+                let mut mant_bits = Bits::from_u64(m, value.significand()).shl(shift);
                 if value.sign() {
                     mant_bits = mant_bits.wrapping_neg();
                 }
@@ -165,9 +171,7 @@ impl CsOperand {
                 } else {
                     total.zext(w + 1)
                 };
-                let scale = self.exp.unbiased() as i64
-                    - self.format.frac_bits() as i64
-                    - bb as i64;
+                let scale = self.exp.unbiased() as i64 - self.format.frac_bits() as i64 - bb as i64;
                 ExactFloat::from_parts(sign, mag, scale)
             }
             _ => panic!("exact_value on {:?}", self.class),
@@ -261,10 +265,17 @@ mod tests {
 
     #[test]
     fn roundtrip_all_formats() {
-        for f in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
-            let sf = SoftFloat::from_f64(FpFormat::BINARY64, -0.7853981633974483);
+        for f in [
+            CsFmaFormat::PCS_55_ZD,
+            CsFmaFormat::PCS_58_LZA,
+            CsFmaFormat::FCS_29_LZA,
+        ] {
+            let sf = SoftFloat::from_f64(FpFormat::BINARY64, -std::f64::consts::FRAC_PI_4);
             let op = CsOperand::from_ieee(&sf, f);
-            assert_eq!(op.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), sf.to_f64());
+            assert_eq!(
+                op.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+                sf.to_f64()
+            );
         }
     }
 

@@ -111,7 +111,10 @@ mod tests {
         assert!(p.clock(None).is_none());
         assert!(p.clock(None).is_none());
         let r = p.clock(None).expect("result after `latency` clocks");
-        assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 7.0);
+        assert_eq!(
+            r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+            7.0
+        );
     }
 
     #[test]
@@ -145,8 +148,9 @@ mod tests {
         let streams = lat + 1;
         let mut p = PipelinedFma::new(CsFmaUnit::new(fmt), lat);
         let one = CsOperand::from_ieee(&sf(1.0), fmt);
-        let mut x: Vec<CsOperand> =
-            (0..streams).map(|k| CsOperand::from_ieee(&sf(k as f64), fmt)).collect();
+        let mut x: Vec<CsOperand> = (0..streams)
+            .map(|k| CsOperand::from_ieee(&sf(k as f64), fmt))
+            .collect();
         let mut steps = vec![0usize; streams];
         let mut emitted = 0;
         let cycles = 4 * streams;
@@ -181,9 +185,15 @@ mod tests {
         assert!(p.clock(None).is_none());
         assert!(p.clock(Some((&a, &sf(2.0), &c))).is_none());
         let r1 = p.clock(None).expect("first result");
-        assert_eq!(r1.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 2.0);
+        assert_eq!(
+            r1.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+            2.0
+        );
         assert!(p.clock(None).is_none(), "bubble emerges as a bubble");
         let r2 = p.clock(None).expect("second result");
-        assert_eq!(r2.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 3.0);
+        assert_eq!(
+            r2.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+            3.0
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! Cross-module accuracy tests: every FMA format against the exact
 //! reference, single ops and chains, random and adversarial inputs.
 
-use crate::{ChainEvaluator, CsFmaFormat, CsFmaUnit, CsOperand};
 use crate::reference::{exact_fma, ulp_error_vs_exact};
+use crate::{ChainEvaluator, CsFmaFormat, CsFmaUnit, CsOperand};
 use csfma_softfloat::{FpFormat, Round, SoftFloat};
 use proptest::prelude::*;
 
@@ -62,7 +62,11 @@ fn irrational_style_values() {
     // double ulp from exact (the formats carry 110/116/87-digit mantissas)
     for fmt in ALL_FORMATS {
         for (a, b, c) in [
-            (std::f64::consts::PI, std::f64::consts::E, std::f64::consts::SQRT_2),
+            (
+                std::f64::consts::PI,
+                std::f64::consts::E,
+                std::f64::consts::SQRT_2,
+            ),
             (1.0 / 3.0, 2.0 / 7.0, 9.0 / 11.0),
             (-0.1, 0.7, 0.3),
         ] {
@@ -187,14 +191,8 @@ fn chained_recurrence_beats_discrete_double() {
             [&sf(seeds[0]), &sf(seeds[1]), &sf(seeds[2])],
             20,
         );
-        let discrete = crate::chain::run_recurrence_softfloat(
-            B64,
-            Round::NearestEven,
-            b1,
-            b2,
-            seeds,
-            20,
-        );
+        let discrete =
+            crate::chain::run_recurrence_softfloat(B64, Round::NearestEven, b1, b2, seeds, 20);
         let err_fused = ulp_error_vs_exact(&fused.exact_value(), &exact);
         let err_discrete = ulp_error_vs_exact(&discrete.to_exact(), &exact);
         assert!(
@@ -402,7 +400,11 @@ fn deep_chain_exponent_walks_stay_exact() {
     let mut acc = CsOperand::from_ieee(&sf(1.0), fmt);
     let zero_c = CsOperand::from_ieee(&sf(1.0), fmt);
     for _ in 0..200 {
-        acc = unit.fma(&CsOperand::zero(fmt, false), &acc.to_ieee(B64, Round::NearestEven), &zero_c);
+        acc = unit.fma(
+            &CsOperand::zero(fmt, false),
+            &acc.to_ieee(B64, Round::NearestEven),
+            &zero_c,
+        );
         acc = unit.fma(&acc, &sf(4.0), &CsOperand::from_ieee(&sf(0.0), fmt));
     }
     // acc = 1 * 4^0 ... all the mul-by-zero-added terms: acc stays 1.0
@@ -420,7 +422,10 @@ mod mini_format {
     use crate::Normalizer;
     use csfma_softfloat::ExactFloat;
 
-    const B_FMT: FpFormat = FpFormat { exp_bits: 5, frac_bits: 4 };
+    const B_FMT: FpFormat = FpFormat {
+        exp_bits: 5,
+        frac_bits: 4,
+    };
 
     fn mini(spacing: Option<usize>, normalizer: Normalizer, name: &'static str) -> CsFmaFormat {
         CsFmaFormat {
@@ -437,9 +442,7 @@ mod mini_format {
 
     fn sweep(fmt: CsFmaFormat) {
         let unit = CsFmaUnit::new(fmt);
-        let mk = |sign: bool, frac: u64, exp: i32| {
-            SoftFloat::from_parts(B_FMT, sign, exp, frac)
-        };
+        let mk = |sign: bool, frac: u64, exp: i32| SoftFloat::from_parts(B_FMT, sign, exp, frac);
         let mut cases = 0usize;
         for a_sign in [false, true] {
             for a_frac in 0..16u64 {
@@ -453,9 +456,7 @@ mod mini_format {
                             for b_frac in (0..16u64).step_by(5) {
                                 let b = mk(b_frac % 3 == 0, b_frac, 1);
                                 let r = unit.fma(&ao, &b, &co);
-                                let exact = a
-                                    .to_exact()
-                                    .add(&b.to_exact().mul(&c.to_exact()));
+                                let exact = a.to_exact().add(&b.to_exact().mul(&c.to_exact()));
                                 let diff = r.exact_value().sub(&exact);
                                 cases += 1;
                                 if diff.is_zero() {
@@ -463,9 +464,7 @@ mod mini_format {
                                 }
                                 // dominant scale
                                 let p = b.to_exact().mul(&c.to_exact());
-                                let dom: ExactFloat = if a
-                                    .to_exact()
-                                    .cmp_magnitude(&p)
+                                let dom: ExactFloat = if a.to_exact().cmp_magnitude(&p)
                                     == std::cmp::Ordering::Greater
                                 {
                                     a.to_exact()
@@ -528,10 +527,7 @@ fn documented_misrounding_boundary() {
     // fraction = 0.0111…1 (54 ones) in the rounding block, plus ones in
     // the discarded lower blocks: true fraction > 1/2 by ~2^-55, but the
     // block's resolved value is 2^54 - 1 < 2^54 -> rounds down.
-    let block = CsNumber::new(
-        Bits::from_u128(55, (1u128 << 54) - 1),
-        Bits::zero(55),
-    );
+    let block = CsNumber::new(Bits::from_u128(55, (1u128 << 54) - 1), Bits::zero(55));
     assert!(
         !round_up_from_block(&block),
         "the block alone reads below half: misrounded down (accepted)"
@@ -627,7 +623,8 @@ mod single_precision {
         let seeds = [0.3, -0.7, 1.1];
         let exact = crate::chain::run_recurrence_exact(b1, b2, seeds, 16);
         // discrete binary32
-        let d32 = crate::chain::run_recurrence_softfloat(B32, Round::NearestEven, b1, b2, seeds, 16);
+        let d32 =
+            crate::chain::run_recurrence_softfloat(B32, Round::NearestEven, b1, b2, seeds, 16);
         let fused = chain.run_recurrence(
             &s32(b1),
             &s32(b2),

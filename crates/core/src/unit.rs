@@ -130,9 +130,7 @@ impl CsFmaUnit {
                 };
             }
             (FpClass::Inf, _) => return (CsOperand::inf(*f, psign), FmaReport::default()),
-            (_, FpClass::Inf) => {
-                return (CsOperand::inf(*f, a.sign_hint()), FmaReport::default())
-            }
+            (_, FpClass::Inf) => return (CsOperand::inf(*f, a.sign_hint()), FmaReport::default()),
             (FpClass::Zero, FpClass::Zero) => {
                 let sign = psign && a.sign_hint();
                 return (CsOperand::zero(*f, sign), FmaReport::default());

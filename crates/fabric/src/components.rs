@@ -70,7 +70,11 @@ pub enum Component {
     /// Carry-save compression of `rows` addends at `width` bits.
     CsaTree { rows: usize, width: usize },
     /// DSP-based mantissa multiplier producing a CS result.
-    DspMultiplier { a_bits: usize, b_bits: usize, style: MultStyle },
+    DspMultiplier {
+        a_bits: usize,
+        b_bits: usize,
+        style: MultStyle,
+    },
     /// Variable-distance barrel shifter.
     Shifter { width: usize, max_distance: usize },
     /// N-to-1 block multiplexer.
@@ -109,7 +113,10 @@ impl Component {
                 };
                 v.dsp_stage_ns + pre
             }
-            Component::Shifter { width, max_distance } => v.shifter_ns(width, max_distance),
+            Component::Shifter {
+                width,
+                max_distance,
+            } => v.shifter_ns(width, max_distance),
             Component::BlockMux { ways, width } => {
                 let route =
                     width.saturating_sub(v.route_free_bits) as f64 * v.route_per_bit_ns * 0.25;
@@ -141,18 +148,29 @@ impl Component {
 
     /// Silicon area.
     pub fn area(&self) -> Area {
-        let a = |luts: usize| Area { luts, dsps: 0, regs: 0 };
+        let a = |luts: usize| Area {
+            luts,
+            dsps: 0,
+            regs: 0,
+        };
         match *self {
             Component::RippleAdder { width } => a(width),
             Component::SegmentedAdder { width, .. } => a(width),
             Component::CsaTree { rows, width } => a(width * rows.saturating_sub(2).max(1)),
-            Component::DspMultiplier { a_bits, b_bits, style } => Area {
+            Component::DspMultiplier {
+                a_bits,
+                b_bits,
+                style,
+            } => Area {
                 // LUT glue for partial-product alignment & recombination
                 luts: (a_bits + b_bits) * 2,
                 dsps: dsp_count(a_bits, b_bits, style),
                 regs: 0,
             },
-            Component::Shifter { width, max_distance } => {
+            Component::Shifter {
+                width,
+                max_distance,
+            } => {
                 let dist_bits = (usize::BITS - max_distance.max(1).leading_zeros()) as usize;
                 a(width * dist_bits.div_ceil(2))
             }
@@ -187,17 +205,40 @@ mod tests {
     fn component_delays_ordered() {
         let v = Virtex6::SPEED_GRADE_1;
         let wide = Component::RippleAdder { width: 385 }.delay_ns(&v);
-        let seg = Component::SegmentedAdder { width: 385, segment: 11 }.delay_ns(&v);
-        assert!(seg < 2.0 && wide > 8.0, "segmenting must break the carry chain");
-        let shifter = Component::Shifter { width: 162, max_distance: 162 }.delay_ns(&v);
-        let mux = Component::BlockMux { ways: 6, width: 110 }.delay_ns(&v);
+        let seg = Component::SegmentedAdder {
+            width: 385,
+            segment: 11,
+        }
+        .delay_ns(&v);
+        assert!(
+            seg < 2.0 && wide > 8.0,
+            "segmenting must break the carry chain"
+        );
+        let shifter = Component::Shifter {
+            width: 162,
+            max_distance: 162,
+        }
+        .delay_ns(&v);
+        let mux = Component::BlockMux {
+            ways: 6,
+            width: 110,
+        }
+        .delay_ns(&v);
         assert!(mux < shifter, "Fig. 7: block mux replaces the slow shifter");
     }
 
     #[test]
     fn areas_accumulate() {
-        let t = Component::CsaTree { rows: 106, width: 163 }.area();
-        assert!(t.luts > 5000, "the big CSA trees dominate LUT count: {}", t.luts);
+        let t = Component::CsaTree {
+            rows: 106,
+            width: 163,
+        }
+        .area();
+        assert!(
+            t.luts > 5000,
+            "the big CSA trees dominate LUT count: {}",
+            t.luts
+        );
         let sum = t.plus(Component::ExponentPath.area());
         assert_eq!(sum.luts, t.luts + 26);
     }

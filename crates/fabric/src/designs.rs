@@ -61,19 +61,45 @@ pub fn coregen_muladd() -> UnitDesign {
         kind: UnitKind::CoreGen,
         critical: vec![
             // multiplier: operand prep, 3 DSP cascade stages, product add
-            C::Logic { levels: 1, luts: 120 },
-            C::DspMultiplier { a_bits: 53, b_bits: 53, style: MultStyle::FullTiling },
-            C::Logic { levels: 2, luts: 90 },
+            C::Logic {
+                levels: 1,
+                luts: 120,
+            },
+            C::DspMultiplier {
+                a_bits: 53,
+                b_bits: 53,
+                style: MultStyle::FullTiling,
+            },
+            C::Logic {
+                levels: 2,
+                luts: 90,
+            },
             C::RippleAdder { width: 106 },
             C::Rounder { width: 53 },
             // adder: swap/align, mantissa add, normalize, round
-            C::Logic { levels: 2, luts: 110 },
-            C::Shifter { width: 57, max_distance: 57 },
+            C::Logic {
+                levels: 2,
+                luts: 110,
+            },
+            C::Shifter {
+                width: 57,
+                max_distance: 57,
+            },
             C::RippleAdder { width: 57 },
-            C::Shifter { width: 57, max_distance: 57 },
+            C::Shifter {
+                width: 57,
+                max_distance: 57,
+            },
             C::Rounder { width: 53 },
         ],
-        parallel: vec![C::ExponentPath, C::ExponentPath, C::Logic { levels: 1, luts: 160 }],
+        parallel: vec![
+            C::ExponentPath,
+            C::ExponentPath,
+            C::Logic {
+                levels: 1,
+                luts: 160,
+            },
+        ],
         cycles: 9,
     }
 }
@@ -85,23 +111,39 @@ pub fn flopoco_fused() -> UnitDesign {
         name: "FloPoCo FPPipeline",
         kind: UnitKind::FloPoCo,
         critical: vec![
-            C::Logic { levels: 2, luts: 60 },
-            C::DspMultiplier { a_bits: 53, b_bits: 53, style: MultStyle::Truncated },
+            C::Logic {
+                levels: 2,
+                luts: 60,
+            },
+            C::DspMultiplier {
+                a_bits: 53,
+                b_bits: 53,
+                style: MultStyle::Truncated,
+            },
             // truncation correction logic in LUTs
             C::CsaTree { rows: 5, width: 66 },
-            C::Shifter { width: 56, max_distance: 56 },
+            C::Shifter {
+                width: 56,
+                max_distance: 56,
+            },
             // the wide fused addition is the critical component (cf. the
             // classic FMA's 161b adder, Sec. III-A)
             C::RippleAdder { width: 161 },
             C::Complement { width: 110 },
-            C::Shifter { width: 110, max_distance: 110 },
+            C::Shifter {
+                width: 110,
+                max_distance: 110,
+            },
             C::RippleAdder { width: 56 },
             C::Rounder { width: 53 },
         ],
         parallel: vec![
             C::Lza { width: 57 },
             C::ExponentPath,
-            C::Logic { levels: 1, luts: 80 },
+            C::Logic {
+                levels: 1,
+                luts: 80,
+            },
         ],
         cycles: 11,
     }
@@ -117,26 +159,52 @@ pub fn pcs_fma() -> UnitDesign {
         name: "PCS-FMA",
         kind: UnitKind::PcsFma,
         critical: vec![
-            C::DspMultiplier { a_bits: f.mant_bits(), b_bits: 53, style: MultStyle::FullTiling },
+            C::DspMultiplier {
+                a_bits: f.mant_bits(),
+                b_bits: 53,
+                style: MultStyle::FullTiling,
+            },
             // compress the DSP column outputs + rounding-correction row
             // (each of the 5 cascaded columns contributes a CS pair)
-            C::CsaTree { rows: 10, width: f.product_bits() },
+            C::CsaTree {
+                rows: 10,
+                width: f.product_bits(),
+            },
             // window compression: product CS + aligned A CS + increment
             C::CsaTree { rows: 5, width: w },
             // "the Carry Reduce step is carried out in parallel with ZD,
             // the latter is now critical" (Sec. III-F)
-            C::ZeroDetector { blocks: f.window_blocks(), block_bits: f.block_bits },
+            C::ZeroDetector {
+                blocks: f.window_blocks(),
+                block_bits: f.block_bits,
+            },
             // mux moves the result+round CS pair (sum and carry wires)
-            C::BlockMux { ways: f.mux_ways(), width: 2 * (f.mant_bits() + f.block_bits) },
+            C::BlockMux {
+                ways: f.mux_ways(),
+                width: 2 * (f.mant_bits() + f.block_bits),
+            },
         ],
         parallel: vec![
-            C::SegmentedAdder { width: w, segment: 11 },
+            C::SegmentedAdder {
+                width: w,
+                segment: 11,
+            },
             // the aligner shifts the addend's CS pair into the window
-            C::Shifter { width: 2 * f.mant_bits(), max_distance: w - f.mant_bits() },
-            C::Rounder { width: f.block_bits },
-            C::Rounder { width: f.block_bits },
+            C::Shifter {
+                width: 2 * f.mant_bits(),
+                max_distance: w - f.mant_bits(),
+            },
+            C::Rounder {
+                width: f.block_bits,
+            },
+            C::Rounder {
+                width: f.block_bits,
+            },
             C::ExponentPath,
-            C::Logic { levels: 1, luts: 180 },
+            C::Logic {
+                levels: 1,
+                luts: 180,
+            },
         ],
         cycles: 5,
     }
@@ -157,19 +225,39 @@ pub fn fcs_fma() -> UnitDesign {
                 b_bits: 53,
                 style: MultStyle::PreAdded { chunk: 23 },
             },
-            C::CsaTree { rows: 8, width: f.product_bits() },
+            C::CsaTree {
+                rows: 8,
+                width: f.product_bits(),
+            },
             C::CsaTree { rows: 5, width: w },
             // the "more complex multiplexer" (11:1 over the CS pair)
-            C::BlockMux { ways: f.mux_ways(), width: 2 * (f.mant_bits() + f.block_bits) },
+            C::BlockMux {
+                ways: f.mux_ways(),
+                width: 2 * (f.mant_bits() + f.block_bits),
+            },
         ],
         parallel: vec![
-            C::Shifter { width: 2 * f.mant_bits(), max_distance: w - f.mant_bits() },
-            C::Lza { width: f.mant_bits() },
-            C::Lza { width: f.mant_bits() },
-            C::Rounder { width: f.block_bits },
-            C::Rounder { width: f.block_bits },
+            C::Shifter {
+                width: 2 * f.mant_bits(),
+                max_distance: w - f.mant_bits(),
+            },
+            C::Lza {
+                width: f.mant_bits(),
+            },
+            C::Lza {
+                width: f.mant_bits(),
+            },
+            C::Rounder {
+                width: f.block_bits,
+            },
+            C::Rounder {
+                width: f.block_bits,
+            },
             C::ExponentPath,
-            C::Logic { levels: 1, luts: 150 },
+            C::Logic {
+                levels: 1,
+                luts: 150,
+            },
         ],
         cycles: 3,
     }
@@ -207,7 +295,10 @@ mod tests {
     #[test]
     fn cycle_counts_match_table1() {
         let v = Virtex6::SPEED_GRADE_1;
-        let cycles: Vec<_> = all_units().iter().map(|u| u.synthesize(&v).cycles).collect();
+        let cycles: Vec<_> = all_units()
+            .iter()
+            .map(|u| u.synthesize(&v).cycles)
+            .collect();
         assert_eq!(cycles, vec![9, 11, 5, 3]);
     }
 
@@ -221,9 +312,21 @@ mod tests {
         let reports: Vec<_> = all_units().iter().map(|u| u.synthesize(&v)).collect();
         for (r, (&pf, &pl)) in reports.iter().zip(paper_fmax.iter().zip(paper_luts.iter())) {
             let fmax_err = (r.fmax_mhz - pf).abs() / pf;
-            assert!(fmax_err < 0.15, "{}: fMax {:.0} vs paper {:.0}", r.name, r.fmax_mhz, pf);
+            assert!(
+                fmax_err < 0.15,
+                "{}: fMax {:.0} vs paper {:.0}",
+                r.name,
+                r.fmax_mhz,
+                pf
+            );
             let lut_err = (r.luts as f64 - pl).abs() / pl;
-            assert!(lut_err < 0.30, "{}: LUTs {} vs paper {}", r.name, r.luts, pl);
+            assert!(
+                lut_err < 0.30,
+                "{}: LUTs {} vs paper {}",
+                r.name,
+                r.luts,
+                pl
+            );
         }
         // shape: all units clear 200 MHz except FloPoCo
         assert!(reports[1].fmax_mhz < 200.0);
@@ -242,7 +345,10 @@ mod tests {
         // Fig. 13: latency = cycles x min clock period; FCS ~2.5x and PCS
         // ~1.7x faster than the best competitor
         let v = Virtex6::SPEED_GRADE_1;
-        let lat: Vec<f64> = all_units().iter().map(|u| u.synthesize(&v).latency_ns()).collect();
+        let lat: Vec<f64> = all_units()
+            .iter()
+            .map(|u| u.synthesize(&v).latency_ns())
+            .collect();
         let best_competitor = lat[0].min(lat[1]);
         let pcs_speedup = best_competitor / lat[2];
         let fcs_speedup = best_competitor / lat[3];
@@ -264,13 +370,29 @@ pub fn coregen_multiplier() -> UnitDesign {
         name: "CoreGen Mul",
         kind: UnitKind::CoreGen,
         critical: vec![
-            C::Logic { levels: 1, luts: 120 },
-            C::DspMultiplier { a_bits: 53, b_bits: 53, style: MultStyle::FullTiling },
-            C::Logic { levels: 2, luts: 90 },
+            C::Logic {
+                levels: 1,
+                luts: 120,
+            },
+            C::DspMultiplier {
+                a_bits: 53,
+                b_bits: 53,
+                style: MultStyle::FullTiling,
+            },
+            C::Logic {
+                levels: 2,
+                luts: 90,
+            },
             C::RippleAdder { width: 106 },
             C::Rounder { width: 53 },
         ],
-        parallel: vec![C::ExponentPath, C::Logic { levels: 1, luts: 80 }],
+        parallel: vec![
+            C::ExponentPath,
+            C::Logic {
+                levels: 1,
+                luts: 80,
+            },
+        ],
         cycles: 5,
     }
 }
@@ -281,13 +403,28 @@ pub fn coregen_adder() -> UnitDesign {
         name: "CoreGen Add",
         kind: UnitKind::CoreGen,
         critical: vec![
-            C::Logic { levels: 2, luts: 110 },
-            C::Shifter { width: 57, max_distance: 57 },
+            C::Logic {
+                levels: 2,
+                luts: 110,
+            },
+            C::Shifter {
+                width: 57,
+                max_distance: 57,
+            },
             C::RippleAdder { width: 57 },
-            C::Shifter { width: 57, max_distance: 57 },
+            C::Shifter {
+                width: 57,
+                max_distance: 57,
+            },
             C::Rounder { width: 53 },
         ],
-        parallel: vec![C::ExponentPath, C::Logic { levels: 1, luts: 80 }],
+        parallel: vec![
+            C::ExponentPath,
+            C::Logic {
+                levels: 1,
+                luts: 80,
+            },
+        ],
         cycles: 4,
     }
 }
@@ -297,8 +434,14 @@ pub fn coregen_adder() -> UnitDesign {
 pub fn converter_ieee_to_cs(f: &CsFmaFormat) -> UnitDesign {
     UnitDesign {
         name: "IEEE->CS",
-        kind: if f.carry_spacing.is_some() { UnitKind::PcsFma } else { UnitKind::FcsFma },
-        critical: vec![C::Complement { width: f.mant_bits() }],
+        kind: if f.carry_spacing.is_some() {
+            UnitKind::PcsFma
+        } else {
+            UnitKind::FcsFma
+        },
+        critical: vec![C::Complement {
+            width: f.mant_bits(),
+        }],
         parallel: vec![C::ExponentPath],
         cycles: 1,
     }
@@ -310,12 +453,19 @@ pub fn converter_cs_to_ieee(f: &CsFmaFormat) -> UnitDesign {
     let m = f.mant_bits();
     UnitDesign {
         name: "CS->IEEE",
-        kind: if f.carry_spacing.is_some() { UnitKind::PcsFma } else { UnitKind::FcsFma },
+        kind: if f.carry_spacing.is_some() {
+            UnitKind::PcsFma
+        } else {
+            UnitKind::FcsFma
+        },
         critical: vec![
             C::RippleAdder { width: m }, // carry resolve
             // conditional complement as carry-select logic beside the adder
             C::Logic { levels: 1, luts: m },
-            C::Shifter { width: m, max_distance: m }, // single-bit normalize
+            C::Shifter {
+                width: m,
+                max_distance: m,
+            }, // single-bit normalize
             C::Rounder { width: 53 },
         ],
         parallel: vec![C::Lza { width: m }, C::ExponentPath],
@@ -337,7 +487,13 @@ mod operator_pool_tests {
         for f in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
             for u in [converter_ieee_to_cs(&f), converter_cs_to_ieee(&f)] {
                 let r = u.synthesize(&v);
-                assert!(r.fmax_mhz >= 200.0, "{} {}: {:.0}", f.name, u.name, r.fmax_mhz);
+                assert!(
+                    r.fmax_mhz >= 200.0,
+                    "{} {}: {:.0}",
+                    f.name,
+                    u.name,
+                    r.fmax_mhz
+                );
             }
         }
     }
@@ -371,22 +527,46 @@ pub fn design_from_format(f: &CsFmaFormat, cycles: usize) -> UnitDesign {
         MultStyle::FullTiling
     };
     // DSP column outputs: one CS pair per multiplicand tile column
-    let columns = if full_cs { f.mant_bits().div_ceil(23) } else { f.mant_bits().div_ceil(24) };
+    let columns = if full_cs {
+        f.mant_bits().div_ceil(23)
+    } else {
+        f.mant_bits().div_ceil(24)
+    };
     let mut critical = vec![
-        C::DspMultiplier { a_bits: f.mant_bits(), b_bits: f.b_sig_bits, style: mult_style },
-        C::CsaTree { rows: 2 * columns, width: f.product_bits() },
+        C::DspMultiplier {
+            a_bits: f.mant_bits(),
+            b_bits: f.b_sig_bits,
+            style: mult_style,
+        },
+        C::CsaTree {
+            rows: 2 * columns,
+            width: f.product_bits(),
+        },
         C::CsaTree { rows: 5, width: w },
     ];
     let mut parallel = vec![
-        C::Shifter { width: 2 * f.mant_bits(), max_distance: w - f.mant_bits() },
-        C::Rounder { width: f.block_bits },
-        C::Rounder { width: f.block_bits },
+        C::Shifter {
+            width: 2 * f.mant_bits(),
+            max_distance: w - f.mant_bits(),
+        },
+        C::Rounder {
+            width: f.block_bits,
+        },
+        C::Rounder {
+            width: f.block_bits,
+        },
         C::ExponentPath,
-        C::Logic { levels: 1, luts: 150 },
+        C::Logic {
+            levels: 1,
+            luts: 150,
+        },
     ];
     if let Some(k) = f.carry_spacing {
         // Carry Reduce runs in parallel with the ZD (Sec. III-F)
-        parallel.push(C::SegmentedAdder { width: w, segment: k });
+        parallel.push(C::SegmentedAdder {
+            width: w,
+            segment: k,
+        });
     }
     match f.normalizer {
         Normalizer::ZeroDetect => critical.push(C::ZeroDetector {
@@ -394,15 +574,25 @@ pub fn design_from_format(f: &CsFmaFormat, cycles: usize) -> UnitDesign {
             block_bits: f.block_bits,
         }),
         Normalizer::EarlyLza => {
-            parallel.push(C::Lza { width: f.mant_bits() });
-            parallel.push(C::Lza { width: f.mant_bits() });
+            parallel.push(C::Lza {
+                width: f.mant_bits(),
+            });
+            parallel.push(C::Lza {
+                width: f.mant_bits(),
+            });
         }
     }
     critical.push(C::BlockMux {
         ways: f.mux_ways(),
         width: 2 * (f.mant_bits() + f.block_bits),
     });
-    UnitDesign { name: f.name, kind: UnitKind::PcsFma, critical, parallel, cycles }
+    UnitDesign {
+        name: f.name,
+        kind: UnitKind::PcsFma,
+        critical,
+        parallel,
+        cycles,
+    }
 }
 
 #[cfg(test)]
@@ -448,10 +638,18 @@ mod derived_design_tests {
         // at the same depth (the ZD priority chain leaves the critical path)
         let zd = design_from_format(&mk(55, 11), 4).synthesize(&v);
         let lza = design_from_format(
-            &CsFmaFormat { normalizer: Normalizer::EarlyLza, ..mk(55, 11) },
+            &CsFmaFormat {
+                normalizer: Normalizer::EarlyLza,
+                ..mk(55, 11)
+            },
             4,
         )
         .synthesize(&v);
-        assert!(lza.fmax_mhz > zd.fmax_mhz, "{} vs {}", lza.fmax_mhz, zd.fmax_mhz);
+        assert!(
+            lza.fmax_mhz > zd.fmax_mhz,
+            "{} vs {}",
+            lza.fmax_mhz,
+            zd.fmax_mhz
+        );
     }
 }

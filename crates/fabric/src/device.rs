@@ -83,7 +83,11 @@ mod tests {
         let v = Virtex6::SPEED_GRADE_1;
         for u in all_units() {
             let r = u.synthesize(&v);
-            let area = Area { luts: r.luts, dsps: r.dsps, regs: r.regs };
+            let area = Area {
+                luts: r.luts,
+                dsps: r.dsps,
+                regs: r.regs,
+            };
             let util = XC6VLX75T.utilization(&area);
             assert!(util.fits(), "{}: {:.1}%", u.name, util.bottleneck_pct());
             assert!(util.bottleneck_pct() < 25.0, "{}", u.name);
@@ -96,7 +100,11 @@ mod tests {
         // the PCS unit's 21 DSPs become the binding resource near there
         let v = Virtex6::SPEED_GRADE_1;
         let pcs = crate::designs::pcs_fma().synthesize(&v);
-        let one = Area { luts: pcs.luts, dsps: pcs.dsps, regs: pcs.regs };
+        let one = Area {
+            luts: pcs.luts,
+            dsps: pcs.dsps,
+            regs: pcs.regs,
+        };
         let mut area = Area::default();
         for _ in 0..39 {
             area = area.plus(one);
@@ -110,13 +118,21 @@ mod tests {
 
     #[test]
     fn utilization_math() {
-        let u = XC6VLX240T.utilization(&Area { luts: 15_072, dsps: 384, regs: 0 });
+        let u = XC6VLX240T.utilization(&Area {
+            luts: 15_072,
+            dsps: 384,
+            regs: 0,
+        });
         assert!((u.luts_pct - 10.0).abs() < 1e-9);
         assert!((u.dsps_pct - 50.0).abs() < 1e-9);
         assert_eq!(u.bottleneck_pct(), u.dsps_pct);
         assert!(u.fits());
         assert!(!XC6VLX75T
-            .utilization(&Area { luts: 50_000, dsps: 0, regs: 0 })
+            .utilization(&Area {
+                luts: 50_000,
+                dsps: 0,
+                regs: 0
+            })
             .fits());
     }
 }

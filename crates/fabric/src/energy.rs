@@ -61,7 +61,12 @@ impl Default for EnergyCoefficients {
     /// bit; the register coefficient covers the full transport bus and its
     /// routing at speed, which is why it is the largest.
     fn default() -> Self {
-        EnergyCoefficients { dsp_pj: 1.00, fabric_pj: 0.93, reg_pj: 3.65, static_pj: 190.0 }
+        EnergyCoefficients {
+            dsp_pj: 1.00,
+            fabric_pj: 0.93,
+            reg_pj: 3.65,
+            static_pj: 190.0,
+        }
     }
 }
 
@@ -245,7 +250,12 @@ pub fn measure_discrete(kind: DiscreteKind, steps: usize, seed: u64) -> Activity
                         .shl(shift)
                         .wrapping_add(&Bits::from_u64(64, a.significand()).zext(161));
                     ev.push(("fab.fused", wide));
-                    ev.push(("fab.norm", Bits::from_u64(57, s.significand()).zext(110).shl(shift.min(53))));
+                    ev.push((
+                        "fab.norm",
+                        Bits::from_u64(57, s.significand())
+                            .zext(110)
+                            .shl(shift.min(53)),
+                    ));
                     ev.push(("reg.out", s.encode()));
                     s.to_f64()
                 }
@@ -299,9 +309,18 @@ mod tests {
             (0.40..0.70).contains(&xilinx),
             "CoreGen calibration anchor: {xilinx:.2} nJ (paper 0.54)"
         );
-        assert!(flopoco > xilinx, "FloPoCo {flopoco:.2} vs Xilinx {xilinx:.2}");
-        assert!(pcs > 3.0 * xilinx, "PCS {pcs:.2} must be several x Xilinx {xilinx:.2}");
-        assert!(fcs > 3.0 * xilinx, "FCS {fcs:.2} must be several x Xilinx {xilinx:.2}");
+        assert!(
+            flopoco > xilinx,
+            "FloPoCo {flopoco:.2} vs Xilinx {xilinx:.2}"
+        );
+        assert!(
+            pcs > 3.0 * xilinx,
+            "PCS {pcs:.2} must be several x Xilinx {xilinx:.2}"
+        );
+        assert!(
+            fcs > 3.0 * xilinx,
+            "FCS {fcs:.2} must be several x Xilinx {xilinx:.2}"
+        );
         assert!(fcs < pcs, "FCS {fcs:.2} below PCS {pcs:.2} (Table II)");
     }
 }
@@ -337,6 +356,9 @@ mod breakdown_tests {
         let co = EnergyCoefficients::default();
         let short = measure_cs_unit(CsFmaFormat::PCS_55_ZD, 150, 3).energy_nj_per_op(&co);
         let long = measure_cs_unit(CsFmaFormat::PCS_55_ZD, 600, 3).energy_nj_per_op(&co);
-        assert!((short - long).abs() / long < 0.12, "{short:.3} vs {long:.3}");
+        assert!(
+            (short - long).abs() / long < 0.12,
+            "{short:.3} vs {long:.3}"
+        );
     }
 }

@@ -31,8 +31,7 @@ pub mod virtex6;
 
 pub use designs::{
     all_units, converter_cs_to_ieee, converter_ieee_to_cs, coregen_adder, coregen_multiplier,
-    design_from_format, fcs_fma, pcs_fma,
-    UnitDesign, UnitKind,
+    design_from_format, fcs_fma, pcs_fma, UnitDesign, UnitKind,
 };
 pub use device::{Device, Utilization, XC6VLX240T, XC6VLX75T};
 pub use pipeline::{pipeline_design, PipelineResult};

@@ -128,7 +128,11 @@ pub fn pipeline_fixed(
     for c in critical_chain.iter().chain(parallel) {
         area = area.plus(c.area());
     }
-    let width_proxy = critical_chain.iter().map(|c| c.area().luts).max().unwrap_or(0);
+    let width_proxy = critical_chain
+        .iter()
+        .map(|c| c.area().luts)
+        .max()
+        .unwrap_or(0);
     area.regs += cycles.saturating_sub(1) * width_proxy.min(512);
 
     PipelineResult {
@@ -163,7 +167,11 @@ mod tests {
             C::RippleAdder { width: 64 },
         ];
         let r = pipeline_design(&V, &chain, &[], 200.0);
-        assert!(r.cycles >= 3, "4 x 2.55ns does not fit two 5ns stages: {}", r.cycles);
+        assert!(
+            r.cycles >= 3,
+            "4 x 2.55ns does not fit two 5ns stages: {}",
+            r.cycles
+        );
         assert!(r.fmax_mhz >= 200.0);
     }
 
@@ -194,7 +202,11 @@ mod tests {
     #[test]
     fn fixed_more_stages_never_slower() {
         let chain = vec![
-            C::DspMultiplier { a_bits: 53, b_bits: 53, style: crate::components::MultStyle::FullTiling },
+            C::DspMultiplier {
+                a_bits: 53,
+                b_bits: 53,
+                style: crate::components::MultStyle::FullTiling,
+            },
             C::RippleAdder { width: 106 },
             C::RippleAdder { width: 57 },
         ];
@@ -208,12 +220,18 @@ mod tests {
         // for both pipelining modes: stage delays sum to the chain total
         let chain = vec![
             C::RippleAdder { width: 32 },
-            C::Shifter { width: 57, max_distance: 57 },
+            C::Shifter {
+                width: 57,
+                max_distance: 57,
+            },
             C::RippleAdder { width: 106 },
             C::Rounder { width: 53 },
         ];
         let total: f64 = chain.iter().map(|c| c.delay_ns(&V)).sum();
-        for r in [pipeline_design(&V, &chain, &[], 200.0), pipeline_fixed(&V, &chain, &[], 3)] {
+        for r in [
+            pipeline_design(&V, &chain, &[], 200.0),
+            pipeline_fixed(&V, &chain, &[], 3),
+        ] {
             let sum: f64 = r.stage_ns.iter().sum();
             assert!((sum - total).abs() < 1e-9, "{sum} vs {total}");
             // the worst stage is at least the average
@@ -228,9 +246,15 @@ mod tests {
         // stage count
         let chain = vec![
             C::RippleAdder { width: 64 },
-            C::Logic { levels: 3, luts: 10 },
+            C::Logic {
+                levels: 3,
+                luts: 10,
+            },
             C::RippleAdder { width: 96 },
-            C::Logic { levels: 1, luts: 10 },
+            C::Logic {
+                levels: 1,
+                luts: 10,
+            },
             C::RippleAdder { width: 32 },
         ];
         let greedy = pipeline_design(&V, &chain, &[], 220.0);

@@ -119,6 +119,19 @@ impl Cdfg {
         id
     }
 
+    /// Append a node **without** the arity/ordering checks of [`push`].
+    ///
+    /// Exists so tests (and fuzzers) can build deliberately broken graphs
+    /// and assert that [`validate_diagnostics`] reports the right rule;
+    /// production passes must use [`push`].
+    ///
+    /// [`push`]: Cdfg::push
+    /// [`validate_diagnostics`]: Cdfg::validate_diagnostics
+    pub fn push_unchecked(&mut self, op: Op, args: Vec<NodeId>) -> NodeId {
+        self.nodes.push(Node { op, args });
+        self.nodes.len() - 1
+    }
+
     /// Convenience: named input.
     pub fn input(&mut self, name: impl Into<String>) -> NodeId {
         self.push(Op::Input(name.into()), vec![])
@@ -192,37 +205,85 @@ impl Cdfg {
         users
     }
 
+    /// Check structural and domain invariants, reporting every violation
+    /// as a structured [`Diagnostic`](csfma_verify::Diagnostic):
+    /// `D001` (arity), `D002` (edge order / cycle), `D003` (domain
+    /// mismatch). `Ok(())` means the graph is well-formed.
+    pub fn validate_diagnostics(&self) -> Result<(), Vec<csfma_verify::Diagnostic>> {
+        use csfma_verify::{Diagnostic, Rule, Span};
+        let mut diags = Vec::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            if n.args.len() != n.op.arity() {
+                diags.push(Diagnostic::error(
+                    Rule::ArityMismatch,
+                    Span::Node(id),
+                    format!(
+                        "{:?} takes {} argument(s) but has {}",
+                        n.op,
+                        n.op.arity(),
+                        n.args.len()
+                    ),
+                ));
+            }
+            let mut ordered = true;
+            for (slot, &a) in n.args.iter().enumerate() {
+                if a >= id {
+                    ordered = false;
+                    diags.push(Diagnostic::error(
+                        Rule::EdgeOrder,
+                        Span::Edge {
+                            user: id,
+                            arg: slot,
+                        },
+                        format!("argument refers to node {a}, which does not precede node {id}"),
+                    ));
+                }
+            }
+            if !ordered || n.args.len() != n.op.arity() {
+                continue; // domain checks need well-formed edges
+            }
+            let expected: &[Domain] = match &n.op {
+                Op::Input(_) | Op::Const(_) => &[],
+                Op::Neg | Op::Output(_) | Op::IeeeToCs(_) => &[Domain::Ieee],
+                Op::CsToIeee(_) => &[Domain::Cs],
+                Op::Add | Op::Sub | Op::Mul | Op::Div => &[Domain::Ieee, Domain::Ieee],
+                Op::Fma { .. } => &[Domain::Cs, Domain::Ieee, Domain::Cs],
+            };
+            for (slot, (&a, &want)) in n.args.iter().zip(expected).enumerate() {
+                let got = self.nodes[a].op.domain();
+                if got != want {
+                    diags.push(Diagnostic::error(
+                        Rule::DomainMismatch,
+                        Span::Edge {
+                            user: id,
+                            arg: slot,
+                        },
+                        format!(
+                            "{:?} port {slot} expects {want:?} but node {a} \
+                             ({:?}) produces {got:?}",
+                            n.op, self.nodes[a].op
+                        ),
+                    ));
+                }
+            }
+        }
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(diags)
+        }
+    }
+
     /// Check structural and domain invariants.
     ///
+    /// Thin wrapper over [`validate_diagnostics`](Cdfg::validate_diagnostics).
+    ///
     /// # Panics
-    /// On the first violation, with a description.
+    /// With a rendered report if any invariant is violated.
+    #[track_caller]
     pub fn validate(&self) {
-        for (id, n) in self.nodes.iter().enumerate() {
-            assert_eq!(n.args.len(), n.op.arity(), "node {id} arity");
-            for &a in &n.args {
-                assert!(a < id, "node {id} uses later node {a}");
-            }
-            let dom = |a: NodeId| self.nodes[a].op.domain();
-            match &n.op {
-                Op::Add | Op::Sub | Op::Mul | Op::Div => {
-                    assert!(
-                        n.args.iter().all(|&a| dom(a) == Domain::Ieee),
-                        "node {id}: IEEE operator with CS argument"
-                    );
-                }
-                Op::Neg | Op::Output(_) | Op::IeeeToCs(_) => {
-                    assert_eq!(dom(n.args[0]), Domain::Ieee, "node {id}: needs IEEE arg");
-                }
-                Op::CsToIeee(_) => {
-                    assert_eq!(dom(n.args[0]), Domain::Cs, "node {id}: needs CS arg");
-                }
-                Op::Fma { .. } => {
-                    assert_eq!(dom(n.args[0]), Domain::Cs, "node {id}: FMA addend must be CS");
-                    assert_eq!(dom(n.args[1]), Domain::Ieee, "node {id}: FMA B must be IEEE");
-                    assert_eq!(dom(n.args[2]), Domain::Cs, "node {id}: FMA C must be CS");
-                }
-                Op::Input(_) | Op::Const(_) => {}
-            }
+        if let Err(diags) = self.validate_diagnostics() {
+            panic!("invalid Cdfg:\n{}", csfma_verify::render_report(&diags));
         }
     }
 
@@ -258,8 +319,10 @@ mod tests {
     fn build_listing1() {
         // Listing 1: x1 = a*b + c*d; x2 = e*f + g*x1; x3 = h*i + k*x2
         let mut g = Cdfg::new();
-        let names: Vec<NodeId> =
-            ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"].iter().map(|n| g.input(*n)).collect();
+        let names: Vec<NodeId> = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"]
+            .iter()
+            .map(|n| g.input(*n))
+            .collect();
         let x1 = {
             let m1 = g.mul(names[0], names[1]);
             let m2 = g.mul(names[2], names[3]);
@@ -305,6 +368,31 @@ mod tests {
         assert_eq!(g2.count_ops(|o| matches!(o, Op::Mul)), 0);
         assert!(map[dead].is_none());
         assert!(map[live].is_some());
+    }
+
+    #[test]
+    fn validate_diagnostics_reports_all_violations() {
+        use csfma_verify::Rule;
+        let mut g = Cdfg::new();
+        let a = g.input("a");
+        let cs = g.push(Op::IeeeToCs(FmaKind::Pcs), vec![a]);
+        g.push_unchecked(Op::Add, vec![cs, a]); // D003 on port 0
+        g.push_unchecked(Op::Mul, vec![a]); // D001
+        g.push_unchecked(Op::Neg, vec![9]); // D002
+        let diags = g.validate_diagnostics().unwrap_err();
+        let rules: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::DomainMismatch), "{diags:?}");
+        assert!(rules.contains(&Rule::ArityMismatch), "{diags:?}");
+        assert!(rules.contains(&Rule::EdgeOrder), "{diags:?}");
+    }
+
+    #[test]
+    fn valid_graph_has_no_diagnostics() {
+        let mut g = Cdfg::new();
+        let a = g.input("a");
+        let m = g.mul(a, a);
+        g.output("y", m);
+        assert!(g.validate_diagnostics().is_ok());
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! until no zero-slack multiply→add pair remains.
 
 use crate::cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
-use crate::sched::{alap_schedule, asap_schedule, OpTiming};
+use crate::lint::{debug_assert_dataflow_clean, lint_schedule};
+use crate::sched::{alap_schedule, asap_schedule, OpTiming, ResourceLimits};
 
 /// Configuration of the fusion pass.
 #[derive(Clone, Copy, Debug)]
@@ -30,7 +31,11 @@ pub struct FusionConfig {
 impl FusionConfig {
     /// Default pass for a unit kind.
     pub fn new(kind: FmaKind) -> Self {
-        FusionConfig { kind, timing: OpTiming::default(), max_passes: 100_000 }
+        FusionConfig {
+            kind,
+            timing: OpTiming::default(),
+            max_passes: 100_000,
+        }
     }
 }
 
@@ -96,7 +101,11 @@ fn find_candidates(g: &Cdfg, t: &OpTiming) -> Vec<Candidate> {
             };
             // pick the critical (later-finishing) multiplier input as C
             let (u, w) = (g.nodes()[mul_id].args[0], g.nodes()[mul_id].args[1]);
-            let (b_arg, c_arg) = if finish(u) >= finish(w) { (w, u) } else { (u, w) };
+            let (b_arg, c_arg) = if finish(u) >= finish(w) {
+                (w, u)
+            } else {
+                (u, w)
+            };
             out.push(Candidate {
                 add_id,
                 mul_id,
@@ -125,7 +134,10 @@ fn apply(g: &Cdfg, cand: &Candidate, kind: FmaKind) -> Cdfg {
             let a_cs = out.push(Op::IeeeToCs(kind), vec![a]);
             let c_cs = out.push(Op::IeeeToCs(kind), vec![map[cand.c_arg]]);
             let fma = out.push(
-                Op::Fma { kind, negate_b: cand.negate_b },
+                Op::Fma {
+                    kind,
+                    negate_b: cand.negate_b,
+                },
                 vec![a_cs, map[cand.b_arg], c_cs],
             );
             let res = out.push(Op::CsToIeee(kind), vec![fma]);
@@ -193,7 +205,12 @@ pub fn fuse_critical_paths(g: &Cdfg, cfg: &FusionConfig) -> FusionReport {
         // they become profitable once neighboring links fuse and the
         // conversions between them cancel)
         for cand in find_candidates(&cur, t) {
-            let trial = eliminate_conversions(&apply(&cur, &cand, cfg.kind)).eliminate_dead().0;
+            let trial = eliminate_conversions(&apply(&cur, &cand, cfg.kind))
+                .eliminate_dead()
+                .0;
+            // every trial rewrite must leave the graph domain-consistent,
+            // whether or not it is accepted (debug builds only)
+            debug_assert_dataflow_clean(&trial, t, "fusion trial rewrite");
             let len = asap_schedule(&trial, t).length;
             if len <= cur_length {
                 cur = trial;
@@ -205,9 +222,26 @@ pub fn fuse_critical_paths(g: &Cdfg, cfg: &FusionConfig) -> FusionReport {
         break;
     }
     cur.validate();
+    debug_assert_dataflow_clean(&cur, t, "fusion result");
     let final_length = asap_schedule(&cur, t).length;
+    if cfg!(debug_assertions) {
+        // the dataflow schedule of the fused graph must be hazard-free
+        let s = asap_schedule(&cur, t);
+        let diags = lint_schedule(&cur, t, &s, &ResourceLimits::default());
+        assert!(
+            diags.is_empty(),
+            "fused schedule has hazards:\n{}",
+            csfma_verify::render_report(&diags)
+        );
+    }
     let fma_nodes = cur.count_ops(|o| matches!(o, Op::Fma { .. }));
-    FusionReport { fused: cur, initial_length, final_length, fma_nodes, passes }
+    FusionReport {
+        fused: cur,
+        initial_length,
+        final_length,
+        fma_nodes,
+        passes,
+    }
 }
 
 /// Sanity helper for tests and reports: domains of all nodes are

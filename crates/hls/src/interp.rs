@@ -92,17 +92,31 @@ pub fn eval_bit_accurate(g: &Cdfg, inputs: &HashMap<String, f64>) -> HashMap<Str
         let v = match &n.op {
             Op::Input(name) => Val::Ieee(SoftFloat::from_f64(
                 F,
-                *inputs.get(name).unwrap_or_else(|| panic!("missing input {name}")),
+                *inputs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("missing input {name}")),
             )),
             Op::Const(c) => Val::Ieee(SoftFloat::from_f64(F, *c)),
             Op::Add => Val::Ieee(
-                vals[n.args[0]].as_ref().unwrap().ieee().add(vals[n.args[1]].as_ref().unwrap().ieee()),
+                vals[n.args[0]]
+                    .as_ref()
+                    .unwrap()
+                    .ieee()
+                    .add(vals[n.args[1]].as_ref().unwrap().ieee()),
             ),
             Op::Sub => Val::Ieee(
-                vals[n.args[0]].as_ref().unwrap().ieee().sub(vals[n.args[1]].as_ref().unwrap().ieee()),
+                vals[n.args[0]]
+                    .as_ref()
+                    .unwrap()
+                    .ieee()
+                    .sub(vals[n.args[1]].as_ref().unwrap().ieee()),
             ),
             Op::Mul => Val::Ieee(
-                vals[n.args[0]].as_ref().unwrap().ieee().mul(vals[n.args[1]].as_ref().unwrap().ieee()),
+                vals[n.args[0]]
+                    .as_ref()
+                    .unwrap()
+                    .ieee()
+                    .mul(vals[n.args[1]].as_ref().unwrap().ieee()),
             ),
             Op::Div => Val::Ieee(
                 vals[n.args[0]]
@@ -130,7 +144,11 @@ pub fn eval_bit_accurate(g: &Cdfg, inputs: &HashMap<String, f64>) -> HashMap<Str
                 format_of(*kind),
             )),
             Op::CsToIeee(_) => Val::Ieee(
-                vals[n.args[0]].as_ref().unwrap().cs().to_ieee(F, Round::NearestEven),
+                vals[n.args[0]]
+                    .as_ref()
+                    .unwrap()
+                    .cs()
+                    .to_ieee(F, Round::NearestEven),
             ),
             Op::Output(name) => {
                 let v = *vals[n.args[0]].as_ref().unwrap().ieee();
@@ -187,7 +205,13 @@ mod tests {
         let c = g.input("c");
         let a_cs = g.push(Op::IeeeToCs(FmaKind::Fcs), vec![a]);
         let c_cs = g.push(Op::IeeeToCs(FmaKind::Fcs), vec![c]);
-        let f = g.push(Op::Fma { kind: FmaKind::Fcs, negate_b: false }, vec![a_cs, b, c_cs]);
+        let f = g.push(
+            Op::Fma {
+                kind: FmaKind::Fcs,
+                negate_b: false,
+            },
+            vec![a_cs, b, c_cs],
+        );
         let r = g.push(Op::CsToIeee(FmaKind::Fcs), vec![f]);
         g.output("y", r);
         g.validate();

@@ -18,11 +18,15 @@
 //!   semantics,
 //! * [`sched`] — ASAP / resource-constrained list scheduling with the
 //!   200 MHz operator latency table,
-//! * [`fuse`] — the Fig. 12 fusion pass.
+//! * [`fuse`] — the Fig. 12 fusion pass,
+//! * [`lint`] — the adapter into `csfma-verify`'s static checker; the
+//!   rewrite passes re-run the checker after every trial rewrite in
+//!   debug builds.
 
 pub mod cdfg;
 pub mod fuse;
 pub mod interp;
+pub mod lint;
 pub mod optimize;
 pub mod parser;
 pub mod printer;
@@ -30,12 +34,13 @@ pub mod sched;
 
 pub use cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
 pub use fuse::{fuse_critical_paths, FusionConfig, FusionReport};
+pub use lint::{capacity_list, lint_dataflow, lint_schedule, schedule_view, to_check_graph};
 pub use optimize::{optimize, OptimizeReport};
 pub use parser::{parse_program, ParseError};
 pub use printer::to_source;
 pub use sched::{
     alap_schedule, asap_schedule, critical_path, list_schedule, occupancy_chart, OpTiming,
-    Schedule,
+    ResourceKind, ResourceLimits, Schedule,
 };
 
 #[cfg(test)]

@@ -59,7 +59,16 @@ pub fn optimize(g: &Cdfg) -> OptimizeReport {
         cur = next;
     }
     cur.validate();
-    OptimizeReport { nodes_after: cur.len(), optimized: cur, nodes_before }
+    crate::lint::debug_assert_dataflow_clean(
+        &cur,
+        &crate::sched::OpTiming::default(),
+        "optimizer result",
+    );
+    OptimizeReport {
+        nodes_after: cur.len(),
+        optimized: cur,
+        nodes_before,
+    }
 }
 
 fn const_of(g: &Cdfg, id: NodeId) -> Option<f64> {
@@ -101,9 +110,13 @@ fn one_pass(g: &Cdfg) -> Cdfg {
                 Op::Input(name.clone()),
                 vec![],
             ),
-            Op::Const(v) => {
-                intern(&mut out, &mut seen, Key::Const(v.to_bits()), Op::Const(*v), vec![])
-            }
+            Op::Const(v) => intern(
+                &mut out,
+                &mut seen,
+                Key::Const(v.to_bits()),
+                Op::Const(*v),
+                vec![],
+            ),
             Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Neg => {
                 let args: Vec<NodeId> = n.args.iter().map(|&x| map[x]).collect();
                 // constant folding
@@ -117,7 +130,13 @@ fn one_pass(g: &Cdfg) -> Cdfg {
                     _ => None,
                 };
                 if let Some(v) = folded {
-                    intern(&mut out, &mut seen, Key::Const(v.to_bits()), Op::Const(v), vec![])
+                    intern(
+                        &mut out,
+                        &mut seen,
+                        Key::Const(v.to_bits()),
+                        Op::Const(v),
+                        vec![],
+                    )
                 } else {
                     // algebraic identities (finite-math safe subset)
                     let ident = match &n.op {
@@ -133,9 +152,7 @@ fn one_pass(g: &Cdfg) -> Cdfg {
                         Op::Add if cvals[1] == Some(0.0) => Some(args[0]),
                         Op::Sub if cvals[1] == Some(0.0) => Some(args[0]),
                         // --x = x
-                        Op::Neg
-                            if matches!(out.nodes()[args[0]].op, Op::Neg) =>
-                        {
+                        Op::Neg if matches!(out.nodes()[args[0]].op, Op::Neg) => {
                             Some(out.nodes()[args[0]].args[0])
                         }
                         _ => None,
@@ -207,8 +224,9 @@ mod tests {
         let r = optimize(&g);
         // commutative key: one multiply survives
         assert_eq!(count(&r.optimized, "mul"), 1);
-        let ins: Map<String, f64> =
-            [("a".to_string(), 3.0), ("b".to_string(), 4.0)].into_iter().collect();
+        let ins: Map<String, f64> = [("a".to_string(), 3.0), ("b".to_string(), 4.0)]
+            .into_iter()
+            .collect();
         assert_eq!(eval_f64(&r.optimized, &ins)["y"], 36.0);
     }
 
@@ -232,7 +250,12 @@ mod tests {
         src.push_str("out z = y0 + y1 + y2 + y3 + y4 + y5;");
         let g = parse_program(&src).unwrap();
         let r = optimize(&g);
-        assert!(r.nodes_after < r.nodes_before, "{} -> {}", r.nodes_before, r.nodes_after);
+        assert!(
+            r.nodes_after < r.nodes_before,
+            "{} -> {}",
+            r.nodes_before,
+            r.nodes_after
+        );
         assert_eq!(count(&r.optimized, "mul"), 12); // a_i*w deduped
     }
 

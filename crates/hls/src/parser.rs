@@ -30,13 +30,59 @@ use std::fmt;
 pub struct ParseError {
     /// Byte offset into the source.
     pub pos: usize,
+    /// 1-based source line (0 until located against the source).
+    pub line: u32,
+    /// 1-based source column (0 until located against the source).
+    pub col: u32,
     /// Human-readable description.
     pub message: String,
 }
 
+impl ParseError {
+    fn new(pos: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            line: 0,
+            col: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Fill in `line`/`col` from the byte offset. [`parse_program`] does
+    /// this before returning, so callers always see located errors.
+    pub fn locate(mut self, src: &str) -> Self {
+        let pos = self.pos.min(src.len());
+        let before = &src[..pos];
+        self.line = before.matches('\n').count() as u32 + 1;
+        self.col = (pos - before.rfind('\n').map_or(0, |i| i + 1)) as u32 + 1;
+        self
+    }
+
+    /// View the error as a `P001` checker diagnostic with a
+    /// [`Span::Source`](csfma_verify::Span::Source) position.
+    pub fn to_diagnostic(&self) -> csfma_verify::Diagnostic {
+        csfma_verify::Diagnostic::error(
+            csfma_verify::Rule::ParseError,
+            csfma_verify::Span::Source {
+                line: self.line,
+                col: self.col,
+            },
+            self.message.clone(),
+        )
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+        if self.line > 0 {
+            write!(
+                f,
+                "parse error at {}:{}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "parse error at byte {}: {}", self.pos, self.message)
+        }
     }
 }
 
@@ -113,7 +159,11 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 let word = &src[start..i];
                 toks.push((
                     start,
-                    if word == "out" { Tok::Out } else { Tok::Ident(word.to_string()) },
+                    if word == "out" {
+                        Tok::Out
+                    } else {
+                        Tok::Ident(word.to_string())
+                    },
                 ));
             }
             _ if c.is_ascii_digit() || c == '.' => {
@@ -130,15 +180,12 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let v: f64 = text.parse().map_err(|_| ParseError {
-                    pos: start,
-                    message: format!("invalid number literal {text:?}"),
+                let v: f64 = text.parse().map_err(|_| {
+                    ParseError::new(start, format!("invalid number literal {text:?}"))
                 })?;
                 toks.push((start, Tok::Number(v)));
             }
-            _ => {
-                return Err(ParseError { pos: i, message: format!("unexpected character {c:?}") })
-            }
+            _ => return Err(ParseError::new(i, format!("unexpected character {c:?}"))),
         }
     }
     Ok(toks)
@@ -157,7 +204,10 @@ impl<'a> Parser<'a> {
     }
 
     fn pos(&self) -> usize {
-        self.toks.get(self.idx).map(|(p, _)| *p).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.idx)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -171,7 +221,7 @@ impl<'a> Parser<'a> {
             self.idx += 1;
             Ok(())
         } else {
-            Err(ParseError { pos: self.pos(), message: format!("expected {what}") })
+            Err(ParseError::new(self.pos(), format!("expected {what}")))
         }
     }
 
@@ -197,10 +247,10 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::RParen, "')'")?;
                 Ok(e)
             }
-            _ => Err(ParseError {
-                pos: self.pos(),
-                message: "expected identifier, number, '-' or '('".into(),
-            }),
+            _ => Err(ParseError::new(
+                self.pos(),
+                "expected identifier, number, '-' or '('",
+            )),
         }
     }
 
@@ -252,10 +302,10 @@ impl<'a> Parser<'a> {
         let name = match self.bump() {
             Some(Tok::Ident(n)) => n,
             _ => {
-                return Err(ParseError {
-                    pos: self.pos(),
-                    message: "expected identifier on the left of '='".into(),
-                })
+                return Err(ParseError::new(
+                    self.pos(),
+                    "expected identifier on the left of '='",
+                ))
             }
         };
         self.expect(&Tok::Eq, "'='")?;
@@ -278,18 +328,34 @@ impl<'a> Parser<'a> {
 /// assert_eq!(len, 18); // two dependent multiply-add links at 5+4 cycles
 /// ```
 pub fn parse_program(src: &str) -> Result<Cdfg, ParseError> {
+    parse_inner(src).map_err(|e| e.locate(src))
+}
+
+fn parse_inner(src: &str) -> Result<Cdfg, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks: &toks, idx: 0, g: Cdfg::new(), vars: HashMap::new() };
+    let mut p = Parser {
+        toks: &toks,
+        idx: 0,
+        g: Cdfg::new(),
+        vars: HashMap::new(),
+    };
     while p.peek().is_some() {
         p.stmt()?;
     }
     if p.g.outputs().is_empty() {
-        return Err(ParseError {
-            pos: src.len(),
-            message: "program has no 'out' statement".into(),
-        });
+        return Err(ParseError::new(src.len(), "program has no 'out' statement"));
     }
-    p.g.validate();
+    // The parser only builds via checked `push`, so this cannot fail; keep
+    // the non-panicking path anyway so a parser bug surfaces as an error.
+    if let Err(diags) = p.g.validate_diagnostics() {
+        return Err(ParseError::new(
+            src.len(),
+            format!(
+                "parser produced an invalid graph:\n{}",
+                csfma_verify::render_report(&diags)
+            ),
+        ));
+    }
     Ok(p.g)
 }
 
@@ -302,10 +368,7 @@ mod tests {
 
     #[test]
     fn listing1_parses() {
-        let g = parse_program(
-            "x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;",
-        )
-        .unwrap();
+        let g = parse_program("x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;").unwrap();
         assert_eq!(g.count_ops(|o| matches!(o, Op::Mul)), 6);
         assert_eq!(g.count_ops(|o| matches!(o, Op::Add)), 3);
         assert_eq!(asap_schedule(&g, &OpTiming::default()).length, 27);
@@ -331,12 +394,12 @@ mod tests {
 
     #[test]
     fn comments_and_reassignment() {
-        let g = parse_program(
-            "# accumulate twice\nacc = a * b;\nacc = acc + c;\nout y = acc;",
-        )
-        .unwrap();
-        let ins: std::collections::HashMap<String, f64> =
-            [("a", 2.0), ("b", 3.0), ("c", 1.0)].iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let g = parse_program("# accumulate twice\nacc = a * b;\nacc = acc + c;\nout y = acc;")
+            .unwrap();
+        let ins: std::collections::HashMap<String, f64> = [("a", 2.0), ("b", 3.0), ("c", 1.0)]
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
         assert_eq!(eval_f64(&g, &ins)["y"], 7.0);
     }
 
@@ -344,19 +407,34 @@ mod tests {
     fn errors_are_positioned() {
         let e = parse_program("out y = a + ;").unwrap_err();
         assert!(e.message.contains("expected identifier"));
-        assert!(parse_program("y = a;").unwrap_err().message.contains("no 'out'"));
+        assert_eq!((e.line, e.col), (1, 14));
+        assert!(parse_program("y = a;")
+            .unwrap_err()
+            .message
+            .contains("no 'out'"));
         assert!(parse_program("out y = a $ b;").is_err());
         assert!(parse_program("out y = 1.2.3;").is_err());
     }
 
     #[test]
+    fn errors_locate_lines_and_convert_to_diagnostics() {
+        // the parser reports at the token after the offending one ('2')
+        let e = parse_program("x = a*b;\nout y = x + * 2;").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 15));
+        assert!(e.to_string().contains("2:15"), "{e}");
+        let d = e.to_diagnostic();
+        assert_eq!(d.rule, csfma_verify::Rule::ParseError);
+        assert_eq!(d.span, csfma_verify::Span::Source { line: 2, col: 15 });
+        // EOF errors clamp to one past the last line's end
+        let eof = parse_program("out y = a").unwrap_err();
+        assert_eq!((eof.line, eof.col), (1, 10));
+    }
+
+    #[test]
     fn parsed_program_fuses() {
-        use crate::fuse::{fuse_critical_paths, FusionConfig};
         use crate::cdfg::FmaKind;
-        let g = parse_program(
-            "x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;",
-        )
-        .unwrap();
+        use crate::fuse::{fuse_critical_paths, FusionConfig};
+        let g = parse_program("x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;").unwrap();
         let rep = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Fcs));
         assert!(rep.final_length < rep.initial_length);
         assert!(rep.fma_nodes >= 2);

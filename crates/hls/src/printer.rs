@@ -49,12 +49,14 @@ pub fn to_source(g: &Cdfg) -> String {
                     arg(2)
                 )),
             ),
-            Op::IeeeToCs(k) => {
-                (fresh(&mut tmp), Some(format!("to_cs_{}({})", kind_tag(*k), arg(0))))
-            }
-            Op::CsToIeee(k) => {
-                (fresh(&mut tmp), Some(format!("from_cs_{}({})", kind_tag(*k), arg(0))))
-            }
+            Op::IeeeToCs(k) => (
+                fresh(&mut tmp),
+                Some(format!("to_cs_{}({})", kind_tag(*k), arg(0))),
+            ),
+            Op::CsToIeee(k) => (
+                fresh(&mut tmp),
+                Some(format!("from_cs_{}({})", kind_tag(*k), arg(0))),
+            ),
             Op::Output(name) => {
                 let _ = writeln!(out, "out {} = {};", name, arg(0));
                 names.push(name.clone());
@@ -101,8 +103,8 @@ mod tests {
 
     #[test]
     fn fused_graphs_print_pseudocalls() {
-        use crate::fuse::{fuse_critical_paths, FusionConfig};
         use crate::cdfg::FmaKind;
+        use crate::fuse::{fuse_critical_paths, FusionConfig};
         let g = parse_program("m = a*b; out y = c + m;").unwrap();
         let rep = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Fcs));
         let src = to_source(&rep.fused);

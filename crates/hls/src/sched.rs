@@ -49,8 +49,12 @@ impl OpTiming {
             Op::Add | Op::Sub => self.add,
             Op::Mul => self.mul,
             Op::Div => self.div,
-            Op::Fma { kind: FmaKind::Pcs, .. } => self.fma_pcs,
-            Op::Fma { kind: FmaKind::Fcs, .. } => self.fma_fcs,
+            Op::Fma {
+                kind: FmaKind::Pcs, ..
+            } => self.fma_pcs,
+            Op::Fma {
+                kind: FmaKind::Fcs, ..
+            } => self.fma_fcs,
             Op::IeeeToCs(_) => self.ieee_to_cs,
             Op::CsToIeee(_) => self.cs_to_ieee,
         }
@@ -199,8 +203,7 @@ pub fn list_schedule(g: &Cdfg, t: &OpTiming, limits: &ResourceLimits) -> Schedul
                 .filter(|&id| {
                     start[id] == u32::MAX
                         && g.nodes()[id].args.iter().all(|&a| {
-                            start[a] != u32::MAX
-                                && start[a] + t.latency(&g.nodes()[a].op) <= cycle
+                            start[a] != u32::MAX && start[a] + t.latency(&g.nodes()[a].op) <= cycle
                         })
                 })
                 .collect();
@@ -278,14 +281,37 @@ pub fn occupancy_chart(g: &Cdfg, t: &OpTiming, s: &Schedule, max_rows: usize) ->
     out
 }
 
+/// As-late-as-possible start times for the unconstrained schedule length:
+/// the slack `alap[i] - asap[i]` is zero exactly on critical paths — the
+/// criterion the fusion pass uses to pick fusion candidates.
+pub fn alap_schedule(g: &Cdfg, t: &OpTiming) -> Schedule {
+    let asap = asap_schedule(g, t);
+    let users = g.users();
+    let mut start = vec![0u32; g.len()];
+    for id in (0..g.len()).rev() {
+        let lat = t.latency(&g.nodes()[id].op);
+        let mut latest = asap.length - lat;
+        for &u in &users[id] {
+            latest = latest.min(start[u].saturating_sub(lat));
+        }
+        start[id] = latest;
+    }
+    Schedule {
+        start,
+        length: asap.length,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn listing1() -> Cdfg {
         let mut g = Cdfg::new();
-        let v: Vec<NodeId> =
-            ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"].iter().map(|s| g.input(*s)).collect();
+        let v: Vec<NodeId> = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"]
+            .iter()
+            .map(|s| g.input(*s))
+            .collect();
         let m1 = g.mul(v[0], v[1]);
         let m2 = g.mul(v[2], v[3]);
         let x1 = g.add(m1, m2);
@@ -315,8 +341,14 @@ mod tests {
         let s = asap_schedule(&g, &t);
         let path = critical_path(&g, &t, &s);
         // path visits alternating mul/add nodes of the dependent chain
-        let muls = path.iter().filter(|&&id| matches!(g.nodes()[id].op, Op::Mul)).count();
-        let adds = path.iter().filter(|&&id| matches!(g.nodes()[id].op, Op::Add)).count();
+        let muls = path
+            .iter()
+            .filter(|&&id| matches!(g.nodes()[id].op, Op::Mul))
+            .count();
+        let adds = path
+            .iter()
+            .filter(|&&id| matches!(g.nodes()[id].op, Op::Add))
+            .count();
         assert_eq!(muls, 3);
         assert_eq!(adds, 3);
     }
@@ -343,7 +375,10 @@ mod tests {
         }
         // every node on the reported critical path has zero slack
         for &id in &path {
-            assert_eq!(alap.start[id], asap.start[id], "slack on critical node {id}");
+            assert_eq!(
+                alap.start[id], asap.start[id],
+                "slack on critical node {id}"
+            );
         }
     }
 
@@ -366,7 +401,11 @@ mod tests {
         let tight = list_schedule(
             &g,
             &t,
-            &ResourceLimits { mul: Some(1), add: Some(1), ..Default::default() },
+            &ResourceLimits {
+                mul: Some(1),
+                add: Some(1),
+                ..Default::default()
+            },
         );
         let loose = list_schedule(&g, &t, &ResourceLimits::default());
         // with II=1 multipliers, one multiplier serializes the 2 parallel
@@ -374,22 +413,4 @@ mod tests {
         assert!(tight.length >= loose.length);
         assert!(tight.length <= loose.length + 4);
     }
-}
-
-/// As-late-as-possible start times for the unconstrained schedule length:
-/// the slack `alap[i] - asap[i]` is zero exactly on critical paths — the
-/// criterion the fusion pass uses to pick fusion candidates.
-pub fn alap_schedule(g: &Cdfg, t: &OpTiming) -> Schedule {
-    let asap = asap_schedule(g, t);
-    let users = g.users();
-    let mut start = vec![0u32; g.len()];
-    for id in (0..g.len()).rev() {
-        let lat = t.latency(&g.nodes()[id].op);
-        let mut latest = asap.length - lat;
-        for &u in &users[id] {
-            latest = latest.min(start[u].saturating_sub(lat));
-        }
-        start[id] = latest;
-    }
-    Schedule { start, length: asap.length }
 }

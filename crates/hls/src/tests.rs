@@ -12,8 +12,10 @@ use std::collections::HashMap;
 /// Listing 1 of the paper: a three-link multiply-add chain.
 fn listing1() -> Cdfg {
     let mut g = Cdfg::new();
-    let v: Vec<NodeId> =
-        ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"].iter().map(|s| g.input(*s)).collect();
+    let v: Vec<NodeId> = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"]
+        .iter()
+        .map(|s| g.input(*s))
+        .collect();
     let m1 = g.mul(v[0], v[1]);
     let m2 = g.mul(v[2], v[3]);
     let x1 = g.add(m1, m2);
@@ -97,8 +99,14 @@ fn deep_chain_reduction_approaches_per_link_ratio() {
 fn fusion_preserves_semantics_listing1() {
     let g = listing1();
     let mut ins = HashMap::new();
-    for (i, name) in ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"].iter().enumerate() {
-        ins.insert(name.to_string(), 0.1 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.3 });
+    for (i, name) in ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"]
+        .iter()
+        .enumerate()
+    {
+        ins.insert(
+            name.to_string(),
+            0.1 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.3 },
+        );
     }
     let want = eval_f64(&g, &ins)["x3"];
     for kind in [FmaKind::Pcs, FmaKind::Fcs] {
@@ -124,11 +132,16 @@ fn subtraction_patterns_fuse() {
     g.output("y", s2);
     let rep = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Fcs));
     assert_eq!(rep.fma_nodes, 2);
-    let ins: HashMap<String, f64> =
-        [("a", 1.7), ("b", -0.4), ("c", 2.9), ("d", 0.55)].iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let ins: HashMap<String, f64> = [("a", 1.7), ("b", -0.4), ("c", 2.9), ("d", 0.55)]
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
     let want = eval_f64(&g, &ins)["y"];
     let got = eval_bit_accurate(&rep.fused, &ins)["y"];
-    assert!((got - want).abs() <= want.abs().max(1.0) * 1e-12, "{got} vs {want}");
+    assert!(
+        (got - want).abs() <= want.abs().max(1.0) * 1e-12,
+        "{got} vs {want}"
+    );
 }
 
 #[test]
@@ -173,7 +186,10 @@ fn resource_limited_schedule_still_gains() {
     let limited = list_schedule(
         &rep.fused,
         &t,
-        &ResourceLimits { fma: Some(2), ..Default::default() },
+        &ResourceLimits {
+            fma: Some(2),
+            ..Default::default()
+        },
     );
     let discrete = asap_schedule(&g, &t);
     assert!(
@@ -341,7 +357,10 @@ fn chain_inputs_helper_used() {
     let want = eval_f64(&g, &ins)["y"];
     let rep = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Pcs));
     let got = eval_bit_accurate(&rep.fused, &ins)["y"];
-    assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0), "{got} vs {want}");
+    assert!(
+        (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+        "{got} vs {want}"
+    );
 }
 
 #[test]

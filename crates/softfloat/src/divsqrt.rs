@@ -150,7 +150,11 @@ mod tests {
     #[test]
     fn inexact_division_matches_host() {
         for (a, b) in [(1.0, 3.0), (2.0, 7.0), (0.1, 0.3), (-5.0, 1.1)] {
-            assert_eq!(sf(a).div(&sf(b)).to_f64().to_bits(), (a / b).to_bits(), "{a}/{b}");
+            assert_eq!(
+                sf(a).div(&sf(b)).to_f64().to_bits(),
+                (a / b).to_bits(),
+                "{a}/{b}"
+            );
         }
     }
 
@@ -168,7 +172,11 @@ mod tests {
     #[test]
     fn sqrt_matches_host() {
         for v in [4.0, 2.0, 0.25, 1e10, 7.3, 0.1] {
-            assert_eq!(sf(v).sqrt().to_f64().to_bits(), v.sqrt().to_bits(), "sqrt({v})");
+            assert_eq!(
+                sf(v).sqrt().to_f64().to_bits(),
+                v.sqrt().to_bits(),
+                "sqrt({v})"
+            );
         }
         assert!(sf(-1.0).sqrt().is_nan());
         assert!(SoftFloat::zero(F, true).sqrt().is_zero());

@@ -50,7 +50,11 @@ pub struct RoundedParts {
 impl ExactFloat {
     /// Exact zero (positively signed).
     pub fn zero() -> Self {
-        ExactFloat { sign: false, mag: Bits::zero(1), scale: 0 }
+        ExactFloat {
+            sign: false,
+            mag: Bits::zero(1),
+            scale: 0,
+        }
     }
 
     /// Build from sign, magnitude and scale. The representation is
@@ -71,7 +75,10 @@ impl ExactFloat {
     /// exactness here is about the *reference*, not the no-subnormal
     /// operator model).
     pub fn from_f64(v: f64) -> Self {
-        assert!(v.is_finite(), "ExactFloat::from_f64 requires a finite value");
+        assert!(
+            v.is_finite(),
+            "ExactFloat::from_f64 requires a finite value"
+        );
         if v == 0.0 {
             let mut z = Self::zero();
             z.sign = v.is_sign_negative();
@@ -349,7 +356,7 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_exact() {
-        for v in [1.0, -2.5, 3.141592653589793, 1e-300, -1e300, 5e-324] {
+        for v in [1.0, -2.5, std::f64::consts::PI, 1e-300, -1e300, 5e-324] {
             let e = ExactFloat::from_f64(v);
             assert_eq!(e.to_f64_lossy(), v, "roundtrip of {v}");
         }
@@ -398,13 +405,22 @@ mod tests {
     #[test]
     fn round_overflow_modes() {
         let e = ExactFloat::from_u128(false, 1, 2000);
-        assert_eq!(e.round(FpFormat::BINARY64, Round::NearestEven).class, FpClass::Inf);
+        assert_eq!(
+            e.round(FpFormat::BINARY64, Round::NearestEven).class,
+            FpClass::Inf
+        );
         let tz = e.round(FpFormat::BINARY64, Round::TowardZero);
         assert_eq!(tz.class, FpClass::Normal);
         assert_eq!(tz.exp, FpFormat::BINARY64.emax());
         assert_eq!(tz.frac, (1u64 << 52) - 1);
-        assert_eq!(e.neg().round(FpFormat::BINARY64, Round::TowardPosInf).class, FpClass::Normal);
-        assert_eq!(e.round(FpFormat::BINARY64, Round::TowardPosInf).class, FpClass::Inf);
+        assert_eq!(
+            e.neg().round(FpFormat::BINARY64, Round::TowardPosInf).class,
+            FpClass::Normal
+        );
+        assert_eq!(
+            e.round(FpFormat::BINARY64, Round::TowardPosInf).class,
+            FpClass::Inf
+        );
     }
 
     #[test]

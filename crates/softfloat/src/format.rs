@@ -16,21 +16,36 @@ pub struct FpFormat {
 
 impl FpFormat {
     /// IEEE 754 binary64 (double precision): 11-bit exponent, 52-bit fraction.
-    pub const BINARY64: FpFormat = FpFormat { exp_bits: 11, frac_bits: 52 };
+    pub const BINARY64: FpFormat = FpFormat {
+        exp_bits: 11,
+        frac_bits: 52,
+    };
     /// IEEE 754 binary32 (single precision): 8-bit exponent, 23-bit fraction.
-    pub const BINARY32: FpFormat = FpFormat { exp_bits: 8, frac_bits: 23 };
+    pub const BINARY32: FpFormat = FpFormat {
+        exp_bits: 8,
+        frac_bits: 23,
+    };
     /// The 68-bit reference format of Sec. IV-B: binary64 with 4 extra
     /// fraction bits (11-bit exponent, 56-bit fraction).
-    pub const B68: FpFormat = FpFormat { exp_bits: 11, frac_bits: 56 };
+    pub const B68: FpFormat = FpFormat {
+        exp_bits: 11,
+        frac_bits: 56,
+    };
     /// The 75-bit golden-reference format of Sec. IV-B: binary64 with 11
     /// extra fraction bits (11-bit exponent, 63-bit fraction).
-    pub const B75: FpFormat = FpFormat { exp_bits: 11, frac_bits: 63 };
+    pub const B75: FpFormat = FpFormat {
+        exp_bits: 11,
+        frac_bits: 63,
+    };
 
     /// Construct a format, validating the field widths.
     pub fn new(exp_bits: u32, frac_bits: u32) -> Self {
         assert!((2..=17).contains(&exp_bits), "exp_bits out of range");
         assert!((1..=63).contains(&frac_bits), "frac_bits out of range");
-        FpFormat { exp_bits, frac_bits }
+        FpFormat {
+            exp_bits,
+            frac_bits,
+        }
     }
 
     /// Total storage width including the sign bit.
@@ -136,7 +151,7 @@ mod tests {
     fn reference_formats_are_wider() {
         assert_eq!(FpFormat::B68.total_bits(), 68);
         assert_eq!(FpFormat::B75.total_bits(), 75);
-        assert!(FpFormat::B75.frac_bits > FpFormat::B68.frac_bits);
+        const { assert!(FpFormat::B75.frac_bits > FpFormat::B68.frac_bits) };
     }
 
     #[test]

@@ -128,7 +128,11 @@ impl SoftFloat {
             (FpClass::Inf, _) => return SoftFloat::inf(fmt, psign),
             (_, FpClass::Inf) => return *c,
             (FpClass::Zero, FpClass::Zero) => {
-                let sign = if psign == c.sign() { psign } else { zero_sum_sign(mode) };
+                let sign = if psign == c.sign() {
+                    psign
+                } else {
+                    zero_sum_sign(mode)
+                };
                 return SoftFloat::zero(fmt, sign);
             }
             (FpClass::Zero, _) => return *c,
@@ -147,9 +151,7 @@ impl SoftFloat {
             FpClass::Nan => SoftFloat::nan(target),
             FpClass::Inf => SoftFloat::inf(target, self.sign()),
             FpClass::Zero => SoftFloat::zero(target, self.sign()),
-            FpClass::Normal => {
-                SoftFloat::from_rounded(target, self.to_exact().round(target, mode))
-            }
+            FpClass::Normal => SoftFloat::from_rounded(target, self.to_exact().round(target, mode)),
         }
     }
 
@@ -204,8 +206,18 @@ mod tests {
 
     #[test]
     fn add_matches_host() {
-        for (a, b) in [(1.0, 2.0), (0.1, 0.2), (1e300, 1e300), (1.0, -1.0), (3.5e-12, -7.25)] {
-            assert_eq!(sf(a).add(&sf(b)).to_f64().to_bits(), (a + b).to_bits(), "{a} + {b}");
+        for (a, b) in [
+            (1.0, 2.0),
+            (0.1, 0.2),
+            (1e300, 1e300),
+            (1.0, -1.0),
+            (3.5e-12, -7.25),
+        ] {
+            assert_eq!(
+                sf(a).add(&sf(b)).to_f64().to_bits(),
+                (a + b).to_bits(),
+                "{a} + {b}"
+            );
         }
     }
 
@@ -273,10 +285,16 @@ mod tests {
     fn rounding_mode_directionality() {
         let a = sf(1.0);
         let tiny = sf(2f64.powi(-80));
-        assert_eq!(a.add_r(&tiny, Round::TowardPosInf).to_f64(), 1.0 + 2f64.powi(-52));
+        assert_eq!(
+            a.add_r(&tiny, Round::TowardPosInf).to_f64(),
+            1.0 + 2f64.powi(-52)
+        );
         assert_eq!(a.add_r(&tiny, Round::TowardZero).to_f64(), 1.0);
         assert_eq!(a.add_r(&tiny, Round::NearestEven).to_f64(), 1.0);
-        assert_eq!(a.neg().sub_r(&tiny, Round::TowardNegInf).to_f64(), -1.0 - 2f64.powi(-52));
+        assert_eq!(
+            a.neg().sub_r(&tiny, Round::TowardNegInf).to_f64(),
+            -1.0 - 2f64.powi(-52)
+        );
     }
 
     #[test]
@@ -306,7 +324,10 @@ mod tests {
         assert_eq!(sf(1.0).numeric_cmp(&sf(2.0)), Some(Less));
         assert_eq!(sf(-1.0).numeric_cmp(&sf(-2.0)), Some(Greater));
         assert_eq!(sf(0.0).numeric_cmp(&sf(-0.0)), Some(Equal));
-        assert_eq!(SoftFloat::inf(F, false).numeric_cmp(&sf(1e308)), Some(Greater));
+        assert_eq!(
+            SoftFloat::inf(F, false).numeric_cmp(&sf(1e308)),
+            Some(Greater)
+        );
         assert_eq!(SoftFloat::nan(F).numeric_cmp(&sf(0.0)), None);
     }
 }

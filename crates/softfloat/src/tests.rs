@@ -10,15 +10,14 @@ const F: FpFormat = FpFormat::BINARY64;
 /// operands well inside the normal range.
 fn normal_f64() -> impl Strategy<Value = f64> {
     // sign * mantissa in [1,2) * 2^e with |e| <= 400
-    (any::<bool>(), 0u64..(1u64 << 52), -400i32..=400)
-        .prop_map(|(s, m, e)| {
-            let v = f64::from_bits(((1023 + e) as u64) << 52 | m);
-            if s {
-                -v
-            } else {
-                v
-            }
-        })
+    (any::<bool>(), 0u64..(1u64 << 52), -400i32..=400).prop_map(|(s, m, e)| {
+        let v = f64::from_bits(((1023 + e) as u64) << 52 | m);
+        if s {
+            -v
+        } else {
+            v
+        }
+    })
 }
 
 fn sf(v: f64) -> SoftFloat {
@@ -172,7 +171,10 @@ mod tie_semantics {
         let e = ExactFloat::from_u128(true, (1u128 << 53) + 1, -53);
         let down = e.round(FpFormat::BINARY64, Round::TowardNegInf);
         let up = e.round(FpFormat::BINARY64, Round::TowardPosInf);
-        assert_eq!(down.frac, 1, "toward -inf grows the magnitude of a negative");
+        assert_eq!(
+            down.frac, 1,
+            "toward -inf grows the magnitude of a negative"
+        );
         assert_eq!(up.frac, 0, "toward +inf truncates a negative");
         assert!(down.sign && up.sign);
     }

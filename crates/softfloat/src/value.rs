@@ -36,22 +36,46 @@ pub struct SoftFloat {
 impl SoftFloat {
     /// Signed zero.
     pub fn zero(format: FpFormat, sign: bool) -> Self {
-        SoftFloat { format, class: FpClass::Zero, sign, exp: 0, frac: 0 }
+        SoftFloat {
+            format,
+            class: FpClass::Zero,
+            sign,
+            exp: 0,
+            frac: 0,
+        }
     }
 
     /// Signed infinity.
     pub fn inf(format: FpFormat, sign: bool) -> Self {
-        SoftFloat { format, class: FpClass::Inf, sign, exp: 0, frac: 0 }
+        SoftFloat {
+            format,
+            class: FpClass::Inf,
+            sign,
+            exp: 0,
+            frac: 0,
+        }
     }
 
     /// Canonical NaN.
     pub fn nan(format: FpFormat) -> Self {
-        SoftFloat { format, class: FpClass::Nan, sign: false, exp: 0, frac: 0 }
+        SoftFloat {
+            format,
+            class: FpClass::Nan,
+            sign: false,
+            exp: 0,
+            frac: 0,
+        }
     }
 
     /// The value 1.0.
     pub fn one(format: FpFormat) -> Self {
-        SoftFloat { format, class: FpClass::Normal, sign: false, exp: 0, frac: 0 }
+        SoftFloat {
+            format,
+            class: FpClass::Normal,
+            sign: false,
+            exp: 0,
+            frac: 0,
+        }
     }
 
     /// Construct a normal number from parts.
@@ -59,9 +83,21 @@ impl SoftFloat {
     /// # Panics
     /// If `exp` or `frac` are outside the format's range.
     pub fn from_parts(format: FpFormat, sign: bool, exp: i32, frac: u64) -> Self {
-        assert!(exp >= format.emin() && exp <= format.emax(), "exponent out of range");
-        assert!(frac < (1u64 << format.frac_bits), "fraction wider than format");
-        SoftFloat { format, class: FpClass::Normal, sign, exp, frac }
+        assert!(
+            exp >= format.emin() && exp <= format.emax(),
+            "exponent out of range"
+        );
+        assert!(
+            frac < (1u64 << format.frac_bits),
+            "fraction wider than format"
+        );
+        SoftFloat {
+            format,
+            class: FpClass::Normal,
+            sign,
+            exp,
+            frac,
+        }
     }
 
     /// Construct from the result of rounding an exact value.
@@ -242,13 +278,27 @@ impl SoftFloat {
         match class {
             FpClass::Normal => {
                 let frac = bits.extract(0, format.frac_bits as usize).to_u64();
-                let biased =
-                    bits.extract(format.frac_bits as usize, format.exp_bits as usize).to_u64();
+                let biased = bits
+                    .extract(format.frac_bits as usize, format.exp_bits as usize)
+                    .to_u64();
                 SoftFloat::from_parts(format, sign, biased as i32 - format.bias(), frac)
             }
             FpClass::Zero => SoftFloat::zero(format, sign),
             FpClass::Inf => SoftFloat::inf(format, sign),
             FpClass::Nan => SoftFloat::nan(format),
+        }
+    }
+}
+
+impl std::fmt::Display for SoftFloat {
+    /// Human-readable rendering: the numeric value plus class markers for
+    /// the specials (`inf`, `-inf`, `NaN`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class {
+            FpClass::Nan => write!(f, "NaN"),
+            FpClass::Inf => write!(f, "{}inf", if self.sign { "-" } else { "" }),
+            FpClass::Zero => write!(f, "{}0.0", if self.sign { "-" } else { "" }),
+            FpClass::Normal => write!(f, "{}", self.to_f64()),
         }
     }
 }
@@ -259,11 +309,22 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_binary64() {
-        for v in [0.0, -0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 1e300, f64::INFINITY] {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            std::f64::consts::PI,
+            1e-300,
+            1e300,
+            f64::INFINITY,
+        ] {
             let s = SoftFloat::from_f64(FpFormat::BINARY64, v);
             assert_eq!(s.to_f64().to_bits(), v.to_bits(), "roundtrip of {v}");
         }
-        assert!(SoftFloat::from_f64(FpFormat::BINARY64, f64::NAN).to_f64().is_nan());
+        assert!(SoftFloat::from_f64(FpFormat::BINARY64, f64::NAN)
+            .to_f64()
+            .is_nan());
     }
 
     #[test]
@@ -310,10 +371,19 @@ mod tests {
 
     #[test]
     fn display_renders() {
-        assert_eq!(format!("{}", SoftFloat::from_f64(FpFormat::BINARY64, 1.5)), "1.5");
-        assert_eq!(format!("{}", SoftFloat::inf(FpFormat::BINARY64, true)), "-inf");
+        assert_eq!(
+            format!("{}", SoftFloat::from_f64(FpFormat::BINARY64, 1.5)),
+            "1.5"
+        );
+        assert_eq!(
+            format!("{}", SoftFloat::inf(FpFormat::BINARY64, true)),
+            "-inf"
+        );
         assert_eq!(format!("{}", SoftFloat::nan(FpFormat::BINARY64)), "NaN");
-        assert_eq!(format!("{}", SoftFloat::zero(FpFormat::BINARY64, true)), "-0.0");
+        assert_eq!(
+            format!("{}", SoftFloat::zero(FpFormat::BINARY64, true)),
+            "-0.0"
+        );
     }
 
     #[test]
@@ -322,18 +392,5 @@ mod tests {
         assert_eq!(s.neg().to_f64(), 2.0);
         assert_eq!(s.abs().to_f64(), 2.0);
         assert!(SoftFloat::nan(FpFormat::BINARY64).neg().is_nan());
-    }
-}
-
-impl std::fmt::Display for SoftFloat {
-    /// Human-readable rendering: the numeric value plus class markers for
-    /// the specials (`inf`, `-inf`, `NaN`).
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.class {
-            FpClass::Nan => write!(f, "NaN"),
-            FpClass::Inf => write!(f, "{}inf", if self.sign { "-" } else { "" }),
-            FpClass::Zero => write!(f, "{}0.0", if self.sign { "-" } else { "" }),
-            FpClass::Normal => write!(f, "{}", self.to_f64()),
-        }
     }
 }

@@ -98,7 +98,11 @@ pub fn generate_ldlsolve(f: &LdlFactors) -> LdlSolveProgram {
         g.output(x_name(i), xi);
     }
     g.validate();
-    LdlSolveProgram { cdfg: g, dim: n, nnz: f.nnz() }
+    LdlSolveProgram {
+        cdfg: g,
+        dim: n,
+        nnz: f.nnz(),
+    }
 }
 
 impl LdlSolveProgram {
@@ -154,7 +158,11 @@ mod tests {
         let p = &solver_suite()[0];
         let f = LdlFactors::factor(&KktSystem::assemble(p).matrix);
         let prog = generate_ldlsolve(&f);
-        assert_eq!(prog.cdfg.count_ops(|o| matches!(o, Op::Div)), 0, "division-free");
+        assert_eq!(
+            prog.cdfg.count_ops(|o| matches!(o, Op::Div)),
+            0,
+            "division-free"
+        );
         let muls = prog.cdfg.count_ops(|o| matches!(o, Op::Mul));
         let subs = prog.cdfg.count_ops(|o| matches!(o, Op::Sub));
         // one mul per L entry per pass + the diagonal scaling
@@ -300,7 +308,10 @@ mod factor_tests {
         let pattern = symbolic_ldl(&k.matrix);
         let factor = generate_ldlfactor(&pattern);
         // exactly one reciprocal per pivot
-        assert_eq!(factor.cdfg.count_ops(|o| matches!(o, Op::Div)), k.matrix.dim());
+        assert_eq!(
+            factor.cdfg.count_ops(|o| matches!(o, Op::Div)),
+            k.matrix.dim()
+        );
         let f = LdlFactors::factor(&k.matrix);
         let solve = generate_ldlsolve(&f);
         assert_eq!(solve.cdfg.count_ops(|o| matches!(o, Op::Div)), 0);

@@ -107,7 +107,11 @@ fn dot_row(row: &[(usize, f64)], z: &[f64]) -> f64 {
 /// iteration (the pattern is iterate-invariant; only the `-s/λ` diagonal
 /// values change).
 pub fn kkt_at_iterate(qp: &QpProblem, s: &[f64], lambda: &[f64]) -> SymSparse {
-    let lay = Layout { n: qp.dim, mi: qp.ineq.len(), me: qp.eq.len() };
+    let lay = Layout {
+        n: qp.dim,
+        mi: qp.ineq.len(),
+        me: qp.eq.len(),
+    };
     let mut m = assemble_kkt(qp, &lay);
     refresh_diagonal(&mut m, &lay, s, lambda);
     m
@@ -131,7 +135,11 @@ pub fn solve_qp_warm(
     tol: f64,
     warm: Option<&IpmResult>,
 ) -> IpmResult {
-    let lay = Layout { n: qp.dim, mi: qp.ineq.len(), me: qp.eq.len() };
+    let lay = Layout {
+        n: qp.dim,
+        mi: qp.ineq.len(),
+        me: qp.eq.len(),
+    };
     let mut kkt = assemble_kkt(qp, &lay);
 
     let (mut z, mut lambda, mut s, mut y) = match warm {
@@ -306,20 +314,20 @@ mod tests {
             }
         }
         let mut rhs = vec![0.0; lay_n + me];
-        for i in 0..lay_n {
-            rhs[i] = -qp.q[i];
+        for (slot, q) in rhs.iter_mut().zip(&qp.q) {
+            *slot = -q;
         }
         for (rr, (_, b)) in qp.eq.iter().enumerate() {
             rhs[lay_n + rr] = *b;
         }
         let f = crate::ldl::LdlFactors::factor(&kkt);
         let x = f.solve(&rhs);
-        for i in 0..lay_n {
+        for (i, xi) in x.iter().enumerate().take(lay_n) {
             assert!(
-                (r.z[i] - x[i]).abs() < 1e-3 * x[i].abs().max(1.0),
+                (r.z[i] - xi).abs() < 1e-3 * xi.abs().max(1.0),
                 "z[{i}] = {} vs {}",
                 r.z[i],
-                x[i]
+                xi
             );
         }
     }
@@ -369,7 +377,11 @@ mod tests {
         // after the diagonal refresh is identical
         let p = &solver_suite()[0];
         let qp = trajectory_qp(p, 3.0, 15.0);
-        let lay = Layout { n: qp.dim, mi: qp.ineq.len(), me: qp.eq.len() };
+        let lay = Layout {
+            n: qp.dim,
+            mi: qp.ineq.len(),
+            me: qp.eq.len(),
+        };
         let mut m = assemble_kkt(&qp, &lay);
         let pat_before: Vec<Vec<usize>> = crate::ldl::symbolic_ldl(&m);
         refresh_diagonal(&mut m, &lay, &vec![0.5; lay.mi], &vec![2.0; lay.mi]);

@@ -98,7 +98,11 @@ impl KktSystem {
                 }
             }
         }
-        KktSystem { matrix: m, rhs, num_primal: p.num_vars() }
+        KktSystem {
+            matrix: m,
+            rhs,
+            num_primal: p.num_vars(),
+        }
     }
 }
 

@@ -90,7 +90,12 @@ impl LdlFactors {
             d[i] = di;
             lprev[i] = l_values[i].clone();
         }
-        LdlFactors { n, pattern, l_values, d }
+        LdlFactors {
+            n,
+            pattern,
+            l_values,
+            d,
+        }
     }
 
     /// Dimension.
@@ -275,8 +280,8 @@ mod symbolic_completeness {
         for i in 0..n {
             for j in 0..=i {
                 let mut v = 0.0;
-                for kk in 0..=j {
-                    v += l[i][kk] * f.d[kk] * l[j][kk];
+                for (kk, dk) in f.d.iter().enumerate().take(j + 1) {
+                    v += l[i][kk] * dk * l[j][kk];
                 }
                 let want = k.matrix.get(i, j);
                 assert!(

@@ -45,7 +45,13 @@ pub struct MpcConfig {
 
 impl Default for MpcConfig {
     fn default() -> Self {
-        MpcConfig { periods: 16, u_max: 3.0, v_max: 14.0, max_ipm_iters: 60, warm_start: true }
+        MpcConfig {
+            periods: 16,
+            u_max: 3.0,
+            v_max: 14.0,
+            max_ipm_iters: 60,
+            warm_start: true,
+        }
     }
 }
 
@@ -75,8 +81,12 @@ pub fn run_closed_loop(base: &TrajectoryProblem, cfg: &MpcConfig) -> MpcRun {
         let mut prob = base.clone();
         prob.x0 = x;
         let qp = trajectory_qp(&prob, cfg.u_max, cfg.v_max);
-        let sol: IpmResult =
-            solve_qp_warm(&qp, cfg.max_ipm_iters, 1e-7, if cfg.warm_start { prev.as_ref() } else { None });
+        let sol: IpmResult = solve_qp_warm(
+            &qp,
+            cfg.max_ipm_iters,
+            1e-7,
+            if cfg.warm_start { prev.as_ref() } else { None },
+        );
         let u = [sol.z[u_index(0, 0)], sol.z[u_index(0, 1)]];
         x = step_dynamics(&prob, &x, &u);
         let d = ((x[0] - base.obstacle[0]).powi(2) + (x[1] - base.obstacle[1]).powi(2)).sqrt();
@@ -86,7 +96,12 @@ pub fn run_closed_loop(base: &TrajectoryProblem, cfg: &MpcConfig) -> MpcRun {
         iters.push(sol.iterations);
         prev = Some(sol);
     }
-    MpcRun { states, controls, ipm_iterations: iters, min_obstacle_distance: min_dist }
+    MpcRun {
+        states,
+        controls,
+        ipm_iterations: iters,
+        min_obstacle_distance: min_dist,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +135,13 @@ mod tests {
     #[test]
     fn swerves_laterally_near_the_obstacle() {
         let base = &solver_suite()[2];
-        let run = run_closed_loop(base, &MpcConfig { periods: 20, ..Default::default() });
+        let run = run_closed_loop(
+            base,
+            &MpcConfig {
+                periods: 20,
+                ..Default::default()
+            },
+        );
         let max_lateral = run.states.iter().map(|s| s[1]).fold(f64::MIN, f64::max);
         assert!(max_lateral > 0.5, "lateral peak {max_lateral}");
         // and comes back toward the lane after passing
@@ -131,8 +152,20 @@ mod tests {
     #[test]
     fn tighter_actuators_bind_and_shrink_control_authority() {
         let base = &solver_suite()[1];
-        let strong = run_closed_loop(base, &MpcConfig { u_max: 4.0, ..Default::default() });
-        let weak = run_closed_loop(base, &MpcConfig { u_max: 0.5, ..Default::default() });
+        let strong = run_closed_loop(
+            base,
+            &MpcConfig {
+                u_max: 4.0,
+                ..Default::default()
+            },
+        );
+        let weak = run_closed_loop(
+            base,
+            &MpcConfig {
+                u_max: 0.5,
+                ..Default::default()
+            },
+        );
         let peak = |r: &MpcRun| {
             r.controls
                 .iter()

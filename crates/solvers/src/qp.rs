@@ -122,7 +122,13 @@ pub fn trajectory_qp(p: &TrajectoryProblem, u_max: f64, v_max: f64) -> QpProblem
         ineq.push((vec![(x_index(t, 2), 1.0)], v_max));
     }
 
-    QpProblem { dim: n, p: pm, q, eq, ineq }
+    QpProblem {
+        dim: n,
+        p: pm,
+        q,
+        eq,
+        ineq,
+    }
 }
 
 #[cfg(test)]

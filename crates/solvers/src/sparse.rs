@@ -16,7 +16,10 @@ pub struct SymSparse {
 impl SymSparse {
     /// Zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> Self {
-        SymSparse { n, rows: vec![Vec::new(); n] }
+        SymSparse {
+            n,
+            rows: vec![Vec::new(); n],
+        }
     }
 
     /// Dimension.

@@ -68,7 +68,10 @@ fn schedule_grows_with_solver_complexity() {
         let prog = generate_ldlsolve(&f);
         lengths.push(asap_schedule(&prog.cdfg, &t).length);
     }
-    assert!(lengths[0] < lengths[1] && lengths[1] < lengths[2], "{lengths:?}");
+    assert!(
+        lengths[0] < lengths[1] && lengths[1] < lengths[2],
+        "{lengths:?}"
+    );
 }
 
 #[test]
@@ -88,7 +91,9 @@ fn ipm_iteration_runs_through_the_generated_kernel() {
     let kkt = kkt_at_iterate(&qp, &s, &lambda);
     let f = LdlFactors::factor(&kkt);
     let prog = generate_ldlsolve(&f);
-    let rhs: Vec<f64> = (0..kkt.dim()).map(|i| ((i * 7919) % 13) as f64 / 6.5 - 1.0).collect();
+    let rhs: Vec<f64> = (0..kkt.dim())
+        .map(|i| ((i * 7919) % 13) as f64 / 6.5 - 1.0)
+        .collect();
 
     let want = f.solve(&rhs);
     let ins = prog.inputs_for(&f, &rhs);
@@ -118,6 +123,8 @@ fn full_ipm_trajectory_respects_limits_and_avoids_obstacle() {
         assert!(r.z[x_index(t, 2)] <= 13.0 + 1e-5);
     }
     // swerve behavior survives the constraints
-    let max_lat = (0..p.horizon).map(|t| r.z[x_index(t, 1)]).fold(f64::MIN, f64::max);
+    let max_lat = (0..p.horizon)
+        .map(|t| r.z[x_index(t, 1)])
+        .fold(f64::MIN, f64::max);
     assert!(max_lat > 0.3, "lateral peak {max_lat}");
 }

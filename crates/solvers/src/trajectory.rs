@@ -78,7 +78,12 @@ impl TrajectoryProblem {
         // lateral offset peaks beside the obstacle
         let dist = (forward - self.obstacle[0]).abs();
         let lateral = self.obstacle[1] + 2.5 * (-dist * dist / 8.0).exp();
-        [forward, lateral, 12.0 / (self.horizon as f64 * self.dt), 0.0]
+        [
+            forward,
+            lateral,
+            12.0 / (self.horizon as f64 * self.dt),
+            0.0,
+        ]
     }
 }
 
@@ -95,8 +100,16 @@ pub fn solver_suite() -> Vec<TrajectoryProblem> {
     };
     vec![
         base.clone(),
-        TrajectoryProblem { name: "solver 2 (T=8)", horizon: 8, ..base.clone() },
-        TrajectoryProblem { name: "solver 3 (T=12)", horizon: 12, ..base },
+        TrajectoryProblem {
+            name: "solver 2 (T=8)",
+            horizon: 8,
+            ..base.clone()
+        },
+        TrajectoryProblem {
+            name: "solver 3 (T=12)",
+            horizon: 12,
+            ..base
+        },
     ]
 }
 

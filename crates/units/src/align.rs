@@ -44,8 +44,8 @@ pub fn align_addend(a: &CsNumber, window: usize, shift: i64) -> AlignedAddend {
         let sum = a.sum().sext(window).shl(sh);
         let carry = a.carry().sext(window).shl(sh);
         // high loss check: shifting must not change the signed value
-        let dropped_high = sum.sar(sh) != a.sum().sext(window)
-            || carry.sar(sh) != a.carry().sext(window);
+        let dropped_high =
+            sum.sar(sh) != a.sum().sext(window) || carry.sar(sh) != a.carry().sext(window);
         AlignedAddend {
             value: CsNumber::new(sum, carry),
             dropped_low: false,
@@ -58,8 +58,18 @@ pub fn align_addend(a: &CsNumber, window: usize, shift: i64) -> AlignedAddend {
         } else {
             !a.sum().extract(0, sh).is_zero() || !a.carry().extract(0, sh).is_zero()
         };
-        let sum = a.sum().sext(window.max(a.width())).sar(sh).sext(window).trunc(window);
-        let carry = a.carry().sext(window.max(a.width())).sar(sh).sext(window).trunc(window);
+        let sum = a
+            .sum()
+            .sext(window.max(a.width()))
+            .sar(sh)
+            .sext(window)
+            .trunc(window);
+        let carry = a
+            .carry()
+            .sext(window.max(a.width()))
+            .sar(sh)
+            .sext(window)
+            .trunc(window);
         AlignedAddend {
             value: CsNumber::new(sum, carry),
             dropped_low,

@@ -36,7 +36,11 @@ pub fn select_blocks(blocks: &[CsNumber], keep: usize, skip: usize) -> BlockSele
     } else {
         CsNumber::zero(block_width)
     };
-    BlockSelection { result, round_data, skip }
+    BlockSelection {
+        result,
+        round_data,
+        skip,
+    }
 }
 
 /// Number of mux positions ("N-to-1") for a window of `total` blocks

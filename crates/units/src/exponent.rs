@@ -31,7 +31,9 @@ impl BiasedExp {
             (Self::MIN_UNBIASED..=Self::MAX_UNBIASED).contains(&e),
             "exponent {e} out of excess-2047 range"
         );
-        BiasedExp { biased: (e + Self::BIAS) as u16 }
+        BiasedExp {
+            biased: (e + Self::BIAS) as u16,
+        }
     }
 
     /// Construct from an unbiased exponent, saturating at the range ends.
@@ -42,7 +44,10 @@ impl BiasedExp {
 
     /// Construct directly from the 12-bit field value.
     pub fn from_field(field: u16) -> Self {
-        assert!(field < (1 << Self::BITS), "exponent field wider than 12 bits");
+        assert!(
+            field < (1 << Self::BITS),
+            "exponent field wider than 12 bits"
+        );
         BiasedExp { biased: field }
     }
 
@@ -81,8 +86,8 @@ mod tests {
     fn range_exceeds_ieee754_double() {
         // the IEEE 754 11-bit exponent spans [-1022, 1023]; excess-2047
         // must strictly contain it (Sec. III-F)
-        assert!(BiasedExp::MIN_UNBIASED < -1022);
-        assert!(BiasedExp::MAX_UNBIASED > 1023);
+        const { assert!(BiasedExp::MIN_UNBIASED < -1022) };
+        const { assert!(BiasedExp::MAX_UNBIASED > 1023) };
         assert_eq!(BiasedExp::MAX_UNBIASED, 2048);
     }
 
@@ -96,9 +101,15 @@ mod tests {
     #[test]
     fn product_saturates() {
         let big = BiasedExp::from_unbiased(2000);
-        assert_eq!(BiasedExp::product(big, big).unbiased(), BiasedExp::MAX_UNBIASED);
+        assert_eq!(
+            BiasedExp::product(big, big).unbiased(),
+            BiasedExp::MAX_UNBIASED
+        );
         let small = BiasedExp::from_unbiased(-2000);
-        assert_eq!(BiasedExp::product(small, small).unbiased(), BiasedExp::MIN_UNBIASED);
+        assert_eq!(
+            BiasedExp::product(small, small).unbiased(),
+            BiasedExp::MIN_UNBIASED
+        );
         let a = BiasedExp::from_unbiased(100);
         let b = BiasedExp::from_unbiased(-40);
         assert_eq!(BiasedExp::product(a, b).unbiased(), 60);

@@ -45,7 +45,11 @@ pub fn lza_indicator(a: &Bits, b: &Bits) -> Bits {
     for i in 0..we {
         // neighbor below position 0: neither generate nor zero (a carry-in
         // of unknown value is conservatively assumed possible)
-        let (gi_1, zi_1) = if i == 0 { (false, false) } else { (g(i - 1), z(i - 1)) };
+        let (gi_1, zi_1) = if i == 0 {
+            (false, false)
+        } else {
+            (g(i - 1), z(i - 1))
+        };
         let ti1 = t(i + 1);
         let fi = (ti1 && ((g(i) && !zi_1) || (z(i) && !gi_1)))
             || (!ti1 && ((z(i) && !zi_1) || (g(i) && !gi_1)));
@@ -120,7 +124,10 @@ mod tests {
             return; // full cancellation: no significant bit exists
         }
         let ant = anticipate_leading(a, b);
-        assert!(ant <= truth, "unsafe anticipation: a={a:?} b={b:?} ant={ant} truth={truth}");
+        assert!(
+            ant <= truth,
+            "unsafe anticipation: a={a:?} b={b:?} ant={ant} truth={truth}"
+        );
         assert!(
             truth - ant <= LZA_MAX_ERROR,
             "too pessimistic: a={a:?} b={b:?} ant={ant} truth={truth}"

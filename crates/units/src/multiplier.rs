@@ -10,7 +10,7 @@
 //! (`B*(C+1) = B*C + B`), adding at most one level to the tree.
 
 use csfma_bits::Bits;
-use csfma_carrysave::{reduce_to_cs, CsNumber};
+use csfma_carrysave::{reduce_to_cs, CsNumber, COMPRESSOR_HEADROOM_BITS};
 
 /// Output of the mantissa multiplier: the CS product plus the structural
 /// facts the fabric timing model charges for.
@@ -46,7 +46,7 @@ pub struct MultiplierOutput {
 /// count* depends only on the width of the smaller operand `B_M`), reduced
 /// by a 3:2 tree.
 pub fn multiply_cs_by_binary(c: &CsNumber, b: &Bits, round_increment: bool) -> MultiplierOutput {
-    let out_width = c.width() + b.width() + 2;
+    let out_width = c.width() + b.width() + COMPRESSOR_HEADROOM_BITS;
     // sign-extend the two's complement multiplicand words once
     let c_sum = c.sum().sext(out_width);
     let c_carry = c.carry().sext(out_width);
@@ -206,7 +206,8 @@ pub fn multiply_cs_by_binary_booth(
     b: &Bits,
     round_increment: bool,
 ) -> MultiplierOutput {
-    let out_width = c.width() + b.width() + 4; // booth digits can overshoot by one pair
+    // booth digits can overshoot by one pair beyond the plain headroom
+    let out_width = c.width() + b.width() + COMPRESSOR_HEADROOM_BITS + 2;
     let c_sum = c.sum().sext(out_width);
     let c_carry = c.carry().sext(out_width);
     let neg = |v: &Bits| v.wrapping_neg();
@@ -243,7 +244,11 @@ mod booth_tests {
         // 0b0110 = 6 -> digits (LSB pair first): b1b0|b-1 = 10|0 -> -2,
         // b3b2|b1 = 01|1 -> 2 : 6 = -2 + 2*4
         let d = booth_digits(&Bits::from_u64(4, 6));
-        let val: i64 = d.iter().enumerate().map(|(k, &x)| (x as i64) << (2 * k)).sum();
+        let val: i64 = d
+            .iter()
+            .enumerate()
+            .map(|(k, &x)| (x as i64) << (2 * k))
+            .sum();
         assert_eq!(val, 6);
     }
 

@@ -134,13 +134,21 @@ mod tests {
     }
 
     fn signed_value(blocks: &[CsNumber]) -> i128 {
-        CsNumber::from_blocks(blocks).resolve_signed_extended().to_i128()
+        CsNumber::from_blocks(blocks)
+            .resolve_signed_extended()
+            .to_i128()
     }
 
     #[test]
     fn classify_fig10_cases() {
-        assert_eq!(classify_block(&block_from_digits(&[0, 0, 0, 0, 0, 0, 0])), BlockKind::AllZero);
-        assert_eq!(classify_block(&block_from_digits(&[1, 1, 1, 1, 1, 1, 1])), BlockKind::AllOne);
+        assert_eq!(
+            classify_block(&block_from_digits(&[0, 0, 0, 0, 0, 0, 0])),
+            BlockKind::AllZero
+        );
+        assert_eq!(
+            classify_block(&block_from_digits(&[1, 1, 1, 1, 1, 1, 1])),
+            BlockKind::AllOne
+        );
         assert_eq!(
             classify_block(&block_from_digits(&[1, 1, 1, 1, 2, 0, 0])),
             BlockKind::RippleZero
@@ -164,25 +172,16 @@ mod tests {
 
     #[test]
     fn all_zero_skip_requires_zero_digit() {
-        let skippable = vec![
-            block_from_digits(&[0, 0, 0]),
-            block_from_digits(&[0, 1, 2]),
-        ];
+        let skippable = vec![block_from_digits(&[0, 0, 0]), block_from_digits(&[0, 1, 2])];
         assert_eq!(leading_skippable_blocks(&skippable, 1), 1);
         assert_eq!(signed_value(&skippable), signed_value(&skippable[1..]));
-        let blocked = vec![
-            block_from_digits(&[0, 0, 0]),
-            block_from_digits(&[1, 0, 0]),
-        ];
+        let blocked = vec![block_from_digits(&[0, 0, 0]), block_from_digits(&[1, 0, 0])];
         assert_eq!(leading_skippable_blocks(&blocked, 1), 0);
     }
 
     #[test]
     fn all_one_skip_requires_one_digit() {
-        let skippable = vec![
-            block_from_digits(&[1, 1, 1]),
-            block_from_digits(&[1, 0, 2]),
-        ];
+        let skippable = vec![block_from_digits(&[1, 1, 1]), block_from_digits(&[1, 0, 2])];
         assert_eq!(leading_skippable_blocks(&skippable, 1), 1);
         assert_eq!(signed_value(&skippable), signed_value(&skippable[1..]));
         for top in [0u8, 2] {

@@ -1,0 +1,297 @@
+//! Structured diagnostics: severity, rule id, span, rendered report.
+//!
+//! Every analysis pass in this crate — and the `Cdfg` validator and text
+//! parser in `csfma-hls` — reports violations as [`Diagnostic`] values
+//! instead of panicking, so tools can filter by rule, assert specific
+//! rules in tests, and render human-readable reports.
+
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not value-corrupting (e.g. a conversion the
+    /// elimination pass should have cancelled).
+    Warning,
+    /// A violated invariant: the datapath, schedule or format would
+    /// compute wrong values or deadlock.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Identity of the violated rule. The short id (`D…`/`S…`/`W…`/`P…`) is
+/// stable and what mutation tests assert on; the kebab-case name is for
+/// humans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// D001: node argument count differs from the operation's arity.
+    ArityMismatch,
+    /// D002: an argument refers to a later (or nonexistent) node — the
+    /// graph is cyclic or dangling.
+    EdgeOrder,
+    /// D003: an edge crosses value domains (IEEE vs carry-save) without
+    /// a conversion.
+    DomainMismatch,
+    /// D004: a format conversion that cancels against its producer or
+    /// duplicates a sibling — the Fig. 12c elimination missed it.
+    RedundantConversion,
+    /// D005: an interior node no output depends on (dead code survived
+    /// `eliminate_dead`).
+    DeadNode,
+    /// D006: the graph computes no output at all.
+    NoSink,
+    /// S001: a node starts before an argument's latency has elapsed.
+    PrematureStart,
+    /// S002: a node never received a start cycle.
+    Unscheduled,
+    /// S003: more operations start in one cycle than the resource class
+    /// has units.
+    ResourceOverflow,
+    /// S004: the schedule's recorded length understates the real
+    /// makespan.
+    LengthUnderstated,
+    /// W001: the addition window lacks the redundant-sign guard
+    /// positions the 3:2 compressors need (DESIGN.md §7.2).
+    GuardHeadroom,
+    /// W002: the explicit-carry spacing does not divide the block width
+    /// (DESIGN.md §7.4).
+    CarrySpacing,
+    /// W003: block-granular normalization cannot guarantee enough
+    /// significant digits for the significand (the 55→58 widening rule).
+    SignificandCoverage,
+    /// W004: no rounding-data block exists below the kept mantissa.
+    RoundingBlock,
+    /// W005: a degenerate carry spacing (every digit explicit) — use the
+    /// full carry-save format instead.
+    DegenerateSpacing,
+    /// P001: the textual datapath source failed to parse.
+    ParseError,
+}
+
+impl Rule {
+    /// Stable short id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::ArityMismatch => "D001",
+            Rule::EdgeOrder => "D002",
+            Rule::DomainMismatch => "D003",
+            Rule::RedundantConversion => "D004",
+            Rule::DeadNode => "D005",
+            Rule::NoSink => "D006",
+            Rule::PrematureStart => "S001",
+            Rule::Unscheduled => "S002",
+            Rule::ResourceOverflow => "S003",
+            Rule::LengthUnderstated => "S004",
+            Rule::GuardHeadroom => "W001",
+            Rule::CarrySpacing => "W002",
+            Rule::SignificandCoverage => "W003",
+            Rule::RoundingBlock => "W004",
+            Rule::DegenerateSpacing => "W005",
+            Rule::ParseError => "P001",
+        }
+    }
+
+    /// Human-readable kebab-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::ArityMismatch => "arity-mismatch",
+            Rule::EdgeOrder => "edge-order",
+            Rule::DomainMismatch => "domain-mismatch",
+            Rule::RedundantConversion => "redundant-conversion",
+            Rule::DeadNode => "dead-node",
+            Rule::NoSink => "no-sink",
+            Rule::PrematureStart => "premature-start",
+            Rule::Unscheduled => "unscheduled",
+            Rule::ResourceOverflow => "resource-overflow",
+            Rule::LengthUnderstated => "length-understated",
+            Rule::GuardHeadroom => "guard-headroom",
+            Rule::CarrySpacing => "carry-spacing",
+            Rule::SignificandCoverage => "significand-coverage",
+            Rule::RoundingBlock => "rounding-block",
+            Rule::DegenerateSpacing => "degenerate-spacing",
+            Rule::ParseError => "parse-error",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.id(), self.name())
+    }
+}
+
+/// Where in the artifact the finding points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Span {
+    /// A single graph node.
+    Node(usize),
+    /// The edge from `user`'s argument slot `arg` to its producer.
+    Edge {
+        /// Consuming node.
+        user: usize,
+        /// Argument position within the consumer.
+        arg: usize,
+    },
+    /// One schedule cycle (for capacity findings).
+    Cycle(u32),
+    /// A position in textual source.
+    Source {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+    /// A named unit format.
+    Format(String),
+    /// The whole artifact.
+    Global,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Node(id) => write!(f, "node {id}"),
+            Span::Edge { user, arg } => write!(f, "node {user}, arg {arg}"),
+            Span::Cycle(c) => write!(f, "cycle {c}"),
+            Span::Source { line, col } => write!(f, "{line}:{col}"),
+            Span::Format(name) => write!(f, "format {name:?}"),
+            Span::Global => write!(f, "graph"),
+        }
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Which invariant.
+    pub rule: Rule,
+    /// Where.
+    pub span: Span,
+    /// Specifics: the concrete nodes, cycles, widths involved.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity finding.
+    pub fn error(rule: Rule, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            rule,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(rule: Rule, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            rule,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {} ({})",
+            self.severity,
+            self.rule.id(),
+            self.rule.name(),
+            self.message,
+            self.span
+        )
+    }
+}
+
+/// True if any finding is error severity.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Render findings as a line-per-finding report with a summary footer.
+pub fn render_report(diags: &[Diagnostic]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let _ = writeln!(out, "{errors} error(s), {warnings} warning(s)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_contains_rule_and_span() {
+        let d = Diagnostic::error(
+            Rule::DomainMismatch,
+            Span::Edge { user: 7, arg: 1 },
+            "Add consumes a CS value",
+        );
+        let s = d.to_string();
+        assert!(s.contains("D003"), "{s}");
+        assert!(s.contains("domain-mismatch"), "{s}");
+        assert!(s.contains("node 7, arg 1"), "{s}");
+        assert!(s.starts_with("error"), "{s}");
+    }
+
+    #[test]
+    fn report_counts_severities() {
+        let diags = vec![
+            Diagnostic::error(Rule::PrematureStart, Span::Node(3), "x"),
+            Diagnostic::warning(Rule::DeadNode, Span::Node(4), "y"),
+            Diagnostic::warning(Rule::RedundantConversion, Span::Node(5), "z"),
+        ];
+        assert!(has_errors(&diags));
+        let rep = render_report(&diags);
+        assert!(rep.contains("1 error(s), 2 warning(s)"), "{rep}");
+        assert_eq!(rep.lines().count(), 4);
+    }
+
+    #[test]
+    fn rule_ids_are_unique() {
+        let all = [
+            Rule::ArityMismatch,
+            Rule::EdgeOrder,
+            Rule::DomainMismatch,
+            Rule::RedundantConversion,
+            Rule::DeadNode,
+            Rule::NoSink,
+            Rule::PrematureStart,
+            Rule::Unscheduled,
+            Rule::ResourceOverflow,
+            Rule::LengthUnderstated,
+            Rule::GuardHeadroom,
+            Rule::CarrySpacing,
+            Rule::SignificandCoverage,
+            Rule::RoundingBlock,
+            Rule::DegenerateSpacing,
+            Rule::ParseError,
+        ];
+        let mut ids: Vec<_> = all.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Pass 2: schedule hazard detection.
+//!
+//! Given a [`Graph`] (which carries each node's latency and resource
+//! class) and a [`ScheduleView`], reports:
+//!
+//! * **S002 unscheduled** — a node with no start cycle, or a schedule
+//!   whose start vector doesn't cover the graph;
+//! * **S001 premature-start** — a node starting before one of its
+//!   arguments' results is available (`start[arg] + latency(arg) >
+//!   start[node]`; a zero-latency producer may feed a consumer in the
+//!   same cycle, matching the chaining rule the ASAP scheduler uses);
+//! * **S003 resource-overflow** — more operations of one resource class
+//!   starting in a single cycle than the class has units;
+//! * **S004 length-understated** — the schedule's recorded length is
+//!   smaller than the true makespan `max(start + latency)`.
+
+use std::collections::HashMap;
+
+use crate::diag::{Diagnostic, Rule, Span};
+use crate::graph::{Graph, ScheduleView};
+
+/// Run the hazard pass. `caps` lists per-cycle start capacities by
+/// resource class tag; classes not listed (and the `"free"` tag) are
+/// unconstrained.
+pub fn check_schedule(g: &Graph, s: &ScheduleView, caps: &[(&str, usize)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    if s.start.len() != g.nodes.len() {
+        diags.push(Diagnostic::error(
+            Rule::Unscheduled,
+            Span::Global,
+            format!(
+                "schedule covers {} node(s) but the graph has {}",
+                s.start.len(),
+                g.nodes.len()
+            ),
+        ));
+        return diags;
+    }
+
+    for (id, node) in g.nodes.iter().enumerate() {
+        let Some(start) = s.start[id] else {
+            diags.push(Diagnostic::error(
+                Rule::Unscheduled,
+                Span::Node(id),
+                format!("{} has no start cycle", node.label),
+            ));
+            continue;
+        };
+        for (slot, &arg) in node.args.iter().enumerate() {
+            if arg >= id {
+                continue; // malformed edge; the dataflow pass owns it
+            }
+            let Some(arg_start) = s.start[arg] else {
+                continue;
+            };
+            let ready = arg_start + g.nodes[arg].latency;
+            if start < ready {
+                diags.push(Diagnostic::error(
+                    Rule::PrematureStart,
+                    Span::Node(id),
+                    format!(
+                        "{} starts at cycle {start} but argument {slot} \
+                         (node {arg}, {}) is not ready before cycle {ready}",
+                        node.label, g.nodes[arg].label
+                    ),
+                ));
+            }
+        }
+    }
+
+    check_capacities(g, s, caps, &mut diags);
+
+    let makespan = g
+        .nodes
+        .iter()
+        .zip(&s.start)
+        .filter_map(|(n, st)| st.map(|st| st + n.latency))
+        .max()
+        .unwrap_or(0);
+    if makespan > s.length {
+        diags.push(Diagnostic::warning(
+            Rule::LengthUnderstated,
+            Span::Global,
+            format!(
+                "schedule claims {} cycle(s) but the makespan is {makespan}",
+                s.length
+            ),
+        ));
+    }
+
+    diags
+}
+
+/// S003: count starts per (cycle, resource class) against `caps`.
+fn check_capacities(
+    g: &Graph,
+    s: &ScheduleView,
+    caps: &[(&str, usize)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut usage: HashMap<(u32, &str), usize> = HashMap::new();
+    for (node, st) in g.nodes.iter().zip(&s.start) {
+        if let Some(cycle) = st {
+            if node.resource != "free" {
+                *usage.entry((*cycle, node.resource)).or_default() += 1;
+            }
+        }
+    }
+    let mut over: Vec<(u32, &str, usize, usize)> = usage
+        .into_iter()
+        .filter_map(|((cycle, res), used)| {
+            let limit = caps.iter().find(|(tag, _)| *tag == res)?.1;
+            (used > limit).then_some((cycle, res, used, limit))
+        })
+        .collect();
+    over.sort_unstable();
+    for (cycle, res, used, limit) in over {
+        diags.push(Diagnostic::error(
+            Rule::ResourceOverflow,
+            Span::Cycle(cycle),
+            format!("{used} {res} operation(s) start in one cycle but only {limit} unit(s) exist"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Domain, Node, Role};
+
+    /// a, b inputs; m = a*b (lat 5, "mul"); s = m+a (lat 4, "add"); out.
+    fn chain() -> Graph {
+        let mut g = Graph::new();
+        let a = g.push(Node::new("Input", Domain::Ieee).with_role(Role::Source));
+        let b = g.push(Node::new("Input", Domain::Ieee).with_role(Role::Source));
+        let m = g.push(
+            Node::new("Mul", Domain::Ieee)
+                .with_args(vec![a, b], vec![Domain::Ieee, Domain::Ieee])
+                .with_latency(5)
+                .with_resource("mul"),
+        );
+        let s = g.push(
+            Node::new("Add", Domain::Ieee)
+                .with_args(vec![m, a], vec![Domain::Ieee, Domain::Ieee])
+                .with_latency(4)
+                .with_resource("add"),
+        );
+        g.push(
+            Node::new("Output", Domain::Ieee)
+                .with_args(vec![s], vec![Domain::Ieee])
+                .with_role(Role::Sink),
+        );
+        g
+    }
+
+    #[test]
+    fn valid_asap_schedule_is_clean() {
+        let g = chain();
+        let s = ScheduleView {
+            start: vec![Some(0), Some(0), Some(0), Some(5), Some(9)],
+            length: 9,
+        };
+        assert!(check_schedule(&g, &s, &[("mul", 1), ("add", 1)]).is_empty());
+    }
+
+    #[test]
+    fn early_start_is_s001() {
+        let g = chain();
+        // Add fires at cycle 3; the multiplier finishes at 5.
+        let s = ScheduleView {
+            start: vec![Some(0), Some(0), Some(0), Some(3), Some(7)],
+            length: 7,
+        };
+        let diags = check_schedule(&g, &s, &[]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::PrematureStart && d.span == Span::Node(3)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_start_is_s002() {
+        let g = chain();
+        let s = ScheduleView {
+            start: vec![Some(0), Some(0), None, Some(5), Some(9)],
+            length: 9,
+        };
+        let diags = check_schedule(&g, &s, &[]);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::Unscheduled),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_is_s003() {
+        let mut g = Graph::new();
+        let a = g.push(Node::new("Input", Domain::Ieee).with_role(Role::Source));
+        let mut prods = Vec::new();
+        for _ in 0..3 {
+            prods.push(
+                g.push(
+                    Node::new("Mul", Domain::Ieee)
+                        .with_args(vec![a, a], vec![Domain::Ieee, Domain::Ieee])
+                        .with_latency(5)
+                        .with_resource("mul"),
+                ),
+            );
+        }
+        g.push(
+            Node::new("Output", Domain::Ieee)
+                .with_args(vec![prods[0]], vec![Domain::Ieee])
+                .with_role(Role::Sink),
+        );
+        let s = ScheduleView {
+            start: vec![Some(0), Some(0), Some(0), Some(0), Some(5)],
+            length: 5,
+        };
+        let diags = check_schedule(&g, &s, &[("mul", 2)]);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.rule == Rule::ResourceOverflow && d.span == Span::Cycle(0))
+                .count(),
+            1,
+            "{diags:?}"
+        );
+        // With enough units the same schedule is clean.
+        assert!(check_schedule(&g, &s, &[("mul", 3)]).is_empty());
+    }
+
+    #[test]
+    fn understated_length_is_s004() {
+        let g = chain();
+        let s = ScheduleView {
+            start: vec![Some(0), Some(0), Some(0), Some(5), Some(9)],
+            length: 8,
+        };
+        let diags = check_schedule(&g, &s, &[]);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::LengthUnderstated),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn zero_latency_chaining_in_same_cycle_is_legal() {
+        let mut g = Graph::new();
+        let a = g.push(Node::new("Input", Domain::Ieee).with_role(Role::Source));
+        g.push(
+            Node::new("Output", Domain::Ieee)
+                .with_args(vec![a], vec![Domain::Ieee])
+                .with_role(Role::Sink),
+        );
+        let s = ScheduleView {
+            start: vec![Some(0), Some(0)],
+            length: 0,
+        };
+        assert!(check_schedule(&g, &s, &[]).is_empty());
+    }
+}

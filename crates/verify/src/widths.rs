@@ -1,0 +1,341 @@
+//! Pass 3: width / guard-bit interval analysis of [`CsFmaFormat`]s.
+//!
+//! The two silent-corruption bug classes recorded in DESIGN.md §7 were
+//! both *geometry* bugs — decidable from the format parameters alone,
+//! long before any value flows through the unit:
+//!
+//! * §7.2: the CSA tree loses the signed two-word sum unless every
+//!   compressor level keeps a redundant sign bit above the operands
+//!   (first observed as a wrong digit at the `2^163` product boundary);
+//! * §7.4: a carry spacing that does not divide the block width puts
+//!   explicit carry positions at different offsets in different blocks,
+//!   breaking block-granular alignment (first observed as a `2^29`-scale
+//!   error).
+//!
+//! This pass turns those — plus the 55→58 block-widening rule the paper
+//! derives for early leading-zero anticipation — into lint rules:
+//!
+//! * **W001 guard-headroom** — the addition window must extend at least
+//!   [`COMPRESSOR_HEADROOM_BITS`] positions above the product's top
+//!   digit, and at least 2 positions above a maximally left-shifted
+//!   addend (`max_shift = window - mantissa - 2` is how the unit model
+//!   derives its alignment clamp, so the window must be at least
+//!   `mantissa + 2` wide to begin with);
+//! * **W002 carry-spacing** — an explicit-carry spacing must be ≥ 1 and
+//!   divide the block width so carries sit at the same offsets in every
+//!   block (Sec. III-E: "equally distributed in every mantissa block");
+//! * **W003 significand-coverage** — block-granular normalization keeps
+//!   `mant_blocks` whole blocks; in the worst case the leading non-zero
+//!   digit is the *bottom* digit of the top kept block, so only
+//!   `(mant_blocks − 1) · block_bits + 1` digits are guaranteed
+//!   significant — and an early-LZA normalizer may additionally skip up
+//!   to 3 digits short. What remains must cover the `B` significand
+//!   plus a sign and a guard digit. For 55-bit blocks with LZA this
+//!   yields `53 < 55`: exactly why the paper widens PCS blocks to 58;
+//! * **W004 rounding-block** — at least one block of rounding data must
+//!   exist below the kept mantissa, or round-to-nearest decisions in
+//!   the next unit have nothing to inspect;
+//! * **W005 degenerate-spacing** (warning) — spacing 1 makes every
+//!   position an explicit carry; that *is* full carry-save, so the
+//!   format should say `carry_spacing: None`.
+
+use csfma_carrysave::COMPRESSOR_HEADROOM_BITS;
+use csfma_core::{CsFmaFormat, Normalizer};
+
+use crate::diag::{Diagnostic, Rule, Span};
+
+/// Worst-case shortfall of the early leading-zero anticipator, in
+/// digits (Sec. III-G: "the anticipated position may be off by up to 3
+/// bits"). The ZD normalizer is exact.
+pub const LZA_SLACK_BITS: usize = 3;
+
+/// Digits of result significance block-granular normalization must
+/// guarantee beyond the `B` significand: one redundant sign digit and
+/// one guard digit.
+pub const COVERAGE_MARGIN_BITS: usize = 2;
+
+/// The derived alignment-window intervals of a format — the numbers the
+/// W-rules compare. Exposed so the CLI can print *why* a rule fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowPlan {
+    /// Total window width in digits.
+    pub window_bits: usize,
+    /// Digit offset of the product's LSB inside the window
+    /// (`right_blocks * block_bits`).
+    pub product_offset: usize,
+    /// One past the product's top digit (`product_offset + product_bits`).
+    pub product_top: usize,
+    /// Free digits above the product (`window_bits - product_top`) — must
+    /// cover [`COMPRESSOR_HEADROOM_BITS`].
+    pub left_headroom: usize,
+    /// The unit model's clamp on addend left-alignment:
+    /// `window_bits - mant_bits - 2` (may be negative for degenerate
+    /// formats, hence signed).
+    pub max_shift: i64,
+    /// Digits guaranteed significant after block-granular normalization,
+    /// net of anticipation slack.
+    pub guaranteed_digits: i64,
+    /// Digits the result actually needs (`b_sig_bits` +
+    /// [`COVERAGE_MARGIN_BITS`]).
+    pub required_digits: usize,
+}
+
+/// Compute the interval model of `f`. Mirrors the geometry the unit
+/// model (`csfma-core::unit`) and multiplier actually use, so a clean
+/// plan here means the runtime datapath has the headroom it assumes.
+pub fn window_plan(f: &CsFmaFormat) -> WindowPlan {
+    let window_bits = f.window_bits();
+    let product_offset = f.right_blocks * f.block_bits;
+    let product_top = product_offset + f.product_bits();
+    let left_headroom = window_bits.saturating_sub(product_top);
+    let max_shift = window_bits as i64 - f.mant_bits() as i64 - 2;
+    let slack = match f.normalizer {
+        Normalizer::ZeroDetect => 0,
+        Normalizer::EarlyLza => LZA_SLACK_BITS,
+    };
+    let guaranteed_digits =
+        ((f.mant_blocks.saturating_sub(1) * f.block_bits) as i64 + 1) - slack as i64;
+    WindowPlan {
+        window_bits,
+        product_offset,
+        product_top,
+        left_headroom,
+        max_shift,
+        guaranteed_digits,
+        required_digits: f.b_sig_bits + COVERAGE_MARGIN_BITS,
+    }
+}
+
+/// Run the width/guard-bit pass over one format.
+pub fn check_format(f: &CsFmaFormat) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let span = || Span::Format(f.name.to_string());
+
+    if f.block_bits == 0 || f.mant_blocks == 0 {
+        diags.push(Diagnostic::error(
+            Rule::SignificandCoverage,
+            span(),
+            format!(
+                "degenerate geometry: {} block(s) of {} digit(s)",
+                f.mant_blocks, f.block_bits
+            ),
+        ));
+        return diags;
+    }
+
+    let plan = window_plan(f);
+
+    // W001 — compressor/alignment guard headroom (DESIGN.md §7.2).
+    if plan.window_bits < plan.product_top + COMPRESSOR_HEADROOM_BITS {
+        diags.push(Diagnostic::error(
+            Rule::GuardHeadroom,
+            span(),
+            format!(
+                "window ({} digits) leaves {} digit(s) above the product top \
+                 (offset {} + {} product digits); the compressor tree needs {} \
+                 for the redundant sign and carry-out",
+                plan.window_bits,
+                plan.left_headroom,
+                plan.product_offset,
+                f.product_bits(),
+                COMPRESSOR_HEADROOM_BITS
+            ),
+        ));
+    }
+    if plan.max_shift < 0 {
+        diags.push(Diagnostic::error(
+            Rule::GuardHeadroom,
+            span(),
+            format!(
+                "window ({} digits) is narrower than mantissa + 2 guard \
+                 positions ({} digits); no legal addend alignment exists",
+                plan.window_bits,
+                f.mant_bits() + 2
+            ),
+        ));
+    }
+
+    // W002 / W005 — explicit-carry spacing (DESIGN.md §7.4).
+    match f.carry_spacing {
+        Some(0) => diags.push(Diagnostic::error(
+            Rule::CarrySpacing,
+            span(),
+            "carry spacing 0 is meaningless (division by zero in the \
+             transport layout)",
+        )),
+        Some(1) => diags.push(Diagnostic::warning(
+            Rule::DegenerateSpacing,
+            span(),
+            "carry spacing 1 marks every digit as an explicit carry; that is \
+             full carry-save — use carry_spacing: None",
+        )),
+        Some(k) if !f.block_bits.is_multiple_of(k) => diags.push(Diagnostic::error(
+            Rule::CarrySpacing,
+            span(),
+            format!(
+                "carry spacing {k} does not divide the {} digit block width; \
+                 explicit carries would sit at different offsets in different \
+                 blocks and block-granular alignment corrupts them",
+                f.block_bits
+            ),
+        )),
+        _ => {}
+    }
+
+    // W003 — significand coverage after block-granular normalization.
+    if plan.guaranteed_digits < plan.required_digits as i64 {
+        let slack_note = match f.normalizer {
+            Normalizer::ZeroDetect => String::new(),
+            Normalizer::EarlyLza => {
+                format!(" minus {LZA_SLACK_BITS} digits of LZA slack")
+            }
+        };
+        diags.push(Diagnostic::error(
+            Rule::SignificandCoverage,
+            span(),
+            format!(
+                "normalization keeps {} block(s) of {} digits, guaranteeing \
+                 only {} significant digit(s) (worst-case leading digit at the \
+                 bottom of the top block{slack_note}) but the result needs \
+                 {} ({} significand + {} margin); widen the blocks",
+                f.mant_blocks,
+                f.block_bits,
+                plan.guaranteed_digits,
+                plan.required_digits,
+                f.b_sig_bits,
+                COVERAGE_MARGIN_BITS
+            ),
+        ));
+    }
+
+    // W004 — rounding data must exist below the mantissa.
+    if f.right_blocks == 0 {
+        diags.push(Diagnostic::error(
+            Rule::RoundingBlock,
+            span(),
+            "no alignment block below the product: the block under the kept \
+             mantissa carries the rounding data the next unit's correction \
+             row consumes",
+        ));
+    }
+
+    diags
+}
+
+/// Check every standard format shipped by `csfma-core`. All five must be
+/// clean; this is the CI anchor for the W-rules.
+pub fn check_standard_formats() -> Vec<Diagnostic> {
+    [
+        CsFmaFormat::PCS_55_ZD,
+        CsFmaFormat::PCS_58_LZA,
+        CsFmaFormat::FCS_29_LZA,
+        CsFmaFormat::PCS_27_SP,
+        CsFmaFormat::FCS_15_SP,
+    ]
+    .iter()
+    .flat_map(check_format)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_formats_are_clean() {
+        let diags = check_standard_formats();
+        assert!(diags.is_empty(), "{}", crate::diag::render_report(&diags));
+    }
+
+    #[test]
+    fn pcs_55_window_plan_matches_paper() {
+        let plan = window_plan(&CsFmaFormat::PCS_55_ZD);
+        assert_eq!(plan.window_bits, 385);
+        assert_eq!(plan.product_offset, 110);
+        assert_eq!(plan.product_top, 273);
+        assert_eq!(plan.left_headroom, 112);
+        assert_eq!(plan.max_shift, 385 - 110 - 2);
+        assert_eq!(plan.guaranteed_digits, 56);
+        assert_eq!(plan.required_digits, 55);
+    }
+
+    #[test]
+    fn missing_headroom_is_w001() {
+        // Window exactly one digit above the product top: the compressor
+        // tree's redundant sign bit has nowhere to live. Coverage and
+        // spacing are kept legal so W001 fires alone.
+        let f = CsFmaFormat {
+            name: "test-no-headroom",
+            block_bits: 28,
+            mant_blocks: 2,
+            left_blocks: 0,
+            right_blocks: 1,
+            carry_spacing: Some(14),
+            normalizer: Normalizer::ZeroDetect,
+            b_sig_bits: 27,
+        };
+        let diags = check_format(&f);
+        assert_eq!(diags.len(), 1, "{}", crate::diag::render_report(&diags));
+        assert_eq!(diags[0].rule, Rule::GuardHeadroom);
+    }
+
+    #[test]
+    fn non_dividing_spacing_is_w002() {
+        let f = CsFmaFormat {
+            carry_spacing: Some(10),
+            ..CsFmaFormat::PCS_55_ZD
+        };
+        let diags = check_format(&f);
+        assert_eq!(diags.len(), 1, "{}", crate::diag::render_report(&diags));
+        assert_eq!(diags[0].rule, Rule::CarrySpacing);
+        // …and the legal spacings for 55-digit blocks pass.
+        for k in [5, 11, 55] {
+            let ok = CsFmaFormat {
+                carry_spacing: Some(k),
+                ..CsFmaFormat::PCS_55_ZD
+            };
+            assert!(check_format(&ok).is_empty(), "spacing {k}");
+        }
+    }
+
+    #[test]
+    fn lza_on_55_bit_blocks_is_w003() {
+        // The static derivation of the paper's 55 → 58 widening: strapping
+        // an early LZA onto the 55-bit-block format guarantees only
+        // 56 − 3 = 53 digits, short of the 53 + 2 the result needs.
+        let f = CsFmaFormat {
+            normalizer: Normalizer::EarlyLza,
+            ..CsFmaFormat::PCS_55_ZD
+        };
+        let diags = check_format(&f);
+        assert_eq!(diags.len(), 1, "{}", crate::diag::render_report(&diags));
+        assert_eq!(diags[0].rule, Rule::SignificandCoverage);
+        // 58-bit blocks absorb the slack (the shipped PCS_58_LZA).
+        assert!(check_format(&CsFmaFormat::PCS_58_LZA).is_empty());
+    }
+
+    #[test]
+    fn missing_rounding_block_is_w004() {
+        let f = CsFmaFormat {
+            right_blocks: 0,
+            // keep a huge left so W001 stays quiet
+            left_blocks: 5,
+            ..CsFmaFormat::PCS_55_ZD
+        };
+        let diags = check_format(&f);
+        assert_eq!(diags.len(), 1, "{}", crate::diag::render_report(&diags));
+        assert_eq!(diags[0].rule, Rule::RoundingBlock);
+    }
+
+    #[test]
+    fn spacing_one_is_w005_warning() {
+        let f = CsFmaFormat {
+            carry_spacing: Some(1),
+            ..CsFmaFormat::PCS_55_ZD
+        };
+        let diags = check_format(&f);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::DegenerateSpacing);
+        assert!(!crate::diag::has_errors(&diags));
+    }
+}

@@ -22,10 +22,17 @@ out x3 = h*i + k*x2;
 fn main() {
     let g = parse_program(LISTING_1).expect("parse");
     let t = OpTiming::default();
-    println!("parsed {} nodes; dataflow schedule {} cycles", g.len(), asap_schedule(&g, &t).length);
+    println!(
+        "parsed {} nodes; dataflow schedule {} cycles",
+        g.len(),
+        asap_schedule(&g, &t).length
+    );
 
     let mut inputs: HashMap<String, f64> = HashMap::new();
-    for (i, name) in ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"].iter().enumerate() {
+    for (i, name) in ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"]
+        .iter()
+        .enumerate()
+    {
         inputs.insert(name.to_string(), 0.3 + 0.17 * i as f64);
     }
     let reference = eval_f64(&g, &inputs)["x3"];

@@ -11,7 +11,7 @@
 //! cargo run --example fir_filter
 //! ```
 
-use csfma::core::{CsDotUnit, CsFmaFormat, CsFmaUnit, CsOperand, ulp_error_vs_exact};
+use csfma::core::{ulp_error_vs_exact, CsDotUnit, CsFmaFormat, CsFmaUnit, CsOperand};
 use csfma::softfloat::{ExactFloat, FpFormat, Round, SoftFloat};
 
 const TAPS: [f64; 16] = [
@@ -33,11 +33,15 @@ fn main() {
         state ^= state << 17;
         (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
     };
-    let signal: Vec<f64> =
-        (0..64).map(|i| (i as f64 * 0.21).sin() + 0.3 * noise()).collect();
+    let signal: Vec<f64> = (0..64)
+        .map(|i| (i as f64 * 0.21).sin() + 0.3 * noise())
+        .collect();
 
     println!("16-tap FIR over 48 output samples (errors vs exact, in 64b ULPs):");
-    println!("{:>8} {:>14} {:>14} {:>14}", "sample", "discrete f64", "FMA chain", "fused dot");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "sample", "discrete f64", "FMA chain", "fused dot"
+    );
 
     let mut worst = [0.0f64; 3];
     for n in 16..signal.len() {
@@ -83,8 +87,10 @@ fn main() {
         // fused paths are strictly more accurate)
         let _ = fused.to_ieee(FpFormat::BINARY64, Round::NearestEven);
     }
-    println!("\nworst-case error: discrete {:.3} ulp | FMA chain {:.6} ulp | fused dot {:.6} ulp",
-        worst[0], worst[1], worst[2]);
+    println!(
+        "\nworst-case error: discrete {:.3} ulp | FMA chain {:.6} ulp | fused dot {:.6} ulp",
+        worst[0], worst[1], worst[2]
+    );
     println!("(the CS paths carry unrounded 87-digit mantissas; the discrete chain");
     println!(" rounds 32 times per sample)");
 }

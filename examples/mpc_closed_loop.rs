@@ -11,7 +11,13 @@ use csfma::solvers::{run_closed_loop, solver_suite, MpcConfig};
 
 fn main() {
     let base = &solver_suite()[2]; // T = 12 planning horizon
-    let cfg = MpcConfig { periods: 20, u_max: 3.0, v_max: 14.0, max_ipm_iters: 60, warm_start: true };
+    let cfg = MpcConfig {
+        periods: 20,
+        u_max: 3.0,
+        v_max: 14.0,
+        max_ipm_iters: 60,
+        warm_start: true,
+    };
     let run = run_closed_loop(base, &cfg);
 
     println!(

@@ -27,7 +27,11 @@ fn main() {
     // format between the chained units (Sec. III-C).
     let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
     let a = CsOperand::from_ieee(&sf(0.1), fmt);
-    let terms = [(3.7, 0.21), (-1.9, 1.41421356237), (0.333333333333, -2.5)];
+    let terms = [
+        (3.7, 0.21),
+        (-1.9, std::f64::consts::SQRT_2),
+        (0.333333333333, -2.5),
+    ];
 
     let mut acc = a;
     for (b, c) in terms {

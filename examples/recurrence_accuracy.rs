@@ -7,8 +7,8 @@
 //! ```
 
 use csfma::core::{
-    run_recurrence_exact, run_recurrence_softfloat, ChainEvaluator, CsFmaFormat, CsFmaUnit,
-    ulp_error_vs_exact,
+    run_recurrence_exact, run_recurrence_softfloat, ulp_error_vs_exact, ChainEvaluator,
+    CsFmaFormat, CsFmaUnit,
 };
 use csfma::softfloat::{FpFormat, Round, SoftFloat};
 
@@ -19,9 +19,16 @@ fn main() {
 
     let exact = run_recurrence_exact(b1, b2, seeds, steps);
     println!("x[50] exact = {:.17e}", exact.to_f64_lossy());
-    println!("\n{:<28} {:>14} {:>16}", "implementation", "x[50]", "error [64b ulp]");
+    println!(
+        "\n{:<28} {:>14} {:>16}",
+        "implementation", "x[50]", "error [64b ulp]"
+    );
 
-    for (name, fmt) in [("binary64 (discrete)", FpFormat::BINARY64), ("68-bit wide", FpFormat::B68), ("75-bit golden", FpFormat::B75)] {
+    for (name, fmt) in [
+        ("binary64 (discrete)", FpFormat::BINARY64),
+        ("68-bit wide", FpFormat::B68),
+        ("75-bit golden", FpFormat::B75),
+    ] {
         let r = run_recurrence_softfloat(fmt, Round::NearestEven, b1, b2, seeds, steps);
         println!(
             "{:<28} {:>14.8} {:>16.6}",
@@ -32,9 +39,18 @@ fn main() {
     }
 
     let sf = |v: f64| SoftFloat::from_f64(FpFormat::BINARY64, v);
-    for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
+    for fmt in [
+        CsFmaFormat::PCS_55_ZD,
+        CsFmaFormat::PCS_58_LZA,
+        CsFmaFormat::FCS_29_LZA,
+    ] {
         let chain = ChainEvaluator::new(CsFmaUnit::new(fmt));
-        let r = chain.run_recurrence(&sf(b1), &sf(b2), [&sf(seeds[0]), &sf(seeds[1]), &sf(seeds[2])], steps);
+        let r = chain.run_recurrence(
+            &sf(b1),
+            &sf(b2),
+            [&sf(seeds[0]), &sf(seeds[1]), &sf(seeds[2])],
+            steps,
+        );
         println!(
             "{:<28} {:>14.8} {:>16.6}",
             fmt.name,

@@ -34,7 +34,10 @@ fn main() {
     println!("\nEnergy per multiply-add (switching-activity model, 600-op steady state):");
     let co = EnergyCoefficients::default();
     let rows = [
-        ("Xilinx (Mul+Add)", measure_discrete(DiscreteKind::CoreGen, 600, 42)),
+        (
+            "Xilinx (Mul+Add)",
+            measure_discrete(DiscreteKind::CoreGen, 600, 42),
+        ),
         ("FloPoCo", measure_discrete(DiscreteKind::FloPoCo, 600, 42)),
         ("PCS-FMA", measure_cs_unit(CsFmaFormat::PCS_55_ZD, 600, 42)),
         ("FCS-FMA", measure_cs_unit(CsFmaFormat::FCS_29_LZA, 600, 42)),

@@ -1,0 +1,179 @@
+//! `csfma-lint` — static checker CLI for textual datapaths.
+//!
+//! Parses straight-line datapath programs (the `csfma-hls` expression
+//! language), runs the `csfma-verify` passes, and renders a diagnostic
+//! report. Exit status 1 when any error-severity finding exists, so the
+//! tool slots into CI.
+//!
+//! ```text
+//! usage: csfma-lint [options] [FILE...]
+//!
+//!   FILE          program file(s) to lint; '-' or none reads stdin
+//!   --fuse KIND   run the Fig. 12 fusion pass (pcs|fcs) and lint the result
+//!   --mul N       declare N multiplier units (N >= 1) for the hazard check
+//!   --add N       declare N adder units
+//!   --div N       declare N divider units
+//!   --fma N       declare N carry-save FMA units
+//!   --formats     also lint the standard carry-save FMA formats
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use csfma_hls::{
+    asap_schedule, fuse_critical_paths, list_schedule, parse_program, FmaKind, FusionConfig,
+    OpTiming, ResourceLimits,
+};
+use csfma_verify::{check_standard_formats, has_errors, render_report, Diagnostic};
+
+struct Options {
+    files: Vec<String>,
+    fuse: Option<FmaKind>,
+    limits: ResourceLimits,
+    formats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csfma-lint [--fuse pcs|fcs] [--mul N] [--add N] [--div N] \
+         [--fma N] [--formats] [FILE...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        files: Vec::new(),
+        fuse: None,
+        limits: ResourceLimits::default(),
+        formats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let count_for = |slot: &mut Option<usize>, args: &mut dyn Iterator<Item = String>| {
+            // 0 units of a demanded resource makes every schedule
+            // infeasible — reject it here instead of diverging later
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => *slot = Some(n),
+                _ => {
+                    eprintln!("csfma-lint: resource counts must be >= 1");
+                    usage()
+                }
+            }
+        };
+        match arg.as_str() {
+            "--fuse" => {
+                opts.fuse = match args.next().as_deref() {
+                    Some("pcs") => Some(FmaKind::Pcs),
+                    Some("fcs") => Some(FmaKind::Fcs),
+                    _ => usage(),
+                }
+            }
+            "--mul" => count_for(&mut opts.limits.mul, &mut args),
+            "--add" => count_for(&mut opts.limits.add, &mut args),
+            "--div" => count_for(&mut opts.limits.div, &mut args),
+            "--fma" => count_for(&mut opts.limits.fma, &mut args),
+            "--formats" => opts.formats = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with("--") => usage(),
+            _ => opts.files.push(arg),
+        }
+    }
+    opts
+}
+
+/// Lint one source: parse, optionally fuse, run the dataflow and schedule
+/// passes. Returns all findings.
+fn lint_source(src: &str, opts: &Options) -> Vec<Diagnostic> {
+    let t = OpTiming::default();
+    let g = match parse_program(src) {
+        Ok(g) => g,
+        Err(e) => return vec![e.to_diagnostic()],
+    };
+    let g = match opts.fuse {
+        Some(kind) => fuse_critical_paths(&g, &FusionConfig::new(kind)).fused,
+        None => g,
+    };
+    let mut diags = csfma_hls::lint_dataflow(&g, &t);
+    let limited = [
+        opts.limits.mul,
+        opts.limits.add,
+        opts.limits.div,
+        opts.limits.fma,
+    ]
+    .iter()
+    .any(Option::is_some);
+    // under declared resource limits, lint the list schedule those limits
+    // produce; otherwise lint the unconstrained dataflow schedule
+    let s = if limited {
+        list_schedule(&g, &t, &opts.limits)
+    } else {
+        asap_schedule(&g, &t)
+    };
+    diags.extend(csfma_hls::lint_schedule(&g, &t, &s, &opts.limits));
+    diags
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut failed = false;
+
+    // `--formats` alone checks only the format descriptions; reading
+    // stdin too would hang an interactive `csfma-lint --formats`. Pass
+    // '-' explicitly to lint a piped program as well.
+    let sources: Vec<(String, String)> = if opts.files.is_empty() && opts.formats {
+        Vec::new()
+    } else if opts.files.is_empty() {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("csfma-lint: cannot read stdin");
+            return ExitCode::from(2);
+        }
+        vec![("<stdin>".to_string(), buf)]
+    } else {
+        opts.files
+            .iter()
+            .map(|f| {
+                if f == "-" {
+                    let mut buf = String::new();
+                    let _ = std::io::stdin().read_to_string(&mut buf);
+                    ("<stdin>".to_string(), buf)
+                } else {
+                    match std::fs::read_to_string(f) {
+                        Ok(s) => (f.clone(), s),
+                        Err(e) => {
+                            eprintln!("csfma-lint: {f}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            })
+            .collect()
+    };
+
+    for (name, src) in &sources {
+        let diags = lint_source(src, &opts);
+        if diags.is_empty() {
+            println!("{name}: clean");
+        } else {
+            print!("{name}:\n{}", render_report(&diags));
+            failed |= has_errors(&diags);
+        }
+    }
+
+    if opts.formats {
+        let diags = check_standard_formats();
+        if diags.is_empty() {
+            println!("standard formats: clean");
+        } else {
+            print!("standard formats:\n{}", render_report(&diags));
+            failed |= has_errors(&diags);
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -34,7 +34,7 @@ pub mod prelude {
         ChainEvaluator, ClassicFma, CsDotUnit, CsFmaFormat, CsFmaUnit, CsOperand, PipelinedFma,
     };
     pub use csfma_hls::{
-        fuse_critical_paths, parse_program, asap_schedule, FmaKind, FusionConfig, OpTiming,
+        asap_schedule, fuse_critical_paths, parse_program, FmaKind, FusionConfig, OpTiming,
     };
     pub use csfma_softfloat::{FpClass, FpFormat, Round, SoftFloat};
     pub use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};

@@ -6,7 +6,11 @@ use csfma::prelude::*;
 
 #[test]
 fn fma_units_are_pure_functions() {
-    for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::PCS_58_LZA, CsFmaFormat::FCS_29_LZA] {
+    for fmt in [
+        CsFmaFormat::PCS_55_ZD,
+        CsFmaFormat::PCS_58_LZA,
+        CsFmaFormat::FCS_29_LZA,
+    ] {
         let unit = CsFmaUnit::new(fmt);
         let a = CsOperand::from_f64(0.123456789, fmt);
         let b = SoftFloat::from_f64(FpFormat::BINARY64, -7.89);
@@ -29,7 +33,12 @@ fn full_flow_is_reproducible() {
         let rep = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(FmaKind::Fcs));
         let t = OpTiming::default();
         let sched = asap_schedule(&rep.fused, &t);
-        (rep.final_length, rep.fma_nodes, sched.start, csfma::hls::to_source(&rep.fused))
+        (
+            rep.final_length,
+            rep.fma_nodes,
+            sched.start,
+            csfma::hls::to_source(&rep.fused),
+        )
     };
     let (l1, n1, s1, src1) = run();
     let (l2, n2, s2, src2) = run();
@@ -45,7 +54,6 @@ fn chain_state_is_bit_stable_across_orders_of_construction() {
     // same packed transport word
     let fmt = CsFmaFormat::PCS_55_ZD;
     let direct = CsOperand::from_f64(2.5, fmt);
-    let via_ieee =
-        CsOperand::from_ieee(&SoftFloat::from_f64(FpFormat::BINARY64, 2.5), fmt);
+    let via_ieee = CsOperand::from_ieee(&SoftFloat::from_f64(FpFormat::BINARY64, 2.5), fmt);
     assert_eq!(direct.pack(), via_ieee.pack());
 }

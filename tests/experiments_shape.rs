@@ -7,8 +7,7 @@ use csfma_bench::{fig13, fig14, fig15, table1, table2};
 #[test]
 fn table1_orderings() {
     let rows = table1();
-    let by_name: std::collections::HashMap<_, _> =
-        rows.iter().map(|r| (r.name, r)).collect();
+    let by_name: std::collections::HashMap<_, _> = rows.iter().map(|r| (r.name, r)).collect();
     let coregen = by_name["Xilinx CoreGen"];
     let flopoco = by_name["FloPoCo FPPipeline"];
     let pcs = by_name["PCS-FMA"];
@@ -97,7 +96,10 @@ fn fig15_schedule_reductions() {
             r.reduction_fcs()
         );
         assert!(r.reduction_fcs() > r.reduction_pcs(), "{}", r.solver);
-        assert!(r.fma_units.0 <= 39 && r.fma_units.1 <= 39, "paper used up to 39 units");
+        assert!(
+            r.fma_units.0 <= 39 && r.fma_units.1 <= 39,
+            "paper used up to 39 units"
+        );
     }
     // complexity ordering
     assert!(rows[0].discrete < rows[1].discrete && rows[1].discrete < rows[2].discrete);

@@ -51,8 +51,14 @@ fn planned_trajectory_avoids_the_obstacle() {
         min_dist = min_dist.min(d);
         max_lateral = max_lateral.max(py.abs());
     }
-    assert!(max_lateral > 0.5, "trajectory swerves laterally: {max_lateral:.2}");
-    assert!(min_dist > 0.8, "keeps distance from the obstacle: {min_dist:.2}");
+    assert!(
+        max_lateral > 0.5,
+        "trajectory swerves laterally: {max_lateral:.2}"
+    );
+    assert!(
+        min_dist > 0.8,
+        "keeps distance from the obstacle: {min_dist:.2}"
+    );
 }
 
 #[test]
@@ -65,5 +71,8 @@ fn facade_reexports_work() {
     let a = CsOperand::from_ieee(&one, *unit.format());
     let c = CsOperand::from_ieee(&one, *unit.format());
     let r = unit.fma(&a, &one, &c);
-    assert_eq!(r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(), 2.0);
+    assert_eq!(
+        r.to_ieee(FpFormat::BINARY64, Round::NearestEven).to_f64(),
+        2.0
+    );
 }

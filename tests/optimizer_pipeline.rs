@@ -4,8 +4,8 @@
 use csfma::hls::interp::eval_f64;
 use csfma::hls::optimize::optimize;
 use csfma::hls::{asap_schedule, fuse_critical_paths, FmaKind, FusionConfig, OpTiming};
-use csfma::solvers::{generate_ldlfactor, solver_suite, KktSystem};
 use csfma::solvers::ldl::symbolic_ldl;
+use csfma::solvers::{generate_ldlfactor, solver_suite, KktSystem};
 
 #[test]
 fn optimizer_preserves_generated_factor_kernel() {
@@ -46,8 +46,10 @@ fn optimize_then_fuse_composes() {
     assert!(opt.nodes_after < g.len());
     let rep = fuse_critical_paths(&opt.optimized, &FusionConfig::new(FmaKind::Fcs));
     assert!(rep.final_length <= asap_schedule(&g, &t).length);
-    let ins: std::collections::HashMap<String, f64> =
-        [("x0", 1.5), ("x1", -2.5), ("c", 0.8)].iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let ins: std::collections::HashMap<String, f64> = [("x0", 1.5), ("x1", -2.5), ("c", 0.8)]
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
     let want = eval_f64(&g, &ins)["y"];
     let got = csfma::hls::interp::eval_bit_accurate(&rep.fused, &ins)["y"];
     assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0));

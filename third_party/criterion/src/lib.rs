@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` crate — see `third_party/README.md`.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use: `Criterion`, `benchmark_group` / `bench_function` /
+//! `sample_size` / `finish`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is actually timed (fixed
+//! small iteration budget, mean wall-clock printed) so `cargo bench`
+//! remains useful for coarse comparisons — but there is no statistical
+//! analysis, warm-up tuning, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; carried for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    println!(
+        "bench: {label:<40} {:>12.3?} /iter ({} iters)",
+        mean, b.iters
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's statistical sample count; reused here as the
+    /// iteration budget knob.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Carried for API compatibility; the stand-in has no warm-up phase.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, &mut f);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: 10,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// Declare a benchmark group function compatible with criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.bench_function("iter", |b| b.iter(|| black_box(21u64) * 2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,544 @@
+//! Offline stand-in for the `proptest` crate — see `third_party/README.md`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]` headers and
+//! both `name in strategy` and `name: Type` parameter forms),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and the
+//! strategies: numeric ranges, strategy tuples, `any::<T>()`,
+//! `.prop_map(..)`, `prop::collection::vec(..)` and `prop::sample::Index`.
+//!
+//! Differences from real proptest, by design:
+//! - deterministic per-test seeding (FNV-1a of the test name), uniform
+//!   distributions, no edge-case biasing;
+//! - no shrinking — a failing case panics with the original inputs;
+//! - `proptest-regressions` files are neither read nor written.
+
+/// Deterministic case generator handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next uniform 64-bit word (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a — used to derive a per-test seed from the test's name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through a function.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for `any::<T>()`.
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    /// Uniform whole-domain generation — the stand-in for proptest's
+    /// `Arbitrary`.
+    pub trait ArbitraryValue: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    wide as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    macro_rules! impl_range_strategy {
+        (int: $($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    ((self.start as i128).wrapping_add((wide % span) as i128)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    if span == u128::MAX {
+                        return wide as $t;
+                    }
+                    ((lo as i128).wrapping_add((wide % (span + 1)) as i128)) as $t
+                }
+            }
+        )*};
+        (float: $($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                    let v = v as $t;
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    impl_range_strategy!(float: f32, f64);
+
+    // u128/i128 ranges need a wider intermediate; handled separately with
+    // modulo folding (spans above 2^127 never appear in this workspace).
+    impl Strategy for std::ops::Range<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start + wide % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<i128> {
+        type Value = i128;
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end.wrapping_sub(self.start) as u128;
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start.wrapping_add((wide % span) as i128)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Unconstrained generation of a `T` (uniform over the domain here).
+pub fn any<T: strategy::ArbitraryValue>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Length specification: an exact length or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::Index` — a length-agnostic index.
+
+    use super::strategy::ArbitraryValue;
+    use super::TestRng;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete collection length.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl ArbitraryValue for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration for [`crate::proptest!`] blocks.
+
+    /// Subset of proptest's config: the number of cases per property.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Cases to run per property function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module alias so `prop::collection::vec` / `prop::sample::Index`
+    /// resolve after a glob import.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert inside a property; panics with the formatted message (no
+/// shrinking in the stand-in, so this is `assert!` with proptest's name).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard the current case when an assumption fails. Expands to an early
+/// return from the per-case closure the [`proptest!`] macro wraps around
+/// each body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The property-test macro. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose parameters are either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test function in the block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)).as_bytes());
+            for __case in 0..__config.cases as u64 {
+                let mut __rng = $crate::TestRng::seed_from_u64(
+                    __seed ^ __case.wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                $crate::__proptest_case! { __rng, [] [] ($($params)*) $body }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: munch one parameter list, accumulating strategy expressions
+/// and binding patterns, then run the body once.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // -- munch: `name in strategy` ------------------------------------
+    ($rng:ident, [$($strat:expr;)*] [$($pat:ident)*] ($n:ident in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! { $rng, [$($strat;)* $s;] [$($pat)* $n] ($($rest)*) $body }
+    };
+    ($rng:ident, [$($strat:expr;)*] [$($pat:ident)*] ($n:ident in $s:expr) $body:block) => {
+        $crate::__proptest_case! { $rng, [$($strat;)* $s;] [$($pat)* $n] () $body }
+    };
+    // -- munch: `name: Type` (any::<Type>()) --------------------------
+    ($rng:ident, [$($strat:expr;)*] [$($pat:ident)*] ($n:ident : $t:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! { $rng, [$($strat;)* $crate::any::<$t>();] [$($pat)* $n] ($($rest)*) $body }
+    };
+    ($rng:ident, [$($strat:expr;)*] [$($pat:ident)*] ($n:ident : $t:ty) $body:block) => {
+        $crate::__proptest_case! { $rng, [$($strat;)* $crate::any::<$t>();] [$($pat)* $n] () $body }
+    };
+    // -- done: bind values and run the body in a closure so that
+    //    `prop_assume!` can early-return out of the case ---------------
+    ($rng:ident, [$($strat:expr;)*] [$($pat:ident)*] () $body:block) => {
+        {
+            use $crate::strategy::Strategy as _;
+            let ($($pat,)*) = ($($strat.generate(&mut $rng),)*);
+            let mut __case_fn = move || $body;
+            __case_fn();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn scaled() -> impl Strategy<Value = f64> {
+        (any::<bool>(), 0u64..1000).prop_map(|(neg, m)| {
+            let v = m as f64 / 10.0;
+            if neg {
+                -v
+            } else {
+                v
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_any(w in 1usize..=120, a: u128, flip: bool, x in -4.0f64..4.0) {
+            prop_assert!((1..=120).contains(&w));
+            prop_assert!((-4.0..4.0).contains(&x));
+            let _ = (a, flip);
+        }
+
+        #[test]
+        fn vec_and_index(
+            ops in prop::collection::vec((0usize..4, any::<prop::sample::Index>()), 4..40),
+            fixed in prop::collection::vec(-3.0f64..3.0, 8),
+        ) {
+            prop_assert!((4..40).contains(&ops.len()));
+            prop_assert_eq!(fixed.len(), 8);
+            for (op, idx) in &ops {
+                prop_assert!(*op < 4);
+                prop_assert!(idx.index(fixed.len()) < fixed.len());
+            }
+        }
+
+        #[test]
+        fn mapped_strategy_and_assume(v in scaled(), w in 0u64..10) {
+            prop_assume!(w != 0);
+            prop_assert!(v.abs() < 100.0);
+            prop_assert_ne!(w, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test() {
+        let s1 = crate::fnv1a(b"some::test");
+        let s2 = crate::fnv1a(b"some::test");
+        assert_eq!(s1, s2);
+        let mut r1 = crate::TestRng::seed_from_u64(s1);
+        let mut r2 = crate::TestRng::seed_from_u64(s2);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}
