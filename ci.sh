@@ -1,8 +1,23 @@
 #!/usr/bin/env sh
-# CI gate: formatting, lints as errors, and the full test suite.
+# CI gate: formatting, lints as errors, the full test suite, benchmark
+# compilation, and a batch-engine smoke run.
 # Run from the repository root. Fails fast on the first broken step.
 set -eu
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace
+cargo bench --no-run
+
+# batch execution engine smoke: compile every example datapath and run a
+# tiny batch through both backends (exit 1 on checker errors or panics)
+for f in examples/datapaths/*.csfma; do
+    cargo run -q --bin csfma-run -- --fuse pcs --batch 16 --threads 2 "$f" > /dev/null
+    cargo run -q --bin csfma-run -- --backend f64 --batch 16 "$f" > /dev/null
+done
+
+# throughput audit on a small batch: verifies tape-vs-oracle bitwise
+# equality and the >=5x headline (full baseline regenerated in release
+# via: cargo run --release -p csfma-bench --bin throughput)
+cargo run -q --release -p csfma-bench --bin throughput 2000 256 42 > /dev/null
+git checkout -- results/BENCH_throughput.json 2> /dev/null || true

@@ -1,0 +1,44 @@
+//! Batch-execution throughput report: compiled tape vs scalar oracle,
+//! written to `results/BENCH_throughput.json`.
+//!
+//! ```sh
+//! cargo run -q --release -p csfma-bench --bin throughput [ROWS [SCALAR_CAP [SEED]]]
+//! ```
+//!
+//! Defaults: 10000 rows per datapath, oracle audited on 1024 of them,
+//! seed 42. Exit status 1 if any tape output diverged from the scalar
+//! oracle or the headline speedup target (>= 5x, bit-accurate backend,
+//! 8 threads, best graph) is missed — so CI can run a tiny smoke with
+//! relaxed expectations via arguments, while the checked-in baseline is
+//! regenerated with the defaults.
+
+use csfma_bench::throughput::{throughput, to_json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let cap: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    let rows_data = throughput(rows, cap, seed);
+    let json = to_json(&rows_data, rows, seed);
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_throughput.json", &json).expect("write results");
+    println!("{json}");
+
+    let all_equal = rows_data.iter().all(|r| r.bitwise_equal);
+    let best_bit_8t = rows_data
+        .iter()
+        .filter(|r| r.backend == "bit")
+        .map(|r| r.speedup_8t)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "audit: bitwise_equal={all_equal}, best bit-accurate 8-thread speedup {best_bit_8t:.1}x"
+    );
+    if !all_equal || best_bit_8t < 5.0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -8,5 +8,7 @@
 
 pub mod experiments;
 pub mod table;
+pub mod throughput;
 
 pub use experiments::{fig13, fig14, fig15, table1, table2, Fig14Row, Fig15Row};
+pub use throughput::{throughput, ThroughputRow};

@@ -1,0 +1,254 @@
+//! Batch-execution throughput experiment: compiled instruction tape
+//! versus the scalar reference interpreters.
+//!
+//! For each benchmark datapath the experiment measures
+//!
+//! * the **scalar oracle** (`eval_f64` / `eval_bit_accurate`) walking the
+//!   graph per input vector with `HashMap` plumbing — the semantics
+//!   definition, and the baseline every speedup is quoted against;
+//! * the **compiled tape** ([`csfma_hls::compile`]) at 1, 2 and 8 worker
+//!   threads via [`Tape::eval_batch`];
+//! * one-time costs: cold compile versus a [`compile_cached`] hit;
+//! * a **bitwise-equality audit** of tape output against the scalar
+//!   oracle on every row the oracle evaluated — a speedup only counts if
+//!   the bits agree.
+//!
+//! The scalar oracle is evaluated on a capped subset of rows (it is the
+//! slow side — that is the point) and its per-row cost extrapolated;
+//! [`ThroughputRow::scalar_rows_measured`] records the subset size so
+//! the JSON never silently pretends full coverage.
+
+use csfma_hls::{
+    compile, compile_cached, fuse_critical_paths,
+    interp::{eval_bit_accurate, eval_f64},
+    parse_program, Cdfg, FmaKind, FusionConfig, Tape, TapeBackend,
+};
+use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Measurement for one (datapath, backend) pair.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Datapath label.
+    pub graph: String,
+    /// Node count of the compiled graph.
+    pub nodes: usize,
+    /// `"bit"` (soft-float + behavioral FMA) or `"f64"`.
+    pub backend: &'static str,
+    /// Batch size the tape evaluated.
+    pub rows: usize,
+    /// Rows the scalar oracle actually evaluated (time-capped subset).
+    pub scalar_rows_measured: usize,
+    /// Scalar interpreter cost per input vector, microseconds.
+    pub scalar_us_per_row: f64,
+    /// `(worker_threads, microseconds_per_row)` for the tape.
+    pub tape_us_per_row: Vec<(usize, f64)>,
+    /// Scalar cost / tape cost at 1 thread.
+    pub speedup_1t: f64,
+    /// Scalar cost / tape cost at 8 threads.
+    pub speedup_8t: f64,
+    /// Tape output matched the oracle bit-for-bit on every audited row.
+    pub bitwise_equal: bool,
+    /// Cold `compile()` wall time, microseconds.
+    pub compile_us: f64,
+    /// `compile_cached()` hit wall time, microseconds.
+    pub cached_compile_us: f64,
+}
+
+/// The benchmark datapaths: Listing 1 discrete and fused both ways, the
+/// deep Horner chain fused, and the unrolled `ldlsolve` kernel of the
+/// paper's smallest trajectory solver (540-node class).
+pub fn bench_graphs() -> Vec<(String, Cdfg)> {
+    let listing1 = parse_program("x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;")
+        .expect("listing1 parses");
+    let horner = parse_program(
+        "p1 = c8*x + c7;\n p2 = p1*x + c6;\n p3 = p2*x + c5;\n p4 = p3*x + c4;\n \
+         p5 = p4*x + c3;\n p6 = p5*x + c2;\n p7 = p6*x + c1;\n out y = p7*x + c0;",
+    )
+    .expect("horner parses");
+    let problem = &solver_suite()[0];
+    let kkt = KktSystem::assemble(problem);
+    let factors = LdlFactors::factor(&kkt.matrix);
+    let ldl = generate_ldlsolve(&factors).cdfg;
+
+    let fuse = |g: &Cdfg, kind: FmaKind| fuse_critical_paths(g, &FusionConfig::new(kind)).fused;
+    vec![
+        ("listing1".into(), listing1.clone()),
+        ("listing1-pcs".into(), fuse(&listing1, FmaKind::Pcs)),
+        ("listing1-fcs".into(), fuse(&listing1, FmaKind::Fcs)),
+        ("horner8-pcs".into(), fuse(&horner, FmaKind::Pcs)),
+        ("ldlsolve-s1".into(), ldl),
+    ]
+}
+
+fn scalar_eval(
+    g: &Cdfg,
+    backend: TapeBackend,
+    inputs: &HashMap<String, f64>,
+) -> HashMap<String, f64> {
+    match backend {
+        TapeBackend::F64 => eval_f64(g, inputs),
+        TapeBackend::BitAccurate => eval_bit_accurate(g, inputs),
+    }
+}
+
+/// Run the experiment: `rows` input vectors per datapath, oracle audited
+/// on at most `scalar_cap` of them, stimulus from `seed`.
+pub fn throughput(rows: usize, scalar_cap: usize, seed: u64) -> Vec<ThroughputRow> {
+    let mut out = Vec::new();
+    for (name, g) in bench_graphs() {
+        let t0 = Instant::now();
+        let tape = compile(&g).expect("benchmark graphs are checker-clean");
+        let compile_us = t0.elapsed().as_secs_f64() * 1e6;
+        let _warm = compile_cached(&g).expect("cache warm-up");
+        let t1 = Instant::now();
+        let _hit = compile_cached(&g).expect("cache hit");
+        let cached_compile_us = t1.elapsed().as_secs_f64() * 1e6;
+
+        let ni = tape.num_inputs();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stim: Vec<f64> = (0..rows * ni)
+            .map(|_| rng.gen_range(-100.0..100.0))
+            .collect();
+
+        // identical stimulus across backends so the two rows per graph
+        // describe the same workload
+        for backend in [TapeBackend::BitAccurate, TapeBackend::F64] {
+            let mut row = measure(&name, &g, &tape, backend, &stim, rows, scalar_cap);
+            row.compile_us = compile_us;
+            row.cached_compile_us = cached_compile_us;
+            out.push(row);
+        }
+    }
+    out
+}
+
+fn measure(
+    name: &str,
+    g: &Cdfg,
+    tape: &Tape,
+    backend: TapeBackend,
+    stim: &[f64],
+    rows: usize,
+    scalar_cap: usize,
+) -> ThroughputRow {
+    let ni = tape.num_inputs();
+    let audit_rows = rows.min(scalar_cap).max(1);
+
+    // scalar oracle over the audited subset
+    let t0 = Instant::now();
+    let mut oracle_out: Vec<HashMap<String, f64>> = Vec::with_capacity(audit_rows);
+    for r in 0..audit_rows {
+        let m: HashMap<String, f64> = tape
+            .input_names()
+            .iter()
+            .enumerate()
+            .map(|(k, n)| (n.clone(), stim[r * ni + k]))
+            .collect();
+        oracle_out.push(scalar_eval(g, backend, &m));
+    }
+    let scalar_us = t0.elapsed().as_secs_f64() * 1e6 / audit_rows as f64;
+
+    // compiled tape over the full batch at each worker count
+    let mut tape_us = Vec::new();
+    let mut batch_out = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let t0 = Instant::now();
+        let got = tape.eval_batch(backend, stim, threads);
+        let dt = t0.elapsed().as_secs_f64() * 1e6 / rows as f64;
+        tape_us.push((threads, dt));
+        if threads == 1 {
+            batch_out = got;
+        } else {
+            assert!(
+                got.iter()
+                    .zip(batch_out.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "thread-count variance in {name}"
+            );
+        }
+    }
+
+    let no = tape.num_outputs();
+    let bitwise_equal = (0..audit_rows).all(|r| {
+        tape.output_names()
+            .iter()
+            .enumerate()
+            .all(|(k, n)| batch_out[r * no + k].to_bits() == oracle_out[r][n].to_bits())
+    });
+
+    let tape_1t = tape_us[0].1;
+    let tape_8t = tape_us[2].1;
+    ThroughputRow {
+        graph: name.to_string(),
+        nodes: g.len(),
+        backend: match backend {
+            TapeBackend::F64 => "f64",
+            TapeBackend::BitAccurate => "bit",
+        },
+        rows,
+        scalar_rows_measured: audit_rows,
+        scalar_us_per_row: scalar_us,
+        tape_us_per_row: tape_us,
+        speedup_1t: scalar_us / tape_1t,
+        speedup_8t: scalar_us / tape_8t,
+        bitwise_equal,
+        compile_us: 0.0,
+        cached_compile_us: 0.0,
+    }
+}
+
+/// Render rows as the `BENCH_throughput.json` document. Hand-rolled
+/// (the workspace has no JSON dependency); numbers use enough digits to
+/// round-trip.
+pub fn to_json(rows: &[ThroughputRow], rows_per_graph: usize, seed: u64) -> String {
+    use std::fmt::Write as _;
+    let threads_avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"throughput\",");
+    let _ = writeln!(s, "  \"rows_per_graph\": {rows_per_graph},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"hardware_threads\": {threads_avail},");
+    let _ = writeln!(s, "  \"entries\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let tape: Vec<String> = r
+            .tape_us_per_row
+            .iter()
+            .map(|(t, us)| format!("\"{t}\": {us:.4}"))
+            .collect();
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"graph\": \"{}\",", r.graph);
+        let _ = writeln!(s, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(s, "      \"backend\": \"{}\",", r.backend);
+        let _ = writeln!(s, "      \"rows\": {},", r.rows);
+        let _ = writeln!(
+            s,
+            "      \"scalar_rows_measured\": {},",
+            r.scalar_rows_measured
+        );
+        let _ = writeln!(
+            s,
+            "      \"scalar_us_per_row\": {:.4},",
+            r.scalar_us_per_row
+        );
+        let _ = writeln!(s, "      \"tape_us_per_row\": {{{}}},", tape.join(", "));
+        let _ = writeln!(s, "      \"speedup_1t\": {:.2},", r.speedup_1t);
+        let _ = writeln!(s, "      \"speedup_8t\": {:.2},", r.speedup_8t);
+        let _ = writeln!(s, "      \"compile_us\": {:.2},", r.compile_us);
+        let _ = writeln!(
+            s,
+            "      \"cached_compile_us\": {:.2},",
+            r.cached_compile_us
+        );
+        let _ = writeln!(s, "      \"bitwise_equal\": {}", r.bitwise_equal);
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = write!(s, "}}");
+    s
+}

@@ -56,7 +56,31 @@ pub struct ReduceResult {
 /// using 3:2 rows. All addends must share one width; the caller pre-shifts
 /// partial products into place.
 pub fn reduce_to_cs(addends: &[Bits], width: usize) -> ReduceResult {
-    let mut layer: Vec<Bits> = addends.iter().map(|a| a.zext(width)).collect();
+    reduce_to_cs_with(addends, width, &mut ReduceScratch::default())
+}
+
+/// Reusable working storage for [`reduce_to_cs_with`]: the two row
+/// buffers the Wallace reduction ping-pongs between. A batch evaluator
+/// that reduces millions of partial-product sets keeps one scratch per
+/// worker so the row vectors are allocated once, not per reduction.
+#[derive(Clone, Debug, Default)]
+pub struct ReduceScratch {
+    layer: Vec<Bits>,
+    next: Vec<Bits>,
+}
+
+/// [`reduce_to_cs`] with caller-provided scratch storage — the
+/// batch-friendly entry point. Results are identical to
+/// [`reduce_to_cs`]; only the allocation behavior differs.
+pub fn reduce_to_cs_with(
+    addends: &[Bits],
+    width: usize,
+    scratch: &mut ReduceScratch,
+) -> ReduceResult {
+    let layer = &mut scratch.layer;
+    let next = &mut scratch.next;
+    layer.clear();
+    layer.extend(addends.iter().map(|a| a.zext(width)));
     let mut levels = 0;
     if layer.is_empty() {
         return ReduceResult {
@@ -65,7 +89,7 @@ pub fn reduce_to_cs(addends: &[Bits], width: usize) -> ReduceResult {
         };
     }
     while layer.len() > 2 {
-        let mut next = Vec::with_capacity(layer.len() * 2 / 3 + 1);
+        next.clear();
         let mut chunks = layer.chunks_exact(3);
         for ch in &mut chunks {
             let cs = csa3_2(&ch[0], &ch[1], &ch[2]);
@@ -73,7 +97,7 @@ pub fn reduce_to_cs(addends: &[Bits], width: usize) -> ReduceResult {
             next.push(cs.carry().clone());
         }
         next.extend_from_slice(chunks.remainder());
-        layer = next;
+        std::mem::swap(layer, next);
         levels += 1;
     }
     let cs = match layer.len() {

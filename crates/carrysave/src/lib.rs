@@ -24,7 +24,8 @@ mod cs;
 mod pcs;
 
 pub use compress::{
-    csa3_2, csa4_2, reduce_to_cs, reduction_depth_3_2, ReduceResult, COMPRESSOR_HEADROOM_BITS,
+    csa3_2, csa4_2, reduce_to_cs, reduce_to_cs_with, reduction_depth_3_2, ReduceResult,
+    ReduceScratch, COMPRESSOR_HEADROOM_BITS,
 };
 pub use cs::CsNumber;
 pub use pcs::PcsNumber;

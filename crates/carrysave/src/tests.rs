@@ -169,6 +169,24 @@ proptest! {
     }
 
     #[test]
+    fn prop_reduce_with_scratch_matches_fresh(
+        w in 8usize..80,
+        groups in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..10), 1..5),
+    ) {
+        // one scratch reused across several reductions must not leak
+        // state between them
+        let mut scratch = crate::ReduceScratch::default();
+        for vals in &groups {
+            let addends: Vec<Bits> =
+                vals.iter().map(|&v| Bits::from_u64(w.min(64), v).zext(w)).collect();
+            let fresh = reduce_to_cs(&addends, w);
+            let reused = crate::reduce_to_cs_with(&addends, w, &mut scratch);
+            prop_assert_eq!(&fresh.cs, &reused.cs);
+            prop_assert_eq!(fresh.levels, reused.levels);
+        }
+    }
+
+    #[test]
     fn prop_carry_reduce_preserves_value(w in 2usize..120, k in 1usize..20, a: u128, b: u128) {
         let (a, b) = (a & mask(w), b & mask(w));
         let cs = CsNumber::new(Bits::from_u128(w, a), Bits::from_u128(w, b));

@@ -1,0 +1,102 @@
+//! Deterministic chunked parallelism for batch evaluation.
+//!
+//! The throughput story of the paper is *streams* of operands through
+//! chained FMA datapaths; the software counterpart is evaluating many
+//! independent input vectors at once. [`par_chunks_indexed`] is the one
+//! scheduling primitive the workspace uses for that: the output buffer is
+//! split into fixed-size chunks **independently of the worker count**, and
+//! workers claim chunks from a shared queue. Because a chunk's content is
+//! a pure function of its index (every model in this workspace is a pure
+//! function of its inputs — see `tests/determinism.rs`), the result buffer
+//! is byte-identical for 1, 2 or N workers; only the wall-clock changes.
+
+use std::sync::Mutex;
+
+/// Rows per scheduling chunk used by the batch evaluators. Small enough
+/// to load-balance a 10k-vector batch over many workers, large enough
+/// that queue traffic is noise.
+pub const CHUNK_ROWS: usize = 64;
+
+/// Split `out` into chunks of `chunk_len` elements and invoke
+/// `f(state, chunk_index, chunk)` for every chunk, using up to `threads`
+/// workers. `init` builds one scratch state per worker (register files,
+/// RNGs, …), so `f` can reuse allocations across chunks.
+///
+/// Chunk boundaries depend only on `chunk_len`, never on `threads`, and
+/// each chunk is written by exactly one worker; with a pure `f` the
+/// filled buffer is bitwise independent of the worker count and of queue
+/// timing. With `threads <= 1` everything runs on the calling thread in
+/// index order.
+pub fn par_chunks_indexed<O, S>(
+    out: &mut [O],
+    chunk_len: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut [O]) + Sync,
+) where
+    O: Send,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if threads <= 1 || out.len() <= chunk_len {
+        let mut state = init();
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(&mut state, i, chunk);
+        }
+        return;
+    }
+    let queue = Mutex::new(out.chunks_mut(chunk_len).enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    // hold the lock only to pop; the chunk itself is
+                    // processed outside the critical section
+                    let next = queue.lock().unwrap().next();
+                    match next {
+                        Some((i, chunk)) => f(&mut state, i, chunk),
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_layout_is_thread_independent() {
+        let fill = |threads: usize| {
+            let mut out = vec![0u64; 1000];
+            par_chunks_indexed(
+                &mut out,
+                7,
+                threads,
+                || 0u64,
+                |_, idx, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = (idx as u64) << 32 | k as u64;
+                    }
+                },
+            );
+            out
+        };
+        let one = fill(1);
+        assert_eq!(one, fill(2));
+        assert_eq!(one, fill(8));
+        // and the layout is the chunks_mut layout
+        assert_eq!(one[0], 0);
+        assert_eq!(one[7], 1 << 32);
+        assert_eq!(one[999], (142u64 << 32) | 5);
+    }
+
+    #[test]
+    fn single_chunk_batches_run_inline() {
+        let mut out = vec![0u8; 3];
+        par_chunks_indexed(&mut out, 64, 8, || (), |_, i, c| c.fill(i as u8 + 1));
+        assert_eq!(out, vec![1, 1, 1]);
+    }
+}

@@ -78,6 +78,55 @@ impl ChainEvaluator {
     }
 }
 
+/// One parameter set of the Sec. IV-B recurrence benchmark, for batch
+/// evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecurrenceCase {
+    /// First coefficient (`1 < |B1| < 32` in the paper's workload).
+    pub b1: f64,
+    /// Second coefficient (`0 < |B2| < 1`).
+    pub b2: f64,
+    /// Seeds `x[0], x[1], x[2]`.
+    pub seeds: [f64; 3],
+}
+
+impl ChainEvaluator {
+    /// Run [`run_recurrence`](ChainEvaluator::run_recurrence) for every
+    /// case of a batch, using up to `threads` workers with the
+    /// deterministic chunking of [`crate::batch::par_chunks_indexed`]:
+    /// the returned operands are bitwise independent of `threads`.
+    pub fn run_recurrence_batch(
+        &self,
+        cases: &[RecurrenceCase],
+        steps: usize,
+        threads: usize,
+    ) -> Vec<CsOperand> {
+        let f = *self.unit.format();
+        let fmt64 = FpFormat::BINARY64;
+        let mut out = vec![CsOperand::zero(f, false); cases.len()];
+        crate::batch::par_chunks_indexed(
+            &mut out,
+            crate::batch::CHUNK_ROWS,
+            threads,
+            || (),
+            |_, chunk_idx, chunk| {
+                let base = chunk_idx * crate::batch::CHUNK_ROWS;
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let c = &cases[base + k];
+                    let sf = |v: f64| SoftFloat::from_f64(fmt64, v);
+                    *slot = self.run_recurrence(
+                        &sf(c.b1),
+                        &sf(c.b2),
+                        [&sf(c.seeds[0]), &sf(c.seeds[1]), &sf(c.seeds[2])],
+                        steps,
+                    );
+                }
+            },
+        );
+        out
+    }
+}
+
 /// The same recurrence computed with discrete soft-float operators in the
 /// given format — the CoreGen-style reference runs of Fig. 14 (64b, 68b,
 /// and the 75b golden reference).

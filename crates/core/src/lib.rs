@@ -23,6 +23,7 @@
 //! mantissas plus one block of rounding data between operators
 //! (Sec. III-C).
 
+pub mod batch;
 mod chain;
 mod classic;
 mod dot;
@@ -33,7 +34,7 @@ mod reference;
 mod trace;
 mod unit;
 
-pub use chain::{run_recurrence_exact, run_recurrence_softfloat, ChainEvaluator};
+pub use chain::{run_recurrence_exact, run_recurrence_softfloat, ChainEvaluator, RecurrenceCase};
 pub use classic::ClassicFma;
 pub use dot::CsDotUnit;
 pub use format::{CsFmaFormat, Normalizer};

@@ -637,3 +637,134 @@ mod single_precision {
         assert!(ef < e32, "fused {ef} vs discrete {e32}");
     }
 }
+
+mod special_value_fma_matrix {
+    //! Special-value matrices through the classic FMA datapath and the
+    //! carry-save chains: NaN, ±Inf, ±0 and (flushed) subnormals must
+    //! follow IEEE 754 semantics at every link, not just in single ops.
+
+    use super::{sf, B64};
+    use crate::{ClassicFma, CsFmaFormat, CsFmaUnit, CsOperand};
+    use csfma_softfloat::Round;
+
+    fn specials() -> Vec<f64> {
+        vec![
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::from_bits(0x000F_FFFF_FFFF_FFFF), // subnormal: flushes to 0
+            -f64::from_bits(1),
+            1.5,
+            -2.25,
+        ]
+    }
+
+    /// The structural Fig. 4 datapath must equal the value-level fused
+    /// operation on the complete special matrix, bit for bit.
+    #[test]
+    fn classic_structural_matches_reference_on_matrix() {
+        let unit = ClassicFma::new(Round::NearestEven);
+        for &a in &specials() {
+            for &b in &specials() {
+                for &c in &specials() {
+                    let want = unit.fma(&sf(a), &sf(b), &sf(c));
+                    let got = ClassicFma::fma_structural(&sf(a), &sf(b), &sf(c));
+                    assert_eq!(
+                        got.to_f64().to_bits(),
+                        want.to_f64().to_bits(),
+                        "classic structural vs reference on ({a:e}) + ({b:e})*({c:e})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Single carry-save FMA on the matrix: `A + B*C` through the unit
+    /// must match the soft-float fused operation bit for bit — every
+    /// finite result in this value set is exact, so no unit misrounding
+    /// can excuse a difference.
+    #[test]
+    fn cs_units_match_softfloat_fma_on_matrix() {
+        for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+            let unit = CsFmaUnit::new(fmt);
+            for &a in &specials() {
+                for &b in &specials() {
+                    for &c in &specials() {
+                        let r = unit.fma(
+                            &CsOperand::from_f64(a, fmt),
+                            &sf(b),
+                            &CsOperand::from_f64(c, fmt),
+                        );
+                        let got = r.to_ieee(B64, Round::NearestEven).to_f64();
+                        let want = sf(b).fma(&sf(c), &sf(a)).to_f64();
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "{}: ({a:e}) + ({b:e})*({c:e}) -> {got:e}, want {want:e}",
+                            fmt.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Chained (unrounded) links: a special injected anywhere in a
+    /// PCS/FCS chain must propagate to the resolved result, and a
+    /// subnormal injection must behave exactly like injecting zero
+    /// (flush-to-zero is part of the format contract).
+    #[test]
+    fn specials_propagate_through_cs_chains() {
+        for fmt in [CsFmaFormat::PCS_55_ZD, CsFmaFormat::FCS_29_LZA] {
+            let unit = CsFmaUnit::new(fmt);
+            let chain = |addends: [f64; 3], bs: [f64; 3], x0: f64| {
+                let mut x = CsOperand::from_f64(x0, fmt);
+                for k in 0..3 {
+                    x = unit.fma(&CsOperand::from_f64(addends[k], fmt), &sf(bs[k]), &x);
+                }
+                x.to_ieee(B64, Round::NearestEven).to_f64()
+            };
+
+            for k in 0..3 {
+                // NaN addend at link k -> NaN out
+                let mut adds = [1.5, -0.25, 2.0];
+                adds[k] = f64::NAN;
+                assert!(chain(adds, [1.1, 0.9, 1.2], 0.5).is_nan(), "{}", fmt.name);
+                // NaN B-multiplicand at link k -> NaN out
+                let mut bs = [1.1, 0.9, 1.2];
+                bs[k] = f64::NAN;
+                assert!(chain([1.5, -0.25, 2.0], bs, 0.5).is_nan(), "{}", fmt.name);
+                // +Inf addend with all-positive links -> +Inf out
+                let mut adds = [1.5, 0.25, 2.0];
+                adds[k] = f64::INFINITY;
+                let r = chain(adds, [1.1, 0.9, 1.2], 0.5);
+                assert!(r.is_infinite() && r > 0.0, "{}: got {r:e}", fmt.name);
+            }
+
+            // Inf * 0 inside the chain -> NaN at the end
+            let inf_chain = chain([f64::INFINITY, 0.0, 1.0], [1.0, 0.0, 1.0], 1.0);
+            assert!(inf_chain.is_nan(), "{}", fmt.name);
+
+            // subnormal injection == zero injection, bit for bit
+            let sub = f64::from_bits(0x000F_FFFF_FFFF_FFFF);
+            for k in 0..3 {
+                let mut with_sub = [1.5, -0.25, 2.0];
+                let mut with_zero = with_sub;
+                with_sub[k] = sub;
+                with_zero[k] = 0.0;
+                let a = chain(with_sub, [1.1, 0.9, 1.2], 0.5);
+                let b = chain(with_zero, [1.1, 0.9, 1.2], 0.5);
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", fmt.name);
+                let mut bs_sub = [1.1, 0.9, 1.2];
+                let mut bs_zero = bs_sub;
+                bs_sub[k] = -sub;
+                bs_zero[k] = -0.0;
+                let a = chain([1.5, -0.25, 2.0], bs_sub, 0.5);
+                let b = chain([1.5, -0.25, 2.0], bs_zero, 0.5);
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", fmt.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,877 @@
+//! One-time compilation of a [`Cdfg`] into a flat instruction tape, plus
+//! a batch executor over it.
+//!
+//! The scalar interpreters in [`interp`](crate::interp) re-walk the graph
+//! for every input vector: `String`-keyed `HashMap` lookups per input,
+//! a fresh `Vec<Option<Val>>` per call, and the full soft-float operator
+//! stack for every IEEE node. That is the right shape for an *oracle* —
+//! maximally close to the definition — and exactly the wrong shape for
+//! throughput. This module lowers a validated graph **once** into a
+//! [`Tape`]:
+//!
+//! * a topologically-ordered list of [`Instr`]s addressing **dense
+//!   register slots** (two banks: binary64 and carry-save), with slots
+//!   reused after a value's last read, so the register file stays small
+//!   and hot in cache;
+//! * input names resolved to positional indices, constants pre-converted
+//!   into a pool — no string hashing on the execution path;
+//! * a process-wide **tape cache** keyed by the graph's canonical
+//!   encoding ([`compile_cached`]), so repeated evaluation requests for
+//!   the same datapath skip recompilation entirely.
+//!
+//! Two backends execute the tape:
+//!
+//! * [`TapeBackend::F64`] reproduces [`eval_f64`](crate::interp::eval_f64)
+//!   bit for bit (host doubles, fused nodes as `mul_add`);
+//! * [`TapeBackend::BitAccurate`] reproduces
+//!   [`eval_bit_accurate`](crate::interp::eval_bit_accurate) bit for bit.
+//!   IEEE nodes run on the **host FPU** through the guarded fast path of
+//!   [`csfma_softfloat::batch`] (soft-float semantics at host speed — see
+//!   that module for the equivalence argument); fused nodes still run the
+//!   behavioral carry-save units, which *are* the model.
+//!
+//! [`Tape::eval_batch`] evaluates many input vectors with deterministic
+//! chunked work distribution
+//! ([`par_chunks_indexed`](csfma_core::batch::par_chunks_indexed)):
+//! results are bitwise identical for any worker count.
+//!
+//! Compilation is **gated on the static checker**: a graph carrying
+//! error-severity `D*` (dataflow), `S*` (schedule, via
+//! [`compile_scheduled`]) or `W*` (format, via [`compile_with_formats`])
+//! diagnostics is refused with a structured [`CompileError`] instead of
+//! producing a tape that would panic or silently miscompute.
+
+use crate::cdfg::{Cdfg, FmaKind, Op};
+use crate::interp::format_of;
+use crate::lint::{lint_dataflow, lint_schedule};
+use crate::sched::{OpTiming, ResourceLimits, Schedule};
+use csfma_core::batch::{par_chunks_indexed, CHUNK_ROWS};
+use csfma_core::{CsFmaFormat, CsFmaUnit, CsOperand};
+use csfma_softfloat::batch as sfb;
+use csfma_softfloat::{FpFormat, Round, SoftFloat};
+use csfma_verify::{check_format, Diagnostic, Severity};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const F: FpFormat = FpFormat::BINARY64;
+
+/// Structured compilation failure: the graph carries outstanding
+/// error-severity checker diagnostics (`D*`, `S*` or `W*` rules).
+#[derive(Clone, Debug)]
+pub struct CompileError {
+    /// Every error-severity finding that blocked compilation.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot compile tape: {} outstanding checker error(s)\n{}",
+            self.diagnostics.len(),
+            csfma_verify::render_report(&self.diagnostics)
+        )
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Which evaluator semantics the tape executes with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TapeBackend {
+    /// Host-double semantics — bit-identical to
+    /// [`eval_f64`](crate::interp::eval_f64).
+    F64,
+    /// Soft-float + behavioral carry-save units — bit-identical to
+    /// [`eval_bit_accurate`](crate::interp::eval_bit_accurate).
+    BitAccurate,
+}
+
+/// One tape instruction. Register operands index the binary64 bank
+/// (`r*`) or the carry-save bank (`c*`); both banks are dense and slots
+/// are reused once their value is dead.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `r[dst] = row[input]`
+    LoadInput { dst: u32, input: u32 },
+    /// `r[dst] = consts[idx]`
+    LoadConst { dst: u32, idx: u32 },
+    /// `r[dst] = r[a] + r[b]`
+    Add { dst: u32, a: u32, b: u32 },
+    /// `r[dst] = r[a] - r[b]`
+    Sub { dst: u32, a: u32, b: u32 },
+    /// `r[dst] = r[a] * r[b]`
+    Mul { dst: u32, a: u32, b: u32 },
+    /// `r[dst] = r[a] / r[b]`
+    Div { dst: u32, a: u32, b: u32 },
+    /// `r[dst] = -r[a]`
+    Neg { dst: u32, a: u32 },
+    /// `c[dst] = fma(c[acc], ±r[b], c[mulc])` on the unit for `kind`
+    Fma {
+        /// Target unit.
+        kind: FmaKind,
+        /// Negate the IEEE `B` input.
+        negate_b: bool,
+        /// Destination carry-save slot.
+        dst: u32,
+        /// Addend (carry-save).
+        acc: u32,
+        /// `B` multiplicand (binary64).
+        b: u32,
+        /// Chained multiplicand (carry-save).
+        mulc: u32,
+    },
+    /// `c[dst] = ieee_to_cs(r[src])` in `kind`'s transport format
+    IeeeToCs { kind: FmaKind, dst: u32, src: u32 },
+    /// `r[dst] = cs_to_ieee(c[src])` (resolve + normalize + round)
+    CsToIeee { dst: u32, src: u32 },
+    /// `out[output] = r[src]`
+    Store { output: u32, src: u32 },
+}
+
+/// A compiled datapath: flat instructions over dense register slots.
+/// Build one with [`compile`] (or [`compile_cached`]); evaluate rows
+/// with [`Tape::eval_row`] or batches with [`Tape::eval_batch`].
+#[derive(Clone, Debug)]
+pub struct Tape {
+    instrs: Vec<Instr>,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    consts: Vec<f64>,
+    consts_canonical: Vec<f64>,
+    n_f64_regs: usize,
+    n_cs_regs: usize,
+    pcs_format: CsFmaFormat,
+    fcs_format: CsFmaFormat,
+    fingerprint: u64,
+    source_nodes: usize,
+}
+
+/// Reusable per-worker register file for tape execution. One scratch per
+/// thread amortizes the carry-save slot allocations over a whole batch.
+#[derive(Clone, Debug)]
+pub struct TapeScratch {
+    f: Vec<f64>,
+    cs: Vec<CsOperand>,
+    // the f64 backend models CS-domain values as plain doubles
+    // (conversions are wiring there), so it shadows the CS bank here
+    cs_f: Vec<f64>,
+    pcs: CsFmaUnit,
+    fcs: CsFmaUnit,
+}
+
+/// FNV-1a over the canonical graph encoding — the identity the tape
+/// cache is keyed by (the full encoding, not just this digest, to make
+/// collisions impossible; the digest is for reporting).
+pub fn graph_fingerprint(g: &Cdfg) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in canonical_encoding(g) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Byte-exact structural identity of a graph: operation tags, constant
+/// bit patterns, input/output names, FMA kinds and argument edges. Two
+/// graphs with equal encodings compile to equal tapes.
+fn canonical_encoding(g: &Cdfg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(g.len() * 8);
+    let push_str = |buf: &mut Vec<u8>, s: &str| {
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    };
+    let kind_tag = |k: FmaKind| match k {
+        FmaKind::Pcs => 0u8,
+        FmaKind::Fcs => 1u8,
+    };
+    for n in g.nodes() {
+        match &n.op {
+            Op::Input(name) => {
+                buf.push(0);
+                push_str(&mut buf, name);
+            }
+            Op::Const(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Op::Add => buf.push(2),
+            Op::Sub => buf.push(3),
+            Op::Mul => buf.push(4),
+            Op::Div => buf.push(5),
+            Op::Neg => buf.push(6),
+            Op::Fma { kind, negate_b } => {
+                buf.push(7);
+                buf.push(kind_tag(*kind));
+                buf.push(*negate_b as u8);
+            }
+            Op::IeeeToCs(kind) => {
+                buf.push(8);
+                buf.push(kind_tag(*kind));
+            }
+            Op::CsToIeee(kind) => {
+                buf.push(9);
+                buf.push(kind_tag(*kind));
+            }
+            Op::Output(name) => {
+                buf.push(10);
+                push_str(&mut buf, name);
+            }
+        }
+        for &a in &n.args {
+            buf.extend_from_slice(&(a as u32).to_le_bytes());
+        }
+    }
+    buf
+}
+
+fn errors_only(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect()
+}
+
+/// Compile a graph into a tape, gating on the `D*` dataflow rules and
+/// the `W*` rules of the standard transport formats the graph uses.
+pub fn compile(g: &Cdfg) -> Result<Tape, CompileError> {
+    compile_with_formats(g, format_of(FmaKind::Pcs), format_of(FmaKind::Fcs))
+}
+
+/// [`compile`] with explicit transport formats (ablation studies swap in
+/// non-standard geometries). The `W*` width rules run on whichever
+/// formats the graph's fused nodes actually reference; a format carrying
+/// `W*` errors refuses to compile.
+pub fn compile_with_formats(
+    g: &Cdfg,
+    pcs_format: CsFmaFormat,
+    fcs_format: CsFmaFormat,
+) -> Result<Tape, CompileError> {
+    let mut diags = errors_only(match g.validate_diagnostics() {
+        Ok(()) => Vec::new(),
+        Err(d) => d,
+    });
+    if diags.is_empty() {
+        // the dataflow pass needs well-formed edges; only run it (and
+        // everything below) once the structural rules hold
+        diags.extend(errors_only(lint_dataflow(g, &OpTiming::default())));
+        let mut kinds: Vec<FmaKind> = Vec::new();
+        for n in g.nodes() {
+            if let Op::Fma { kind, .. } | Op::IeeeToCs(kind) | Op::CsToIeee(kind) = &n.op {
+                if !kinds.contains(kind) {
+                    kinds.push(*kind);
+                }
+            }
+        }
+        for kind in kinds {
+            let fmt = match kind {
+                FmaKind::Pcs => &pcs_format,
+                FmaKind::Fcs => &fcs_format,
+            };
+            diags.extend(errors_only(check_format(fmt)));
+        }
+    }
+    if !diags.is_empty() {
+        return Err(CompileError { diagnostics: diags });
+    }
+    Ok(lower(g, pcs_format, fcs_format))
+}
+
+/// [`compile`], additionally gating on the `S*` schedule-hazard rules
+/// for a concrete schedule and resource allocation. Use this when the
+/// tape stands in for hardware that will run `s` — a premature start or
+/// resource overflow there is a miscompilation here.
+pub fn compile_scheduled(
+    g: &Cdfg,
+    t: &OpTiming,
+    s: &Schedule,
+    limits: &ResourceLimits,
+) -> Result<Tape, CompileError> {
+    let tape = compile(g)?;
+    let diags = errors_only(lint_schedule(g, t, s, limits));
+    if !diags.is_empty() {
+        return Err(CompileError { diagnostics: diags });
+    }
+    Ok(tape)
+}
+
+/// Resolve `Output` pass-throughs: the value of an `Output` node is its
+/// argument's value.
+fn resolve(g: &Cdfg, mut id: usize) -> usize {
+    while let Op::Output(_) = &g.nodes()[id].op {
+        id = g.nodes()[id].args[0];
+    }
+    id
+}
+
+/// Lower a validated graph. Register allocation is linear-scan over the
+/// topological order: a slot is freed at its value's last read and
+/// immediately reusable, so `n_*_regs` is the peak number of
+/// simultaneously-live values per bank, not the node count.
+fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
+    let nodes = g.nodes();
+    // last position reading each (resolved) value
+    let mut last_use = vec![0usize; nodes.len()];
+    for (id, n) in nodes.iter().enumerate() {
+        for &a in &n.args {
+            last_use[resolve(g, a)] = id;
+        }
+    }
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut input_index: HashMap<&str, u32> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut consts: Vec<f64> = Vec::new();
+
+    let mut free_f64: Vec<u32> = Vec::new();
+    let mut free_cs: Vec<u32> = Vec::new();
+    let mut n_f64_regs = 0usize;
+    let mut n_cs_regs = 0usize;
+    // register of each non-Output node (banks overlap in numbering)
+    let mut reg = vec![u32::MAX; nodes.len()];
+    let mut instrs = Vec::with_capacity(nodes.len());
+
+    for (id, n) in nodes.iter().enumerate() {
+        let arg_reg = |k: usize| reg[resolve(g, n.args[k])];
+        if let Op::Output(name) = &n.op {
+            outputs.push(name.clone());
+            instrs.push(Instr::Store {
+                output: (outputs.len() - 1) as u32,
+                src: arg_reg(0),
+            });
+            continue;
+        }
+        let args_regs: Vec<u32> = (0..n.args.len()).map(arg_reg).collect();
+        // free dead argument slots before allocating the destination —
+        // an op may legally write the slot one of its sources held
+        for &a in &n.args {
+            let a = resolve(g, a);
+            if last_use[a] == id && reg[a] != u32::MAX {
+                match nodes[a].op.domain() {
+                    crate::cdfg::Domain::Ieee => free_f64.push(reg[a]),
+                    crate::cdfg::Domain::Cs => free_cs.push(reg[a]),
+                }
+                reg[a] = u32::MAX; // freed exactly once even with two reads
+            }
+        }
+        let dst = match n.op.domain() {
+            crate::cdfg::Domain::Ieee => free_f64.pop().unwrap_or_else(|| {
+                n_f64_regs += 1;
+                (n_f64_regs - 1) as u32
+            }),
+            crate::cdfg::Domain::Cs => free_cs.pop().unwrap_or_else(|| {
+                n_cs_regs += 1;
+                (n_cs_regs - 1) as u32
+            }),
+        };
+        reg[id] = dst;
+        let a = |k: usize| args_regs[k];
+        instrs.push(match &n.op {
+            Op::Input(name) => {
+                let input = *input_index.entry(name.as_str()).or_insert_with(|| {
+                    inputs.push(name.clone());
+                    (inputs.len() - 1) as u32
+                });
+                Instr::LoadInput { dst, input }
+            }
+            Op::Const(v) => {
+                consts.push(*v);
+                Instr::LoadConst {
+                    dst,
+                    idx: (consts.len() - 1) as u32,
+                }
+            }
+            Op::Add => Instr::Add {
+                dst,
+                a: a(0),
+                b: a(1),
+            },
+            Op::Sub => Instr::Sub {
+                dst,
+                a: a(0),
+                b: a(1),
+            },
+            Op::Mul => Instr::Mul {
+                dst,
+                a: a(0),
+                b: a(1),
+            },
+            Op::Div => Instr::Div {
+                dst,
+                a: a(0),
+                b: a(1),
+            },
+            Op::Neg => Instr::Neg { dst, a: a(0) },
+            Op::Fma { kind, negate_b } => Instr::Fma {
+                kind: *kind,
+                negate_b: *negate_b,
+                dst,
+                acc: a(0),
+                b: a(1),
+                mulc: a(2),
+            },
+            Op::IeeeToCs(kind) => Instr::IeeeToCs {
+                kind: *kind,
+                dst,
+                src: a(0),
+            },
+            Op::CsToIeee(_) => Instr::CsToIeee { dst, src: a(0) },
+            Op::Output(_) => unreachable!("handled above"),
+        });
+    }
+
+    let consts_canonical = consts.iter().map(|&c| sfb::canonicalize(c)).collect();
+    Tape {
+        instrs,
+        inputs,
+        outputs,
+        consts,
+        consts_canonical,
+        n_f64_regs,
+        n_cs_regs,
+        pcs_format,
+        fcs_format,
+        fingerprint: graph_fingerprint(g),
+        source_nodes: g.len(),
+    }
+}
+
+impl Tape {
+    /// The instruction stream, in execution order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Positional input names (first-read order); a batch row supplies
+    /// one value per name, in this order.
+    pub fn input_names(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Positional output names (graph order).
+    pub fn output_names(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Values per input row.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Values per output row.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Peak live binary64 values (size of the `r` bank).
+    pub fn num_f64_regs(&self) -> usize {
+        self.n_f64_regs
+    }
+
+    /// Peak live carry-save values (size of the `c` bank).
+    pub fn num_cs_regs(&self) -> usize {
+        self.n_cs_regs
+    }
+
+    /// Node count of the source graph.
+    pub fn source_nodes(&self) -> usize {
+        self.source_nodes
+    }
+
+    /// FNV-1a digest of the source graph's canonical encoding.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// A fresh register file sized for this tape. Reuse it across rows;
+    /// [`Tape::eval_batch`] keeps one per worker.
+    pub fn scratch(&self) -> TapeScratch {
+        TapeScratch {
+            f: vec![0.0; self.n_f64_regs],
+            cs: vec![CsOperand::zero(self.pcs_format, false); self.n_cs_regs],
+            cs_f: vec![0.0; self.n_cs_regs],
+            pcs: CsFmaUnit::new(self.pcs_format),
+            fcs: CsFmaUnit::new(self.fcs_format),
+        }
+    }
+
+    /// Evaluate one input row (`row.len() == num_inputs()`) into `out`
+    /// (`out.len() == num_outputs()`).
+    pub fn eval_row(
+        &self,
+        backend: TapeBackend,
+        row: &[f64],
+        out: &mut [f64],
+        scratch: &mut TapeScratch,
+    ) {
+        assert_eq!(row.len(), self.inputs.len(), "row arity mismatch");
+        assert_eq!(out.len(), self.outputs.len(), "output arity mismatch");
+        match backend {
+            TapeBackend::F64 => self.eval_row_f64(row, out, scratch),
+            TapeBackend::BitAccurate => self.eval_row_bit(row, out, scratch),
+        }
+    }
+
+    fn eval_row_f64(&self, row: &[f64], out: &mut [f64], s: &mut TapeScratch) {
+        let f = &mut s.f;
+        let cs_f = &mut s.cs_f;
+        for ins in &self.instrs {
+            match *ins {
+                Instr::LoadInput { dst, input } => f[dst as usize] = row[input as usize],
+                Instr::LoadConst { dst, idx } => f[dst as usize] = self.consts[idx as usize],
+                Instr::Add { dst, a, b } => f[dst as usize] = f[a as usize] + f[b as usize],
+                Instr::Sub { dst, a, b } => f[dst as usize] = f[a as usize] - f[b as usize],
+                Instr::Mul { dst, a, b } => f[dst as usize] = f[a as usize] * f[b as usize],
+                Instr::Div { dst, a, b } => f[dst as usize] = f[a as usize] / f[b as usize],
+                Instr::Neg { dst, a } => f[dst as usize] = -f[a as usize],
+                Instr::Fma {
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                    ..
+                } => {
+                    let bv = if negate_b {
+                        -f[b as usize]
+                    } else {
+                        f[b as usize]
+                    };
+                    cs_f[dst as usize] = bv.mul_add(cs_f[mulc as usize], cs_f[acc as usize]);
+                }
+                Instr::IeeeToCs { dst, src, .. } => cs_f[dst as usize] = f[src as usize],
+                Instr::CsToIeee { dst, src } => f[dst as usize] = cs_f[src as usize],
+                Instr::Store { output, src } => out[output as usize] = f[src as usize],
+            }
+        }
+    }
+
+    fn eval_row_bit(&self, row: &[f64], out: &mut [f64], s: &mut TapeScratch) {
+        let f = &mut s.f;
+        let cs = &mut s.cs;
+        for ins in &self.instrs {
+            match *ins {
+                Instr::LoadInput { dst, input } => {
+                    f[dst as usize] = sfb::canonicalize(row[input as usize])
+                }
+                Instr::LoadConst { dst, idx } => {
+                    f[dst as usize] = self.consts_canonical[idx as usize]
+                }
+                Instr::Add { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_add(f[a as usize], f[b as usize])
+                }
+                Instr::Sub { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_sub(f[a as usize], f[b as usize])
+                }
+                Instr::Mul { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_mul(f[a as usize], f[b as usize])
+                }
+                Instr::Div { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_div(f[a as usize], f[b as usize])
+                }
+                Instr::Neg { dst, a } => f[dst as usize] = sfb::hosted_neg(f[a as usize]),
+                Instr::Fma {
+                    kind,
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                } => {
+                    let unit = match kind {
+                        FmaKind::Pcs => &s.pcs,
+                        FmaKind::Fcs => &s.fcs,
+                    };
+                    let mut bv = SoftFloat::from_f64(F, f[b as usize]);
+                    if negate_b {
+                        bv = bv.neg();
+                    }
+                    let r = unit.fma(&cs[acc as usize], &bv, &cs[mulc as usize]);
+                    cs[dst as usize] = r;
+                }
+                Instr::IeeeToCs { kind, dst, src } => {
+                    let fmt = match kind {
+                        FmaKind::Pcs => self.pcs_format,
+                        FmaKind::Fcs => self.fcs_format,
+                    };
+                    cs[dst as usize] = CsOperand::from_f64(f[src as usize], fmt);
+                }
+                Instr::CsToIeee { dst, src } => {
+                    f[dst as usize] = cs[src as usize].to_ieee(F, Round::NearestEven).to_f64();
+                }
+                Instr::Store { output, src } => out[output as usize] = f[src as usize],
+            }
+        }
+    }
+
+    /// Evaluate a batch of rows. `rows` is row-major,
+    /// `rows.len() = n · num_inputs()`; the result is row-major,
+    /// `n · num_outputs()` long. Up to `threads` workers process
+    /// fixed-size row chunks; the output is bitwise identical for any
+    /// `threads`, including 1 (see `csfma_core::batch`).
+    ///
+    /// # Panics
+    /// If the tape has no inputs (the row count would be ambiguous —
+    /// evaluate constant graphs with [`Tape::eval_row`]) or `rows.len()`
+    /// is not a multiple of `num_inputs()`.
+    pub fn eval_batch(&self, backend: TapeBackend, rows: &[f64], threads: usize) -> Vec<f64> {
+        let ni = self.inputs.len();
+        assert!(ni > 0, "eval_batch on a tape with no inputs");
+        assert_eq!(rows.len() % ni, 0, "rows not a multiple of num_inputs");
+        let n = rows.len() / ni;
+        let no = self.outputs.len();
+        let mut out = vec![0.0f64; n * no];
+        if no == 0 {
+            return out;
+        }
+        par_chunks_indexed(
+            &mut out,
+            CHUNK_ROWS * no,
+            threads,
+            || self.scratch(),
+            |scratch, chunk_idx, chunk| {
+                let base = chunk_idx * CHUNK_ROWS;
+                for (k, orow) in chunk.chunks_mut(no).enumerate() {
+                    let row = &rows[(base + k) * ni..(base + k + 1) * ni];
+                    self.eval_row(backend, row, orow, scratch);
+                }
+            },
+        );
+        out
+    }
+
+    /// Convenience: evaluate a batch and pair each output row with the
+    /// output names, like the scalar interpreters' `HashMap` result.
+    pub fn output_map(&self, out_row: &[f64]) -> HashMap<String, f64> {
+        self.outputs
+            .iter()
+            .cloned()
+            .zip(out_row.iter().copied())
+            .collect()
+    }
+}
+
+static TAPE_CACHE: OnceLock<Mutex<HashMap<Vec<u8>, Arc<Tape>>>> = OnceLock::new();
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<Vec<u8>, Arc<Tape>>> {
+    TAPE_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// [`compile`] through the process-wide tape cache, keyed by the graph's
+/// full canonical encoding (collision-proof; the [`Tape::fingerprint`]
+/// digest is informational). Two calls with structurally identical
+/// graphs return the same `Arc` — the second call does no compilation
+/// and no checking.
+pub fn compile_cached(g: &Cdfg) -> Result<Arc<Tape>, CompileError> {
+    let key = canonical_encoding(g);
+    if let Some(t) = cache().lock().unwrap().get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(t));
+    }
+    // compile outside the lock; a racing duplicate insert is harmless
+    // (both tapes are identical) and the first one wins
+    let tape = Arc::new(compile(g)?);
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let mut map = cache().lock().unwrap();
+    Ok(Arc::clone(map.entry(key).or_insert(tape)))
+}
+
+/// `(hits, misses)` counters of [`compile_cached`] since process start.
+pub fn tape_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Drop every cached tape (benchmarks use this to measure cold compiles).
+pub fn clear_tape_cache() {
+    cache().lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdfg::NodeId;
+    use crate::fuse::{fuse_critical_paths, FusionConfig};
+    use crate::interp::{eval_bit_accurate, eval_f64};
+
+    /// Listing 1 of the paper: a three-link multiply-add chain.
+    fn listing1() -> Cdfg {
+        let mut g = Cdfg::new();
+        let v: Vec<NodeId> = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "k"]
+            .iter()
+            .map(|s| g.input(*s))
+            .collect();
+        let m1 = g.mul(v[0], v[1]);
+        let m2 = g.mul(v[2], v[3]);
+        let x1 = g.add(m1, m2);
+        let m3 = g.mul(v[4], v[5]);
+        let m4 = g.mul(v[6], x1);
+        let x2 = g.add(m3, m4);
+        let m5 = g.mul(v[7], v[8]);
+        let m6 = g.mul(v[9], x2);
+        let x3 = g.add(m5, m6);
+        g.output("x3", x3);
+        g
+    }
+
+    fn listing1_row(tape: &Tape) -> (Vec<f64>, HashMap<String, f64>) {
+        let vals: HashMap<String, f64> = [
+            ("a", 1.5),
+            ("b", -2.25),
+            ("c", 0.3),
+            ("d", 7.0),
+            ("e", -0.001),
+            ("f", 42.0),
+            ("g", 1e10),
+            ("h", -3.5),
+            ("i", 0.125),
+            ("k", 9.9),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let row = tape
+            .input_names()
+            .iter()
+            .map(|n| vals[n.as_str()])
+            .collect();
+        (row, vals)
+    }
+
+    fn run_one(tape: &Tape, backend: TapeBackend, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; tape.num_outputs()];
+        tape.eval_row(backend, row, &mut out, &mut tape.scratch());
+        out
+    }
+
+    #[test]
+    fn tape_matches_both_oracles_on_listing1() {
+        let g = listing1();
+        let tape = compile(&g).unwrap();
+        let (row, vals) = listing1_row(&tape);
+        let got_f = run_one(&tape, TapeBackend::F64, &row);
+        let got_b = run_one(&tape, TapeBackend::BitAccurate, &row);
+        let want_f = eval_f64(&g, &vals);
+        let want_b = eval_bit_accurate(&g, &vals);
+        assert_eq!(got_f[0].to_bits(), want_f["x3"].to_bits());
+        assert_eq!(got_b[0].to_bits(), want_b["x3"].to_bits());
+    }
+
+    #[test]
+    fn tape_matches_both_oracles_on_fused_graph() {
+        for kind in [FmaKind::Pcs, FmaKind::Fcs] {
+            let g = fuse_critical_paths(&listing1(), &FusionConfig::new(kind)).fused;
+            let tape = compile(&g).unwrap();
+            let (row, vals) = listing1_row(&tape);
+            let got_f = run_one(&tape, TapeBackend::F64, &row);
+            let got_b = run_one(&tape, TapeBackend::BitAccurate, &row);
+            let want_f = eval_f64(&g, &vals);
+            let want_b = eval_bit_accurate(&g, &vals);
+            assert_eq!(got_f[0].to_bits(), want_f["x3"].to_bits(), "{kind:?} f64");
+            assert_eq!(got_b[0].to_bits(), want_b["x3"].to_bits(), "{kind:?} bit");
+        }
+    }
+
+    #[test]
+    fn register_slots_are_reused() {
+        // a long dependent chain keeps only a handful of values live, so
+        // linear-scan allocation must stay far below one slot per node
+        let mut g = Cdfg::new();
+        let mut x = g.input("x0");
+        for i in 0..100 {
+            let c = g.input(format!("c{i}"));
+            let m = g.mul(c, x);
+            x = g.add(m, x);
+        }
+        g.output("y", x);
+        let tape = compile(&g).unwrap();
+        assert!(
+            tape.num_f64_regs() <= 4,
+            "peak live registers {} should be tiny for a chain",
+            tape.num_f64_regs()
+        );
+        assert_eq!(tape.source_nodes(), g.len());
+    }
+
+    #[test]
+    fn eval_batch_matches_row_loop_and_is_thread_invariant() {
+        let g = fuse_critical_paths(&listing1(), &FusionConfig::new(FmaKind::Pcs)).fused;
+        let tape = compile(&g).unwrap();
+        let ni = tape.num_inputs();
+        // enough rows for several chunks
+        let n = 3 * CHUNK_ROWS + 7;
+        let rows: Vec<f64> = (0..n * ni)
+            .map(|i| ((i * 2654435761) % 1000) as f64 * 0.17 - 85.0)
+            .collect();
+        for backend in [TapeBackend::F64, TapeBackend::BitAccurate] {
+            let seq: Vec<f64> = {
+                let mut s = tape.scratch();
+                let mut out = vec![0.0; n * tape.num_outputs()];
+                for r in 0..n {
+                    let (lo, hi) = (r * ni, (r + 1) * ni);
+                    tape.eval_row(backend, &rows[lo..hi], &mut out[r..r + 1], &mut s);
+                }
+                out
+            };
+            for threads in [1usize, 2, 8] {
+                let got = tape.eval_batch(backend, &rows, threads);
+                assert!(
+                    got.iter()
+                        .zip(seq.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{backend:?} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_returns_shared_tape() {
+        let g = listing1();
+        let (h0, m0) = tape_cache_stats();
+        let a = compile_cached(&g).unwrap();
+        let b = compile_cached(&g).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let (h1, m1) = tape_cache_stats();
+        assert!(h1 > h0, "second compile must hit the cache");
+        assert!(m1 > m0, "first compile must miss the cache");
+        // structurally identical but separately built graph also hits
+        let c = compile_cached(&listing1()).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(a.fingerprint(), graph_fingerprint(&listing1()));
+    }
+
+    #[test]
+    fn compile_rejects_graph_with_checker_errors() {
+        let mut g = Cdfg::new();
+        let a = g.input("a");
+        // D001: Add with one argument, planted behind the validator's back
+        g.push_unchecked(Op::Add, vec![a]);
+        let err = compile(&g).unwrap_err();
+        assert!(!err.diagnostics.is_empty());
+        assert!(err
+            .diagnostics
+            .iter()
+            .all(|d| d.severity == Severity::Error));
+        let msg = err.to_string();
+        assert!(msg.contains("cannot compile"), "{msg}");
+    }
+
+    #[test]
+    fn warnings_do_not_block_compilation() {
+        // dead node (D005) and a no-sink graph (D006) are warnings
+        let mut g = Cdfg::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        g.add(a, b); // dead: never reaches an output
+        let x = g.mul(a, b);
+        g.output("y", x);
+        compile(&g).expect("warnings must not gate the tape");
+    }
+}

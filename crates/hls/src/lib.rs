@@ -16,6 +16,10 @@
 //! * [`interp`] — reference (f64) and bit-accurate (soft-float +
 //!   behavioral FMA) interpreters, used to prove the pass preserves
 //!   semantics,
+//! * [`compile`] — the batch execution engine: a one-time lowering of a
+//!   validated graph to a flat register-slot instruction [`Tape`]
+//!   (cached by graph identity) with `f64` and bit-accurate backends and
+//!   deterministic parallel [`Tape::eval_batch`],
 //! * [`sched`] — ASAP / resource-constrained list scheduling with the
 //!   200 MHz operator latency table,
 //! * [`fuse`] — the Fig. 12 fusion pass,
@@ -24,6 +28,7 @@
 //!   debug builds.
 
 pub mod cdfg;
+pub mod compile;
 pub mod fuse;
 pub mod interp;
 pub mod lint;
@@ -33,6 +38,10 @@ pub mod printer;
 pub mod sched;
 
 pub use cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
+pub use compile::{
+    clear_tape_cache, compile, compile_cached, compile_scheduled, compile_with_formats,
+    graph_fingerprint, tape_cache_stats, CompileError, Instr, Tape, TapeBackend, TapeScratch,
+};
 pub use fuse::{fuse_critical_paths, FusionConfig, FusionReport};
 pub use lint::{capacity_list, lint_dataflow, lint_schedule, schedule_view, to_check_graph};
 pub use optimize::{optimize, OptimizeReport};

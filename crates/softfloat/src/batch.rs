@@ -1,0 +1,219 @@
+//! Batch-friendly binary64 entry points.
+//!
+//! The scalar [`SoftFloat`] operators allocate nothing, but they carry a
+//! per-value class/sign/exp/frac decomposition through every call, which
+//! costs ~50× a hardware multiply when a batch engine streams millions of
+//! operands. This module provides the hot-loop contract the compiled
+//! tape executor (`csfma-hls::compile`) is built on:
+//!
+//! Every binary64 workspace value is a **canonical FTZ double** — the
+//! image of `SoftFloat::from_f64` followed by `to_f64`:
+//!
+//! * no subnormals (they flush to signed zero, like the operators do),
+//! * a single NaN representation (`f64::NAN`, no payloads, no sign),
+//! * all other values (±0, ±Inf, normals) exactly as IEEE encodes them.
+//!
+//! On that domain the map `f64 ↔ SoftFloat(BINARY64)` is a bijection, so
+//! an operator may be evaluated *on the host FPU* whenever the host and
+//! the soft-float model provably agree, falling back to the soft-float
+//! operator in the narrow window where they can differ:
+//!
+//! * results that are NaN (host NaN bit patterns are platform-defined;
+//!   the model has exactly one NaN), and
+//! * results in `(0, MIN_POSITIVE]` — the flush-to-zero boundary, where
+//!   the host rounds on the subnormal grid but the model rounds on its
+//!   own finer `emin-1` grid before flushing (`x = MIN_POSITIVE` itself
+//!   is included because the host can reach it by rounding *across* the
+//!   boundary from below, e.g. ties at `MIN_POSITIVE - 2^-1075`).
+//!
+//! Everywhere else both sides round the same exact value to the same
+//! normal-range grid, so the results are bit-identical; the differential
+//! suites (`softfloat::tests`, `tests/exec_differential.rs`) enforce
+//! this on random and special operands.
+
+use crate::format::FpFormat;
+use crate::value::SoftFloat;
+
+const F: FpFormat = FpFormat::BINARY64;
+
+/// Canonicalize a host double into the workspace value domain: subnormals
+/// flush to signed zero, every NaN collapses to `f64::NAN`. This is
+/// exactly `SoftFloat::from_f64(BINARY64, v).to_f64()`, computed without
+/// building the intermediate.
+#[inline]
+pub fn canonicalize(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NAN
+    } else if v.is_subnormal() {
+        if v.is_sign_negative() {
+            -0.0
+        } else {
+            0.0
+        }
+    } else {
+        v
+    }
+}
+
+/// Canonicalize a slice in place.
+pub fn canonicalize_slice(vs: &mut [f64]) {
+    for v in vs {
+        *v = canonicalize(*v);
+    }
+}
+
+/// True when a host-computed result cannot be trusted to match the
+/// soft-float operator bit-for-bit and must be recomputed.
+#[inline]
+fn needs_softfloat(r: f64) -> bool {
+    r.is_nan() || (r != 0.0 && r.abs() <= f64::MIN_POSITIVE)
+}
+
+#[inline]
+fn sf(v: f64) -> SoftFloat {
+    SoftFloat::from_f64(F, v)
+}
+
+/// `a + b` with soft-float binary64 semantics at host speed.
+/// Operands must be canonical (see [`canonicalize`]); the result is.
+#[inline]
+pub fn hosted_add(a: f64, b: f64) -> f64 {
+    let r = a + b;
+    if needs_softfloat(r) {
+        sf(a).add(&sf(b)).to_f64()
+    } else {
+        r
+    }
+}
+
+/// `a - b` with soft-float binary64 semantics at host speed.
+#[inline]
+pub fn hosted_sub(a: f64, b: f64) -> f64 {
+    let r = a - b;
+    if needs_softfloat(r) {
+        sf(a).sub(&sf(b)).to_f64()
+    } else {
+        r
+    }
+}
+
+/// `a * b` with soft-float binary64 semantics at host speed.
+#[inline]
+pub fn hosted_mul(a: f64, b: f64) -> f64 {
+    let r = a * b;
+    if needs_softfloat(r) {
+        sf(a).mul(&sf(b)).to_f64()
+    } else {
+        r
+    }
+}
+
+/// `a / b` with soft-float binary64 semantics at host speed.
+#[inline]
+pub fn hosted_div(a: f64, b: f64) -> f64 {
+    let r = a / b;
+    if needs_softfloat(r) {
+        sf(a).div(&sf(b)).to_f64()
+    } else {
+        r
+    }
+}
+
+/// `-a` with soft-float binary64 semantics. Negation never rounds, so the
+/// only divergence is the NaN representation (the model's NaN is
+/// sign-less; the host flips the sign bit).
+#[inline]
+pub fn hosted_neg(a: f64) -> f64 {
+    if a.is_nan() {
+        f64::NAN
+    } else {
+        -a
+    }
+}
+
+/// Elementwise `dst[i] = a[i] + b[i]` over canonical slices.
+pub fn add_slices(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(
+        dst.len() == a.len() && a.len() == b.len(),
+        "length mismatch"
+    );
+    for i in 0..dst.len() {
+        dst[i] = hosted_add(a[i], b[i]);
+    }
+}
+
+/// Elementwise `dst[i] = a[i] * b[i]` over canonical slices.
+pub fn mul_slices(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(
+        dst.len() == a.len() && a.len() == b.len(),
+        "length mismatch"
+    );
+    for i in 0..dst.len() {
+        dst[i] = hosted_mul(a[i], b[i]);
+    }
+}
+
+/// Elementwise true fused `dst[i] = a[i] * b[i] + c[i]` via the
+/// soft-float `fma` (single rounding). There is no host fast path here:
+/// `f64::mul_add` may lower to separate multiply/add on targets without
+/// an FMA instruction, so only the soft-float operator is trustworthy.
+pub fn fma_slices(dst: &mut [f64], a: &[f64], b: &[f64], c: &[f64]) {
+    assert!(
+        dst.len() == a.len() && a.len() == b.len() && b.len() == c.len(),
+        "length mismatch"
+    );
+    for i in 0..dst.len() {
+        dst[i] = sf(a[i]).fma(&sf(b[i]), &sf(c[i])).to_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_maps_into_from_f64_image() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -2.5e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            -4.9e-324,               // smallest subnormal
+        ] {
+            let via_soft = SoftFloat::from_f64(F, v).to_f64();
+            assert_eq!(canonicalize(v).to_bits(), via_soft.to_bits(), "v={v:e}");
+        }
+    }
+
+    #[test]
+    fn hosted_ops_agree_with_softfloat_on_underflow_boundary() {
+        // exactly the divergence window the guard exists for: a product
+        // that lands between the largest subnormal and MIN_POSITIVE
+        let a = f64::MIN_POSITIVE * 1.999999;
+        let b = 0.5;
+        assert_eq!(
+            hosted_mul(a, b).to_bits(),
+            sf(a).mul(&sf(b)).to_f64().to_bits()
+        );
+        // and straight into the subnormal range
+        let c = f64::MIN_POSITIVE * 0.3;
+        assert_eq!(
+            hosted_mul(c, 0.5).to_bits(),
+            sf(c).mul(&sf(0.5)).to_f64().to_bits()
+        );
+    }
+
+    #[test]
+    fn hosted_nan_is_canonical() {
+        let r = hosted_mul(0.0, f64::INFINITY);
+        assert_eq!(r.to_bits(), f64::NAN.to_bits());
+        assert_eq!(hosted_neg(f64::NAN).to_bits(), f64::NAN.to_bits());
+        assert_eq!(hosted_div(0.0, 0.0).to_bits(), f64::NAN.to_bits());
+    }
+}

@@ -19,6 +19,7 @@
 //! multiply-add and every operation is correctly rounded in the chosen
 //! [`Round`] mode.
 
+pub mod batch;
 mod divsqrt;
 mod exact;
 mod format;

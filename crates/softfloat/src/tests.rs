@@ -179,3 +179,91 @@ mod tie_semantics {
         assert!(down.sign && up.sign);
     }
 }
+
+mod special_value_matrix {
+    //! Exhaustive special-value matrix for the batch module's hosted
+    //! fast path: for every pair drawn from the IEEE special classes
+    //! (NaN, ±Inf, ±0, subnormals, underflow-boundary and extreme
+    //! normals), `hosted_*` over canonicalized inputs must agree **bit
+    //! for bit** with the soft-float operators — the equivalence the
+    //! compiled tape's bit-accurate backend stands on.
+
+    use crate::batch::{canonicalize, hosted_add, hosted_div, hosted_mul, hosted_neg, hosted_sub};
+    use crate::{FpFormat, SoftFloat};
+
+    fn specials() -> Vec<f64> {
+        vec![
+            f64::NAN,
+            -f64::NAN, // host-negative NaN: canonicalize must erase the sign
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::from_bits(1), // smallest subnormal
+            -f64::from_bits(1),
+            f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest subnormal
+            -f64::from_bits(0x000F_FFFF_FFFF_FFFF),
+            f64::MIN_POSITIVE, // smallest normal
+            -f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE * 1.999, // just above the boundary
+            f64::MAX,
+            -f64::MAX,
+            1.5,
+            -2.25,
+            1e-300,
+            -1e308,
+        ]
+    }
+
+    fn sf(v: f64) -> SoftFloat {
+        SoftFloat::from_f64(FpFormat::BINARY64, v)
+    }
+
+    #[test]
+    fn hosted_ops_match_softfloat_on_full_matrix() {
+        for &ra in &specials() {
+            for &rb in &specials() {
+                // the tape canonicalizes on load, so the hosted ops see
+                // only canonical-FTZ values — same as from_f64 would give
+                let (a, b) = (canonicalize(ra), canonicalize(rb));
+                let cases = [
+                    ("add", hosted_add(a, b), sf(ra).add(&sf(rb))),
+                    ("sub", hosted_sub(a, b), sf(ra).sub(&sf(rb))),
+                    ("mul", hosted_mul(a, b), sf(ra).mul(&sf(rb))),
+                    ("div", hosted_div(a, b), sf(ra).div(&sf(rb))),
+                ];
+                for (op, got, want) in cases {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_f64().to_bits(),
+                        "{op}({ra:e}, {rb:e}): hosted {got:e} vs softfloat {:e}",
+                        want.to_f64()
+                    );
+                }
+            }
+            let a = canonicalize(ra);
+            assert_eq!(
+                hosted_neg(a).to_bits(),
+                sf(ra).neg().to_f64().to_bits(),
+                "neg({ra:e})"
+            );
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_ftz_on_matrix() {
+        for &v in &specials() {
+            let c = canonicalize(v);
+            assert_eq!(
+                c.to_bits(),
+                canonicalize(c).to_bits(),
+                "idempotent on {v:e}"
+            );
+            // image contains no subnormals and only the canonical NaN
+            assert!(c.is_nan() || c == 0.0 || c.abs() >= f64::MIN_POSITIVE);
+            if c.is_nan() {
+                assert_eq!(c.to_bits(), f64::NAN.to_bits());
+            }
+        }
+    }
+}

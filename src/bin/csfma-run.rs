@@ -1,0 +1,254 @@
+//! `csfma-run` — compile a textual datapath to an instruction tape and
+//! execute it over a batch of input vectors.
+//!
+//! The front half mirrors `csfma-lint` (parse, optionally fuse); the
+//! back half is the batch execution engine: `csfma_hls::compile_cached`
+//! lowers the graph once, then `Tape::eval_batch` streams pseudo-random
+//! input rows through the chosen backend with deterministic chunked
+//! parallelism. Because generation is seeded and the engine is
+//! thread-invariant, the printed output digest is reproducible down to
+//! the bit on any machine with the same backend.
+//!
+//! ```text
+//! usage: csfma-run [options] [FILE]
+//!
+//!   FILE           program file; '-' or none reads stdin
+//!   --backend B    f64 | bit        evaluator semantics (default: bit)
+//!   --fuse KIND    pcs | fcs        run the Fig. 12 fusion pass first
+//!   --batch N      evaluate N random input rows (default: 1)
+//!   --threads T    worker threads for the batch (default: 1)
+//!   --seed S       stimulus RNG seed (default: 42)
+//!   --range LO HI  uniform stimulus range (default: -1000 1000)
+//!   --verbose      print the compiled tape before running
+//! ```
+//!
+//! Exit status: 0 on success, 1 when compilation is refused by the
+//! static checker, 2 on usage/IO/parse errors.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use csfma_hls::{
+    compile_cached, fuse_critical_paths, parse_program, FmaKind, FusionConfig, Instr, Tape,
+    TapeBackend,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+struct Options {
+    file: Option<String>,
+    backend: TapeBackend,
+    fuse: Option<FmaKind>,
+    batch: usize,
+    threads: usize,
+    seed: u64,
+    lo: f64,
+    hi: f64,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csfma-run [--backend f64|bit] [--fuse pcs|fcs] [--batch N] \
+         [--threads T] [--seed S] [--range LO HI] [--verbose] [FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: None,
+        backend: TapeBackend::BitAccurate,
+        fuse: None,
+        batch: 1,
+        threads: 1,
+        seed: 42,
+        lo: -1000.0,
+        hi: 1000.0,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> f64 {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => usage(),
+            }
+        };
+        match arg.as_str() {
+            "--backend" => {
+                opts.backend = match args.next().as_deref() {
+                    Some("f64") => TapeBackend::F64,
+                    Some("bit") => TapeBackend::BitAccurate,
+                    _ => usage(),
+                }
+            }
+            "--fuse" => {
+                opts.fuse = match args.next().as_deref() {
+                    Some("pcs") => Some(FmaKind::Pcs),
+                    Some("fcs") => Some(FmaKind::Fcs),
+                    _ => usage(),
+                }
+            }
+            "--batch" => opts.batch = num(&mut args) as usize,
+            "--threads" => opts.threads = (num(&mut args) as usize).max(1),
+            "--seed" => opts.seed = num(&mut args) as u64,
+            "--range" => {
+                opts.lo = num(&mut args);
+                opts.hi = num(&mut args);
+                if opts.lo >= opts.hi || opts.lo.is_nan() || opts.hi.is_nan() {
+                    usage();
+                }
+            }
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with("--") => usage(),
+            _ if opts.file.is_none() => opts.file = Some(arg),
+            _ => usage(),
+        }
+    }
+    if opts.batch == 0 {
+        usage();
+    }
+    opts
+}
+
+/// FNV-1a over the output bit patterns — the reproducibility receipt.
+fn digest(values: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn describe(tape: &Tape) {
+    println!(
+        "compiled: {} instrs over {} source nodes | {} inputs -> {} outputs | \
+         regs: {} f64 + {} cs | fingerprint {:#018x}",
+        tape.instrs().len(),
+        tape.source_nodes(),
+        tape.num_inputs(),
+        tape.num_outputs(),
+        tape.num_f64_regs(),
+        tape.num_cs_regs(),
+        tape.fingerprint(),
+    );
+}
+
+fn dump(tape: &Tape) {
+    for (i, ins) in tape.instrs().iter().enumerate() {
+        let text = match ins {
+            Instr::LoadInput { dst, input } => {
+                format!("r{dst} = input {:?}", tape.input_names()[*input as usize])
+            }
+            Instr::LoadConst { dst, idx } => format!("r{dst} = const #{idx}"),
+            Instr::Add { dst, a, b } => format!("r{dst} = r{a} + r{b}"),
+            Instr::Sub { dst, a, b } => format!("r{dst} = r{a} - r{b}"),
+            Instr::Mul { dst, a, b } => format!("r{dst} = r{a} * r{b}"),
+            Instr::Div { dst, a, b } => format!("r{dst} = r{a} / r{b}"),
+            Instr::Neg { dst, a } => format!("r{dst} = -r{a}"),
+            Instr::Fma {
+                kind,
+                negate_b,
+                dst,
+                acc,
+                b,
+                mulc,
+            } => {
+                let sign = if *negate_b { "-" } else { "" };
+                format!("c{dst} = {kind:?}-fma(c{acc}, {sign}r{b}, c{mulc})")
+            }
+            Instr::IeeeToCs { kind, dst, src } => format!("c{dst} = to_{kind:?}(r{src})"),
+            Instr::CsToIeee { dst, src } => format!("r{dst} = to_ieee(c{src})"),
+            Instr::Store { output, src } => {
+                format!("out {:?} = r{src}", tape.output_names()[*output as usize])
+            }
+        };
+        println!("  [{i:3}] {text}");
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    let src = match &opts.file {
+        Some(f) if f != "-" => match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("csfma-run: {f}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("csfma-run: cannot read stdin");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+    };
+
+    let g = match parse_program(&src) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("csfma-run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let g = match opts.fuse {
+        Some(kind) => fuse_critical_paths(&g, &FusionConfig::new(kind)).fused,
+        None => g,
+    };
+
+    let tape = match compile_cached(&g) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("csfma-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    describe(&tape);
+    if opts.verbose {
+        dump(&tape);
+    }
+    if tape.num_inputs() == 0 {
+        // constant graph: a single row is the whole story
+        let mut out = vec![0.0; tape.num_outputs()];
+        tape.eval_row(opts.backend, &[], &mut out, &mut tape.scratch());
+        for (name, v) in tape.output_names().iter().zip(&out) {
+            println!("{name} = {v:?}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ni = tape.num_inputs();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let rows: Vec<f64> = (0..opts.batch * ni)
+        .map(|_| rng.gen_range(opts.lo..opts.hi))
+        .collect();
+
+    let start = Instant::now();
+    let out = tape.eval_batch(opts.backend, &rows, opts.threads);
+    let dt = start.elapsed();
+
+    // show the first row symbolically, then the digest of everything
+    for (name, v) in tape.output_names().iter().zip(&out) {
+        println!("row 0: {name} = {v:?}");
+    }
+    let per_row = dt.as_secs_f64() / opts.batch as f64;
+    println!(
+        "batch: {} rows | backend {:?} | {} thread(s) | {:.3} ms total, {:.3} us/row | digest {:#018x}",
+        opts.batch,
+        opts.backend,
+        opts.threads,
+        dt.as_secs_f64() * 1e3,
+        per_row * 1e6,
+        digest(&out),
+    );
+    ExitCode::SUCCESS
+}

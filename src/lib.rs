@@ -34,7 +34,8 @@ pub mod prelude {
         ChainEvaluator, ClassicFma, CsDotUnit, CsFmaFormat, CsFmaUnit, CsOperand, PipelinedFma,
     };
     pub use csfma_hls::{
-        asap_schedule, fuse_critical_paths, parse_program, FmaKind, FusionConfig, OpTiming,
+        asap_schedule, compile, compile_cached, fuse_critical_paths, parse_program, FmaKind,
+        FusionConfig, OpTiming, Tape, TapeBackend,
     };
     pub use csfma_softfloat::{FpClass, FpFormat, Round, SoftFloat};
     pub use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};

@@ -57,3 +57,85 @@ fn chain_state_is_bit_stable_across_orders_of_construction() {
     let via_ieee = CsOperand::from_ieee(&SoftFloat::from_f64(FpFormat::BINARY64, 2.5), fmt);
     assert_eq!(direct.pack(), via_ieee.pack());
 }
+
+#[test]
+fn eval_batch_is_thread_count_invariant() {
+    // the batch engine's contract: byte-identical output for any worker
+    // count, and equal to a sequential scalar loop over the same rows —
+    // fixed-size chunks make the split independent of scheduling
+    use csfma::hls::interp::{eval_bit_accurate, eval_f64};
+    use csfma::hls::{compile, TapeBackend};
+    use std::collections::HashMap;
+
+    let p = &solver_suite()[0];
+    let kkt = KktSystem::assemble(p);
+    let f = LdlFactors::factor(&kkt.matrix);
+    let prog = generate_ldlsolve(&f);
+    let rep = fuse_critical_paths(&prog.cdfg, &FusionConfig::new(FmaKind::Pcs));
+    let tape = compile(&rep.fused).expect("fused solver compiles");
+
+    let ni = tape.num_inputs();
+    let n_rows = 3 * 64 + 19; // several chunks plus a ragged tail
+    let rows: Vec<f64> = (0..n_rows * ni)
+        .map(|i| {
+            // deterministic, sign-varying, scale-varying stimulus
+            let k = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((k % 2001) as f64 - 1000.0) * 1.5e-2
+        })
+        .collect();
+
+    for backend in [TapeBackend::BitAccurate, TapeBackend::F64] {
+        let reference = tape.eval_batch(backend, &rows, 1);
+        for threads in [2usize, 8] {
+            let got = tape.eval_batch(backend, &rows, threads);
+            assert_eq!(reference.len(), got.len());
+            assert!(
+                reference
+                    .iter()
+                    .zip(got.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{backend:?} output varies at {threads} threads"
+            );
+        }
+
+        // sequential scalar-oracle loop over the same rows
+        let no = tape.num_outputs();
+        for r in [0usize, 1, 64, 65, n_rows - 1] {
+            let m: HashMap<String, f64> = tape
+                .input_names()
+                .iter()
+                .enumerate()
+                .map(|(k, n)| (n.clone(), rows[r * ni + k]))
+                .collect();
+            let want = match backend {
+                TapeBackend::F64 => eval_f64(&rep.fused, &m),
+                TapeBackend::BitAccurate => eval_bit_accurate(&rep.fused, &m),
+            };
+            for (k, name) in tape.output_names().iter().enumerate() {
+                assert_eq!(
+                    reference[r * no + k].to_bits(),
+                    want[name].to_bits(),
+                    "{backend:?} row {r} output {name} differs from scalar oracle"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tape_compilation_is_deterministic() {
+    // same graph -> same instruction stream, register counts, fingerprint
+    use csfma::hls::compile;
+    let p = &solver_suite()[0];
+    let kkt = KktSystem::assemble(p);
+    let f = LdlFactors::factor(&kkt.matrix);
+    let build = || {
+        let prog = generate_ldlsolve(&f);
+        compile(&prog.cdfg).expect("solver compiles")
+    };
+    let (a, b) = (build(), build());
+    assert_eq!(a.instrs(), b.instrs());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.num_f64_regs(), b.num_f64_regs());
+    assert_eq!(a.num_cs_regs(), b.num_cs_regs());
+}

@@ -1,0 +1,163 @@
+//! Differential testing of the batch execution engine: for randomly
+//! generated datapaths and adversarial stimulus (NaN, infinities, signed
+//! zeros, subnormals, arbitrary bit patterns), the compiled tape must
+//! reproduce the scalar reference interpreters **bit for bit** —
+//! `TapeBackend::BitAccurate` against `eval_bit_accurate` and
+//! `TapeBackend::F64` against `eval_f64`, on discrete graphs and on
+//! graphs rewritten by the Fig. 12 fusion pass.
+
+use csfma::hls::interp::{eval_bit_accurate, eval_f64};
+use csfma::hls::{
+    compile, fuse_critical_paths, Cdfg, FmaKind, FusionConfig, NodeId, Op, Tape, TapeBackend,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+type OpPick = (usize, prop::sample::Index, prop::sample::Index);
+
+/// Build a random straight-line graph: `n_inputs` inputs, then `ops`
+/// arithmetic nodes whose arguments are sampled from everything built so
+/// far, then outputs on the last node (always) and one sampled node.
+fn random_graph(
+    n_inputs: usize,
+    consts: &[f64],
+    ops: &[OpPick],
+    extra_out: prop::sample::Index,
+) -> Cdfg {
+    let mut g = Cdfg::new();
+    let mut nodes: Vec<NodeId> = (0..n_inputs).map(|i| g.input(format!("i{i}"))).collect();
+    for &c in consts {
+        nodes.push(g.constant(c));
+    }
+    for (op, ia, ib) in ops {
+        let a = nodes[ia.index(nodes.len())];
+        let b = nodes[ib.index(nodes.len())];
+        let id = match op % 5 {
+            0 => g.add(a, b),
+            1 => g.sub(a, b),
+            2 => g.mul(a, b),
+            3 => g.div(a, b),
+            _ => g.push(Op::Neg, vec![a]),
+        };
+        nodes.push(id);
+    }
+    g.output("last", *nodes.last().unwrap());
+    g.output("probe", nodes[extra_out.index(nodes.len())]);
+    g
+}
+
+/// Adversarial stimulus: every IEEE special class plus raw bit noise.
+fn stimulus() -> impl Strategy<Value = f64> {
+    (0usize..10, any::<u64>(), -1.0e6f64..1.0e6).prop_map(|(class, bits, x)| match class {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::from_bits(bits % (1u64 << 52)), // +subnormal
+        6 => -f64::from_bits(bits % (1u64 << 52)), // -subnormal
+        7 => f64::from_bits(bits),                // anything at all
+        8 => f64::MIN_POSITIVE * (1.0 + (bits % 8) as f64), // underflow border
+        _ => x,
+    })
+}
+
+fn input_map(g: &Cdfg, tape: &Tape, vals: &[f64]) -> (Vec<f64>, HashMap<String, f64>) {
+    let _ = g;
+    let row: Vec<f64> = tape
+        .input_names()
+        .iter()
+        .enumerate()
+        .map(|(k, _)| vals[k % vals.len()])
+        .collect();
+    let map = tape
+        .input_names()
+        .iter()
+        .cloned()
+        .zip(row.iter().copied())
+        .collect();
+    (row, map)
+}
+
+fn assert_tape_matches(g: &Cdfg, vals: &[f64]) {
+    let tape = compile(g).expect("generated graphs are valid");
+    let (row, map) = input_map(g, &tape, vals);
+    let mut scratch = tape.scratch();
+    let mut got = vec![0.0; tape.num_outputs()];
+
+    tape.eval_row(TapeBackend::BitAccurate, &row, &mut got, &mut scratch);
+    let want = eval_bit_accurate(g, &map);
+    for (name, v) in tape.output_names().iter().zip(&got) {
+        prop_assert_eq!(
+            v.to_bits(),
+            want[name].to_bits(),
+            "bit backend diverged on {} ({} vs {})",
+            name,
+            v,
+            want[name]
+        );
+    }
+
+    tape.eval_row(TapeBackend::F64, &row, &mut got, &mut scratch);
+    let want = eval_f64(g, &map);
+    for (name, v) in tape.output_names().iter().zip(&got) {
+        prop_assert_eq!(
+            v.to_bits(),
+            want[name].to_bits(),
+            "f64 backend diverged on {} ({} vs {})",
+            name,
+            v,
+            want[name]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Discrete graphs: every IEEE operator, adversarial values.
+    #[test]
+    fn tape_matches_oracles_on_random_graphs(
+        n_inputs in 1usize..5,
+        consts in prop::collection::vec(stimulus(), 0..3),
+        ops in prop::collection::vec((0usize..5, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 1..40),
+        extra_out: prop::sample::Index,
+        vals in prop::collection::vec(stimulus(), 1..8),
+    ) {
+        let g = random_graph(n_inputs, &consts, &ops, extra_out);
+        assert_tape_matches(&g, &vals);
+    }
+
+    /// The same graphs pushed through the fusion pass: Fma, IeeeToCs and
+    /// CsToIeee nodes now appear in the tape. Finite stimulus here — the
+    /// carry-save chain's special-value contract is pinned separately by
+    /// the unit-level matrix tests.
+    #[test]
+    fn tape_matches_oracles_on_fused_graphs(
+        n_inputs in 1usize..5,
+        ops in prop::collection::vec((0usize..5, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 4..30),
+        extra_out: prop::sample::Index,
+        kind_pick: bool,
+        vals in prop::collection::vec(-1.0e4f64..1.0e4, 1..8),
+    ) {
+        let g = random_graph(n_inputs, &[], &ops, extra_out);
+        let kind = if kind_pick { FmaKind::Pcs } else { FmaKind::Fcs };
+        let fused = fuse_critical_paths(&g, &FusionConfig::new(kind)).fused;
+        assert_tape_matches(&fused, &vals);
+    }
+
+    /// Fused Listing 1 under full adversarial stimulus: the FMA units'
+    /// special-value handling must agree between tape and oracle too.
+    #[test]
+    fn fused_listing1_matches_on_special_values(
+        vals in prop::collection::vec(stimulus(), 10),
+        kind_pick: bool,
+    ) {
+        let g = csfma::hls::parse_program(
+            "x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;",
+        ).unwrap();
+        let kind = if kind_pick { FmaKind::Pcs } else { FmaKind::Fcs };
+        let fused = fuse_critical_paths(&g, &FusionConfig::new(kind)).fused;
+        assert_tape_matches(&fused, &vals);
+    }
+}

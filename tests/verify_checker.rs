@@ -236,3 +236,112 @@ fn mutation_insufficient_guard_bits_fires_w001_and_w003() {
     // and the shipped design points remain clean
     assert!(csfma_verify::check_standard_formats().is_empty());
 }
+
+/// The batch compiler is gated on the checker: a graph carrying an
+/// error-severity dataflow finding must be refused with a structured
+/// `CompileError` naming the rule — never silently lowered to a tape.
+#[test]
+fn compile_gate_refuses_dataflow_errors() {
+    use csfma_hls::{compile, compile_cached};
+
+    // D001: one-armed adder planted behind the validator's back
+    let mut g = Cdfg::new();
+    let a = g.input("a");
+    g.push_unchecked(Op::Add, vec![a]);
+    let err = compile(&g).expect_err("arity violation must refuse to compile");
+    assert!(err
+        .diagnostics
+        .iter()
+        .all(|d| d.severity == Severity::Error));
+    assert!(
+        err.diagnostics.iter().any(|d| d.rule.id() == "D001"),
+        "{err}"
+    );
+    assert!(compile_cached(&g).is_err(), "cache must not mask the gate");
+
+    // D003: IEEE adder consuming a carry-save producer
+    let mut g = Cdfg::new();
+    let a = g.input("a");
+    let cs = g.push_unchecked(Op::IeeeToCs(FmaKind::Pcs), vec![a]);
+    let bad = g.push_unchecked(Op::Add, vec![a, cs]);
+    g.push_unchecked(Op::Output("y".into()), vec![bad]);
+    let err = compile(&g).expect_err("domain mismatch must refuse to compile");
+    assert!(
+        err.diagnostics.iter().any(|d| d.rule.id() == "D003"),
+        "{err}"
+    );
+}
+
+/// The `W*` width rules gate compilation when the graph actually uses a
+/// fused format: a cramped geometry refuses, the standard one compiles.
+#[test]
+fn compile_gate_refuses_broken_formats() {
+    use csfma_hls::{compile_with_formats, interp::format_of};
+
+    let g = csfma_hls::parse_program("x1 = a*b + c*d;\n out x3 = e*f + g*x1;").unwrap();
+    let fused = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Pcs)).fused;
+    assert!(
+        fused.count_ops(|o| matches!(o, Op::Fma { .. })) > 0,
+        "fusion must have inserted an FMA for the gate to be exercised"
+    );
+
+    let cramped = CsFmaFormat {
+        name: "gate-mutation-no-headroom",
+        block_bits: 28,
+        mant_blocks: 2,
+        left_blocks: 0,
+        right_blocks: 1,
+        carry_spacing: Some(14),
+        normalizer: Normalizer::ZeroDetect,
+        b_sig_bits: 27,
+    };
+    let err = compile_with_formats(&fused, cramped, format_of(FmaKind::Fcs))
+        .expect_err("W-rule errors must refuse to compile");
+    assert!(
+        err.diagnostics.iter().any(|d| d.rule.id().starts_with('W')),
+        "{err}"
+    );
+
+    // the same graph with the shipped formats compiles
+    compile_with_formats(&fused, format_of(FmaKind::Pcs), format_of(FmaKind::Fcs))
+        .expect("standard formats are clean");
+
+    // a discrete graph never touches the formats, so even a broken PCS
+    // geometry is irrelevant to it — the gate only fires on use
+    compile_with_formats(&g, cramped, format_of(FmaKind::Fcs))
+        .expect("unused formats must not gate a discrete graph");
+}
+
+/// The `S*` schedule-hazard rules gate `compile_scheduled`: a schedule
+/// that overloads the declared resources is a miscompilation risk for
+/// the hardware the tape stands in for.
+#[test]
+fn compile_gate_refuses_hazardous_schedules() {
+    use csfma_hls::compile_scheduled;
+
+    let t = OpTiming::default();
+    let mut g = Cdfg::new();
+    let a = g.input("a");
+    let b = g.input("b");
+    let m = g.mul(a, b);
+    let m2 = g.mul(b, b);
+    let s = g.add(m, m2);
+    g.output("y", s);
+
+    let asap = asap_schedule(&g, &t);
+    let one_mul = ResourceLimits {
+        mul: Some(1),
+        ..Default::default()
+    };
+    // both multiplies at cycle 0 with one declared multiplier: S003
+    let err = compile_scheduled(&g, &t, &asap, &one_mul)
+        .expect_err("resource overflow must refuse to compile");
+    assert!(
+        err.diagnostics.iter().any(|d| d.rule.id() == "S003"),
+        "{err}"
+    );
+
+    // the list scheduler respects the limit; the same gate passes
+    let listed = list_schedule(&g, &t, &one_mul);
+    compile_scheduled(&g, &t, &listed, &one_mul).expect("resource-feasible schedule must compile");
+}
