@@ -16,8 +16,21 @@ for f in examples/datapaths/*.csfma; do
     cargo run -q --bin csfma-run -- --backend f64 --batch 16 "$f" > /dev/null
 done
 
-# throughput audit on a small batch: verifies tape-vs-oracle bitwise
-# equality and the >=5x headline (full baseline regenerated in release
-# via: cargo run --release -p csfma-bench --bin throughput)
-cargo run -q --release -p csfma-bench --bin throughput 2000 256 42 > /dev/null
+# golden-vector corpus: absolute output bits of the FMA units and the
+# compiled example datapaths (regenerate only after an intentional
+# semantics change; see tests/golden_vectors.rs)
+cargo test -q --test golden_vectors
+cargo test -q --test cli_run
+
+# fuzz targets build and take a short deterministic run through their
+# corpora (offline libfuzzer-sys stub — no cargo-fuzz needed; crank
+# FUZZ_ITERS for a real session)
+cargo build --release --manifest-path fuzz/Cargo.toml
+FUZZ_ITERS=2000 ./fuzz/target/release/parser_round_trip fuzz/corpus/parser_round_trip > /dev/null 2>&1
+FUZZ_ITERS=2000 ./fuzz/target/release/compile_gate fuzz/corpus/compile_gate > /dev/null 2>&1
+
+# throughput audit at the baseline's conditions: verifies tape-vs-oracle
+# bitwise equality, the >=5x headline, and the >=1.5x fused-graph gain
+# over the pre-SoA/pre-optimizer engine (gates are inside the bin)
+cargo run -q --release -p csfma-bench --bin throughput 10000 1024 42 > /dev/null
 git checkout -- results/BENCH_throughput.json 2> /dev/null || true

@@ -37,7 +37,38 @@ fn main() -> ExitCode {
     eprintln!(
         "audit: bitwise_equal={all_equal}, best bit-accurate 8-thread speedup {best_bit_8t:.1}x"
     );
-    if !all_equal || best_bit_8t < 5.0 {
+
+    // fused-graph regression gate: the bit-accurate single-thread cost of
+    // each fused datapath must beat the pre-SoA/pre-optimizer baseline
+    // (checked-in BENCH_throughput.json before this engine landed) by at
+    // least 1.5x
+    const BASELINE_US: &[(&str, f64)] = &[
+        ("listing1-pcs", 69.9340),
+        ("listing1-fcs", 88.0146),
+        ("horner8-pcs", 303.2365),
+    ];
+    let mut fused_ok = true;
+    for &(graph, baseline) in BASELINE_US {
+        let Some(r) = rows_data
+            .iter()
+            .find(|r| r.graph == graph && r.backend == "bit")
+        else {
+            continue;
+        };
+        let us_1t = r
+            .tape_us_per_row
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map(|(_, us)| *us)
+            .unwrap_or(f64::INFINITY);
+        let gain = baseline / us_1t;
+        eprintln!("audit: {graph} bit 1t {us_1t:.2} us/row, {gain:.2}x vs baseline {baseline:.2}");
+        if gain < 1.5 {
+            fused_ok = false;
+        }
+    }
+
+    if !all_equal || best_bit_8t < 5.0 || !fused_ok {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -21,7 +21,7 @@
 use csfma_hls::{
     compile, compile_cached, fuse_critical_paths,
     interp::{eval_bit_accurate, eval_f64},
-    parse_program, Cdfg, FmaKind, FusionConfig, Tape, TapeBackend,
+    parse_program, tape_cache_stats, Cdfg, FmaKind, FusionConfig, Tape, TapeBackend,
 };
 use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -51,10 +51,18 @@ pub struct ThroughputRow {
     pub speedup_8t: f64,
     /// Tape output matched the oracle bit-for-bit on every audited row.
     pub bitwise_equal: bool,
-    /// Cold `compile()` wall time, microseconds.
+    /// Cold `compile()` wall time, microseconds (includes the optimizer).
     pub compile_us: f64,
+    /// Of which: post-gate optimizer wall time, microseconds.
+    pub optimize_us: f64,
     /// `compile_cached()` hit wall time, microseconds.
     pub cached_compile_us: f64,
+    /// Graph nodes entering the post-gate optimizer.
+    pub opt_nodes_before: usize,
+    /// Graph nodes after folding / CSE / DCE.
+    pub opt_nodes_after: usize,
+    /// Instructions in the lowered tape (after dead-slot elimination).
+    pub instrs: usize,
 }
 
 /// The benchmark datapaths: Listing 1 discrete and fused both ways, the
@@ -119,6 +127,11 @@ pub fn throughput(rows: usize, scalar_cap: usize, seed: u64) -> Vec<ThroughputRo
             let mut row = measure(&name, &g, &tape, backend, &stim, rows, scalar_cap);
             row.compile_us = compile_us;
             row.cached_compile_us = cached_compile_us;
+            let o = tape.opt_stats();
+            row.optimize_us = o.optimize_us;
+            row.opt_nodes_before = o.nodes_before;
+            row.opt_nodes_after = o.nodes_after;
+            row.instrs = tape.instrs().len();
             out.push(row);
         }
     }
@@ -196,7 +209,11 @@ fn measure(
         speedup_8t: scalar_us / tape_8t,
         bitwise_equal,
         compile_us: 0.0,
+        optimize_us: 0.0,
         cached_compile_us: 0.0,
+        opt_nodes_before: 0,
+        opt_nodes_after: 0,
+        instrs: tape.instrs().len(),
     }
 }
 
@@ -214,6 +231,16 @@ pub fn to_json(rows: &[ThroughputRow], rows_per_graph: usize, seed: u64) -> Stri
     let _ = writeln!(s, "  \"rows_per_graph\": {rows_per_graph},");
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"hardware_threads\": {threads_avail},");
+    let (hits, misses) = tape_cache_stats();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        s,
+        "  \"tape_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}}},"
+    );
     let _ = writeln!(s, "  \"entries\": [");
     for (i, r) in rows.iter().enumerate() {
         let tape: Vec<String> = r
@@ -240,11 +267,15 @@ pub fn to_json(rows: &[ThroughputRow], rows_per_graph: usize, seed: u64) -> Stri
         let _ = writeln!(s, "      \"speedup_1t\": {:.2},", r.speedup_1t);
         let _ = writeln!(s, "      \"speedup_8t\": {:.2},", r.speedup_8t);
         let _ = writeln!(s, "      \"compile_us\": {:.2},", r.compile_us);
+        let _ = writeln!(s, "      \"optimize_us\": {:.2},", r.optimize_us);
         let _ = writeln!(
             s,
             "      \"cached_compile_us\": {:.2},",
             r.cached_compile_us
         );
+        let _ = writeln!(s, "      \"opt_nodes_before\": {},", r.opt_nodes_before);
+        let _ = writeln!(s, "      \"opt_nodes_after\": {},", r.opt_nodes_after);
+        let _ = writeln!(s, "      \"instrs\": {},", r.instrs);
         let _ = writeln!(s, "      \"bitwise_equal\": {}", r.bitwise_equal);
         let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }

@@ -1,6 +1,114 @@
 //! Core [`Bits`] type: construction, access, conversion, formatting.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Limbs kept inline before spilling to the heap. 8 limbs = 512 bits,
+/// which covers every width the binary64 carry-save datapaths touch
+/// (the widest is the 440-bit multiplier output plus compressor
+/// headroom); wider values still work, they just allocate.
+const INLINE_LIMBS: usize = 8;
+
+/// Little-endian limb storage with a small-vector layout: values up to
+/// `INLINE_LIMBS` limbs live inline (no heap traffic — the batch
+/// engine's hot loops clone and rebuild `Bits` millions of times), wider
+/// values spill to a `Vec`.
+#[derive(Clone)]
+pub(crate) enum LimbVec {
+    Inline { len: u8, buf: [u64; INLINE_LIMBS] },
+    Heap(Vec<u64>),
+}
+
+impl LimbVec {
+    #[inline]
+    pub(crate) fn zeros(n: usize) -> Self {
+        if n <= INLINE_LIMBS {
+            LimbVec::Inline {
+                len: n as u8,
+                buf: [0; INLINE_LIMBS],
+            }
+        } else {
+            LimbVec::Heap(vec![0; n])
+        }
+    }
+
+    #[inline]
+    pub(crate) fn filled(n: usize, v: u64) -> Self {
+        if n <= INLINE_LIMBS {
+            LimbVec::Inline {
+                len: n as u8,
+                buf: [v; INLINE_LIMBS],
+            }
+        } else {
+            LimbVec::Heap(vec![v; n])
+        }
+    }
+}
+
+impl Deref for LimbVec {
+    type Target = [u64];
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        match self {
+            LimbVec::Inline { len, buf } => &buf[..*len as usize],
+            LimbVec::Heap(v) => v,
+        }
+    }
+}
+
+impl DerefMut for LimbVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        match self {
+            LimbVec::Inline { len, buf } => &mut buf[..*len as usize],
+            LimbVec::Heap(v) => v,
+        }
+    }
+}
+
+impl PartialEq for LimbVec {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for LimbVec {}
+
+impl std::hash::Hash for LimbVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state)
+    }
+}
+
+impl fmt::Debug for LimbVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl FromIterator<u64> for LimbVec {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let mut buf = [0u64; INLINE_LIMBS];
+        let mut len = 0usize;
+        for v in it.by_ref() {
+            if len < INLINE_LIMBS {
+                buf[len] = v;
+                len += 1;
+            } else {
+                let mut vec = Vec::with_capacity(len + 1 + it.size_hint().0);
+                vec.extend_from_slice(&buf);
+                vec.push(v);
+                vec.extend(it);
+                return LimbVec::Heap(vec);
+            }
+        }
+        LimbVec::Inline {
+            len: len as u8,
+            buf,
+        }
+    }
+}
 
 /// An arbitrary-width bit vector with two's-complement semantics.
 ///
@@ -23,7 +131,7 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Bits {
     pub(crate) width: usize,
-    pub(crate) limbs: Vec<u64>,
+    pub(crate) limbs: LimbVec,
 }
 
 pub(crate) fn limbs_for(width: usize) -> usize {
@@ -35,7 +143,7 @@ impl Bits {
     pub fn zero(width: usize) -> Self {
         Bits {
             width,
-            limbs: vec![0; limbs_for(width)],
+            limbs: LimbVec::zeros(limbs_for(width)),
         }
     }
 
@@ -43,7 +151,7 @@ impl Bits {
     pub fn ones(width: usize) -> Self {
         let mut b = Bits {
             width,
-            limbs: vec![!0u64; limbs_for(width)],
+            limbs: LimbVec::filled(limbs_for(width), !0u64),
         };
         b.mask_top();
         b
@@ -196,8 +304,12 @@ impl Bits {
 
     /// Number of leading zero bits, counted from the MSB. Full width if zero.
     pub fn leading_zeros(&self) -> usize {
-        for pos in (0..self.width).rev() {
-            if self.bit(pos) {
+        // limb-at-a-time: bits above `width` are zero by invariant, so the
+        // highest set bit of the highest nonzero limb is the answer
+        for i in (0..self.limbs.len()).rev() {
+            let l = self.limbs[i];
+            if l != 0 {
+                let pos = i * 64 + (63 - l.leading_zeros() as usize);
                 return self.width - 1 - pos;
             }
         }
@@ -206,8 +318,20 @@ impl Bits {
 
     /// Number of leading one bits, counted from the MSB.
     pub fn leading_ones(&self) -> usize {
-        for pos in (0..self.width).rev() {
-            if !self.bit(pos) {
+        if self.width == 0 {
+            return 0;
+        }
+        // complement within the width and find its highest set bit
+        let rem = self.width % 64;
+        for i in (0..self.limbs.len()).rev() {
+            let mask = if rem != 0 && i == self.limbs.len() - 1 {
+                (1u64 << rem) - 1
+            } else {
+                !0u64
+            };
+            let inv = !self.limbs[i] & mask;
+            if inv != 0 {
+                let pos = i * 64 + (63 - inv.leading_zeros() as usize);
                 return self.width - 1 - pos;
             }
         }

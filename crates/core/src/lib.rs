@@ -42,7 +42,7 @@ pub use operand::CsOperand;
 pub use pipeline::PipelinedFma;
 pub use reference::{exact_fma, ulp_error_vs_exact};
 pub use trace::{NopSink, TraceSink, VecSink};
-pub use unit::{CsFmaUnit, FmaReport};
+pub use unit::{CsFmaUnit, FmaReport, FmaScratch};
 
 #[cfg(test)]
 mod tests;

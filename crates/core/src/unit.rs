@@ -22,15 +22,28 @@ use crate::format::{CsFmaFormat, Normalizer};
 use crate::operand::CsOperand;
 use crate::trace::{NopSink, TraceSink};
 use csfma_bits::Bits;
-use csfma_carrysave::{reduce_to_cs, CsNumber};
+use csfma_carrysave::{reduce_to_cs_with, CsNumber, ReduceScratch};
 use csfma_softfloat::{FpClass, SoftFloat};
 use csfma_units::align::align_addend;
 use csfma_units::block_mux::select_blocks;
 use csfma_units::exponent::BiasedExp;
 use csfma_units::lza::anticipate_leading_cs;
-use csfma_units::multiplier::{apply_sign, multiply_cs_by_binary};
+use csfma_units::multiplier::{apply_sign, multiply_cs_by_binary_with};
 use csfma_units::rounding::round_up_from_block;
 use csfma_units::zero_detect::leading_skippable_blocks;
+
+/// Reusable working storage for [`CsFmaUnit::fma_with`]: the
+/// partial-product row buffers and Wallace-tree layers of the multiplier
+/// and the window compression. One scratch per batch-engine worker
+/// amortizes every per-FMA allocation over millions of evaluations;
+/// results are bit-identical with and without it.
+#[derive(Clone, Debug, Default)]
+pub struct FmaScratch {
+    mul_rows: Vec<Bits>,
+    mul_reduce: ReduceScratch,
+    win_rows: Vec<Bits>,
+    win_reduce: ReduceScratch,
+}
 
 /// A carry-save FMA unit of a specific format.
 ///
@@ -91,6 +104,18 @@ impl CsFmaUnit {
         self.fma_traced(a, b, c, &mut NopSink).0
     }
 
+    /// Compute `A + B * C` with caller-provided working storage — the
+    /// batch-friendly entry point (see [`FmaScratch`]).
+    pub fn fma_with(
+        &self,
+        a: &CsOperand,
+        b: &SoftFloat,
+        c: &CsOperand,
+        scratch: &mut FmaScratch,
+    ) -> CsOperand {
+        self.fma_traced_with(a, b, c, &mut NopSink, scratch).0
+    }
+
     /// Compute `A + B * C`, recording datapath activity into `sink` and
     /// returning structural diagnostics.
     pub fn fma_traced(
@@ -99,6 +124,18 @@ impl CsFmaUnit {
         b: &SoftFloat,
         c: &CsOperand,
         sink: &mut dyn TraceSink,
+    ) -> (CsOperand, FmaReport) {
+        self.fma_traced_with(a, b, c, sink, &mut FmaScratch::default())
+    }
+
+    /// [`CsFmaUnit::fma_traced`] with caller-provided working storage.
+    pub fn fma_traced_with(
+        &self,
+        a: &CsOperand,
+        b: &SoftFloat,
+        c: &CsOperand,
+        sink: &mut dyn TraceSink,
+        scratch: &mut FmaScratch,
     ) -> (CsOperand, FmaReport) {
         let f = &self.format;
         assert_eq!(a.format(), f, "A operand format mismatch");
@@ -159,7 +196,13 @@ impl CsFmaUnit {
 
         // ---- multiplier with integrated rounding (Fig. 6) ----
         let b_sig = Bits::from_u64(f.b_sig_bits, b.significand());
-        let mul = multiply_cs_by_binary(c.mant(), &b_sig, up_c);
+        let mul = multiply_cs_by_binary_with(
+            c.mant(),
+            &b_sig,
+            up_c,
+            &mut scratch.mul_rows,
+            &mut scratch.mul_reduce,
+        );
         let product = apply_sign(mul.product, b.sign());
         sink.record("mul.sum", product.sum());
         sink.record("mul.carry", product.carry());
@@ -194,16 +237,16 @@ impl CsFmaUnit {
         sink.record("fab.align_carry", aligned_a.value.carry());
 
         // ---- one big carry-save compression ----
-        let mut rows = vec![
-            aligned_p.value.sum().clone(),
-            aligned_p.value.carry().clone(),
-            aligned_a.value.sum().clone(),
-            aligned_a.value.carry().clone(),
-        ];
+        let rows = &mut scratch.win_rows;
+        rows.clear();
+        rows.push(aligned_p.value.sum().clone());
+        rows.push(aligned_p.value.carry().clone());
+        rows.push(aligned_a.value.sum().clone());
+        rows.push(aligned_a.value.carry().clone());
         if up_a && (0..w as i64).contains(&a_shift) {
             rows.push(Bits::one_hot(w, a_shift as usize));
         }
-        let reduced = reduce_to_cs(&rows, w);
+        let reduced = reduce_to_cs_with(rows, w, &mut scratch.win_reduce);
         let window = reduced.cs;
         sink.record("win.sum", window.sum());
         sink.record("win.carry", window.carry());

@@ -44,9 +44,10 @@
 use crate::cdfg::{Cdfg, FmaKind, Op};
 use crate::interp::format_of;
 use crate::lint::{lint_dataflow, lint_schedule};
+use crate::opt::{optimize_graph, OptStats};
 use crate::sched::{OpTiming, ResourceLimits, Schedule};
 use csfma_core::batch::{par_chunks_indexed, CHUNK_ROWS};
-use csfma_core::{CsFmaFormat, CsFmaUnit, CsOperand};
+use csfma_core::{CsFmaFormat, CsFmaUnit, CsOperand, FmaScratch};
 use csfma_softfloat::batch as sfb;
 use csfma_softfloat::{FpFormat, Round, SoftFloat};
 use csfma_verify::{check_format, Diagnostic, Severity};
@@ -77,6 +78,22 @@ impl fmt::Display for CompileError {
 }
 
 impl std::error::Error for CompileError {}
+
+/// Knobs for [`compile_with_options`]. The default runs the post-gate
+/// optimizer ([`crate::opt`]); `optimize: false` lowers the gated graph
+/// verbatim (differential suites compare the two tapes byte-for-byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run constant folding / CSE / DCE / pressure-aware reordering
+    /// between the checker gate and lowering.
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { optimize: true }
+    }
+}
 
 /// Which evaluator semantics the tape executes with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -147,6 +164,7 @@ pub struct Tape {
     fcs_format: CsFmaFormat,
     fingerprint: u64,
     source_nodes: usize,
+    opt: OptStats,
 }
 
 /// Reusable per-worker register file for tape execution. One scratch per
@@ -160,6 +178,20 @@ pub struct TapeScratch {
     cs_f: Vec<f64>,
     pcs: CsFmaUnit,
     fcs: CsFmaUnit,
+    fma: FmaScratch,
+}
+
+/// Per-worker structure-of-arrays register file for chunked batch
+/// execution: each register slot becomes a plane of [`CHUNK_ROWS`]
+/// contiguous lanes, evaluated column-wise one instruction at a time.
+#[derive(Clone, Debug)]
+struct ChunkScratch {
+    f: Vec<f64>,
+    cs: Vec<CsOperand>,
+    cs_f: Vec<f64>,
+    pcs: CsFmaUnit,
+    fcs: CsFmaUnit,
+    fma: FmaScratch,
 }
 
 /// FNV-1a over the canonical graph encoding — the identity the tape
@@ -236,8 +268,15 @@ fn errors_only(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
 
 /// Compile a graph into a tape, gating on the `D*` dataflow rules and
 /// the `W*` rules of the standard transport formats the graph uses.
+/// Runs the post-gate optimizer; see [`compile_with_options`] to turn
+/// it off.
 pub fn compile(g: &Cdfg) -> Result<Tape, CompileError> {
-    compile_with_formats(g, format_of(FmaKind::Pcs), format_of(FmaKind::Fcs))
+    compile_with_options(g, CompileOptions::default())
+}
+
+/// [`compile`] with explicit [`CompileOptions`].
+pub fn compile_with_options(g: &Cdfg, opts: CompileOptions) -> Result<Tape, CompileError> {
+    compile_with_formats_and_options(g, format_of(FmaKind::Pcs), format_of(FmaKind::Fcs), opts)
 }
 
 /// [`compile`] with explicit transport formats (ablation studies swap in
@@ -248,6 +287,20 @@ pub fn compile_with_formats(
     g: &Cdfg,
     pcs_format: CsFmaFormat,
     fcs_format: CsFmaFormat,
+) -> Result<Tape, CompileError> {
+    compile_with_formats_and_options(g, pcs_format, fcs_format, CompileOptions::default())
+}
+
+/// [`compile_with_formats`] with explicit [`CompileOptions`]. The
+/// checker gate always runs on the **caller's** graph; the optimizer
+/// (when enabled) runs strictly after it, and the tape's
+/// [`fingerprint`](Tape::fingerprint) / [`source_nodes`](Tape::source_nodes)
+/// always describe the original graph, not the optimized one.
+pub fn compile_with_formats_and_options(
+    g: &Cdfg,
+    pcs_format: CsFmaFormat,
+    fcs_format: CsFmaFormat,
+    opts: CompileOptions,
 ) -> Result<Tape, CompileError> {
     let mut diags = errors_only(match g.validate_diagnostics() {
         Ok(()) => Vec::new(),
@@ -276,7 +329,104 @@ pub fn compile_with_formats(
     if !diags.is_empty() {
         return Err(CompileError { diagnostics: diags });
     }
-    Ok(lower(g, pcs_format, fcs_format))
+    Ok(build_tape(g, pcs_format, fcs_format, opts))
+}
+
+/// Optimize (optionally) and lower a gated graph. The tape identity
+/// (fingerprint, source node count) is pinned to the caller's graph so
+/// cache bookkeeping and reports stay in source terms.
+fn build_tape(
+    g: &Cdfg,
+    pcs_format: CsFmaFormat,
+    fcs_format: CsFmaFormat,
+    opts: CompileOptions,
+) -> Tape {
+    let t0 = std::time::Instant::now();
+    let mut stats = OptStats {
+        nodes_before: g.len(),
+        nodes_after: g.len(),
+        ..Default::default()
+    };
+    let optimized;
+    let lowered_from = if opts.optimize {
+        let (og, s) = optimize_graph(g);
+        stats = s;
+        optimized = og;
+        &optimized
+    } else {
+        g
+    };
+    let mut tape = lower(lowered_from, pcs_format, fcs_format);
+    if opts.optimize {
+        stats.dead_slots_removed = eliminate_dead_slots(&mut tape.instrs);
+    }
+    stats.optimize_us = t0.elapsed().as_secs_f64() * 1e6;
+    tape.fingerprint = graph_fingerprint(g);
+    tape.source_nodes = g.len();
+    tape.opt = stats;
+    tape
+}
+
+/// Backward-liveness sweep over the lowered tape: drop every instruction
+/// whose destination slot is never read before its next overwrite (or at
+/// all) and that feeds no `Store`. This is the tape-level counterpart of
+/// dead-node elimination — it catches the `LoadInput`s the graph pass
+/// deliberately keeps (unused `Input` nodes survive so the positional
+/// row layout is stable, but nothing forces the tape to *execute* them).
+fn eliminate_dead_slots(instrs: &mut Vec<Instr>) -> usize {
+    use std::collections::HashSet;
+    let mut live_f: HashSet<u32> = HashSet::new();
+    let mut live_cs: HashSet<u32> = HashSet::new();
+    let before = instrs.len();
+    let mut kept: Vec<Instr> = Vec::with_capacity(before);
+    for ins in instrs.drain(..).rev() {
+        // a definition kills its slot's liveness; if the slot was not
+        // live, nothing downstream reads this value and the instruction
+        // (side-effect free by construction) can go
+        let live = match ins {
+            Instr::Store { .. } => true,
+            Instr::Fma { dst, .. } | Instr::IeeeToCs { dst, .. } => live_cs.remove(&dst),
+            Instr::LoadInput { dst, .. }
+            | Instr::LoadConst { dst, .. }
+            | Instr::Add { dst, .. }
+            | Instr::Sub { dst, .. }
+            | Instr::Mul { dst, .. }
+            | Instr::Div { dst, .. }
+            | Instr::Neg { dst, .. }
+            | Instr::CsToIeee { dst, .. } => live_f.remove(&dst),
+        };
+        if !live {
+            continue;
+        }
+        match ins {
+            Instr::LoadInput { .. } | Instr::LoadConst { .. } => {}
+            Instr::Add { a, b, .. }
+            | Instr::Sub { a, b, .. }
+            | Instr::Mul { a, b, .. }
+            | Instr::Div { a, b, .. } => {
+                live_f.insert(a);
+                live_f.insert(b);
+            }
+            Instr::Neg { a, .. } => {
+                live_f.insert(a);
+            }
+            Instr::Fma { acc, b, mulc, .. } => {
+                live_cs.insert(acc);
+                live_cs.insert(mulc);
+                live_f.insert(b);
+            }
+            Instr::IeeeToCs { src, .. } | Instr::Store { src, .. } => {
+                live_f.insert(src);
+            }
+            Instr::CsToIeee { src, .. } => {
+                live_cs.insert(src);
+            }
+        }
+        kept.push(ins);
+    }
+    kept.reverse();
+    *instrs = kept;
+    before - instrs.len()
 }
 
 /// [`compile`], additionally gating on the `S*` schedule-hazard rules
@@ -435,6 +585,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
         fcs_format,
         fingerprint: graph_fingerprint(g),
         source_nodes: g.len(),
+        opt: OptStats::default(),
     }
 }
 
@@ -480,6 +631,12 @@ impl Tape {
         self.source_nodes
     }
 
+    /// What the post-gate optimizer did when this tape was compiled
+    /// (all-zero counters for a tape compiled with `optimize: false`).
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt
+    }
+
     /// FNV-1a digest of the source graph's canonical encoding.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
@@ -494,6 +651,18 @@ impl Tape {
             cs_f: vec![0.0; self.n_cs_regs],
             pcs: CsFmaUnit::new(self.pcs_format),
             fcs: CsFmaUnit::new(self.fcs_format),
+            fma: FmaScratch::default(),
+        }
+    }
+
+    fn chunk_scratch(&self) -> ChunkScratch {
+        ChunkScratch {
+            f: vec![0.0; self.n_f64_regs * CHUNK_ROWS],
+            cs: vec![CsOperand::zero(self.pcs_format, false); self.n_cs_regs * CHUNK_ROWS],
+            cs_f: vec![0.0; self.n_cs_regs * CHUNK_ROWS],
+            pcs: CsFmaUnit::new(self.pcs_format),
+            fcs: CsFmaUnit::new(self.fcs_format),
+            fma: FmaScratch::default(),
         }
     }
 
@@ -588,7 +757,7 @@ impl Tape {
                     if negate_b {
                         bv = bv.neg();
                     }
-                    let r = unit.fma(&cs[acc as usize], &bv, &cs[mulc as usize]);
+                    let r = unit.fma_with(&cs[acc as usize], &bv, &cs[mulc as usize], &mut s.fma);
                     cs[dst as usize] = r;
                 }
                 Instr::IeeeToCs { kind, dst, src } => {
@@ -630,16 +799,220 @@ impl Tape {
             &mut out,
             CHUNK_ROWS * no,
             threads,
-            || self.scratch(),
+            || self.chunk_scratch(),
             |scratch, chunk_idx, chunk| {
                 let base = chunk_idx * CHUNK_ROWS;
-                for (k, orow) in chunk.chunks_mut(no).enumerate() {
-                    let row = &rows[(base + k) * ni..(base + k + 1) * ni];
-                    self.eval_row(backend, row, orow, scratch);
+                let len = chunk.len() / no;
+                match backend {
+                    TapeBackend::F64 => self.eval_chunk_f64(rows, base, len, chunk, scratch),
+                    TapeBackend::BitAccurate => {
+                        self.eval_chunk_bit(rows, base, len, chunk, scratch)
+                    }
                 }
             },
         );
         out
+    }
+
+    /// Column-wise chunk evaluation, host-double semantics. One pass over
+    /// the instruction stream; each instruction runs a branch-free loop
+    /// over the chunk's `len` lanes of its operand planes, so the
+    /// per-instruction dispatch cost is paid once per chunk instead of
+    /// once per row. Lane `k` computes exactly what [`Tape::eval_row`]
+    /// computes for row `base + k` — same operators, same order — so the
+    /// results are bitwise identical to the row loop.
+    fn eval_chunk_f64(
+        &self,
+        rows: &[f64],
+        base: usize,
+        len: usize,
+        out: &mut [f64],
+        s: &mut ChunkScratch,
+    ) {
+        let ni = self.inputs.len();
+        let no = self.outputs.len();
+        const W: usize = CHUNK_ROWS;
+        let p = |r: u32| r as usize * W;
+        for ins in &self.instrs {
+            match *ins {
+                Instr::LoadInput { dst, input } => {
+                    let d = p(dst);
+                    for k in 0..len {
+                        s.f[d + k] = rows[(base + k) * ni + input as usize];
+                    }
+                }
+                Instr::LoadConst { dst, idx } => {
+                    let v = self.consts[idx as usize];
+                    s.f[p(dst)..p(dst) + len].fill(v);
+                }
+                Instr::Add { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = s.f[x + k] + s.f[y + k];
+                    }
+                }
+                Instr::Sub { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = s.f[x + k] - s.f[y + k];
+                    }
+                }
+                Instr::Mul { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = s.f[x + k] * s.f[y + k];
+                    }
+                }
+                Instr::Div { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = s.f[x + k] / s.f[y + k];
+                    }
+                }
+                Instr::Neg { dst, a } => {
+                    let (d, x) = (p(dst), p(a));
+                    for k in 0..len {
+                        s.f[d + k] = -s.f[x + k];
+                    }
+                }
+                Instr::Fma {
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                    ..
+                } => {
+                    let (d, pa, pb, pm) = (p(dst), p(acc), p(b), p(mulc));
+                    for k in 0..len {
+                        let bv = if negate_b { -s.f[pb + k] } else { s.f[pb + k] };
+                        s.cs_f[d + k] = bv.mul_add(s.cs_f[pm + k], s.cs_f[pa + k]);
+                    }
+                }
+                Instr::IeeeToCs { dst, src, .. } => {
+                    let (d, x) = (p(dst), p(src));
+                    s.cs_f[d..d + len].copy_from_slice(&s.f[x..x + len]);
+                }
+                Instr::CsToIeee { dst, src } => {
+                    let (d, x) = (p(dst), p(src));
+                    s.f[d..d + len].copy_from_slice(&s.cs_f[x..x + len]);
+                }
+                Instr::Store { output, src } => {
+                    let x = p(src);
+                    for k in 0..len {
+                        out[k * no + output as usize] = s.f[x + k];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Column-wise chunk evaluation, bit-accurate semantics: IEEE nodes
+    /// stream through the guarded host fast path of
+    /// [`csfma_softfloat::batch`], fused nodes run the behavioral
+    /// carry-save unit lane by lane with one shared [`FmaScratch`] — the
+    /// compressor-tree row and layer buffers are reused across every lane
+    /// of every FMA in the chunk instead of being reallocated per call.
+    fn eval_chunk_bit(
+        &self,
+        rows: &[f64],
+        base: usize,
+        len: usize,
+        out: &mut [f64],
+        s: &mut ChunkScratch,
+    ) {
+        let ni = self.inputs.len();
+        let no = self.outputs.len();
+        const W: usize = CHUNK_ROWS;
+        let p = |r: u32| r as usize * W;
+        for ins in &self.instrs {
+            match *ins {
+                Instr::LoadInput { dst, input } => {
+                    let d = p(dst);
+                    for k in 0..len {
+                        s.f[d + k] = sfb::canonicalize(rows[(base + k) * ni + input as usize]);
+                    }
+                }
+                Instr::LoadConst { dst, idx } => {
+                    let v = self.consts_canonical[idx as usize];
+                    s.f[p(dst)..p(dst) + len].fill(v);
+                }
+                Instr::Add { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sfb::hosted_add(s.f[x + k], s.f[y + k]);
+                    }
+                }
+                Instr::Sub { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sfb::hosted_sub(s.f[x + k], s.f[y + k]);
+                    }
+                }
+                Instr::Mul { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sfb::hosted_mul(s.f[x + k], s.f[y + k]);
+                    }
+                }
+                Instr::Div { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sfb::hosted_div(s.f[x + k], s.f[y + k]);
+                    }
+                }
+                Instr::Neg { dst, a } => {
+                    let (d, x) = (p(dst), p(a));
+                    for k in 0..len {
+                        s.f[d + k] = sfb::hosted_neg(s.f[x + k]);
+                    }
+                }
+                Instr::Fma {
+                    kind,
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                } => {
+                    let unit = match kind {
+                        FmaKind::Pcs => &s.pcs,
+                        FmaKind::Fcs => &s.fcs,
+                    };
+                    let (d, pa, pb, pm) = (p(dst), p(acc), p(b), p(mulc));
+                    for k in 0..len {
+                        let mut bv = SoftFloat::from_f64(F, s.f[pb + k]);
+                        if negate_b {
+                            bv = bv.neg();
+                        }
+                        let r = unit.fma_with(&s.cs[pa + k], &bv, &s.cs[pm + k], &mut s.fma);
+                        s.cs[d + k] = r;
+                    }
+                }
+                Instr::IeeeToCs { kind, dst, src } => {
+                    let fmt = match kind {
+                        FmaKind::Pcs => self.pcs_format,
+                        FmaKind::Fcs => self.fcs_format,
+                    };
+                    let (d, x) = (p(dst), p(src));
+                    for k in 0..len {
+                        s.cs[d + k] = CsOperand::from_f64(s.f[x + k], fmt);
+                    }
+                }
+                Instr::CsToIeee { dst, src } => {
+                    let (d, x) = (p(dst), p(src));
+                    for k in 0..len {
+                        s.f[d + k] = s.cs[x + k].to_ieee(F, Round::NearestEven).to_f64();
+                    }
+                }
+                Instr::Store { output, src } => {
+                    let x = p(src);
+                    for k in 0..len {
+                        out[k * no + output as usize] = s.f[x + k];
+                    }
+                }
+            }
+        }
     }
 
     /// Convenience: evaluate a batch and pair each output row with the
@@ -667,14 +1040,22 @@ fn cache() -> &'static Mutex<HashMap<Vec<u8>, Arc<Tape>>> {
 /// graphs return the same `Arc` — the second call does no compilation
 /// and no checking.
 pub fn compile_cached(g: &Cdfg) -> Result<Arc<Tape>, CompileError> {
-    let key = canonical_encoding(g);
+    compile_cached_with(g, CompileOptions::default())
+}
+
+/// [`compile_cached`] with explicit [`CompileOptions`]. The cache key is
+/// the canonical encoding extended with the option bits, so optimized
+/// and unoptimized tapes of the same graph are distinct entries.
+pub fn compile_cached_with(g: &Cdfg, opts: CompileOptions) -> Result<Arc<Tape>, CompileError> {
+    let mut key = canonical_encoding(g);
+    key.push(opts.optimize as u8);
     if let Some(t) = cache().lock().unwrap().get(&key) {
         CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(t));
     }
     // compile outside the lock; a racing duplicate insert is harmless
     // (both tapes are identical) and the first one wins
-    let tape = Arc::new(compile(g)?);
+    let tape = Arc::new(compile_with_options(g, opts)?);
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let mut map = cache().lock().unwrap();
     Ok(Arc::clone(map.entry(key).or_insert(tape)))
@@ -845,6 +1226,63 @@ mod tests {
         let c = compile_cached(&listing1()).unwrap();
         assert!(Arc::ptr_eq(&a, &c));
         assert_eq!(a.fingerprint(), graph_fingerprint(&listing1()));
+    }
+
+    #[test]
+    fn optimizer_tape_is_byte_identical_to_unoptimized() {
+        // foldable constants, a repeated subexpression and a dead input:
+        // the optimizer must shrink the tape without changing the row
+        // layout or any output bit on either backend
+        let src = "unused = u * u;\nscale = 2.0 * 2.0 + 1.0;\nout y = a*b + a*b + scale;\n";
+        let g = crate::parse_program(src).unwrap();
+        let opt = compile(&g).unwrap();
+        let plain = compile_with_options(&g, CompileOptions { optimize: false }).unwrap();
+        assert_eq!(opt.input_names(), plain.input_names());
+        assert_eq!(opt.output_names(), plain.output_names());
+        assert!(
+            opt.instrs().len() < plain.instrs().len(),
+            "optimizer removed nothing: {} vs {}",
+            opt.instrs().len(),
+            plain.instrs().len()
+        );
+        let stats = opt.opt_stats();
+        assert!(stats.consts_folded >= 2, "{stats:?}");
+        assert!(stats.cse_merged >= 1, "{stats:?}");
+        assert!(stats.dead_removed >= 1, "{stats:?}");
+        assert!(
+            stats.dead_slots_removed >= 1,
+            "the dead input's LoadInput must die at tape level: {stats:?}"
+        );
+        assert_eq!(plain.opt_stats().consts_folded, 0);
+        let ni = opt.num_inputs();
+        let n = CHUNK_ROWS + 13;
+        let rows: Vec<f64> = (0..n * ni)
+            .map(|i| ((i * 48271) % 2000) as f64 * 0.37 - 370.0)
+            .collect();
+        for backend in [TapeBackend::F64, TapeBackend::BitAccurate] {
+            let a = opt.eval_batch(backend, &rows, 2);
+            let b = plain.eval_batch(backend, &rows, 2);
+            assert!(
+                a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{backend:?}: optimized tape diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_optimize_flag() {
+        // distinct from every other cached graph in this test binary so
+        // the hit/miss counters of sibling tests stay undisturbed
+        let mut g = listing1();
+        g.output("x3_flag_probe", g.outputs()[0] - 1);
+        let a = compile_cached(&g).unwrap();
+        let b = compile_cached_with(&g, CompileOptions { optimize: false }).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        // but both identify as the same source graph
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.source_nodes(), b.source_nodes());
     }
 
     #[test]

@@ -56,8 +56,12 @@ pub fn eval_f64(g: &Cdfg, inputs: &HashMap<String, f64>) -> HashMap<String, f64>
     out
 }
 
-/// A value in the bit-accurate evaluator.
+/// A value in the bit-accurate evaluator. `CsOperand` grew inline limb
+/// storage, but boxing it here would only trade the oracle's per-node
+/// clone for a heap hop — this is the reference interpreter, not the
+/// batch engine.
 #[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
 enum Val {
     Ieee(SoftFloat),
     Cs(CsOperand),

@@ -32,6 +32,7 @@ pub mod compile;
 pub mod fuse;
 pub mod interp;
 pub mod lint;
+pub mod opt;
 pub mod optimize;
 pub mod parser;
 pub mod printer;
@@ -39,11 +40,14 @@ pub mod sched;
 
 pub use cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
 pub use compile::{
-    clear_tape_cache, compile, compile_cached, compile_scheduled, compile_with_formats,
-    graph_fingerprint, tape_cache_stats, CompileError, Instr, Tape, TapeBackend, TapeScratch,
+    clear_tape_cache, compile, compile_cached, compile_cached_with, compile_scheduled,
+    compile_with_formats, compile_with_formats_and_options, compile_with_options,
+    graph_fingerprint, tape_cache_stats, CompileError, CompileOptions, Instr, Tape, TapeBackend,
+    TapeScratch,
 };
 pub use fuse::{fuse_critical_paths, FusionConfig, FusionReport};
 pub use lint::{capacity_list, lint_dataflow, lint_schedule, schedule_view, to_check_graph};
+pub use opt::OptStats;
 pub use optimize::{optimize, OptimizeReport};
 pub use parser::{parse_program, ParseError};
 pub use printer::to_source;

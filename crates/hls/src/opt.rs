@@ -1,0 +1,466 @@
+//! Post-gate tape optimizer: constant folding, common-subexpression
+//! elimination over the canonical node encoding, dead-node elimination
+//! and slot-pressure-aware reordering.
+//!
+//! [`compile`](crate::compile::compile) runs this pipeline **after** the
+//! `D*`/`S*`/`W*` checker gate, so an optimized tape is always derived
+//! from a graph the checker accepted, and the optimizer re-validates its
+//! own result — optimized tapes stay checker-clean by construction.
+//!
+//! Every rewrite must preserve **both** tape backends bit-for-bit
+//! simultaneously (`TapeBackend::F64` evaluates host doubles on the raw
+//! constant pool; `TapeBackend::BitAccurate` evaluates the guarded
+//! soft-float fast path on canonicalized values):
+//!
+//! * **Constant folding** only fires when the operand bit patterns are
+//!   canonical FTZ doubles (so both backends agree on the *inputs*) and
+//!   the host result is bit-identical to the hosted soft-float result
+//!   (so both backends agree on the *output*). NaN-producing folds
+//!   (`0 * inf`, `0/0`) and flush-to-zero boundary results fail that
+//!   comparison and stay in the tape. Algebraic identities (`x * 1.0`)
+//!   are never applied — they can change NaN payloads on the f64 backend.
+//! * **CSE** merges nodes whose canonical encodings (operation tag,
+//!   constant bits, input name, FMA kind/negation, remapped argument
+//!   ids) are byte-equal. Argument order is *not* commuted: `a + b` and
+//!   `b + a` differ bitwise when both operands are NaN payloads.
+//! * **Dead-node elimination** drops nodes no output depends on but
+//!   keeps every `Input` node, so the positional input layout of the
+//!   optimized tape is byte-compatible with the unoptimized one.
+//! * **Reordering** list-schedules the graph so values die close to
+//!   their birth (greedy minimum register-pressure delta). Execution
+//!   order of pure operators cannot change any row's value; it only
+//!   changes how many slots the linear-scan allocator needs. `Input`
+//!   nodes keep their relative order (positional input layout) and so do
+//!   `Output` nodes (positional output layout).
+
+use crate::cdfg::{Cdfg, FmaKind, NodeId, Op};
+use csfma_softfloat::batch as sfb;
+use std::collections::HashMap;
+
+/// What the optimizer did to a graph, recorded on the compiled tape for
+/// benchmark attribution (`bench::throughput` emits these).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OptStats {
+    /// Node count before optimization.
+    pub nodes_before: usize,
+    /// Node count after optimization.
+    pub nodes_after: usize,
+    /// Nodes replaced by a folded constant.
+    pub consts_folded: usize,
+    /// Nodes merged into an identical earlier node.
+    pub cse_merged: usize,
+    /// Dead (non-input) nodes removed.
+    pub dead_removed: usize,
+    /// Tape instructions removed by dead-slot elimination after lowering.
+    pub dead_slots_removed: usize,
+    /// Wall time spent optimizing, microseconds.
+    pub optimize_us: f64,
+}
+
+/// Run the full post-gate pipeline: fold + CSE + DCE to a bounded
+/// fixpoint, then one pressure-aware reorder. The input graph must be
+/// checker-clean; the output graph is re-validated.
+pub(crate) fn optimize_graph(g: &Cdfg) -> (Cdfg, OptStats) {
+    let mut stats = OptStats {
+        nodes_before: g.len(),
+        ..Default::default()
+    };
+    let mut cur = g.clone();
+    for _ in 0..8 {
+        let (next, folded, merged) = fold_and_cse(&cur);
+        let (next, removed) = eliminate_dead_keep_inputs(&next);
+        stats.consts_folded += folded;
+        stats.cse_merged += merged;
+        stats.dead_removed += removed;
+        cur = next;
+        if folded == 0 && merged == 0 && removed == 0 {
+            break;
+        }
+    }
+    let cur = reorder_for_pressure(&cur);
+    // post-gate invariant: the optimized graph must still be checker-clean
+    cur.validate();
+    crate::lint::debug_assert_dataflow_clean(
+        &cur,
+        &crate::sched::OpTiming::default(),
+        "post-gate optimizer result",
+    );
+    stats.nodes_after = cur.len();
+    (cur, stats)
+}
+
+/// True when `v`'s bit pattern is a canonical FTZ double — the domain on
+/// which the f64 and bit-accurate backends see the same value.
+fn is_canonical(v: f64) -> bool {
+    v.to_bits() == sfb::canonicalize(v).to_bits()
+}
+
+fn const_of(g: &Cdfg, id: NodeId) -> Option<f64> {
+    match g.nodes()[id].op {
+        Op::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Try to fold an all-constant node. Returns the folded value only when
+/// replacing the computation with a `Const` preserves both backends
+/// bit-for-bit (see module docs for the argument).
+fn try_fold(out: &Cdfg, op: &Op, args: &[NodeId]) -> Option<f64> {
+    let (plain, hosted) = match op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div => {
+            let a = const_of(out, args[0])?;
+            let b = const_of(out, args[1])?;
+            if !is_canonical(a) || !is_canonical(b) {
+                return None;
+            }
+            match op {
+                Op::Add => (a + b, sfb::hosted_add(a, b)),
+                Op::Sub => (a - b, sfb::hosted_sub(a, b)),
+                Op::Mul => (a * b, sfb::hosted_mul(a, b)),
+                _ => (a / b, sfb::hosted_div(a, b)),
+            }
+        }
+        Op::Neg => {
+            let a = const_of(out, args[0])?;
+            if !is_canonical(a) {
+                return None;
+            }
+            (-a, sfb::hosted_neg(a))
+        }
+        _ => return None,
+    };
+    (plain.to_bits() == hosted.to_bits()).then_some(plain)
+}
+
+/// The canonical encoding of one (rewritten) node — the CSE identity.
+/// Mirrors `compile::canonical_encoding`, with argument ids already
+/// remapped into the output graph.
+fn node_key(op: &Op, args: &[NodeId]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 4 * args.len());
+    let kind_tag = |k: FmaKind| match k {
+        FmaKind::Pcs => 0u8,
+        FmaKind::Fcs => 1u8,
+    };
+    match op {
+        Op::Input(name) => {
+            buf.push(0);
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+        }
+        Op::Const(v) => {
+            buf.push(1);
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Op::Add => buf.push(2),
+        Op::Sub => buf.push(3),
+        Op::Mul => buf.push(4),
+        Op::Div => buf.push(5),
+        Op::Neg => buf.push(6),
+        Op::Fma { kind, negate_b } => {
+            buf.push(7);
+            buf.push(kind_tag(*kind));
+            buf.push(*negate_b as u8);
+        }
+        Op::IeeeToCs(kind) => {
+            buf.push(8);
+            buf.push(kind_tag(*kind));
+        }
+        Op::CsToIeee(kind) => {
+            buf.push(9);
+            buf.push(kind_tag(*kind));
+        }
+        Op::Output(_) => unreachable!("outputs are never CSE candidates"),
+    }
+    for &a in args {
+        buf.extend_from_slice(&(a as u32).to_le_bytes());
+    }
+    buf
+}
+
+/// One forward rewrite pass: fold all-constant nodes, then merge nodes
+/// with byte-equal canonical encodings. Returns the rewritten graph and
+/// the (folded, merged) counts.
+fn fold_and_cse(g: &Cdfg) -> (Cdfg, usize, usize) {
+    let mut out = Cdfg::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(g.len());
+    let mut seen: HashMap<Vec<u8>, NodeId> = HashMap::new();
+    let (mut folded, mut merged) = (0usize, 0usize);
+    for n in g.nodes() {
+        let mut args: Vec<NodeId> = n.args.iter().map(|&a| map[a]).collect();
+        if let Op::Output(_) = n.op {
+            map.push(out.push(n.op.clone(), args));
+            continue;
+        }
+        let op = match try_fold(&out, &n.op, &args) {
+            Some(v) => {
+                folded += 1;
+                args.clear();
+                Op::Const(v)
+            }
+            None => n.op.clone(),
+        };
+        let key = node_key(&op, &args);
+        if let Some(&prev) = seen.get(&key) {
+            merged += 1;
+            map.push(prev);
+            continue;
+        }
+        let id = out.push(op, args);
+        seen.insert(key, id);
+        map.push(id);
+    }
+    (out, folded, merged)
+}
+
+/// Dead-node elimination rooted at the outputs **and every input**:
+/// removing an unused `Input` would change the tape's positional row
+/// layout, which must stay byte-compatible with the unoptimized tape.
+fn eliminate_dead_keep_inputs(g: &Cdfg) -> (Cdfg, usize) {
+    let mut live = vec![false; g.len()];
+    let mut stack: Vec<NodeId> = g.outputs();
+    for (id, n) in g.nodes().iter().enumerate() {
+        if matches!(n.op, Op::Input(_)) {
+            stack.push(id);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if live[id] {
+            continue;
+        }
+        live[id] = true;
+        stack.extend(g.nodes()[id].args.iter().copied());
+    }
+    let removed = live.iter().filter(|&&l| !l).count();
+    if removed == 0 {
+        return (g.clone(), 0);
+    }
+    let mut map = vec![usize::MAX; g.len()];
+    let mut out = Cdfg::new();
+    for (id, n) in g.nodes().iter().enumerate() {
+        if live[id] {
+            let args = n.args.iter().map(|&a| map[a]).collect();
+            map[id] = out.push(n.op.clone(), args);
+        }
+    }
+    (out, removed)
+}
+
+/// Slot-pressure-aware list scheduling: emit ready nodes in the order
+/// that greedily minimizes the live-value count the linear-scan
+/// allocator will see (an emission frees one slot per dying argument and
+/// allocates one for its own result). Deterministic: ties break on the
+/// original node id, `Input` nodes keep their relative order and so do
+/// `Output` nodes.
+fn reorder_for_pressure(g: &Cdfg) -> Cdfg {
+    let nodes = g.nodes();
+    let n = nodes.len();
+    // remaining reads of each node's value
+    let mut uses = vec![0usize; n];
+    for node in nodes {
+        for &a in &node.args {
+            uses[a] += 1;
+        }
+    }
+    let mut unmet: Vec<usize> = nodes.iter().map(|nd| nd.args.len()).collect();
+    let inputs: Vec<NodeId> = (0..n)
+        .filter(|&i| matches!(nodes[i].op, Op::Input(_)))
+        .collect();
+    let outputs: Vec<NodeId> = (0..n)
+        .filter(|&i| matches!(nodes[i].op, Op::Output(_)))
+        .collect();
+    let (mut next_in, mut next_out) = (0usize, 0usize);
+    let mut emitted = vec![false; n];
+    let mut map = vec![usize::MAX; n];
+    let mut out = Cdfg::new();
+
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    while order.len() < n {
+        // pick the ready node with the best (lowest) pressure delta
+        let mut best: Option<(i64, NodeId)> = None;
+        for id in 0..n {
+            if emitted[id] || unmet[id] != 0 {
+                continue;
+            }
+            match nodes[id].op {
+                // positional layouts: only the next input/output may go
+                Op::Input(_) if inputs[next_in] != id => continue,
+                Op::Output(_) if outputs[next_out] != id => continue,
+                _ => {}
+            }
+            let allocs = i64::from(!matches!(nodes[id].op, Op::Output(_)));
+            let mut frees = 0i64;
+            // count dying arguments; a double-read (e.g. `x * x`) frees
+            // its slot only once
+            let args = &nodes[id].args;
+            for (k, &a) in args.iter().enumerate() {
+                let reads_here = args.iter().filter(|&&b| b == a).count();
+                if args[..k].contains(&a) {
+                    continue; // counted at its first occurrence
+                }
+                if uses[a] == reads_here {
+                    frees += 1;
+                }
+            }
+            let delta = allocs - frees;
+            if best.is_none_or(|(d, _)| delta < d) {
+                best = Some((delta, id));
+            }
+        }
+        let (_, id) = best.expect("a checker-clean DAG always has a ready node");
+        emitted[id] = true;
+        for &a in &nodes[id].args {
+            uses[a] -= 1;
+        }
+        for (uid, u) in nodes.iter().enumerate() {
+            if !emitted[uid] {
+                unmet[uid] -= u.args.iter().filter(|&&a| a == id).count();
+            }
+        }
+        match nodes[id].op {
+            Op::Input(_) => next_in += 1,
+            Op::Output(_) => next_out += 1,
+            _ => {}
+        }
+        order.push(id);
+    }
+    for &id in &order {
+        let args = nodes[id].args.iter().map(|&a| map[a]).collect();
+        map[id] = out.push(nodes[id].op.clone(), args);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{eval_bit_accurate, eval_f64};
+    use crate::parse_program;
+
+    fn named_inputs(g: &Cdfg, v: f64) -> HashMap<String, f64> {
+        g.nodes()
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Input(name) => Some((name.clone(), v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn folds_safe_constant_subtrees() {
+        let g = parse_program("out y = x * (2.0 + 3.0 * 4.0);").unwrap();
+        let (opt, stats) = optimize_graph(&g);
+        assert!(stats.consts_folded >= 2, "{stats:?}");
+        assert_eq!(opt.count_ops(|o| matches!(o, Op::Const(_))), 1);
+        let ins = named_inputs(&g, 1.5);
+        assert_eq!(eval_f64(&g, &ins)["y"], eval_f64(&opt, &ins)["y"]);
+    }
+
+    #[test]
+    fn never_folds_nan_producing_constants() {
+        // 0 * inf: the host produces some NaN, the model the canonical
+        // one — folding would pin one backend's pattern into the other
+        let mut g = Cdfg::new();
+        let z = g.constant(0.0);
+        let i = g.constant(f64::INFINITY);
+        let m = g.mul(z, i);
+        g.output("y", m);
+        let (opt, stats) = optimize_graph(&g);
+        assert_eq!(stats.consts_folded, 0);
+        let ins = HashMap::new();
+        assert_eq!(
+            eval_f64(&g, &ins)["y"].to_bits(),
+            eval_f64(&opt, &ins)["y"].to_bits()
+        );
+        assert_eq!(
+            eval_bit_accurate(&g, &ins)["y"].to_bits(),
+            eval_bit_accurate(&opt, &ins)["y"].to_bits()
+        );
+    }
+
+    #[test]
+    fn never_folds_non_canonical_operands() {
+        // subnormal constant: the two backends disagree on the input
+        // value itself (FTZ), so folding must not touch it
+        let mut g = Cdfg::new();
+        let s = g.constant(f64::MIN_POSITIVE / 2.0);
+        let c = g.constant(1.0);
+        let m = g.mul(s, c);
+        g.output("y", m);
+        let (_, stats) = optimize_graph(&g);
+        assert_eq!(stats.consts_folded, 0);
+    }
+
+    #[test]
+    fn cse_merges_repeated_subexpressions() {
+        let g = parse_program("out y = a*b + a*b;").unwrap();
+        let (opt, stats) = optimize_graph(&g);
+        assert_eq!(stats.cse_merged, 1);
+        assert_eq!(opt.count_ops(|o| matches!(o, Op::Mul)), 1);
+        let ins = named_inputs(&g, 2.5);
+        assert_eq!(eval_f64(&g, &ins)["y"], eval_f64(&opt, &ins)["y"]);
+    }
+
+    #[test]
+    fn dce_preserves_inputs() {
+        // `dead` never reaches the output but its inputs must survive so
+        // the positional row layout is unchanged
+        let g = parse_program("dead = p * q;\nout y = a + b;").unwrap();
+        let (opt, stats) = optimize_graph(&g);
+        assert!(stats.dead_removed >= 1, "{stats:?}");
+        let names: Vec<&str> = opt
+            .nodes()
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Input(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["p", "q", "a", "b"]);
+        assert_eq!(opt.count_ops(|o| matches!(o, Op::Mul)), 0);
+    }
+
+    #[test]
+    fn reorder_keeps_io_order_and_semantics() {
+        let g = parse_program(
+            "t1 = a + b;\n t2 = c + d;\n t3 = e + f;\n out y = t1 * t2 + t3;\n out z = t1 - t2;",
+        )
+        .unwrap();
+        let (opt, _) = optimize_graph(&g);
+        let io = |g: &Cdfg, pick: fn(&Op) -> Option<String>| -> Vec<String> {
+            g.nodes().iter().filter_map(|n| pick(&n.op)).collect()
+        };
+        let in_name = |o: &Op| match o {
+            Op::Input(n) => Some(n.clone()),
+            _ => None,
+        };
+        let out_name = |o: &Op| match o {
+            Op::Output(n) => Some(n.clone()),
+            _ => None,
+        };
+        assert_eq!(io(&g, in_name), io(&opt, in_name));
+        assert_eq!(io(&g, out_name), io(&opt, out_name));
+        let ins = named_inputs(&g, 3.25);
+        for key in ["y", "z"] {
+            assert_eq!(
+                eval_f64(&g, &ins)[key].to_bits(),
+                eval_f64(&opt, &ins)[key].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_graphs_survive_optimization() {
+        use crate::fuse::{fuse_critical_paths, FusionConfig};
+        let g = parse_program("x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;").unwrap();
+        for kind in [FmaKind::Pcs, FmaKind::Fcs] {
+            let fused = fuse_critical_paths(&g, &FusionConfig::new(kind)).fused;
+            let (opt, _) = optimize_graph(&fused);
+            let ins = named_inputs(&fused, -1.75);
+            assert_eq!(
+                eval_bit_accurate(&fused, &ins)["x3"].to_bits(),
+                eval_bit_accurate(&opt, &ins)["x3"].to_bits()
+            );
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! program :=  stmt*
-//! stmt    :=  ["out"] ident "=" expr ";"
+//! stmt    :=  "in" ident ("," ident)* ";"
+//!          |  ["out"] ident "=" expr ";"
 //! expr    :=  term  (("+" | "-") term)*
 //! term    :=  factor (("*" | "/") factor)*
 //! factor  :=  "-" factor | ident | number | "(" expr ")"
@@ -20,6 +21,15 @@
 //! x2 = e*f + g*x1;
 //! out x3 = h*i + k*x2;
 //! ```
+//!
+//! A program may declare its inputs explicitly with `in a, b;`
+//! statements. The presence of **any** `in` declaration makes the whole
+//! program *strict*: implicit input creation is disabled, and reading an
+//! identifier that is neither a declared input nor a previously assigned
+//! variable is a positioned parse error ("undefined input name") instead
+//! of silently growing the input row. Declared-but-unused inputs still
+//! appear in the graph (and the compiled tape's row layout), in
+//! declaration order.
 
 use crate::cdfg::{Cdfg, NodeId};
 use std::collections::HashMap;
@@ -98,9 +108,11 @@ enum Tok {
     Slash,
     Eq,
     Semi,
+    Comma,
     LParen,
     RParen,
     Out,
+    In,
 }
 
 fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
@@ -141,6 +153,10 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 toks.push((i, Tok::Semi));
                 i += 1;
             }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
             '(' => {
                 toks.push((i, Tok::LParen));
                 i += 1;
@@ -159,10 +175,10 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 let word = &src[start..i];
                 toks.push((
                     start,
-                    if word == "out" {
-                        Tok::Out
-                    } else {
-                        Tok::Ident(word.to_string())
+                    match word {
+                        "out" => Tok::Out,
+                        "in" => Tok::In,
+                        _ => Tok::Ident(word.to_string()),
                     },
                 ));
             }
@@ -196,6 +212,8 @@ struct Parser<'a> {
     idx: usize,
     g: Cdfg,
     vars: HashMap<String, NodeId>,
+    // the program carries `in` declarations: undefined names are errors
+    strict: bool,
 }
 
 impl<'a> Parser<'a> {
@@ -225,22 +243,32 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn lookup(&mut self, name: &str) -> NodeId {
+    fn lookup(&mut self, pos: usize, name: &str) -> Result<NodeId, ParseError> {
         if let Some(&id) = self.vars.get(name) {
-            return id;
+            return Ok(id);
+        }
+        if self.strict {
+            return Err(ParseError::new(
+                pos,
+                format!(
+                    "undefined input name '{name}': this program declares its \
+                     inputs with 'in', and '{name}' is neither declared nor assigned"
+                ),
+            ));
         }
         let id = self.g.input(name);
         self.vars.insert(name.to_string(), id);
-        id
+        Ok(id)
     }
 
     fn factor(&mut self) -> Result<NodeId, ParseError> {
+        let start = self.pos();
         match self.bump() {
             Some(Tok::Minus) => {
                 let f = self.factor()?;
                 Ok(self.g.push(crate::cdfg::Op::Neg, vec![f]))
             }
-            Some(Tok::Ident(name)) => Ok(self.lookup(&name)),
+            Some(Tok::Ident(name)) => self.lookup(start, &name),
             Some(Tok::Number(v)) => Ok(self.g.constant(v)),
             Some(Tok::LParen) => {
                 let e = self.expr()?;
@@ -293,6 +321,31 @@ impl<'a> Parser<'a> {
     }
 
     fn stmt(&mut self) -> Result<(), ParseError> {
+        if self.peek() == Some(&Tok::In) {
+            self.idx += 1;
+            loop {
+                let pos = self.pos();
+                match self.bump() {
+                    Some(Tok::Ident(n)) => {
+                        if self.vars.contains_key(&n) {
+                            return Err(ParseError::new(
+                                pos,
+                                format!("duplicate declaration of input '{n}'"),
+                            ));
+                        }
+                        let id = self.g.input(n.clone());
+                        self.vars.insert(n, id);
+                    }
+                    _ => return Err(ParseError::new(pos, "expected input name after 'in'")),
+                }
+                if self.peek() == Some(&Tok::Comma) {
+                    self.idx += 1;
+                } else {
+                    break;
+                }
+            }
+            return self.expect(&Tok::Semi, "';'");
+        }
         let is_out = if self.peek() == Some(&Tok::Out) {
             self.idx += 1;
             true
@@ -333,11 +386,15 @@ pub fn parse_program(src: &str) -> Result<Cdfg, ParseError> {
 
 fn parse_inner(src: &str) -> Result<Cdfg, ParseError> {
     let toks = tokenize(src)?;
+    // any `in` declaration anywhere makes the whole program strict, so
+    // a use *before* the declaration cannot silently mint an input
+    let strict = toks.iter().any(|(_, t)| *t == Tok::In);
     let mut p = Parser {
         toks: &toks,
         idx: 0,
         g: Cdfg::new(),
         vars: HashMap::new(),
+        strict,
     };
     while p.peek().is_some() {
         p.stmt()?;
@@ -428,6 +485,38 @@ mod tests {
         // EOF errors clamp to one past the last line's end
         let eof = parse_program("out y = a").unwrap_err();
         assert_eq!((eof.line, eof.col), (1, 10));
+    }
+
+    #[test]
+    fn in_declarations_enable_strict_mode() {
+        // declared-but-unused inputs still appear, in declaration order
+        let g = parse_program("in a, b, unused;\nout y = a + b;").unwrap();
+        let names: Vec<&str> = g
+            .nodes()
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Input(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["a", "b", "unused"]);
+        // an undefined name is a positioned error, not a fresh input
+        let e = parse_program("in a, b;\nout y = a * c;").unwrap_err();
+        assert!(e.message.contains("undefined input name 'c'"), "{e}");
+        assert_eq!((e.line, e.col), (2, 13));
+        // assigned intermediates stay referencable under strictness
+        assert!(parse_program("in a;\nt = a * a;\nout y = t + a;").is_ok());
+        // declaring twice is an error
+        let dup = parse_program("in a, a;\nout y = a;").unwrap_err();
+        assert!(dup.message.contains("duplicate declaration"), "{dup}");
+        // strictness applies even to uses before the declaration
+        let early = parse_program("out y = a * c;\nin a;").unwrap_err();
+        assert!(
+            early.message.contains("undefined input name 'a'"),
+            "{early}"
+        );
+        // without declarations the legacy auto-input behavior is intact
+        assert!(parse_program("out y = a * c;").is_ok());
     }
 
     #[test]

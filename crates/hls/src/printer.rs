@@ -4,6 +4,7 @@
 //! round-trip through the parser (property-tested).
 
 use crate::cdfg::{Cdfg, FmaKind, Op};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 fn kind_tag(k: FmaKind) -> &'static str {
@@ -19,7 +20,40 @@ fn kind_tag(k: FmaKind) -> &'static str {
 /// fused nodes additionally use `fma_pcs(a, b, c)`-style pseudo-calls
 /// (not re-parseable — they exist for dumps and diffs).
 pub fn to_source(g: &Cdfg) -> String {
+    // fresh temporaries must not shadow a source-level name: a program
+    // whose *input* is literally called `t0` would otherwise reparse
+    // with the temporary captured by the rebound assignment — silently
+    // different dataflow (found by the parser_round_trip fuzz target)
+    let taken: HashSet<&str> = g
+        .nodes()
+        .iter()
+        .filter_map(|n| match &n.op {
+            Op::Input(name) | Op::Output(name) => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
     let mut out = String::new();
+    // an input with no users is invisible in expression form — the only
+    // way to keep it in the signature is an explicit `in` declaration
+    // (which reparses in strict mode, so every input must then be
+    // listed; found by the parser_round_trip fuzz target)
+    let users = g.users();
+    let inputs: Vec<&str> = g
+        .nodes()
+        .iter()
+        .filter_map(|n| match &n.op {
+            Op::Input(name) => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let has_unused_input = g
+        .nodes()
+        .iter()
+        .enumerate()
+        .any(|(id, n)| matches!(n.op, Op::Input(_)) && users[id].is_empty());
+    if has_unused_input {
+        let _ = writeln!(out, "in {};", inputs.join(", "));
+    }
     let mut names: Vec<String> = Vec::with_capacity(g.len());
     let mut tmp = 0usize;
     for (id, n) in g.nodes().iter().enumerate() {
@@ -27,19 +61,43 @@ pub fn to_source(g: &Cdfg) -> String {
         let (name, rhs) = match &n.op {
             Op::Input(name) => (name.clone(), None),
             Op::Const(v) => {
-                let mut t = format!("{v:?}");
+                // overflowing literals (`1e999`) parse to infinities, so
+                // infinities must print back as overflowing literals —
+                // `{v:?}` gives `inf`, which reads as an identifier
+                let mut t = if v.is_infinite() {
+                    if v.is_sign_positive() {
+                        "1e999"
+                    } else {
+                        "-1e999"
+                    }
+                    .to_string()
+                } else {
+                    format!("{v:?}")
+                };
                 if !t.contains('.') && !t.contains('e') {
                     t.push_str(".0");
                 }
                 (t, None)
             }
-            Op::Add => (fresh(&mut tmp), Some(format!("{} + {}", arg(0), arg(1)))),
-            Op::Sub => (fresh(&mut tmp), Some(format!("{} - {}", arg(0), arg(1)))),
-            Op::Mul => (fresh(&mut tmp), Some(format!("{} * {}", arg(0), arg(1)))),
-            Op::Div => (fresh(&mut tmp), Some(format!("{} / {}", arg(0), arg(1)))),
-            Op::Neg => (fresh(&mut tmp), Some(format!("-{}", arg(0)))),
+            Op::Add => (
+                fresh(&mut tmp, &taken),
+                Some(format!("{} + {}", arg(0), arg(1))),
+            ),
+            Op::Sub => (
+                fresh(&mut tmp, &taken),
+                Some(format!("{} - {}", arg(0), arg(1))),
+            ),
+            Op::Mul => (
+                fresh(&mut tmp, &taken),
+                Some(format!("{} * {}", arg(0), arg(1))),
+            ),
+            Op::Div => (
+                fresh(&mut tmp, &taken),
+                Some(format!("{} / {}", arg(0), arg(1))),
+            ),
+            Op::Neg => (fresh(&mut tmp, &taken), Some(format!("-{}", arg(0)))),
             Op::Fma { kind, negate_b } => (
-                fresh(&mut tmp),
+                fresh(&mut tmp, &taken),
                 Some(format!(
                     "fma_{}({}, {}{}, {})",
                     kind_tag(*kind),
@@ -50,11 +108,11 @@ pub fn to_source(g: &Cdfg) -> String {
                 )),
             ),
             Op::IeeeToCs(k) => (
-                fresh(&mut tmp),
+                fresh(&mut tmp, &taken),
                 Some(format!("to_cs_{}({})", kind_tag(*k), arg(0))),
             ),
             Op::CsToIeee(k) => (
-                fresh(&mut tmp),
+                fresh(&mut tmp, &taken),
                 Some(format!("from_cs_{}({})", kind_tag(*k), arg(0))),
             ),
             Op::Output(name) => {
@@ -72,10 +130,14 @@ pub fn to_source(g: &Cdfg) -> String {
     out
 }
 
-fn fresh(tmp: &mut usize) -> String {
-    let n = format!("t{tmp}");
-    *tmp += 1;
-    n
+fn fresh(tmp: &mut usize, taken: &HashSet<&str>) -> String {
+    loop {
+        let n = format!("t{tmp}");
+        *tmp += 1;
+        if !taken.contains(n.as_str()) {
+            return n;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +173,53 @@ mod tests {
         assert!(src.contains("fma_fcs("), "{src}");
         assert!(src.contains("to_cs_fcs("));
         assert!(src.contains("from_cs_fcs("));
+    }
+
+    #[test]
+    fn temp_names_dodge_source_identifiers() {
+        // fuzz regression: an input literally named `t0` used to be
+        // shadowed by the printer's first temporary, so the reparse
+        // bound later uses of `t0` to the temporary instead of the input
+        let g = parse_program("q = t0 + b; out y = q * t0;").unwrap();
+        let src = to_source(&g);
+        let g2 = parse_program(&src).unwrap();
+        let ins: HashMap<String, f64> = [("t0", 3.0), ("b", 5.0)]
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        // (t0 + b) * t0 = 24, not (t0 + b)^2 = 64
+        assert_eq!(eval_f64(&g, &ins)["y"], 24.0);
+        assert_eq!(eval_f64(&g2, &ins)["y"], 24.0, "print:\n{src}");
+    }
+
+    #[test]
+    fn unused_declared_inputs_survive_via_in_header() {
+        // fuzz regression: an input with no users has no expression to
+        // appear in, so the print dropped it from the signature
+        let g = parse_program("in a, b, unused;\nout y = a * b;").unwrap();
+        let src = to_source(&g);
+        assert!(src.starts_with("in a, b, unused;"), "{src}");
+        let g2 = parse_program(&src).unwrap();
+        let count = |g: &Cdfg| g.count_ops(|op| matches!(op, Op::Input(_)));
+        assert_eq!(count(&g), 3);
+        assert_eq!(count(&g2), 3, "{src}");
+        // fully-used signatures keep the legacy declaration-free print
+        let g = parse_program("out y = a * b;").unwrap();
+        assert!(!to_source(&g).contains("in "), "{}", to_source(&g));
+    }
+
+    #[test]
+    fn infinite_constants_reprint_as_overflowing_literals() {
+        // fuzz regression: `1e999` parses to +inf, which `{v:?}` prints
+        // as the identifier-looking token `inf` — not reparseable
+        let g = parse_program("out y = a + 1e999; out z = a - -1e999;").unwrap();
+        let src = to_source(&g);
+        let g2 = parse_program(&src).unwrap_or_else(|e| panic!("reparse failed: {e}\n{src}"));
+        let ins: HashMap<String, f64> = [("a".to_string(), 1.0)].into_iter().collect();
+        let want = eval_f64(&g, &ins);
+        let got = eval_f64(&g2, &ins);
+        assert_eq!(want["y"].to_bits(), got["y"].to_bits());
+        assert_eq!(want["z"].to_bits(), got["z"].to_bits());
     }
 
     proptest! {

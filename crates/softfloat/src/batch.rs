@@ -153,6 +153,36 @@ pub fn mul_slices(dst: &mut [f64], a: &[f64], b: &[f64]) {
     }
 }
 
+/// Elementwise `dst[i] = a[i] - b[i]` over canonical slices.
+pub fn sub_slices(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(
+        dst.len() == a.len() && a.len() == b.len(),
+        "length mismatch"
+    );
+    for i in 0..dst.len() {
+        dst[i] = hosted_sub(a[i], b[i]);
+    }
+}
+
+/// Elementwise `dst[i] = a[i] / b[i]` over canonical slices.
+pub fn div_slices(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(
+        dst.len() == a.len() && a.len() == b.len(),
+        "length mismatch"
+    );
+    for i in 0..dst.len() {
+        dst[i] = hosted_div(a[i], b[i]);
+    }
+}
+
+/// Elementwise `dst[i] = -a[i]` over canonical slices.
+pub fn neg_slices(dst: &mut [f64], a: &[f64]) {
+    assert!(dst.len() == a.len(), "length mismatch");
+    for i in 0..dst.len() {
+        dst[i] = hosted_neg(a[i]);
+    }
+}
+
 /// Elementwise true fused `dst[i] = a[i] * b[i] + c[i]` via the
 /// soft-float `fma` (single rounding). There is no host fast path here:
 /// `f64::mul_add` may lower to separate multiply/add on targets without

@@ -10,7 +10,9 @@
 //! (`B*(C+1) = B*C + B`), adding at most one level to the tree.
 
 use csfma_bits::Bits;
-use csfma_carrysave::{reduce_to_cs, CsNumber, COMPRESSOR_HEADROOM_BITS};
+use csfma_carrysave::{
+    reduce_to_cs, reduce_to_cs_with, CsNumber, ReduceScratch, COMPRESSOR_HEADROOM_BITS,
+};
 
 /// Output of the mantissa multiplier: the CS product plus the structural
 /// facts the fabric timing model charges for.
@@ -46,12 +48,34 @@ pub struct MultiplierOutput {
 /// count* depends only on the width of the smaller operand `B_M`), reduced
 /// by a 3:2 tree.
 pub fn multiply_cs_by_binary(c: &CsNumber, b: &Bits, round_increment: bool) -> MultiplierOutput {
+    multiply_cs_by_binary_with(
+        c,
+        b,
+        round_increment,
+        &mut Vec::new(),
+        &mut ReduceScratch::default(),
+    )
+}
+
+/// [`multiply_cs_by_binary`] with caller-provided working storage — the
+/// batch-friendly entry point. `rows` holds the partial-product rows and
+/// `scratch` the Wallace-tree layers; a batch evaluator keeps one of
+/// each per worker so millions of multiplies allocate nothing. Results
+/// are identical to [`multiply_cs_by_binary`].
+pub fn multiply_cs_by_binary_with(
+    c: &CsNumber,
+    b: &Bits,
+    round_increment: bool,
+    rows: &mut Vec<Bits>,
+    scratch: &mut ReduceScratch,
+) -> MultiplierOutput {
     let out_width = c.width() + b.width() + COMPRESSOR_HEADROOM_BITS;
     // sign-extend the two's complement multiplicand words once
     let c_sum = c.sum().sext(out_width);
     let c_carry = c.carry().sext(out_width);
 
-    let mut rows: Vec<Bits> = Vec::with_capacity(2 * b.width() + 1);
+    rows.clear();
+    rows.reserve(2 * b.width() + 1);
     for i in 0..b.width() {
         if b.bit(i) {
             rows.push(c_sum.shl(i));
@@ -61,7 +85,7 @@ pub fn multiply_cs_by_binary(c: &CsNumber, b: &Bits, round_increment: bool) -> M
     if round_increment {
         rows.push(b.zext(out_width));
     }
-    let reduced = reduce_to_cs(&rows, out_width);
+    let reduced = reduce_to_cs_with(rows, out_width, scratch);
     MultiplierOutput {
         product: reduced.cs,
         rows: rows.len(),

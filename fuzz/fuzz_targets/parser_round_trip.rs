@@ -1,0 +1,69 @@
+//! Parser / printer round-trip target.
+//!
+//! Any byte soup must either fail to parse with a positioned error or
+//! yield a graph whose `to_source` print reparses to the **same
+//! dataflow**: identical input-name set, identical output list, and
+//! bit-identical `eval_f64` results on deterministic stimulus. Found
+//! the `inf`-literal and temp-name-shadowing printer bugs (now pinned
+//! as regression tests in `crates/hls/src/printer.rs`).
+
+use csfma_hls::interp::eval_f64;
+use csfma_hls::{parse_program, to_source};
+use libfuzzer_sys::fuzz_target;
+use std::collections::{HashMap, HashSet};
+
+fuzz_target!(|data: &[u8]| {
+    let src = String::from_utf8_lossy(data);
+    let Ok(g) = parse_program(&src) else {
+        return; // rejection with a structured error is a fine outcome
+    };
+
+    let printed = to_source(&g);
+    let g2 = parse_program(&printed).unwrap_or_else(|e| {
+        panic!("print not reparseable: {e}\nsource: {src:?}\nprint:\n{printed}")
+    });
+
+    // `in` declarations pin input *order* but the printer intentionally
+    // emits first-use order, so compare names as a set
+    let names = |g: &csfma_hls::Cdfg| -> HashSet<String> {
+        g.nodes()
+            .iter()
+            .filter_map(|n| match &n.op {
+                csfma_hls::Op::Input(name) => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+    let outs = |g: &csfma_hls::Cdfg| -> Vec<String> {
+        g.nodes()
+            .iter()
+            .filter_map(|n| match &n.op {
+                csfma_hls::Op::Output(name) => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+    assert_eq!(names(&g), names(&g2), "input set drifted:\n{printed}");
+    assert_eq!(outs(&g), outs(&g2), "output list drifted:\n{printed}");
+
+    // deterministic stimulus keyed by name, so declaration order is moot
+    let vals: HashMap<String, f64> = names(&g)
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let h = n
+                .bytes()
+                .fold(0x9e37u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+            (n, (h % 1000) as f64 - 500.0 + i as f64 * 0.25)
+        })
+        .collect();
+    let want = eval_f64(&g, &vals);
+    let got = eval_f64(&g2, &vals);
+    for (name, w) in &want {
+        let v = got[name];
+        assert!(
+            v.to_bits() == w.to_bits() || (v.is_nan() && w.is_nan()),
+            "output {name} drifted: {v:?} vs {w:?}\nsource: {src:?}\nprint:\n{printed}"
+        );
+    }
+});

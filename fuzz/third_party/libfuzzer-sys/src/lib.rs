@@ -1,0 +1,133 @@
+//! Offline stand-in for `libfuzzer-sys`: same `fuzz_target!` surface,
+//! no LLVM runtime. `cargo-fuzz` and its instrumentation toolchain are
+//! not available in this environment, so the macro expands to a plain
+//! `main` that
+//!
+//! 1. replays every corpus file passed on the command line (files or
+//!    directories, recursively), then
+//! 2. drives `FUZZ_ITERS` pseudo-random byte buffers (default 256) from
+//!    a deterministic generator seeded by `FUZZ_SEED` (default 0x5eed),
+//!    mutating replayed corpus bytes when a corpus was given and using
+//!    raw random bytes otherwise.
+//!
+//! Any panic in the target body aborts the process with a non-zero
+//! status, which is what ci.sh checks for. A crashing input can be
+//! reproduced by writing the bytes to a file and passing its path.
+//! Targets written against this stub run unmodified under the real
+//! `cargo fuzz` on a machine that has it.
+
+/// splitmix64 — deterministic, seedable, good enough to mutate bytes.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Collect corpus inputs from a path (one file, or a directory walked
+/// recursively in sorted order so runs are reproducible).
+pub fn collect_corpus(path: &std::path::Path, out: &mut Vec<Vec<u8>>) {
+    if path.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| panic!("read corpus dir {}: {e}", path.display()))
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            collect_corpus(&entry, out);
+        }
+    } else {
+        out.push(
+            std::fs::read(path).unwrap_or_else(|e| panic!("read corpus {}: {e}", path.display())),
+        );
+    }
+}
+
+/// Derive a new input by mutating a corpus seed: byte flips, truncation,
+/// duplication, splices of random bytes.
+pub fn mutate(seed: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut buf = seed.to_vec();
+    for _ in 0..(rng.next() % 8 + 1) {
+        match rng.next() % 4 {
+            0 if !buf.is_empty() => {
+                // flip a byte
+                let i = (rng.next() as usize) % buf.len();
+                buf[i] = rng.next() as u8;
+            }
+            1 if !buf.is_empty() => {
+                // truncate
+                let i = (rng.next() as usize) % buf.len();
+                buf.truncate(i);
+            }
+            2 => {
+                // insert random bytes
+                let i = (rng.next() as usize) % (buf.len() + 1);
+                let n = (rng.next() % 8) as usize;
+                for k in 0..n {
+                    buf.insert(i + k, rng.next() as u8);
+                }
+            }
+            _ => {
+                // duplicate a slice to the end
+                if !buf.is_empty() {
+                    let i = (rng.next() as usize) % buf.len();
+                    let j = i + ((rng.next() as usize) % (buf.len() - i));
+                    let slice: Vec<u8> = buf[i..j].to_vec();
+                    buf.extend_from_slice(&slice);
+                }
+            }
+        }
+    }
+    buf
+}
+
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:block) => {
+        fn fuzz_one($data: &[u8]) $body
+
+        fn main() {
+            let mut corpus: Vec<Vec<u8>> = Vec::new();
+            for arg in std::env::args().skip(1) {
+                $crate::collect_corpus(std::path::Path::new(&arg), &mut corpus);
+            }
+            for bytes in &corpus {
+                fuzz_one(bytes);
+            }
+            let iters = $crate::env_u64("FUZZ_ITERS", 256);
+            let mut rng = $crate::Rng::new($crate::env_u64("FUZZ_SEED", 0x5eed));
+            for i in 0..iters {
+                let input = if corpus.is_empty() {
+                    let len = (rng.next() % 512) as usize;
+                    (0..len).map(|_| rng.next() as u8).collect()
+                } else {
+                    let seed = &corpus[(i as usize) % corpus.len()];
+                    $crate::mutate(seed, &mut rng)
+                };
+                fuzz_one(&input);
+            }
+            eprintln!(
+                "fuzz: {} corpus + {} generated inputs, no panics",
+                corpus.len(),
+                iters
+            );
+        }
+    };
+}

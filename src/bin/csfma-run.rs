@@ -19,6 +19,7 @@
 //!   --threads T    worker threads for the batch (default: 1)
 //!   --seed S       stimulus RNG seed (default: 42)
 //!   --range LO HI  uniform stimulus range (default: -1000 1000)
+//!   --no-opt       compile without the post-gate tape optimizer
 //!   --verbose      print the compiled tape before running
 //! ```
 //!
@@ -30,8 +31,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use csfma_hls::{
-    compile_cached, fuse_critical_paths, parse_program, FmaKind, FusionConfig, Instr, Tape,
-    TapeBackend,
+    compile_cached_with, fuse_critical_paths, parse_program, CompileOptions, FmaKind, FusionConfig,
+    Instr, Tape, TapeBackend,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -44,13 +45,14 @@ struct Options {
     seed: u64,
     lo: f64,
     hi: f64,
+    optimize: bool,
     verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: csfma-run [--backend f64|bit] [--fuse pcs|fcs] [--batch N] \
-         [--threads T] [--seed S] [--range LO HI] [--verbose] [FILE]"
+         [--threads T] [--seed S] [--range LO HI] [--no-opt] [--verbose] [FILE]"
     );
     std::process::exit(2);
 }
@@ -65,6 +67,7 @@ fn parse_args() -> Options {
         seed: 42,
         lo: -1000.0,
         hi: 1000.0,
+        optimize: true,
         verbose: false,
     };
     let mut args = std::env::args().skip(1);
@@ -100,6 +103,7 @@ fn parse_args() -> Options {
                     usage();
                 }
             }
+            "--no-opt" => opts.optimize = false,
             "--verbose" => opts.verbose = true,
             "--help" | "-h" => usage(),
             _ if arg.starts_with("--") => usage(),
@@ -137,6 +141,19 @@ fn describe(tape: &Tape) {
         tape.num_cs_regs(),
         tape.fingerprint(),
     );
+    let o = tape.opt_stats();
+    if o.consts_folded + o.cse_merged + o.dead_removed + o.dead_slots_removed > 0 {
+        println!(
+            "optimized: {} -> {} nodes | folded {} | cse {} | dead {} | dead slots {} | {:.1} us",
+            o.nodes_before,
+            o.nodes_after,
+            o.consts_folded,
+            o.cse_merged,
+            o.dead_removed,
+            o.dead_slots_removed,
+            o.optimize_us,
+        );
+    }
 }
 
 fn dump(tape: &Tape) {
@@ -205,7 +222,12 @@ fn main() -> ExitCode {
         None => g,
     };
 
-    let tape = match compile_cached(&g) {
+    let tape = match compile_cached_with(
+        &g,
+        CompileOptions {
+            optimize: opts.optimize,
+        },
+    ) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("csfma-run: {e}");

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `csfma-run` binary: exit codes, the
+//! structured diagnostics contract, and the `--no-opt` oracle mode.
+//!
+//! The library-level suites cover the parser and engine directly; these
+//! run the installed binary (`CARGO_BIN_EXE_csfma-run`) to pin what a
+//! *driver* (the experiment scripts, ci.sh) actually observes — exit 2
+//! for usage/parse problems with a positioned message on stderr, exit 1
+//! when the D*/S*/W* gate refuses a graph, and bit-identical digests
+//! with and without the post-gate optimizer.
+
+use std::process::{Command, Output, Stdio};
+
+fn run(args: &[&str], stdin: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_csfma-run"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn csfma-run");
+    use std::io::Write as _;
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    child.wait_with_output().expect("csfma-run exits")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn digest_of(text: &str) -> &str {
+    let line = text
+        .lines()
+        .find(|l| l.contains("digest"))
+        .expect("batch summary line with digest");
+    line.split("digest ").nth(1).expect("digest value").trim()
+}
+
+#[test]
+fn undefined_input_in_strict_program_is_a_structured_parse_error() {
+    let out = run(&[], "in a, b;\nout y = a * bee;\n");
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("undefined input name 'bee'"),
+        "diagnostic must name the offending identifier: {err}"
+    );
+    assert!(
+        err.contains("2:"),
+        "diagnostic must carry the source position: {err}"
+    );
+}
+
+#[test]
+fn legacy_programs_still_treat_free_names_as_inputs() {
+    // no `in` declaration anywhere -> non-strict: `bee` becomes an input
+    let out = run(&[], "out y = a * bee;\n");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("2 inputs"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn no_opt_digest_matches_the_optimized_run() {
+    // constant subtree + repeated subexpression + dead assignment: every
+    // optimizer pass fires, and the digest must not move
+    let src = "unused = u * u;\nscale = 2.0 * 2.0 + 1.0;\nout y = a*b + a*b + scale;\n";
+    let args_base = ["--batch", "257", "--threads", "2", "--seed", "7"];
+    let opt = run(&args_base, src);
+    let mut args_noopt = args_base.to_vec();
+    args_noopt.push("--no-opt");
+    let plain = run(&args_noopt, src);
+    assert_eq!(opt.status.code(), Some(0), "stderr: {}", stderr(&opt));
+    assert_eq!(plain.status.code(), Some(0), "stderr: {}", stderr(&plain));
+
+    let opt_out = stdout(&opt);
+    let plain_out = stdout(&plain);
+    assert_eq!(
+        digest_of(&opt_out),
+        digest_of(&plain_out),
+        "optimizer changed observable output bits"
+    );
+    assert!(
+        opt_out.contains("optimized:"),
+        "optimized run should report pass counters: {opt_out}"
+    );
+    assert!(
+        !plain_out.contains("optimized:"),
+        "--no-opt run must not report optimizer work: {plain_out}"
+    );
+}
+
+#[test]
+fn syntax_error_exits_two_with_position() {
+    let out = run(&[], "out y = a + ;\n");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stdout: {} stderr: {}",
+        stdout(&out),
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.starts_with("csfma-run:") && err.contains("1:"),
+        "parse failures go to stderr with a position: {err}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = run(&["--frobnicate"], "out y = a + b;\n");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}

@@ -8,7 +8,8 @@
 
 use csfma::hls::interp::{eval_bit_accurate, eval_f64};
 use csfma::hls::{
-    compile, fuse_critical_paths, Cdfg, FmaKind, FusionConfig, NodeId, Op, Tape, TapeBackend,
+    compile, compile_with_options, fuse_critical_paths, Cdfg, CompileOptions, FmaKind,
+    FusionConfig, NodeId, Op, Tape, TapeBackend,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -112,6 +113,37 @@ fn assert_tape_matches(g: &Cdfg, vals: &[f64]) {
     }
 }
 
+/// Compile `g` with and without the post-gate optimizer and require the
+/// two tapes to be **byte-identical observables**: same positional input
+/// and output layout, and bitwise-equal batch results on both backends.
+/// This is the contract that lets `--no-opt` serve as a live oracle for
+/// the optimizer.
+fn assert_optimizer_equivalent(g: &Cdfg, vals: &[f64]) {
+    let opt = compile(g).expect("generated graphs are valid");
+    let plain =
+        compile_with_options(g, CompileOptions { optimize: false }).expect("same gate, same graph");
+    prop_assert_eq!(opt.input_names(), plain.input_names());
+    prop_assert_eq!(opt.output_names(), plain.output_names());
+    let ni = opt.num_inputs();
+    let n_rows = 7usize;
+    let rows: Vec<f64> = (0..n_rows * ni).map(|i| vals[i % vals.len()]).collect();
+    for backend in [TapeBackend::BitAccurate, TapeBackend::F64] {
+        let a = opt.eval_batch(backend, &rows, 2);
+        let b = plain.eval_batch(backend, &rows, 2);
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{:?}: optimized tape diverged at flat output {} ({} vs {})",
+                backend,
+                i,
+                x,
+                y
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -144,6 +176,40 @@ proptest! {
         let kind = if kind_pick { FmaKind::Pcs } else { FmaKind::Fcs };
         let fused = fuse_critical_paths(&g, &FusionConfig::new(kind)).fused;
         assert_tape_matches(&fused, &vals);
+    }
+
+    /// Optimizer equivalence on discrete graphs under full adversarial
+    /// stimulus: random constants exercise the fold guard (NaN-producing
+    /// and non-canonical constants must NOT fold), repeated argument
+    /// sampling exercises CSE, and the unsampled tail of the node list
+    /// exercises DCE + dead-slot elimination.
+    #[test]
+    fn optimizer_preserves_bytes_on_random_graphs(
+        n_inputs in 1usize..5,
+        consts in prop::collection::vec(stimulus(), 0..4),
+        ops in prop::collection::vec((0usize..5, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 1..40),
+        extra_out: prop::sample::Index,
+        vals in prop::collection::vec(stimulus(), 1..8),
+    ) {
+        let g = random_graph(n_inputs, &consts, &ops, extra_out);
+        assert_optimizer_equivalent(&g, &vals);
+    }
+
+    /// Optimizer equivalence on fused graphs: Fma / conversion nodes go
+    /// through CSE and reordering too, and the carry-save slot banks must
+    /// come out byte-compatible.
+    #[test]
+    fn optimizer_preserves_bytes_on_fused_graphs(
+        n_inputs in 1usize..5,
+        ops in prop::collection::vec((0usize..5, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 4..30),
+        extra_out: prop::sample::Index,
+        kind_pick: bool,
+        vals in prop::collection::vec(stimulus(), 1..8),
+    ) {
+        let g = random_graph(n_inputs, &[], &ops, extra_out);
+        let kind = if kind_pick { FmaKind::Pcs } else { FmaKind::Fcs };
+        let fused = fuse_critical_paths(&g, &FusionConfig::new(kind)).fused;
+        assert_optimizer_equivalent(&fused, &vals);
     }
 
     /// Fused Listing 1 under full adversarial stimulus: the FMA units'
