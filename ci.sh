@@ -34,3 +34,9 @@ FUZZ_ITERS=2000 ./fuzz/target/release/compile_gate fuzz/corpus/compile_gate > /d
 # over the pre-SoA/pre-optimizer engine (gates are inside the bin)
 cargo run -q --release -p csfma-bench --bin throughput 10000 1024 42 > /dev/null
 git checkout -- results/BENCH_throughput.json 2> /dev/null || true
+
+# fault-injection smoke: sweep every fault site with single-bit
+# transients at a fixed seed; the bin gates zero silent corruptions and
+# a >=90% detection rate on every checker-covered site (DESIGN.md §10)
+cargo run -q --release -p csfma-bench --bin fault_campaign 2000 42 > /dev/null
+git checkout -- results/BENCH_faults.json 2> /dev/null || true

@@ -7,8 +7,10 @@
 //! live in `benches/`.
 
 pub mod experiments;
+pub mod fault;
 pub mod table;
 pub mod throughput;
 
 pub use experiments::{fig13, fig14, fig15, table1, table2, Fig14Row, Fig15Row};
+pub use fault::{run_campaign, FaultCampaign, SiteReport};
 pub use throughput::{throughput, ThroughputRow};

@@ -98,7 +98,9 @@ fn scalar_eval(
 ) -> HashMap<String, f64> {
     match backend {
         TapeBackend::F64 => eval_f64(g, inputs),
-        TapeBackend::BitAccurate => eval_bit_accurate(g, inputs),
+        // the oracle backend is bit-identical to bit-accurate by
+        // construction, so the same reference applies
+        TapeBackend::BitAccurate | TapeBackend::Oracle => eval_bit_accurate(g, inputs),
     }
 }
 
@@ -200,6 +202,7 @@ fn measure(
         backend: match backend {
             TapeBackend::F64 => "f64",
             TapeBackend::BitAccurate => "bit",
+            TapeBackend::Oracle => "oracle",
         },
         rows,
         scalar_rows_measured: audit_rows,
@@ -231,15 +234,17 @@ pub fn to_json(rows: &[ThroughputRow], rows_per_graph: usize, seed: u64) -> Stri
     let _ = writeln!(s, "  \"rows_per_graph\": {rows_per_graph},");
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"hardware_threads\": {threads_avail},");
-    let (hits, misses) = tape_cache_stats();
-    let hit_rate = if hits + misses > 0 {
-        hits as f64 / (hits + misses) as f64
+    let c = tape_cache_stats();
+    let hit_rate = if c.hits + c.misses > 0 {
+        c.hits as f64 / (c.hits + c.misses) as f64
     } else {
         0.0
     };
     let _ = writeln!(
         s,
-        "  \"tape_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}}},"
+        "  \"tape_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"entries\": {}, \"capacity\": {}, \"hit_rate\": {hit_rate:.4}}},",
+        c.hits, c.misses, c.evictions, c.entries, c.capacity
     );
     let _ = writeln!(s, "  \"entries\": [");
     for (i, r) in rows.iter().enumerate() {

@@ -21,6 +21,7 @@
 
 mod compress;
 mod cs;
+pub mod fault;
 mod pcs;
 
 pub use compress::{
@@ -28,6 +29,7 @@ pub use compress::{
     ReduceScratch, COMPRESSOR_HEADROOM_BITS,
 };
 pub use cs::CsNumber;
+pub use fault::{CheckKind, FaultDetected, FaultHook, FaultSite};
 pub use pcs::PcsNumber;
 
 #[cfg(test)]

@@ -136,6 +136,15 @@ impl PcsNumber {
         self.to_cs().resolve()
     }
 
+    /// Replace the carry word wholesale (fault-injection plumbing; the
+    /// caller guarantees only legal lane positions are set — see
+    /// `fault::tamper_carry_lanes`, which builds the word from lanes).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn set_carry_lanes(&mut self, carry: Bits) {
+        debug_assert_eq!(carry.width(), self.width());
+        self.carry = carry;
+    }
+
     /// Extract digits `[lo, lo+len)` as a PCS number of width `len`.
     /// `lo` must be a multiple of `spacing` so the invariant is kept.
     pub fn extract(&self, lo: usize, len: usize) -> Self {

@@ -1,0 +1,466 @@
+//! Deterministic fault-injection plans for the datapath and executor
+//! (DESIGN.md §10).
+//!
+//! A [`FaultPlan`] is a seeded, reproducible description of *which* faults
+//! strike *where*: each [`FaultSpec`] names a [`FaultSite`] (a physical
+//! fault population — multiplier CSA outputs, PCS carry lanes, the block
+//! mux select, the exponent field, tape register planes, or an executor
+//! panic), the batch row it strikes, how many bits flip, and whether the
+//! fault is transient (fires once, like an SEU) or sticky (fires on every
+//! evaluation, like a stuck-at defect).
+//!
+//! Everything downstream — the exact bit positions, the mux-select delta,
+//! the struck tape instruction — derives from `(seed, site, row)` through
+//! a splitmix64 hash, so a campaign is replayable from three integers and
+//! is independent of thread count and evaluation order.
+//!
+//! The plan is consumed through [`FaultPlan::for_row`], which arms the
+//! specs matching one batch row as a [`RowFaults`] hook implementing
+//! [`FaultHook`]. The [`FaultStage`] argument models where in the
+//! graceful-degradation ladder the evaluation happens: transient faults
+//! are claimed by the first (primary) evaluation and must not re-fire in
+//! the retry, while sticky faults follow the row into the fallback and —
+//! for executor panics — into the oracle, which is how a sticky defect
+//! ends in quarantine instead of a livelock.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use csfma_bits::Bits;
+
+pub use csfma_carrysave::{CheckKind, FaultDetected, FaultHook, FaultSite};
+
+/// splitmix64: the standard 64-bit finalizer-style mixer. Statistically
+/// strong enough to decorrelate bit positions across (seed, site, row)
+/// and cheap enough to run per armed fault.
+#[inline]
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which rung of the graceful-degradation ladder is evaluating a row.
+/// Arming is stage-filtered so the ladder converges: see [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultStage {
+    /// The normal batch execution path. All specs arm.
+    Primary,
+    /// A per-row retry after a detection or panic. Only sticky faults
+    /// re-arm — a transient fault already fired and is gone.
+    Fallback,
+    /// The last-resort scalar oracle. Only sticky [`FaultSite::ExecPanic`]
+    /// specs arm (the oracle does not run the carry-save datapath, so
+    /// datapath stuck-ats cannot strike it).
+    Oracle,
+}
+
+/// One fault to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The physical fault population struck.
+    pub site: FaultSite,
+    /// The batch row (stimulus index) the fault strikes.
+    pub row: u64,
+    /// Bits flipped per strike (word sites only; ≥1). Single-bit flips
+    /// are guaranteed-detected by the mod-3 residue checks; multi-bit
+    /// flips may alias (`2^i + 2^j ≡ 0 (mod 3)` for `i`, `j` of opposite
+    /// parity) and measure the checker's coverage limit.
+    pub flips: u32,
+    /// Transient (fires once, total, across the whole run) or sticky
+    /// (fires on every evaluation of the row until [`FaultPlan::reset`]).
+    pub sticky: bool,
+}
+
+impl FaultSpec {
+    /// A single-bit transient fault — the SEU model the campaign sweeps.
+    pub fn transient(site: FaultSite, row: u64) -> Self {
+        FaultSpec {
+            site,
+            row,
+            flips: 1,
+            sticky: false,
+        }
+    }
+
+    /// A single-bit sticky fault — the stuck-at model.
+    pub fn stuck(site: FaultSite, row: u64) -> Self {
+        FaultSpec {
+            site,
+            row,
+            flips: 1,
+            sticky: true,
+        }
+    }
+
+    /// Same spec with a different flip multiplicity.
+    pub fn with_flips(mut self, flips: u32) -> Self {
+        self.flips = flips.max(1);
+        self
+    }
+}
+
+/// A seeded, reproducible set of faults to inject into one batch run.
+///
+/// Interior mutability (one `AtomicU32` strike counter per spec) lets a
+/// shared `&FaultPlan` arm faults from parallel worker threads while
+/// keeping transient faults one-shot: the first thread to evaluate the
+/// struck row claims the fault with a compare-exchange. Because the
+/// batch engine assigns each row to exactly one chunk, the claim winner
+/// is deterministic regardless of thread count.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    specs: Vec<FaultSpec>,
+    fired: Vec<AtomicU32>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// Builder: add one fault.
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self.fired.push(AtomicU32::new(0));
+        self
+    }
+
+    /// The common campaign plan: one single-bit transient fault.
+    pub fn single(seed: u64, site: FaultSite, row: u64) -> Self {
+        Self::new(seed).with_fault(FaultSpec::transient(site, row))
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's fault specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Re-arm every fault (zero the strike counters) so the same plan can
+    /// drive another run — e.g. the thread-invariance cross-check.
+    pub fn reset(&self) {
+        for f in &self.fired {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// How many times spec `idx` has struck.
+    pub fn fired(&self, idx: usize) -> u32 {
+        self.fired[idx].load(Ordering::Relaxed)
+    }
+
+    /// Total strikes across all specs.
+    pub fn total_fired(&self) -> u64 {
+        self.fired
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
+
+    /// Arm the specs striking `row` at the given ladder stage. Returns
+    /// `None` when no spec targets the row — the executor then runs the
+    /// plain un-hooked path for it.
+    pub fn for_row(&self, row: u64, stage: FaultStage) -> Option<RowFaults<'_>> {
+        let mut spec_idx = Vec::new();
+        for (i, s) in self.specs.iter().enumerate() {
+            let armed = s.row == row
+                && match stage {
+                    FaultStage::Primary => true,
+                    FaultStage::Fallback => s.sticky,
+                    FaultStage::Oracle => s.sticky && s.site == FaultSite::ExecPanic,
+                };
+            if armed {
+                spec_idx.push(i);
+            }
+        }
+        if spec_idx.is_empty() {
+            None
+        } else {
+            Some(RowFaults {
+                plan: self,
+                spec_idx,
+            })
+        }
+    }
+}
+
+/// The specs of a [`FaultPlan`] armed for one batch row; implements
+/// [`FaultHook`], so it plugs directly into the datapath tamper points.
+#[derive(Debug)]
+pub struct RowFaults<'a> {
+    plan: &'a FaultPlan,
+    spec_idx: Vec<usize>,
+}
+
+impl RowFaults<'_> {
+    /// Claim one strike of spec `i`. Transient faults fire exactly once
+    /// across the plan's lifetime; sticky faults always fire (and count).
+    fn claim(&self, i: usize) -> bool {
+        let ctr = &self.plan.fired[i];
+        if self.plan.specs[i].sticky {
+            ctr.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            ctr.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        }
+    }
+
+    /// The deterministic per-strike hash: everything an injection needs
+    /// (bit position, select delta, instruction index) comes from here.
+    fn mix(&self, i: usize, salt: u64) -> u64 {
+        let s = &self.plan.specs[i];
+        splitmix64(
+            self.plan
+                .seed
+                .wrapping_add((s.site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(s.row.wrapping_mul(0xD1B5_4A32_D192_ED03))
+                .wrapping_add((i as u64).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7))
+                .wrapping_add(salt.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+        )
+    }
+}
+
+impl FaultHook for RowFaults<'_> {
+    fn tamper_bits(&self, site: FaultSite, word: &mut Bits) {
+        if word.width() == 0 {
+            return;
+        }
+        for &i in &self.spec_idx {
+            if self.plan.specs[i].site != site || !self.claim(i) {
+                continue;
+            }
+            for k in 0..self.plan.specs[i].flips {
+                let pos = (self.mix(i, k as u64) % word.width() as u64) as usize;
+                word.set_bit(pos, !word.bit(pos));
+            }
+        }
+    }
+
+    fn tamper_index(&self, site: FaultSite, index: &mut u64, modulus: u64) {
+        if modulus <= 1 {
+            return;
+        }
+        for &i in &self.spec_idx {
+            if self.plan.specs[i].site != site || !self.claim(i) {
+                continue;
+            }
+            // a guaranteed-different legal value: delta ∈ [1, modulus-1]
+            let delta = 1 + self.mix(i, 0) % (modulus - 1);
+            *index = (*index + delta) % modulus;
+        }
+    }
+
+    fn wants_panic(&self) -> bool {
+        for &i in &self.spec_idx {
+            if self.plan.specs[i].site == FaultSite::ExecPanic && self.claim(i) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn tape_fault(&self, n_instrs: usize) -> Option<(usize, u32)> {
+        if n_instrs == 0 {
+            return None;
+        }
+        for &i in &self.spec_idx {
+            if self.plan.specs[i].site == FaultSite::TapeReg && self.claim(i) {
+                let instr = (self.mix(i, 1) % n_instrs as u64) as usize;
+                let bit = (self.mix(i, 2) % 128) as u32;
+                return Some((instr, bit));
+            }
+        }
+        None
+    }
+}
+
+/// Per-evaluation control block for the checked FMA entry points: an
+/// optional injection hook and an optional detection sink. With both
+/// `None` (the [`Default`]) the engine takes its plain fast path — the
+/// production configuration.
+#[derive(Default)]
+pub struct FmaCtl<'a> {
+    /// Fault-injection hook; tampers fire at the datapath tamper points.
+    pub hook: Option<&'a dyn FaultHook>,
+    /// Detection sink; when present, the residue / recompute self-checks
+    /// run and report here.
+    pub detections: Option<&'a mut Vec<FaultDetected>>,
+}
+
+impl<'a> FmaCtl<'a> {
+    /// Self-checking only: run the checks, no injection.
+    pub fn checked(sink: &'a mut Vec<FaultDetected>) -> Self {
+        FmaCtl {
+            hook: None,
+            detections: Some(sink),
+        }
+    }
+
+    /// Injection plus checking — the robust executor's configuration.
+    pub fn with_hook(hook: &'a dyn FaultHook, sink: &'a mut Vec<FaultDetected>) -> Self {
+        FmaCtl {
+            hook: Some(hook),
+            detections: Some(sink),
+        }
+    }
+
+    /// Whether the self-checks should run.
+    #[inline]
+    pub fn checking(&self) -> bool {
+        self.detections.is_some()
+    }
+
+    /// Report one detection (no-op without a sink).
+    pub fn detect(&mut self, check: CheckKind, message: String) {
+        if let Some(d) = self.detections.as_deref_mut() {
+            d.push(FaultDetected { check, message });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_fault_fires_exactly_once() {
+        let plan = FaultPlan::single(7, FaultSite::MulSum, 3);
+        let mut w = Bits::zero(100);
+        let clean = w.clone();
+
+        assert!(plan.for_row(2, FaultStage::Primary).is_none(), "wrong row");
+
+        let hook = plan.for_row(3, FaultStage::Primary).unwrap();
+        hook.tamper_bits(FaultSite::MulCarry, &mut w);
+        assert_eq!(w, clean, "wrong site must not strike");
+        hook.tamper_bits(FaultSite::MulSum, &mut w);
+        assert_ne!(w, clean, "armed site must strike");
+        let struck = w.clone();
+        hook.tamper_bits(FaultSite::MulSum, &mut w);
+        assert_eq!(w, struck, "transient fault must not re-fire");
+        assert_eq!(plan.fired(0), 1);
+
+        // …not even from a fresh arming of the same row
+        let hook2 = plan.for_row(3, FaultStage::Primary).unwrap();
+        hook2.tamper_bits(FaultSite::MulSum, &mut w);
+        assert_eq!(w, struck);
+
+        // reset re-arms
+        plan.reset();
+        let hook3 = plan.for_row(3, FaultStage::Primary).unwrap();
+        hook3.tamper_bits(FaultSite::MulSum, &mut w);
+        assert_eq!(w, clean, "same position flips back after reset");
+    }
+
+    #[test]
+    fn strikes_are_reproducible_from_seed_site_row() {
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let mut words = Vec::new();
+            for _ in 0..2 {
+                let plan = FaultPlan::single(seed, FaultSite::PcsCarry, 11);
+                let mut w = Bits::ones(385);
+                plan.for_row(11, FaultStage::Primary)
+                    .unwrap()
+                    .tamper_bits(FaultSite::PcsCarry, &mut w);
+                words.push(w);
+            }
+            assert_eq!(words[0], words[1], "seed {seed}");
+        }
+        // different seeds decorrelate (not a hard guarantee per-seed, but
+        // these three must not all collide on a 385-bit word)
+        let strike = |seed| {
+            let plan = FaultPlan::single(seed, FaultSite::PcsCarry, 11);
+            let mut w = Bits::zero(385);
+            plan.for_row(11, FaultStage::Primary)
+                .unwrap()
+                .tamper_bits(FaultSite::PcsCarry, &mut w);
+            w
+        };
+        let (a, b, c) = (strike(1), strike(2), strike(3));
+        assert!(a != b || b != c);
+    }
+
+    #[test]
+    fn stage_filtered_arming() {
+        let plan = FaultPlan::new(1)
+            .with_fault(FaultSpec::transient(FaultSite::MulSum, 0))
+            .with_fault(FaultSpec::stuck(FaultSite::ExpField, 0))
+            .with_fault(FaultSpec::stuck(FaultSite::ExecPanic, 0));
+
+        let primary = plan.for_row(0, FaultStage::Primary).unwrap();
+        assert_eq!(primary.spec_idx, vec![0, 1, 2]);
+
+        let fallback = plan.for_row(0, FaultStage::Fallback).unwrap();
+        assert_eq!(fallback.spec_idx, vec![1, 2], "fallback arms sticky only");
+
+        let oracle = plan.for_row(0, FaultStage::Oracle).unwrap();
+        assert_eq!(oracle.spec_idx, vec![2], "oracle arms sticky panics only");
+
+        // a transient-only plan arms nothing past the primary stage
+        let t = FaultPlan::single(1, FaultSite::ExecPanic, 0);
+        assert!(t.for_row(0, FaultStage::Fallback).is_none());
+        assert!(t.for_row(0, FaultStage::Oracle).is_none());
+    }
+
+    #[test]
+    fn sticky_faults_fire_every_time() {
+        let plan = FaultPlan::new(9).with_fault(FaultSpec::stuck(FaultSite::ExecPanic, 5));
+        let hook = plan.for_row(5, FaultStage::Primary).unwrap();
+        assert!(hook.wants_panic());
+        assert!(hook.wants_panic());
+        assert_eq!(plan.fired(0), 2);
+        assert_eq!(plan.total_fired(), 2);
+    }
+
+    #[test]
+    fn index_tamper_always_changes_a_nontrivial_index() {
+        for seed in 0..50u64 {
+            let plan = FaultPlan::single(seed, FaultSite::BlockSelect, 0);
+            let hook = plan.for_row(0, FaultStage::Primary).unwrap();
+            let mut idx = 2u64;
+            hook.tamper_index(FaultSite::BlockSelect, &mut idx, 6);
+            assert_ne!(idx, 2, "seed {seed}: delta is never 0 mod modulus");
+            assert!(idx < 6, "seed {seed}: stays legal");
+        }
+        // modulus 1 leaves the only legal value alone
+        let plan = FaultPlan::single(0, FaultSite::BlockSelect, 0);
+        let hook = plan.for_row(0, FaultStage::Primary).unwrap();
+        let mut idx = 0u64;
+        hook.tamper_index(FaultSite::BlockSelect, &mut idx, 1);
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn tape_fault_is_deterministic_and_in_range() {
+        let plan = FaultPlan::new(3).with_fault(FaultSpec::transient(FaultSite::TapeReg, 7));
+        let (i1, b1) = plan
+            .for_row(7, FaultStage::Primary)
+            .unwrap()
+            .tape_fault(40)
+            .unwrap();
+        assert!(i1 < 40 && b1 < 128);
+        plan.reset();
+        let (i2, b2) = plan
+            .for_row(7, FaultStage::Primary)
+            .unwrap()
+            .tape_fault(40)
+            .unwrap();
+        assert_eq!((i1, b1), (i2, b2));
+        // one-shot: a second claim returns nothing
+        let again = plan.for_row(7, FaultStage::Primary).unwrap();
+        plan.reset();
+        assert!(again.tape_fault(0).is_none(), "empty tape never faults");
+    }
+}

@@ -27,6 +27,7 @@ pub mod batch;
 mod chain;
 mod classic;
 mod dot;
+pub mod fault;
 mod format;
 mod operand;
 mod pipeline;

@@ -209,6 +209,24 @@ impl CsOperand {
         self.sign_hint
     }
 
+    /// Fault-injection support: flip one raw bit of the mantissa **sum**
+    /// word (position taken modulo the width), modeling a register-plane
+    /// upset in a stored carry-save operand. The exception class is left
+    /// alone — a flip under a `Zero`/`Inf` class flag is architecturally
+    /// masked, exactly as in a real register file with separate
+    /// exception wires.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_flip_mant_bit(&mut self, pos: usize) {
+        let w = self.mant.width();
+        if w == 0 {
+            return;
+        }
+        let p = pos % w;
+        let mut sum = self.mant.sum().clone();
+        sum.set_bit(p, !sum.bit(p));
+        self.mant = CsNumber::new(sum, self.mant.carry().clone());
+    }
+
     /// Check the PCS carry-sparsity invariant: for `carry_spacing =
     /// Some(k)`, explicit carries may only sit at positions ≡ 0 (mod k)
     /// of the mantissa and rounding words.

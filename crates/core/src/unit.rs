@@ -18,6 +18,9 @@
 //!    which `mant_blocks` blocks of the window survive, and the block
 //!    below them becomes the rounding data of the result.
 
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultSite;
+use crate::fault::{CheckKind, FmaCtl};
 use crate::format::{CsFmaFormat, Normalizer};
 use crate::operand::CsOperand;
 use crate::trace::{NopSink, TraceSink};
@@ -29,6 +32,7 @@ use csfma_units::block_mux::select_blocks;
 use csfma_units::exponent::BiasedExp;
 use csfma_units::lza::anticipate_leading_cs;
 use csfma_units::multiplier::{apply_sign, multiply_cs_by_binary_with};
+use csfma_units::residue;
 use csfma_units::rounding::round_up_from_block;
 use csfma_units::zero_detect::leading_skippable_blocks;
 
@@ -137,6 +141,36 @@ impl CsFmaUnit {
         sink: &mut dyn TraceSink,
         scratch: &mut FmaScratch,
     ) -> (CsOperand, FmaReport) {
+        self.fma_ctl_with(a, b, c, sink, scratch, &mut FmaCtl::default())
+    }
+
+    /// Self-checking / fault-injecting evaluation (DESIGN.md §10): the
+    /// same datapath with the mod-3 residue and recompute self-checks
+    /// armed through `ctl.detections`, and — under the `fault-inject`
+    /// feature — the tamper hooks driven by `ctl.hook`. With a default
+    /// `ctl` this is exactly [`CsFmaUnit::fma_with`], bit for bit.
+    pub fn fma_checked_with(
+        &self,
+        a: &CsOperand,
+        b: &SoftFloat,
+        c: &CsOperand,
+        scratch: &mut FmaScratch,
+        ctl: &mut FmaCtl,
+    ) -> (CsOperand, FmaReport) {
+        self.fma_ctl_with(a, b, c, &mut NopSink, scratch, ctl)
+    }
+
+    /// The engine behind every public entry point: trace sink plus the
+    /// fault/check control block.
+    fn fma_ctl_with(
+        &self,
+        a: &CsOperand,
+        b: &SoftFloat,
+        c: &CsOperand,
+        sink: &mut dyn TraceSink,
+        scratch: &mut FmaScratch,
+        ctl: &mut FmaCtl,
+    ) -> (CsOperand, FmaReport) {
         let f = &self.format;
         assert_eq!(a.format(), f, "A operand format mismatch");
         assert_eq!(c.format(), f, "C operand format mismatch");
@@ -203,7 +237,38 @@ impl CsFmaUnit {
             &mut scratch.mul_rows,
             &mut scratch.mul_reduce,
         );
-        let product = apply_sign(mul.product, b.sign());
+        // Residue prediction for the multiplier check, taken from the
+        // *inputs* before any tamper can strike: the signed product value
+        // is exactly ±(C_signed·B + up_c·B), and the CS output's signed
+        // two-word sum equals it (the multiplier's headroom contract).
+        let want_mul = if ctl.checking() {
+            let rb = residue::mod3(&b_sig);
+            let mut r = residue::mod3_mul(residue::mod3_cs_signed(c.mant()), rb);
+            if up_c {
+                r = residue::mod3_add(r, rb);
+            }
+            if b.sign() {
+                r = residue::mod3_neg(r);
+            }
+            Some(r)
+        } else {
+            None
+        };
+        #[allow(unused_mut)]
+        let mut product = apply_sign(mul.product, b.sign());
+        #[cfg(feature = "fault-inject")]
+        if let Some(hook) = ctl.hook {
+            product = csfma_units::multiplier::tamper_product(product, hook);
+        }
+        if let Some(want) = want_mul {
+            let got = residue::mod3_cs_signed(&product);
+            if got != want {
+                ctl.detect(
+                    CheckKind::MulResidue,
+                    format!("multiplier product residue {got}, predicted {want}"),
+                );
+            }
+        }
         sink.record("mul.sum", product.sum());
         sink.record("mul.carry", product.carry());
 
@@ -246,15 +311,59 @@ impl CsFmaUnit {
         if up_a && (0..w as i64).contains(&a_shift) {
             rows.push(Bits::one_hot(w, a_shift as usize));
         }
+        // Window-compression residue: the compressed pair must preserve
+        // the wrapping (mod 2^w) sum of the rows it swallowed.
+        let want_win = if ctl.checking() {
+            let mut acc = Bits::zero(w);
+            for r in rows.iter() {
+                acc = acc.wrapping_add(r);
+            }
+            Some(residue::mod3(&acc))
+        } else {
+            None
+        };
         let reduced = reduce_to_cs_with(rows, w, &mut scratch.win_reduce);
         let window = reduced.cs;
+        if let Some(want) = want_win {
+            let got = residue::mod3(&window.resolve());
+            if got != want {
+                ctl.detect(
+                    CheckKind::WindowResidue,
+                    format!("window residue {got}, predicted {want}"),
+                );
+            }
+        }
         sink.record("win.sum", window.sum());
         sink.record("win.carry", window.carry());
 
         // ---- Carry Reduce (PCS only) ----
         let window = match f.carry_spacing {
             Some(k) => {
-                let pcs = window.carry_reduce(k);
+                #[allow(unused_mut)]
+                let mut pcs = window.carry_reduce(k);
+                // Carry Reduce check: recompute-and-compare against the
+                // pre-reduce window value. A residue would be unsound
+                // here — a carry-lane flip changes the resolved value by
+                // 2^i − 2^w (mod 2^w), and when `i` and `w` have equal
+                // parity that difference is ≡ 0 (mod 3): a wrap-crossing
+                // flip the residue can never see.
+                let want_cr = if ctl.checking() {
+                    Some(window.resolve())
+                } else {
+                    None
+                };
+                #[cfg(feature = "fault-inject")]
+                if let Some(hook) = ctl.hook {
+                    pcs.tamper_carry_lanes(FaultSite::PcsCarry, hook);
+                }
+                if let Some(want) = want_cr {
+                    if pcs.resolve() != want {
+                        ctl.detect(
+                            CheckKind::CarryReduce,
+                            "carry-reduced pair disagrees with the window value".to_string(),
+                        );
+                    }
+                }
                 sink.record("cr.sum", pcs.sum());
                 sink.record("cr.carry", pcs.carry());
                 pcs.to_cs()
@@ -264,7 +373,7 @@ impl CsFmaUnit {
 
         // ---- block-granular normalization ----
         let blocks = window.blocks(bb, nb);
-        let skip = match f.normalizer {
+        let clean_skip = match f.normalizer {
             Normalizer::ZeroDetect => leading_skippable_blocks(&blocks, f.mant_blocks),
             Normalizer::EarlyLza => {
                 let anticipated = self.anticipated_skip(a, c, a_zero, a_shift, p_shift);
@@ -281,13 +390,48 @@ impl CsFmaUnit {
                 anticipated.min(leading_skippable_blocks(&blocks, f.mant_blocks))
             }
         };
+        #[allow(unused_mut)]
+        let mut skip = clean_skip;
+        #[cfg(feature = "fault-inject")]
+        if let Some(hook) = ctl.hook {
+            let mut sel_idx = skip as u64;
+            let legal = (nb - f.mant_blocks) as u64 + 1;
+            hook.tamper_index(FaultSite::BlockSelect, &mut sel_idx, legal);
+            skip = sel_idx as usize;
+        }
+        // Block-select check: the mux select recomputed by an independent
+        // copy of the skip logic, compared against the one driving the mux.
+        if ctl.checking() && skip != clean_skip {
+            ctl.detect(
+                CheckKind::BlockSelect,
+                format!("block mux skip {skip}, recomputed {clean_skip}"),
+            );
+        }
         let sel = select_blocks(&blocks, f.mant_blocks, skip);
         sink.record("res.sum", sel.result.sum());
         sink.record("res.carry", sel.result.carry());
 
         // ---- result exponent ----
         let e_r = (nb - sel.skip - f.mant_blocks) as i64 * bb as i64 + wls + fc;
-        let exp = BiasedExp::from_unbiased_saturating(e_r);
+        #[allow(unused_mut)]
+        let mut exp = BiasedExp::from_unbiased_saturating(e_r);
+        #[cfg(feature = "fault-inject")]
+        if let Some(hook) = ctl.hook {
+            let mut field = exp.field() as u64;
+            hook.tamper_index(FaultSite::ExpField, &mut field, 1 << 12);
+            exp = BiasedExp::from_field(field as u16);
+        }
+        // Exponent-path check: a duplicated excess-2047 adder, compared.
+        if ctl.checking() && exp != BiasedExp::from_unbiased_saturating(e_r) {
+            ctl.detect(
+                CheckKind::ExponentPath,
+                format!(
+                    "exponent field {}, recomputed {}",
+                    exp.field(),
+                    BiasedExp::from_unbiased_saturating(e_r).field()
+                ),
+            );
+        }
         sink.record("res.exp", &Bits::from_u64(12, exp.field() as u64));
 
         let sign_hint = sel.result.resolve_signed_extended().sign_bit();

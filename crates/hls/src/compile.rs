@@ -50,7 +50,7 @@ use csfma_core::batch::{par_chunks_indexed, CHUNK_ROWS};
 use csfma_core::{CsFmaFormat, CsFmaUnit, CsOperand, FmaScratch};
 use csfma_softfloat::batch as sfb;
 use csfma_softfloat::{FpFormat, Round, SoftFloat};
-use csfma_verify::{check_format, Diagnostic, Severity};
+use csfma_verify::{check_format, Diagnostic, Rule, Severity, Span};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,6 +104,13 @@ pub enum TapeBackend {
     /// Soft-float + behavioral carry-save units — bit-identical to
     /// [`eval_bit_accurate`](crate::interp::eval_bit_accurate).
     BitAccurate,
+    /// Pure scalar soft-float operators plus the behavioral carry-save
+    /// units, with none of the hosted fast paths — the
+    /// [`interp`](crate::interp) oracle's operator stack replayed over
+    /// the tape. Bit-identical to [`TapeBackend::BitAccurate`] and
+    /// several times slower; it is the trusted last rung of the robust
+    /// executor's fallback ladder (see [`crate::robust`]).
+    Oracle,
 }
 
 /// One tape instruction. Register operands index the binary64 bank
@@ -153,45 +160,50 @@ pub enum Instr {
 /// with [`Tape::eval_row`] or batches with [`Tape::eval_batch`].
 #[derive(Clone, Debug)]
 pub struct Tape {
-    instrs: Vec<Instr>,
-    inputs: Vec<String>,
-    outputs: Vec<String>,
-    consts: Vec<f64>,
-    consts_canonical: Vec<f64>,
-    n_f64_regs: usize,
-    n_cs_regs: usize,
-    pcs_format: CsFmaFormat,
-    fcs_format: CsFmaFormat,
-    fingerprint: u64,
-    source_nodes: usize,
-    opt: OptStats,
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) inputs: Vec<String>,
+    pub(crate) outputs: Vec<String>,
+    pub(crate) consts: Vec<f64>,
+    pub(crate) consts_canonical: Vec<f64>,
+    pub(crate) n_f64_regs: usize,
+    pub(crate) n_cs_regs: usize,
+    pub(crate) pcs_format: CsFmaFormat,
+    pub(crate) fcs_format: CsFmaFormat,
+    pub(crate) fingerprint: u64,
+    pub(crate) source_nodes: usize,
+    pub(crate) opt: OptStats,
+    /// Per-instruction provenance: `instr_nodes[i]` is the **source**
+    /// graph node instruction `i` was lowered from (mapped back through
+    /// the optimizer's origin map when the tape was optimized), so
+    /// execution-time diagnostics can name the offending node.
+    pub(crate) instr_nodes: Vec<u32>,
 }
 
 /// Reusable per-worker register file for tape execution. One scratch per
 /// thread amortizes the carry-save slot allocations over a whole batch.
 #[derive(Clone, Debug)]
 pub struct TapeScratch {
-    f: Vec<f64>,
-    cs: Vec<CsOperand>,
+    pub(crate) f: Vec<f64>,
+    pub(crate) cs: Vec<CsOperand>,
     // the f64 backend models CS-domain values as plain doubles
     // (conversions are wiring there), so it shadows the CS bank here
-    cs_f: Vec<f64>,
-    pcs: CsFmaUnit,
-    fcs: CsFmaUnit,
-    fma: FmaScratch,
+    pub(crate) cs_f: Vec<f64>,
+    pub(crate) pcs: CsFmaUnit,
+    pub(crate) fcs: CsFmaUnit,
+    pub(crate) fma: FmaScratch,
 }
 
 /// Per-worker structure-of-arrays register file for chunked batch
 /// execution: each register slot becomes a plane of [`CHUNK_ROWS`]
 /// contiguous lanes, evaluated column-wise one instruction at a time.
 #[derive(Clone, Debug)]
-struct ChunkScratch {
-    f: Vec<f64>,
-    cs: Vec<CsOperand>,
-    cs_f: Vec<f64>,
-    pcs: CsFmaUnit,
-    fcs: CsFmaUnit,
-    fma: FmaScratch,
+pub(crate) struct ChunkScratch {
+    pub(crate) f: Vec<f64>,
+    pub(crate) cs: Vec<CsOperand>,
+    pub(crate) cs_f: Vec<f64>,
+    pub(crate) pcs: CsFmaUnit,
+    pub(crate) fcs: CsFmaUnit,
+    pub(crate) fma: FmaScratch,
 }
 
 /// FNV-1a over the canonical graph encoding — the identity the tape
@@ -276,8 +288,18 @@ pub fn compile(g: &Cdfg) -> Result<Tape, CompileError> {
 
 /// [`compile`] with explicit [`CompileOptions`].
 pub fn compile_with_options(g: &Cdfg, opts: CompileOptions) -> Result<Tape, CompileError> {
+    #[cfg(test)]
+    if PANIC_NEXT_COMPILE.swap(false, Ordering::Relaxed) {
+        panic!("injected compiler panic (test hook)");
+    }
     compile_with_formats_and_options(g, format_of(FmaKind::Pcs), format_of(FmaKind::Fcs), opts)
 }
+
+/// Test hook: make the next [`compile_with_options`] call panic, to
+/// exercise the cache's poisoning guard.
+#[cfg(test)]
+static PANIC_NEXT_COMPILE: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// [`compile`] with explicit transport formats (ablation studies swap in
 /// non-standard geometries). The `W*` width rules run on whichever
@@ -348,17 +370,25 @@ fn build_tape(
         ..Default::default()
     };
     let optimized;
+    let mut origin: Option<Vec<u32>> = None;
     let lowered_from = if opts.optimize {
-        let (og, s) = optimize_graph(g);
+        let (og, s, o) = optimize_graph(g);
         stats = s;
+        origin = Some(o);
         optimized = og;
         &optimized
     } else {
         g
     };
     let mut tape = lower(lowered_from, pcs_format, fcs_format);
+    if let Some(origin) = &origin {
+        // re-express per-instruction provenance in source-graph node ids
+        for n in &mut tape.instr_nodes {
+            *n = origin[*n as usize];
+        }
+    }
     if opts.optimize {
-        stats.dead_slots_removed = eliminate_dead_slots(&mut tape.instrs);
+        stats.dead_slots_removed = eliminate_dead_slots(&mut tape.instrs, &mut tape.instr_nodes);
     }
     stats.optimize_us = t0.elapsed().as_secs_f64() * 1e6;
     tape.fingerprint = graph_fingerprint(g);
@@ -373,13 +403,14 @@ fn build_tape(
 /// dead-node elimination — it catches the `LoadInput`s the graph pass
 /// deliberately keeps (unused `Input` nodes survive so the positional
 /// row layout is stable, but nothing forces the tape to *execute* them).
-fn eliminate_dead_slots(instrs: &mut Vec<Instr>) -> usize {
+fn eliminate_dead_slots(instrs: &mut Vec<Instr>, nodes: &mut Vec<u32>) -> usize {
     use std::collections::HashSet;
     let mut live_f: HashSet<u32> = HashSet::new();
     let mut live_cs: HashSet<u32> = HashSet::new();
     let before = instrs.len();
-    let mut kept: Vec<Instr> = Vec::with_capacity(before);
-    for ins in instrs.drain(..).rev() {
+    debug_assert_eq!(nodes.len(), before, "provenance table out of sync");
+    let mut kept: Vec<(Instr, u32)> = Vec::with_capacity(before);
+    for (ins, node) in instrs.drain(..).zip(nodes.drain(..)).rev() {
         // a definition kills its slot's liveness; if the slot was not
         // live, nothing downstream reads this value and the instruction
         // (side-effect free by construction) can go
@@ -422,10 +453,12 @@ fn eliminate_dead_slots(instrs: &mut Vec<Instr>) -> usize {
                 live_cs.insert(src);
             }
         }
-        kept.push(ins);
+        kept.push((ins, node));
     }
     kept.reverse();
-    *instrs = kept;
+    let (kept_instrs, kept_nodes): (Vec<_>, Vec<_>) = kept.into_iter().unzip();
+    *instrs = kept_instrs;
+    *nodes = kept_nodes;
     before - instrs.len()
 }
 
@@ -482,6 +515,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
     // register of each non-Output node (banks overlap in numbering)
     let mut reg = vec![u32::MAX; nodes.len()];
     let mut instrs = Vec::with_capacity(nodes.len());
+    let mut instr_nodes: Vec<u32> = Vec::with_capacity(nodes.len());
 
     for (id, n) in nodes.iter().enumerate() {
         let arg_reg = |k: usize| reg[resolve(g, n.args[k])];
@@ -491,6 +525,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
                 output: (outputs.len() - 1) as u32,
                 src: arg_reg(0),
             });
+            instr_nodes.push(id as u32);
             continue;
         }
         let args_regs: Vec<u32> = (0..n.args.len()).map(arg_reg).collect();
@@ -570,6 +605,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
             Op::CsToIeee(_) => Instr::CsToIeee { dst, src: a(0) },
             Op::Output(_) => unreachable!("handled above"),
         });
+        instr_nodes.push(id as u32);
     }
 
     let consts_canonical = consts.iter().map(|&c| sfb::canonicalize(c)).collect();
@@ -586,6 +622,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
         fingerprint: graph_fingerprint(g),
         source_nodes: g.len(),
         opt: OptStats::default(),
+        instr_nodes,
     }
 }
 
@@ -631,6 +668,14 @@ impl Tape {
         self.source_nodes
     }
 
+    /// The **source-graph** node instruction `i` was lowered from,
+    /// mapped back through the optimizer's provenance map when the tape
+    /// was optimized. `None` only for an out-of-range index. Quarantine
+    /// diagnostics use this to name the offending node in source terms.
+    pub fn source_node_of(&self, i: usize) -> Option<usize> {
+        self.instr_nodes.get(i).map(|&n| n as usize)
+    }
+
     /// What the post-gate optimizer did when this tape was compiled
     /// (all-zero counters for a tape compiled with `optimize: false`).
     pub fn opt_stats(&self) -> OptStats {
@@ -655,7 +700,7 @@ impl Tape {
         }
     }
 
-    fn chunk_scratch(&self) -> ChunkScratch {
+    pub(crate) fn chunk_scratch(&self) -> ChunkScratch {
         ChunkScratch {
             f: vec![0.0; self.n_f64_regs * CHUNK_ROWS],
             cs: vec![CsOperand::zero(self.pcs_format, false); self.n_cs_regs * CHUNK_ROWS],
@@ -680,6 +725,7 @@ impl Tape {
         match backend {
             TapeBackend::F64 => self.eval_row_f64(row, out, scratch),
             TapeBackend::BitAccurate => self.eval_row_bit(row, out, scratch),
+            TapeBackend::Oracle => self.eval_row_oracle(row, out, scratch),
         }
     }
 
@@ -775,6 +821,70 @@ impl Tape {
         }
     }
 
+    /// Oracle row evaluation: every IEEE operator runs the full
+    /// soft-float stack (no hosted fast paths, no shared [`FmaScratch`]),
+    /// fused nodes call the allocating [`CsFmaUnit::fma`] entry point —
+    /// the slowest, most literal replay of the model, structurally
+    /// independent of the scratch-based executors it backstops.
+    fn eval_row_oracle(&self, row: &[f64], out: &mut [f64], s: &mut TapeScratch) {
+        let sf = |v: f64| SoftFloat::from_f64(F, v);
+        let f = &mut s.f;
+        let cs = &mut s.cs;
+        for ins in &self.instrs {
+            match *ins {
+                Instr::LoadInput { dst, input } => {
+                    f[dst as usize] = sf(row[input as usize]).to_f64()
+                }
+                Instr::LoadConst { dst, idx } => {
+                    f[dst as usize] = sf(self.consts[idx as usize]).to_f64()
+                }
+                Instr::Add { dst, a, b } => {
+                    f[dst as usize] = sf(f[a as usize]).add(&sf(f[b as usize])).to_f64()
+                }
+                Instr::Sub { dst, a, b } => {
+                    f[dst as usize] = sf(f[a as usize]).sub(&sf(f[b as usize])).to_f64()
+                }
+                Instr::Mul { dst, a, b } => {
+                    f[dst as usize] = sf(f[a as usize]).mul(&sf(f[b as usize])).to_f64()
+                }
+                Instr::Div { dst, a, b } => {
+                    f[dst as usize] = sf(f[a as usize]).div(&sf(f[b as usize])).to_f64()
+                }
+                Instr::Neg { dst, a } => f[dst as usize] = sf(f[a as usize]).neg().to_f64(),
+                Instr::Fma {
+                    kind,
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                } => {
+                    let unit = match kind {
+                        FmaKind::Pcs => &s.pcs,
+                        FmaKind::Fcs => &s.fcs,
+                    };
+                    let mut bv = sf(f[b as usize]);
+                    if negate_b {
+                        bv = bv.neg();
+                    }
+                    let r = unit.fma(&cs[acc as usize], &bv, &cs[mulc as usize]);
+                    cs[dst as usize] = r;
+                }
+                Instr::IeeeToCs { kind, dst, src } => {
+                    let fmt = match kind {
+                        FmaKind::Pcs => self.pcs_format,
+                        FmaKind::Fcs => self.fcs_format,
+                    };
+                    cs[dst as usize] = CsOperand::from_ieee(&sf(f[src as usize]), fmt);
+                }
+                Instr::CsToIeee { dst, src } => {
+                    f[dst as usize] = cs[src as usize].to_ieee(F, Round::NearestEven).to_f64();
+                }
+                Instr::Store { output, src } => out[output as usize] = f[src as usize],
+            }
+        }
+    }
+
     /// Evaluate a batch of rows. `rows` is row-major,
     /// `rows.len() = n · num_inputs()`; the result is row-major,
     /// `n · num_outputs()` long. Up to `threads` workers process
@@ -808,6 +918,7 @@ impl Tape {
                     TapeBackend::BitAccurate => {
                         self.eval_chunk_bit(rows, base, len, chunk, scratch)
                     }
+                    TapeBackend::Oracle => self.eval_chunk_oracle(rows, base, len, chunk, scratch),
                 }
             },
         );
@@ -1015,6 +1126,112 @@ impl Tape {
         }
     }
 
+    /// Column-wise chunk evaluation with [`TapeBackend::Oracle`]
+    /// semantics: lane `k` computes exactly what
+    /// [`Tape::eval_row`]`(Oracle, …)` computes for row `base + k`.
+    fn eval_chunk_oracle(
+        &self,
+        rows: &[f64],
+        base: usize,
+        len: usize,
+        out: &mut [f64],
+        s: &mut ChunkScratch,
+    ) {
+        let ni = self.inputs.len();
+        let no = self.outputs.len();
+        const W: usize = CHUNK_ROWS;
+        let p = |r: u32| r as usize * W;
+        let sf = |v: f64| SoftFloat::from_f64(F, v);
+        for ins in &self.instrs {
+            match *ins {
+                Instr::LoadInput { dst, input } => {
+                    let d = p(dst);
+                    for k in 0..len {
+                        s.f[d + k] = sf(rows[(base + k) * ni + input as usize]).to_f64();
+                    }
+                }
+                Instr::LoadConst { dst, idx } => {
+                    let v = sf(self.consts[idx as usize]).to_f64();
+                    s.f[p(dst)..p(dst) + len].fill(v);
+                }
+                Instr::Add { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sf(s.f[x + k]).add(&sf(s.f[y + k])).to_f64();
+                    }
+                }
+                Instr::Sub { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sf(s.f[x + k]).sub(&sf(s.f[y + k])).to_f64();
+                    }
+                }
+                Instr::Mul { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sf(s.f[x + k]).mul(&sf(s.f[y + k])).to_f64();
+                    }
+                }
+                Instr::Div { dst, a, b } => {
+                    let (d, x, y) = (p(dst), p(a), p(b));
+                    for k in 0..len {
+                        s.f[d + k] = sf(s.f[x + k]).div(&sf(s.f[y + k])).to_f64();
+                    }
+                }
+                Instr::Neg { dst, a } => {
+                    let (d, x) = (p(dst), p(a));
+                    for k in 0..len {
+                        s.f[d + k] = sf(s.f[x + k]).neg().to_f64();
+                    }
+                }
+                Instr::Fma {
+                    kind,
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                } => {
+                    let unit = match kind {
+                        FmaKind::Pcs => &s.pcs,
+                        FmaKind::Fcs => &s.fcs,
+                    };
+                    let (d, pa, pb, pm) = (p(dst), p(acc), p(b), p(mulc));
+                    for k in 0..len {
+                        let mut bv = sf(s.f[pb + k]);
+                        if negate_b {
+                            bv = bv.neg();
+                        }
+                        let r = unit.fma(&s.cs[pa + k], &bv, &s.cs[pm + k]);
+                        s.cs[d + k] = r;
+                    }
+                }
+                Instr::IeeeToCs { kind, dst, src } => {
+                    let fmt = match kind {
+                        FmaKind::Pcs => self.pcs_format,
+                        FmaKind::Fcs => self.fcs_format,
+                    };
+                    let (d, x) = (p(dst), p(src));
+                    for k in 0..len {
+                        s.cs[d + k] = CsOperand::from_ieee(&sf(s.f[x + k]), fmt);
+                    }
+                }
+                Instr::CsToIeee { dst, src } => {
+                    let (d, x) = (p(dst), p(src));
+                    for k in 0..len {
+                        s.f[d + k] = s.cs[x + k].to_ieee(F, Round::NearestEven).to_f64();
+                    }
+                }
+                Instr::Store { output, src } => {
+                    let x = p(src);
+                    for k in 0..len {
+                        out[k * no + output as usize] = s.f[x + k];
+                    }
+                }
+            }
+        }
+    }
+
     /// Convenience: evaluate a batch and pair each output row with the
     /// output names, like the scalar interpreters' `HashMap` result.
     pub fn output_map(&self, out_row: &[f64]) -> HashMap<String, f64> {
@@ -1026,19 +1243,85 @@ impl Tape {
     }
 }
 
-static TAPE_CACHE: OnceLock<Mutex<HashMap<Vec<u8>, Arc<Tape>>>> = OnceLock::new();
+/// Default retention bound of the process-wide tape cache; see
+/// [`set_tape_cache_capacity`].
+pub const DEFAULT_TAPE_CACHE_CAPACITY: usize = 256;
+
+/// Counter snapshot of the process-wide tape cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TapeCacheStats {
+    /// Lookups served without compiling.
+    pub hits: u64,
+    /// Lookups that compiled (and inserted) a fresh tape.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound since process start.
+    pub evictions: u64,
+    /// Tapes currently resident.
+    pub entries: usize,
+    /// Current retention bound.
+    pub capacity: usize,
+}
+
+struct TapeCacheState {
+    /// Key → (tape, last-touch tick). The tick orders recency; eviction
+    /// removes the minimum.
+    map: HashMap<Vec<u8>, (Arc<Tape>, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl TapeCacheState {
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&victim);
+            CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+static TAPE_CACHE: OnceLock<Mutex<TapeCacheState>> = OnceLock::new();
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<Vec<u8>, Arc<Tape>>> {
-    TAPE_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> std::sync::MutexGuard<'static, TapeCacheState> {
+    TAPE_CACHE
+        .get_or_init(|| {
+            Mutex::new(TapeCacheState {
+                map: HashMap::new(),
+                tick: 0,
+                capacity: DEFAULT_TAPE_CACHE_CAPACITY,
+            })
+        })
+        .lock()
+        // the cache never holds partially-updated state across a panic,
+        // so a poisoned lock is safe to re-enter
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// [`compile`] through the process-wide tape cache, keyed by the graph's
 /// full canonical encoding (collision-proof; the [`Tape::fingerprint`]
 /// digest is informational). Two calls with structurally identical
 /// graphs return the same `Arc` — the second call does no compilation
-/// and no checking.
+/// and no checking. The cache is bounded ([`set_tape_cache_capacity`],
+/// default [`DEFAULT_TAPE_CACHE_CAPACITY`]) with least-recently-used
+/// eviction.
 pub fn compile_cached(g: &Cdfg) -> Result<Arc<Tape>, CompileError> {
     compile_cached_with(g, CompileOptions::default())
 }
@@ -1049,29 +1332,78 @@ pub fn compile_cached(g: &Cdfg) -> Result<Arc<Tape>, CompileError> {
 pub fn compile_cached_with(g: &Cdfg, opts: CompileOptions) -> Result<Arc<Tape>, CompileError> {
     let mut key = canonical_encoding(g);
     key.push(opts.optimize as u8);
-    if let Some(t) = cache().lock().unwrap().get(&key) {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-        return Ok(Arc::clone(t));
+    {
+        let mut st = cache();
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some((t, stamp)) = st.map.get_mut(&key) {
+            *stamp = tick;
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(t));
+        }
     }
     // compile outside the lock; a racing duplicate insert is harmless
-    // (both tapes are identical) and the first one wins
-    let tape = Arc::new(compile_with_options(g, opts)?);
+    // (both tapes are identical) and the first one wins. The compiler
+    // runs under `catch_unwind` so an internal bug surfaces as a
+    // structured X001 error and the poisoned attempt is never cached.
+    let compiled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compile_with_options(g, opts)
+    }));
+    let mut tape = match compiled {
+        Ok(result) => result?,
+        Err(payload) => {
+            return Err(CompileError {
+                diagnostics: vec![Diagnostic::error(
+                    Rule::CompilerPanic,
+                    Span::Global,
+                    format!(
+                        "tape compiler panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                )],
+            })
+        }
+    };
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-    let mut map = cache().lock().unwrap();
-    Ok(Arc::clone(map.entry(key).or_insert(tape)))
+    // snapshot the counters onto the tape so BENCH reports can attribute
+    // cache behavior to the compilation that observed it
+    tape.opt.cache_hits = CACHE_HITS.load(Ordering::Relaxed);
+    tape.opt.cache_misses = CACHE_MISSES.load(Ordering::Relaxed);
+    tape.opt.cache_evictions = CACHE_EVICTIONS.load(Ordering::Relaxed);
+    let tape = Arc::new(tape);
+    let mut st = cache();
+    st.tick += 1;
+    let tick = st.tick;
+    let shared = Arc::clone(&st.map.entry(key).or_insert((tape, tick)).0);
+    st.evict_to_capacity();
+    Ok(shared)
 }
 
-/// `(hits, misses)` counters of [`compile_cached`] since process start.
-pub fn tape_cache_stats() -> (u64, u64) {
-    (
-        CACHE_HITS.load(Ordering::Relaxed),
-        CACHE_MISSES.load(Ordering::Relaxed),
-    )
+/// Counters and occupancy of [`compile_cached`]'s tape cache since
+/// process start.
+pub fn tape_cache_stats() -> TapeCacheStats {
+    let st = cache();
+    TapeCacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
+        entries: st.map.len(),
+        capacity: st.capacity,
+    }
+}
+
+/// Bound the number of cached tapes (clamped to a minimum of 1).
+/// Shrinking below the current occupancy evicts least-recently-used
+/// entries immediately.
+pub fn set_tape_cache_capacity(capacity: usize) {
+    let mut st = cache();
+    st.capacity = capacity.max(1);
+    st.evict_to_capacity();
 }
 
 /// Drop every cached tape (benchmarks use this to measure cold compiles).
 pub fn clear_tape_cache() {
-    cache().lock().unwrap().clear();
+    cache().map.clear();
 }
 
 #[cfg(test)]
@@ -1212,20 +1544,84 @@ mod tests {
         }
     }
 
+    /// Serializes tests that mutate the process-wide tape cache (its
+    /// capacity or its entry set), so LRU eviction in one test cannot
+    /// break `Arc::ptr_eq` assertions in another.
+    fn cache_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn cache_returns_shared_tape() {
+        let _guard = cache_test_lock();
         let g = listing1();
-        let (h0, m0) = tape_cache_stats();
+        let s0 = tape_cache_stats();
         let a = compile_cached(&g).unwrap();
         let b = compile_cached(&g).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        let (h1, m1) = tape_cache_stats();
-        assert!(h1 > h0, "second compile must hit the cache");
-        assert!(m1 > m0, "first compile must miss the cache");
+        let s1 = tape_cache_stats();
+        assert!(s1.hits > s0.hits, "second compile must hit the cache");
+        assert!(s1.misses > s0.misses, "first compile must miss the cache");
+        assert!(s1.entries >= 1);
+        // the tape snapshots the counters it observed when compiled
+        assert!(a.opt_stats().cache_misses >= 1);
         // structurally identical but separately built graph also hits
         let c = compile_cached(&listing1()).unwrap();
         assert!(Arc::ptr_eq(&a, &c));
         assert_eq!(a.fingerprint(), graph_fingerprint(&listing1()));
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded_lru() {
+        let _guard = cache_test_lock();
+        let s0 = tape_cache_stats();
+        set_tape_cache_capacity(4);
+        // six structurally distinct graphs through a four-entry cache:
+        // at least two must be evicted, oldest first
+        let tapes: Vec<_> = (0..6)
+            .map(|i| {
+                let mut g = listing1();
+                g.output(format!("lru_probe_{i}"), g.outputs()[0] - 1);
+                compile_cached(&g).unwrap()
+            })
+            .collect();
+        let s1 = tape_cache_stats();
+        assert_eq!(s1.capacity, 4);
+        assert!(s1.entries <= 4, "{s1:?}");
+        assert!(s1.evictions >= s0.evictions + 2, "{s1:?}");
+        // the most recent entry is still resident and hits
+        let mut g5 = listing1();
+        g5.output("lru_probe_5", g5.outputs()[0] - 1);
+        let again = compile_cached(&g5).unwrap();
+        assert!(Arc::ptr_eq(&tapes[5], &again));
+        set_tape_cache_capacity(DEFAULT_TAPE_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn compiler_panic_is_structured_and_never_cached() {
+        let _guard = cache_test_lock();
+        let mut g = listing1();
+        g.output("panic_probe", g.outputs()[0] - 1);
+        let before = tape_cache_stats();
+        PANIC_NEXT_COMPILE.store(true, Ordering::Relaxed);
+        let err = compile_cached(&g).unwrap_err();
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::CompilerPanic),
+            "{err}"
+        );
+        assert!(err.to_string().contains("X001"), "{err}");
+        let mid = tape_cache_stats();
+        assert_eq!(
+            mid.entries, before.entries,
+            "poisoned compile must not be cached"
+        );
+        assert_eq!(mid.misses, before.misses, "a panic is not a miss");
+        // a clean retry compiles fresh and succeeds
+        let tape = compile_cached(&g).unwrap();
+        assert_eq!(tape.fingerprint(), graph_fingerprint(&g));
     }
 
     #[test]
@@ -1273,6 +1669,7 @@ mod tests {
 
     #[test]
     fn cache_distinguishes_optimize_flag() {
+        let _guard = cache_test_lock();
         // distinct from every other cached graph in this test binary so
         // the hit/miss counters of sibling tests stay undisturbed
         let mut g = listing1();
@@ -1283,6 +1680,62 @@ mod tests {
         // but both identify as the same source graph
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.source_nodes(), b.source_nodes());
+    }
+
+    #[test]
+    fn oracle_backend_is_bit_identical_to_bit_accurate() {
+        let g = fuse_critical_paths(&listing1(), &FusionConfig::new(FmaKind::Pcs)).fused;
+        let tape = compile(&g).unwrap();
+        let ni = tape.num_inputs();
+        let n = CHUNK_ROWS + 9;
+        let mut rows: Vec<f64> = (0..n * ni)
+            .map(|i| ((i * 2654435761) % 1000) as f64 * 0.23 - 115.0)
+            .collect();
+        rows[0] = f64::NAN;
+        rows[1] = -0.0;
+        rows[2] = f64::INFINITY;
+        let bit = tape.eval_batch(TapeBackend::BitAccurate, &rows, 2);
+        let oracle = tape.eval_batch(TapeBackend::Oracle, &rows, 2);
+        assert!(
+            bit.iter()
+                .zip(oracle.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "oracle backend diverged from bit-accurate"
+        );
+        // and through the row entry point
+        let mut s = tape.scratch();
+        let mut o1 = vec![0.0; tape.num_outputs()];
+        tape.eval_row(TapeBackend::Oracle, &rows[..ni], &mut o1, &mut s);
+        assert_eq!(o1[0].to_bits(), bit[0].to_bits());
+    }
+
+    #[test]
+    fn instructions_carry_source_node_provenance() {
+        // optimizer active: provenance must survive folding, CSE, DCE,
+        // reordering and tape-level dead-slot elimination
+        let src = "unused = u * u;\nscale = 2.0 * 2.0 + 1.0;\nout y = a*b + a*b + scale;\n";
+        let g = crate::parse_program(src).unwrap();
+        for opts in [
+            CompileOptions { optimize: true },
+            CompileOptions { optimize: false },
+        ] {
+            let tape = compile_with_options(&g, opts).unwrap();
+            assert_eq!(tape.instrs().len(), tape.instr_nodes.len());
+            for i in 0..tape.instrs().len() {
+                let node = tape.source_node_of(i).expect("every instr maps to a node");
+                assert!(node < g.len(), "node id {node} out of source range");
+            }
+            let store_idx = tape
+                .instrs()
+                .iter()
+                .position(|i| matches!(i, Instr::Store { .. }))
+                .unwrap();
+            let node = tape.source_node_of(store_idx).unwrap();
+            assert!(
+                matches!(g.nodes()[node].op, Op::Output(_)),
+                "Store must map back to the source Output node"
+            );
+        }
     }
 
     #[test]

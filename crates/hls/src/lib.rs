@@ -36,14 +36,15 @@ pub mod opt;
 pub mod optimize;
 pub mod parser;
 pub mod printer;
+pub mod robust;
 pub mod sched;
 
 pub use cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
 pub use compile::{
     clear_tape_cache, compile, compile_cached, compile_cached_with, compile_scheduled,
     compile_with_formats, compile_with_formats_and_options, compile_with_options,
-    graph_fingerprint, tape_cache_stats, CompileError, CompileOptions, Instr, Tape, TapeBackend,
-    TapeScratch,
+    graph_fingerprint, set_tape_cache_capacity, tape_cache_stats, CompileError, CompileOptions,
+    Instr, Tape, TapeBackend, TapeCacheStats, TapeScratch, DEFAULT_TAPE_CACHE_CAPACITY,
 };
 pub use fuse::{fuse_critical_paths, FusionConfig, FusionReport};
 pub use lint::{capacity_list, lint_dataflow, lint_schedule, schedule_view, to_check_graph};
@@ -51,6 +52,7 @@ pub use opt::OptStats;
 pub use optimize::{optimize, OptimizeReport};
 pub use parser::{parse_program, ParseError};
 pub use printer::to_source;
+pub use robust::{BatchReport, RobustOptions, RowOutcome};
 pub use sched::{
     alap_schedule, asap_schedule, critical_path, list_schedule, occupancy_chart, OpTiming,
     ResourceKind, ResourceLimits, Schedule,

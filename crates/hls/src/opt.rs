@@ -55,20 +55,48 @@ pub struct OptStats {
     pub dead_slots_removed: usize,
     /// Wall time spent optimizing, microseconds.
     pub optimize_us: f64,
+    /// Tape-cache hits at the moment this tape was compiled and cached.
+    pub cache_hits: u64,
+    /// Tape-cache misses at the moment this tape was compiled and cached.
+    pub cache_misses: u64,
+    /// Tape-cache LRU evictions at the moment this tape was compiled.
+    pub cache_evictions: u64,
 }
 
 /// Run the full post-gate pipeline: fold + CSE + DCE to a bounded
 /// fixpoint, then one pressure-aware reorder. The input graph must be
 /// checker-clean; the output graph is re-validated.
-pub(crate) fn optimize_graph(g: &Cdfg) -> (Cdfg, OptStats) {
+///
+/// The third return value is the provenance map: for each node of the
+/// optimized graph, the id of the *source-graph* node it descends from
+/// (the CSE representative's creator for merged nodes). The compiler
+/// threads it onto the tape so executor diagnostics — in particular
+/// quarantined rows in the robust batch path — can name the offending
+/// source node.
+pub(crate) fn optimize_graph(g: &Cdfg) -> (Cdfg, OptStats, Vec<u32>) {
     let mut stats = OptStats {
         nodes_before: g.len(),
         ..Default::default()
     };
     let mut cur = g.clone();
+    // origin[new_id] = source-graph id, composed across every pass
+    let mut origin: Vec<u32> = (0..g.len() as u32).collect();
+    let compose = |origin: &[u32], map: &[NodeId], new_len: usize| -> Vec<u32> {
+        let mut next = vec![u32::MAX; new_len];
+        for (old, &new) in map.iter().enumerate() {
+            if new != usize::MAX && next[new] == u32::MAX {
+                next[new] = origin[old];
+            }
+        }
+        next
+    };
     for _ in 0..8 {
-        let (next, folded, merged) = fold_and_cse(&cur);
-        let (next, removed) = eliminate_dead_keep_inputs(&next);
+        let (next, folded, merged, map) = fold_and_cse(&cur);
+        origin = compose(&origin, &map, next.len());
+        let (next, removed, map) = eliminate_dead_keep_inputs(&next);
+        if let Some(map) = map {
+            origin = compose(&origin, &map, next.len());
+        }
         stats.consts_folded += folded;
         stats.cse_merged += merged;
         stats.dead_removed += removed;
@@ -77,7 +105,8 @@ pub(crate) fn optimize_graph(g: &Cdfg) -> (Cdfg, OptStats) {
             break;
         }
     }
-    let cur = reorder_for_pressure(&cur);
+    let (cur, map) = reorder_for_pressure(&cur);
+    let origin = compose(&origin, &map, cur.len());
     // post-gate invariant: the optimized graph must still be checker-clean
     cur.validate();
     crate::lint::debug_assert_dataflow_clean(
@@ -86,7 +115,8 @@ pub(crate) fn optimize_graph(g: &Cdfg) -> (Cdfg, OptStats) {
         "post-gate optimizer result",
     );
     stats.nodes_after = cur.len();
-    (cur, stats)
+    debug_assert!(origin.iter().all(|&o| (o as usize) < g.len()));
+    (cur, stats, origin)
 }
 
 /// True when `v`'s bit pattern is a canonical FTZ double — the domain on
@@ -178,9 +208,9 @@ fn node_key(op: &Op, args: &[NodeId]) -> Vec<u8> {
 }
 
 /// One forward rewrite pass: fold all-constant nodes, then merge nodes
-/// with byte-equal canonical encodings. Returns the rewritten graph and
-/// the (folded, merged) counts.
-fn fold_and_cse(g: &Cdfg) -> (Cdfg, usize, usize) {
+/// with byte-equal canonical encodings. Returns the rewritten graph, the
+/// (folded, merged) counts, and the old→new node map.
+fn fold_and_cse(g: &Cdfg) -> (Cdfg, usize, usize, Vec<NodeId>) {
     let mut out = Cdfg::new();
     let mut map: Vec<NodeId> = Vec::with_capacity(g.len());
     let mut seen: HashMap<Vec<u8>, NodeId> = HashMap::new();
@@ -209,13 +239,14 @@ fn fold_and_cse(g: &Cdfg) -> (Cdfg, usize, usize) {
         seen.insert(key, id);
         map.push(id);
     }
-    (out, folded, merged)
+    (out, folded, merged, map)
 }
 
 /// Dead-node elimination rooted at the outputs **and every input**:
 /// removing an unused `Input` would change the tape's positional row
 /// layout, which must stay byte-compatible with the unoptimized tape.
-fn eliminate_dead_keep_inputs(g: &Cdfg) -> (Cdfg, usize) {
+/// The map is `None` when nothing was removed (identity provenance).
+fn eliminate_dead_keep_inputs(g: &Cdfg) -> (Cdfg, usize, Option<Vec<NodeId>>) {
     let mut live = vec![false; g.len()];
     let mut stack: Vec<NodeId> = g.outputs();
     for (id, n) in g.nodes().iter().enumerate() {
@@ -232,7 +263,7 @@ fn eliminate_dead_keep_inputs(g: &Cdfg) -> (Cdfg, usize) {
     }
     let removed = live.iter().filter(|&&l| !l).count();
     if removed == 0 {
-        return (g.clone(), 0);
+        return (g.clone(), 0, None);
     }
     let mut map = vec![usize::MAX; g.len()];
     let mut out = Cdfg::new();
@@ -242,7 +273,7 @@ fn eliminate_dead_keep_inputs(g: &Cdfg) -> (Cdfg, usize) {
             map[id] = out.push(n.op.clone(), args);
         }
     }
-    (out, removed)
+    (out, removed, Some(map))
 }
 
 /// Slot-pressure-aware list scheduling: emit ready nodes in the order
@@ -250,8 +281,8 @@ fn eliminate_dead_keep_inputs(g: &Cdfg) -> (Cdfg, usize) {
 /// allocator will see (an emission frees one slot per dying argument and
 /// allocates one for its own result). Deterministic: ties break on the
 /// original node id, `Input` nodes keep their relative order and so do
-/// `Output` nodes.
-fn reorder_for_pressure(g: &Cdfg) -> Cdfg {
+/// `Output` nodes. Also returns the old→new node map.
+fn reorder_for_pressure(g: &Cdfg) -> (Cdfg, Vec<NodeId>) {
     let nodes = g.nodes();
     let n = nodes.len();
     // remaining reads of each node's value
@@ -327,7 +358,7 @@ fn reorder_for_pressure(g: &Cdfg) -> Cdfg {
         let args = nodes[id].args.iter().map(|&a| map[a]).collect();
         map[id] = out.push(nodes[id].op.clone(), args);
     }
-    out
+    (out, map)
 }
 
 #[cfg(test)]
@@ -349,7 +380,7 @@ mod tests {
     #[test]
     fn folds_safe_constant_subtrees() {
         let g = parse_program("out y = x * (2.0 + 3.0 * 4.0);").unwrap();
-        let (opt, stats) = optimize_graph(&g);
+        let (opt, stats, _) = optimize_graph(&g);
         assert!(stats.consts_folded >= 2, "{stats:?}");
         assert_eq!(opt.count_ops(|o| matches!(o, Op::Const(_))), 1);
         let ins = named_inputs(&g, 1.5);
@@ -365,7 +396,7 @@ mod tests {
         let i = g.constant(f64::INFINITY);
         let m = g.mul(z, i);
         g.output("y", m);
-        let (opt, stats) = optimize_graph(&g);
+        let (opt, stats, _) = optimize_graph(&g);
         assert_eq!(stats.consts_folded, 0);
         let ins = HashMap::new();
         assert_eq!(
@@ -387,14 +418,14 @@ mod tests {
         let c = g.constant(1.0);
         let m = g.mul(s, c);
         g.output("y", m);
-        let (_, stats) = optimize_graph(&g);
+        let (_, stats, _) = optimize_graph(&g);
         assert_eq!(stats.consts_folded, 0);
     }
 
     #[test]
     fn cse_merges_repeated_subexpressions() {
         let g = parse_program("out y = a*b + a*b;").unwrap();
-        let (opt, stats) = optimize_graph(&g);
+        let (opt, stats, _) = optimize_graph(&g);
         assert_eq!(stats.cse_merged, 1);
         assert_eq!(opt.count_ops(|o| matches!(o, Op::Mul)), 1);
         let ins = named_inputs(&g, 2.5);
@@ -406,7 +437,7 @@ mod tests {
         // `dead` never reaches the output but its inputs must survive so
         // the positional row layout is unchanged
         let g = parse_program("dead = p * q;\nout y = a + b;").unwrap();
-        let (opt, stats) = optimize_graph(&g);
+        let (opt, stats, _) = optimize_graph(&g);
         assert!(stats.dead_removed >= 1, "{stats:?}");
         let names: Vec<&str> = opt
             .nodes()
@@ -426,7 +457,7 @@ mod tests {
             "t1 = a + b;\n t2 = c + d;\n t3 = e + f;\n out y = t1 * t2 + t3;\n out z = t1 - t2;",
         )
         .unwrap();
-        let (opt, _) = optimize_graph(&g);
+        let (opt, _, _) = optimize_graph(&g);
         let io = |g: &Cdfg, pick: fn(&Op) -> Option<String>| -> Vec<String> {
             g.nodes().iter().filter_map(|n| pick(&n.op)).collect()
         };
@@ -455,7 +486,7 @@ mod tests {
         let g = parse_program("x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;").unwrap();
         for kind in [FmaKind::Pcs, FmaKind::Fcs] {
             let fused = fuse_critical_paths(&g, &FusionConfig::new(kind)).fused;
-            let (opt, _) = optimize_graph(&fused);
+            let (opt, _, _) = optimize_graph(&fused);
             let ins = named_inputs(&fused, -1.75);
             assert_eq!(
                 eval_bit_accurate(&fused, &ins)["x3"].to_bits(),

@@ -1,0 +1,814 @@
+//! Graceful-degradation batch execution: self-checking evaluation with a
+//! per-row fallback ladder.
+//!
+//! [`Tape::eval_batch`] is the fast path — it trusts the datapath. This
+//! module is the *robust* path for runs where the datapath may be faulty
+//! (fault-injection campaigns, or hardware under test): every FMA runs
+//! with the mod-3 residue / recompute-and-compare checks of
+//! `csfma_core::fault` enabled, every chunk runs under `catch_unwind`
+//! with bounded retry, and a row whose checks fire is re-evaluated down a
+//! ladder of increasingly conservative engines:
+//!
+//! 1. **chunk** — the normal chunked executor, checks on. A panicking
+//!    chunk is retried up to [`RobustOptions::chunk_retries`] times
+//!    (transient faults have been claimed, so the retry runs clean).
+//! 2. **row** — the flagged row alone, re-evaluated on the same backend
+//!    (`Recovered { backend: "row-bit" | "row-f64" | "row-oracle" }`).
+//!    Transient faults cannot strike twice; only sticky faults re-arm.
+//! 3. **oracle** — [`TapeBackend::Oracle`]: the pure soft-float operator
+//!    stack plus the allocating behavioral units, structurally
+//!    independent of the scratch-based executors
+//!    (`Recovered { backend: "oracle" }`).
+//! 4. **quarantine** — the row's outputs are poisoned with NaN and a
+//!    structured `F001` [`Diagnostic`] names the offending source-graph
+//!    node (via [`Tape::source_node_of`]). One bad row never corrupts or
+//!    aborts its neighbors.
+//!
+//! Recovered outputs are bit-identical to a fault-free evaluation: rung 2
+//! replays the exact row semantics and rung 3 is bit-identical to the
+//! bit-accurate backend by construction. Chunking follows
+//! `par_chunks_indexed`, so the filled buffer — and the whole
+//! [`BatchReport`] — is byte-identical for any worker count.
+//!
+//! Coverage boundary: the residue and duplicate-compute checks guard the
+//! *arithmetic datapath* (multiplier words, PCS carry lanes, block-mux
+//! selects, the exponent path). A [`FaultSite::TapeReg`] upset corrupts a
+//! stored register plane *between* operations; that class needs ECC on
+//! the register file, which this model deliberately does not implement —
+//! campaigns report it as the undetected remainder (DESIGN.md §10).
+
+use crate::cdfg::FmaKind;
+use crate::compile::{Tape, TapeBackend};
+use csfma_core::batch::{par_chunks_indexed, CHUNK_ROWS};
+use csfma_core::fault::{FaultDetected, FaultHook, FaultPlan, FaultStage, FmaCtl, RowFaults};
+use csfma_core::CsOperand;
+use csfma_softfloat::{FpFormat, SoftFloat};
+use csfma_verify::{Diagnostic, Rule, Span};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::compile::{Instr, TapeScratch};
+
+const F: FpFormat = FpFormat::BINARY64;
+
+/// Knobs for [`Tape::eval_batch_robust`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RobustOptions<'a> {
+    /// Worker threads (same semantics as [`Tape::eval_batch`]; `0`/`1`
+    /// runs inline). The result is byte-identical for any value.
+    pub threads: usize,
+    /// How many times a panicking chunk is re-run before every row in it
+    /// falls back to the per-row ladder.
+    pub chunk_retries: u32,
+    /// Fault plan to inject while evaluating (`None` = run clean with
+    /// checks enabled).
+    pub fault: Option<&'a FaultPlan>,
+}
+
+impl<'a> RobustOptions<'a> {
+    /// Defaults (1 thread, 2 chunk retries) with a fault plan attached.
+    pub fn with_fault(plan: &'a FaultPlan) -> Self {
+        RobustOptions {
+            threads: 1,
+            chunk_retries: 2,
+            fault: Some(plan),
+        }
+    }
+}
+
+/// What happened to one batch row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RowOutcome {
+    /// Computed by the primary chunked executor, no check fired.
+    Ok,
+    /// A check (or chunk panic) fired; the row was re-computed cleanly
+    /// by the named fallback engine. The value is bit-identical to a
+    /// fault-free evaluation.
+    Recovered {
+        /// Ladder rung that produced the value: `"row-bit"`,
+        /// `"row-f64"`, `"row-oracle"` or `"oracle"`.
+        backend: &'static str,
+    },
+    /// Every rung failed; the row's outputs are NaN and the diagnostic
+    /// names the offending source-graph node.
+    Quarantined {
+        /// The structured `F001` finding.
+        diag: Diagnostic,
+    },
+}
+
+/// Per-row outcomes and aggregate counters of one
+/// [`Tape::eval_batch_robust`] run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Rows evaluated.
+    pub rows: usize,
+    /// One outcome per row, in row order.
+    pub outcomes: Vec<RowOutcome>,
+    /// Self-check detections observed across all rungs (a sticky fault
+    /// detected on two rungs counts twice).
+    pub detections: usize,
+    /// Chunk evaluations that panicked.
+    pub chunk_panics: usize,
+    /// Chunk-level retries performed after a panic.
+    pub chunk_retries: usize,
+}
+
+impl BatchReport {
+    /// `(ok, recovered, quarantined)` row counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0usize, 0usize, 0usize);
+        for o in &self.outcomes {
+            match o {
+                RowOutcome::Ok => c.0 += 1,
+                RowOutcome::Recovered { .. } => c.1 += 1,
+                RowOutcome::Quarantined { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// True when anything at all went wrong (detection, panic, non-`Ok`
+    /// outcome).
+    pub fn has_faults(&self) -> bool {
+        self.detections != 0
+            || self.chunk_panics != 0
+            || self.outcomes.iter().any(|o| !matches!(o, RowOutcome::Ok))
+    }
+
+    /// The quarantined rows' diagnostics, with their row indices.
+    pub fn quarantined(&self) -> Vec<(usize, &Diagnostic)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match o {
+                RowOutcome::Quarantined { diag } => Some((i, diag)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (ok, recovered, quarantined) = self.counts();
+        write!(
+            f,
+            "rows={} ok={ok} recovered={recovered} quarantined={quarantined} \
+             detections={} chunk_panics={} chunk_retries={}",
+            self.rows, self.detections, self.chunk_panics, self.chunk_retries
+        )
+    }
+}
+
+/// What one chunk contributed to the report (only non-`Ok` rows are
+/// recorded; `outcomes` carries absolute row indices).
+#[derive(Default)]
+struct ChunkRecord {
+    outcomes: Vec<(usize, RowOutcome)>,
+    detections: usize,
+    panics: usize,
+    retries: usize,
+}
+
+impl ChunkRecord {
+    fn nontrivial(&self) -> bool {
+        !self.outcomes.is_empty() || self.detections != 0 || self.panics != 0 || self.retries != 0
+    }
+}
+
+impl Tape {
+    /// Evaluate a batch with self-checks, fault injection and the
+    /// per-row fallback ladder (module docs). Same layout contract as
+    /// [`Tape::eval_batch`]; additionally returns a [`BatchReport`] with
+    /// one [`RowOutcome`] per row. Both the buffer and the report are
+    /// byte-identical for any `opts.threads`.
+    ///
+    /// # Panics
+    /// As [`Tape::eval_batch`]: no inputs, or `rows.len()` not a
+    /// multiple of `num_inputs()`.
+    pub fn eval_batch_robust(
+        &self,
+        backend: TapeBackend,
+        rows: &[f64],
+        opts: &RobustOptions,
+    ) -> (Vec<f64>, BatchReport) {
+        let ni = self.num_inputs();
+        assert!(ni > 0, "eval_batch_robust on a tape with no inputs");
+        assert_eq!(rows.len() % ni, 0, "rows not a multiple of num_inputs");
+        let n = rows.len() / ni;
+        let no = self.num_outputs();
+        let mut out = vec![0.0f64; n * no];
+        let mut report = BatchReport {
+            rows: n,
+            outcomes: vec![RowOutcome::Ok; n],
+            ..Default::default()
+        };
+        if no == 0 || n == 0 {
+            return (out, report);
+        }
+        let records: Mutex<Vec<ChunkRecord>> = Mutex::new(Vec::new());
+        par_chunks_indexed(
+            &mut out,
+            CHUNK_ROWS * no,
+            opts.threads,
+            || self.scratch(),
+            |scratch, chunk_idx, chunk| {
+                let base = chunk_idx * CHUNK_ROWS;
+                let len = chunk.len() / no;
+                let rec = self.robust_chunk(backend, rows, base, len, chunk, scratch, opts);
+                if rec.nontrivial() {
+                    records.lock().unwrap_or_else(|e| e.into_inner()).push(rec);
+                }
+            },
+        );
+        for rec in records.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            report.detections += rec.detections;
+            report.chunk_panics += rec.panics;
+            report.chunk_retries += rec.retries;
+            for (row, outcome) in rec.outcomes {
+                report.outcomes[row] = outcome;
+            }
+        }
+        (out, report)
+    }
+
+    /// One chunk of the robust executor: guarded evaluation with bounded
+    /// retry, then the ladder for every flagged lane.
+    #[allow(clippy::too_many_arguments)]
+    fn robust_chunk(
+        &self,
+        backend: TapeBackend,
+        rows: &[f64],
+        base: usize,
+        len: usize,
+        chunk_out: &mut [f64],
+        s: &mut TapeScratch,
+        opts: &RobustOptions,
+    ) -> ChunkRecord {
+        let ni = self.num_inputs();
+        let no = self.num_outputs();
+        let mut rec = ChunkRecord::default();
+        let mut lane_findings: Vec<Vec<(usize, FaultDetected)>> = vec![Vec::new(); len];
+
+        // rung 1: the whole chunk, checks on, catch_unwind + retry. A
+        // transient fault claimed during a panicked attempt stays
+        // claimed, so the retry runs clean.
+        let mut attempts = 0u32;
+        let chunk_ok = loop {
+            for fl in &mut lane_findings {
+                fl.clear();
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for k in 0..len {
+                    let row_idx = base + k;
+                    let hook = opts
+                        .fault
+                        .and_then(|p| p.for_row(row_idx as u64, FaultStage::Primary));
+                    self.guarded_row(
+                        backend,
+                        row_idx,
+                        &rows[row_idx * ni..(row_idx + 1) * ni],
+                        &mut chunk_out[k * no..(k + 1) * no],
+                        s,
+                        hook.as_ref(),
+                        &mut lane_findings[k],
+                    );
+                }
+            }));
+            match result {
+                Ok(()) => break true,
+                Err(_) => {
+                    rec.panics += 1;
+                    if attempts >= opts.chunk_retries {
+                        break false;
+                    }
+                    attempts += 1;
+                    rec.retries += 1;
+                }
+            }
+        };
+
+        // rungs 2..4 for every lane the chunk could not vouch for
+        for k in 0..len {
+            if chunk_ok && lane_findings[k].is_empty() {
+                continue;
+            }
+            let row_idx = base + k;
+            let findings = std::mem::take(&mut lane_findings[k]);
+            rec.detections += findings.len();
+            let outcome = self.ladder_row(
+                backend,
+                row_idx,
+                &rows[row_idx * ni..(row_idx + 1) * ni],
+                &mut chunk_out[k * no..(k + 1) * no],
+                s,
+                opts,
+                findings,
+                &mut rec,
+            );
+            rec.outcomes.push((row_idx, outcome));
+        }
+        rec
+    }
+
+    /// Rungs 2 (isolated row on the primary backend), 3 (oracle) and 4
+    /// (quarantine) for one flagged row.
+    #[allow(clippy::too_many_arguments)]
+    fn ladder_row(
+        &self,
+        backend: TapeBackend,
+        row_idx: usize,
+        row: &[f64],
+        out: &mut [f64],
+        s: &mut TapeScratch,
+        opts: &RobustOptions,
+        mut findings: Vec<(usize, FaultDetected)>,
+        rec: &mut ChunkRecord,
+    ) -> RowOutcome {
+        // rung 2: the row alone, same backend. Only sticky faults re-arm
+        // at this stage, so a transiently-hit row recovers here.
+        let label = match backend {
+            TapeBackend::F64 => "row-f64",
+            TapeBackend::BitAccurate => "row-bit",
+            TapeBackend::Oracle => "row-oracle",
+        };
+        let mut retry_findings: Vec<(usize, FaultDetected)> = Vec::new();
+        let retried = catch_unwind(AssertUnwindSafe(|| {
+            let hook = opts
+                .fault
+                .and_then(|p| p.for_row(row_idx as u64, FaultStage::Fallback));
+            self.guarded_row(
+                backend,
+                row_idx,
+                row,
+                out,
+                s,
+                hook.as_ref(),
+                &mut retry_findings,
+            );
+        }));
+        rec.detections += retry_findings.len();
+        match retried {
+            Ok(()) if retry_findings.is_empty() => return RowOutcome::Recovered { backend: label },
+            Ok(()) => findings.append(&mut retry_findings),
+            Err(_) => {}
+        }
+
+        // rung 3: the oracle stack. Only a sticky ExecPanic fault still
+        // arms here — a sticky datapath fault cannot reach it.
+        let oracle = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(h) = opts
+                .fault
+                .and_then(|p| p.for_row(row_idx as u64, FaultStage::Oracle))
+            {
+                if h.wants_panic() {
+                    panic!("injected executor panic at row {row_idx} (oracle)");
+                }
+            }
+            self.eval_row(TapeBackend::Oracle, row, out, s);
+        }));
+        if oracle.is_ok() {
+            return RowOutcome::Recovered { backend: "oracle" };
+        }
+
+        // rung 4: quarantine — poison the outputs, name the node
+        out.fill(f64::NAN);
+        let diag = match findings.last() {
+            Some((instr_idx, det)) => {
+                let span = self
+                    .source_node_of(*instr_idx)
+                    .map(Span::Node)
+                    .unwrap_or(Span::Global);
+                Diagnostic::error(
+                    Rule::FaultDetected,
+                    span,
+                    format!(
+                        "row {row_idx}: {} ({} check, instruction {instr_idx})",
+                        det.message,
+                        det.check.name()
+                    ),
+                )
+            }
+            None => Diagnostic::error(
+                Rule::FaultDetected,
+                Span::Global,
+                format!("row {row_idx}: executor panicked and the oracle retry also panicked"),
+            ),
+        };
+        RowOutcome::Quarantined { diag }
+    }
+
+    /// One row with checks enabled and the fault hook plugged into every
+    /// tamper point this layer owns (executor panic, register-plane
+    /// upsets); the datapath sites live inside the units themselves.
+    /// With `hook = None` this computes exactly what [`Tape::eval_row`]
+    /// computes on the same backend, bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    fn guarded_row(
+        &self,
+        backend: TapeBackend,
+        row_idx: usize,
+        row: &[f64],
+        out: &mut [f64],
+        s: &mut TapeScratch,
+        hook: Option<&RowFaults>,
+        findings: &mut Vec<(usize, FaultDetected)>,
+    ) {
+        if let Some(h) = hook {
+            if h.wants_panic() {
+                panic!("injected executor panic at row {row_idx}");
+            }
+        }
+        let tape_fault = hook.and_then(|h| h.tape_fault(self.instrs.len()));
+        match backend {
+            TapeBackend::F64 => self.guarded_row_f64(row, out, s, tape_fault),
+            TapeBackend::BitAccurate | TapeBackend::Oracle => {
+                self.guarded_row_bit(row, out, s, hook, tape_fault, findings)
+            }
+        }
+    }
+
+    /// Host-double semantics with register-plane fault injection (no
+    /// residue checks exist on this backend — there is no carry-save
+    /// datapath to check).
+    fn guarded_row_f64(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        s: &mut TapeScratch,
+        tape_fault: Option<(usize, u32)>,
+    ) {
+        let f = &mut s.f;
+        let cs_f = &mut s.cs_f;
+        for (i, ins) in self.instrs.iter().enumerate() {
+            match *ins {
+                Instr::LoadInput { dst, input } => f[dst as usize] = row[input as usize],
+                Instr::LoadConst { dst, idx } => f[dst as usize] = self.consts[idx as usize],
+                Instr::Add { dst, a, b } => f[dst as usize] = f[a as usize] + f[b as usize],
+                Instr::Sub { dst, a, b } => f[dst as usize] = f[a as usize] - f[b as usize],
+                Instr::Mul { dst, a, b } => f[dst as usize] = f[a as usize] * f[b as usize],
+                Instr::Div { dst, a, b } => f[dst as usize] = f[a as usize] / f[b as usize],
+                Instr::Neg { dst, a } => f[dst as usize] = -f[a as usize],
+                Instr::Fma {
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                    ..
+                } => {
+                    let bv = if negate_b {
+                        -f[b as usize]
+                    } else {
+                        f[b as usize]
+                    };
+                    cs_f[dst as usize] = bv.mul_add(cs_f[mulc as usize], cs_f[acc as usize]);
+                }
+                Instr::IeeeToCs { dst, src, .. } => cs_f[dst as usize] = f[src as usize],
+                Instr::CsToIeee { dst, src } => f[dst as usize] = cs_f[src as usize],
+                Instr::Store { output, src } => out[output as usize] = f[src as usize],
+            }
+            if let Some((fi, bit)) = tape_fault {
+                if fi == i {
+                    flip_f64_dst(ins, bit, f, cs_f);
+                }
+            }
+        }
+    }
+
+    /// Bit-accurate semantics with every FMA running the checked entry
+    /// point, plus register-plane fault injection.
+    fn guarded_row_bit(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        s: &mut TapeScratch,
+        hook: Option<&RowFaults>,
+        tape_fault: Option<(usize, u32)>,
+        findings: &mut Vec<(usize, FaultDetected)>,
+    ) {
+        use csfma_softfloat::batch as sfb;
+        use csfma_softfloat::Round;
+        let f = &mut s.f;
+        let cs = &mut s.cs;
+        for (i, ins) in self.instrs.iter().enumerate() {
+            match *ins {
+                Instr::LoadInput { dst, input } => {
+                    f[dst as usize] = sfb::canonicalize(row[input as usize])
+                }
+                Instr::LoadConst { dst, idx } => {
+                    f[dst as usize] = self.consts_canonical[idx as usize]
+                }
+                Instr::Add { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_add(f[a as usize], f[b as usize])
+                }
+                Instr::Sub { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_sub(f[a as usize], f[b as usize])
+                }
+                Instr::Mul { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_mul(f[a as usize], f[b as usize])
+                }
+                Instr::Div { dst, a, b } => {
+                    f[dst as usize] = sfb::hosted_div(f[a as usize], f[b as usize])
+                }
+                Instr::Neg { dst, a } => f[dst as usize] = sfb::hosted_neg(f[a as usize]),
+                Instr::Fma {
+                    kind,
+                    negate_b,
+                    dst,
+                    acc,
+                    b,
+                    mulc,
+                } => {
+                    let unit = match kind {
+                        FmaKind::Pcs => &s.pcs,
+                        FmaKind::Fcs => &s.fcs,
+                    };
+                    let mut bv = SoftFloat::from_f64(F, f[b as usize]);
+                    if negate_b {
+                        bv = bv.neg();
+                    }
+                    let mut dets: Vec<FaultDetected> = Vec::new();
+                    let mut ctl = match hook {
+                        Some(h) => FmaCtl::with_hook(h, &mut dets),
+                        None => FmaCtl::checked(&mut dets),
+                    };
+                    let (r, _) = unit.fma_checked_with(
+                        &cs[acc as usize],
+                        &bv,
+                        &cs[mulc as usize],
+                        &mut s.fma,
+                        &mut ctl,
+                    );
+                    findings.extend(dets.into_iter().map(|d| (i, d)));
+                    cs[dst as usize] = r;
+                }
+                Instr::IeeeToCs { kind, dst, src } => {
+                    let fmt = match kind {
+                        FmaKind::Pcs => self.pcs_format,
+                        FmaKind::Fcs => self.fcs_format,
+                    };
+                    cs[dst as usize] = CsOperand::from_f64(f[src as usize], fmt);
+                }
+                Instr::CsToIeee { dst, src } => {
+                    f[dst as usize] = cs[src as usize].to_ieee(F, Round::NearestEven).to_f64();
+                }
+                Instr::Store { output, src } => out[output as usize] = f[src as usize],
+            }
+            if let Some((fi, bit)) = tape_fault {
+                if fi == i {
+                    flip_bit_dst(ins, bit, f, cs);
+                }
+            }
+        }
+    }
+}
+
+/// Flip a register-plane bit behind instruction `ins` on the f64
+/// backend (both banks are doubles there).
+fn flip_f64_dst(ins: &Instr, bit: u32, f: &mut [f64], cs_f: &mut [f64]) {
+    match *ins {
+        Instr::LoadInput { dst, .. }
+        | Instr::LoadConst { dst, .. }
+        | Instr::Add { dst, .. }
+        | Instr::Sub { dst, .. }
+        | Instr::Mul { dst, .. }
+        | Instr::Div { dst, .. }
+        | Instr::Neg { dst, .. }
+        | Instr::CsToIeee { dst, .. } => flip_f64(&mut f[dst as usize], bit),
+        Instr::Fma { dst, .. } | Instr::IeeeToCs { dst, .. } => {
+            flip_f64(&mut cs_f[dst as usize], bit)
+        }
+        // a Store writes memory the caller owns, not a register plane —
+        // the strike lands on already-committed data and is masked
+        Instr::Store { .. } => {}
+    }
+}
+
+/// Flip a register-plane bit behind instruction `ins` on the
+/// bit-accurate backend (CS bank holds real carry-save operands).
+fn flip_bit_dst(ins: &Instr, bit: u32, f: &mut [f64], cs: &mut [CsOperand]) {
+    match *ins {
+        Instr::LoadInput { dst, .. }
+        | Instr::LoadConst { dst, .. }
+        | Instr::Add { dst, .. }
+        | Instr::Sub { dst, .. }
+        | Instr::Mul { dst, .. }
+        | Instr::Div { dst, .. }
+        | Instr::Neg { dst, .. }
+        | Instr::CsToIeee { dst, .. } => flip_f64(&mut f[dst as usize], bit),
+        Instr::Fma { dst, .. } | Instr::IeeeToCs { dst, .. } => {
+            #[cfg(feature = "fault-inject")]
+            cs[dst as usize].fault_flip_mant_bit(bit as usize);
+            #[cfg(not(feature = "fault-inject"))]
+            let _ = (cs, dst);
+        }
+        Instr::Store { .. } => {}
+    }
+}
+
+fn flip_f64(v: &mut f64, bit: u32) {
+    *v = f64::from_bits(v.to_bits() ^ (1u64 << (bit % 64)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::fuse::{fuse_critical_paths, FusionConfig};
+    use crate::parse_program;
+    use csfma_core::fault::{FaultSite, FaultSpec};
+
+    fn fused_listing1() -> Tape {
+        let src = "x1 = a*b + c*d;\nx2 = e*f + g*x1;\nout x3 = h*i + k*x2;\n";
+        let g = parse_program(src).unwrap();
+        let fused = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Pcs)).fused;
+        compile(&fused).unwrap()
+    }
+
+    fn stimulus(tape: &Tape, n: usize) -> Vec<f64> {
+        (0..n * tape.num_inputs())
+            .map(|i| ((i * 2654435761) % 1000) as f64 * 0.31 - 155.0)
+            .collect()
+    }
+
+    #[test]
+    fn clean_robust_run_matches_eval_batch_bitwise() {
+        let tape = fused_listing1();
+        let n = 2 * CHUNK_ROWS + 11;
+        let rows = stimulus(&tape, n);
+        for backend in [TapeBackend::F64, TapeBackend::BitAccurate] {
+            let want = tape.eval_batch(backend, &rows, 1);
+            let (got, report) = tape.eval_batch_robust(
+                backend,
+                &rows,
+                &RobustOptions {
+                    threads: 2,
+                    chunk_retries: 2,
+                    fault: None,
+                },
+            );
+            assert!(
+                want.iter()
+                    .zip(got.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{backend:?} robust run diverged from eval_batch"
+            );
+            assert!(!report.has_faults(), "{report}");
+            assert_eq!(report.counts(), (n, 0, 0));
+        }
+    }
+
+    #[test]
+    fn transient_mantissa_fault_recovers_bit_identically() {
+        let tape = fused_listing1();
+        let n = CHUNK_ROWS + 5;
+        let rows = stimulus(&tape, n);
+        let clean = tape.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+        for site in FaultSite::MANTISSA {
+            let plan = FaultPlan::single(0xC0FFEE, site, 7);
+            let (got, report) = tape.eval_batch_robust(
+                TapeBackend::BitAccurate,
+                &rows,
+                &RobustOptions::with_fault(&plan),
+            );
+            assert!(
+                clean
+                    .iter()
+                    .zip(got.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{site:?}: recovered output not bit-identical"
+            );
+            assert!(report.detections >= 1, "{site:?}: no detection");
+            assert_eq!(
+                report.outcomes[7],
+                RowOutcome::Recovered { backend: "row-bit" },
+                "{site:?}"
+            );
+            // neighbors untouched
+            assert_eq!(report.outcomes[6], RowOutcome::Ok, "{site:?}");
+            assert_eq!(report.outcomes[8], RowOutcome::Ok, "{site:?}");
+        }
+    }
+
+    #[test]
+    fn sticky_datapath_fault_falls_back_to_oracle() {
+        let tape = fused_listing1();
+        let n = CHUNK_ROWS;
+        let rows = stimulus(&tape, n);
+        let clean = tape.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+        let plan = FaultPlan::new(7).with_fault(FaultSpec::stuck(FaultSite::MulSum, 3));
+        let (got, report) = tape.eval_batch_robust(
+            TapeBackend::BitAccurate,
+            &rows,
+            &RobustOptions::with_fault(&plan),
+        );
+        assert_eq!(
+            report.outcomes[3],
+            RowOutcome::Recovered { backend: "oracle" }
+        );
+        assert!(
+            clean
+                .iter()
+                .zip(got.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "oracle recovery must be bit-identical"
+        );
+        // detected on the primary rung and again on the row rung
+        assert!(report.detections >= 2, "{report}");
+    }
+
+    #[test]
+    fn sticky_panic_quarantines_one_row_and_names_a_node() {
+        let tape = fused_listing1();
+        let n = CHUNK_ROWS + 3;
+        let rows = stimulus(&tape, n);
+        let clean = tape.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+        let plan = FaultPlan::new(11).with_fault(FaultSpec::stuck(FaultSite::ExecPanic, 5));
+        let (got, report) = tape.eval_batch_robust(
+            TapeBackend::BitAccurate,
+            &rows,
+            &RobustOptions::with_fault(&plan),
+        );
+        assert!(matches!(report.outcomes[5], RowOutcome::Quarantined { .. }));
+        assert!(got[5].is_nan(), "quarantined row must be poisoned");
+        assert!(report.chunk_panics >= 1);
+        // every other row in the batch still carries the clean value
+        for r in 0..n {
+            if r == 5 {
+                continue;
+            }
+            assert_eq!(
+                got[r].to_bits(),
+                clean[r].to_bits(),
+                "row {r} corrupted by a neighbor's quarantine"
+            );
+        }
+        if let RowOutcome::Quarantined { diag } = &report.outcomes[5] {
+            assert_eq!(diag.rule, Rule::FaultDetected);
+        }
+    }
+
+    #[test]
+    fn transient_panic_recovers_via_chunk_retry() {
+        let tape = fused_listing1();
+        let n = CHUNK_ROWS;
+        let rows = stimulus(&tape, n);
+        let clean = tape.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+        let plan = FaultPlan::single(99, FaultSite::ExecPanic, 9);
+        let (got, report) = tape.eval_batch_robust(
+            TapeBackend::BitAccurate,
+            &rows,
+            &RobustOptions::with_fault(&plan),
+        );
+        assert!(report.chunk_panics >= 1, "{report}");
+        assert!(report.chunk_retries >= 1, "{report}");
+        assert!(
+            clean
+                .iter()
+                .zip(got.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "retried chunk must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn report_is_thread_invariant() {
+        let tape = fused_listing1();
+        let n = 3 * CHUNK_ROWS + 17;
+        let rows = stimulus(&tape, n);
+        let plan = FaultPlan::new(0xDEAD)
+            .with_fault(FaultSpec::transient(FaultSite::MulCarry, 2))
+            .with_fault(FaultSpec::stuck(FaultSite::PcsCarry, 70))
+            .with_fault(FaultSpec::stuck(FaultSite::ExecPanic, 140));
+        let run = |threads: usize| {
+            plan.reset();
+            tape.eval_batch_robust(
+                TapeBackend::BitAccurate,
+                &rows,
+                &RobustOptions {
+                    threads,
+                    chunk_retries: 2,
+                    fault: Some(&plan),
+                },
+            )
+        };
+        let (out1, rep1) = run(1);
+        for threads in [4, 8] {
+            let (out, rep) = run(threads);
+            assert!(
+                out1.iter()
+                    .zip(out.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "outputs diverged at {threads} threads"
+            );
+            assert_eq!(
+                rep1.outcomes, rep.outcomes,
+                "outcomes diverged at {threads}"
+            );
+            assert_eq!(rep1.detections, rep.detections);
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`block_mux`] | the 6:1 / 11:1 result block multiplexer replacing the variable-distance shifter (Fig. 7) |
 //! | [`rounding`] | block-granular round-half-away-from-zero decision with the bounded misrounding of Sec. III-E |
 //! | [`exponent`] | excess-2047 exponent helpers (12-bit, exceeding the IEEE 754 11-bit range) |
+//! | [`residue`] | mod-3 residue arithmetic backing the self-checking datapath (DESIGN.md §10) |
 //!
 //! The value contract of every block is stated in its docs and enforced by
 //! property tests; `csfma-core` assembles these blocks into the Classic,
@@ -22,5 +23,6 @@ pub mod block_mux;
 pub mod exponent;
 pub mod lza;
 pub mod multiplier;
+pub mod residue;
 pub mod rounding;
 pub mod zero_detect;

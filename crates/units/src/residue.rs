@@ -1,0 +1,139 @@
+//! Mod-3 residue arithmetic over datapath words — the classic cheap
+//! checker for wide multipliers and adders.
+//!
+//! A residue code checks an arithmetic block by computing the same
+//! operation in a tiny ring alongside the real one: for `R = A ⊕ B` the
+//! checker verifies `R mod 3 == (A mod 3) ⊕ (B mod 3) mod 3`. The
+//! modulus 3 is the standard choice for binary datapaths because
+//! `2^2 ≡ 1 (mod 3)` makes the residue of a word a parity-weighted
+//! popcount — a few LUT levels in hardware, a handful of `%` ops here —
+//! and because **any single-bit flip is detected**: flipping bit `i`
+//! changes the word's value by `±2^i`, and `2^i mod 3 ∈ {1, 2}` is never
+//! zero.
+//!
+//! The signed variants implement the datapath's value convention
+//! (two's-complement words, carry-save pairs valued as the *signed sum*
+//! of their words — see `csfma-core::operand`): a `w`-bit signed word
+//! values `unsigned - sign_bit·2^w`, so its residue subtracts
+//! `2^w mod 3`.
+
+use csfma_bits::Bits;
+use csfma_carrysave::CsNumber;
+
+/// `2^n mod 3`: 1 for even `n`, 2 for odd `n`.
+#[inline]
+pub fn mod3_pow2(n: usize) -> u32 {
+    if n.is_multiple_of(2) {
+        1
+    } else {
+        2
+    }
+}
+
+/// Residue of a word interpreted as an unsigned integer. Exact for any
+/// width: `2^64 ≡ 1 (mod 3)`, so limbs fold with weight one (the high
+/// bits of the top limb are maintained zero by `Bits`).
+pub fn mod3(word: &Bits) -> u32 {
+    let mut r = 0u64;
+    for &limb in word.limbs() {
+        r += limb % 3;
+    }
+    (r % 3) as u32
+}
+
+/// Residue of a `w`-bit word interpreted as two's complement.
+pub fn mod3_signed(word: &Bits) -> u32 {
+    let u = mod3(word);
+    if word.sign_bit() {
+        (u + 3 - mod3_pow2(word.width())) % 3
+    } else {
+        u
+    }
+}
+
+/// Residue of a carry-save pair under the datapath's signed two-word-sum
+/// value convention: `sext(sum) + sext(carry)`.
+pub fn mod3_cs_signed(cs: &CsNumber) -> u32 {
+    (mod3_signed(cs.sum()) + mod3_signed(cs.carry())) % 3
+}
+
+/// Residue addition.
+#[inline]
+pub fn mod3_add(a: u32, b: u32) -> u32 {
+    (a + b) % 3
+}
+
+/// Residue multiplication.
+#[inline]
+pub fn mod3_mul(a: u32, b: u32) -> u32 {
+    (a * b) % 3
+}
+
+/// Residue negation.
+#[inline]
+pub fn mod3_neg(a: u32) -> u32 {
+    (3 - a) % 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn residue_of_powers_of_two() {
+        for i in 0..130usize {
+            let b = Bits::one_hot(130, i);
+            assert_eq!(mod3(&b), mod3_pow2(i), "bit {i}");
+            assert_ne!(mod3(&b), 0, "a one-hot word is never ≡ 0 (mod 3)");
+        }
+    }
+
+    #[test]
+    fn signed_residue_of_minus_one() {
+        for w in [7usize, 64, 65, 128, 131] {
+            // all-ones = -1 ≡ 2 (mod 3)
+            assert_eq!(mod3_signed(&Bits::ones(w)), 2, "width {w}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn prop_mod3_matches_u128(w in 1usize..=128, v: u128) {
+            let v = if w == 128 { v } else { v & ((1u128 << w) - 1) };
+            let b = Bits::from_u128(w, v);
+            prop_assert_eq!(mod3(&b) as u128, v % 3);
+        }
+
+        #[test]
+        fn prop_mod3_signed_matches_i128(w in 2usize..=126, v: i128) {
+            let lo = -(1i128 << (w - 1));
+            let hi = (1i128 << (w - 1)) - 1;
+            let v = lo + v.rem_euclid(hi - lo + 1);
+            let b = Bits::from_i128(w, v);
+            prop_assert_eq!(mod3_signed(&b) as i128, v.rem_euclid(3));
+        }
+
+        #[test]
+        fn prop_cs_signed_residue(w in 2usize..=100, s: i128, c: i128) {
+            let m = (1i128 << (w.min(100) - 1)) - 1;
+            let (s, c) = (s % m, c % m);
+            let cs = CsNumber::new(Bits::from_i128(w, s), Bits::from_i128(w, c));
+            prop_assert_eq!(mod3_cs_signed(&cs) as i128, (s + c).rem_euclid(3));
+        }
+
+        #[test]
+        fn prop_single_bit_flip_always_moves_the_residue(w in 1usize..=130, v: u128, pos in 0usize..130) {
+            let pos = pos % w;
+            let v = if w >= 128 { v } else { v & ((1u128 << w) - 1) };
+            let b = Bits::from_u128(w, v);
+            let mut flipped = b.clone();
+            flipped.set_bit(pos, !flipped.bit(pos));
+            prop_assert_ne!(mod3(&b), mod3(&flipped));
+            // and the same for the signed reading of the word
+            prop_assert_ne!(mod3_signed(&b), mod3_signed(&flipped));
+        }
+    }
+}

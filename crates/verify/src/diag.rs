@@ -74,6 +74,12 @@ pub enum Rule {
     DegenerateSpacing,
     /// P001: the textual datapath source failed to parse.
     ParseError,
+    /// X001: the tape compiler panicked; the graph is rejected and the
+    /// poisoned compilation is never cached.
+    CompilerPanic,
+    /// F001: a datapath self-check (mod-3 residue or recompute-compare,
+    /// DESIGN.md §10) detected a hardware fault during execution.
+    FaultDetected,
 }
 
 impl Rule {
@@ -96,6 +102,8 @@ impl Rule {
             Rule::RoundingBlock => "W004",
             Rule::DegenerateSpacing => "W005",
             Rule::ParseError => "P001",
+            Rule::CompilerPanic => "X001",
+            Rule::FaultDetected => "F001",
         }
     }
 
@@ -118,6 +126,8 @@ impl Rule {
             Rule::RoundingBlock => "rounding-block",
             Rule::DegenerateSpacing => "degenerate-spacing",
             Rule::ParseError => "parse-error",
+            Rule::CompilerPanic => "compiler-panic",
+            Rule::FaultDetected => "fault-detected",
         }
     }
 }
@@ -288,6 +298,8 @@ mod tests {
             Rule::RoundingBlock,
             Rule::DegenerateSpacing,
             Rule::ParseError,
+            Rule::CompilerPanic,
+            Rule::FaultDetected,
         ];
         let mut ids: Vec<_> = all.iter().map(|r| r.id()).collect();
         ids.sort_unstable();

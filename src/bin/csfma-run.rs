@@ -13,26 +13,31 @@
 //! usage: csfma-run [options] [FILE]
 //!
 //!   FILE           program file; '-' or none reads stdin
-//!   --backend B    f64 | bit        evaluator semantics (default: bit)
+//!   --backend B    f64 | bit | oracle   evaluator semantics (default: bit)
 //!   --fuse KIND    pcs | fcs        run the Fig. 12 fusion pass first
 //!   --batch N      evaluate N random input rows (default: 1)
 //!   --threads T    worker threads for the batch (default: 1)
 //!   --seed S       stimulus RNG seed (default: 42)
 //!   --range LO HI  uniform stimulus range (default: -1000 1000)
+//!   --fault-seed N run the robust self-checking executor with a seeded
+//!                  demo fault campaign (see DESIGN.md §10)
 //!   --no-opt       compile without the post-gate tape optimizer
 //!   --verbose      print the compiled tape before running
 //! ```
 //!
 //! Exit status: 0 on success, 1 when compilation is refused by the
-//! static checker, 2 on usage/IO/parse errors.
+//! static checker, 2 on usage/IO/parse errors, 3 when the robust
+//! executor observed faults during execution (detections, panics, or
+//! quarantined rows — the `BatchReport` summary goes to stderr).
 
 use std::io::Read as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use csfma_core::fault::{FaultPlan, FaultSite, FaultSpec};
 use csfma_hls::{
     compile_cached_with, fuse_critical_paths, parse_program, CompileOptions, FmaKind, FusionConfig,
-    Instr, Tape, TapeBackend,
+    Instr, RobustOptions, RowOutcome, Tape, TapeBackend,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -47,12 +52,14 @@ struct Options {
     hi: f64,
     optimize: bool,
     verbose: bool,
+    fault_seed: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: csfma-run [--backend f64|bit] [--fuse pcs|fcs] [--batch N] \
-         [--threads T] [--seed S] [--range LO HI] [--no-opt] [--verbose] [FILE]"
+        "usage: csfma-run [--backend f64|bit|oracle] [--fuse pcs|fcs] [--batch N] \
+         [--threads T] [--seed S] [--range LO HI] [--fault-seed N] [--no-opt] \
+         [--verbose] [FILE]"
     );
     std::process::exit(2);
 }
@@ -69,6 +76,7 @@ fn parse_args() -> Options {
         hi: 1000.0,
         optimize: true,
         verbose: false,
+        fault_seed: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,6 +91,7 @@ fn parse_args() -> Options {
                 opts.backend = match args.next().as_deref() {
                     Some("f64") => TapeBackend::F64,
                     Some("bit") => TapeBackend::BitAccurate,
+                    Some("oracle") => TapeBackend::Oracle,
                     _ => usage(),
                 }
             }
@@ -103,6 +112,7 @@ fn parse_args() -> Options {
                     usage();
                 }
             }
+            "--fault-seed" => opts.fault_seed = Some(num(&mut args) as u64),
             "--no-opt" => opts.optimize = false,
             "--verbose" => opts.verbose = true,
             "--help" | "-h" => usage(),
@@ -255,7 +265,45 @@ fn main() -> ExitCode {
         .collect();
 
     let start = Instant::now();
-    let out = tape.eval_batch(opts.backend, &rows, opts.threads);
+    let (out, faulted) = match opts.fault_seed {
+        None => (tape.eval_batch(opts.backend, &rows, opts.threads), false),
+        Some(fseed) => {
+            let plan = demo_fault_plan(fseed, opts.batch as u64);
+            // injected ExecPanic faults are caught and recovered by the
+            // robust executor; keep their backtraces off the terminal
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let (out, report) = tape.eval_batch_robust(
+                opts.backend,
+                &rows,
+                &RobustOptions {
+                    threads: opts.threads,
+                    chunk_retries: 2,
+                    fault: Some(&plan),
+                },
+            );
+            std::panic::set_hook(default_hook);
+            eprintln!(
+                "fault campaign: seed {fseed}, {} fault(s) armed, {} strike(s)",
+                plan.specs().len(),
+                plan.total_fired(),
+            );
+            eprintln!("batch report: {report}");
+            for (row, diag) in report.quarantined() {
+                eprintln!("quarantined row {row}: {diag}");
+            }
+            let recovered = report
+                .outcomes
+                .iter()
+                .filter(|o| matches!(o, RowOutcome::Recovered { .. }))
+                .count();
+            if recovered > 0 {
+                eprintln!("{recovered} row(s) recovered bit-identically via the fallback ladder");
+            }
+            let faulted = report.has_faults();
+            (out, faulted)
+        }
+    };
     let dt = start.elapsed();
 
     // show the first row symbolically, then the digest of everything
@@ -272,5 +320,33 @@ fn main() -> ExitCode {
         per_row * 1e6,
         digest(&out),
     );
-    ExitCode::SUCCESS
+    if faulted {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `--fault-seed` demo campaign: one single-bit transient fault about
+/// every 13th row, cycling through the mantissa-datapath sites plus the
+/// exponent path and an executor panic — enough to exercise every rung
+/// of the degradation ladder on a modest batch.
+fn demo_fault_plan(seed: u64, rows: u64) -> FaultPlan {
+    const SITES: [FaultSite; 6] = [
+        FaultSite::MulSum,
+        FaultSite::MulCarry,
+        FaultSite::PcsCarry,
+        FaultSite::BlockSelect,
+        FaultSite::ExpField,
+        FaultSite::ExecPanic,
+    ];
+    let mut plan = FaultPlan::new(seed);
+    let mut row = seed % 13;
+    let mut k = seed as usize;
+    while row < rows {
+        plan = plan.with_fault(FaultSpec::transient(SITES[k % SITES.len()], row));
+        k += 1;
+        row += 13;
+    }
+    plan
 }

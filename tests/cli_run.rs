@@ -124,3 +124,48 @@ fn unknown_flag_is_a_usage_error() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("usage:"));
 }
+
+#[test]
+fn oracle_backend_digest_matches_bit_accurate() {
+    let src = "x1 = a*b + c*d;\nout y = e*f + g*x1;\n";
+    let bit = run(&["--fuse", "pcs", "--batch", "64", "--backend", "bit"], src);
+    let oracle = run(
+        &["--fuse", "pcs", "--batch", "64", "--backend", "oracle"],
+        src,
+    );
+    assert_eq!(bit.status.code(), Some(0), "stderr: {}", stderr(&bit));
+    assert_eq!(oracle.status.code(), Some(0), "stderr: {}", stderr(&oracle));
+    assert_eq!(
+        digest_of(&stdout(&bit)),
+        digest_of(&stdout(&oracle)),
+        "oracle backend must be bit-identical to bit-accurate"
+    );
+}
+
+#[test]
+fn fault_seed_reports_campaign_and_exits_three() {
+    let src = "x1 = a*b + c*d;\nout y = e*f + g*x1;\n";
+    let out = run(
+        &["--fuse", "pcs", "--batch", "200", "--fault-seed", "7"],
+        src,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "execution faults must exit 3; stderr: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains("fault campaign: seed 7"), "{err}");
+    assert!(err.contains("batch report:"), "{err}");
+    assert!(err.contains("recovered"), "{err}");
+
+    // recovered outputs are bit-identical: the digest matches a clean run
+    let clean = run(&["--fuse", "pcs", "--batch", "200"], src);
+    assert_eq!(clean.status.code(), Some(0));
+    assert_eq!(
+        digest_of(&stdout(&out)),
+        digest_of(&stdout(&clean)),
+        "fallback ladder must reproduce clean bits"
+    );
+}
