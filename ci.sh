@@ -9,10 +9,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace
 cargo bench --no-run
 
+# rustdoc is part of the deliverable: every public item documented,
+# every intra-doc link resolving (crates/hls, crates/verify and
+# crates/obs carry #![warn(missing_docs)])
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# the observability layer must build and pass its unit tests with the
+# instrumentation compiled out (the zero-overhead configuration)
+cargo test -q -p csfma-obs --no-default-features
+
 # batch execution engine smoke: compile every example datapath and run a
-# tiny batch through both backends (exit 1 on checker errors or panics)
+# tiny batch through both backends (exit 1 on checker errors or panics);
+# the profiled run must produce the same digest as the plain one (the
+# observability determinism contract, DESIGN.md §11)
 for f in examples/datapaths/*.csfma; do
-    cargo run -q --bin csfma-run -- --fuse pcs --batch 16 --threads 2 "$f" > /dev/null
+    plain=$(cargo run -q --bin csfma-run -- --fuse pcs --batch 16 --threads 2 "$f")
+    prof=$(cargo run -q --bin csfma-run -- --profile=json --fuse pcs --batch 16 --threads 2 "$f")
+    d1=$(printf '%s\n' "$plain" | sed -n 's/.*digest //p')
+    d2=$(printf '%s\n' "$prof" | sed -n 's/.*digest //p')
+    [ -n "$d1" ] && [ "$d1" = "$d2" ] || { echo "ci: --profile changed digest on $f ($d1 vs $d2)" >&2; exit 1; }
     cargo run -q --bin csfma-run -- --backend f64 --batch 16 "$f" > /dev/null
 done
 

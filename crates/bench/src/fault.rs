@@ -32,9 +32,10 @@
 
 use csfma_core::fault::{FaultPlan, FaultSite, FaultSpec};
 use csfma_hls::{
-    compile, fuse_critical_paths, parse_program, FmaKind, FusionConfig, RobustOptions, RowOutcome,
-    Tape, TapeBackend,
+    compile, fuse_critical_paths, parse_program, FmaKind, FusionConfig, Profiler, RobustOptions,
+    RowOutcome, Tape, TapeBackend,
 };
+use csfma_obs::time_us;
 
 /// What one site's sweep did, row by row.
 #[derive(Clone, Debug)]
@@ -65,6 +66,11 @@ pub struct SiteReport {
     pub checked: bool,
     /// Outputs and outcomes were identical at 1 and 4 worker threads.
     pub thread_invariant: bool,
+    /// Single-threaded robust-executor wall time per row, microseconds —
+    /// read from the engine's `eval_robust` observability span, the same
+    /// instrumentation `bench::throughput` and `csfma-run --profile`
+    /// consume (a `time_us` stopwatch is the obs-disabled fallback).
+    pub eval_us_per_row: f64,
 }
 
 impl SiteReport {
@@ -149,19 +155,28 @@ pub fn run_campaign(rows: usize, seed: u64) -> FaultCampaign {
         }
         let run = |threads: usize| {
             plan.reset();
-            tape.eval_batch_robust(
-                TapeBackend::BitAccurate,
-                &stim,
-                &RobustOptions {
-                    threads,
-                    chunk_retries: 2,
-                    fault: Some(&plan),
-                },
-            )
+            let mut prof = Profiler::new();
+            let ((out, report), wall_us) = time_us(|| {
+                tape.eval_batch_robust_profiled(
+                    TapeBackend::BitAccurate,
+                    &stim,
+                    &RobustOptions {
+                        threads,
+                        chunk_retries: 2,
+                        fault: Some(&plan),
+                    },
+                    &mut prof,
+                )
+            });
+            let eval_us = prof
+                .finish()
+                .stage("eval_robust")
+                .map_or(wall_us, |s| s.wall_us);
+            (out, report, eval_us)
         };
-        let (out, report) = run(1);
+        let (out, report, eval_us) = run(1);
         let fired_rows: Vec<bool> = (0..rows).map(|r| plan.fired(r) > 0).collect();
-        let (out4, report4) = run(4);
+        let (out4, report4, _) = run(4);
         let thread_invariant = out
             .iter()
             .zip(out4.iter())
@@ -180,6 +195,7 @@ pub fn run_campaign(rows: usize, seed: u64) -> FaultCampaign {
             chunk_panics: report.chunk_panics,
             checked: site != FaultSite::TapeReg,
             thread_invariant,
+            eval_us_per_row: eval_us / rows as f64,
         };
         for r in 0..rows {
             if !fired_rows[r] {
@@ -230,6 +246,7 @@ pub fn to_json(c: &FaultCampaign) -> String {
         let _ = writeln!(s, "      \"detection_rate\": {:.4},", r.detection_rate());
         let _ = writeln!(s, "      \"checker_findings\": {},", r.checker_findings);
         let _ = writeln!(s, "      \"chunk_panics\": {},", r.chunk_panics);
+        let _ = writeln!(s, "      \"eval_us_per_row\": {:.4},", r.eval_us_per_row);
         let _ = writeln!(s, "      \"thread_invariant\": {}", r.thread_invariant);
         let _ = writeln!(s, "    }}{}", if i + 1 < c.sites.len() { "," } else { "" });
     }

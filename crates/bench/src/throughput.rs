@@ -6,7 +6,7 @@
 //! * the **scalar oracle** (`eval_f64` / `eval_bit_accurate`) walking the
 //!   graph per input vector with `HashMap` plumbing — the semantics
 //!   definition, and the baseline every speedup is quoted against;
-//! * the **compiled tape** ([`csfma_hls::compile`]) at 1, 2 and 8 worker
+//! * the **compiled tape** ([`mod@csfma_hls::compile`]) at 1, 2 and 8 worker
 //!   threads via [`Tape::eval_batch`];
 //! * one-time costs: cold compile versus a [`compile_cached`] hit;
 //! * a **bitwise-equality audit** of tape output against the scalar
@@ -19,14 +19,15 @@
 //! the JSON never silently pretends full coverage.
 
 use csfma_hls::{
-    compile, compile_cached, fuse_critical_paths,
+    compile_cached, compile_with_options_profiled, fuse_critical_paths,
     interp::{eval_bit_accurate, eval_f64},
-    parse_program, tape_cache_stats, Cdfg, FmaKind, FusionConfig, Tape, TapeBackend,
+    parse_program, tape_cache_stats, Cdfg, CompileOptions, FmaKind, FusionConfig, Profiler, Tape,
+    TapeBackend,
 };
+use csfma_obs::time_us;
 use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Measurement for one (datapath, backend) pair.
 #[derive(Clone, Debug)]
@@ -109,13 +110,19 @@ fn scalar_eval(
 pub fn throughput(rows: usize, scalar_cap: usize, seed: u64) -> Vec<ThroughputRow> {
     let mut out = Vec::new();
     for (name, g) in bench_graphs() {
-        let t0 = Instant::now();
-        let tape = compile(&g).expect("benchmark graphs are checker-clean");
-        let compile_us = t0.elapsed().as_secs_f64() * 1e6;
+        // timings come from the engine's own observability layer (the
+        // `compile` stage span), not a private stopwatch; the time_us
+        // wrapper is the fallback for obs-disabled builds
+        let mut prof = Profiler::new();
+        let (tape, compile_wall_us) =
+            time_us(|| compile_with_options_profiled(&g, CompileOptions::default(), &mut prof));
+        let tape = tape.expect("benchmark graphs are checker-clean");
+        let compile_us = prof
+            .finish()
+            .stage("compile")
+            .map_or(compile_wall_us, |s| s.wall_us);
         let _warm = compile_cached(&g).expect("cache warm-up");
-        let t1 = Instant::now();
-        let _hit = compile_cached(&g).expect("cache hit");
-        let cached_compile_us = t1.elapsed().as_secs_f64() * 1e6;
+        let (_hit, cached_compile_us) = time_us(|| compile_cached(&g).expect("cache hit"));
 
         let ni = tape.num_inputs();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -153,26 +160,31 @@ fn measure(
     let audit_rows = rows.min(scalar_cap).max(1);
 
     // scalar oracle over the audited subset
-    let t0 = Instant::now();
-    let mut oracle_out: Vec<HashMap<String, f64>> = Vec::with_capacity(audit_rows);
-    for r in 0..audit_rows {
-        let m: HashMap<String, f64> = tape
-            .input_names()
-            .iter()
-            .enumerate()
-            .map(|(k, n)| (n.clone(), stim[r * ni + k]))
-            .collect();
-        oracle_out.push(scalar_eval(g, backend, &m));
-    }
-    let scalar_us = t0.elapsed().as_secs_f64() * 1e6 / audit_rows as f64;
+    let (oracle_out, scalar_total_us) = time_us(|| {
+        let mut oracle_out: Vec<HashMap<String, f64>> = Vec::with_capacity(audit_rows);
+        for r in 0..audit_rows {
+            let m: HashMap<String, f64> = tape
+                .input_names()
+                .iter()
+                .enumerate()
+                .map(|(k, n)| (n.clone(), stim[r * ni + k]))
+                .collect();
+            oracle_out.push(scalar_eval(g, backend, &m));
+        }
+        oracle_out
+    });
+    let scalar_us = scalar_total_us / audit_rows as f64;
 
-    // compiled tape over the full batch at each worker count
+    // compiled tape over the full batch at each worker count; per-run
+    // wall time is the engine's own `eval` stage span (time_us is the
+    // obs-disabled fallback)
     let mut tape_us = Vec::new();
     let mut batch_out = Vec::new();
     for threads in [1usize, 2, 8] {
-        let t0 = Instant::now();
-        let got = tape.eval_batch(backend, stim, threads);
-        let dt = t0.elapsed().as_secs_f64() * 1e6 / rows as f64;
+        let mut prof = Profiler::new();
+        let (got, wall_us) =
+            time_us(|| tape.eval_batch_profiled(backend, stim, threads, &mut prof));
+        let dt = prof.finish().stage("eval").map_or(wall_us, |s| s.wall_us) / rows as f64;
         tape_us.push((threads, dt));
         if threads == 1 {
             batch_out = got;

@@ -29,6 +29,7 @@ mod classic;
 mod dot;
 pub mod fault;
 mod format;
+pub mod obs;
 mod operand;
 mod pipeline;
 mod reference;
@@ -39,6 +40,7 @@ pub use chain::{run_recurrence_exact, run_recurrence_softfloat, ChainEvaluator, 
 pub use classic::ClassicFma;
 pub use dot::CsDotUnit;
 pub use format::{CsFmaFormat, Normalizer};
+pub use obs::{unit_op_counts, UnitOpCounts};
 pub use operand::CsOperand;
 pub use pipeline::PipelinedFma;
 pub use reference::{exact_fma, ulp_error_vs_exact};

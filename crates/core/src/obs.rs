@@ -1,0 +1,43 @@
+//! Process-wide behavioral-unit op counters (the `obs` feature).
+//!
+//! One relaxed atomic increment per FMA call — noise next to the
+//! compressor-tree work a call performs — keyed by architecture class:
+//! classic (Fig. 4), PCS (partial carry-save, `carry_spacing = Some`),
+//! FCS (full carry-save, `carry_spacing = None`). All increments are
+//! no-ops when the `obs` feature is compiled out.
+
+use csfma_obs::Counter;
+
+pub(crate) static CLASSIC_FMA_OPS: Counter = Counter::new();
+pub(crate) static PCS_FMA_OPS: Counter = Counter::new();
+pub(crate) static FCS_FMA_OPS: Counter = Counter::new();
+
+/// Snapshot of the per-architecture FMA op counters (all zeros when the
+/// `obs` feature is compiled out).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitOpCounts {
+    /// Calls through [`ClassicFma::fma`](crate::ClassicFma::fma).
+    pub classic: u64,
+    /// [`CsFmaUnit`](crate::CsFmaUnit) calls on a partial carry-save
+    /// format (`carry_spacing = Some(_)`: PCS-ZD and PCS-LZA).
+    pub pcs: u64,
+    /// [`CsFmaUnit`](crate::CsFmaUnit) calls on a full carry-save format
+    /// (`carry_spacing = None`: FCS).
+    pub fcs: u64,
+}
+
+impl UnitOpCounts {
+    /// Total behavioral FMA calls across all architectures.
+    pub fn total(&self) -> u64 {
+        self.classic + self.pcs + self.fcs
+    }
+}
+
+/// Read the process-wide per-architecture FMA op counters.
+pub fn unit_op_counts() -> UnitOpCounts {
+    UnitOpCounts {
+        classic: CLASSIC_FMA_OPS.get(),
+        pcs: PCS_FMA_OPS.get(),
+        fcs: FCS_FMA_OPS.get(),
+    }
+}

@@ -32,7 +32,7 @@
 //!
 //! [`Tape::eval_batch`] evaluates many input vectors with deterministic
 //! chunked work distribution
-//! ([`par_chunks_indexed`](csfma_core::batch::par_chunks_indexed)):
+//! ([`par_chunks_indexed`]):
 //! results are bitwise identical for any worker count.
 //!
 //! Compilation is **gated on the static checker**: a graph carrying
@@ -45,9 +45,11 @@ use crate::cdfg::{Cdfg, FmaKind, Op};
 use crate::interp::format_of;
 use crate::lint::{lint_dataflow, lint_schedule};
 use crate::opt::{optimize_graph, OptStats};
+use crate::profile;
 use crate::sched::{OpTiming, ResourceLimits, Schedule};
 use csfma_core::batch::{par_chunks_indexed, CHUNK_ROWS};
 use csfma_core::{CsFmaFormat, CsFmaUnit, CsOperand, FmaScratch};
+use csfma_obs::Profiler;
 use csfma_softfloat::batch as sfb;
 use csfma_softfloat::{FpFormat, Round, SoftFloat};
 use csfma_verify::{check_format, Diagnostic, Rule, Severity, Span};
@@ -119,19 +121,62 @@ pub enum TapeBackend {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Instr {
     /// `r[dst] = row[input]`
-    LoadInput { dst: u32, input: u32 },
+    LoadInput {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Index into the row's input values.
+        input: u32,
+    },
     /// `r[dst] = consts[idx]`
-    LoadConst { dst: u32, idx: u32 },
+    LoadConst {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Index into the tape's constant pool.
+        idx: u32,
+    },
     /// `r[dst] = r[a] + r[b]`
-    Add { dst: u32, a: u32, b: u32 },
+    Add {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
     /// `r[dst] = r[a] - r[b]`
-    Sub { dst: u32, a: u32, b: u32 },
+    Sub {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
     /// `r[dst] = r[a] * r[b]`
-    Mul { dst: u32, a: u32, b: u32 },
+    Mul {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
     /// `r[dst] = r[a] / r[b]`
-    Div { dst: u32, a: u32, b: u32 },
+    Div {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Dividend slot.
+        a: u32,
+        /// Divisor slot.
+        b: u32,
+    },
     /// `r[dst] = -r[a]`
-    Neg { dst: u32, a: u32 },
+    Neg {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Operand slot.
+        a: u32,
+    },
     /// `c[dst] = fma(c[acc], ±r[b], c[mulc])` on the unit for `kind`
     Fma {
         /// Target unit.
@@ -148,11 +193,28 @@ pub enum Instr {
         mulc: u32,
     },
     /// `c[dst] = ieee_to_cs(r[src])` in `kind`'s transport format
-    IeeeToCs { kind: FmaKind, dst: u32, src: u32 },
+    IeeeToCs {
+        /// Carry-save format family to convert into.
+        kind: FmaKind,
+        /// Destination carry-save slot.
+        dst: u32,
+        /// Source binary64 slot.
+        src: u32,
+    },
     /// `r[dst] = cs_to_ieee(c[src])` (resolve + normalize + round)
-    CsToIeee { dst: u32, src: u32 },
+    CsToIeee {
+        /// Destination binary64 slot.
+        dst: u32,
+        /// Source carry-save slot.
+        src: u32,
+    },
     /// `out[output] = r[src]`
-    Store { output: u32, src: u32 },
+    Store {
+        /// Index into the row's output values.
+        output: u32,
+        /// Source binary64 slot.
+        src: u32,
+    },
 }
 
 /// A compiled datapath: flat instructions over dense register slots.
@@ -288,11 +350,29 @@ pub fn compile(g: &Cdfg) -> Result<Tape, CompileError> {
 
 /// [`compile`] with explicit [`CompileOptions`].
 pub fn compile_with_options(g: &Cdfg, opts: CompileOptions) -> Result<Tape, CompileError> {
+    compile_with_options_profiled(g, opts, &mut Profiler::disabled())
+}
+
+/// [`compile_with_options`], recording `compile` → `gate` / `optimize` /
+/// `lower` stage spans and optimizer counters into `prof`. The
+/// non-profiled entry points are this function with a disabled profiler;
+/// instrumentation never changes the produced tape.
+pub fn compile_with_options_profiled(
+    g: &Cdfg,
+    opts: CompileOptions,
+    prof: &mut Profiler,
+) -> Result<Tape, CompileError> {
     #[cfg(test)]
     if PANIC_NEXT_COMPILE.swap(false, Ordering::Relaxed) {
         panic!("injected compiler panic (test hook)");
     }
-    compile_with_formats_and_options(g, format_of(FmaKind::Pcs), format_of(FmaKind::Fcs), opts)
+    compile_with_formats_and_options_profiled(
+        g,
+        format_of(FmaKind::Pcs),
+        format_of(FmaKind::Fcs),
+        opts,
+        prof,
+    )
 }
 
 /// Test hook: make the next [`compile_with_options`] call panic, to
@@ -324,6 +404,26 @@ pub fn compile_with_formats_and_options(
     fcs_format: CsFmaFormat,
     opts: CompileOptions,
 ) -> Result<Tape, CompileError> {
+    compile_with_formats_and_options_profiled(
+        g,
+        pcs_format,
+        fcs_format,
+        opts,
+        &mut Profiler::disabled(),
+    )
+}
+
+/// [`compile_with_formats_and_options`] with stage spans and counters
+/// recorded into `prof` (see [`compile_with_options_profiled`]).
+pub fn compile_with_formats_and_options_profiled(
+    g: &Cdfg,
+    pcs_format: CsFmaFormat,
+    fcs_format: CsFmaFormat,
+    opts: CompileOptions,
+    prof: &mut Profiler,
+) -> Result<Tape, CompileError> {
+    let compile_tok = prof.enter("compile");
+    let gate_tok = prof.enter("gate");
     let mut diags = errors_only(match g.validate_diagnostics() {
         Ok(()) => Vec::new(),
         Err(d) => d,
@@ -348,10 +448,14 @@ pub fn compile_with_formats_and_options(
             diags.extend(errors_only(check_format(fmt)));
         }
     }
+    prof.exit(gate_tok);
     if !diags.is_empty() {
+        prof.exit(compile_tok);
         return Err(CompileError { diagnostics: diags });
     }
-    Ok(build_tape(g, pcs_format, fcs_format, opts))
+    let tape = build_tape(g, pcs_format, fcs_format, opts, prof);
+    prof.exit(compile_tok);
+    Ok(tape)
 }
 
 /// Optimize (optionally) and lower a gated graph. The tape identity
@@ -362,38 +466,53 @@ fn build_tape(
     pcs_format: CsFmaFormat,
     fcs_format: CsFmaFormat,
     opts: CompileOptions,
+    prof: &mut Profiler,
 ) -> Tape {
-    let t0 = std::time::Instant::now();
-    let mut stats = OptStats {
-        nodes_before: g.len(),
-        nodes_after: g.len(),
-        ..Default::default()
-    };
-    let optimized;
-    let mut origin: Option<Vec<u32>> = None;
-    let lowered_from = if opts.optimize {
-        let (og, s, o) = optimize_graph(g);
-        stats = s;
-        origin = Some(o);
-        optimized = og;
-        &optimized
-    } else {
-        g
-    };
-    let mut tape = lower(lowered_from, pcs_format, fcs_format);
-    if let Some(origin) = &origin {
-        // re-express per-instruction provenance in source-graph node ids
-        for n in &mut tape.instr_nodes {
-            *n = origin[*n as usize];
+    let (mut tape, build_us) = csfma_obs::time_us(|| {
+        let mut stats = OptStats {
+            nodes_before: g.len(),
+            nodes_after: g.len(),
+            ..Default::default()
+        };
+        let optimized;
+        let mut origin: Option<Vec<u32>> = None;
+        let lowered_from = if opts.optimize {
+            let opt_tok = prof.enter("optimize");
+            let (og, s, o) = optimize_graph(g);
+            prof.exit(opt_tok);
+            stats = s;
+            origin = Some(o);
+            optimized = og;
+            &optimized
+        } else {
+            g
+        };
+        let lower_tok = prof.enter("lower");
+        let mut tape = lower(lowered_from, pcs_format, fcs_format);
+        if let Some(origin) = &origin {
+            // re-express per-instruction provenance in source-graph node ids
+            for n in &mut tape.instr_nodes {
+                *n = origin[*n as usize];
+            }
         }
-    }
-    if opts.optimize {
-        stats.dead_slots_removed = eliminate_dead_slots(&mut tape.instrs, &mut tape.instr_nodes);
-    }
-    stats.optimize_us = t0.elapsed().as_secs_f64() * 1e6;
+        if opts.optimize {
+            stats.dead_slots_removed =
+                eliminate_dead_slots(&mut tape.instrs, &mut tape.instr_nodes);
+        }
+        prof.exit(lower_tok);
+        tape.opt = stats;
+        tape
+    });
+    tape.opt.optimize_us = build_us;
     tape.fingerprint = graph_fingerprint(g);
     tape.source_nodes = g.len();
-    tape.opt = stats;
+    prof.set_counter("opt_nodes_before", tape.opt.nodes_before as f64);
+    prof.set_counter("opt_nodes_after", tape.opt.nodes_after as f64);
+    prof.set_counter("opt_consts_folded", tape.opt.consts_folded as f64);
+    prof.set_counter("opt_cse_merged", tape.opt.cse_merged as f64);
+    prof.set_counter("opt_dead_removed", tape.opt.dead_removed as f64);
+    prof.set_counter("opt_dead_slots_removed", tape.opt.dead_slots_removed as f64);
+    prof.set_counter("tape_instrs", tape.instrs.len() as f64);
     tape
 }
 
@@ -913,6 +1032,7 @@ impl Tape {
             |scratch, chunk_idx, chunk| {
                 let base = chunk_idx * CHUNK_ROWS;
                 let len = chunk.len() / no;
+                profile::record_chunk_occupancy(len, CHUNK_ROWS);
                 match backend {
                     TapeBackend::F64 => self.eval_chunk_f64(rows, base, len, chunk, scratch),
                     TapeBackend::BitAccurate => {
@@ -922,6 +1042,68 @@ impl Tape {
                 }
             },
         );
+        out
+    }
+
+    /// [`Tape::eval_batch`] wrapped in an `eval` stage span, with
+    /// throughput, chunk, hosted-fast-path and per-FMA-architecture
+    /// counters recorded into `prof`. The output vector is byte-identical
+    /// to the unprofiled call — instrumentation only observes.
+    ///
+    /// The op counters are deltas of process-wide tallies taken around
+    /// this call; when other threads evaluate batches concurrently their
+    /// ops land in whichever profiler is live, so treat them as
+    /// per-process traffic attribution, not an exact per-call census.
+    pub fn eval_batch_profiled(
+        &self,
+        backend: TapeBackend,
+        rows: &[f64],
+        threads: usize,
+        prof: &mut Profiler,
+    ) -> Vec<f64> {
+        let hosted0 = profile::hosted_ops();
+        let fallback0 = sfb::softfloat_fallbacks();
+        let units0 = csfma_core::unit_op_counts();
+        let occ0 = profile::chunk_occupancy();
+
+        let eval_tok = prof.enter("eval");
+        let (out, wall_us) = csfma_obs::time_us(|| self.eval_batch(backend, rows, threads));
+        prof.exit(eval_tok);
+
+        let n = rows.len() / self.inputs.len();
+        prof.set_counter("rows", n as f64);
+        prof.set_counter("threads", threads as f64);
+        if wall_us > 0.0 {
+            prof.set_counter("rows_per_sec", n as f64 / (wall_us * 1e-6));
+        }
+        prof.set_counter("chunks", n.div_ceil(CHUNK_ROWS) as f64);
+        let occ = profile::chunk_occupancy();
+        let (mut full, mut partial) = (0u64, 0u64);
+        for (i, (a, b)) in occ0.iter().zip(occ.iter()).enumerate() {
+            let d = b - a;
+            if i == 9 {
+                full += d;
+            } else {
+                partial += d;
+            }
+        }
+        prof.set_counter("chunks_full", full as f64);
+        prof.set_counter("chunks_partial", partial as f64);
+
+        let hosted = profile::hosted_ops() - hosted0;
+        let fallbacks = sfb::softfloat_fallbacks() - fallback0;
+        prof.set_counter("hosted_ops", hosted as f64);
+        prof.set_counter("softfloat_fallbacks", fallbacks as f64);
+        if hosted > 0 {
+            prof.set_counter(
+                "hosted_hit_rate",
+                1.0 - fallbacks.min(hosted) as f64 / hosted as f64,
+            );
+        }
+        let units = csfma_core::unit_op_counts();
+        prof.set_counter("fma_ops_classic", (units.classic - units0.classic) as f64);
+        prof.set_counter("fma_ops_pcs", (units.pcs - units0.pcs) as f64);
+        prof.set_counter("fma_ops_fcs", (units.fcs - units0.fcs) as f64);
         out
     }
 
@@ -1036,6 +1218,7 @@ impl Tape {
         let no = self.outputs.len();
         const W: usize = CHUNK_ROWS;
         let p = |r: u32| r as usize * W;
+        profile::count_hosted_chunk(&self.instrs, len);
         for ins in &self.instrs {
             match *ins {
                 Instr::LoadInput { dst, input } => {
@@ -1330,24 +1513,57 @@ pub fn compile_cached(g: &Cdfg) -> Result<Arc<Tape>, CompileError> {
 /// the canonical encoding extended with the option bits, so optimized
 /// and unoptimized tapes of the same graph are distinct entries.
 pub fn compile_cached_with(g: &Cdfg, opts: CompileOptions) -> Result<Arc<Tape>, CompileError> {
+    compile_cached_with_profiled(g, opts, &mut Profiler::disabled())
+}
+
+/// [`compile_cached_with`] with stage spans and tape-cache counters
+/// recorded into `prof`: a `cache_lookup` span for the keyed probe, then
+/// (on a miss) the full `compile` span tree of
+/// [`compile_with_options_profiled`]. The `tape_cache_*` counters are
+/// the process-wide totals after this call.
+pub fn compile_cached_with_profiled(
+    g: &Cdfg,
+    opts: CompileOptions,
+    prof: &mut Profiler,
+) -> Result<Arc<Tape>, CompileError> {
+    let result = compile_cached_with_inner(g, opts, prof);
+    let stats = tape_cache_stats();
+    prof.set_counter("tape_cache_hits", stats.hits as f64);
+    prof.set_counter("tape_cache_misses", stats.misses as f64);
+    prof.set_counter("tape_cache_evictions", stats.evictions as f64);
+    prof.set_counter("tape_cache_entries", stats.entries as f64);
+    result
+}
+
+fn compile_cached_with_inner(
+    g: &Cdfg,
+    opts: CompileOptions,
+    prof: &mut Profiler,
+) -> Result<Arc<Tape>, CompileError> {
     let mut key = canonical_encoding(g);
     key.push(opts.optimize as u8);
     {
+        let lookup_tok = prof.enter("cache_lookup");
         let mut st = cache();
         st.tick += 1;
         let tick = st.tick;
         if let Some((t, stamp)) = st.map.get_mut(&key) {
             *stamp = tick;
             CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(t));
+            let shared = Arc::clone(t);
+            drop(st);
+            prof.exit(lookup_tok);
+            return Ok(shared);
         }
+        drop(st);
+        prof.exit(lookup_tok);
     }
     // compile outside the lock; a racing duplicate insert is harmless
     // (both tapes are identical) and the first one wins. The compiler
     // runs under `catch_unwind` so an internal bug surfaces as a
     // structured X001 error and the poisoned attempt is never cached.
     let compiled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compile_with_options(g, opts)
+        compile_with_options_profiled(g, opts, prof)
     }));
     let mut tape = match compiled {
         Ok(result) => result?,

@@ -16,7 +16,7 @@
 //! * [`interp`] — reference (f64) and bit-accurate (soft-float +
 //!   behavioral FMA) interpreters, used to prove the pass preserves
 //!   semantics,
-//! * [`compile`] — the batch execution engine: a one-time lowering of a
+//! * [`compile`](mod@compile) — the batch execution engine: a one-time lowering of a
 //!   validated graph to a flat register-slot instruction [`Tape`]
 //!   (cached by graph identity) with `f64` and bit-accurate backends and
 //!   deterministic parallel [`Tape::eval_batch`],
@@ -27,6 +27,8 @@
 //!   rewrite passes re-run the checker after every trial rewrite in
 //!   debug builds.
 
+#![warn(missing_docs)]
+
 pub mod cdfg;
 pub mod compile;
 pub mod fuse;
@@ -36,13 +38,15 @@ pub mod opt;
 pub mod optimize;
 pub mod parser;
 pub mod printer;
+pub mod profile;
 pub mod robust;
 pub mod sched;
 
 pub use cdfg::{Cdfg, Domain, FmaKind, NodeId, Op};
 pub use compile::{
-    clear_tape_cache, compile, compile_cached, compile_cached_with, compile_scheduled,
-    compile_with_formats, compile_with_formats_and_options, compile_with_options,
+    clear_tape_cache, compile, compile_cached, compile_cached_with, compile_cached_with_profiled,
+    compile_scheduled, compile_with_formats, compile_with_formats_and_options,
+    compile_with_formats_and_options_profiled, compile_with_options, compile_with_options_profiled,
     graph_fingerprint, set_tape_cache_capacity, tape_cache_stats, CompileError, CompileOptions,
     Instr, Tape, TapeBackend, TapeCacheStats, TapeScratch, DEFAULT_TAPE_CACHE_CAPACITY,
 };
@@ -52,6 +56,7 @@ pub use opt::OptStats;
 pub use optimize::{optimize, OptimizeReport};
 pub use parser::{parse_program, ParseError};
 pub use printer::to_source;
+pub use profile::{PipelineReport, Profiler, StageRecord};
 pub use robust::{BatchReport, RobustOptions, RowOutcome};
 pub use sched::{
     alap_schedule, asap_schedule, critical_path, list_schedule, occupancy_chart, OpTiming,

@@ -1,0 +1,78 @@
+//! Pipeline observability: the glue between the engine and `csfma-obs`.
+//!
+//! Every `*_profiled` entry point in this crate
+//! ([`compile_with_options_profiled`](crate::compile_with_options_profiled),
+//! [`Tape::eval_batch_profiled`](crate::Tape::eval_batch_profiled),
+//! [`Tape::eval_batch_robust_profiled`](crate::Tape::eval_batch_robust_profiled))
+//! takes a `&mut` [`Profiler`] and records hierarchical stage spans
+//! (`compile` → `gate`/`optimize`/`lower`, `eval`) plus counters; the
+//! caller finishes the profiler into a [`PipelineReport`]. The
+//! non-profiled entry points delegate to the profiled ones with
+//! [`Profiler::disabled`], so there is exactly one code path and the
+//! byte-identity contract (`tests/observability.rs`) holds by
+//! construction.
+//!
+//! This module also owns the process-wide executor counters that are too
+//! hot to thread a profiler through: hosted-FPU op totals (tallied once
+//! per instruction per chunk, not per lane) and the SoA chunk-occupancy
+//! histogram (one record per chunk).
+
+use crate::compile::Instr;
+use csfma_obs::{Counter, Histogram};
+
+pub use csfma_obs::{PipelineReport, Profiler, SpanToken, StageRecord};
+
+/// Hosted-FPU-eligible scalar ops (add/sub/mul/div/neg) executed by the
+/// bit-accurate backend. Together with
+/// [`csfma_softfloat::batch::softfloat_fallbacks`] this gives the
+/// fast-path hit rate: `1 - fallbacks / hosted_ops`.
+static HOSTED_OPS: Counter = Counter::new();
+
+/// SoA chunk occupancy by decile of `CHUNK_ROWS`: bucket 9 is a full
+/// chunk, lower buckets are the ragged tail of a batch.
+static CHUNK_OCCUPANCY: Histogram<10> = Histogram::new();
+
+/// Process-wide hosted-FPU-eligible op total (see [`hosted_ops`]
+/// internals; `0` when the `obs` feature is compiled out).
+pub fn hosted_ops() -> u64 {
+    HOSTED_OPS.get()
+}
+
+/// Snapshot of the SoA chunk-occupancy histogram: bucket `i` counts
+/// chunks with occupancy in `[i*10%, (i+1)*10%)` of `CHUNK_ROWS`
+/// (bucket 9 includes exactly-full chunks).
+pub fn chunk_occupancy() -> [u64; 10] {
+    CHUNK_OCCUPANCY.snapshot()
+}
+
+/// Tally the hosted-FPU-eligible work of one chunk: one atomic add per
+/// chunk covering `lanes` rows across every scalar IEEE instruction.
+#[inline]
+pub(crate) fn count_hosted_chunk(instrs: &[Instr], lanes: usize) {
+    if !cfg!(feature = "obs") {
+        return;
+    }
+    let scalar_ops = instrs
+        .iter()
+        .filter(|i| {
+            matches!(
+                i,
+                Instr::Add { .. }
+                    | Instr::Sub { .. }
+                    | Instr::Mul { .. }
+                    | Instr::Div { .. }
+                    | Instr::Neg { .. }
+            )
+        })
+        .count();
+    HOSTED_OPS.add((scalar_ops * lanes) as u64);
+}
+
+/// Record one chunk's occupancy (`lanes` of `capacity` rows used).
+#[inline]
+pub(crate) fn record_chunk_occupancy(lanes: usize, capacity: usize) {
+    if !cfg!(feature = "obs") {
+        return;
+    }
+    CHUNK_OCCUPANCY.record(lanes * 10 / capacity.max(1));
+}

@@ -32,7 +32,7 @@
 //!
 //! Coverage boundary: the residue and duplicate-compute checks guard the
 //! *arithmetic datapath* (multiplier words, PCS carry lanes, block-mux
-//! selects, the exponent path). A [`FaultSite::TapeReg`] upset corrupts a
+//! selects, the exponent path). A [`FaultSite::TapeReg`](csfma_core::fault::FaultSite::TapeReg) upset corrupts a
 //! stored register plane *between* operations; that class needs ECC on
 //! the register file, which this model deliberately does not implement —
 //! campaigns report it as the undetected remainder (DESIGN.md §10).
@@ -231,6 +231,37 @@ impl Tape {
                 report.outcomes[row] = outcome;
             }
         }
+        (out, report)
+    }
+
+    /// [`Tape::eval_batch_robust`] wrapped in an `eval_robust` stage
+    /// span, with the [`BatchReport`]'s fault tallies (detections, chunk
+    /// panics/retries, recovered and quarantined row counts) recorded as
+    /// `fault_*` counters into `prof`. Buffer and report are
+    /// byte-identical to the unprofiled call.
+    pub fn eval_batch_robust_profiled(
+        &self,
+        backend: TapeBackend,
+        rows: &[f64],
+        opts: &RobustOptions,
+        prof: &mut csfma_obs::Profiler,
+    ) -> (Vec<f64>, BatchReport) {
+        let tok = prof.enter("eval_robust");
+        let ((out, report), wall_us) =
+            csfma_obs::time_us(|| self.eval_batch_robust(backend, rows, opts));
+        prof.exit(tok);
+        let (ok, recovered, quarantined) = report.counts();
+        prof.set_counter("rows", report.rows as f64);
+        prof.set_counter("threads", opts.threads as f64);
+        if wall_us > 0.0 {
+            prof.set_counter("rows_per_sec", report.rows as f64 / (wall_us * 1e-6));
+        }
+        prof.set_counter("rows_ok", ok as f64);
+        prof.set_counter("fault_detections", report.detections as f64);
+        prof.set_counter("fault_chunk_panics", report.chunk_panics as f64);
+        prof.set_counter("fault_chunk_retries", report.chunk_retries as f64);
+        prof.set_counter("fault_rows_recovered", recovered as f64);
+        prof.set_counter("fault_rows_quarantined", quarantined as f64);
         (out, report)
     }
 

@@ -33,8 +33,23 @@
 
 use crate::format::FpFormat;
 use crate::value::SoftFloat;
+use csfma_obs::Counter;
 
 const F: FpFormat = FpFormat::BINARY64;
+
+/// Process-wide count of hosted results that failed the trust guard and
+/// were recomputed with the soft-float operator. The *total* hosted-op
+/// count is tallied per-chunk by the tape executor (one add per
+/// instruction, not per lane), so the fast-path hit rate is
+/// `1 - fallbacks/total`; only this rare slow path pays a per-call
+/// atomic. No-op unless the `obs` feature is enabled.
+static SOFTFLOAT_FALLBACKS: Counter = Counter::new();
+
+/// Hosted-FPU results recomputed via soft-float since process start
+/// (always `0` when the `obs` feature is compiled out).
+pub fn softfloat_fallbacks() -> u64 {
+    SOFTFLOAT_FALLBACKS.get()
+}
 
 /// Canonicalize a host double into the workspace value domain: subnormals
 /// flush to signed zero, every NaN collapses to `f64::NAN`. This is
@@ -80,6 +95,7 @@ fn sf(v: f64) -> SoftFloat {
 pub fn hosted_add(a: f64, b: f64) -> f64 {
     let r = a + b;
     if needs_softfloat(r) {
+        SOFTFLOAT_FALLBACKS.incr();
         sf(a).add(&sf(b)).to_f64()
     } else {
         r
@@ -91,6 +107,7 @@ pub fn hosted_add(a: f64, b: f64) -> f64 {
 pub fn hosted_sub(a: f64, b: f64) -> f64 {
     let r = a - b;
     if needs_softfloat(r) {
+        SOFTFLOAT_FALLBACKS.incr();
         sf(a).sub(&sf(b)).to_f64()
     } else {
         r
@@ -102,6 +119,7 @@ pub fn hosted_sub(a: f64, b: f64) -> f64 {
 pub fn hosted_mul(a: f64, b: f64) -> f64 {
     let r = a * b;
     if needs_softfloat(r) {
+        SOFTFLOAT_FALLBACKS.incr();
         sf(a).mul(&sf(b)).to_f64()
     } else {
         r
@@ -113,6 +131,7 @@ pub fn hosted_mul(a: f64, b: f64) -> f64 {
 pub fn hosted_div(a: f64, b: f64) -> f64 {
     let r = a / b;
     if needs_softfloat(r) {
+        SOFTFLOAT_FALLBACKS.incr();
         sf(a).div(&sf(b)).to_f64()
     } else {
         r

@@ -80,9 +80,43 @@ pub enum Rule {
     /// F001: a datapath self-check (mod-3 residue or recompute-compare,
     /// DESIGN.md §10) detected a hardware fault during execution.
     FaultDetected,
+    /// O001: profiling was requested but the observability layer is
+    /// compiled out (`obs` feature disabled) — the run proceeds, the
+    /// profile is empty.
+    ObsDisabled,
+    /// O002: the profiler observed unbalanced stage spans (a span was
+    /// force-closed or never exited) — the timings are suspect, the
+    /// computed values are not.
+    ObsSpanImbalance,
 }
 
 impl Rule {
+    /// Every rule the workspace can emit, in catalogue order. New rules
+    /// must be added here — `docs/DIAGNOSTICS.md` is tested against this
+    /// list, so forgetting one fails the build's registry-walk test.
+    pub const ALL: [Rule; 20] = [
+        Rule::ArityMismatch,
+        Rule::EdgeOrder,
+        Rule::DomainMismatch,
+        Rule::RedundantConversion,
+        Rule::DeadNode,
+        Rule::NoSink,
+        Rule::PrematureStart,
+        Rule::Unscheduled,
+        Rule::ResourceOverflow,
+        Rule::LengthUnderstated,
+        Rule::GuardHeadroom,
+        Rule::CarrySpacing,
+        Rule::SignificandCoverage,
+        Rule::RoundingBlock,
+        Rule::DegenerateSpacing,
+        Rule::ParseError,
+        Rule::CompilerPanic,
+        Rule::FaultDetected,
+        Rule::ObsDisabled,
+        Rule::ObsSpanImbalance,
+    ];
+
     /// Stable short id.
     pub fn id(&self) -> &'static str {
         match self {
@@ -104,6 +138,8 @@ impl Rule {
             Rule::ParseError => "P001",
             Rule::CompilerPanic => "X001",
             Rule::FaultDetected => "F001",
+            Rule::ObsDisabled => "O001",
+            Rule::ObsSpanImbalance => "O002",
         }
     }
 
@@ -128,6 +164,8 @@ impl Rule {
             Rule::ParseError => "parse-error",
             Rule::CompilerPanic => "compiler-panic",
             Rule::FaultDetected => "fault-detected",
+            Rule::ObsDisabled => "obs-disabled",
+            Rule::ObsSpanImbalance => "obs-span-imbalance",
         }
     }
 }
@@ -281,29 +319,37 @@ mod tests {
 
     #[test]
     fn rule_ids_are_unique() {
-        let all = [
-            Rule::ArityMismatch,
-            Rule::EdgeOrder,
-            Rule::DomainMismatch,
-            Rule::RedundantConversion,
-            Rule::DeadNode,
-            Rule::NoSink,
-            Rule::PrematureStart,
-            Rule::Unscheduled,
-            Rule::ResourceOverflow,
-            Rule::LengthUnderstated,
-            Rule::GuardHeadroom,
-            Rule::CarrySpacing,
-            Rule::SignificandCoverage,
-            Rule::RoundingBlock,
-            Rule::DegenerateSpacing,
-            Rule::ParseError,
-            Rule::CompilerPanic,
-            Rule::FaultDetected,
-        ];
-        let mut ids: Vec<_> = all.iter().map(|r| r.id()).collect();
+        let mut ids: Vec<_> = Rule::ALL.iter().map(|r| r.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), all.len());
+        assert_eq!(ids.len(), Rule::ALL.len());
+        let mut names: Vec<_> = Rule::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Rule::ALL.len());
+    }
+
+    /// The registry walk of ISSUE 5: every rule the workspace can emit
+    /// must be documented in `docs/DIAGNOSTICS.md` — by stable id as a
+    /// section heading and by kebab-case name — so the published
+    /// catalogue cannot silently rot when a rule is added.
+    #[test]
+    fn every_rule_is_documented_in_diagnostics_md() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/DIAGNOSTICS.md");
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("docs/DIAGNOSTICS.md must exist ({e})"));
+        let mut missing = Vec::new();
+        for rule in Rule::ALL {
+            let heading = format!("## {}", rule.id());
+            if !doc.contains(&heading) {
+                missing.push(format!("{} (no `{heading}` heading)", rule.id()));
+            } else if !doc.contains(rule.name()) {
+                missing.push(format!("{} (name `{}` absent)", rule.id(), rule.name()));
+            }
+        }
+        assert!(
+            missing.is_empty(),
+            "diagnostic codes missing from docs/DIAGNOSTICS.md: {missing:?}"
+        );
     }
 }

@@ -29,6 +29,8 @@
 //! that `csfma-hls` adapts its `Cdfg` into, which lets the fusion pass
 //! itself re-run the checker after every trial rewrite.
 
+#![warn(missing_docs)]
+
 pub mod dataflow;
 pub mod diag;
 pub mod graph;

@@ -22,6 +22,10 @@
 //!   --fault-seed N run the robust self-checking executor with a seeded
 //!                  demo fault campaign (see DESIGN.md §10)
 //!   --no-opt       compile without the post-gate tape optimizer
+//!   --profile[=json] append a stage/counter breakdown of the run
+//!                  (parse → gate → optimize → lower → eval, tape-cache
+//!                  and fault counters); `=json` emits the machine-
+//!                  readable PipelineReport document instead of text
 //!   --verbose      print the compiled tape before running
 //! ```
 //!
@@ -32,14 +36,20 @@
 
 use std::io::Read as _;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use csfma_core::fault::{FaultPlan, FaultSite, FaultSpec};
 use csfma_hls::{
-    compile_cached_with, fuse_critical_paths, parse_program, CompileOptions, FmaKind, FusionConfig,
-    Instr, RobustOptions, RowOutcome, Tape, TapeBackend,
+    compile_cached_with_profiled, fuse_critical_paths, parse_program, CompileOptions, FmaKind,
+    FusionConfig, Instr, Profiler, RobustOptions, RowOutcome, Tape, TapeBackend,
 };
+use csfma_verify::{Diagnostic, Rule, Span};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileFormat {
+    Text,
+    Json,
+}
 
 struct Options {
     file: Option<String>,
@@ -53,13 +63,14 @@ struct Options {
     optimize: bool,
     verbose: bool,
     fault_seed: Option<u64>,
+    profile: Option<ProfileFormat>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: csfma-run [--backend f64|bit|oracle] [--fuse pcs|fcs] [--batch N] \
          [--threads T] [--seed S] [--range LO HI] [--fault-seed N] [--no-opt] \
-         [--verbose] [FILE]"
+         [--profile[=json]] [--verbose] [FILE]"
     );
     std::process::exit(2);
 }
@@ -77,6 +88,7 @@ fn parse_args() -> Options {
         optimize: true,
         verbose: false,
         fault_seed: None,
+        profile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -114,6 +126,8 @@ fn parse_args() -> Options {
             }
             "--fault-seed" => opts.fault_seed = Some(num(&mut args) as u64),
             "--no-opt" => opts.optimize = false,
+            "--profile" => opts.profile = Some(ProfileFormat::Text),
+            "--profile=json" => opts.profile = Some(ProfileFormat::Json),
             "--verbose" => opts.verbose = true,
             "--help" | "-h" => usage(),
             _ if arg.starts_with("--") => usage(),
@@ -199,8 +213,44 @@ fn dump(tape: &Tape) {
     }
 }
 
+/// Finish the profiler and, when `--profile` was given, emit the report:
+/// the JSON document or the indented text tree on stdout, plus `O*`
+/// observability diagnostics (compiled-out layer, unbalanced spans) on
+/// stderr. A run without `--profile` finishes a disabled profiler — this
+/// is free and prints nothing.
+fn emit_profile(prof: Profiler, format: Option<ProfileFormat>) {
+    let report = prof.finish();
+    let Some(format) = format else { return };
+    if !report.recorded {
+        eprintln!(
+            "csfma-run: {}",
+            Diagnostic::warning(
+                Rule::ObsDisabled,
+                Span::Global,
+                "profiling requested but the observability layer is compiled out; \
+                 rebuild with the default `obs` feature",
+            )
+        );
+    }
+    for w in &report.warnings {
+        eprintln!(
+            "csfma-run: {}",
+            Diagnostic::warning(Rule::ObsSpanImbalance, Span::Global, w.clone())
+        );
+    }
+    match format {
+        ProfileFormat::Json => println!("{}", report.to_json()),
+        ProfileFormat::Text => print!("{report}"),
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+    let mut prof = if opts.profile.is_some() {
+        Profiler::new()
+    } else {
+        Profiler::disabled()
+    };
 
     let src = match &opts.file {
         Some(f) if f != "-" => match std::fs::read_to_string(f) {
@@ -220,6 +270,7 @@ fn main() -> ExitCode {
         }
     };
 
+    let parse_tok = prof.enter("parse");
     let g = match parse_program(&src) {
         Ok(g) => g,
         Err(e) => {
@@ -231,12 +282,14 @@ fn main() -> ExitCode {
         Some(kind) => fuse_critical_paths(&g, &FusionConfig::new(kind)).fused,
         None => g,
     };
+    prof.exit(parse_tok);
 
-    let tape = match compile_cached_with(
+    let tape = match compile_cached_with_profiled(
         &g,
         CompileOptions {
             optimize: opts.optimize,
         },
+        &mut prof,
     ) {
         Ok(t) => t,
         Err(e) => {
@@ -255,6 +308,7 @@ fn main() -> ExitCode {
         for (name, v) in tape.output_names().iter().zip(&out) {
             println!("{name} = {v:?}");
         }
+        emit_profile(prof, opts.profile);
         return ExitCode::SUCCESS;
     }
 
@@ -264,16 +318,31 @@ fn main() -> ExitCode {
         .map(|_| rng.gen_range(opts.lo..opts.hi))
         .collect();
 
-    let start = Instant::now();
+    // fault counters default to zero so every profile carries them; a
+    // robust run below overwrites with the real tallies
+    for c in [
+        "fault_detections",
+        "fault_chunk_panics",
+        "fault_chunk_retries",
+        "fault_rows_recovered",
+        "fault_rows_quarantined",
+    ] {
+        prof.set_counter(c, 0.0);
+    }
+
+    let t0 = std::time::Instant::now();
     let (out, faulted) = match opts.fault_seed {
-        None => (tape.eval_batch(opts.backend, &rows, opts.threads), false),
+        None => (
+            tape.eval_batch_profiled(opts.backend, &rows, opts.threads, &mut prof),
+            false,
+        ),
         Some(fseed) => {
             let plan = demo_fault_plan(fseed, opts.batch as u64);
             // injected ExecPanic faults are caught and recovered by the
             // robust executor; keep their backtraces off the terminal
             let default_hook = std::panic::take_hook();
             std::panic::set_hook(Box::new(|_| {}));
-            let (out, report) = tape.eval_batch_robust(
+            let (out, report) = tape.eval_batch_robust_profiled(
                 opts.backend,
                 &rows,
                 &RobustOptions {
@@ -281,6 +350,7 @@ fn main() -> ExitCode {
                     chunk_retries: 2,
                     fault: Some(&plan),
                 },
+                &mut prof,
             );
             std::panic::set_hook(default_hook);
             eprintln!(
@@ -304,7 +374,7 @@ fn main() -> ExitCode {
             (out, faulted)
         }
     };
-    let dt = start.elapsed();
+    let dt = t0.elapsed();
 
     // show the first row symbolically, then the digest of everything
     for (name, v) in tape.output_names().iter().zip(&out) {
@@ -320,6 +390,7 @@ fn main() -> ExitCode {
         per_row * 1e6,
         digest(&out),
     );
+    emit_profile(prof, opts.profile);
     if faulted {
         ExitCode::from(3)
     } else {

@@ -15,6 +15,7 @@ pub use csfma_carrysave as carrysave;
 pub use csfma_core as core;
 pub use csfma_fabric as fabric;
 pub use csfma_hls as hls;
+pub use csfma_obs as obs;
 pub use csfma_softfloat as softfloat;
 pub use csfma_solvers as solvers;
 pub use csfma_units as units;

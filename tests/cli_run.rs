@@ -142,6 +142,260 @@ fn oracle_backend_digest_matches_bit_accurate() {
     );
 }
 
+/// Minimal recursive-descent JSON reader — just enough to round-trip the
+/// `--profile=json` document (the workspace deliberately has no JSON
+/// dependency, so the test parses what the CLI hand-rolls).
+mod json {
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> &[Value] {
+            match self {
+                Value::Arr(v) => v,
+                other => panic!("expected array, got {other:?}"),
+            }
+        }
+        pub fn as_str(&self) -> &str {
+            match self {
+                Value::Str(s) => s,
+                other => panic!("expected string, got {other:?}"),
+            }
+        }
+        pub fn as_num(&self) -> f64 {
+            match self {
+                Value::Num(n) => *n,
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut kv = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Value::Obj(kv));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let k = match value(b, i)? {
+                        Value::Str(s) => s,
+                        other => return Err(format!("non-string key {other:?}")),
+                    };
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    *i += 1;
+                    kv.push((k, value(b, i)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(Value::Obj(kv));
+                        }
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut vs = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Value::Arr(vs));
+                }
+                loop {
+                    vs.push(value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(Value::Arr(vs));
+                        }
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *i += 1;
+                let mut s = String::new();
+                while let Some(&c) = b.get(*i) {
+                    *i += 1;
+                    match c {
+                        b'"' => return Ok(Value::Str(s)),
+                        b'\\' => {
+                            let e = *b.get(*i).ok_or("eof in escape")?;
+                            *i += 1;
+                            s.push(match e {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'/' => '/',
+                                other => return Err(format!("escape \\{}", other as char)),
+                            });
+                        }
+                        c => s.push(c as char),
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(b't') if b[*i..].starts_with(b"true") => {
+                *i += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*i..].starts_with(b"false") => {
+                *i += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*i..].starts_with(b"null") => {
+                *i += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *i;
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *i += 1;
+                }
+                std::str::from_utf8(&b[start..*i])
+                    .unwrap()
+                    .parse()
+                    .map(Value::Num)
+                    .map_err(|e| format!("bad number at {start}: {e}"))
+            }
+            None => Err("unexpected eof".into()),
+        }
+    }
+}
+
+/// The profile JSON document starts at the first stdout line beginning
+/// with `{` (normal summary lines never do).
+fn profile_json_of(text: &str) -> &str {
+    let start = text.find("\n{").expect("profile JSON after summary") + 1;
+    &text[start..]
+}
+
+#[test]
+fn profile_json_round_trips_with_full_stage_breakdown() {
+    let src = "x1 = a*b + c*d;\nout y = e*f + g*x1;\n";
+    let args = ["--fuse", "pcs", "--batch", "100", "--threads", "2"];
+    let mut args_prof = args.to_vec();
+    args_prof.push("--profile=json");
+    let prof = run(&args_prof, src);
+    assert_eq!(prof.status.code(), Some(0), "stderr: {}", stderr(&prof));
+
+    let out = stdout(&prof);
+    let doc = json::parse(profile_json_of(&out))
+        .unwrap_or_else(|e| panic!("profile JSON must parse: {e}\n{out}"));
+
+    assert_eq!(doc.get("recorded"), Some(&json::Value::Bool(true)));
+
+    // Stage breakdown covers the whole pipeline, with positive timings
+    // and gate/optimize/lower nested inside compile.
+    let stages = doc.get("stages").expect("stages array").as_arr();
+    let stage = |name: &str| {
+        stages
+            .iter()
+            .find(|s| s.get("name").map(json::Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("stage {name:?} missing: {stages:?}"))
+    };
+    for name in [
+        "parse",
+        "cache_lookup",
+        "compile",
+        "gate",
+        "optimize",
+        "lower",
+        "eval",
+    ] {
+        let s = stage(name);
+        assert!(s.get("wall_us").expect("wall_us").as_num() >= 0.0);
+    }
+    assert_eq!(stage("compile").get("depth").unwrap().as_num(), 0.0);
+    assert_eq!(stage("gate").get("depth").unwrap().as_num(), 1.0);
+    assert_eq!(stage("lower").get("depth").unwrap().as_num(), 1.0);
+
+    // Cache and fault counters are present; this is a fresh process, so
+    // the compile was a miss and the un-faulted run detected nothing.
+    let counters = doc.get("counters").expect("counters object");
+    let counter = |name: &str| {
+        counters
+            .get(name)
+            .unwrap_or_else(|| panic!("counter {name:?} missing"))
+            .as_num()
+    };
+    assert_eq!(counter("tape_cache_misses"), 1.0);
+    assert_eq!(counter("tape_cache_hits"), 0.0);
+    assert_eq!(counter("rows"), 100.0);
+    assert_eq!(counter("threads"), 2.0);
+    assert_eq!(counter("fault_detections"), 0.0);
+    assert_eq!(counter("fault_rows_quarantined"), 0.0);
+    assert!(counter("fma_ops_pcs") > 0.0);
+
+    assert_eq!(doc.get("warnings"), Some(&json::Value::Arr(Vec::new())));
+
+    // Determinism contract, end to end: the profiled run's digest equals
+    // the plain run's.
+    let plain = run(&args, src);
+    assert_eq!(plain.status.code(), Some(0));
+    assert_eq!(
+        digest_of(&out),
+        digest_of(&stdout(&plain)),
+        "--profile must not change output bytes"
+    );
+}
+
+#[test]
+fn profile_text_mode_prints_stage_tree() {
+    let out = run(&["--profile", "--batch", "32"], "out y = a*b + c;\n");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["parse", "compile", "eval", "rows"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
 #[test]
 fn fault_seed_reports_campaign_and_exits_three() {
     let src = "x1 = a*b + c*d;\nout y = e*f + g*x1;\n";
