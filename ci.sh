@@ -21,8 +21,12 @@ cargo test -q -p csfma-obs --no-default-features
 # batch execution engine smoke: compile every example datapath and run a
 # tiny batch through both backends (exit 1 on checker errors or panics);
 # the profiled run must produce the same digest as the plain one (the
-# observability determinism contract, DESIGN.md §11)
+# observability determinism contract, DESIGN.md §11). Every example must
+# also pass the full static gauntlet — T* tape translation validation at
+# both optimizer settings, R* value-range analysis, warnings denied
+# (exit-status contract in src/bin/csfma-lint.rs)
 for f in examples/datapaths/*.csfma; do
+    cargo run -q --bin csfma-lint -- --tape --ranges --deny-warnings "$f" > /dev/null
     plain=$(cargo run -q --bin csfma-run -- --fuse pcs --batch 16 --threads 2 "$f")
     prof=$(cargo run -q --bin csfma-run -- --profile=json --fuse pcs --batch 16 --threads 2 "$f")
     d1=$(printf '%s\n' "$plain" | sed -n 's/.*digest //p')
@@ -43,6 +47,7 @@ cargo test -q --test cli_run
 cargo build --release --manifest-path fuzz/Cargo.toml
 FUZZ_ITERS=2000 ./fuzz/target/release/parser_round_trip fuzz/corpus/parser_round_trip > /dev/null 2>&1
 FUZZ_ITERS=2000 ./fuzz/target/release/compile_gate fuzz/corpus/compile_gate > /dev/null 2>&1
+FUZZ_ITERS=2000 ./fuzz/target/release/tape_verify fuzz/corpus/tape_verify > /dev/null 2>&1
 
 # throughput audit at the baseline's conditions: verifies tape-vs-oracle
 # bitwise equality, the >=5x headline, and the >=1.5x fused-graph gain

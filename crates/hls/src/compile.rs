@@ -239,6 +239,13 @@ pub struct Tape {
     /// the optimizer's origin map when the tape was optimized), so
     /// execution-time diagnostics can name the offending node.
     pub(crate) instr_nodes: Vec<u32>,
+    /// Per-instruction fast-path promotion mask (empty ⇔ no promotion):
+    /// `promoted[i]` lets the bit-accurate backend run IEEE instruction
+    /// `i` as the raw host operation, skipping the guarded soft-float
+    /// fallback. Only set via [`Tape::set_promoted`] after a value-range
+    /// proof that the guard can never fire (see `lint::lint_ranges`), so
+    /// promoted evaluation stays bit-identical.
+    pub(crate) promoted: Vec<bool>,
 }
 
 /// Reusable per-worker register file for tape execution. One scratch per
@@ -500,12 +507,30 @@ fn build_tape(
                 eliminate_dead_slots(&mut tape.instrs, &mut tape.instr_nodes);
         }
         prof.exit(lower_tok);
+        // `lower` recorded the allocator's slot reuses on its fresh
+        // OptStats; carry them over the optimizer-stats overwrite
+        stats.slots_reclaimed = tape.opt.slots_reclaimed;
         tape.opt = stats;
         tape
     });
     tape.opt.optimize_us = build_us;
     tape.fingerprint = graph_fingerprint(g);
     tape.source_nodes = g.len();
+    // debug-build compile gate: the translation validator replays the
+    // tape symbolically against the caller's graph (T* rules) — a
+    // miscompile panics here instead of corrupting batch results
+    let ((), verify_us) = csfma_obs::time_us(|| {
+        crate::lint::debug_assert_tape_clean(&tape, g, "post-lowering tape");
+    });
+    prof.set_counter(
+        "tape_verify_us",
+        if cfg!(debug_assertions) {
+            verify_us
+        } else {
+            0.0
+        },
+    );
+    prof.set_counter("slots_reclaimed", tape.opt.slots_reclaimed as f64);
     prof.set_counter("opt_nodes_before", tape.opt.nodes_before as f64);
     prof.set_counter("opt_nodes_after", tape.opt.nodes_after as f64);
     prof.set_counter("opt_consts_folded", tape.opt.consts_folded as f64);
@@ -631,6 +656,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
     let mut free_cs: Vec<u32> = Vec::new();
     let mut n_f64_regs = 0usize;
     let mut n_cs_regs = 0usize;
+    let mut slots_reclaimed = 0usize;
     // register of each non-Output node (banks overlap in numbering)
     let mut reg = vec![u32::MAX; nodes.len()];
     let mut instrs = Vec::with_capacity(nodes.len());
@@ -661,14 +687,26 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
             }
         }
         let dst = match n.op.domain() {
-            crate::cdfg::Domain::Ieee => free_f64.pop().unwrap_or_else(|| {
-                n_f64_regs += 1;
-                (n_f64_regs - 1) as u32
-            }),
-            crate::cdfg::Domain::Cs => free_cs.pop().unwrap_or_else(|| {
-                n_cs_regs += 1;
-                (n_cs_regs - 1) as u32
-            }),
+            crate::cdfg::Domain::Ieee => match free_f64.pop() {
+                Some(r) => {
+                    slots_reclaimed += 1;
+                    r
+                }
+                None => {
+                    n_f64_regs += 1;
+                    (n_f64_regs - 1) as u32
+                }
+            },
+            crate::cdfg::Domain::Cs => match free_cs.pop() {
+                Some(r) => {
+                    slots_reclaimed += 1;
+                    r
+                }
+                None => {
+                    n_cs_regs += 1;
+                    (n_cs_regs - 1) as u32
+                }
+            },
         };
         reg[id] = dst;
         let a = |k: usize| args_regs[k];
@@ -740,8 +778,12 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
         fcs_format,
         fingerprint: graph_fingerprint(g),
         source_nodes: g.len(),
-        opt: OptStats::default(),
+        opt: OptStats {
+            slots_reclaimed,
+            ..OptStats::default()
+        },
         instr_nodes,
+        promoted: Vec::new(),
     }
 }
 
@@ -804,6 +846,30 @@ impl Tape {
     /// FNV-1a digest of the source graph's canonical encoding.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Install a per-instruction fast-path promotion mask (consulted by
+    /// the batch executor per instruction). `mask[i]` may only be
+    /// `true` for IEEE `Add`/`Sub`/`Mul`/`Div`/`Neg` instructions whose
+    /// result range provably keeps the soft-float guard from firing;
+    /// callers derive it from `lint::lint_ranges` facts mapped through
+    /// [`Tape::source_node_of`].
+    ///
+    /// # Panics
+    /// If `mask.len() != self.instrs().len()`.
+    pub fn set_promoted(&mut self, mask: Vec<bool>) {
+        assert_eq!(
+            mask.len(),
+            self.instrs.len(),
+            "promotion mask arity mismatch"
+        );
+        self.promoted = mask;
+    }
+
+    /// Number of instructions currently promoted to the raw host fast
+    /// path (0 for a tape with no mask installed).
+    pub fn promoted_count(&self) -> usize {
+        self.promoted.iter().filter(|&&p| p).count()
     }
 
     /// A fresh register file sized for this tape. Reuse it across rows;
@@ -885,7 +951,8 @@ impl Tape {
     fn eval_row_bit(&self, row: &[f64], out: &mut [f64], s: &mut TapeScratch) {
         let f = &mut s.f;
         let cs = &mut s.cs;
-        for ins in &self.instrs {
+        let promoted = |i: usize| self.promoted.get(i).copied().unwrap_or(false);
+        for (i, ins) in self.instrs.iter().enumerate() {
             match *ins {
                 Instr::LoadInput { dst, input } => {
                     f[dst as usize] = sfb::canonicalize(row[input as usize])
@@ -894,18 +961,40 @@ impl Tape {
                     f[dst as usize] = self.consts_canonical[idx as usize]
                 }
                 Instr::Add { dst, a, b } => {
-                    f[dst as usize] = sfb::hosted_add(f[a as usize], f[b as usize])
+                    f[dst as usize] = if promoted(i) {
+                        f[a as usize] + f[b as usize]
+                    } else {
+                        sfb::hosted_add(f[a as usize], f[b as usize])
+                    }
                 }
                 Instr::Sub { dst, a, b } => {
-                    f[dst as usize] = sfb::hosted_sub(f[a as usize], f[b as usize])
+                    f[dst as usize] = if promoted(i) {
+                        f[a as usize] - f[b as usize]
+                    } else {
+                        sfb::hosted_sub(f[a as usize], f[b as usize])
+                    }
                 }
                 Instr::Mul { dst, a, b } => {
-                    f[dst as usize] = sfb::hosted_mul(f[a as usize], f[b as usize])
+                    f[dst as usize] = if promoted(i) {
+                        f[a as usize] * f[b as usize]
+                    } else {
+                        sfb::hosted_mul(f[a as usize], f[b as usize])
+                    }
                 }
                 Instr::Div { dst, a, b } => {
-                    f[dst as usize] = sfb::hosted_div(f[a as usize], f[b as usize])
+                    f[dst as usize] = if promoted(i) {
+                        f[a as usize] / f[b as usize]
+                    } else {
+                        sfb::hosted_div(f[a as usize], f[b as usize])
+                    }
                 }
-                Instr::Neg { dst, a } => f[dst as usize] = sfb::hosted_neg(f[a as usize]),
+                Instr::Neg { dst, a } => {
+                    f[dst as usize] = if promoted(i) {
+                        -f[a as usize]
+                    } else {
+                        sfb::hosted_neg(f[a as usize])
+                    }
+                }
                 Instr::Fma {
                     kind,
                     negate_b,
@@ -1219,7 +1308,8 @@ impl Tape {
         const W: usize = CHUNK_ROWS;
         let p = |r: u32| r as usize * W;
         profile::count_hosted_chunk(&self.instrs, len);
-        for ins in &self.instrs {
+        let promoted = |i: usize| self.promoted.get(i).copied().unwrap_or(false);
+        for (i, ins) in self.instrs.iter().enumerate() {
             match *ins {
                 Instr::LoadInput { dst, input } => {
                     let d = p(dst);
@@ -1233,32 +1323,62 @@ impl Tape {
                 }
                 Instr::Add { dst, a, b } => {
                     let (d, x, y) = (p(dst), p(a), p(b));
-                    for k in 0..len {
-                        s.f[d + k] = sfb::hosted_add(s.f[x + k], s.f[y + k]);
+                    if promoted(i) {
+                        for k in 0..len {
+                            s.f[d + k] = s.f[x + k] + s.f[y + k];
+                        }
+                    } else {
+                        for k in 0..len {
+                            s.f[d + k] = sfb::hosted_add(s.f[x + k], s.f[y + k]);
+                        }
                     }
                 }
                 Instr::Sub { dst, a, b } => {
                     let (d, x, y) = (p(dst), p(a), p(b));
-                    for k in 0..len {
-                        s.f[d + k] = sfb::hosted_sub(s.f[x + k], s.f[y + k]);
+                    if promoted(i) {
+                        for k in 0..len {
+                            s.f[d + k] = s.f[x + k] - s.f[y + k];
+                        }
+                    } else {
+                        for k in 0..len {
+                            s.f[d + k] = sfb::hosted_sub(s.f[x + k], s.f[y + k]);
+                        }
                     }
                 }
                 Instr::Mul { dst, a, b } => {
                     let (d, x, y) = (p(dst), p(a), p(b));
-                    for k in 0..len {
-                        s.f[d + k] = sfb::hosted_mul(s.f[x + k], s.f[y + k]);
+                    if promoted(i) {
+                        for k in 0..len {
+                            s.f[d + k] = s.f[x + k] * s.f[y + k];
+                        }
+                    } else {
+                        for k in 0..len {
+                            s.f[d + k] = sfb::hosted_mul(s.f[x + k], s.f[y + k]);
+                        }
                     }
                 }
                 Instr::Div { dst, a, b } => {
                     let (d, x, y) = (p(dst), p(a), p(b));
-                    for k in 0..len {
-                        s.f[d + k] = sfb::hosted_div(s.f[x + k], s.f[y + k]);
+                    if promoted(i) {
+                        for k in 0..len {
+                            s.f[d + k] = s.f[x + k] / s.f[y + k];
+                        }
+                    } else {
+                        for k in 0..len {
+                            s.f[d + k] = sfb::hosted_div(s.f[x + k], s.f[y + k]);
+                        }
                     }
                 }
                 Instr::Neg { dst, a } => {
                     let (d, x) = (p(dst), p(a));
-                    for k in 0..len {
-                        s.f[d + k] = sfb::hosted_neg(s.f[x + k]);
+                    if promoted(i) {
+                        for k in 0..len {
+                            s.f[d + k] = -s.f[x + k];
+                        }
+                    } else {
+                        for k in 0..len {
+                            s.f[d + k] = sfb::hosted_neg(s.f[x + k]);
+                        }
                     }
                 }
                 Instr::Fma {

@@ -34,6 +34,7 @@ pub mod compile;
 pub mod fuse;
 pub mod interp;
 pub mod lint;
+pub mod mutate;
 pub mod opt;
 pub mod optimize;
 pub mod parser;
@@ -51,11 +52,15 @@ pub use compile::{
     Instr, Tape, TapeBackend, TapeCacheStats, TapeScratch, DEFAULT_TAPE_CACHE_CAPACITY,
 };
 pub use fuse::{fuse_critical_paths, FusionConfig, FusionReport};
-pub use lint::{capacity_list, lint_dataflow, lint_schedule, schedule_view, to_check_graph};
+pub use lint::{
+    capacity_list, debug_assert_tape_clean, lint_dataflow, lint_ranges, lint_schedule,
+    promotion_mask, schedule_view, to_check_graph, to_source_view, to_tape_view, verify_tape,
+};
+pub use mutate::{apply_mutation, ALL_MUTATIONS};
 pub use opt::OptStats;
 pub use optimize::{optimize, OptimizeReport};
-pub use parser::{parse_program, ParseError};
-pub use printer::to_source;
+pub use parser::{parse_program, parse_program_with_ranges, ParseError};
+pub use printer::{to_source, to_source_with_ranges};
 pub use profile::{PipelineReport, Profiler, StageRecord};
 pub use robust::{BatchReport, RobustOptions, RowOutcome};
 pub use sched::{

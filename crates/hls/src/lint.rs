@@ -9,7 +9,8 @@
 //! points after every rewrite in debug builds, and the `csfma-lint` CLI
 //! uses them to lint textual datapaths.
 
-use crate::cdfg::{Cdfg, Domain, Op};
+use crate::cdfg::{Cdfg, Domain, FmaKind, Op};
+use crate::compile::{Instr, Tape};
 use crate::interp::format_of;
 use crate::sched::{resource_kind, OpTiming, ResourceKind, ResourceLimits, Schedule};
 use csfma_verify as verify;
@@ -144,10 +145,163 @@ pub fn debug_assert_dataflow_clean(g: &Cdfg, t: &OpTiming, context: &str) {
     }
 }
 
+fn cs_kind(k: FmaKind) -> verify::CsKind {
+    match k {
+        FmaKind::Pcs => verify::CsKind::Pcs,
+        FmaKind::Fcs => verify::CsKind::Fcs,
+    }
+}
+
+/// Translate a [`Cdfg`] into the tape validator's normalized source
+/// view (same adapter pattern as [`to_check_graph`], for the `T*`/`R*`
+/// passes which need the actual operations, not timing metadata).
+pub fn to_source_view(g: &Cdfg) -> verify::SourceView {
+    let nodes = g
+        .nodes()
+        .iter()
+        .map(|n| {
+            let op = match &n.op {
+                Op::Input(name) => verify::SrcOp::Input(name.clone()),
+                Op::Const(v) => verify::SrcOp::Const(*v),
+                Op::Add => verify::SrcOp::Add,
+                Op::Sub => verify::SrcOp::Sub,
+                Op::Mul => verify::SrcOp::Mul,
+                Op::Div => verify::SrcOp::Div,
+                Op::Neg => verify::SrcOp::Neg,
+                Op::Fma { kind, negate_b } => verify::SrcOp::Fma {
+                    kind: cs_kind(*kind),
+                    negate_b: *negate_b,
+                },
+                Op::IeeeToCs(k) => verify::SrcOp::IeeeToCs(cs_kind(*k)),
+                Op::CsToIeee(k) => verify::SrcOp::CsToIeee(cs_kind(*k)),
+                Op::Output(name) => verify::SrcOp::Output(name.clone()),
+            };
+            verify::SrcNode {
+                op,
+                args: n.args.clone(),
+            }
+        })
+        .collect();
+    verify::SourceView { nodes }
+}
+
+/// Translate a compiled [`Tape`] into the validator's normalized view.
+pub fn to_tape_view(tape: &Tape) -> verify::TapeView {
+    let instrs = tape
+        .instrs
+        .iter()
+        .map(|ins| match *ins {
+            Instr::LoadInput { dst, input } => verify::TapeInstr::LoadInput { dst, input },
+            Instr::LoadConst { dst, idx } => verify::TapeInstr::LoadConst { dst, idx },
+            Instr::Add { dst, a, b } => verify::TapeInstr::Add { dst, a, b },
+            Instr::Sub { dst, a, b } => verify::TapeInstr::Sub { dst, a, b },
+            Instr::Mul { dst, a, b } => verify::TapeInstr::Mul { dst, a, b },
+            Instr::Div { dst, a, b } => verify::TapeInstr::Div { dst, a, b },
+            Instr::Neg { dst, a } => verify::TapeInstr::Neg { dst, a },
+            Instr::Fma {
+                kind,
+                negate_b,
+                dst,
+                acc,
+                b,
+                mulc,
+            } => verify::TapeInstr::Fma {
+                kind: cs_kind(kind),
+                negate_b,
+                dst,
+                acc,
+                b,
+                mulc,
+            },
+            Instr::IeeeToCs { kind, dst, src } => verify::TapeInstr::IeeeToCs {
+                kind: cs_kind(kind),
+                dst,
+                src,
+            },
+            Instr::CsToIeee { dst, src } => verify::TapeInstr::CsToIeee { dst, src },
+            Instr::Store { output, src } => verify::TapeInstr::Store { output, src },
+        })
+        .collect();
+    verify::TapeView {
+        instrs,
+        provenance: tape.instr_nodes.clone(),
+        inputs: tape.inputs.clone(),
+        outputs: tape.outputs.clone(),
+        consts: tape.consts.clone(),
+        n_f64_regs: tape.n_f64_regs,
+        n_cs_regs: tape.n_cs_regs,
+    }
+}
+
+/// Run the tape translation validator (`T*` rules): check that `tape`
+/// is a faithful lowering of the **source** graph `g` it was compiled
+/// from. An empty result proves slot def-before-use, positional I/O
+/// layout, CS-format consistency, provenance integrity and per-operand
+/// value ancestry all survived the optimizer and the slot-reusing
+/// register allocator.
+pub fn verify_tape(tape: &Tape, g: &Cdfg) -> Vec<Diagnostic> {
+    verify::check_tape(&to_tape_view(tape), &to_source_view(g))
+}
+
+/// Run the value-range abstract interpretation (`R*` rules) over `g`
+/// with the declared input ranges `decls` (from
+/// `in x [lo, hi];` declarations; an empty slice analyzes every input
+/// as unbounded, which reports nothing).
+pub fn lint_ranges(g: &Cdfg, decls: &[verify::RangeDecl]) -> verify::RangeReport {
+    verify::analyze_ranges(&to_source_view(g), decls)
+}
+
+/// Derive a fast-path promotion mask for `tape` from a range analysis
+/// of its source graph: instruction `i` is promotable when it is an
+/// IEEE `Add`/`Sub`/`Mul`/`Div`/`Neg` and the [`RangeReport`] proved
+/// the soft-float guard can never fire on the source node named by the
+/// tape's provenance (`tape.source_node_of(i)`). Feed the result to
+/// [`Tape::set_promoted`].
+///
+/// [`RangeReport`]: verify::RangeReport
+pub fn promotion_mask(tape: &Tape, report: &verify::RangeReport) -> Vec<bool> {
+    tape.instrs()
+        .iter()
+        .enumerate()
+        .map(|(i, ins)| {
+            let promotable_op = matches!(
+                ins,
+                Instr::Add { .. }
+                    | Instr::Sub { .. }
+                    | Instr::Mul { .. }
+                    | Instr::Div { .. }
+                    | Instr::Neg { .. }
+            );
+            promotable_op
+                && tape
+                    .source_node_of(i)
+                    .and_then(|n| report.fast_path_safe.get(n).copied())
+                    .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Debug-build guard mirroring [`debug_assert_dataflow_clean`] for the
+/// translation layer: panic with a rendered report if the compiled
+/// tape fails the `T*` validator. The compiler calls this on every
+/// tape it builds (debug builds only), so optimizer or lowering
+/// miscompiles abort at compile time instead of computing wrong bits.
+#[track_caller]
+pub fn debug_assert_tape_clean(tape: &Tape, g: &Cdfg, context: &str) {
+    if cfg!(debug_assertions) {
+        let diags = verify_tape(tape, g);
+        if verify::has_errors(&diags) {
+            panic!(
+                "{context}: tape translation check failed\n{}",
+                verify::render_report(&diags)
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cdfg::FmaKind;
     use crate::fuse::{fuse_critical_paths, FusionConfig};
     use crate::parser::parse_program;
     use crate::sched::{asap_schedule, list_schedule};

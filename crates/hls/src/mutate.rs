@@ -1,0 +1,233 @@
+//! Named tape corruptions for validator testing.
+//!
+//! Each mutation simulates one concrete miscompilation class — a
+//! register-allocator slot mix-up, a dropped store, a provenance table
+//! gone stale — by corrupting a *correct* compiled [`Tape`] in place.
+//! The `T*` translation rules (`csfma-verify`'s [`check_tape`]) must
+//! flag every one of them; the mutation tests and the
+//! `tests/filetests/` corpus assert exactly which rule fires. Mutations
+//! are deliberately tiny (one field, one instruction) so a validator
+//! that catches them catches the underlying bug class, not just a
+//! mangled tape.
+//!
+//! [`check_tape`]: csfma_verify::check_tape
+
+use crate::compile::{Instr, Tape};
+use crate::FmaKind;
+
+/// Every mutation name [`apply_mutation`] understands, with the `T*`
+/// rule its detection is pinned to in `docs/DIAGNOSTICS.md`.
+pub const ALL_MUTATIONS: &[(&str, &str)] = &[
+    ("drop-def", "T001"),
+    ("clobber-slot", "T005"),
+    ("retarget-provenance", "T002"),
+    ("truncate-provenance", "T002"),
+    ("flip-fma-negate", "T002"),
+    ("swap-inputs", "T003"),
+    ("swap-outputs", "T003"),
+    ("drop-store", "T003"),
+    ("dup-store", "T003"),
+    ("mistag-cs", "T004"),
+    ("swap-operands", "T005"),
+    ("swap-fma-operands", "T005"),
+    ("corrupt-const", "T006"),
+];
+
+/// Apply the named corruption to `tape` in place. Returns `false` when
+/// the tape has no site for the mutation (e.g. `mistag-cs` on a tape
+/// with no fused instructions) — the tape is then unchanged.
+///
+/// # Panics
+/// On an unknown mutation name, listing the valid ones.
+pub fn apply_mutation(tape: &mut Tape, name: &str) -> bool {
+    match name {
+        // Remove the first non-Store definition: every later read of
+        // its slot is a read of an uninitialized register (T001).
+        "drop-def" => {
+            let Some(i) = tape
+                .instrs
+                .iter()
+                .position(|ins| !matches!(ins, Instr::Store { .. }))
+            else {
+                return false;
+            };
+            tape.instrs.remove(i);
+            tape.instr_nodes.remove(i);
+            true
+        }
+        // Redirect the second f64 definition into the first one's slot:
+        // the clobbered value's consumers now read the wrong ancestry
+        // (T005) — the classic linear-scan double-allocation bug.
+        "clobber-slot" => {
+            let mut first: Option<u32> = None;
+            for ins in &mut tape.instrs {
+                let dst = match ins {
+                    Instr::LoadInput { dst, .. }
+                    | Instr::LoadConst { dst, .. }
+                    | Instr::Add { dst, .. }
+                    | Instr::Sub { dst, .. }
+                    | Instr::Mul { dst, .. }
+                    | Instr::Div { dst, .. }
+                    | Instr::Neg { dst, .. }
+                    | Instr::CsToIeee { dst, .. } => dst,
+                    _ => continue,
+                };
+                match first {
+                    None => first = Some(*dst),
+                    Some(f) if *dst != f => {
+                        *dst = f;
+                        return true;
+                    }
+                    Some(_) => {}
+                }
+            }
+            false
+        }
+        // Point an arithmetic instruction's provenance at source node 0
+        // (an Input in every parsed program): the instruction no longer
+        // descends from a node of its own operation class (T002).
+        "retarget-provenance" => {
+            for (i, ins) in tape.instrs.iter().enumerate() {
+                if matches!(
+                    ins,
+                    Instr::Add { .. }
+                        | Instr::Sub { .. }
+                        | Instr::Mul { .. }
+                        | Instr::Div { .. }
+                        | Instr::Fma { .. }
+                ) && tape.instr_nodes[i] != 0
+                {
+                    tape.instr_nodes[i] = 0;
+                    return true;
+                }
+            }
+            false
+        }
+        // Drop the last provenance entry: the table no longer covers
+        // the instruction stream (T002).
+        "truncate-provenance" => tape.instr_nodes.pop().is_some(),
+        // Toggle a fused multiply-add's `negate_b` flag: the
+        // instruction computes `acc - b*c` where the source fused
+        // `acc + b*c` (T002 — the constructor payload disagrees).
+        "flip-fma-negate" => {
+            for ins in &mut tape.instrs {
+                if let Instr::Fma { negate_b, .. } = ins {
+                    *negate_b = !*negate_b;
+                    return true;
+                }
+            }
+            false
+        }
+        // Swap the first two positional input names: every batch row
+        // now feeds values to the wrong operands (T003).
+        "swap-inputs" => {
+            if tape.inputs.len() < 2 {
+                return false;
+            }
+            tape.inputs.swap(0, 1);
+            true
+        }
+        // Swap the first two positional output names (T003).
+        "swap-outputs" => {
+            if tape.outputs.len() < 2 {
+                return false;
+            }
+            tape.outputs.swap(0, 1);
+            true
+        }
+        // Delete the first Store: its output row column is never
+        // written (T003).
+        "drop-store" => {
+            let Some(i) = tape
+                .instrs
+                .iter()
+                .position(|ins| matches!(ins, Instr::Store { .. }))
+            else {
+                return false;
+            };
+            tape.instrs.remove(i);
+            tape.instr_nodes.remove(i);
+            true
+        }
+        // Append a second Store to output 0: one column is written
+        // twice, the schedule's single-assignment contract breaks
+        // (T003).
+        "dup-store" => {
+            let Some(i) = tape
+                .instrs
+                .iter()
+                .position(|ins| matches!(ins, Instr::Store { .. }))
+            else {
+                return false;
+            };
+            let ins = tape.instrs[i].clone();
+            let node = tape.instr_nodes[i];
+            tape.instrs.push(ins);
+            tape.instr_nodes.push(node);
+            true
+        }
+        // Flip the carry-save kind tag on the first fused instruction:
+        // a PCS value flows into an FCS consumer or vice versa (T004).
+        "mistag-cs" => {
+            for ins in &mut tape.instrs {
+                let kind = match ins {
+                    Instr::Fma { kind, .. } | Instr::IeeeToCs { kind, .. } => kind,
+                    _ => continue,
+                };
+                *kind = match *kind {
+                    FmaKind::Pcs => FmaKind::Fcs,
+                    FmaKind::Fcs => FmaKind::Pcs,
+                };
+                return true;
+            }
+            false
+        }
+        // Swap the operand slots of the first non-commutative-safe
+        // binary instruction whose operands differ: the left operand
+        // carries the right operand's ancestry (T005).
+        "swap-operands" => {
+            for ins in &mut tape.instrs {
+                let (a, b) = match ins {
+                    Instr::Add { a, b, .. }
+                    | Instr::Sub { a, b, .. }
+                    | Instr::Mul { a, b, .. }
+                    | Instr::Div { a, b, .. } => (a, b),
+                    _ => continue,
+                };
+                if a != b {
+                    std::mem::swap(a, b);
+                    return true;
+                }
+            }
+            false
+        }
+        // Swap a fused instruction's accumulator and multiplicand
+        // slots (both in the carry-save bank): `acc + b*c` becomes
+        // `c + b*acc` (T005).
+        "swap-fma-operands" => {
+            for ins in &mut tape.instrs {
+                if let Instr::Fma { acc, mulc, .. } = ins {
+                    if acc != mulc {
+                        std::mem::swap(acc, mulc);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        // Flip the low mantissa bit of constant-pool entry 0: the pool
+        // no longer matches what the folded subtree evaluates to
+        // (T006).
+        "corrupt-const" => {
+            let Some(c) = tape.consts.first_mut() else {
+                return false;
+            };
+            *c = f64::from_bits(c.to_bits() ^ 1);
+            true
+        }
+        other => panic!(
+            "unknown mutation {other:?}; valid names: {:?}",
+            ALL_MUTATIONS.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        ),
+    }
+}

@@ -53,6 +53,10 @@ pub struct OptStats {
     pub dead_removed: usize,
     /// Tape instructions removed by dead-slot elimination after lowering.
     pub dead_slots_removed: usize,
+    /// Register slots the linear-scan allocator reused from the free
+    /// list during lowering (each reuse is one slot of peak pressure
+    /// avoided; the `T001`/`T005` tape rules prove every reuse safe).
+    pub slots_reclaimed: usize,
     /// Wall time spent optimizing, microseconds.
     pub optimize_us: f64,
     /// Tape-cache hits at the moment this tape was compiled and cached.

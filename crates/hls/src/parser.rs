@@ -5,11 +5,13 @@
 //!
 //! ```text
 //! program :=  stmt*
-//! stmt    :=  "in" ident ("," ident)* ";"
+//! stmt    :=  "in" decl ("," decl)* ";"
 //!          |  ["out"] ident "=" expr ";"
+//! decl    :=  ident ["[" snum "," snum "]"]
 //! expr    :=  term  (("+" | "-") term)*
 //! term    :=  factor (("*" | "/") factor)*
 //! factor  :=  "-" factor | ident | number | "(" expr ")"
+//! snum    :=  ["-"] number
 //! ```
 //!
 //! Identifiers read before being assigned become datapath inputs;
@@ -30,8 +32,18 @@
 //! of silently growing the input row. Declared-but-unused inputs still
 //! appear in the graph (and the compiled tape's row layout), in
 //! declaration order.
+//!
+//! An `in` declaration may bound an input with `in a [lo, hi];` — a
+//! closed interval the caller promises every supplied value lies in.
+//! Bounds do not change the compiled graph; [`parse_program_with_ranges`]
+//! surfaces them as [`RangeDecl`]s for the `R*` value-range analysis
+//! (`csfma-lint --ranges`) and for range-proved fast-path promotion.
+//! [`parse_program`] accepts and discards them, so bounded sources stay
+//! runnable everywhere. Bound *semantics* (`lo <= hi`, finiteness) are
+//! checked by rule `R003`, not the parser.
 
 use crate::cdfg::{Cdfg, NodeId};
+use csfma_verify::RangeDecl;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -111,6 +123,8 @@ enum Tok {
     Comma,
     LParen,
     RParen,
+    LBracket,
+    RBracket,
     Out,
     In,
 }
@@ -165,6 +179,14 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 toks.push((i, Tok::RParen));
                 i += 1;
             }
+            '[' => {
+                toks.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                toks.push((i, Tok::RBracket));
+                i += 1;
+            }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len()
@@ -214,6 +236,8 @@ struct Parser<'a> {
     vars: HashMap<String, NodeId>,
     // the program carries `in` declarations: undefined names are errors
     strict: bool,
+    // `in a [lo, hi];` bounds, in declaration order
+    ranges: Vec<RangeDecl>,
 }
 
 impl<'a> Parser<'a> {
@@ -320,6 +344,23 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// A possibly-negated number literal (range bounds admit `-1.5`).
+    fn signed_number(&mut self) -> Result<f64, ParseError> {
+        let neg = if self.peek() == Some(&Tok::Minus) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Some(Tok::Number(v)) => Ok(if neg { -v } else { v }),
+            _ => Err(ParseError::new(
+                self.pos(),
+                "expected number in range bound",
+            )),
+        }
+    }
+
     fn stmt(&mut self) -> Result<(), ParseError> {
         if self.peek() == Some(&Tok::In) {
             self.idx += 1;
@@ -334,7 +375,15 @@ impl<'a> Parser<'a> {
                             ));
                         }
                         let id = self.g.input(n.clone());
-                        self.vars.insert(n, id);
+                        self.vars.insert(n.clone(), id);
+                        if self.peek() == Some(&Tok::LBracket) {
+                            self.idx += 1;
+                            let lo = self.signed_number()?;
+                            self.expect(&Tok::Comma, "',' between range bounds")?;
+                            let hi = self.signed_number()?;
+                            self.expect(&Tok::RBracket, "']' after range bounds")?;
+                            self.ranges.push(RangeDecl { name: n, lo, hi });
+                        }
                     }
                     _ => return Err(ParseError::new(pos, "expected input name after 'in'")),
                 }
@@ -381,10 +430,18 @@ impl<'a> Parser<'a> {
 /// assert_eq!(len, 18); // two dependent multiply-add links at 5+4 cycles
 /// ```
 pub fn parse_program(src: &str) -> Result<Cdfg, ParseError> {
+    parse_program_with_ranges(src).map(|(g, _)| g)
+}
+
+/// [`parse_program`], additionally returning the `in a [lo, hi];` bound
+/// declarations in declaration order. The graph is identical to what
+/// [`parse_program`] builds; the bounds are side-band facts for the
+/// `R*` value-range analysis ([`crate::lint::lint_ranges`]).
+pub fn parse_program_with_ranges(src: &str) -> Result<(Cdfg, Vec<RangeDecl>), ParseError> {
     parse_inner(src).map_err(|e| e.locate(src))
 }
 
-fn parse_inner(src: &str) -> Result<Cdfg, ParseError> {
+fn parse_inner(src: &str) -> Result<(Cdfg, Vec<RangeDecl>), ParseError> {
     let toks = tokenize(src)?;
     // any `in` declaration anywhere makes the whole program strict, so
     // a use *before* the declaration cannot silently mint an input
@@ -395,6 +452,7 @@ fn parse_inner(src: &str) -> Result<Cdfg, ParseError> {
         g: Cdfg::new(),
         vars: HashMap::new(),
         strict,
+        ranges: Vec::new(),
     };
     while p.peek().is_some() {
         p.stmt()?;
@@ -413,7 +471,7 @@ fn parse_inner(src: &str) -> Result<Cdfg, ParseError> {
             ),
         ));
     }
-    Ok(p.g)
+    Ok((p.g, p.ranges))
 }
 
 #[cfg(test)]
@@ -517,6 +575,34 @@ mod tests {
         );
         // without declarations the legacy auto-input behavior is intact
         assert!(parse_program("out y = a * c;").is_ok());
+    }
+
+    #[test]
+    fn range_declarations_parse_and_are_side_band() {
+        let (g, ranges) =
+            parse_program_with_ranges("in a [0.5, 2.0], b, c [-1e3, 1e3];\nout y = a*b + c;")
+                .unwrap();
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(
+            (ranges[0].name.as_str(), ranges[0].lo, ranges[0].hi),
+            ("a", 0.5, 2.0)
+        );
+        assert_eq!(
+            (ranges[1].name.as_str(), ranges[1].lo, ranges[1].hi),
+            ("c", -1e3, 1e3)
+        );
+        // bounds never change the graph
+        let plain = parse_program("in a, b, c;\nout y = a*b + c;").unwrap();
+        assert_eq!(g.len(), plain.len());
+        // parse_program accepts and discards bounds
+        assert!(parse_program("in a [0.5, 2.0];\nout y = a;").is_ok());
+        // inverted / non-finite bounds are R003's job, not the parser's
+        let (_, r) = parse_program_with_ranges("in a [2.0, -2.0];\nout y = a;").unwrap();
+        assert_eq!((r[0].lo, r[0].hi), (2.0, -2.0));
+        // malformed bounds are positioned parse errors
+        assert!(parse_program("in a [0.5;\nout y = a;").is_err());
+        assert!(parse_program("in a [0.5, b];\nout y = a;").is_err());
+        assert!(parse_program("in a [, 1.0];\nout y = a;").is_err());
     }
 
     #[test]

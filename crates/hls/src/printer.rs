@@ -4,7 +4,8 @@
 //! round-trip through the parser (property-tested).
 
 use crate::cdfg::{Cdfg, FmaKind, Op};
-use std::collections::HashSet;
+use csfma_verify::RangeDecl;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 fn kind_tag(k: FmaKind) -> &'static str {
@@ -20,6 +21,16 @@ fn kind_tag(k: FmaKind) -> &'static str {
 /// fused nodes additionally use `fma_pcs(a, b, c)`-style pseudo-calls
 /// (not re-parseable — they exist for dumps and diffs).
 pub fn to_source(g: &Cdfg) -> String {
+    to_source_with_ranges(g, &[])
+}
+
+/// [`to_source`] with `in a [lo, hi];` bound declarations re-emitted.
+/// Whenever `decls` is non-empty the print leads with an explicit `in`
+/// header (bounds are only expressible there), so
+/// [`parse_program_with_ranges`](crate::parser::parse_program_with_ranges)
+/// round-trips both the graph and the declarations. Declarations naming
+/// no input of `g` are ignored.
+pub fn to_source_with_ranges(g: &Cdfg, decls: &[RangeDecl]) -> String {
     // fresh temporaries must not shadow a source-level name: a program
     // whose *input* is literally called `t0` would otherwise reparse
     // with the temporary captured by the rebound assignment — silently
@@ -51,8 +62,20 @@ pub fn to_source(g: &Cdfg) -> String {
         .iter()
         .enumerate()
         .any(|(id, n)| matches!(n.op, Op::Input(_)) && users[id].is_empty());
-    if has_unused_input {
-        let _ = writeln!(out, "in {};", inputs.join(", "));
+    let bounds: HashMap<&str, &RangeDecl> = decls
+        .iter()
+        .filter(|d| inputs.contains(&d.name.as_str()))
+        .map(|d| (d.name.as_str(), d))
+        .collect();
+    if has_unused_input || !bounds.is_empty() {
+        let decl_list: Vec<String> = inputs
+            .iter()
+            .map(|name| match bounds.get(name) {
+                Some(d) => format!("{name} [{}, {}]", literal(d.lo), literal(d.hi)),
+                None => name.to_string(),
+            })
+            .collect();
+        let _ = writeln!(out, "in {};", decl_list.join(", "));
     }
     let mut names: Vec<String> = Vec::with_capacity(g.len());
     let mut tmp = 0usize;
@@ -60,25 +83,7 @@ pub fn to_source(g: &Cdfg) -> String {
         let arg = |k: usize| names[n.args[k]].clone();
         let (name, rhs) = match &n.op {
             Op::Input(name) => (name.clone(), None),
-            Op::Const(v) => {
-                // overflowing literals (`1e999`) parse to infinities, so
-                // infinities must print back as overflowing literals —
-                // `{v:?}` gives `inf`, which reads as an identifier
-                let mut t = if v.is_infinite() {
-                    if v.is_sign_positive() {
-                        "1e999"
-                    } else {
-                        "-1e999"
-                    }
-                    .to_string()
-                } else {
-                    format!("{v:?}")
-                };
-                if !t.contains('.') && !t.contains('e') {
-                    t.push_str(".0");
-                }
-                (t, None)
-            }
+            Op::Const(v) => (literal(*v), None),
             Op::Add => (
                 fresh(&mut tmp, &taken),
                 Some(format!("{} + {}", arg(0), arg(1))),
@@ -128,6 +133,27 @@ pub fn to_source(g: &Cdfg) -> String {
         let _ = id;
     }
     out
+}
+
+/// Render `v` as a literal the tokenizer reads back bit-exactly.
+/// Overflowing literals (`1e999`) parse to infinities, so infinities
+/// must print back as overflowing literals — `{v:?}` gives `inf`,
+/// which reads as an identifier.
+fn literal(v: f64) -> String {
+    let mut t = if v.is_infinite() {
+        if v.is_sign_positive() {
+            "1e999"
+        } else {
+            "-1e999"
+        }
+        .to_string()
+    } else {
+        format!("{v:?}")
+    };
+    if !t.contains('.') && !t.contains('e') {
+        t.push_str(".0");
+    }
+    t
 }
 
 fn fresh(tmp: &mut usize, taken: &HashSet<&str>) -> String {
@@ -206,6 +232,33 @@ mod tests {
         // fully-used signatures keep the legacy declaration-free print
         let g = parse_program("out y = a * b;").unwrap();
         assert!(!to_source(&g).contains("in "), "{}", to_source(&g));
+    }
+
+    #[test]
+    fn range_declarations_round_trip_through_print() {
+        use crate::parser::parse_program_with_ranges;
+        let (g, ranges) =
+            parse_program_with_ranges("in a [0.5, 2.0], b [-1e3, 1e3];\nout y = a * b;").unwrap();
+        let src = to_source_with_ranges(&g, &ranges);
+        assert!(
+            src.starts_with("in a [0.5, 2.0], b [-1000.0, 1000.0];"),
+            "{src}"
+        );
+        let (g2, ranges2) = parse_program_with_ranges(&src).unwrap();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(ranges.len(), ranges2.len());
+        for (a, b) in ranges.iter().zip(&ranges2) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+            assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        }
+        // decls naming no input are dropped, not invented
+        let stray = [csfma_verify::RangeDecl {
+            name: "zz".into(),
+            lo: 0.0,
+            hi: 1.0,
+        }];
+        assert!(!to_source_with_ranges(&g, &stray).contains("zz"));
     }
 
     #[test]

@@ -88,13 +88,42 @@ pub enum Rule {
     /// force-closed or never exited) — the timings are suspect, the
     /// computed values are not.
     ObsSpanImbalance,
+    /// T001: a tape instruction reads a register slot that no earlier
+    /// instruction wrote (or indexes past the declared register file).
+    TapeUninitializedSlot,
+    /// T002: a tape instruction's `source_nodes` provenance is missing,
+    /// out of range, or names a source node of an incompatible op class.
+    TapeProvenanceBroken,
+    /// T003: the tape's input/output layout (names, declared order, or
+    /// arity) disagrees with the source graph, or an output is stored
+    /// zero or multiple times.
+    TapeIoMismatch,
+    /// T004: a carry-save register is produced in one CS format (PCS vs
+    /// FCS) and consumed as another.
+    TapeCsKindMismatch,
+    /// T005: symbolic replay found an operand whose value ancestry
+    /// differs from the source graph — an operand swap, slot clobber, or
+    /// read-after-free under dead-slot reuse.
+    TapeValueFlowMismatch,
+    /// T006: a folded constant in the tape's pool is not bit-identical
+    /// to re-evaluating the all-constant source subtree it replaced.
+    TapeConstMismatch,
+    /// R001: an effective subtraction whose bounded operand intervals
+    /// overlap — catastrophic cancellation is reachable.
+    CancellationRisk,
+    /// R002: overflow, NaN, or a subnormal is reachable at a node even
+    /// though every transitive input carries declared bounds.
+    RangeOverflow,
+    /// R003: an `in x [lo, hi];` declaration is invalid (NaN bound, or
+    /// `lo > hi`).
+    InvalidRange,
 }
 
 impl Rule {
     /// Every rule the workspace can emit, in catalogue order. New rules
     /// must be added here — `docs/DIAGNOSTICS.md` is tested against this
     /// list, so forgetting one fails the build's registry-walk test.
-    pub const ALL: [Rule; 20] = [
+    pub const ALL: [Rule; 29] = [
         Rule::ArityMismatch,
         Rule::EdgeOrder,
         Rule::DomainMismatch,
@@ -115,6 +144,15 @@ impl Rule {
         Rule::FaultDetected,
         Rule::ObsDisabled,
         Rule::ObsSpanImbalance,
+        Rule::TapeUninitializedSlot,
+        Rule::TapeProvenanceBroken,
+        Rule::TapeIoMismatch,
+        Rule::TapeCsKindMismatch,
+        Rule::TapeValueFlowMismatch,
+        Rule::TapeConstMismatch,
+        Rule::CancellationRisk,
+        Rule::RangeOverflow,
+        Rule::InvalidRange,
     ];
 
     /// Stable short id.
@@ -140,6 +178,15 @@ impl Rule {
             Rule::FaultDetected => "F001",
             Rule::ObsDisabled => "O001",
             Rule::ObsSpanImbalance => "O002",
+            Rule::TapeUninitializedSlot => "T001",
+            Rule::TapeProvenanceBroken => "T002",
+            Rule::TapeIoMismatch => "T003",
+            Rule::TapeCsKindMismatch => "T004",
+            Rule::TapeValueFlowMismatch => "T005",
+            Rule::TapeConstMismatch => "T006",
+            Rule::CancellationRisk => "R001",
+            Rule::RangeOverflow => "R002",
+            Rule::InvalidRange => "R003",
         }
     }
 
@@ -166,6 +213,15 @@ impl Rule {
             Rule::FaultDetected => "fault-detected",
             Rule::ObsDisabled => "obs-disabled",
             Rule::ObsSpanImbalance => "obs-span-imbalance",
+            Rule::TapeUninitializedSlot => "tape-uninitialized-slot",
+            Rule::TapeProvenanceBroken => "tape-provenance-broken",
+            Rule::TapeIoMismatch => "tape-io-mismatch",
+            Rule::TapeCsKindMismatch => "tape-cs-kind-mismatch",
+            Rule::TapeValueFlowMismatch => "tape-value-flow-mismatch",
+            Rule::TapeConstMismatch => "tape-const-mismatch",
+            Rule::CancellationRisk => "cancellation-risk",
+            Rule::RangeOverflow => "range-overflow",
+            Rule::InvalidRange => "invalid-range",
         }
     }
 }
@@ -181,6 +237,8 @@ impl fmt::Display for Rule {
 pub enum Span {
     /// A single graph node.
     Node(usize),
+    /// A single tape instruction (post-lowering program position).
+    Instr(usize),
     /// The edge from `user`'s argument slot `arg` to its producer.
     Edge {
         /// Consuming node.
@@ -207,6 +265,7 @@ impl fmt::Display for Span {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Span::Node(id) => write!(f, "node {id}"),
+            Span::Instr(i) => write!(f, "instr {i}"),
             Span::Edge { user, arg } => write!(f, "node {user}, arg {arg}"),
             Span::Cycle(c) => write!(f, "cycle {c}"),
             Span::Source { line, col } => write!(f, "{line}:{col}"),
@@ -286,6 +345,49 @@ pub fn render_report(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Render findings as a JSON array for machine consumers
+/// (`csfma-lint --json`). Each element carries `severity`, `rule`,
+/// `name`, `span` (the same text the human report prints), and
+/// `message`. Emitted by hand so the verify crate stays
+/// dependency-free; strings are escaped per RFC 8259.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    use std::fmt::Write as _;
+    fn escape(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+    }
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"severity\":\"{}\",\"rule\":\"{}\",\"name\":\"{}\",\"span\":\"",
+            d.severity,
+            d.rule.id(),
+            d.rule.name()
+        );
+        escape(&d.span.to_string(), &mut out);
+        out.push_str("\",\"message\":\"");
+        escape(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +417,21 @@ mod tests {
         let rep = render_report(&diags);
         assert!(rep.contains("1 error(s), 2 warning(s)"), "{rep}");
         assert_eq!(rep.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_lists_all_fields() {
+        let diags = vec![
+            Diagnostic::error(Rule::TapeValueFlowMismatch, Span::Instr(3), "a \"b\"\nc"),
+            Diagnostic::warning(Rule::CancellationRisk, Span::Node(1), "plain"),
+        ];
+        let j = render_json(&diags);
+        assert!(j.starts_with('[') && j.ends_with(']'), "{j}");
+        assert!(j.contains("\"rule\":\"T005\""), "{j}");
+        assert!(j.contains("\"span\":\"instr 3\""), "{j}");
+        assert!(j.contains("a \\\"b\\\"\\nc"), "{j}");
+        assert!(j.contains("\"severity\":\"warning\""), "{j}");
+        assert_eq!(render_json(&[]), "[]");
     }
 
     #[test]

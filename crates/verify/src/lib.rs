@@ -18,7 +18,17 @@
 //!    redundant-sign headroom that the compressor tree, carry reduction
 //!    and block-granular normalization are exact where the paper requires
 //!    exactness (the two bug classes of DESIGN.md §7.2/§7.4 become lint
-//!    failures here instead of `2^k`-scale runtime corruption).
+//!    failures here instead of `2^k`-scale runtime corruption);
+//! 4. [`tape`] — a compiled instruction tape is a faithful translation
+//!    of its source graph: slots are defined before use, the positional
+//!    input/output layout survives, carry-save formats are consumed as
+//!    produced, and every operand's value ancestry matches what the
+//!    per-instruction provenance promises (the `T*` rules — a
+//!    translation validator in the `verify_function` tradition);
+//! 5. [`range`] — an interval abstract interpretation over declared
+//!    input ranges that flags reachable cancellation and overflow, and
+//!    refines the worst-case width bounds of [`widths`] into
+//!    datapath-specific proofs (the `R*` rules).
 //!
 //! All passes report through the structured [`Diagnostic`] type instead
 //! of panicking, so callers (the fusion pass, the `csfma-lint` CLI, CI)
@@ -35,10 +45,14 @@ pub mod dataflow;
 pub mod diag;
 pub mod graph;
 pub mod hazard;
+pub mod range;
+pub mod tape;
 pub mod widths;
 
 pub use dataflow::check_dataflow;
-pub use diag::{has_errors, render_report, Diagnostic, Rule, Severity, Span};
+pub use diag::{has_errors, render_json, render_report, Diagnostic, Rule, Severity, Span};
 pub use graph::{Conversion, Domain, Graph, Node, Role, ScheduleView};
 pub use hazard::check_schedule;
+pub use range::{analyze_ranges, Interval, RangeDecl, RangeReport};
+pub use tape::{check_tape, CsKind, SourceView, SrcNode, SrcOp, TapeInstr, TapeView};
 pub use widths::{check_format, check_standard_formats, window_plan, WindowPlan};

@@ -1,0 +1,599 @@
+//! Value-range abstract interpretation — the `R*` rules and the
+//! datapath-specific width proofs.
+//!
+//! The `W*` rules size a carry-save format for the *worst case*: any
+//! binary64 value may arrive at any port, so the alignment window must
+//! absorb the full exponent range. Real datapaths are narrower. This
+//! pass propagates an interval + NaN-reachability domain from optional
+//! `in x [lo, hi];` declarations through a [`SourceView`] and derives:
+//!
+//! * **R001** (warning) — an effective subtraction whose bounded operand
+//!   intervals overlap: catastrophic cancellation is reachable.
+//! * **R002** (warning) — overflow, NaN or division-by-zero is reachable
+//!   at a node even though all of its operands are provably bounded.
+//! * **R003** (error) — an invalid declaration (`NaN` bound, `lo > hi`).
+//! * A **datapath exponent span**: when every node's magnitude is
+//!   provably bounded, the largest alignment shift any accumulation can
+//!   need — compare it against the format's worst-case
+//!   [`max_shift`](crate::widths::WindowPlan::max_shift) to prove the
+//!   `W001`/`W003` headroom is honored with room to spare *for this
+//!   datapath* (a per-datapath refinement of the format-level proof).
+//! * **Hosted fast-path safety facts** per node: whether the host-FPU
+//!   result provably never lands in the NaN-or-subnormal window that
+//!   forces `softfloat::batch` onto the slow path, so the executor may
+//!   skip the guard (promotion is still gated by bitwise-equality tests
+//!   downstream).
+//!
+//! All interval arithmetic rounds outward by one ulp, so the domain is
+//! sound against host rounding; undeclared inputs are ⊤ (any double,
+//! possibly NaN), which silently disables every refinement — datapaths
+//! without declarations lint exactly as before.
+
+use crate::diag::{Diagnostic, Rule, Span};
+use crate::tape::{SourceView, SrcOp};
+
+/// A declared input range: `in name [lo, hi];`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeDecl {
+    /// Input name the bound attaches to.
+    pub name: String,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+/// Interval + NaN-reachability abstract value. `lo`/`hi` are inclusive
+/// and may be infinite; `may_nan` records whether NaN is reachable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+    /// Whether NaN is reachable.
+    pub may_nan: bool,
+}
+
+/// Next representable double toward +∞ (saturates at +∞).
+fn bump_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    f64::from_bits(if x == 0.0 {
+        1 // +0 and -0 both step to the smallest positive subnormal
+    } else if bits >> 63 == 0 {
+        bits + 1
+    } else {
+        bits - 1
+    })
+}
+
+/// Next representable double toward −∞ (saturates at −∞).
+fn bump_down(x: f64) -> f64 {
+    -bump_up(-x)
+}
+
+impl Interval {
+    /// Any double, NaN included — the abstract value of an undeclared
+    /// input.
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+        may_nan: true,
+    };
+
+    /// The single value `v`.
+    pub fn point(v: f64) -> Interval {
+        Interval {
+            lo: v,
+            hi: v,
+            may_nan: v.is_nan(),
+        }
+    }
+
+    /// The declared range `[lo, hi]` (no NaN).
+    pub fn bounded(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            may_nan: false,
+        }
+    }
+
+    /// Both endpoints finite and NaN unreachable.
+    pub fn is_bounded(&self) -> bool {
+        !self.may_nan && self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Combine corner candidates into an outward-rounded hull; any NaN
+    /// corner (∞−∞, 0·∞, …) collapses to ⊤.
+    fn hull(corners: &[f64], may_nan: bool) -> Interval {
+        if corners.iter().any(|c| c.is_nan()) {
+            return Interval::TOP;
+        }
+        let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval {
+            lo: bump_down(lo),
+            hi: bump_up(hi),
+            may_nan,
+        }
+    }
+
+    fn contains_zero(&self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    fn has_infinite_endpoint(&self) -> bool {
+        self.lo == f64::NEG_INFINITY || self.hi == f64::INFINITY
+    }
+
+    // add/sub evaluate all four corners even though the extremes only
+    // need two: the cross corners are where an interior ∞ − ∞ (NaN)
+    // surfaces, which `hull` must see to stay sound
+    fn add(a: Interval, b: Interval) -> Interval {
+        Interval::hull(
+            &[a.lo + b.lo, a.lo + b.hi, a.hi + b.lo, a.hi + b.hi],
+            a.may_nan || b.may_nan,
+        )
+    }
+
+    fn sub(a: Interval, b: Interval) -> Interval {
+        Interval::hull(
+            &[a.lo - b.lo, a.lo - b.hi, a.hi - b.lo, a.hi - b.hi],
+            a.may_nan || b.may_nan,
+        )
+    }
+
+    fn mul(a: Interval, b: Interval) -> Interval {
+        // 0 · ∞ is NaN but never sits on a corner when 0 and ∞ are
+        // interior/endpoint of *different* operands — check explicitly
+        if (a.contains_zero() && b.has_infinite_endpoint())
+            || (b.contains_zero() && a.has_infinite_endpoint())
+        {
+            return Interval::TOP;
+        }
+        Interval::hull(
+            &[a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi],
+            a.may_nan || b.may_nan,
+        )
+    }
+
+    fn div(a: Interval, b: Interval) -> Interval {
+        if b.lo <= 0.0 && b.hi >= 0.0 {
+            // the divisor can be zero: ±∞ and (0/0) NaN are reachable
+            return Interval::TOP;
+        }
+        Interval::hull(
+            &[a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi],
+            a.may_nan || b.may_nan,
+        )
+    }
+
+    fn neg(a: Interval) -> Interval {
+        Interval {
+            lo: -a.hi,
+            hi: -a.lo,
+            may_nan: a.may_nan,
+        }
+    }
+
+    /// Binary exponent of the largest magnitude in the interval; `None`
+    /// when unbounded, NaN-tainted, or identically zero.
+    pub fn max_exponent(&self) -> Option<i32> {
+        if !self.is_bounded() {
+            return None;
+        }
+        let m = self.lo.abs().max(self.hi.abs());
+        if m == 0.0 {
+            return None; // exact zero needs no alignment at all
+        }
+        Some(m.log2().floor() as i32)
+    }
+
+    /// True when every value in the interval is safe for the hosted
+    /// fast path: not NaN, and either exactly zero or strictly larger
+    /// in magnitude than `f64::MIN_POSITIVE` (the guard in
+    /// `softfloat::batch` falls back when `r != 0 && |r| <=
+    /// MIN_POSITIVE`).
+    pub fn fast_path_safe(&self) -> bool {
+        if self.may_nan {
+            return false;
+        }
+        (self.lo == 0.0 && self.hi == 0.0)
+            || self.lo > f64::MIN_POSITIVE
+            || self.hi < -f64::MIN_POSITIVE
+    }
+}
+
+/// Result of the abstract interpretation over one datapath.
+#[derive(Clone, Debug)]
+pub struct RangeReport {
+    /// `R001`–`R003` findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-node abstract value, indexed by source node id.
+    pub intervals: Vec<Interval>,
+    /// Per-node hosted fast-path safety: `true` only for IEEE
+    /// arithmetic nodes (`Add`/`Sub`/`Mul`/`Div`/`Neg`) whose result is
+    /// provably guard-free (see [`Interval::fast_path_safe`];
+    /// negation only needs NaN-freedom).
+    pub fast_path_safe: Vec<bool>,
+}
+
+/// Slack added on top of the proven exponent span when bounding the
+/// alignment shift a datapath can demand (one position for the carry
+/// out of the wide accumulation, one for the redundant-form excess).
+pub const ALIGNMENT_SLACK_BITS: i64 = 2;
+
+impl RangeReport {
+    /// Largest spread between any two nodes' maximum binary exponents,
+    /// when *every* non-zero node is provably bounded. `None` as soon
+    /// as one node is unbounded (an undeclared input suffices) — no
+    /// refinement can be claimed then.
+    pub fn exponent_span(&self) -> Option<i64> {
+        let mut min_e = i32::MAX;
+        let mut max_e = i32::MIN;
+        for iv in &self.intervals {
+            if !iv.is_bounded() {
+                return None;
+            }
+            if let Some(e) = iv.max_exponent() {
+                min_e = min_e.min(e);
+                max_e = max_e.max(e);
+            }
+        }
+        (min_e <= max_e).then_some((max_e - min_e) as i64)
+    }
+
+    /// Datapath-specific bound on the alignment shift any carry-save
+    /// accumulation can require: the proven exponent span plus
+    /// [`ALIGNMENT_SLACK_BITS`]. Compare against the format's
+    /// worst-case [`max_shift`](crate::widths::WindowPlan::max_shift)
+    /// to turn the `W001` headroom check into a per-datapath proof.
+    pub fn datapath_shift_bound(&self) -> Option<i64> {
+        self.exponent_span().map(|s| s + ALIGNMENT_SLACK_BITS)
+    }
+}
+
+/// Propagate declared input ranges through the graph and report the
+/// `R*` findings. Nodes are visited in definition order; malformed
+/// forward edges are treated as ⊤ (the compile gate rejects such
+/// graphs before this pass ever runs on real pipelines).
+pub fn analyze_ranges(src: &SourceView, decls: &[RangeDecl]) -> RangeReport {
+    let mut diagnostics = Vec::new();
+    let nodes = &src.nodes;
+
+    // ---- R003: validate the declarations themselves --------------------
+    let mut bad = std::collections::HashSet::new();
+    for d in decls {
+        if d.lo.is_nan() || d.hi.is_nan() || d.lo > d.hi {
+            bad.insert(d.name.as_str());
+            let span = nodes
+                .iter()
+                .position(|n| matches!(&n.op, SrcOp::Input(name) if *name == d.name))
+                .map_or(Span::Global, Span::Node);
+            diagnostics.push(Diagnostic::error(
+                Rule::InvalidRange,
+                span,
+                format!(
+                    "declared range [{:?}, {:?}] for input {:?} is invalid (NaN bound or lo > hi)",
+                    d.lo, d.hi, d.name
+                ),
+            ));
+        }
+    }
+    let range_of = |name: &str| -> Interval {
+        if bad.contains(name) {
+            return Interval::TOP;
+        }
+        decls
+            .iter()
+            .find(|d| d.name == name)
+            .map_or(Interval::TOP, |d| Interval::bounded(d.lo, d.hi))
+    };
+
+    let mut intervals: Vec<Interval> = Vec::with_capacity(nodes.len());
+    let mut fast_path_safe = vec![false; nodes.len()];
+    for (id, n) in nodes.iter().enumerate() {
+        let arg = |k: usize| -> Interval {
+            n.args
+                .get(k)
+                .and_then(|&a| (a < id).then(|| intervals[a]))
+                .unwrap_or(Interval::TOP)
+        };
+        let iv = match &n.op {
+            SrcOp::Input(name) => range_of(name),
+            SrcOp::Const(v) => Interval::point(*v),
+            SrcOp::Add => Interval::add(arg(0), arg(1)),
+            SrcOp::Sub => Interval::sub(arg(0), arg(1)),
+            SrcOp::Mul => Interval::mul(arg(0), arg(1)),
+            SrcOp::Div => Interval::div(arg(0), arg(1)),
+            SrcOp::Neg => Interval::neg(arg(0)),
+            // the carry-save accumulation is exact internally; only the
+            // final resolution rounds, which the outward hull absorbs
+            SrcOp::Fma { negate_b, .. } => {
+                let b = if *negate_b {
+                    Interval::neg(arg(1))
+                } else {
+                    arg(1)
+                };
+                Interval::add(arg(0), Interval::mul(b, arg(2)))
+            }
+            SrcOp::IeeeToCs(_) | SrcOp::CsToIeee(_) | SrcOp::Output(_) => arg(0),
+        };
+
+        // ---- R001: reachable catastrophic cancellation -----------------
+        let cancellation = match &n.op {
+            SrcOp::Sub => Some((arg(0), arg(1))),
+            SrcOp::Add => Some((arg(0), Interval::neg(arg(1)))),
+            _ => None,
+        };
+        if let Some((a, b)) = cancellation {
+            if a.is_bounded() && b.is_bounded() {
+                let olo = a.lo.max(b.lo);
+                let ohi = a.hi.min(b.hi);
+                // the operands can be (nearly) equal and non-zero: the
+                // difference loses all leading significant digits
+                if olo <= ohi && olo.abs().max(ohi.abs()) > 0.0 {
+                    diagnostics.push(Diagnostic::warning(
+                        Rule::CancellationRisk,
+                        Span::Node(id),
+                        format!(
+                            "effective subtraction of overlapping ranges \
+                             [{olo:?}, {ohi:?}]: catastrophic cancellation reachable"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // ---- R002: losing boundedness the declarations promised --------
+        let args_bounded = !n.args.is_empty() && (0..n.args.len()).all(|k| arg(k).is_bounded());
+        if args_bounded && !iv.is_bounded() {
+            diagnostics.push(Diagnostic::warning(
+                Rule::RangeOverflow,
+                Span::Node(id),
+                format!(
+                    "overflow or NaN reachable from bounded operands \
+                     (result range [{:?}, {:?}]{})",
+                    iv.lo,
+                    iv.hi,
+                    if iv.may_nan { ", NaN" } else { "" }
+                ),
+            ));
+        }
+
+        fast_path_safe[id] = match &n.op {
+            // the hosted negation guard only checks NaN
+            SrcOp::Neg => !iv.may_nan,
+            SrcOp::Add | SrcOp::Sub | SrcOp::Mul | SrcOp::Div => iv.fast_path_safe(),
+            _ => false,
+        };
+        intervals.push(iv);
+    }
+
+    RangeReport {
+        diagnostics,
+        intervals,
+        fast_path_safe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::SrcNode;
+
+    fn decl(name: &str, lo: f64, hi: f64) -> RangeDecl {
+        RangeDecl {
+            name: name.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// `out y = a - b;`
+    fn sub_graph() -> SourceView {
+        SourceView {
+            nodes: vec![
+                SrcNode {
+                    op: SrcOp::Input("a".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Input("b".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Sub,
+                    args: vec![0, 1],
+                },
+                SrcNode {
+                    op: SrcOp::Output("y".into()),
+                    args: vec![2],
+                },
+            ],
+        }
+    }
+
+    fn rules_of(r: &RangeReport) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.rule.id()).collect()
+    }
+
+    #[test]
+    fn undeclared_inputs_are_top_and_silent() {
+        let r = analyze_ranges(&sub_graph(), &[]);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.intervals[0], Interval::TOP);
+        assert_eq!(r.exponent_span(), None);
+        assert!(!r.fast_path_safe[2]);
+    }
+
+    #[test]
+    fn overlapping_sub_is_r001() {
+        let r = analyze_ranges(&sub_graph(), &[decl("a", 1.0, 2.0), decl("b", 1.5, 3.0)]);
+        assert_eq!(rules_of(&r), vec!["R001"]);
+    }
+
+    #[test]
+    fn disjoint_sub_is_clean_and_fast_path_safe() {
+        let r = analyze_ranges(&sub_graph(), &[decl("a", 10.0, 20.0), decl("b", 1.0, 2.0)]);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // difference is in [8-ish, 19-ish]: positive, normal, NaN-free
+        assert!(r.fast_path_safe[2]);
+        let span = r.exponent_span().unwrap();
+        assert!(span <= 5, "span {span}");
+    }
+
+    #[test]
+    fn overlap_in_magnitude_through_add_is_r001() {
+        // a + b with b in a negative range mirroring a
+        let src = SourceView {
+            nodes: vec![
+                SrcNode {
+                    op: SrcOp::Input("a".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Input("b".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Add,
+                    args: vec![0, 1],
+                },
+                SrcNode {
+                    op: SrcOp::Output("y".into()),
+                    args: vec![2],
+                },
+            ],
+        };
+        let r = analyze_ranges(&src, &[decl("a", 1.0, 2.0), decl("b", -2.0, -1.0)]);
+        assert_eq!(rules_of(&r), vec!["R001"]);
+    }
+
+    #[test]
+    fn division_by_zero_range_is_r002() {
+        let src = SourceView {
+            nodes: vec![
+                SrcNode {
+                    op: SrcOp::Input("x".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Const(1.0),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Div,
+                    args: vec![1, 0],
+                },
+                SrcNode {
+                    op: SrcOp::Output("y".into()),
+                    args: vec![2],
+                },
+            ],
+        };
+        let r = analyze_ranges(&src, &[decl("x", 0.0, 1.0)]);
+        assert_eq!(rules_of(&r), vec!["R002"]);
+    }
+
+    #[test]
+    fn overflow_from_bounded_operands_is_r002() {
+        let src = SourceView {
+            nodes: vec![
+                SrcNode {
+                    op: SrcOp::Input("x".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Mul,
+                    args: vec![0, 0],
+                },
+                SrcNode {
+                    op: SrcOp::Output("y".into()),
+                    args: vec![1],
+                },
+            ],
+        };
+        let r = analyze_ranges(&src, &[decl("x", 1.0e300, 1.0e308)]);
+        assert_eq!(rules_of(&r), vec!["R002"]);
+    }
+
+    #[test]
+    fn invalid_declaration_is_r003() {
+        let r = analyze_ranges(&sub_graph(), &[decl("a", 2.0, 1.0)]);
+        assert_eq!(rules_of(&r), vec!["R003"]);
+        // the bad declaration degrades to ⊤ instead of poisoning math
+        assert_eq!(r.intervals[0], Interval::TOP);
+        let r = analyze_ranges(&sub_graph(), &[decl("b", f64::NAN, 1.0)]);
+        assert_eq!(rules_of(&r), vec!["R003"]);
+    }
+
+    #[test]
+    fn fma_propagates_like_fused_multiply_add() {
+        use crate::tape::CsKind;
+        // cs_to_ieee(fma(to_cs(a), b, to_cs(c))) with a,b,c in [1,2]
+        let src = SourceView {
+            nodes: vec![
+                SrcNode {
+                    op: SrcOp::Input("a".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Input("b".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::Input("c".into()),
+                    args: vec![],
+                },
+                SrcNode {
+                    op: SrcOp::IeeeToCs(CsKind::Pcs),
+                    args: vec![0],
+                },
+                SrcNode {
+                    op: SrcOp::IeeeToCs(CsKind::Pcs),
+                    args: vec![2],
+                },
+                SrcNode {
+                    op: SrcOp::Fma {
+                        kind: CsKind::Pcs,
+                        negate_b: false,
+                    },
+                    args: vec![3, 1, 4],
+                },
+                SrcNode {
+                    op: SrcOp::CsToIeee(CsKind::Pcs),
+                    args: vec![5],
+                },
+                SrcNode {
+                    op: SrcOp::Output("y".into()),
+                    args: vec![6],
+                },
+            ],
+        };
+        let decls = [
+            decl("a", 1.0, 2.0),
+            decl("b", 1.0, 2.0),
+            decl("c", 1.0, 2.0),
+        ];
+        let r = analyze_ranges(&src, &decls);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        let fma = r.intervals[5];
+        assert!(fma.lo >= 1.9 && fma.hi <= 6.1, "{fma:?}");
+        let bound = r.datapath_shift_bound().unwrap();
+        assert!(bound <= 2 + ALIGNMENT_SLACK_BITS, "{bound}");
+    }
+
+    #[test]
+    fn outward_rounding_is_sound_at_the_overflow_edge() {
+        assert_eq!(bump_up(f64::MAX), f64::INFINITY);
+        assert_eq!(bump_down(-f64::MAX), f64::NEG_INFINITY);
+        assert_eq!(bump_up(0.0), f64::from_bits(1));
+        assert!(bump_down(0.0) < 0.0);
+        assert_eq!(bump_up(f64::INFINITY), f64::INFINITY);
+    }
+}

@@ -2,41 +2,60 @@
 //!
 //! Parses straight-line datapath programs (the `csfma-hls` expression
 //! language), runs the `csfma-verify` passes, and renders a diagnostic
-//! report. Exit status 1 when any error-severity finding exists, so the
-//! tool slots into CI.
+//! report.
 //!
 //! ```text
 //! usage: csfma-lint [options] [FILE...]
 //!
-//!   FILE          program file(s) to lint; '-' or none reads stdin
-//!   --fuse KIND   run the Fig. 12 fusion pass (pcs|fcs) and lint the result
-//!   --mul N       declare N multiplier units (N >= 1) for the hazard check
-//!   --add N       declare N adder units
-//!   --div N       declare N divider units
-//!   --fma N       declare N carry-save FMA units
-//!   --formats     also lint the standard carry-save FMA formats
+//!   FILE             program file(s) to lint; '-' or none reads stdin
+//!   --fuse KIND      run the Fig. 12 fusion pass (pcs|fcs) and lint the result
+//!   --mul N          declare N multiplier units (N >= 1) for the hazard check
+//!   --add N          declare N adder units
+//!   --div N          declare N divider units
+//!   --fma N          declare N carry-save FMA units
+//!   --formats        also lint the standard carry-save FMA formats
+//!   --tape           compile (optimizer on and off) and run the T* tape
+//!                    translation validator on the result
+//!   --ranges         run the R* value-range analysis over `in x [lo, hi];`
+//!                    bounds and print the datapath-specific shift-bound proof
+//!   --json           emit one RFC 8259 JSON array of all findings instead of
+//!                    the human-readable report
+//!   --deny-warnings  exit 1 on any finding, warnings included
 //! ```
+//!
+//! Exit status contract (stable, for CI): **0** — no findings (with
+//! `--deny-warnings`: not even warnings); **1** — at least one
+//! error-severity finding (with `--deny-warnings`: any finding);
+//! **2** — usage, I/O or argument errors.
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
 use csfma_hls::{
-    asap_schedule, fuse_critical_paths, list_schedule, parse_program, FmaKind, FusionConfig,
+    asap_schedule, compile_with_options, fuse_critical_paths, interp::format_of, lint_ranges,
+    list_schedule, parse_program_with_ranges, verify_tape, CompileOptions, FmaKind, FusionConfig,
     OpTiming, ResourceLimits,
 };
-use csfma_verify::{check_standard_formats, has_errors, render_report, Diagnostic};
+use csfma_verify::{
+    check_standard_formats, has_errors, render_json, render_report, window_plan, Diagnostic,
+};
 
 struct Options {
     files: Vec<String>,
     fuse: Option<FmaKind>,
     limits: ResourceLimits,
     formats: bool,
+    tape: bool,
+    ranges: bool,
+    json: bool,
+    deny_warnings: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: csfma-lint [--fuse pcs|fcs] [--mul N] [--add N] [--div N] \
-         [--fma N] [--formats] [FILE...]"
+         [--fma N] [--formats] [--tape] [--ranges] [--json] \
+         [--deny-warnings] [FILE...]"
     );
     std::process::exit(2);
 }
@@ -47,6 +66,10 @@ fn parse_args() -> Options {
         fuse: None,
         limits: ResourceLimits::default(),
         formats: false,
+        tape: false,
+        ranges: false,
+        json: false,
+        deny_warnings: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +97,10 @@ fn parse_args() -> Options {
             "--div" => count_for(&mut opts.limits.div, &mut args),
             "--fma" => count_for(&mut opts.limits.fma, &mut args),
             "--formats" => opts.formats = true,
+            "--tape" => opts.tape = true,
+            "--ranges" => opts.ranges = true,
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
             "--help" | "-h" => usage(),
             _ if arg.starts_with("--") => usage(),
             _ => opts.files.push(arg),
@@ -82,13 +109,15 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Lint one source: parse, optionally fuse, run the dataflow and schedule
-/// passes. Returns all findings.
-fn lint_source(src: &str, opts: &Options) -> Vec<Diagnostic> {
+/// Lint one source: parse, optionally fuse, run the dataflow and
+/// schedule passes, then (on request) the tape translation validator
+/// and the value-range analysis. Returns all findings plus the
+/// human-readable range-proof summary line, if one was computed.
+fn lint_source(src: &str, opts: &Options) -> (Vec<Diagnostic>, Option<String>) {
     let t = OpTiming::default();
-    let g = match parse_program(src) {
-        Ok(g) => g,
-        Err(e) => return vec![e.to_diagnostic()],
+    let (g, decls) = match parse_program_with_ranges(src) {
+        Ok(pair) => pair,
+        Err(e) => return (vec![e.to_diagnostic()], None),
     };
     let g = match opts.fuse {
         Some(kind) => fuse_critical_paths(&g, &FusionConfig::new(kind)).fused,
@@ -111,7 +140,39 @@ fn lint_source(src: &str, opts: &Options) -> Vec<Diagnostic> {
         asap_schedule(&g, &t)
     };
     diags.extend(csfma_hls::lint_schedule(&g, &t, &s, &opts.limits));
-    diags
+
+    if opts.tape && !has_errors(&diags) {
+        // both optimizer settings: an optimizer bug must not hide
+        // behind the default, and vice versa
+        for optimize in [false, true] {
+            match compile_with_options(&g, CompileOptions { optimize }) {
+                Ok(tape) => diags.extend(verify_tape(&tape, &g)),
+                Err(e) => diags.extend(e.diagnostics),
+            }
+        }
+    }
+
+    let mut summary = None;
+    if opts.ranges {
+        let report = lint_ranges(&g, &decls);
+        summary = Some(match report.datapath_shift_bound() {
+            Some(bound) => {
+                let worst = [FmaKind::Pcs, FmaKind::Fcs]
+                    .map(|k| window_plan(&format_of(k)).max_shift)
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
+                format!(
+                    "range proof: alignment shift <= {bound} \
+                     (format worst case {worst}, span {})",
+                    report.exponent_span().unwrap_or(0)
+                )
+            }
+            None => "range proof: none (some node is unbounded)".to_string(),
+        });
+        diags.extend(report.diagnostics);
+    }
+    (diags, summary)
 }
 
 fn main() -> ExitCode {
@@ -151,24 +212,41 @@ fn main() -> ExitCode {
             .collect()
     };
 
+    // with --json every finding across all sources lands in one array
+    // (machine consumers lint one file per invocation for attribution)
+    let mut all: Vec<Diagnostic> = Vec::new();
+
     for (name, src) in &sources {
-        let diags = lint_source(src, &opts);
+        let (diags, summary) = lint_source(src, &opts);
+        failed |= has_errors(&diags) || (opts.deny_warnings && !diags.is_empty());
+        if opts.json {
+            all.extend(diags);
+            continue;
+        }
         if diags.is_empty() {
             println!("{name}: clean");
         } else {
             print!("{name}:\n{}", render_report(&diags));
-            failed |= has_errors(&diags);
+        }
+        if let Some(summary) = summary {
+            println!("{name}: {summary}");
         }
     }
 
     if opts.formats {
         let diags = check_standard_formats();
-        if diags.is_empty() {
+        failed |= has_errors(&diags) || (opts.deny_warnings && !diags.is_empty());
+        if opts.json {
+            all.extend(diags);
+        } else if diags.is_empty() {
             println!("standard formats: clean");
         } else {
             print!("standard formats:\n{}", render_report(&diags));
-            failed |= has_errors(&diags);
         }
+    }
+
+    if opts.json {
+        println!("{}", render_json(&all));
     }
 
     if failed {

@@ -22,6 +22,12 @@
 //!   --fault-seed N run the robust self-checking executor with a seeded
 //!                  demo fault campaign (see DESIGN.md §10)
 //!   --no-opt       compile without the post-gate tape optimizer
+//!   --verify-tape  run the T* tape translation validator on the compiled
+//!                  tape and refuse to execute a tape that fails it
+//!   --promote-ranges  promote IEEE instructions whose `in x [lo, hi];`
+//!                  bounds prove the soft-float guard can never fire to
+//!                  the raw host fast path (bit-identical by construction;
+//!                  stimulus always respects declared bounds)
 //!   --profile[=json] append a stage/counter breakdown of the run
 //!                  (parse → gate → optimize → lower → eval, tape-cache
 //!                  and fault counters); `=json` emits the machine-
@@ -39,10 +45,11 @@ use std::process::ExitCode;
 
 use csfma_core::fault::{FaultPlan, FaultSite, FaultSpec};
 use csfma_hls::{
-    compile_cached_with_profiled, fuse_critical_paths, parse_program, CompileOptions, FmaKind,
-    FusionConfig, Instr, Profiler, RobustOptions, RowOutcome, Tape, TapeBackend,
+    compile_cached_with_profiled, fuse_critical_paths, lint_ranges, parse_program_with_ranges,
+    promotion_mask, verify_tape, CompileOptions, FmaKind, FusionConfig, Instr, Profiler,
+    RobustOptions, RowOutcome, Tape, TapeBackend,
 };
-use csfma_verify::{Diagnostic, Rule, Span};
+use csfma_verify::{has_errors, render_report, Diagnostic, RangeDecl, Rule, Span};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -64,13 +71,15 @@ struct Options {
     verbose: bool,
     fault_seed: Option<u64>,
     profile: Option<ProfileFormat>,
+    verify: bool,
+    promote: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: csfma-run [--backend f64|bit|oracle] [--fuse pcs|fcs] [--batch N] \
          [--threads T] [--seed S] [--range LO HI] [--fault-seed N] [--no-opt] \
-         [--profile[=json]] [--verbose] [FILE]"
+         [--verify-tape] [--promote-ranges] [--profile[=json]] [--verbose] [FILE]"
     );
     std::process::exit(2);
 }
@@ -89,6 +98,8 @@ fn parse_args() -> Options {
         verbose: false,
         fault_seed: None,
         profile: None,
+        verify: false,
+        promote: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -126,6 +137,8 @@ fn parse_args() -> Options {
             }
             "--fault-seed" => opts.fault_seed = Some(num(&mut args) as u64),
             "--no-opt" => opts.optimize = false,
+            "--verify-tape" => opts.verify = true,
+            "--promote-ranges" => opts.promote = true,
             "--profile" => opts.profile = Some(ProfileFormat::Text),
             "--profile=json" => opts.profile = Some(ProfileFormat::Json),
             "--verbose" => opts.verbose = true,
@@ -271,8 +284,8 @@ fn main() -> ExitCode {
     };
 
     let parse_tok = prof.enter("parse");
-    let g = match parse_program(&src) {
-        Ok(g) => g,
+    let (g, decls) = match parse_program_with_ranges(&src) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("csfma-run: {e}");
             return ExitCode::from(2);
@@ -297,6 +310,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if opts.verify {
+        let diags = verify_tape(&tape, &g);
+        if has_errors(&diags) {
+            eprint!(
+                "csfma-run: tape translation check failed\n{}",
+                render_report(&diags)
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "tape verified: {} instruction(s), T* rules clean",
+            tape.instrs().len()
+        );
+    }
+
+    let tape = if opts.promote {
+        // the promotion proof's hypothesis is the declared bounds; the
+        // stimulus generator below respects them, so bit-identity to
+        // the guarded backend is guaranteed by the R* analysis
+        let report = lint_ranges(&g, &decls);
+        let mask = promotion_mask(&tape, &report);
+        let mut promoted = (*tape).clone();
+        promoted.set_promoted(mask);
+        println!(
+            "promoted: {} of {} instruction(s) to the host fast path",
+            promoted.promoted_count(),
+            promoted.instrs().len()
+        );
+        std::sync::Arc::new(promoted)
+    } else {
+        tape
+    };
     describe(&tape);
     if opts.verbose {
         dump(&tape);
@@ -314,8 +360,24 @@ fn main() -> ExitCode {
 
     let ni = tape.num_inputs();
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    // declared `in x [lo, hi];` bounds override the global --range for
+    // their input: stimulus must inhabit the hypothesis every
+    // range-derived fact (and fast-path promotion) was proved under
+    let spans: Vec<Option<(f64, f64)>> = tape
+        .input_names()
+        .iter()
+        .map(|n| {
+            decls
+                .iter()
+                .find(|d: &&RangeDecl| &d.name == n && d.lo <= d.hi)
+                .map(|d| (d.lo, d.hi))
+        })
+        .collect();
     let rows: Vec<f64> = (0..opts.batch * ni)
-        .map(|_| rng.gen_range(opts.lo..opts.hi))
+        .map(|i| match spans[i % ni] {
+            Some((lo, hi)) => rng.gen_range(lo..=hi),
+            None => rng.gen_range(opts.lo..opts.hi),
+        })
         .collect();
 
     // fault counters default to zero so every profile carries them; a

@@ -19,6 +19,7 @@ pub use csfma_obs as obs;
 pub use csfma_softfloat as softfloat;
 pub use csfma_solvers as solvers;
 pub use csfma_units as units;
+pub use csfma_verify as verify;
 
 /// Everything most users need, in one import.
 ///

@@ -372,6 +372,11 @@ fn profile_json_round_trips_with_full_stage_breakdown() {
     assert_eq!(counter("fault_detections"), 0.0);
     assert_eq!(counter("fault_rows_quarantined"), 0.0);
     assert!(counter("fma_ops_pcs") > 0.0);
+    // Translation-validator counters: the gate's wall time (0 in release
+    // builds, where the debug gate is compiled out) and the allocator's
+    // slot reuse, both part of the stable profile schema.
+    assert!(counter("tape_verify_us") >= 0.0);
+    assert!(counter("slots_reclaimed") >= 0.0);
 
     assert_eq!(doc.get("warnings"), Some(&json::Value::Arr(Vec::new())));
 

@@ -1,0 +1,126 @@
+//! Filetest runner: every `tests/filetests/*.csfma` is a datapath
+//! program plus expectation directives in leading `;` comment lines
+//! (stripped before parsing — the language itself uses `#` comments):
+//!
+//! ```text
+//! ; lint: T005            expect rule T005 among the findings (repeatable)
+//! ; lint-clean            expect zero findings
+//! ; fuse: pcs|fcs         run the fusion pass before checking
+//! ; mutate: swap-operands corrupt the compiled tape first (see
+//!                         csfma::hls::mutate) — how T* defects are seeded,
+//!                         since a clean compiler never produces them
+//! ```
+//!
+//! Each new `T*`/`R*` rule keeps one minimal reproducer here, so a rule
+//! regression fails a named file instead of a synthetic unit test.
+
+use csfma::hls::{
+    apply_mutation, compile_with_options, fuse_critical_paths, lint_ranges,
+    parse_program_with_ranges, verify_tape, CompileOptions, FmaKind, FusionConfig, OpTiming,
+};
+use csfma::verify::Diagnostic;
+
+#[derive(Default)]
+struct Directives {
+    expect_rules: Vec<String>,
+    expect_clean: bool,
+    fuse: Option<FmaKind>,
+    mutate: Option<String>,
+}
+
+fn parse_directives(src: &str) -> Directives {
+    let mut d = Directives::default();
+    for line in src.lines() {
+        let Some(rest) = line.trim_start().strip_prefix(';') else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(rule) = rest.strip_prefix("lint:") {
+            d.expect_rules.push(rule.trim().to_string());
+        } else if rest == "lint-clean" {
+            d.expect_clean = true;
+        } else if let Some(kind) = rest.strip_prefix("fuse:") {
+            d.fuse = Some(match kind.trim() {
+                "pcs" => FmaKind::Pcs,
+                "fcs" => FmaKind::Fcs,
+                other => panic!("bad fuse directive {other:?}"),
+            });
+        } else if let Some(name) = rest.strip_prefix("mutate:") {
+            d.mutate = Some(name.trim().to_string());
+        } else {
+            panic!("unknown directive {rest:?}");
+        }
+    }
+    assert!(
+        d.expect_clean ^ !d.expect_rules.is_empty(),
+        "a filetest needs `; lint: <RULE>` lines or `; lint-clean` (not both)"
+    );
+    d
+}
+
+fn run_filetest(path: &std::path::Path) -> Vec<Diagnostic> {
+    let raw = std::fs::read_to_string(path).unwrap();
+    let d = parse_directives(&raw);
+    let program: String = raw
+        .lines()
+        .filter(|l| !l.trim_start().starts_with(';'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let (g, decls) = match parse_program_with_ranges(&program) {
+        Ok(pair) => pair,
+        Err(e) => return vec![e.to_diagnostic()],
+    };
+    let g = match d.fuse {
+        Some(kind) => fuse_critical_paths(&g, &FusionConfig::new(kind)).fused,
+        None => g,
+    };
+    let mut diags = Vec::new();
+    if let Some(name) = &d.mutate {
+        // a correct compiler never emits a T*-dirty tape, so T* rule
+        // reproducers seed their defect with a named mutation
+        let mut tape =
+            compile_with_options(&g, CompileOptions { optimize: false }).expect("must compile");
+        assert!(
+            apply_mutation(&mut tape, name),
+            "{path:?}: no mutation site"
+        );
+        diags.extend(verify_tape(&tape, &g));
+    } else {
+        diags.extend(csfma::hls::lint_dataflow(&g, &OpTiming::default()));
+        for optimize in [false, true] {
+            if let Ok(tape) = compile_with_options(&g, CompileOptions { optimize }) {
+                diags.extend(verify_tape(&tape, &g));
+            }
+        }
+        diags.extend(lint_ranges(&g, &decls).diagnostics);
+    }
+
+    let ids: Vec<&str> = diags.iter().map(|d| d.rule.id()).collect();
+    if d.expect_clean {
+        assert!(diags.is_empty(), "{path:?}: expected clean, got {diags:?}");
+    }
+    for rule in &d.expect_rules {
+        assert!(
+            ids.contains(&rule.as_str()),
+            "{path:?}: expected {rule}, got {ids:?}"
+        );
+    }
+    diags
+}
+
+#[test]
+fn filetests() {
+    let mut paths: Vec<_> = std::fs::read_dir("tests/filetests")
+        .expect("tests/filetests must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csfma"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 10,
+        "corpus shrank: every T*/R* rule keeps a reproducer"
+    );
+    for path in paths {
+        run_filetest(&path);
+    }
+}
