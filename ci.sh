@@ -35,11 +35,25 @@ for f in examples/datapaths/*.csfma; do
     cargo run -q --bin csfma-run -- --backend f64 --batch 16 "$f" > /dev/null
 done
 
-# golden-vector corpus: absolute output bits of the FMA units and the
-# compiled example datapaths (regenerate only after an intentional
-# semantics change; see tests/golden_vectors.rs)
+# golden-vector corpus: absolute output bits of the FMA units, the
+# compiled example datapaths and the bit-plane chunk kernel — including
+# the mutation test that arms the kernel's corruption hook and requires
+# the corpus to catch a single flipped plane word (regenerate only after
+# an intentional semantics change; see tests/golden_vectors.rs)
 cargo test -q --test golden_vectors
 cargo test -q --test cli_run
+
+# executable filetest corpus: `; run:` directives pin per-backend result
+# bits (the bit backend goes through the bit-plane kernel on a full
+# 64-lane chunk) and `; run-differential:` sweeps adversarial batches
+# across backends at different thread counts
+cargo test -q --test filetests
+
+# plane/scalar equivalence: special-value matrix + proptests over
+# full/partial/single-row batches, and ragged-tail thread invariance
+# (DESIGN.md §13.3)
+cargo test -q --test plane_equivalence
+cargo test -q --test determinism
 
 # fuzz targets build and take a short deterministic run through their
 # corpora (offline libfuzzer-sys stub — no cargo-fuzz needed; crank
@@ -50,8 +64,9 @@ FUZZ_ITERS=2000 ./fuzz/target/release/compile_gate fuzz/corpus/compile_gate > /d
 FUZZ_ITERS=2000 ./fuzz/target/release/tape_verify fuzz/corpus/tape_verify > /dev/null 2>&1
 
 # throughput audit at the baseline's conditions: verifies tape-vs-oracle
-# bitwise equality, the >=5x headline, and the >=1.5x fused-graph gain
-# over the pre-SoA/pre-optimizer engine (gates are inside the bin)
+# bitwise equality, the >=5x headline, the >=1.5x fused-graph gain over
+# the pre-SoA/pre-optimizer engine, and the >=10x single-thread
+# bit-plane gate on the PCS datapaths (gates are inside the bin)
 cargo run -q --release -p csfma-bench --bin throughput 10000 1024 42 > /dev/null
 git checkout -- results/BENCH_throughput.json 2> /dev/null || true
 

@@ -147,6 +147,12 @@ pub fn throughput(rows: usize, scalar_cap: usize, seed: u64) -> Vec<ThroughputRo
     out
 }
 
+/// Timing repetitions per measurement point. Every repetition produces
+/// bit-identical output (the engine is deterministic), so taking the
+/// minimum wall time is pure noise rejection: scheduler preemption and
+/// cache pollution only ever make a run slower, never faster.
+const REPS: usize = 3;
+
 fn measure(
     name: &str,
     g: &Cdfg,
@@ -159,43 +165,54 @@ fn measure(
     let ni = tape.num_inputs();
     let audit_rows = rows.min(scalar_cap).max(1);
 
-    // scalar oracle over the audited subset
-    let (oracle_out, scalar_total_us) = time_us(|| {
-        let mut oracle_out: Vec<HashMap<String, f64>> = Vec::with_capacity(audit_rows);
-        for r in 0..audit_rows {
-            let m: HashMap<String, f64> = tape
-                .input_names()
-                .iter()
-                .enumerate()
-                .map(|(k, n)| (n.clone(), stim[r * ni + k]))
-                .collect();
-            oracle_out.push(scalar_eval(g, backend, &m));
+    // scalar oracle over the audited subset, best of REPS
+    let mut oracle_out: Vec<HashMap<String, f64>> = Vec::new();
+    let mut scalar_total_us = f64::INFINITY;
+    for rep in 0..REPS {
+        let (got, us) = time_us(|| {
+            let mut out: Vec<HashMap<String, f64>> = Vec::with_capacity(audit_rows);
+            for r in 0..audit_rows {
+                let m: HashMap<String, f64> = tape
+                    .input_names()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, n)| (n.clone(), stim[r * ni + k]))
+                    .collect();
+                out.push(scalar_eval(g, backend, &m));
+            }
+            out
+        });
+        scalar_total_us = scalar_total_us.min(us);
+        if rep == 0 {
+            oracle_out = got;
         }
-        oracle_out
-    });
+    }
     let scalar_us = scalar_total_us / audit_rows as f64;
 
     // compiled tape over the full batch at each worker count; per-run
     // wall time is the engine's own `eval` stage span (time_us is the
-    // obs-disabled fallback)
+    // obs-disabled fallback), best of REPS
     let mut tape_us = Vec::new();
     let mut batch_out = Vec::new();
     for threads in [1usize, 2, 8] {
-        let mut prof = Profiler::new();
-        let (got, wall_us) =
-            time_us(|| tape.eval_batch_profiled(backend, stim, threads, &mut prof));
-        let dt = prof.finish().stage("eval").map_or(wall_us, |s| s.wall_us) / rows as f64;
-        tape_us.push((threads, dt));
-        if threads == 1 {
-            batch_out = got;
-        } else {
-            assert!(
-                got.iter()
-                    .zip(batch_out.iter())
-                    .all(|(a, b)| a.to_bits() == b.to_bits()),
-                "thread-count variance in {name}"
-            );
+        let mut dt = f64::INFINITY;
+        for rep in 0..REPS {
+            let mut prof = Profiler::new();
+            let (got, wall_us) =
+                time_us(|| tape.eval_batch_profiled(backend, stim, threads, &mut prof));
+            dt = dt.min(prof.finish().stage("eval").map_or(wall_us, |s| s.wall_us) / rows as f64);
+            if threads == 1 && rep == 0 {
+                batch_out = got;
+            } else {
+                assert!(
+                    got.iter()
+                        .zip(batch_out.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "thread-count variance in {name}"
+                );
+            }
         }
+        tape_us.push((threads, dt));
     }
 
     let no = tape.num_outputs();

@@ -67,6 +67,11 @@ impl CsNumber {
         &self.carry
     }
 
+    /// Deconstruct into the `(sum, carry)` words without cloning.
+    pub fn into_words(self) -> (Bits, Bits) {
+        (self.sum, self.carry)
+    }
+
     /// The redundant digit at position `i`: `0`, `1` or `2`.
     pub fn digit(&self, i: usize) -> u8 {
         self.sum.bit(i) as u8 + self.carry.bit(i) as u8

@@ -14,6 +14,9 @@
 //! * [`csa3_2`] / [`csa4_2`] and [`reduce_to_cs`] — the compressors and
 //!   reduction trees used inside the multipliers and adders (with depth
 //!   reporting for the `csfma-fabric` timing model),
+//! * [`plane`] — bit-plane (bit-sliced) views of the same compressors:
+//!   the batch engine transposes 64 rows into plane words so one machine
+//!   operation advances all lanes through one gate level,
 //! * [`PcsNumber`] — the *partial carry-save* representation of
 //!   Sec. III-E: explicit carry bits only every `k`-th position (the paper
 //!   settles on `k = 11`), produced by the constant-time
@@ -23,6 +26,7 @@ mod compress;
 mod cs;
 pub mod fault;
 mod pcs;
+pub mod plane;
 
 pub use compress::{
     csa3_2, csa4_2, reduce_to_cs, reduce_to_cs_with, reduction_depth_3_2, ReduceResult,

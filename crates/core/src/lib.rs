@@ -32,6 +32,7 @@ mod format;
 pub mod obs;
 mod operand;
 mod pipeline;
+pub mod plane;
 mod reference;
 mod trace;
 mod unit;
@@ -40,9 +41,10 @@ pub use chain::{run_recurrence_exact, run_recurrence_softfloat, ChainEvaluator, 
 pub use classic::ClassicFma;
 pub use dot::CsDotUnit;
 pub use format::{CsFmaFormat, Normalizer};
-pub use obs::{unit_op_counts, UnitOpCounts};
+pub use obs::{count_plane_fallback, plane_counts, unit_op_counts, PlaneCounts, UnitOpCounts};
 pub use operand::CsOperand;
 pub use pipeline::PipelinedFma;
+pub use plane::{plane_fma_chunk, PlaneScratch};
 pub use reference::{exact_fma, ulp_error_vs_exact};
 pub use trace::{NopSink, TraceSink, VecSink};
 pub use unit::{CsFmaUnit, FmaReport, FmaScratch};

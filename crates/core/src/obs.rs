@@ -12,6 +12,16 @@ pub(crate) static CLASSIC_FMA_OPS: Counter = Counter::new();
 pub(crate) static PCS_FMA_OPS: Counter = Counter::new();
 pub(crate) static FCS_FMA_OPS: Counter = Counter::new();
 
+// Bit-plane chunk-kernel counters (DESIGN.md §13): how many FMA lanes
+// went through the plane kernel, how many it resolved on the scalar
+// exception path, how many the batch executor evaluated scalar because
+// the chunk was a ragged tail, and the time spent transposing between
+// lane-major and plane-major form.
+pub(crate) static PLANE_FMA_LANES: Counter = Counter::new();
+pub(crate) static PLANE_EXCEPTION_LANES: Counter = Counter::new();
+pub(crate) static PLANE_FALLBACK_LANES: Counter = Counter::new();
+pub(crate) static PLANE_TRANSPOSE_NS: Counter = Counter::new();
+
 /// Snapshot of the per-architecture FMA op counters (all zeros when the
 /// `obs` feature is compiled out).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,4 +50,38 @@ pub fn unit_op_counts() -> UnitOpCounts {
         pcs: PCS_FMA_OPS.get(),
         fcs: FCS_FMA_OPS.get(),
     }
+}
+
+/// Snapshot of the bit-plane kernel counters (all zeros when the `obs`
+/// feature is compiled out). See DESIGN.md §13.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaneCounts {
+    /// FMA lanes evaluated fully by the plane kernel.
+    pub plane_lanes: u64,
+    /// Lanes inside a plane chunk resolved by the scalar exception path
+    /// (NaN / Inf / zero products never reach the datapath).
+    pub exception_lanes: u64,
+    /// Fused-FMA lanes the batch executor evaluated scalar because the
+    /// chunk was a ragged tail or the instruction was not plane-eligible.
+    pub fallback_lanes: u64,
+    /// Nanoseconds spent transposing between lane-major and plane-major
+    /// form inside the plane kernel.
+    pub transpose_ns: u64,
+}
+
+/// Read the process-wide bit-plane kernel counters.
+pub fn plane_counts() -> PlaneCounts {
+    PlaneCounts {
+        plane_lanes: PLANE_FMA_LANES.get(),
+        exception_lanes: PLANE_EXCEPTION_LANES.get(),
+        fallback_lanes: PLANE_FALLBACK_LANES.get(),
+        transpose_ns: PLANE_TRANSPOSE_NS.get(),
+    }
+}
+
+/// Tally fused-FMA lanes that took the scalar fallback inside the
+/// bit-accurate batch executor (ragged-tail chunks or instructions the
+/// plane-eligibility analysis rejected).
+pub fn count_plane_fallback(lanes: usize) {
+    PLANE_FALLBACK_LANES.add(lanes as u64);
 }

@@ -471,7 +471,7 @@ impl CsFmaUnit {
     /// Canonically zero mantissas are excluded explicitly ("the early LZA
     /// logic must reliably detect all-0 input mantissas"); if everything
     /// is zero the bottom-most blocks are selected.
-    fn anticipated_skip(
+    pub(crate) fn anticipated_skip(
         &self,
         a: &CsOperand,
         c: &CsOperand,

@@ -48,7 +48,7 @@ use crate::opt::{optimize_graph, OptStats};
 use crate::profile;
 use crate::sched::{OpTiming, ResourceLimits, Schedule};
 use csfma_core::batch::{par_chunks_indexed, CHUNK_ROWS};
-use csfma_core::{CsFmaFormat, CsFmaUnit, CsOperand, FmaScratch};
+use csfma_core::{CsFmaFormat, CsFmaUnit, CsOperand, FmaScratch, PlaneScratch};
 use csfma_obs::Profiler;
 use csfma_softfloat::batch as sfb;
 use csfma_softfloat::{FpFormat, Round, SoftFloat};
@@ -246,6 +246,15 @@ pub struct Tape {
     /// proof that the guard can never fire (see `lint::lint_ranges`), so
     /// promoted evaluation stays bit-identical.
     pub(crate) promoted: Vec<bool>,
+    /// Per-instruction bit-plane eligibility (sibling of `promoted`):
+    /// `plane_eligible[i]` lets the bit-accurate backend evaluate fused
+    /// instruction `i` with the digit-plane chunk kernel
+    /// (`csfma_core::plane_fma_chunk`) on full chunks, 64 lanes per gate
+    /// level. Computed at lowering (every `Fma` qualifies — the kernel
+    /// is format-generic and resolves exception lanes on the scalar
+    /// path); a separate flag so future analyses can veto instructions
+    /// and so tests can audit the dispatch decision.
+    pub(crate) plane_eligible: Vec<bool>,
 }
 
 /// Reusable per-worker register file for tape execution. One scratch per
@@ -273,6 +282,9 @@ pub(crate) struct ChunkScratch {
     pub(crate) pcs: CsFmaUnit,
     pub(crate) fcs: CsFmaUnit,
     pub(crate) fma: FmaScratch,
+    // bit-plane kernel working storage + the per-chunk B-lane latch
+    pub(crate) plane: PlaneScratch,
+    pub(crate) b_lane: Vec<SoftFloat>,
 }
 
 /// FNV-1a over the canonical graph encoding — the identity the tape
@@ -766,6 +778,10 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
     }
 
     let consts_canonical = consts.iter().map(|&c| sfb::canonicalize(c)).collect();
+    let plane_eligible = instrs
+        .iter()
+        .map(|i| matches!(i, Instr::Fma { .. }))
+        .collect();
     Tape {
         instrs,
         inputs,
@@ -784,6 +800,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
         },
         instr_nodes,
         promoted: Vec::new(),
+        plane_eligible,
     }
 }
 
@@ -872,6 +889,13 @@ impl Tape {
         self.promoted.iter().filter(|&&p| p).count()
     }
 
+    /// Number of fused instructions eligible for the bit-plane chunk
+    /// kernel (see DESIGN.md §13) — the lowering marks every `Fma`; the
+    /// batch executor additionally requires a full chunk.
+    pub fn plane_eligible_count(&self) -> usize {
+        self.plane_eligible.iter().filter(|&&p| p).count()
+    }
+
     /// A fresh register file sized for this tape. Reuse it across rows;
     /// [`Tape::eval_batch`] keeps one per worker.
     pub fn scratch(&self) -> TapeScratch {
@@ -893,6 +917,8 @@ impl Tape {
             pcs: CsFmaUnit::new(self.pcs_format),
             fcs: CsFmaUnit::new(self.fcs_format),
             fma: FmaScratch::default(),
+            plane: PlaneScratch::default(),
+            b_lane: Vec::new(),
         }
     }
 
@@ -1153,6 +1179,7 @@ impl Tape {
         let hosted0 = profile::hosted_ops();
         let fallback0 = sfb::softfloat_fallbacks();
         let units0 = csfma_core::unit_op_counts();
+        let plane0 = csfma_core::plane_counts();
         let occ0 = profile::chunk_occupancy();
 
         let eval_tok = prof.enter("eval");
@@ -1193,6 +1220,23 @@ impl Tape {
         prof.set_counter("fma_ops_classic", (units.classic - units0.classic) as f64);
         prof.set_counter("fma_ops_pcs", (units.pcs - units0.pcs) as f64);
         prof.set_counter("fma_ops_fcs", (units.fcs - units0.fcs) as f64);
+        let plane = csfma_core::plane_counts();
+        prof.set_counter(
+            "plane_lanes",
+            (plane.plane_lanes - plane0.plane_lanes) as f64,
+        );
+        prof.set_counter(
+            "plane_exception_lanes",
+            (plane.exception_lanes - plane0.exception_lanes) as f64,
+        );
+        prof.set_counter(
+            "plane_fallback_lanes",
+            (plane.fallback_lanes - plane0.fallback_lanes) as f64,
+        );
+        prof.set_counter(
+            "plane_transpose_us",
+            (plane.transpose_ns - plane0.transpose_ns) as f64 / 1000.0,
+        );
         out
     }
 
@@ -1394,13 +1438,35 @@ impl Tape {
                         FmaKind::Fcs => &s.fcs,
                     };
                     let (d, pa, pb, pm) = (p(dst), p(acc), p(b), p(mulc));
-                    for k in 0..len {
-                        let mut bv = SoftFloat::from_f64(F, s.f[pb + k]);
-                        if negate_b {
-                            bv = bv.neg();
+                    if len == W && self.plane_eligible.get(i).copied().unwrap_or(false) {
+                        s.b_lane.clear();
+                        for k in 0..len {
+                            let mut bv = SoftFloat::from_f64(F, s.f[pb + k]);
+                            if negate_b {
+                                bv = bv.neg();
+                            }
+                            s.b_lane.push(bv);
                         }
-                        let r = unit.fma_with(&s.cs[pa + k], &bv, &s.cs[pm + k], &mut s.fma);
-                        s.cs[d + k] = r;
+                        csfma_core::plane_fma_chunk(
+                            unit,
+                            &mut s.cs,
+                            pa,
+                            pm,
+                            d,
+                            &s.b_lane,
+                            len,
+                            &mut s.plane,
+                        );
+                    } else {
+                        csfma_core::count_plane_fallback(len);
+                        for k in 0..len {
+                            let mut bv = SoftFloat::from_f64(F, s.f[pb + k]);
+                            if negate_b {
+                                bv = bv.neg();
+                            }
+                            let r = unit.fma_with(&s.cs[pa + k], &bv, &s.cs[pm + k], &mut s.fma);
+                            s.cs[d + k] = r;
+                        }
                     }
                 }
                 Instr::IeeeToCs { kind, dst, src } => {

@@ -125,6 +125,66 @@ mod tests {
         assert!(al.dropped_high);
     }
 
+    /// The plane-space aligner (`align_lanes_to_planes`) must place each
+    /// lane exactly like `align_addend` places a scalar word: same sign
+    /// extension, same frame truncation, for any per-lane signed shift.
+    #[test]
+    fn plane_alignment_matches_align_addend_per_lane() {
+        use csfma_carrysave::plane::{align_lanes_to_planes, planes_to_lanes, PLANE_LANES};
+
+        let mut state = 0x51ab_17e5u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for &(src_w, w) in &[(112usize, 385usize), (70, 90), (64, 128), (33, 61), (1, 7)] {
+            let sg = src_w.div_ceil(64);
+            let mut lane_limbs = vec![0u64; PLANE_LANES * sg];
+            let mut shifts = vec![0i64; PLANE_LANES];
+            let mut active = 0u64;
+            let mut lanes: Vec<Bits> = Vec::new();
+            for l in 0..PLANE_LANES {
+                let limbs: Vec<u64> = (0..sg).map(|_| next()).collect();
+                lane_limbs[l * sg..(l + 1) * sg].copy_from_slice(&limbs);
+                lanes.push(Bits::from_limbs(src_w, &limbs));
+                // exercise both frame directions and out-of-frame shifts
+                shifts[l] = (next() % (2 * (w as u64 + 8))) as i64 - (w as i64 + 8);
+                if next() % 8 != 0 {
+                    active |= 1 << l;
+                }
+            }
+            let (mut scratch, mut planes, mut got) = (Vec::new(), Vec::new(), Vec::new());
+            align_lanes_to_planes(
+                &lane_limbs,
+                src_w,
+                &shifts,
+                active,
+                w,
+                &mut scratch,
+                &mut planes,
+            );
+            planes_to_lanes(&planes, w, PLANE_LANES, &mut got);
+            for l in 0..PLANE_LANES {
+                let want = if active & (1 << l) == 0 {
+                    Bits::zero(w)
+                } else {
+                    // the frame placement applies per CS word; use the
+                    // lane value as the sum word of a zero-carry pair
+                    let cs = CsNumber::new(lanes[l].clone(), Bits::zero(src_w));
+                    align_addend(&cs, w, shifts[l]).value.into_words().0
+                };
+                assert_eq!(
+                    got[l], want,
+                    "src_w {src_w} w {w} lane {l} shift {}",
+                    shifts[l]
+                );
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_alignment_error_bounded(v in -(1i128<<30)..(1i128<<30), split in 0u64..256, shift in -40i64..40) {

@@ -78,15 +78,26 @@ pub fn multiply_cs_by_binary_with(
 
     rows.clear();
     rows.reserve(2 * b.width() + 1);
+    let zero = Bits::zero(out_width);
     for i in 0..b.width() {
         if b.bit(i) {
             rows.push(c_sum.shl(i));
             rows.push(c_carry.shl(i));
+        } else {
+            // fixed-shape tree: clear multiplier bits contribute all-zero
+            // rows so the reduction network's wiring is independent of the
+            // operand value — hardware CSA trees are fixed wiring, and the
+            // bit-plane kernel evaluates 64 lanes through one such tree in
+            // lockstep, so every lane must take the same shape
+            rows.push(zero.clone());
+            rows.push(zero.clone());
         }
     }
-    if round_increment {
-        rows.push(b.zext(out_width));
-    }
+    rows.push(if round_increment {
+        b.zext(out_width)
+    } else {
+        zero
+    });
     let reduced = reduce_to_cs_with(rows, out_width, scratch);
     MultiplierOutput {
         product: reduced.cs,
@@ -97,6 +108,13 @@ pub fn multiply_cs_by_binary_with(
 
 /// Apply a sign to a CS product without resolving carries: negation stays
 /// in CS form via one extra compression (`-(s+c) = !s + !c + 2`).
+///
+/// The non-negating case must leave the pair *untouched* — an extra
+/// `csa3_2(s, c, 0)` stage is not value-safe here because the product
+/// words are not guaranteed a redundant sign bit each, so the dropped
+/// top majority bit can shift the signed two-word sum by `2^w`. The
+/// bit-plane kernel reproduces the conditional with a per-lane select
+/// between the negation stage's output and the original words.
 pub fn apply_sign(product: CsNumber, negate: bool) -> CsNumber {
     if negate {
         product.negate()

@@ -123,6 +123,50 @@ fn eval_batch_is_thread_count_invariant() {
 }
 
 #[test]
+fn ragged_tail_batches_match_scalar_at_any_thread_count() {
+    // the bit backend dispatches full 64-row chunks to the bit-plane
+    // kernel and ragged tails to the scalar units; every batch size
+    // around the chunk boundary must agree bit-for-bit with the
+    // all-scalar oracle backend, at every worker count
+    use csfma::hls::{compile, fuse_critical_paths as fuse, parse_program, TapeBackend};
+
+    let listing1 = parse_program("x1 = a*b + c*d;\n x2 = e*f + g*x1;\n out x3 = h*i + k*x2;")
+        .expect("listing1 parses");
+    let horner =
+        parse_program("p1 = c8*x + c7;\n p2 = p1*x + c6;\n p3 = p2*x + c5;\n out y = p3*x + c4;")
+            .expect("horner parses");
+    for (g, kind) in [
+        (&listing1, FmaKind::Pcs),
+        (&listing1, FmaKind::Fcs),
+        (&horner, FmaKind::Pcs),
+    ] {
+        let fused = fuse(g, &FusionConfig::new(kind)).fused;
+        let tape = compile(&fused).expect("fused graph compiles");
+        let ni = tape.num_inputs();
+        for n_rows in [1usize, 63, 64, 65, 127] {
+            let rows: Vec<f64> = (0..n_rows * ni)
+                .map(|i| {
+                    let k = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    ((k % 4001) as f64 - 2000.0) * 7.25e-3
+                })
+                .collect();
+            let scalar = tape.eval_batch(TapeBackend::Oracle, &rows, 1);
+            for threads in [1usize, 4, 8] {
+                let plane = tape.eval_batch(TapeBackend::BitAccurate, &rows, threads);
+                assert_eq!(scalar.len(), plane.len());
+                assert!(
+                    scalar
+                        .iter()
+                        .zip(plane.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{kind:?} batch of {n_rows} at {threads} threads diverged from scalar"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn tape_compilation_is_deterministic() {
     // same graph -> same instruction stream, register counts, fingerprint
     use csfma::hls::compile;

@@ -9,9 +9,13 @@
 //!
 //! * the behavioral FMA units (classic, PCS, FCS; single operations and
 //!   three-link carry-save chains) on recorded operands, including IEEE
-//!   special values, and
+//!   special values,
 //! * the batch engine's outputs for every example datapath ×
-//!   fusion mode × backend on recorded input rows,
+//!   fusion mode × backend on recorded input rows, and
+//! * the bit-plane chunk kernel (DESIGN.md §13): full packed transport
+//!   words for 64-lane chained chunks on every carry-save format — a
+//!   companion mutation test arms the kernel's corruption hook and
+//!   proves this corpus catches a single flipped plane word,
 //!
 //! so any change to rounding, normalization, transport-format geometry
 //! or tape lowering that alters even one result bit fails here with the
@@ -27,7 +31,7 @@
 //! are stored as hex `f64` bit patterns — the files survive any
 //! formatting of decimal floats.
 
-use csfma::core::{ClassicFma, CsFmaFormat, CsFmaUnit, CsOperand};
+use csfma::core::{plane_fma_chunk, ClassicFma, CsFmaFormat, CsFmaUnit, CsOperand, PlaneScratch};
 use csfma::hls::{compile, fuse_critical_paths, parse_program, FmaKind, FusionConfig, TapeBackend};
 use csfma::softfloat::{FpFormat, Round, SoftFloat};
 use std::fmt::Write as _;
@@ -321,6 +325,130 @@ fn backend_of(name: &str) -> TapeBackend {
 }
 
 // ---------------------------------------------------------------------
+// Bit-plane kernel vectors: 64-lane chunks chained through two links,
+// full packed transport words pinned per lane (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+const PLANE_FORMATS: &[(&str, CsFmaFormat)] = &[
+    ("pcs-55-zd", CsFmaFormat::PCS_55_ZD),
+    ("pcs-58-lza", CsFmaFormat::PCS_58_LZA),
+    ("fcs-29-lza", CsFmaFormat::FCS_29_LZA),
+    ("pcs-27-sp", CsFmaFormat::PCS_27_SP),
+    ("fcs-15-sp", CsFmaFormat::FCS_15_SP),
+];
+const PLANE_CHUNK: usize = 64;
+const PLANE_LINKS: usize = 2;
+
+fn plane_format(name: &str) -> CsFmaFormat {
+    PLANE_FORMATS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| *f)
+        .unwrap_or_else(|| panic!("unknown plane format {name:?}"))
+}
+
+fn plane_b_format(fmt: &CsFmaFormat) -> FpFormat {
+    if fmt.b_sig_bits == 24 {
+        FpFormat::BINARY32
+    } else {
+        FpFormat::BINARY64
+    }
+}
+
+/// Hex-encode a packed transport word (arbitrary width), MSB nibble
+/// first — the pinned representation of a whole lane result.
+fn bits_hex(b: &csfma::bits::Bits) -> String {
+    let w = b.width();
+    let mut s = String::from("0x");
+    for n in (0..w.div_ceil(4)).rev() {
+        let mut v = 0u32;
+        for i in 0..4 {
+            let pos = n * 4 + i;
+            if pos < w && b.bit(pos) {
+                v |= 1 << i;
+            }
+        }
+        s.push(char::from_digit(v, 16).unwrap());
+    }
+    s
+}
+
+/// Evaluate one plane-kernel golden case: a 64-lane chunk chained
+/// through the bit-plane kernel (results feed back as the accumulator),
+/// returning the packed transport word of every lane after the final
+/// link plus the lane exponents.
+fn run_plane_case(fmt: CsFmaFormat, a: &[f64], b: &[f64], c: &[f64]) -> Vec<String> {
+    let unit = CsFmaUnit::new(fmt);
+    let bfmt = plane_b_format(&fmt);
+    // bank layout: slot 0 = acc, slot 1 = mulc, slot 2 = dst
+    let mut bank = vec![CsOperand::zero(fmt, false); 3 * PLANE_CHUNK];
+    for k in 0..PLANE_CHUNK {
+        bank[k] = CsOperand::from_ieee(&SoftFloat::from_f64(bfmt, a[k]), fmt);
+        bank[PLANE_CHUNK + k] = CsOperand::from_ieee(&SoftFloat::from_f64(bfmt, c[k]), fmt);
+    }
+    let bv: Vec<SoftFloat> = b.iter().map(|&v| SoftFloat::from_f64(bfmt, v)).collect();
+    let mut scratch = PlaneScratch::default();
+    for _ in 0..PLANE_LINKS {
+        plane_fma_chunk(
+            &unit,
+            &mut bank,
+            0,
+            PLANE_CHUNK,
+            2 * PLANE_CHUNK,
+            &bv,
+            PLANE_CHUNK,
+            &mut scratch,
+        );
+        for k in 0..PLANE_CHUNK {
+            bank[k] = bank[2 * PLANE_CHUNK + k].clone();
+        }
+    }
+    (0..PLANE_CHUNK)
+        .map(|k| {
+            let r = &bank[2 * PLANE_CHUNK + k];
+            format!("{}|e{}", bits_hex(&r.pack()), r.exp().unbiased())
+        })
+        .collect()
+}
+
+/// Recompute every plane-kernel case and report mismatches against the
+/// pinned corpus (empty = corpus holds). Factored out so the mutation
+/// test below can assert the corpus *fails* under a seeded defect.
+fn plane_golden_mismatches(doc: &Json) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    for case in doc.get("cases").arr() {
+        let name = case.get("format").str_();
+        let fmt = plane_format(name);
+        let a: Vec<f64> = case.get("a").arr().iter().map(Json::bits).collect();
+        let b: Vec<f64> = case.get("b").arr().iter().map(Json::bits).collect();
+        let c: Vec<f64> = case.get("c").arr().iter().map(Json::bits).collect();
+        let want: Vec<&str> = case.get("packed").arr().iter().map(Json::str_).collect();
+        let got = run_plane_case(fmt, &a, &b, &c);
+        assert_eq!(got.len(), want.len(), "{name}: lane count drifted");
+        for (k, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            if g != w {
+                mismatches.push(format!("{name} lane {k}: got {g}, pinned {w}"));
+            }
+        }
+    }
+    mismatches
+}
+
+/// Deterministic per-format stimulus for the plane corpus: lane 0 stays
+/// a plain normal triple (the corruption hook flips a lane-0 mantissa
+/// bit, which must never be masked by the exception path), the rest mix
+/// specials, subnormals and wide-exponent normals.
+fn plane_stimulus(fmt_name: &str) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut state = 0x91a9_e000_0000_0000u64 ^ fmt_name.len() as u64;
+    let mut lane = |fixed: f64| -> Vec<f64> {
+        let mut v = vec![fixed];
+        v.extend((1..PLANE_CHUNK).map(|_| gen_f64(&mut state)));
+        v
+    };
+    (lane(1.5), lane(-2.25), lane(3.0625))
+}
+
+// ---------------------------------------------------------------------
 // Deterministic stimulus for regeneration (recorded into the corpus, so
 // the checks never depend on this generator staying fixed)
 // ---------------------------------------------------------------------
@@ -412,6 +540,42 @@ fn golden_datapath_vectors_hold() {
     }
 }
 
+#[test]
+fn golden_plane_kernel_vectors_hold() {
+    let doc = load("plane_kernel.json");
+    let mismatches = plane_golden_mismatches(&doc);
+    assert!(
+        mismatches.is_empty(),
+        "plane-kernel corpus violated:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Mutation coverage of the corpus itself: arm the kernel's one-shot
+/// corruption hook (flips a single bit-plane word — lane 0, mantissa
+/// sum bit 0 — after the block select) and require the golden suite to
+/// notice. If this test fails, the corpus has a blind spot.
+#[test]
+fn golden_suite_catches_plane_word_corruption() {
+    use std::sync::atomic::Ordering;
+    let doc = load("plane_kernel.json");
+    csfma::core::plane::CORRUPT_NEXT_PLANE_WORD.store(true, Ordering::Relaxed);
+    let mismatches = plane_golden_mismatches(&doc);
+    // one-shot hook: consumed by the first chunk evaluation
+    assert!(
+        !csfma::core::plane::CORRUPT_NEXT_PLANE_WORD.load(Ordering::Relaxed),
+        "corruption hook was never consumed"
+    );
+    assert!(
+        !mismatches.is_empty(),
+        "golden plane corpus failed to catch a flipped bit-plane word"
+    );
+    assert!(
+        mismatches.iter().any(|m| m.contains("lane 0")),
+        "corruption flips lane 0, but the mismatch landed elsewhere: {mismatches:?}"
+    );
+}
+
 /// Rebuild `tests/golden/*.json` from the current implementation. Kept
 /// `#[ignore]`d so a routine `cargo test` can never silently re-pin the
 /// corpus; run it explicitly after an intentional semantics change.
@@ -474,4 +638,33 @@ fn regenerate_golden_files() {
     }
     s.push_str("\n  ]\n}\n");
     std::fs::write(golden_dir().join("datapaths.json"), s).expect("write datapaths.json");
+
+    // --- bit-plane kernel vectors ---
+    let mut s = String::from("{\n  \"cases\": [\n");
+    let mut first = true;
+    for &(name, fmt) in PLANE_FORMATS {
+        let (a, b, c) = plane_stimulus(name);
+        let packed = run_plane_case(fmt, &a, &b, &c);
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let enc = |v: &[f64]| -> String {
+            v.iter()
+                .map(|&x| format!("\"{}\"", hex(x)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let outs: Vec<String> = packed.iter().map(|p| format!("\"{p}\"")).collect();
+        let _ = write!(
+            s,
+            "    {{\"format\": \"{name}\",\n     \"a\": [{}],\n     \"b\": [{}],\n     \"c\": [{}],\n     \"packed\": [{}]}}",
+            enc(&a),
+            enc(&b),
+            enc(&c),
+            outs.join(", ")
+        );
+    }
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(golden_dir().join("plane_kernel.json"), s).expect("write plane_kernel.json");
 }
