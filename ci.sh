@@ -55,6 +55,17 @@ cargo test -q --test filetests
 cargo test -q --test plane_equivalence
 cargo test -q --test determinism
 
+# scheduler torture suite (DESIGN.md §14): rows x threads grid vs the
+# 1-thread oracle, robust fault plans under stealing, pathological-skew
+# eval_many, and direct claim/steal races on the deque. Run three ways:
+# default harness parallelism, serialized (--test-threads=1 removes
+# inter-test contention so a failure reproduces cleanly), and with the
+# harness pinned to 2 threads (a *different* contention pattern against
+# the executor's own worker pool)
+cargo test -q --test scheduler
+cargo test -q --test scheduler -- --test-threads=1
+RUST_TEST_THREADS=2 cargo test -q --test scheduler
+
 # fuzz targets build and take a short deterministic run through their
 # corpora (offline libfuzzer-sys stub — no cargo-fuzz needed; crank
 # FUZZ_ITERS for a real session)
@@ -65,8 +76,10 @@ FUZZ_ITERS=2000 ./fuzz/target/release/tape_verify fuzz/corpus/tape_verify > /dev
 
 # throughput audit at the baseline's conditions: verifies tape-vs-oracle
 # bitwise equality, the >=5x headline, the >=1.5x fused-graph gain over
-# the pre-SoA/pre-optimizer engine, and the >=10x single-thread
-# bit-plane gate on the PCS datapaths (gates are inside the bin)
+# the pre-SoA/pre-optimizer engine, the >=10x single-thread bit-plane
+# gate on the PCS datapaths, the environment-aware 8-thread 10k-row
+# scaling audit on every bit-backend row, and the eval_many scenario's
+# bitwise + speedup-vs-sequential gate (all gates are inside the bin)
 cargo run -q --release -p csfma-bench --bin throughput 10000 1024 42 > /dev/null
 git checkout -- results/BENCH_throughput.json 2> /dev/null || true
 

@@ -11,8 +11,19 @@
 //! 8 threads, best graph) is missed — so CI can run a tiny smoke with
 //! relaxed expectations via arguments, while the checked-in baseline is
 //! regenerated with the defaults.
+//!
+//! The 8-thread gates are environment-aware: parallel *speedup* can only
+//! be demanded of hardware that has the cores to give it. On a machine
+//! with >= 8 hardware threads every bit-backend row must show
+//! `speedup_8t > speedup_1t`; on smaller hosts the gate degrades to a
+//! no-regression bound (`speedup_8t >= 0.75 * speedup_1t`), i.e. an
+//! 8-way oversubscribed run may not pay more than 25% scheduling tax —
+//! on a host where all 8 workers time-share one core, the tax is pure
+//! context-switch overhead and is largest on the cheapest per-row
+//! graphs.
+//! Bitwise equality is gated unconditionally everywhere.
 
-use csfma_bench::throughput::{throughput, to_json};
+use csfma_bench::throughput::{eval_many_scenario, throughput, to_json};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,12 +33,16 @@ fn main() -> ExitCode {
     let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(42);
 
     let rows_data = throughput(rows, cap, seed);
-    let json = to_json(&rows_data, rows, seed);
+    let many = eval_many_scenario((rows / 4).max(64), seed);
+    let json = to_json(&rows_data, &many, rows, seed);
 
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_throughput.json", &json).expect("write results");
     println!("{json}");
 
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let all_equal = rows_data.iter().all(|r| r.bitwise_equal);
     let best_bit_8t = rows_data
         .iter()
@@ -35,8 +50,55 @@ fn main() -> ExitCode {
         .map(|r| r.speedup_8t)
         .fold(0.0f64, f64::max);
     eprintln!(
-        "audit: bitwise_equal={all_equal}, best bit-accurate 8-thread speedup {best_bit_8t:.1}x"
+        "audit: bitwise_equal={all_equal}, best bit-accurate 8-thread speedup {best_bit_8t:.1}x \
+         ({hw_threads} hardware thread(s))"
     );
+
+    // 8-thread scaling audit over every bit-backend row (module docs:
+    // strict on real 8-way hardware, no-regression elsewhere)
+    let mut scaling_ok = true;
+    for r in rows_data.iter().filter(|r| r.backend == "bit") {
+        let floor = if hw_threads >= 8 {
+            r.speedup_1t
+        } else {
+            0.75 * r.speedup_1t
+        };
+        let verdict = if r.speedup_8t >= floor { "ok" } else { "FAIL" };
+        eprintln!(
+            "audit: {} bit 8t {:.2}x vs 1t {:.2}x (floor {:.2}x, workers {}, \
+             claims {}, steals {}, chunk {} rows): {verdict}",
+            r.graph,
+            r.speedup_8t,
+            r.speedup_1t,
+            floor,
+            r.steal_workers,
+            r.steal_claims,
+            r.steal_steals,
+            r.chunk_size,
+        );
+        if r.speedup_8t < floor {
+            scaling_ok = false;
+        }
+    }
+
+    // eval_many scenario: bitwise equality is unconditional; the
+    // speedup-vs-sequential bound follows the same environment rule
+    let many_floor = if hw_threads >= 8 { 1.0 } else { 0.85 };
+    eprintln!(
+        "audit: eval_many {} request(s), {} rows, {:.2}x vs sequential (floor {many_floor:.2}x), \
+         bitwise_equal={}, workers {}, claims {}, steals {}",
+        many.requests,
+        many.rows_total,
+        many.speedup_vs_sequential,
+        many.bitwise_equal,
+        many.workers,
+        many.claims,
+        many.steals,
+    );
+    let many_ok = many.bitwise_equal && many.speedup_vs_sequential >= many_floor;
+    if !many_ok {
+        eprintln!("audit: eval_many scenario FAILED its gate");
+    }
 
     // fused-graph regression gates, both against the same binary's scalar
     // row loop (`speedup_1t` is self-relative, so the gate holds across
@@ -89,7 +151,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if !all_equal || best_bit_8t < 5.0 || !fused_ok {
+    if !all_equal || best_bit_8t < 5.0 || !fused_ok || !scaling_ok || !many_ok {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

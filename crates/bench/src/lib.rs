@@ -13,4 +13,4 @@ pub mod throughput;
 
 pub use experiments::{fig13, fig14, fig15, table1, table2, Fig14Row, Fig15Row};
 pub use fault::{run_campaign, FaultCampaign, SiteReport};
-pub use throughput::{throughput, ThroughputRow};
+pub use throughput::{eval_many_scenario, throughput, EvalManyScenario, ThroughputRow};

@@ -19,10 +19,10 @@
 //! the JSON never silently pretends full coverage.
 
 use csfma_hls::{
-    compile_cached, compile_with_options_profiled, fuse_critical_paths,
+    compile_cached, compile_with_options_profiled, eval_many_profiled, fuse_critical_paths,
     interp::{eval_bit_accurate, eval_f64},
-    parse_program, tape_cache_stats, Cdfg, CompileOptions, FmaKind, FusionConfig, Profiler, Tape,
-    TapeBackend,
+    parse_program, tape_cache_stats, Cdfg, CompileOptions, EvalManyRequest, FmaKind, FusionConfig,
+    Profiler, Tape, TapeBackend,
 };
 use csfma_obs::time_us;
 use csfma_solvers::{generate_ldlsolve, solver_suite, KktSystem, LdlFactors};
@@ -64,6 +64,14 @@ pub struct ThroughputRow {
     pub opt_nodes_after: usize,
     /// Instructions in the lowered tape (after dead-slot elimination).
     pub instrs: usize,
+    /// Adaptive scheduler grain at 8 threads, in rows (`grain · 64`).
+    pub chunk_size: usize,
+    /// Workers the 8-thread run actually fielded (capped by batch size).
+    pub steal_workers: u64,
+    /// Deque claims (owner pops + steals) during the 8-thread run.
+    pub steal_claims: u64,
+    /// Of which: successful steals from another worker's deque.
+    pub steal_steals: u64,
 }
 
 /// The benchmark datapaths: Listing 1 discrete and fused both ways, the
@@ -223,6 +231,10 @@ fn measure(
             .all(|(k, n)| batch_out[r * no + k].to_bits() == oracle_out[r][n].to_bits())
     });
 
+    // one un-timed 8-thread pass to capture the scheduler's own view of
+    // the workload (grain, fielded workers, claim/steal mix)
+    let (_, sched) = tape.eval_batch_with_stats(backend, stim, 8);
+
     let tape_1t = tape_us[0].1;
     let tape_8t = tape_us[2].1;
     ThroughputRow {
@@ -246,13 +258,141 @@ fn measure(
         opt_nodes_before: 0,
         opt_nodes_after: 0,
         instrs: tape.instrs().len(),
+        chunk_size: sched.grain as usize * csfma_core::batch::CHUNK_ROWS,
+        steal_workers: sched.workers,
+        steal_claims: sched.claims,
+        steal_steals: sched.steals,
     }
 }
 
-/// Render rows as the `BENCH_throughput.json` document. Hand-rolled
-/// (the workspace has no JSON dependency); numbers use enough digits to
-/// round-trip.
-pub fn to_json(rows: &[ThroughputRow], rows_per_graph: usize, seed: u64) -> String {
+/// Measurement of the multi-graph [`csfma_hls::eval_many`] scenario: every
+/// benchmark datapath as one request (fused graphs on the bit-accurate
+/// backend, the rest on f64) behind a single 8-thread stealing deque,
+/// against the sequential baseline of per-request `eval_batch` calls.
+#[derive(Clone, Debug)]
+pub struct EvalManyScenario {
+    /// Requests in the batch (one per benchmark datapath).
+    pub requests: usize,
+    /// Total rows across all requests.
+    pub rows_total: usize,
+    /// One `eval_many` call at 8 threads, microseconds (best of reps).
+    pub many_us: f64,
+    /// Sequential per-request `eval_batch` at 1 thread, microseconds.
+    pub sequential_us: f64,
+    /// `sequential_us / many_us`.
+    pub speedup_vs_sequential: f64,
+    /// Every request bitwise identical to its standalone evaluation.
+    pub bitwise_equal: bool,
+    /// Workers the stealing pass fielded.
+    pub workers: u64,
+    /// Deque claims across the whole request set.
+    pub claims: u64,
+    /// Of which: successful steals.
+    pub steals: u64,
+}
+
+/// Run the [`csfma_hls::eval_many`] scenario: `rows` rows for the heavy fused
+/// requests and `rows / 4` for the f64 ones (deliberate skew, so the
+/// deque has something to rebalance), stimulus from `seed`.
+pub fn eval_many_scenario(rows: usize, seed: u64) -> EvalManyScenario {
+    let graphs = bench_graphs();
+    let backends: Vec<TapeBackend> = graphs
+        .iter()
+        .map(|(name, _)| {
+            if name.contains("pcs") || name.contains("fcs") {
+                TapeBackend::BitAccurate
+            } else {
+                TapeBackend::F64
+            }
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows_by_req: Vec<Vec<f64>> = graphs
+        .iter()
+        .zip(&backends)
+        .map(|((_, g), b)| {
+            let ni = compile_cached(g)
+                .expect("benchmark graphs compile")
+                .num_inputs();
+            let n = match b {
+                TapeBackend::BitAccurate => rows,
+                _ => (rows / 4).max(1),
+            };
+            (0..n * ni).map(|_| rng.gen_range(-100.0..100.0)).collect()
+        })
+        .collect();
+    let reqs: Vec<EvalManyRequest> = graphs
+        .iter()
+        .zip(&backends)
+        .zip(&rows_by_req)
+        .map(|(((_, g), &backend), rows)| EvalManyRequest::new(g, backend, rows))
+        .collect();
+
+    let mut many_us = f64::INFINITY;
+    let mut results = Vec::new();
+    let mut workers = 0u64;
+    let mut claims = 0u64;
+    let mut steals = 0u64;
+    for rep in 0..REPS {
+        let mut prof = Profiler::new();
+        let (got, us) = time_us(|| eval_many_profiled(&reqs, 8, &mut prof));
+        let report = prof.finish();
+        many_us = many_us.min(report.stage("eval_many").map_or(us, |s| s.wall_us));
+        if rep == 0 {
+            workers = report.counter("sched_workers").unwrap_or(0.0) as u64;
+            claims = report.counter("sched_claims").unwrap_or(0.0) as u64;
+            steals = report.counter("sched_steals").unwrap_or(0.0) as u64;
+            results = got;
+        }
+    }
+
+    let mut sequential_us = f64::INFINITY;
+    for _ in 0..REPS {
+        let (_, us) = time_us(|| {
+            for (((_, g), &backend), rows) in graphs.iter().zip(&backends).zip(&rows_by_req) {
+                let tape = compile_cached(g).expect("benchmark graphs compile");
+                std::hint::black_box(tape.eval_batch(backend, rows, 1));
+            }
+        });
+        sequential_us = sequential_us.min(us);
+    }
+
+    let bitwise_equal = results.iter().enumerate().all(|(i, res)| {
+        let out = res.as_ref().expect("benchmark graphs compile");
+        let want = out.tape.eval_batch(backends[i], &rows_by_req[i], 1);
+        want.len() == out.outputs.len()
+            && want
+                .iter()
+                .zip(&out.outputs)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    let rows_total = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|o| o.outputs.len() / o.tape.num_outputs().max(1))
+        .sum();
+    EvalManyScenario {
+        requests: reqs.len(),
+        rows_total,
+        many_us,
+        sequential_us,
+        speedup_vs_sequential: sequential_us / many_us,
+        bitwise_equal,
+        workers,
+        claims,
+        steals,
+    }
+}
+
+/// Render rows plus the [`csfma_hls::eval_many`] scenario as the
+/// `BENCH_throughput.json` document. Hand-rolled (the workspace has no
+/// JSON dependency); numbers use enough digits to round-trip.
+pub fn to_json(
+    rows: &[ThroughputRow],
+    many: &EvalManyScenario,
+    rows_per_graph: usize,
+    seed: u64,
+) -> String {
     use std::fmt::Write as _;
     let threads_avail = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -274,6 +414,21 @@ pub fn to_json(rows: &[ThroughputRow], rows_per_graph: usize, seed: u64) -> Stri
         "  \"tape_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
          \"entries\": {}, \"capacity\": {}, \"hit_rate\": {hit_rate:.4}}},",
         c.hits, c.misses, c.evictions, c.entries, c.capacity
+    );
+    let _ = writeln!(
+        s,
+        "  \"eval_many\": {{\"requests\": {}, \"rows_total\": {}, \"many_us\": {:.2}, \
+         \"sequential_us\": {:.2}, \"speedup_vs_sequential\": {:.2}, \"bitwise_equal\": {}, \
+         \"steal\": {{\"workers\": {}, \"claims\": {}, \"steals\": {}}}}},",
+        many.requests,
+        many.rows_total,
+        many.many_us,
+        many.sequential_us,
+        many.speedup_vs_sequential,
+        many.bitwise_equal,
+        many.workers,
+        many.claims,
+        many.steals
     );
     let _ = writeln!(s, "  \"entries\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -310,6 +465,12 @@ pub fn to_json(rows: &[ThroughputRow], rows_per_graph: usize, seed: u64) -> Stri
         let _ = writeln!(s, "      \"opt_nodes_before\": {},", r.opt_nodes_before);
         let _ = writeln!(s, "      \"opt_nodes_after\": {},", r.opt_nodes_after);
         let _ = writeln!(s, "      \"instrs\": {},", r.instrs);
+        let _ = writeln!(s, "      \"chunk_size\": {},", r.chunk_size);
+        let _ = writeln!(
+            s,
+            "      \"steal\": {{\"workers\": {}, \"claims\": {}, \"steals\": {}}},",
+            r.steal_workers, r.steal_claims, r.steal_steals
+        );
         let _ = writeln!(s, "      \"bitwise_equal\": {}", r.bitwise_equal);
         let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }

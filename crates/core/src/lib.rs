@@ -37,11 +37,15 @@ mod reference;
 mod trace;
 mod unit;
 
+pub use batch::{adaptive_grain, par_chunks_indexed, steal_indexed, IndexDeque, SchedStats};
 pub use chain::{run_recurrence_exact, run_recurrence_softfloat, ChainEvaluator, RecurrenceCase};
 pub use classic::ClassicFma;
 pub use dot::CsDotUnit;
 pub use format::{CsFmaFormat, Normalizer};
-pub use obs::{count_plane_fallback, plane_counts, unit_op_counts, PlaneCounts, UnitOpCounts};
+pub use obs::{
+    count_plane_fallback, plane_counts, sched_counts, sched_grain_histogram, unit_op_counts,
+    PlaneCounts, SchedCounts, UnitOpCounts,
+};
 pub use operand::CsOperand;
 pub use pipeline::PipelinedFma;
 pub use plane::{plane_fma_chunk, PlaneScratch};

@@ -6,7 +6,7 @@
 //! FCS (full carry-save, `carry_spacing = None`). All increments are
 //! no-ops when the `obs` feature is compiled out.
 
-use csfma_obs::Counter;
+use csfma_obs::{Counter, Histogram};
 
 pub(crate) static CLASSIC_FMA_OPS: Counter = Counter::new();
 pub(crate) static PCS_FMA_OPS: Counter = Counter::new();
@@ -21,6 +21,54 @@ pub(crate) static PLANE_FMA_LANES: Counter = Counter::new();
 pub(crate) static PLANE_EXCEPTION_LANES: Counter = Counter::new();
 pub(crate) static PLANE_FALLBACK_LANES: Counter = Counter::new();
 pub(crate) static PLANE_TRANSPOSE_NS: Counter = Counter::new();
+
+// Work-stealing scheduler counters (DESIGN.md §14): jobs that fielded
+// multiple workers vs. jobs that ran inline on the caller, owner-side
+// front claims, successful back-of-deque steals, and steal attempts
+// that lost the race to a concurrent claim (starvation pressure).
+pub(crate) static SCHED_JOBS: Counter = Counter::new();
+pub(crate) static SCHED_INLINE_JOBS: Counter = Counter::new();
+pub(crate) static SCHED_CLAIMS: Counter = Counter::new();
+pub(crate) static SCHED_STEALS: Counter = Counter::new();
+pub(crate) static SCHED_STEAL_MISSES: Counter = Counter::new();
+
+/// Grain (work items per owner claim) chosen per job, bucketed by
+/// `log2(grain)`: bucket 0 is grain 1, bucket 6 is grain 64, the last
+/// bucket collects the inline path's whole-batch grains.
+pub(crate) static SCHED_GRAIN: Histogram<8> = Histogram::new();
+
+/// Snapshot of the work-stealing scheduler counters (all zeros when the
+/// `obs` feature is compiled out). See DESIGN.md §14.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedCounts {
+    /// Scheduler invocations that fielded ≥ 2 workers.
+    pub jobs: u64,
+    /// Invocations that ran inline on the calling thread (1 worker).
+    pub inline_jobs: u64,
+    /// Owner-side front claims across all jobs.
+    pub claims: u64,
+    /// Successful back-of-deque steals.
+    pub steals: u64,
+    /// Steal attempts that lost the race to a concurrent claim.
+    pub steal_misses: u64,
+}
+
+/// Read the process-wide work-stealing scheduler counters.
+pub fn sched_counts() -> SchedCounts {
+    SchedCounts {
+        jobs: SCHED_JOBS.get(),
+        inline_jobs: SCHED_INLINE_JOBS.get(),
+        claims: SCHED_CLAIMS.get(),
+        steals: SCHED_STEALS.get(),
+        steal_misses: SCHED_STEAL_MISSES.get(),
+    }
+}
+
+/// Snapshot the per-job grain histogram (bucket `i` counts jobs whose
+/// grain was in `[2^i, 2^(i+1))`; the last bucket is open-ended).
+pub fn sched_grain_histogram() -> [u64; 8] {
+    SCHED_GRAIN.snapshot()
+}
 
 /// Snapshot of the per-architecture FMA op counters (all zeros when the
 /// `obs` feature is compiled out).

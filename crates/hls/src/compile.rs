@@ -287,6 +287,51 @@ pub(crate) struct ChunkScratch {
     pub(crate) b_lane: Vec<SoftFloat>,
 }
 
+/// Process-wide recycling pool for [`ChunkScratch`] register files.
+///
+/// The work-stealing scheduler builds one scratch per participating
+/// worker per job; without a pool that is a fresh set of register-plane
+/// and `FmaScratch`/`PlaneScratch` allocations on every `eval_batch`
+/// call. The pool caps retained scratches at [`SCRATCH_POOL_CAP`] (a few
+/// workers' worth) and hands them back dirty: every tape register is
+/// written before it is read (validated by the T001 def-before-use rule,
+/// `crates/verify/src/tape.rs`), so stale contents can never reach an
+/// output byte — which is also why recycling across *different* tapes is
+/// sound.
+static CHUNK_SCRATCH_POOL: Mutex<Vec<ChunkScratch>> = Mutex::new(Vec::new());
+
+/// Retained-scratch cap: two full worker complements
+/// (`2 × csfma_core::batch::MAX_WORKERS`).
+const SCRATCH_POOL_CAP: usize = 2 * csfma_core::batch::MAX_WORKERS;
+
+/// A [`ChunkScratch`] on loan from [`CHUNK_SCRATCH_POOL`]; returns
+/// itself to the pool on drop (when the pool is below its cap).
+pub(crate) struct PooledChunkScratch(Option<ChunkScratch>);
+
+impl std::ops::Deref for PooledChunkScratch {
+    type Target = ChunkScratch;
+    fn deref(&self) -> &ChunkScratch {
+        self.0.as_ref().expect("scratch taken")
+    }
+}
+
+impl std::ops::DerefMut for PooledChunkScratch {
+    fn deref_mut(&mut self) -> &mut ChunkScratch {
+        self.0.as_mut().expect("scratch taken")
+    }
+}
+
+impl Drop for PooledChunkScratch {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            let mut pool = CHUNK_SCRATCH_POOL.lock().unwrap_or_else(|e| e.into_inner());
+            if pool.len() < SCRATCH_POOL_CAP {
+                pool.push(s);
+            }
+        }
+    }
+}
+
 /// FNV-1a over the canonical graph encoding — the identity the tape
 /// cache is keyed by (the full encoding, not just this digest, to make
 /// collisions impossible; the digest is for reporting).
@@ -909,17 +954,36 @@ impl Tape {
         }
     }
 
-    pub(crate) fn chunk_scratch(&self) -> ChunkScratch {
-        ChunkScratch {
-            f: vec![0.0; self.n_f64_regs * CHUNK_ROWS],
-            cs: vec![CsOperand::zero(self.pcs_format, false); self.n_cs_regs * CHUNK_ROWS],
-            cs_f: vec![0.0; self.n_cs_regs * CHUNK_ROWS],
+    /// A structure-of-arrays register file for this tape, recycled from
+    /// the process-wide scratch pool when one is available. Sizing the
+    /// banks with `resize` keeps a recycled scratch's capacity (and its
+    /// `FmaScratch`/`PlaneScratch` working buffers) across jobs and
+    /// across tapes; contents are left dirty — see
+    /// [`CHUNK_SCRATCH_POOL`] for why that is sound.
+    pub(crate) fn chunk_scratch(&self) -> PooledChunkScratch {
+        let recycled = CHUNK_SCRATCH_POOL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        let mut s = recycled.unwrap_or_else(|| ChunkScratch {
+            f: Vec::new(),
+            cs: Vec::new(),
+            cs_f: Vec::new(),
             pcs: CsFmaUnit::new(self.pcs_format),
             fcs: CsFmaUnit::new(self.fcs_format),
             fma: FmaScratch::default(),
             plane: PlaneScratch::default(),
             b_lane: Vec::new(),
-        }
+        });
+        s.f.resize(self.n_f64_regs * CHUNK_ROWS, 0.0);
+        s.cs_f.resize(self.n_cs_regs * CHUNK_ROWS, 0.0);
+        s.cs.resize(
+            self.n_cs_regs * CHUNK_ROWS,
+            CsOperand::zero(self.pcs_format, false),
+        );
+        s.pcs = CsFmaUnit::new(self.pcs_format);
+        s.fcs = CsFmaUnit::new(self.fcs_format);
+        PooledChunkScratch(Some(s))
     }
 
     /// Evaluate one input row (`row.len() == num_inputs()`) into `out`
@@ -1130,6 +1194,19 @@ impl Tape {
     /// evaluate constant graphs with [`Tape::eval_row`]) or `rows.len()`
     /// is not a multiple of `num_inputs()`.
     pub fn eval_batch(&self, backend: TapeBackend, rows: &[f64], threads: usize) -> Vec<f64> {
+        self.eval_batch_with_stats(backend, rows, threads).0
+    }
+
+    /// [`Tape::eval_batch`] plus the scheduler's
+    /// [`SchedStats`](csfma_core::SchedStats) for the run (worker count,
+    /// grain, claim/steal traffic). The output vector is the same —
+    /// stats only observe.
+    pub fn eval_batch_with_stats(
+        &self,
+        backend: TapeBackend,
+        rows: &[f64],
+        threads: usize,
+    ) -> (Vec<f64>, csfma_core::SchedStats) {
         let ni = self.inputs.len();
         assert!(ni > 0, "eval_batch on a tape with no inputs");
         assert_eq!(rows.len() % ni, 0, "rows not a multiple of num_inputs");
@@ -1137,27 +1214,39 @@ impl Tape {
         let no = self.outputs.len();
         let mut out = vec![0.0f64; n * no];
         if no == 0 {
-            return out;
+            return (out, csfma_core::SchedStats::default());
         }
-        par_chunks_indexed(
+        let stats = par_chunks_indexed(
             &mut out,
             CHUNK_ROWS * no,
             threads,
             || self.chunk_scratch(),
             |scratch, chunk_idx, chunk| {
-                let base = chunk_idx * CHUNK_ROWS;
                 let len = chunk.len() / no;
-                profile::record_chunk_occupancy(len, CHUNK_ROWS);
-                match backend {
-                    TapeBackend::F64 => self.eval_chunk_f64(rows, base, len, chunk, scratch),
-                    TapeBackend::BitAccurate => {
-                        self.eval_chunk_bit(rows, base, len, chunk, scratch)
-                    }
-                    TapeBackend::Oracle => self.eval_chunk_oracle(rows, base, len, chunk, scratch),
-                }
+                self.eval_chunk(backend, rows, chunk_idx * CHUNK_ROWS, len, chunk, scratch);
             },
         );
-        out
+        (out, stats)
+    }
+
+    /// Evaluate one scheduling chunk (`len` rows starting at row `base`)
+    /// into `chunk` — the shared per-chunk dispatch used by
+    /// [`Tape::eval_batch`] and [`crate::many::eval_many`].
+    pub(crate) fn eval_chunk(
+        &self,
+        backend: TapeBackend,
+        rows: &[f64],
+        base: usize,
+        len: usize,
+        chunk: &mut [f64],
+        scratch: &mut ChunkScratch,
+    ) {
+        profile::record_chunk_occupancy(len, CHUNK_ROWS);
+        match backend {
+            TapeBackend::F64 => self.eval_chunk_f64(rows, base, len, chunk, scratch),
+            TapeBackend::BitAccurate => self.eval_chunk_bit(rows, base, len, chunk, scratch),
+            TapeBackend::Oracle => self.eval_chunk_oracle(rows, base, len, chunk, scratch),
+        }
     }
 
     /// [`Tape::eval_batch`] wrapped in an `eval` stage span, with
@@ -1183,12 +1272,21 @@ impl Tape {
         let occ0 = profile::chunk_occupancy();
 
         let eval_tok = prof.enter("eval");
-        let (out, wall_us) = csfma_obs::time_us(|| self.eval_batch(backend, rows, threads));
+        let ((out, sched), wall_us) =
+            csfma_obs::time_us(|| self.eval_batch_with_stats(backend, rows, threads));
         prof.exit(eval_tok);
 
         let n = rows.len() / self.inputs.len();
         prof.set_counter("rows", n as f64);
         prof.set_counter("threads", threads as f64);
+        prof.set_counter("sched_workers", sched.workers as f64);
+        prof.set_counter(
+            "sched_grain_rows",
+            (sched.grain as usize * CHUNK_ROWS) as f64,
+        );
+        prof.set_counter("sched_claims", sched.claims as f64);
+        prof.set_counter("sched_steals", sched.steals as f64);
+        prof.set_counter("sched_steal_misses", sched.steal_misses as f64);
         if wall_us > 0.0 {
             prof.set_counter("rows_per_sec", n as f64 / (wall_us * 1e-6));
         }

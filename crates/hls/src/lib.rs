@@ -34,6 +34,7 @@ pub mod compile;
 pub mod fuse;
 pub mod interp;
 pub mod lint;
+pub mod many;
 pub mod mutate;
 pub mod opt;
 pub mod optimize;
@@ -56,12 +57,13 @@ pub use lint::{
     capacity_list, debug_assert_tape_clean, lint_dataflow, lint_ranges, lint_schedule,
     promotion_mask, schedule_view, to_check_graph, to_source_view, to_tape_view, verify_tape,
 };
+pub use many::{eval_many, eval_many_profiled, EvalManyOutput, EvalManyRequest};
 pub use mutate::{apply_mutation, ALL_MUTATIONS};
 pub use opt::OptStats;
 pub use optimize::{optimize, OptimizeReport};
 pub use parser::{parse_program, parse_program_with_ranges, ParseError};
 pub use printer::{to_source, to_source_with_ranges};
-pub use profile::{PipelineReport, Profiler, StageRecord};
+pub use profile::{robust_counts, PipelineReport, Profiler, RobustCounts, StageRecord};
 pub use robust::{BatchReport, RobustOptions, RowOutcome};
 pub use sched::{
     alap_schedule, asap_schedule, critical_path, list_schedule, occupancy_chart, OpTiming,

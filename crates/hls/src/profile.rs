@@ -76,3 +76,48 @@ pub(crate) fn record_chunk_occupancy(lanes: usize, capacity: usize) {
     }
     CHUNK_OCCUPANCY.record(lanes * 10 / capacity.max(1));
 }
+
+// Robust-executor tallies, incremented inside `robust_chunk` — i.e. on
+// whichever stealing worker actually ran the chunk — so the counters
+// follow the work through the scheduler rather than being derived from
+// the merged report afterwards. `tests/scheduler.rs` asserts the two
+// views agree under stealing.
+static ROBUST_DETECTIONS: Counter = Counter::new();
+static ROBUST_ROWS_RECOVERED: Counter = Counter::new();
+static ROBUST_ROWS_QUARANTINED: Counter = Counter::new();
+
+/// Snapshot of the robust executor's process-wide fault tallies (all
+/// zeros when the `obs` feature is compiled out). Unlike the per-call
+/// [`BatchReport`](crate::BatchReport), these accumulate across every
+/// `eval_batch_robust` call in the process and are recorded on the
+/// worker that executed each chunk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RobustCounts {
+    /// Self-check detections across all ladder rungs.
+    pub detections: u64,
+    /// Rows recovered by a fallback rung.
+    pub rows_recovered: u64,
+    /// Rows quarantined (every rung failed).
+    pub rows_quarantined: u64,
+}
+
+/// Read the process-wide robust-executor counters.
+pub fn robust_counts() -> RobustCounts {
+    RobustCounts {
+        detections: ROBUST_DETECTIONS.get(),
+        rows_recovered: ROBUST_ROWS_RECOVERED.get(),
+        rows_quarantined: ROBUST_ROWS_QUARANTINED.get(),
+    }
+}
+
+/// Tally one robust chunk's outcome counts (called by the worker that
+/// ran the chunk).
+#[inline]
+pub(crate) fn count_robust_chunk(detections: u64, recovered: u64, quarantined: u64) {
+    if !cfg!(feature = "obs") {
+        return;
+    }
+    ROBUST_DETECTIONS.add(detections);
+    ROBUST_ROWS_RECOVERED.add(recovered);
+    ROBUST_ROWS_QUARANTINED.add(quarantined);
+}

@@ -209,6 +209,10 @@ impl Tape {
             return (out, report);
         }
         let records: Mutex<Vec<ChunkRecord>> = Mutex::new(Vec::new());
+        // The stealing scheduler hands chunks to whichever worker claims
+        // them; records are pushed in completion order and then merged
+        // below by absolute row index, so the report — like the output
+        // buffer — is independent of steal timing.
         par_chunks_indexed(
             &mut out,
             CHUNK_ROWS * no,
@@ -341,6 +345,17 @@ impl Tape {
             );
             rec.outcomes.push((row_idx, outcome));
         }
+        // tally on the worker that ran the chunk, so the process-wide
+        // counters travel through the stealing path with the work
+        let (recovered, quarantined) =
+            rec.outcomes
+                .iter()
+                .fold((0u64, 0u64), |(r, q), (_, o)| match o {
+                    RowOutcome::Recovered { .. } => (r + 1, q),
+                    RowOutcome::Quarantined { .. } => (r, q + 1),
+                    RowOutcome::Ok => (r, q),
+                });
+        crate::profile::count_robust_chunk(rec.detections as u64, recovered, quarantined);
         rec
     }
 

@@ -4,6 +4,27 @@
 
 use csfma_bench::{fig13, fig14, fig15, table1, table2};
 
+/// The checked-in throughput artifact must carry the scheduler fields
+/// the work-stealing executor reports (`chunk_size`, `steal` per entry,
+/// the `eval_many` scenario section) — regenerating it with a binary
+/// that silently dropped them would fail here before any reader does.
+#[test]
+fn bench_throughput_artifact_carries_scheduler_fields() {
+    let json = std::fs::read_to_string("results/BENCH_throughput.json")
+        .expect("results/BENCH_throughput.json is checked in");
+    for field in ["\"chunk_size\":", "\"steal\":", "\"eval_many\":"] {
+        assert!(
+            json.contains(field),
+            "BENCH_throughput.json lost the {field} field — regenerate with \
+             `cargo run -q --release -p csfma-bench --bin throughput`"
+        );
+    }
+    assert!(
+        json.contains("\"speedup_vs_sequential\":"),
+        "eval_many section must report speedup_vs_sequential"
+    );
+}
+
 #[test]
 fn table1_orderings() {
     let rows = table1();
