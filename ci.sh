@@ -73,6 +73,7 @@ cargo build --release --manifest-path fuzz/Cargo.toml
 FUZZ_ITERS=2000 ./fuzz/target/release/parser_round_trip fuzz/corpus/parser_round_trip > /dev/null 2>&1
 FUZZ_ITERS=2000 ./fuzz/target/release/compile_gate fuzz/corpus/compile_gate > /dev/null 2>&1
 FUZZ_ITERS=2000 ./fuzz/target/release/tape_verify fuzz/corpus/tape_verify > /dev/null 2>&1
+FUZZ_ITERS=2000 ./fuzz/target/release/serve_frame fuzz/corpus/serve_frame > /dev/null 2>&1
 
 # throughput audit at the baseline's conditions: verifies tape-vs-oracle
 # bitwise equality, the >=5x headline, the >=1.5x fused-graph gain over
@@ -88,3 +89,14 @@ git checkout -- results/BENCH_throughput.json 2> /dev/null || true
 # a >=90% detection rate on every checker-covered site (DESIGN.md §10)
 cargo run -q --release -p csfma-bench --bin fault_campaign 2000 42 > /dev/null
 git checkout -- results/BENCH_faults.json 2> /dev/null || true
+
+# serve smoke: bind an ephemeral port, run one in-process round trip
+# (digest checked against a local eval), then drain — exit 1 on any
+# failed leg (exit-status contract in src/bin/csfma-serve.rs)
+cargo run -q --release --bin csfma-serve -- --self-test > /dev/null
+
+# serve load audit under fault injection (DESIGN.md §15.3): concurrent
+# clients + kill-mid-flight drill; the bin gates zero unanswered frames,
+# zero digest mismatches, ledger reconciliation and server survival
+cargo run -q --release -p csfma-bench --bin serve_bench 7 1 4 16 > /dev/null
+git checkout -- results/BENCH_serve.json 2> /dev/null || true

@@ -1,0 +1,75 @@
+//! Serve-layer load benchmark and acceptance audit, written to
+//! `results/BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run -q --release -p csfma-bench --bin serve_bench [SEED [CLIENTS...]]
+//! ```
+//!
+//! Defaults: fault seed 7 (nonzero — every request runs under a seeded
+//! transient-fault sprinkle), client counts 1, 4, 16. Exit status 1
+//! when the gate fails: any unanswered frame, any digest mismatch on a
+//! non-quarantined result, an unbalanced server ledger, a contained
+//! panic, or a kill-mid-flight drill the server does not survive.
+
+use csfma_bench::serve::{run_serve_bench, to_json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let clients: Vec<usize> = {
+        let rest: Vec<usize> = args.filter_map(|v| v.parse().ok()).collect();
+        if rest.is_empty() {
+            vec![1, 4, 16]
+        } else {
+            rest
+        }
+    };
+    assert!(
+        seed != 0,
+        "the serve bench is a drill under fire: seed must be nonzero"
+    );
+
+    let bench = run_serve_bench(seed, &clients);
+
+    let json = to_json(&bench);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_serve.json", &json).expect("write results");
+    println!("{json}");
+
+    for s in &bench.scenarios {
+        eprintln!(
+            "audit: {:>2} client(s)  p50 {:>8.3} ms  p99 {:>8.3} ms  {:>8.0} rows/s  \
+             shed {:>3}  deadline {:>3}  quarantined {:>4}  {}",
+            s.clients,
+            s.p50_ms,
+            s.p99_ms,
+            s.rows_per_sec,
+            s.shed,
+            s.deadline,
+            s.quarantined_rows,
+            if s.passes() { "ok" } else { "FAIL" },
+        );
+        if !s.passes() {
+            eprintln!(
+                "audit:     FAIL detail: unanswered {}  digest_mismatches {}  errors {}  \
+                 reconciled {}  panics_contained {}",
+                s.unanswered,
+                s.digest_mismatches,
+                s.errors,
+                s.reconciled(),
+                s.server.panics_contained,
+            );
+        }
+    }
+    eprintln!(
+        "audit: kill-mid-flight: {} torn connection(s), survived: {}, contained panics: {}",
+        bench.kill.torn_connections, bench.kill.server_survived, bench.kill.panics_contained,
+    );
+
+    if bench.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

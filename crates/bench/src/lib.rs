@@ -8,9 +8,11 @@
 
 pub mod experiments;
 pub mod fault;
+pub mod serve;
 pub mod table;
 pub mod throughput;
 
 pub use experiments::{fig13, fig14, fig15, table1, table2, Fig14Row, Fig15Row};
 pub use fault::{run_campaign, FaultCampaign, SiteReport};
+pub use serve::{run_serve_bench, KillReport, ScenarioReport, ServeBench};
 pub use throughput::{eval_many_scenario, throughput, EvalManyScenario, ThroughputRow};

@@ -40,6 +40,17 @@ pub enum FaultSite {
     TapeReg,
     /// A worker panic while evaluating a chunk (models a crashed lane).
     ExecPanic,
+    /// A word of the bit-plane kernel's CSA product (the plane analogue
+    /// of [`FaultSite::MulSum`]: one plane word holds one product bit of
+    /// all 64 lanes, so a strike flips one lane's bit of one plane).
+    PlaneCsaWord,
+    /// An output word of the plane kernel's 64×64 B-significand
+    /// transpose — a flipped bit feeds a wrong multiplier row mask to
+    /// every level of the Wallace tree for the struck lane.
+    TransposeOut,
+    /// A block-classify mask word of the plane normalizer (Fig. 10): a
+    /// flipped all-zero bit derails the struck lane's skip chain.
+    PlaneClassifyMask,
 }
 
 impl FaultSite {
@@ -53,11 +64,15 @@ impl FaultSite {
             FaultSite::ExpField => "exp-field",
             FaultSite::TapeReg => "tape-reg",
             FaultSite::ExecPanic => "exec-panic",
+            FaultSite::PlaneCsaWord => "plane-csa-word",
+            FaultSite::TransposeOut => "transpose-out",
+            FaultSite::PlaneClassifyMask => "plane-classify-mask",
         }
     }
 
-    /// Every site, in pipeline order.
-    pub const ALL: [FaultSite; 7] = [
+    /// Every site, in pipeline order (scalar datapath, executor, then
+    /// the bit-plane kernel's stages).
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::MulSum,
         FaultSite::MulCarry,
         FaultSite::PcsCarry,
@@ -65,6 +80,18 @@ impl FaultSite {
         FaultSite::ExpField,
         FaultSite::TapeReg,
         FaultSite::ExecPanic,
+        FaultSite::PlaneCsaWord,
+        FaultSite::TransposeOut,
+        FaultSite::PlaneClassifyMask,
+    ];
+
+    /// The bit-plane kernel's fault populations. Invisible to the
+    /// scalar residue checks (the plane kernel runs none); the robust
+    /// executor covers them with its scalar differential oracle instead.
+    pub const PLANE: [FaultSite; 3] = [
+        FaultSite::PlaneCsaWord,
+        FaultSite::TransposeOut,
+        FaultSite::PlaneClassifyMask,
     ];
 
     /// The mantissa-datapath sites the residue/recompute checkers cover
@@ -98,6 +125,9 @@ pub enum CheckKind {
     BlockSelect,
     /// Duplicate computation of the result exponent field.
     ExponentPath,
+    /// The robust executor's scalar-vs-plane differential: the bit-plane
+    /// kernel's output for a lane disagreed with the scalar engine's.
+    PlaneDifferential,
 }
 
 impl CheckKind {
@@ -109,6 +139,7 @@ impl CheckKind {
             CheckKind::CarryReduce => "carry-reduce",
             CheckKind::BlockSelect => "block-select",
             CheckKind::ExponentPath => "exponent-path",
+            CheckKind::PlaneDifferential => "plane-differential",
         }
     }
 }
@@ -211,6 +242,7 @@ mod tests {
             CheckKind::CarryReduce,
             CheckKind::BlockSelect,
             CheckKind::ExponentPath,
+            CheckKind::PlaneDifferential,
         ];
         let mut cn: Vec<_> = checks.iter().map(|c| c.name()).collect();
         cn.sort_unstable();

@@ -286,6 +286,24 @@ impl FaultHook for RowFaults<'_> {
     }
 }
 
+impl RowFaults<'_> {
+    /// An armed bit-plane-kernel fault ([`FaultSite::PLANE`]) for this
+    /// row: returns the site and the deterministic word selector the
+    /// plane tamper points reduce into a struck plane word. The call
+    /// claims the fault — the robust executor consults it exactly once
+    /// per row, in the chunk that owns the row, so the claim winner is
+    /// thread-invariant like every other site's.
+    pub fn plane_strike(&self) -> Option<(FaultSite, u64)> {
+        for &i in &self.spec_idx {
+            let site = self.plan.specs[i].site;
+            if FaultSite::PLANE.contains(&site) && self.claim(i) {
+                return Some((site, self.mix(i, 3)));
+            }
+        }
+        None
+    }
+}
+
 /// Per-evaluation control block for the checked FMA entry points: an
 /// optional injection hook and an optional detection sink. With both
 /// `None` (the [`Default`]) the engine takes its plain fast path — the

@@ -37,9 +37,14 @@
 //!   lane over those masks, and the result/rounding blocks are selected
 //!   by OR-ing windows under per-skip lane masks.
 //!
-//! The residue self-checks and fault-injection hooks of DESIGN.md §10
-//! stay on the scalar path (see the §10 coverage note): the robust
-//! executor and the oracle backend never call this kernel.
+//! The residue self-checks of DESIGN.md §10 stay on the scalar path:
+//! this kernel computes no residues, and the oracle backend never calls
+//! it. Plane-path faults are covered differently (DESIGN.md §10.5): the
+//! [`PlaneStrike`] tamper points below model upsets in the kernel's own
+//! stages, and the robust executor runs this kernel as a *shadow* of
+//! its scalar evaluation, detecting any lane disagreement via the
+//! scalar differential oracle — its output always comes from the scalar
+//! engine, so a plane-path fault is contained by construction.
 
 use crate::format::Normalizer;
 use crate::obs;
@@ -63,6 +68,61 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// production code.
 #[doc(hidden)]
 pub static CORRUPT_NEXT_PLANE_WORD: AtomicBool = AtomicBool::new(false);
+
+/// One armed plane-kernel fault, consumed by the next
+/// [`plane_fma_chunk`] call on this thread (DESIGN.md §10.5).
+///
+/// Each strike flips exactly one bit — bit `lane` of one plane word —
+/// so it corrupts exactly one lane of the chunk, mirroring how a real
+/// single-event upset in a plane register is confined to the physical
+/// bit it hits. The struck word is derived from `sel` at each tamper
+/// point, biased toward the value-significant planes of the stage (a
+/// flip that final rounding discards is architecturally masked; fault
+/// campaigns report those as benign strikes).
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Copy, Debug)]
+pub struct PlaneStrike {
+    /// Which plane-path population to hit (one of
+    /// [`FaultSite::PLANE`](crate::fault::FaultSite::PLANE); strikes
+    /// naming other sites never fire).
+    pub site: crate::fault::FaultSite,
+    /// The struck lane (`0..PLANE_LANES`).
+    pub lane: usize,
+    /// Raw selector for the struck word within the stage.
+    pub sel: u64,
+}
+
+#[cfg(feature = "fault-inject")]
+thread_local! {
+    static PLANE_STRIKES: std::cell::RefCell<Vec<PlaneStrike>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Arm plane-kernel strikes on this thread; the next
+/// [`plane_fma_chunk`] call consumes all of them at once (a chunk with
+/// several fused instructions is struck on its first, like an upset
+/// that hits while the first wave of the chunk is in flight).
+#[cfg(feature = "fault-inject")]
+pub fn arm_plane_strikes(strikes: &[PlaneStrike]) {
+    PLANE_STRIKES.with(|s| {
+        let mut v = s.borrow_mut();
+        v.clear();
+        v.extend_from_slice(strikes);
+    });
+}
+
+/// Drop any strikes still armed on this thread, returning how many were
+/// never consumed (a caller that armed strikes for a chunk that took no
+/// plane path uses this to keep its accounting honest).
+#[cfg(feature = "fault-inject")]
+pub fn disarm_plane_strikes() -> usize {
+    PLANE_STRIKES.with(|s| {
+        let mut v = s.borrow_mut();
+        let n = v.len();
+        v.clear();
+        n
+    })
+}
 
 /// Per-lane control state produced by the scalar preamble.
 #[derive(Clone, Copy, Debug)]
@@ -165,6 +225,8 @@ pub fn plane_fma_chunk(
     s: &mut PlaneScratch,
 ) {
     assert!(len <= PLANE_LANES, "chunk wider than a plane word");
+    #[cfg(feature = "fault-inject")]
+    let strikes: Vec<PlaneStrike> = PLANE_STRIKES.with(|s| std::mem::take(&mut *s.borrow_mut()));
     let f = *unit.format();
     let m = f.mant_bits();
     let bw = f.b_sig_bits;
@@ -277,6 +339,16 @@ pub fn plane_fma_chunk(
         bm[k] = p.b_sig;
     }
     transpose64(&mut bm);
+    #[cfg(feature = "fault-inject")]
+    for st in &strikes {
+        if st.site == crate::fault::FaultSite::TransposeOut {
+            // strike one of the top 16 B-significand planes: the flipped
+            // bit feeds a wrong row mask to every Wallace level of the
+            // struck lane, and a high partial product survives rounding
+            let j = bw - 1 - (st.sel as usize % bw.min(16));
+            bm[j] ^= 1u64 << (st.lane % PLANE_LANES);
+        }
+    }
     // Level 0 of the Wallace tree is evaluated straight off the two
     // shifted `ext` planes instead of materializing all `2·b_sig+1`
     // rows: chunk `t` compresses virtual rows `3t, 3t+1, 3t+2`, where
@@ -370,6 +442,16 @@ pub fn plane_fma_chunk(
         &mut s.prod_s,
         &mut s.prod_c,
     );
+    #[cfg(feature = "fault-inject")]
+    for st in &strikes {
+        if st.site == crate::fault::FaultSite::PlaneCsaWord {
+            // strike one of the top 32 product-sum planes — within the
+            // 53 bits the final rounding keeps, so the flip is visible
+            let top = s.prod_s.len();
+            let j = top - 1 - (st.sel as usize % top.min(32));
+            s.prod_s[j] ^= 1u64 << (st.lane % PLANE_LANES);
+        }
+    }
 
     // ---- sign stage: compute the negation arm, select per lane ----
     // negate() = csa3_2(!sum, !carry, 2); the non-negating arm must
@@ -537,6 +619,53 @@ pub fn plane_fma_chunk(
         rz[k] = await0 & !all1;
         top0[k] = is0(win_s, win_c, top);
         top1[k] = is1(win_s, win_c, top);
+    }
+    #[cfg(feature = "fault-inject")]
+    for st in &strikes {
+        if st.site == crate::fault::FaultSite::PlaneClassifyMask {
+            // strike an all-zero mask the struck lane's skip chain will
+            // actually consume: a flip below the chain's stop point is
+            // architecturally masked and tells a campaign nothing, so
+            // walk the skippable range (starting from the seeded block)
+            // for a flip that changes the lane's resolved skip — halting
+            // the chain early (low mantissa bits fall out of the kept
+            // slice) or driving it past a live block (leading bits lost)
+            let k = st.lane % PLANE_LANES;
+            let range = (nb - keep).max(1);
+            let lane_skip = |az: &[u64; 16]| -> usize {
+                if k >= len || !s.prep[k].normal {
+                    return 0;
+                }
+                let lane = 1u64 << k;
+                let mut skip = 0usize;
+                while nb - skip > keep {
+                    let ok = if (az[skip] | rz[skip]) & lane != 0 {
+                        top0[skip + 1] & lane != 0
+                    } else if ao[skip] & lane != 0 {
+                        top1[skip + 1] & lane != 0
+                    } else {
+                        false
+                    };
+                    if !ok {
+                        break;
+                    }
+                    skip += 1;
+                }
+                skip.min(s.prep[k].skip_cap)
+            };
+            let clean = lane_skip(&az);
+            let mut j = st.sel as usize % range;
+            for off in 0..range {
+                let cand = (st.sel as usize + off) % range;
+                let mut flipped = az;
+                flipped[cand] ^= 1u64 << k;
+                if lane_skip(&flipped) != clean {
+                    j = cand;
+                    break;
+                }
+            }
+            az[j] ^= 1u64 << k;
+        }
     }
 
     // ---- per-lane skip chain over the block-class masks ----

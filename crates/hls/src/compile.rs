@@ -55,8 +55,8 @@ use csfma_softfloat::{FpFormat, Round, SoftFloat};
 use csfma_verify::{check_format, Diagnostic, Rule, Severity, Span};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 const F: FpFormat = FpFormat::BINARY64;
 
@@ -1714,7 +1714,10 @@ impl Tape {
 /// [`set_tape_cache_capacity`].
 pub const DEFAULT_TAPE_CACHE_CAPACITY: usize = 256;
 
-/// Counter snapshot of the process-wide tape cache.
+/// Counter snapshot of the process-wide tape cache. `hits`, `misses`
+/// and `evictions` are process-wide atomics shared by every shard, so
+/// the snapshot stays exact regardless of the shard count; `entries`
+/// sums the shard occupancies under their locks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TapeCacheStats {
     /// Lookups served without compiling.
@@ -1723,10 +1726,12 @@ pub struct TapeCacheStats {
     pub misses: u64,
     /// Entries dropped by the LRU bound since process start.
     pub evictions: u64,
-    /// Tapes currently resident.
+    /// Tapes currently resident, summed over all shards.
     pub entries: usize,
-    /// Current retention bound.
+    /// Current retention bound (total across shards).
     pub capacity: usize,
+    /// Number of LRU shards ([`set_tape_cache_shards`]).
+    pub shards: usize,
 }
 
 struct TapeCacheState {
@@ -1754,24 +1759,63 @@ impl TapeCacheState {
     }
 }
 
-static TAPE_CACHE: OnceLock<Mutex<TapeCacheState>> = OnceLock::new();
+/// Hard ceiling on the shard count accepted by [`set_tape_cache_shards`].
+pub const MAX_TAPE_CACHE_SHARDS: usize = 64;
+
+static TAPE_CACHE: OnceLock<RwLock<Vec<Mutex<TapeCacheState>>>> = OnceLock::new();
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+/// Total retention bound across all shards (the public `capacity`).
+static CACHE_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_TAPE_CACHE_CAPACITY);
 
-fn cache() -> std::sync::MutexGuard<'static, TapeCacheState> {
-    TAPE_CACHE
-        .get_or_init(|| {
-            Mutex::new(TapeCacheState {
-                map: HashMap::new(),
-                tick: 0,
-                capacity: DEFAULT_TAPE_CACHE_CAPACITY,
-            })
-        })
-        .lock()
-        // the cache never holds partially-updated state across a panic,
-        // so a poisoned lock is safe to re-enter
-        .unwrap_or_else(|e| e.into_inner())
+fn new_shard(capacity: usize) -> Mutex<TapeCacheState> {
+    Mutex::new(TapeCacheState {
+        map: HashMap::new(),
+        tick: 0,
+        capacity,
+    })
+}
+
+fn shards() -> &'static RwLock<Vec<Mutex<TapeCacheState>>> {
+    TAPE_CACHE.get_or_init(|| RwLock::new(vec![new_shard(DEFAULT_TAPE_CACHE_CAPACITY)]))
+}
+
+/// FNV-1a over the cache key selects the shard; a power-of-two shard
+/// count makes the reduction a mask.
+fn shard_index(key: &[u8], n: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // fold the high bits in so low-entropy keys still spread
+    ((h ^ (h >> 32)) as usize) & (n - 1)
+}
+
+fn per_shard_capacity(total: usize, n: usize) -> usize {
+    (total / n).max(1)
+}
+
+/// Run `f` on the shard owning `key`. The outer read lock only excludes
+/// [`set_tape_cache_shards`]' reshard; concurrent lookups with different
+/// keys proceed in parallel on distinct shard mutexes.
+fn with_shard<R>(key: &[u8], f: impl FnOnce(&mut TapeCacheState) -> R) -> R {
+    let guard = shards().read().unwrap_or_else(|e| e.into_inner());
+    let idx = shard_index(key, guard.len());
+    // the cache never holds partially-updated state across a panic,
+    // so a poisoned lock is safe to re-enter
+    let mut st = guard[idx].lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut st)
+}
+
+/// Run `f` on every shard in order (stats, capacity, clear).
+fn for_each_shard(mut f: impl FnMut(&mut TapeCacheState)) {
+    let guard = shards().read().unwrap_or_else(|e| e.into_inner());
+    for shard in guard.iter() {
+        let mut st = shard.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut st);
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -1828,19 +1872,19 @@ fn compile_cached_with_inner(
     key.push(opts.optimize as u8);
     {
         let lookup_tok = prof.enter("cache_lookup");
-        let mut st = cache();
-        st.tick += 1;
-        let tick = st.tick;
-        if let Some((t, stamp)) = st.map.get_mut(&key) {
-            *stamp = tick;
-            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            let shared = Arc::clone(t);
-            drop(st);
-            prof.exit(lookup_tok);
+        let cached = with_shard(&key, |st| {
+            st.tick += 1;
+            let tick = st.tick;
+            st.map.get_mut(&key).map(|(t, stamp)| {
+                *stamp = tick;
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(t)
+            })
+        });
+        prof.exit(lookup_tok);
+        if let Some(shared) = cached {
             return Ok(shared);
         }
-        drop(st);
-        prof.exit(lookup_tok);
     }
     // compile outside the lock; a racing duplicate insert is harmless
     // (both tapes are identical) and the first one wins. The compiler
@@ -1871,39 +1915,100 @@ fn compile_cached_with_inner(
     tape.opt.cache_misses = CACHE_MISSES.load(Ordering::Relaxed);
     tape.opt.cache_evictions = CACHE_EVICTIONS.load(Ordering::Relaxed);
     let tape = Arc::new(tape);
-    let mut st = cache();
-    st.tick += 1;
-    let tick = st.tick;
-    let shared = Arc::clone(&st.map.entry(key).or_insert((tape, tick)).0);
-    st.evict_to_capacity();
+    let shared = with_shard(&key, |st| {
+        st.tick += 1;
+        let tick = st.tick;
+        // the clone only runs on the miss path, where a full compile
+        // already dwarfs it
+        let shared = Arc::clone(&st.map.entry(key.clone()).or_insert((tape, tick)).0);
+        st.evict_to_capacity();
+        shared
+    });
     Ok(shared)
 }
 
 /// Counters and occupancy of [`compile_cached`]'s tape cache since
-/// process start.
+/// process start. Exact at any shard count: the event counters are
+/// process-wide atomics and `entries` sums shard occupancies.
 pub fn tape_cache_stats() -> TapeCacheStats {
-    let st = cache();
+    let mut entries = 0usize;
+    let mut n_shards = 0usize;
+    for_each_shard(|st| {
+        entries += st.map.len();
+        n_shards += 1;
+    });
     TapeCacheStats {
         hits: CACHE_HITS.load(Ordering::Relaxed),
         misses: CACHE_MISSES.load(Ordering::Relaxed),
         evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
-        entries: st.map.len(),
-        capacity: st.capacity,
+        entries,
+        capacity: CACHE_CAPACITY.load(Ordering::Relaxed),
+        shards: n_shards,
     }
 }
 
-/// Bound the number of cached tapes (clamped to a minimum of 1).
-/// Shrinking below the current occupancy evicts least-recently-used
-/// entries immediately.
+/// Bound the total number of cached tapes (clamped to a minimum of 1).
+/// Each of the N shards gets `max(1, capacity / N)`; shrinking below the
+/// current occupancy evicts least-recently-used entries immediately,
+/// per shard.
 pub fn set_tape_cache_capacity(capacity: usize) {
-    let mut st = cache();
-    st.capacity = capacity.max(1);
-    st.evict_to_capacity();
+    let capacity = capacity.max(1);
+    CACHE_CAPACITY.store(capacity, Ordering::Relaxed);
+    let guard = shards().read().unwrap_or_else(|e| e.into_inner());
+    let per = per_shard_capacity(capacity, guard.len());
+    for shard in guard.iter() {
+        let mut st = shard.lock().unwrap_or_else(|e| e.into_inner());
+        st.capacity = per;
+        st.evict_to_capacity();
+    }
+}
+
+/// Reshard the tape cache for `workers` concurrent submitters: the
+/// shard count becomes `next_power_of_two(workers)` (clamped to
+/// 1..=[`MAX_TAPE_CACHE_SHARDS`]), keyed by an FNV-1a hash of the graph
+/// encoding. Resident entries are redistributed with their recency
+/// stamps intact; the per-shard bound becomes `max(1, capacity / N)`,
+/// which may evict if a shard ends up oversubscribed. With one shard
+/// (the default) lookup, insert and eviction order are byte-for-byte
+/// the pre-sharding behavior.
+pub fn set_tape_cache_shards(workers: usize) {
+    let n = workers
+        .clamp(1, MAX_TAPE_CACHE_SHARDS)
+        .next_power_of_two()
+        .min(MAX_TAPE_CACHE_SHARDS);
+    let mut guard = shards().write().unwrap_or_else(|e| e.into_inner());
+    if guard.len() == n {
+        return;
+    }
+    let per = per_shard_capacity(CACHE_CAPACITY.load(Ordering::Relaxed), n);
+    let mut next: Vec<Mutex<TapeCacheState>> = (0..n).map(|_| new_shard(per)).collect();
+    // carry entries (and the tick high-water mark) over so resharding
+    // never cold-starts a warm server
+    let mut max_tick = 0u64;
+    for shard in guard.drain(..) {
+        let st = shard.into_inner().unwrap_or_else(|e| e.into_inner());
+        max_tick = max_tick.max(st.tick);
+        for (key, entry) in st.map {
+            let idx = shard_index(&key, n);
+            next[idx].get_mut().unwrap().map.insert(key, entry);
+        }
+    }
+    for shard in next.iter_mut() {
+        let st = shard.get_mut().unwrap();
+        st.tick = st.tick.max(max_tick);
+        st.evict_to_capacity();
+    }
+    *guard = next;
+}
+
+/// Current shard count of the tape cache.
+pub fn tape_cache_shards() -> usize {
+    shards().read().unwrap_or_else(|e| e.into_inner()).len()
 }
 
 /// Drop every cached tape (benchmarks use this to measure cold compiles).
 pub fn clear_tape_cache() {
-    cache().map.clear();
+    for_each_shard(|st| st.map.clear());
 }
 
 #[cfg(test)]
@@ -2180,6 +2285,100 @@ mod tests {
         // but both identify as the same source graph
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.source_nodes(), b.source_nodes());
+    }
+
+    /// Mutation test for the sharding refactor: a single-shard cache
+    /// must reproduce the pre-sharding eviction order exactly — touch
+    /// order decides the victim, not insertion order.
+    #[test]
+    fn single_shard_reproduces_unsharded_eviction_order() {
+        let _guard = cache_test_lock();
+        set_tape_cache_shards(1);
+        assert_eq!(tape_cache_stats().shards, 1);
+        clear_tape_cache();
+        set_tape_cache_capacity(3);
+        let probe = |i: usize| {
+            let mut g = listing1();
+            g.output(format!("shard1_probe_{i}"), g.outputs()[0] - 1);
+            g
+        };
+        let a = compile_cached(&probe(0)).unwrap();
+        let _b = compile_cached(&probe(1)).unwrap();
+        let c = compile_cached(&probe(2)).unwrap();
+        // touch A so B becomes least-recently-used, then overflow with D:
+        // the classic LRU order evicts B and only B
+        let a2 = compile_cached(&probe(0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        let ev0 = tape_cache_stats().evictions;
+        let d = compile_cached(&probe(3)).unwrap();
+        assert_eq!(tape_cache_stats().evictions, ev0 + 1);
+        // A, C, D resident (hits); B was the victim (miss, fresh tape)
+        let m0 = tape_cache_stats().misses;
+        assert!(Arc::ptr_eq(&a, &compile_cached(&probe(0)).unwrap()));
+        assert!(Arc::ptr_eq(&c, &compile_cached(&probe(2)).unwrap()));
+        assert!(Arc::ptr_eq(&d, &compile_cached(&probe(3)).unwrap()));
+        assert_eq!(tape_cache_stats().misses, m0, "A/C/D must all hit");
+        let b2 = compile_cached(&probe(1)).unwrap();
+        assert!(!Arc::ptr_eq(&_b, &b2), "B must have been the LRU victim");
+        assert_eq!(tape_cache_stats().misses, m0 + 1);
+        set_tape_cache_capacity(DEFAULT_TAPE_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn sharded_cache_aggregates_stats_exactly() {
+        let _guard = cache_test_lock();
+        set_tape_cache_shards(8);
+        let s = tape_cache_stats();
+        assert_eq!(s.shards, 8);
+        assert_eq!(tape_cache_shards(), 8);
+        clear_tape_cache();
+        assert_eq!(tape_cache_stats().entries, 0);
+        let s0 = tape_cache_stats();
+        let n = 12usize;
+        let tapes: Vec<_> = (0..n)
+            .map(|i| {
+                let mut g = listing1();
+                g.output(format!("shard8_probe_{i}"), g.outputs()[0] - 1);
+                compile_cached(&g).unwrap()
+            })
+            .collect();
+        let s1 = tape_cache_stats();
+        assert_eq!(s1.misses, s0.misses + n as u64, "one miss per graph");
+        assert_eq!(s1.entries, s0.entries + n, "entries sum over shards");
+        assert_eq!(s1.evictions, s0.evictions, "no shard may overflow here");
+        // every entry hits again, from whichever shard owns it, and the
+        // resident Arc is shared
+        for (i, t) in tapes.iter().enumerate() {
+            let mut g = listing1();
+            g.output(format!("shard8_probe_{i}"), g.outputs()[0] - 1);
+            assert!(Arc::ptr_eq(t, &compile_cached(&g).unwrap()));
+        }
+        let s2 = tape_cache_stats();
+        assert_eq!(s2.hits, s1.hits + n as u64);
+        assert_eq!(s2.misses, s1.misses);
+        set_tape_cache_shards(1);
+    }
+
+    #[test]
+    fn resharding_preserves_resident_entries() {
+        let _guard = cache_test_lock();
+        set_tape_cache_shards(1);
+        let mut g = listing1();
+        g.output("reshard_probe", g.outputs()[0] - 1);
+        let a = compile_cached(&g).unwrap();
+        // shard count requests round up to the next power of two
+        set_tape_cache_shards(5);
+        assert_eq!(tape_cache_shards(), 8);
+        let m0 = tape_cache_stats().misses;
+        let b = compile_cached(&g).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "warm entry must survive the reshard migration"
+        );
+        assert_eq!(tape_cache_stats().misses, m0);
+        set_tape_cache_shards(1);
+        let c = compile_cached(&g).unwrap();
+        assert!(Arc::ptr_eq(&a, &c), "and survive merging back down");
     }
 
     #[test]

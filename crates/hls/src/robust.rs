@@ -40,7 +40,9 @@
 use crate::cdfg::FmaKind;
 use crate::compile::{Tape, TapeBackend};
 use csfma_core::batch::{par_chunks_indexed, CHUNK_ROWS};
-use csfma_core::fault::{FaultDetected, FaultHook, FaultPlan, FaultStage, FmaCtl, RowFaults};
+use csfma_core::fault::{
+    CheckKind, FaultDetected, FaultHook, FaultPlan, FaultStage, FmaCtl, RowFaults,
+};
 use csfma_core::CsOperand;
 use csfma_softfloat::{FpFormat, SoftFloat};
 use csfma_verify::{Diagnostic, Rule, Span};
@@ -324,6 +326,67 @@ impl Tape {
                 }
             }
         };
+
+        // rung 1.5: the scalar-vs-plane differential oracle (§10.5). Run
+        // the production bit-plane kernel as a *shadow* of the scalar
+        // evaluation above and flag any lane whose bits disagree. The
+        // committed output always comes from the scalar engine, so a
+        // plane-path fault — injected via the `PlaneStrike` tamper
+        // points, or a genuine kernel defect — is contained by
+        // construction; the differential turns that into a detection.
+        if chunk_ok
+            && backend == TapeBackend::BitAccurate
+            && len == CHUNK_ROWS
+            && self.plane_eligible_count() > 0
+        {
+            #[cfg(feature = "fault-inject")]
+            if let Some(plan) = opts.fault {
+                let mut strikes: Vec<csfma_core::PlaneStrike> = Vec::new();
+                for k in 0..len {
+                    if let Some(rf) = plan.for_row((base + k) as u64, FaultStage::Primary) {
+                        if let Some((site, sel)) = rf.plane_strike() {
+                            strikes.push(csfma_core::PlaneStrike { site, lane: k, sel });
+                        }
+                    }
+                }
+                if !strikes.is_empty() {
+                    csfma_core::arm_plane_strikes(&strikes);
+                }
+            }
+            let mut shadow = vec![0.0f64; len * no];
+            let mut cs = self.chunk_scratch();
+            let ran = catch_unwind(AssertUnwindSafe(|| {
+                self.eval_chunk(backend, rows, base, len, &mut shadow, &mut cs);
+            }));
+            #[cfg(feature = "fault-inject")]
+            csfma_core::disarm_plane_strikes();
+            match ran {
+                Ok(()) => {
+                    let instr_idx = self.plane_eligible.iter().position(|&p| p).unwrap_or(0);
+                    for k in 0..len {
+                        let differs = (0..no).any(|o| {
+                            shadow[k * no + o].to_bits() != chunk_out[k * no + o].to_bits()
+                        });
+                        if differs {
+                            lane_findings[k].push((
+                                instr_idx,
+                                FaultDetected {
+                                    check: CheckKind::PlaneDifferential,
+                                    message: format!(
+                                        "plane kernel disagrees with the scalar engine \
+                                         at row {}",
+                                        base + k
+                                    ),
+                                },
+                            ));
+                        }
+                    }
+                }
+                // a panicking shadow never touches the committed output;
+                // record it like any other absorbed chunk panic
+                Err(_) => rec.panics += 1,
+            }
+        }
 
         // rungs 2..4 for every lane the chunk could not vouch for
         for k in 0..len {

@@ -591,6 +591,91 @@ mod subscriber {
     pub(crate) fn counter(_: &'static str, _: f64) {}
 }
 
+// ---------------------------------------------------------------------
+// serve counters
+// ---------------------------------------------------------------------
+
+/// Bucket count of the [`serve_counts`] queue-depth histogram: one
+/// bucket per admission-queue depth `0..N-1`, deeper clamps into the
+/// last bucket.
+pub const SERVE_QUEUE_BUCKETS: usize = 16;
+
+static SERVE_ACCEPTED: Counter = Counter::new();
+static SERVE_SHED: Counter = Counter::new();
+static SERVE_DEADLINE: Counter = Counter::new();
+static SERVE_RETRY: Counter = Counter::new();
+static SERVE_QUARANTINE: Counter = Counter::new();
+static SERVE_QUEUE_DEPTH: Histogram<SERVE_QUEUE_BUCKETS> = Histogram::new();
+
+/// Snapshot of the batch-evaluation server's process-wide counters
+/// (`serve_*` in profile output). All zeros when observability is
+/// compiled out — `csfma-serve` keeps its own authoritative
+/// `ServeStats` independent of this layer, so responses do not change.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounts {
+    /// Requests admitted past the admission gate.
+    pub accepted: u64,
+    /// Requests rejected with a `SHED` response (queue or byte budget).
+    pub shed: u64,
+    /// Requests that ran out of deadline at a chunk boundary.
+    pub deadline: u64,
+    /// Engine-level retries after a contained evaluation panic.
+    pub retries: u64,
+    /// Rows quarantined (NaN-poisoned) by the robust ladder under serve.
+    pub quarantined: u64,
+    /// Admission-queue depth observed at each submit, one bucket per
+    /// depth (clamped into the last bucket).
+    pub queue_depth: [u64; SERVE_QUEUE_BUCKETS],
+}
+
+/// Snapshot the `serve_*` counters.
+pub fn serve_counts() -> ServeCounts {
+    ServeCounts {
+        accepted: SERVE_ACCEPTED.get(),
+        shed: SERVE_SHED.get(),
+        deadline: SERVE_DEADLINE.get(),
+        retries: SERVE_RETRY.get(),
+        quarantined: SERVE_QUARANTINE.get(),
+        queue_depth: SERVE_QUEUE_DEPTH.snapshot(),
+    }
+}
+
+/// Count one admitted request.
+#[inline(always)]
+pub fn count_serve_accepted() {
+    SERVE_ACCEPTED.incr();
+}
+
+/// Count one load-shed rejection.
+#[inline(always)]
+pub fn count_serve_shed() {
+    SERVE_SHED.incr();
+}
+
+/// Count one deadline expiry.
+#[inline(always)]
+pub fn count_serve_deadline() {
+    SERVE_DEADLINE.incr();
+}
+
+/// Count `n` engine-level retries.
+#[inline(always)]
+pub fn count_serve_retries(n: u64) {
+    SERVE_RETRY.add(n);
+}
+
+/// Count `n` quarantined rows.
+#[inline(always)]
+pub fn count_serve_quarantined(n: u64) {
+    SERVE_QUARANTINE.add(n);
+}
+
+/// Record the admission-queue depth observed at one submit.
+#[inline(always)]
+pub fn record_serve_queue_depth(depth: usize) {
+    SERVE_QUEUE_DEPTH.record(depth);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,147 @@
+//! A small blocking client for the frame protocol.
+//!
+//! One [`Client`] wraps one connection; [`Client::submit`] is the
+//! one-request-one-terminal-response contract from the client side: it
+//! returns whichever of RESULT / SHED / DEADLINE / ERROR the server
+//! chose, and only errors at the transport layer (connection torn, or
+//! the server violated the protocol).
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{self, Frame, DEFAULT_MAX_FRAME_LEN};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    sock: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// Client-side failures (server responses are *not* errors — a SHED is
+/// a successful protocol exchange).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode.
+    Protocol(frame::FrameError),
+    /// The connection closed before a full response arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection mid-response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        Ok(Client {
+            sock,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Set the per-read timeout (a full response may span many reads).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), ClientError> {
+        self.sock.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Send one frame.
+    pub fn send(&mut self, f: &Frame) -> Result<(), ClientError> {
+        self.sock.write_all(&frame::encode(f))?;
+        Ok(())
+    }
+
+    /// Receive one frame (blocking).
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            match frame::decode(&self.buf, DEFAULT_MAX_FRAME_LEN) {
+                Ok(Some((f, consumed))) => {
+                    self.buf.drain(..consumed);
+                    return Ok(f);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Protocol(e)),
+            }
+            match self.sock.read(&mut scratch) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Submit a batch and wait for the terminal response.
+    pub fn submit(
+        &mut self,
+        backend: u8,
+        deadline_ms: u32,
+        rows: u32,
+        graph: &str,
+        data: &[f64],
+    ) -> Result<Frame, ClientError> {
+        self.send(&Frame::Submit {
+            backend,
+            deadline_ms,
+            rows,
+            graph: graph.to_string(),
+            data: data.to_vec(),
+        })?;
+        self.recv()
+    }
+
+    /// Liveness probe; returns the echoed token.
+    pub fn ping(&mut self, token: u64) -> Result<u64, ClientError> {
+        self.send(&Frame::Ping { token })?;
+        match self.recv()? {
+            Frame::Ping { token } => Ok(token),
+            _ => Err(ClientError::Protocol(frame::FrameError::Malformed(
+                "ping answered with a non-ping frame",
+            ))),
+        }
+    }
+
+    /// Request a stats snapshot (JSON document).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.send(&Frame::Stats {
+            json: String::new(),
+        })?;
+        match self.recv()? {
+            Frame::Stats { json } => Ok(json),
+            _ => Err(ClientError::Protocol(frame::FrameError::Malformed(
+                "stats answered with a non-stats frame",
+            ))),
+        }
+    }
+
+    /// Ask the server to drain gracefully.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        self.send(&Frame::Drain)?;
+        match self.recv()? {
+            Frame::Drain => Ok(()),
+            _ => Err(ClientError::Protocol(frame::FrameError::Malformed(
+                "drain answered with a non-drain frame",
+            ))),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # csfma-serve — a fault-contained batch-evaluation server
+//!
+//! The workspace's execution engine, put behind a socket with the
+//! robustness story (DESIGN.md §10) extended to the service boundary
+//! (DESIGN.md §15): per-request **deadlines** enforced at scheduler
+//! chunk boundaries, a bounded **admission queue** with load shedding,
+//! bounded **retry-with-backoff** so injected transient faults degrade
+//! to quarantined NaN rows instead of dropped connections, per-connection
+//! frame-size/rate limits, and **graceful drain** on SIGTERM/ctrl-c.
+//!
+//! The invariant every layer here defends: *every submitted frame gets
+//! exactly one terminal response* — `RESULT`, `SHED`, `DEADLINE`, or a
+//! structured `SV***` `ERROR` — and no client, however malformed, slow,
+//! or unlucky, can panic the accept loop or corrupt another client's
+//! rows. The wire protocol and failure-semantics table live in
+//! `docs/SERVE.md`; the std-only concurrency model (no async runtime —
+//! the workspace builds offline) is described in [`server`].
+//!
+//! ```no_run
+//! use csfma_serve::{Client, Frame, ServeConfig, Server, frame::backend};
+//!
+//! let server = Server::bind(ServeConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.handle();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut c = Client::connect(addr).unwrap();
+//! let reply = c
+//!     .submit(backend::BIT, 0, 1, "out y = a*b + c;", &[1.5, 2.0, 0.25])
+//!     .unwrap();
+//! assert!(matches!(reply, Frame::Result { .. }));
+//! handle.drain();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod frame;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, ClientError};
+pub use engine::{backend_from_tag, digest, EngineConfig};
+pub use frame::{Frame, FrameError, DEFAULT_MAX_FRAME_LEN};
+#[cfg(unix)]
+pub use server::install_signal_drain;
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use stats::{ServeStats, StatsSnapshot, QUEUE_DEPTH_BUCKETS};

@@ -117,13 +117,33 @@ pub enum Rule {
     /// R003: an `in x [lo, hi];` declaration is invalid (NaN bound, or
     /// `lo > hi`).
     InvalidRange,
+    /// SV001: a client frame declared a length beyond the connection's
+    /// frame-size limit; the frame is refused before its body is read.
+    ServeFrameTooLarge,
+    /// SV002: a client frame could not be decoded (unknown type tag,
+    /// truncated body, or malformed UTF-8 in a text field).
+    ServeFrameMalformed,
+    /// SV003: a well-formed `SUBMIT` was rejected — unparseable graph,
+    /// compile refusal, unknown backend tag, or row data whose length is
+    /// not a whole number of input vectors.
+    ServeBadRequest,
+    /// SV004: the admission gate shed the request (queue full or
+    /// in-flight byte budget exhausted); the `SHED` response carries a
+    /// retry-after hint and the server did no work on the request.
+    ServeOverloadShed,
+    /// SV005: the request's deadline expired at a chunk boundary; all
+    /// partial work was discarded and no result bytes were produced.
+    ServeDeadlineExceeded,
+    /// SV006: the server is draining (graceful shutdown) and accepts no
+    /// new work; in-flight requests still complete or deadline out.
+    ServeDraining,
 }
 
 impl Rule {
     /// Every rule the workspace can emit, in catalogue order. New rules
     /// must be added here — `docs/DIAGNOSTICS.md` is tested against this
     /// list, so forgetting one fails the build's registry-walk test.
-    pub const ALL: [Rule; 29] = [
+    pub const ALL: [Rule; 35] = [
         Rule::ArityMismatch,
         Rule::EdgeOrder,
         Rule::DomainMismatch,
@@ -153,6 +173,12 @@ impl Rule {
         Rule::CancellationRisk,
         Rule::RangeOverflow,
         Rule::InvalidRange,
+        Rule::ServeFrameTooLarge,
+        Rule::ServeFrameMalformed,
+        Rule::ServeBadRequest,
+        Rule::ServeOverloadShed,
+        Rule::ServeDeadlineExceeded,
+        Rule::ServeDraining,
     ];
 
     /// Stable short id.
@@ -187,6 +213,12 @@ impl Rule {
             Rule::CancellationRisk => "R001",
             Rule::RangeOverflow => "R002",
             Rule::InvalidRange => "R003",
+            Rule::ServeFrameTooLarge => "SV001",
+            Rule::ServeFrameMalformed => "SV002",
+            Rule::ServeBadRequest => "SV003",
+            Rule::ServeOverloadShed => "SV004",
+            Rule::ServeDeadlineExceeded => "SV005",
+            Rule::ServeDraining => "SV006",
         }
     }
 
@@ -222,6 +254,12 @@ impl Rule {
             Rule::CancellationRisk => "cancellation-risk",
             Rule::RangeOverflow => "range-overflow",
             Rule::InvalidRange => "invalid-range",
+            Rule::ServeFrameTooLarge => "serve-frame-too-large",
+            Rule::ServeFrameMalformed => "serve-frame-malformed",
+            Rule::ServeBadRequest => "serve-bad-request",
+            Rule::ServeOverloadShed => "serve-overload-shed",
+            Rule::ServeDeadlineExceeded => "serve-deadline-exceeded",
+            Rule::ServeDraining => "serve-draining",
         }
     }
 }

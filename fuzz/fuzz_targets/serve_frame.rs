@@ -1,0 +1,48 @@
+//! Wire-frame codec target.
+//!
+//! `csfma-serve`'s read loop feeds attacker-controlled bytes straight
+//! into `frame::decode`, so the codec's contract is load-bearing for
+//! the whole service boundary (docs/SERVE.md): any byte soup must
+//! either decode, ask for more bytes, or fail with a structured
+//! `FrameError` — never panic, never over-consume. And decoding is a
+//! fixed point of encoding: whatever decodes must re-encode to the
+//! exact bytes consumed, bit-for-bit (NaN payloads included), so a
+//! proxy can re-frame traffic without perturbing digests.
+
+use csfma_serve::frame::{decode, encode, DEFAULT_MAX_FRAME_LEN};
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    // no panic on arbitrary bytes, across tight and default frame caps
+    // (the cap check must fire from the 4-byte prefix alone)
+    for cap in [0usize, 16, 4096, DEFAULT_MAX_FRAME_LEN] {
+        let _ = decode(data, cap);
+    }
+
+    let Ok(Some((frame, consumed))) = decode(data, DEFAULT_MAX_FRAME_LEN) else {
+        return; // partial or structured rejection — both fine outcomes
+    };
+    assert!(
+        consumed <= data.len(),
+        "decode consumed {consumed} of {} bytes",
+        data.len()
+    );
+
+    // the codec has one canonical encoding: re-encoding the decoded
+    // frame must reproduce the consumed bytes exactly (f64 row data
+    // round-trips through to_le_bytes/from_le_bytes bit-exactly, so
+    // this holds even for NaN payloads where Frame's PartialEq would
+    // say NaN != NaN)
+    let bytes = encode(&frame);
+    assert_eq!(
+        bytes,
+        &data[..consumed],
+        "decode/encode is not a fixed point for {frame:?}"
+    );
+
+    // and the re-encoded bytes decode again, consuming themselves whole
+    let (_, n) = decode(&bytes, DEFAULT_MAX_FRAME_LEN)
+        .expect("re-encoded frame decodes")
+        .expect("re-encoded frame is complete");
+    assert_eq!(n, bytes.len(), "re-decode left trailing bytes");
+});

@@ -8,8 +8,8 @@
 //! miscompilation or a validator false positive; both are bugs.
 
 use csfma_hls::{
-    compile_with_options, fuse_critical_paths, lint_ranges, parse_program_with_ranges,
-    verify_tape, CompileOptions, FmaKind, FusionConfig,
+    compile_with_options, fuse_critical_paths, lint_ranges, parse_program_with_ranges, verify_tape,
+    CompileOptions, FmaKind, FusionConfig,
 };
 use libfuzzer_sys::fuzz_target;
 

@@ -1,0 +1,178 @@
+//! `csfma-serve` — the batch-evaluation server as a command.
+//!
+//! Binds a TCP listener, prints `listening on <addr>` (so scripts can
+//! scrape the ephemeral port), installs SIGTERM/SIGINT graceful drain,
+//! and runs the accept loop to completion. On drain it prints the final
+//! stats JSON to stdout and exits 0.
+//!
+//! ```text
+//! usage: csfma-serve [options]
+//!
+//!   --addr A           bind address (default: 127.0.0.1:0)
+//!   --workers N        robust-executor threads per request (default: 2)
+//!   --max-inflight N   concurrent requests before queueing (default: 4)
+//!   --max-queue N      bounded admission queue length (default: 8)
+//!   --deadline-ms N    default deadline for SUBMITs that carry 0
+//!                      (default: 10000)
+//!   --fault-seed N     inject a seeded transient-fault sprinkle into
+//!                      every request (testing/load drills)
+//!   --self-test        bind, serve one in-process round trip (digest
+//!                      checked against a local eval), drain, exit
+//! ```
+//!
+//! Exit status: 0 on clean drain / passing self-test, 1 on a failing
+//! self-test, 2 on usage errors.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csfma_serve::frame::backend;
+use csfma_serve::{Client, Frame, ServeConfig, Server};
+
+struct Options {
+    cfg: ServeConfig,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = value(&mut args, "--addr")?,
+            "--workers" => {
+                cfg.workers = value(&mut args, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-inflight" => {
+                cfg.max_inflight = value(&mut args, "--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--max-queue" => {
+                cfg.max_queue = value(&mut args, "--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value(&mut args, "--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                cfg.default_deadline = Duration::from_millis(ms);
+            }
+            "--fault-seed" => {
+                cfg.fault_seed = Some(
+                    value(&mut args, "--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("--fault-seed: {e}"))?,
+                )
+            }
+            "--self-test" => self_test = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Options { cfg, self_test })
+}
+
+fn self_test(server: Server) -> ExitCode {
+    const GRAPH: &str = "x1 = a*b + c;\nout y = x1*x1 + a;";
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("self-test: no local addr: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    let verdict = (|| -> Result<(), String> {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        let rows = 96usize;
+        let data: Vec<f64> = (0..rows * 3)
+            .map(|i| (i % 41) as f64 * 0.5 - 10.0)
+            .collect();
+        let reply = c
+            .submit(backend::BIT, 0, rows as u32, GRAPH, &data)
+            .map_err(|e| e.to_string())?;
+        let Frame::Result {
+            digest,
+            rows: got_rows,
+            quarantined,
+            data: out,
+        } = reply
+        else {
+            return Err(format!("expected RESULT, got {reply:?}"));
+        };
+        if got_rows as usize != rows || quarantined != 0 {
+            return Err(format!("rows={got_rows} quarantined={quarantined}"));
+        }
+        let g = csfma_hls::parse_program(GRAPH).map_err(|e| e.to_string())?;
+        let tape = csfma_hls::compile_cached(&g).map_err(|e| e.to_string())?;
+        let local = tape.eval_batch(csfma_hls::TapeBackend::BitAccurate, &data, 1);
+        if csfma_serve::digest(&local) != digest
+            || !out
+                .iter()
+                .zip(local.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        {
+            return Err("served digest diverged from local evaluation".into());
+        }
+        c.drain().map_err(|e| e.to_string())?;
+        Ok(())
+    })();
+    handle.drain();
+    let stats = runner.join().unwrap_or_default();
+    match verdict {
+        Ok(()) => {
+            println!("self-test ok: {}", stats.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("self-test failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("csfma-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(opts.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("csfma-serve: bind failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.self_test {
+        return self_test(server);
+    }
+    match server.local_addr() {
+        Ok(a) => {
+            // stdout is block-buffered under a pipe; scripts scrape the
+            // port from this line, so push it out now
+            use std::io::Write as _;
+            println!("listening on {a}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => eprintln!("csfma-serve: local addr unavailable: {e}"),
+    }
+    #[cfg(unix)]
+    csfma_serve::install_signal_drain();
+    let stats = server.run();
+    println!("{}", stats.to_json());
+    ExitCode::SUCCESS
+}

@@ -19,12 +19,10 @@ fn run(args: &[&str], stdin: &str) -> Output {
         .spawn()
         .expect("spawn csfma-run");
     use std::io::Write as _;
-    child
-        .stdin
-        .take()
-        .unwrap()
-        .write_all(stdin.as_bytes())
-        .expect("write stdin");
+    // a usage error exits before reading stdin, so losing the pipe
+    // mid-write is a legal outcome, not a test failure; tests that do
+    // need their graph delivered assert on the output downstream
+    let _ = child.stdin.take().unwrap().write_all(stdin.as_bytes());
     child.wait_with_output().expect("csfma-run exits")
 }
 

@@ -25,6 +25,46 @@ fn bench_throughput_artifact_carries_scheduler_fields() {
     );
 }
 
+/// The checked-in serve artifact must carry the protocol-contract
+/// fields the acceptance audit reports — latency percentiles, the
+/// shed/deadline/quarantine ledger, the kill-mid-flight drill — and
+/// must record a passing gate at 16 concurrent clients.
+#[test]
+fn bench_serve_artifact_carries_contract_fields() {
+    let json = std::fs::read_to_string("results/BENCH_serve.json")
+        .expect("results/BENCH_serve.json is checked in");
+    for field in [
+        "\"bench\": \"serve\"",
+        "\"fault_seed\":",
+        "\"p50_ms\":",
+        "\"p99_ms\":",
+        "\"rows_per_sec\":",
+        "\"shed\":",
+        "\"deadline\":",
+        "\"quarantined_rows\":",
+        "\"digest_mismatches\": 0",
+        "\"unanswered\": 0",
+        "\"kill_mid_flight\":",
+        "\"server_survived\": true",
+    ] {
+        assert!(
+            json.contains(field),
+            "BENCH_serve.json lost the {field} field — regenerate with \
+             `cargo run -q --release -p csfma-bench --bin serve_bench`"
+        );
+    }
+    assert!(
+        json.contains("\"clients\": 16"),
+        "the acceptance scenario is 16 concurrent clients"
+    );
+    assert!(
+        json.contains("\"pass\": true"),
+        "the checked-in serve artifact must record a passing gate"
+    );
+    // the drill runs under fire: a clean-room seed would prove nothing
+    assert!(!json.contains("\"fault_seed\": 0\n"));
+}
+
 #[test]
 fn table1_orderings() {
     let rows = table1();

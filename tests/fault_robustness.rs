@@ -167,6 +167,82 @@ fn every_mantissa_site_recovers_bit_identically() {
     }
 }
 
+/// Every plane-kernel site (CSA product word, transpose output,
+/// classify mask), struck transiently on one row of a full chunk: the
+/// scalar-vs-plane differential oracle flags exactly that row, the
+/// ladder recovers it bit-identically, and no neighbor is disturbed.
+/// This is the §10.5 plane-residue gap closed at the containment level:
+/// the plane kernel runs no residue checks of its own, so the robust
+/// executor re-derives every committed bit on the scalar path and uses
+/// the plane result only as a cross-check.
+#[test]
+fn every_plane_site_is_caught_by_the_differential_oracle() {
+    let tape = fused_listing1();
+    let rows = stimulus(&tape, ROWS);
+    let clean = tape.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+    for site in FaultSite::PLANE {
+        // row 42 sits in the first full 64-row chunk, where the plane
+        // kernel (and therefore the strike) is live
+        let plan = FaultPlan::single(0xFEED, site, 42);
+        let (got, report) = tape.eval_batch_robust(
+            TapeBackend::BitAccurate,
+            &rows,
+            &RobustOptions::with_fault(&plan),
+        );
+        assert_eq!(plan.fired(0), 1, "{site:?}: fault must strike");
+        assert!(report.detections >= 1, "{site:?}: strike went undetected");
+        assert_eq!(
+            report.outcomes[42],
+            RowOutcome::Recovered { backend: "row-bit" },
+            "{site:?}"
+        );
+        for (r, o) in report.outcomes.iter().enumerate() {
+            if r != 42 {
+                assert!(
+                    matches!(o, RowOutcome::Ok),
+                    "{site:?}: neighbor row {r} disturbed: {o:?}"
+                );
+            }
+        }
+        assert!(
+            clean
+                .iter()
+                .zip(got.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{site:?}: recovery not bit-identical"
+        );
+    }
+}
+
+/// Even a *sticky* plane fault cannot force a quarantine: the committed
+/// output never flows through the plane kernel in robust mode, so the
+/// worst a permanently-broken plane path can do is demote every full
+/// chunk's rows to `Recovered` — still bit-identical to a clean run.
+#[test]
+fn sticky_plane_fault_degrades_to_recovered_never_quarantined() {
+    let tape = fused_listing1();
+    let rows = stimulus(&tape, ROWS);
+    let clean = tape.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+    let plan = FaultPlan::new(11).with_fault(FaultSpec::stuck(FaultSite::TransposeOut, 7));
+    let (got, report) = tape.eval_batch_robust(
+        TapeBackend::BitAccurate,
+        &rows,
+        &RobustOptions::with_fault(&plan),
+    );
+    assert!(
+        report.quarantined().is_empty(),
+        "plane fault quarantined a row"
+    );
+    assert!(report.detections >= 1);
+    assert!(
+        clean
+            .iter()
+            .zip(got.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "sticky plane fault leaked into committed output"
+    );
+}
+
 /// The oracle backend is a real backend: bit-identical to bit-accurate
 /// through the public batch entry point.
 #[test]

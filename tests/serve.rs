@@ -1,0 +1,339 @@
+//! Protocol torture suite for `csfma-serve` (DESIGN.md §15).
+//!
+//! Every scenario here is an attack on the one invariant the server
+//! sells: *every submitted frame gets exactly one terminal response,
+//! and nothing a client does crashes the accept loop or another
+//! client's request*. Malformed bytes, oversized declarations,
+//! slowloris dribbles, double-closes, and saturating load all land on
+//! an in-process server bound to an ephemeral port; the last test
+//! cross-checks served digests against the `csfma-run` binary on the
+//! same seeded stimulus.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use csfma_serve::frame::{self, backend, tag, Frame};
+use csfma_serve::{Client, ServeConfig, Server, ServerHandle};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const GRAPH: &str = "x1 = a*b + c*d;\nx2 = e*f + g*x1;\nout x3 = h*i + k*x2;";
+const NUM_INPUTS: usize = 10; // a b c d e f g h i k
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        max_inflight: 2,
+        max_queue: 2,
+        queue_wait: Duration::from_millis(100),
+        default_deadline: Duration::from_secs(30),
+        max_frame_len: 1 << 20,
+        idle_timeout: Duration::from_millis(400),
+        drain_grace: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn(
+    cfg: ServeConfig,
+) -> (
+    std::net::SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<csfma_serve::StatsSnapshot>,
+) {
+    let server = Server::bind(cfg).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+/// The `csfma-run` stimulus formula (StdRng over the default range).
+fn stimulus(seed: u64, rows: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * NUM_INPUTS)
+        .map(|_| rng.gen_range(-1000.0..1000.0))
+        .collect()
+}
+
+#[test]
+fn malformed_and_hostile_frames_never_take_the_server_down() {
+    let (addr, handle, runner) = spawn(test_config());
+
+    // garbage bytes → structured SV002, connection closed
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&5u32.to_le_bytes()).unwrap();
+        s.write_all(&[0x7F, 1, 2, 3, 4]).unwrap();
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).unwrap();
+        let (f, _) = frame::decode(&resp, 1 << 20).unwrap().expect("one reply");
+        match f {
+            Frame::Error { code: 2, message } => assert!(message.contains("SV002"), "{message}"),
+            other => panic!("expected SV002, got {other:?}"),
+        }
+    }
+
+    // oversized declaration → SV001 before the body is ever sent
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&(64u32 << 20).to_le_bytes()).unwrap();
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).unwrap();
+        let (f, _) = frame::decode(&resp, 1 << 20).unwrap().expect("one reply");
+        match f {
+            Frame::Error { code: 1, message } => assert!(message.contains("SV001"), "{message}"),
+            other => panic!("expected SV001, got {other:?}"),
+        }
+    }
+
+    // truncated frame then abrupt close; and a double-close (shutdown
+    // then close again) — the handler thread must just move on
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[tag::SUBMIT, 0, 0]).unwrap(); // 97 bytes never come
+        let _ = s.shutdown(std::net::Shutdown::Both);
+        drop(s);
+    }
+
+    // slowloris: a partial frame dribbled slower than the idle timeout
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&16u32.to_le_bytes()).unwrap();
+        s.write_all(&[tag::PING]).unwrap();
+        std::thread::sleep(Duration::from_millis(700)); // > idle_timeout
+                                                        // server has closed us by now; a write eventually errors and a
+                                                        // read sees EOF
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server should have closed the stalled connection");
+    }
+
+    // a response-typed frame sent to the server → SV002
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&frame::encode(&Frame::Shed { retry_after_ms: 1 }))
+            .unwrap();
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).unwrap();
+        let (f, _) = frame::decode(&resp, 1 << 20).unwrap().expect("one reply");
+        assert!(matches!(f, Frame::Error { code: 2, .. }), "{f:?}");
+    }
+
+    // after all that abuse, a well-formed client still gets service
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.ping(42).unwrap(), 42);
+    let rows = 4usize;
+    let reply = c
+        .submit(backend::BIT, 0, rows as u32, GRAPH, &stimulus(1, rows))
+        .unwrap();
+    assert!(
+        matches!(reply, Frame::Result { quarantined: 0, .. }),
+        "{reply:?}"
+    );
+
+    handle.drain();
+    let stats = runner.join().unwrap();
+    assert_eq!(
+        stats.panics_contained, 0,
+        "a connection panicked: {stats:?}"
+    );
+    assert_eq!(stats.results, 1);
+    // the three protocol refusals (garbage, oversize, response-typed)
+    // land in `refusals`, never in the admission ledger — which must
+    // balance exactly even after the hostile traffic
+    assert!(stats.refusals >= 3, "{stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert_eq!(
+        stats.accepted,
+        stats.results + stats.deadline + stats.errors,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn overload_sheds_with_retry_hint_and_deadline_cuts_off_at_chunk_boundary() {
+    let cfg = ServeConfig {
+        max_inflight: 1,
+        max_queue: 0,
+        queue_wait: Duration::from_millis(10),
+        max_frame_len: 8 << 20,
+        ..test_config()
+    };
+    let (addr, handle, runner) = spawn(cfg);
+
+    // client A occupies the only evaluation slot with a request big
+    // enough that the robust executor chews on it for a good fraction
+    // of a second
+    let rows_a = 64 * 1024usize;
+    let data_a = stimulus(2, rows_a);
+    let a = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.submit(backend::BIT, 0, rows_a as u32, GRAPH, &data_a)
+            .unwrap()
+    });
+
+    // wait (via the ungated STATS frame) until A is admitted, so the
+    // probe below races a request that is provably in flight
+    let mut watcher = Client::connect(addr).unwrap();
+    for _ in 0..2000 {
+        let snap = csfma_serve::StatsSnapshot::from_json(&watcher.stats().unwrap())
+            .expect("stats json parses");
+        if snap.accepted >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // client B probes while A holds the slot: max_queue = 0 means the
+    // admission gate must shed instead of queueing
+    let mut shed_seen = None;
+    for _ in 0..50 {
+        let mut c = Client::connect(addr).unwrap();
+        match c
+            .submit(backend::BIT, 0, 1, GRAPH, &stimulus(3, 1))
+            .unwrap()
+        {
+            Frame::Shed { retry_after_ms } => {
+                shed_seen = Some(retry_after_ms);
+                break;
+            }
+            Frame::Result { .. } => std::thread::sleep(Duration::from_millis(2)),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    let hint = shed_seen.expect("saturated server must shed");
+    assert!(hint > 0, "retry-after hint must be positive");
+
+    assert!(matches!(a.join().unwrap(), Frame::Result { .. }));
+
+    // a 1 ms deadline on a batch that needs several ms of evaluation
+    // cannot finish: DEADLINE, and the response carries no partial rows
+    let mut c = Client::connect(addr).unwrap();
+    let rows = 8192usize;
+    match c
+        .submit(backend::BIT, 1, rows as u32, GRAPH, &stimulus(4, rows))
+        .unwrap()
+    {
+        Frame::Deadline { .. } => {}
+        other => panic!("expected DEADLINE, got {other:?}"),
+    }
+
+    handle.drain();
+    let stats = runner.join().unwrap();
+    assert!(stats.shed >= 1, "{stats:?}");
+    assert_eq!(stats.deadline, 1, "{stats:?}");
+    assert_eq!(stats.panics_contained, 0);
+    // reconciliation: every accepted request ended in exactly one
+    // terminal response
+    assert_eq!(
+        stats.accepted,
+        stats.results + stats.deadline + stats.errors
+    );
+}
+
+#[test]
+fn concurrent_clients_get_identical_digests_to_a_local_run() {
+    let cfg = ServeConfig {
+        max_inflight: 4,
+        max_queue: 16,
+        queue_wait: Duration::from_secs(5),
+        ..test_config()
+    };
+    let (addr, handle, runner) = spawn(cfg);
+
+    let rows = 48usize;
+    let clients: Vec<_> = (0..8u64)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let data = stimulus(seed, rows);
+                let mut c = Client::connect(addr).unwrap();
+                let reply = c
+                    .submit(backend::BIT, 0, rows as u32, GRAPH, &data)
+                    .unwrap();
+                match reply {
+                    Frame::Result {
+                        digest,
+                        quarantined: 0,
+                        data: out,
+                        ..
+                    } => (seed, digest, out),
+                    other => panic!("client {seed}: {other:?}"),
+                }
+            })
+        })
+        .collect();
+
+    let g = csfma_hls::parse_program(GRAPH).unwrap();
+    let tape = csfma_hls::compile_cached(&g).unwrap();
+    for t in clients {
+        let (seed, digest, out) = t.join().unwrap();
+        let local = tape.eval_batch(
+            csfma_hls::TapeBackend::BitAccurate,
+            &stimulus(seed, rows),
+            1,
+        );
+        assert_eq!(digest, csfma_serve::digest(&local), "seed {seed}");
+        assert!(
+            out.iter()
+                .zip(local.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "seed {seed}: served rows diverge from local evaluation"
+        );
+    }
+    handle.drain();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.results, 8);
+    assert_eq!(stats.panics_contained, 0);
+}
+
+/// The served digest equals what the `csfma-run` binary prints for the
+/// same graph, seed, and batch — the two entry points share stimulus
+/// formula, engine, and digest formula.
+#[test]
+fn served_digest_matches_the_csfma_run_binary() {
+    let rows = 32usize;
+    let seed = 7u64;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_csfma-run"))
+        .args(["--batch", "32", "--seed", "7"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("csfma-run spawns");
+    {
+        // scope the pipe so the child sees EOF before we wait on it
+        let mut stdin = child.stdin.take().unwrap();
+        stdin.write_all(GRAPH.as_bytes()).expect("feed graph");
+    }
+    let out = child.wait_with_output().expect("csfma-run runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let cli_digest = stdout
+        .lines()
+        .find_map(|l| l.split("digest ").nth(1))
+        .expect("digest line")
+        .trim()
+        .to_string();
+
+    let (addr, handle, runner) = spawn(test_config());
+    let mut c = Client::connect(addr).unwrap();
+    let reply = c
+        .submit(backend::BIT, 0, rows as u32, GRAPH, &stimulus(seed, rows))
+        .unwrap();
+    handle.drain();
+    runner.join().unwrap();
+    match reply {
+        Frame::Result { digest, .. } => {
+            assert_eq!(format!("{digest:#018x}"), cli_digest);
+        }
+        other => panic!("expected RESULT, got {other:?}"),
+    }
+}
