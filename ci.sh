@@ -49,6 +49,18 @@ cargo test -q --test cli_run
 # across backends at different thread counts
 cargo test -q --test filetests
 
+# native-JIT byte-identity (DESIGN.md §16): proptest differentials
+# against the bit-accurate interpreter on random IEEE graphs, every
+# example datapath, fused fallback, promoted tapes and adversarial
+# bailout batches. Run twice: with the JIT armed (on capable hosts the
+# emitted code actually executes) and with the CSFMA_JIT kill switch
+# thrown (the all-rows interpreter fallback configuration) — both must
+# produce identical bytes, which is the whole contract. The rustdoc
+# gate above already covers the hls::jit module (crates/hls carries
+# #![warn(missing_docs)]).
+cargo test -q --test jit_differential
+CSFMA_JIT=off cargo test -q --test jit_differential
+
 # plane/scalar equivalence: special-value matrix + proptests over
 # full/partial/single-row batches, and ragged-tail thread invariance
 # (DESIGN.md §13.3)

@@ -107,9 +107,11 @@ fn scalar_eval(
 ) -> HashMap<String, f64> {
     match backend {
         TapeBackend::F64 => eval_f64(g, inputs),
-        // the oracle backend is bit-identical to bit-accurate by
-        // construction, so the same reference applies
-        TapeBackend::BitAccurate | TapeBackend::Oracle => eval_bit_accurate(g, inputs),
+        // the oracle and jit backends are bit-identical to bit-accurate
+        // by construction, so the same reference applies
+        TapeBackend::BitAccurate | TapeBackend::Oracle | TapeBackend::Jit => {
+            eval_bit_accurate(g, inputs)
+        }
     }
 }
 
@@ -138,9 +140,15 @@ pub fn throughput(rows: usize, scalar_cap: usize, seed: u64) -> Vec<ThroughputRo
             .map(|_| rng.gen_range(-100.0..100.0))
             .collect();
 
-        // identical stimulus across backends so the two rows per graph
-        // describe the same workload
-        for backend in [TapeBackend::BitAccurate, TapeBackend::F64] {
+        // identical stimulus across backends so the rows per graph
+        // describe the same workload; the jit backend only applies to
+        // IEEE-node graphs (fused tapes refuse a module and would just
+        // re-measure the interpreter under a different label)
+        let mut backends = vec![TapeBackend::BitAccurate, TapeBackend::F64];
+        if tape.jit_module().is_some() {
+            backends.push(TapeBackend::Jit);
+        }
+        for backend in backends {
             let mut row = measure(&name, &g, &tape, backend, &stim, rows, scalar_cap);
             row.compile_us = compile_us;
             row.cached_compile_us = cached_compile_us;
@@ -244,6 +252,7 @@ fn measure(
             TapeBackend::F64 => "f64",
             TapeBackend::BitAccurate => "bit",
             TapeBackend::Oracle => "oracle",
+            TapeBackend::Jit => "jit",
         },
         rows,
         scalar_rows_measured: audit_rows,

@@ -89,11 +89,21 @@ pub struct CompileOptions {
     /// Run constant folding / CSE / DCE / pressure-aware reordering
     /// between the checker gate and lowering.
     pub optimize: bool,
+    /// Eagerly build the native JIT module ([`crate::jit`]) for the
+    /// compiled tape, inside a `codegen` stage span, so the first
+    /// `--backend jit` evaluation pays no lazy-build latency. The cache
+    /// key includes this flag. Off by default: every other backend
+    /// never needs the module, and a `jit` evaluation of a lazily
+    /// compiled tape builds it on first use anyway.
+    pub codegen: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { optimize: true }
+        CompileOptions {
+            optimize: true,
+            codegen: false,
+        }
     }
 }
 
@@ -113,6 +123,12 @@ pub enum TapeBackend {
     /// several times slower; it is the trusted last rung of the robust
     /// executor's fallback ladder (see [`crate::robust`]).
     Oracle,
+    /// Native machine code for the scalar IEEE fast path
+    /// ([`crate::jit`]), bit-identical to [`TapeBackend::BitAccurate`]
+    /// by construction: rows (or whole tapes) the emitted guards cannot
+    /// license fall back to the bit-accurate interpreter, so the only
+    /// difference is speed. See `docs/JIT.md`.
+    Jit,
 }
 
 /// One tape instruction. Register operands index the binary64 bank
@@ -255,6 +271,14 @@ pub struct Tape {
     /// path); a separate flag so future analyses can veto instructions
     /// and so tests can audit the dispatch decision.
     pub(crate) plane_eligible: Vec<bool>,
+    /// Lazily built native module for [`TapeBackend::Jit`]
+    /// ([`crate::jit`], bit-accurate semantics). `None` inside the cell
+    /// means module construction was attempted and refused (fused tape,
+    /// platform, or `CSFMA_JIT=off`) — the backend then interprets
+    /// every row. [`Tape::set_promoted`] resets the cell: the guard set
+    /// depends on the promotion mask, so a stale module would break
+    /// bit-identity.
+    pub(crate) jit: OnceLock<Option<Arc<crate::jit::JitModule>>>,
 }
 
 /// Reusable per-worker register file for tape execution. One scratch per
@@ -846,6 +870,7 @@ fn lower(g: &Cdfg, pcs_format: CsFmaFormat, fcs_format: CsFmaFormat) -> Tape {
         instr_nodes,
         promoted: Vec::new(),
         plane_eligible,
+        jit: OnceLock::new(),
     }
 }
 
@@ -926,6 +951,26 @@ impl Tape {
             "promotion mask arity mismatch"
         );
         self.promoted = mask;
+        // the JIT module's guard set mirrors the promotion mask, so any
+        // cached module is stale now — rebuild on next use
+        self.jit = OnceLock::new();
+    }
+
+    /// The native module backing [`TapeBackend::Jit`], built on first
+    /// use (bit-accurate semantics). `None` when the tape cannot be
+    /// lowered ([`crate::jit::jit_refusal`]), the platform cannot run
+    /// emitted code, or `CSFMA_JIT=off` — the backend then evaluates
+    /// every row on the bit-accurate interpreter.
+    pub fn jit_module(&self) -> Option<&Arc<crate::jit::JitModule>> {
+        self.jit
+            .get_or_init(|| {
+                let (m, us) = csfma_obs::time_us(|| {
+                    crate::jit::compile_module(self, crate::jit::JitSemantics::Bit)
+                });
+                profile::count_jit_compile_us(us as u64);
+                m.map(Arc::new)
+            })
+            .as_ref()
     }
 
     /// Number of instructions currently promoted to the raw host fast
@@ -999,7 +1044,10 @@ impl Tape {
         assert_eq!(out.len(), self.outputs.len(), "output arity mismatch");
         match backend {
             TapeBackend::F64 => self.eval_row_f64(row, out, scratch),
-            TapeBackend::BitAccurate => self.eval_row_bit(row, out, scratch),
+            // row-granular jit evaluation buys nothing (the native call
+            // and the per-row interpreter cost the same dispatch); the
+            // bit path IS the jit backend's semantics
+            TapeBackend::BitAccurate | TapeBackend::Jit => self.eval_row_bit(row, out, scratch),
             TapeBackend::Oracle => self.eval_row_oracle(row, out, scratch),
         }
     }
@@ -1246,7 +1294,44 @@ impl Tape {
             TapeBackend::F64 => self.eval_chunk_f64(rows, base, len, chunk, scratch),
             TapeBackend::BitAccurate => self.eval_chunk_bit(rows, base, len, chunk, scratch),
             TapeBackend::Oracle => self.eval_chunk_oracle(rows, base, len, chunk, scratch),
+            TapeBackend::Jit => self.eval_chunk_jit(rows, base, len, chunk, scratch),
         }
+    }
+
+    /// Chunk evaluation on the native JIT module, bit-identical to
+    /// [`Tape::eval_chunk`] with [`TapeBackend::BitAccurate`]: each row
+    /// runs the emitted function; a row whose bailout guard fires is
+    /// re-evaluated alone on the bit-accurate interpreter (sound
+    /// because chunk lanes are independent — a one-row chunk computes
+    /// exactly what that lane of any chunk computes). With no module at
+    /// all the whole chunk keeps the interpreter and every row counts
+    /// as a bailout.
+    fn eval_chunk_jit(
+        &self,
+        rows: &[f64],
+        base: usize,
+        len: usize,
+        out: &mut [f64],
+        s: &mut ChunkScratch,
+    ) {
+        let Some(module) = self.jit_module() else {
+            profile::count_jit_chunk(len as u64, len as u64);
+            self.eval_chunk_bit(rows, base, len, out, s);
+            return;
+        };
+        let module = Arc::clone(module);
+        let ni = self.inputs.len();
+        let no = self.outputs.len();
+        let mut bailouts = 0u64;
+        for k in 0..len {
+            let row = &rows[(base + k) * ni..(base + k + 1) * ni];
+            let dst = &mut out[k * no..(k + 1) * no];
+            if !module.run_row(row, dst) {
+                bailouts += 1;
+                self.eval_chunk_bit(rows, base + k, 1, dst, s);
+            }
+        }
+        profile::count_jit_chunk(len as u64, bailouts);
     }
 
     /// [`Tape::eval_batch`] wrapped in an `eval` stage span, with
@@ -1270,6 +1355,18 @@ impl Tape {
         let units0 = csfma_core::unit_op_counts();
         let plane0 = csfma_core::plane_counts();
         let occ0 = profile::chunk_occupancy();
+        let jit_rows0 = profile::jit_rows();
+        let jit_bail0 = profile::jit_bailouts();
+        let jit_us0 = profile::jit_compile_us();
+
+        if backend == TapeBackend::Jit {
+            // force the lazy module build here so its cost lands in a
+            // `codegen` span instead of polluting the eval timing
+            let codegen_tok = prof.enter("codegen");
+            let native = self.jit_module().map_or(0, |m| m.native_instr_count());
+            prof.exit(codegen_tok);
+            prof.set_counter("jit_native_instrs", native as f64);
+        }
 
         let eval_tok = prof.enter("eval");
         let ((out, sched), wall_us) =
@@ -1335,6 +1432,14 @@ impl Tape {
             "plane_transpose_us",
             (plane.transpose_ns - plane0.transpose_ns) as f64 / 1000.0,
         );
+        if backend == TapeBackend::Jit {
+            prof.set_counter("jit_rows", (profile::jit_rows() - jit_rows0) as f64);
+            prof.set_counter("jit_bailouts", (profile::jit_bailouts() - jit_bail0) as f64);
+            prof.set_counter(
+                "jit_compile_us",
+                (profile::jit_compile_us() - jit_us0) as f64,
+            );
+        }
         out
     }
 
@@ -1860,6 +1965,7 @@ pub fn compile_cached_with_profiled(
     prof.set_counter("tape_cache_misses", stats.misses as f64);
     prof.set_counter("tape_cache_evictions", stats.evictions as f64);
     prof.set_counter("tape_cache_entries", stats.entries as f64);
+    prof.set_counter("tape_cache_shards", stats.shards as f64);
     result
 }
 
@@ -1870,6 +1976,7 @@ fn compile_cached_with_inner(
 ) -> Result<Arc<Tape>, CompileError> {
     let mut key = canonical_encoding(g);
     key.push(opts.optimize as u8);
+    key.push(opts.codegen as u8);
     {
         let lookup_tok = prof.enter("cache_lookup");
         let cached = with_shard(&key, |st| {
@@ -1914,6 +2021,13 @@ fn compile_cached_with_inner(
     tape.opt.cache_hits = CACHE_HITS.load(Ordering::Relaxed);
     tape.opt.cache_misses = CACHE_MISSES.load(Ordering::Relaxed);
     tape.opt.cache_evictions = CACHE_EVICTIONS.load(Ordering::Relaxed);
+    if opts.codegen {
+        // build the native module eagerly so cached tapes are served
+        // ready-to-run and the cost lands in a `codegen` span
+        let codegen_tok = prof.enter("codegen");
+        let _ = tape.jit_module();
+        prof.exit(codegen_tok);
+    }
     let tape = Arc::new(tape);
     let shared = with_shard(&key, |st| {
         st.tick += 1;
@@ -2237,7 +2351,14 @@ mod tests {
         let src = "unused = u * u;\nscale = 2.0 * 2.0 + 1.0;\nout y = a*b + a*b + scale;\n";
         let g = crate::parse_program(src).unwrap();
         let opt = compile(&g).unwrap();
-        let plain = compile_with_options(&g, CompileOptions { optimize: false }).unwrap();
+        let plain = compile_with_options(
+            &g,
+            CompileOptions {
+                optimize: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
         assert_eq!(opt.input_names(), plain.input_names());
         assert_eq!(opt.output_names(), plain.output_names());
         assert!(
@@ -2280,7 +2401,14 @@ mod tests {
         let mut g = listing1();
         g.output("x3_flag_probe", g.outputs()[0] - 1);
         let a = compile_cached(&g).unwrap();
-        let b = compile_cached_with(&g, CompileOptions { optimize: false }).unwrap();
+        let b = compile_cached_with(
+            &g,
+            CompileOptions {
+                optimize: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         // but both identify as the same source graph
         assert_eq!(a.fingerprint(), b.fingerprint());
@@ -2415,8 +2543,14 @@ mod tests {
         let src = "unused = u * u;\nscale = 2.0 * 2.0 + 1.0;\nout y = a*b + a*b + scale;\n";
         let g = crate::parse_program(src).unwrap();
         for opts in [
-            CompileOptions { optimize: true },
-            CompileOptions { optimize: false },
+            CompileOptions {
+                optimize: true,
+                ..CompileOptions::default()
+            },
+            CompileOptions {
+                optimize: false,
+                ..CompileOptions::default()
+            },
         ] {
             let tape = compile_with_options(&g, opts).unwrap();
             assert_eq!(tape.instrs().len(), tape.instr_nodes.len());

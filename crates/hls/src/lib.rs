@@ -33,6 +33,7 @@ pub mod cdfg;
 pub mod compile;
 pub mod fuse;
 pub mod interp;
+pub mod jit;
 pub mod lint;
 pub mod many;
 pub mod mutate;
@@ -54,6 +55,9 @@ pub use compile::{
     TapeScratch, DEFAULT_TAPE_CACHE_CAPACITY, MAX_TAPE_CACHE_SHARDS,
 };
 pub use fuse::{fuse_critical_paths, FusionConfig, FusionReport};
+pub use jit::{
+    compile_module, jit_available, jit_refusal, lint_jit, JitModule, JitRefusal, JitSemantics,
+};
 pub use lint::{
     capacity_list, debug_assert_tape_clean, lint_dataflow, lint_ranges, lint_schedule,
     promotion_mask, schedule_view, to_check_graph, to_source_view, to_tape_view, verify_tape,

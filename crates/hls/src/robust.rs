@@ -442,6 +442,7 @@ impl Tape {
             TapeBackend::F64 => "row-f64",
             TapeBackend::BitAccurate => "row-bit",
             TapeBackend::Oracle => "row-oracle",
+            TapeBackend::Jit => "row-jit",
         };
         let mut retry_findings: Vec<(usize, FaultDetected)> = Vec::new();
         let retried = catch_unwind(AssertUnwindSafe(|| {
@@ -533,7 +534,10 @@ impl Tape {
         let tape_fault = hook.and_then(|h| h.tape_fault(self.instrs.len()));
         match backend {
             TapeBackend::F64 => self.guarded_row_f64(row, out, s, tape_fault),
-            TapeBackend::BitAccurate | TapeBackend::Oracle => {
+            // a JIT row that reaches this rung re-runs on the guarded
+            // interpreter: same bits by the bailout contract, and the
+            // tamper points stay armed for the differential
+            TapeBackend::BitAccurate | TapeBackend::Oracle | TapeBackend::Jit => {
                 self.guarded_row_bit(row, out, s, hook, tape_fault, findings)
             }
         }

@@ -137,13 +137,17 @@ pub enum Rule {
     /// SV006: the server is draining (graceful shutdown) and accepts no
     /// new work; in-flight requests still complete or deadline out.
     ServeDraining,
+    /// J001: more than half the rows sent to the native JIT backend
+    /// would bail out to the interpreter (advisory; the result is still
+    /// bit-exact, only the speedup is gone).
+    JitBailoutRate,
 }
 
 impl Rule {
     /// Every rule the workspace can emit, in catalogue order. New rules
     /// must be added here — `docs/DIAGNOSTICS.md` is tested against this
     /// list, so forgetting one fails the build's registry-walk test.
-    pub const ALL: [Rule; 35] = [
+    pub const ALL: [Rule; 36] = [
         Rule::ArityMismatch,
         Rule::EdgeOrder,
         Rule::DomainMismatch,
@@ -179,6 +183,7 @@ impl Rule {
         Rule::ServeOverloadShed,
         Rule::ServeDeadlineExceeded,
         Rule::ServeDraining,
+        Rule::JitBailoutRate,
     ];
 
     /// Stable short id.
@@ -219,6 +224,7 @@ impl Rule {
             Rule::ServeOverloadShed => "SV004",
             Rule::ServeDeadlineExceeded => "SV005",
             Rule::ServeDraining => "SV006",
+            Rule::JitBailoutRate => "J001",
         }
     }
 
@@ -260,6 +266,7 @@ impl Rule {
             Rule::ServeOverloadShed => "serve-overload-shed",
             Rule::ServeDeadlineExceeded => "serve-deadline-exceeded",
             Rule::ServeDraining => "serve-draining",
+            Rule::JitBailoutRate => "jit-bailout-rate",
         }
     }
 }

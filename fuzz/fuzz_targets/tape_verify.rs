@@ -30,7 +30,11 @@ fuzz_target!(|data: &[u8]| {
     ];
     for g in &graphs {
         for optimize in [false, true] {
-            let Ok(tape) = compile_with_options(g, CompileOptions { optimize }) else {
+            let opts = CompileOptions {
+                optimize,
+                ..CompileOptions::default()
+            };
+            let Ok(tape) = compile_with_options(g, opts) else {
                 continue; // structured compile errors are a fine outcome
             };
             let diags = verify_tape(&tape, g);

@@ -16,6 +16,9 @@
 //!   --formats        also lint the standard carry-save FMA formats
 //!   --tape           compile (optimizer on and off) and run the T* tape
 //!                    translation validator on the result
+//!   --jit            with --tape: also run the J* native-codegen lint
+//!                    (J001 warns when a `--backend jit` run of this tape
+//!                    would bail >50% of rows to the interpreter)
 //!   --ranges         run the R* value-range analysis over `in x [lo, hi];`
 //!                    bounds and print the datapath-specific shift-bound proof
 //!   --json           emit one RFC 8259 JSON array of all findings instead of
@@ -46,6 +49,7 @@ struct Options {
     limits: ResourceLimits,
     formats: bool,
     tape: bool,
+    jit: bool,
     ranges: bool,
     json: bool,
     deny_warnings: bool,
@@ -54,7 +58,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: csfma-lint [--fuse pcs|fcs] [--mul N] [--add N] [--div N] \
-         [--fma N] [--formats] [--tape] [--ranges] [--json] \
+         [--fma N] [--formats] [--tape] [--jit] [--ranges] [--json] \
          [--deny-warnings] [FILE...]"
     );
     std::process::exit(2);
@@ -67,6 +71,7 @@ fn parse_args() -> Options {
         limits: ResourceLimits::default(),
         formats: false,
         tape: false,
+        jit: false,
         ranges: false,
         json: false,
         deny_warnings: false,
@@ -98,6 +103,7 @@ fn parse_args() -> Options {
             "--fma" => count_for(&mut opts.limits.fma, &mut args),
             "--formats" => opts.formats = true,
             "--tape" => opts.tape = true,
+            "--jit" => opts.jit = true,
             "--ranges" => opts.ranges = true,
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
@@ -145,8 +151,19 @@ fn lint_source(src: &str, opts: &Options) -> (Vec<Diagnostic>, Option<String>) {
         // both optimizer settings: an optimizer bug must not hide
         // behind the default, and vice versa
         for optimize in [false, true] {
-            match compile_with_options(&g, CompileOptions { optimize }) {
-                Ok(tape) => diags.extend(verify_tape(&tape, &g)),
+            let c = CompileOptions {
+                optimize,
+                ..CompileOptions::default()
+            };
+            match compile_with_options(&g, c) {
+                Ok(tape) => {
+                    diags.extend(verify_tape(&tape, &g));
+                    // opt-in: fused tapes legitimately refuse the JIT, so
+                    // J001 only fires when the caller asked about it
+                    if opts.jit && optimize {
+                        diags.extend(csfma_hls::lint_jit(&tape));
+                    }
+                }
                 Err(e) => diags.extend(e.diagnostics),
             }
         }

@@ -16,7 +16,10 @@
 //!   --many         treat every positional FILE as an independent request
 //!                  and evaluate them all through one `eval_many` call
 //!                  (shared stealing deque; per-file digest lines)
-//!   --backend B    f64 | bit | oracle   evaluator semantics (default: bit)
+//!   --backend B    f64 | bit | oracle | jit   evaluator semantics
+//!                  (default: bit); `jit` runs native code on the IEEE
+//!                  fast path and bails per-row to the bit-accurate
+//!                  interpreter, so its digests match `bit` exactly
 //!   --fuse KIND    pcs | fcs        run the Fig. 12 fusion pass first
 //!   --batch N      evaluate N random input rows (default: 1)
 //!   --threads T    worker threads for the batch (default: 1)
@@ -32,9 +35,13 @@
 //!                  the raw host fast path (bit-identical by construction;
 //!                  stimulus always respects declared bounds)
 //!   --profile[=json] append a stage/counter breakdown of the run
-//!                  (parse → gate → optimize → lower → eval, tape-cache
-//!                  and fault counters); `=json` emits the machine-
-//!                  readable PipelineReport document instead of text
+//!                  (parse → gate → optimize → lower → codegen → eval,
+//!                  tape-cache, jit and fault counters); `=json` emits
+//!                  the machine-readable PipelineReport document
+//!                  instead of text
+//!   --dump-jit     print the native code listing the JIT emitted for
+//!                  this tape (or why no module could be built); see
+//!                  docs/JIT.md for how to read it
 //!   --verbose      print the compiled tape before running
 //! ```
 //!
@@ -78,14 +85,15 @@ struct Options {
     profile: Option<ProfileFormat>,
     verify: bool,
     promote: bool,
+    dump_jit: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: csfma-run [--backend f64|bit|oracle] [--fuse pcs|fcs] [--batch N] \
+        "usage: csfma-run [--backend f64|bit|oracle|jit] [--fuse pcs|fcs] [--batch N] \
          [--threads T] [--seed S] [--range LO HI] [--fault-seed N] [--no-opt] \
-         [--verify-tape] [--promote-ranges] [--profile[=json]] [--verbose] \
-         [--many] [FILE]..."
+         [--verify-tape] [--promote-ranges] [--profile[=json]] [--dump-jit] \
+         [--verbose] [--many] [FILE]..."
     );
     std::process::exit(2);
 }
@@ -108,6 +116,7 @@ fn parse_args() -> Options {
         profile: None,
         verify: false,
         promote: false,
+        dump_jit: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -123,6 +132,7 @@ fn parse_args() -> Options {
                     Some("f64") => TapeBackend::F64,
                     Some("bit") => TapeBackend::BitAccurate,
                     Some("oracle") => TapeBackend::Oracle,
+                    Some("jit") => TapeBackend::Jit,
                     _ => usage(),
                 }
             }
@@ -148,6 +158,7 @@ fn parse_args() -> Options {
             "--many" => opts.many = true,
             "--verify-tape" => opts.verify = true,
             "--promote-ranges" => opts.promote = true,
+            "--dump-jit" => opts.dump_jit = true,
             "--profile" => opts.profile = Some(ProfileFormat::Text),
             "--profile=json" => opts.profile = Some(ProfileFormat::Json),
             "--verbose" => opts.verbose = true,
@@ -327,6 +338,7 @@ fn run_many(opts: &Options) -> ExitCode {
             rows,
             options: CompileOptions {
                 optimize: opts.optimize,
+                codegen: opts.backend == TapeBackend::Jit,
             },
         })
         .collect();
@@ -409,6 +421,7 @@ fn main() -> ExitCode {
         &g,
         CompileOptions {
             optimize: opts.optimize,
+            codegen: opts.backend == TapeBackend::Jit,
         },
         &mut prof,
     ) {
@@ -455,6 +468,29 @@ fn main() -> ExitCode {
     if opts.verbose {
         dump(&tape);
     }
+    if opts.dump_jit {
+        match tape.jit_module() {
+            Some(m) => {
+                println!(
+                    "jit module: {} semantics | {} native instr(s) | {} guard(s) | {} code byte(s)",
+                    m.semantics(),
+                    m.native_instr_count(),
+                    m.guard_count(),
+                    m.code_len(),
+                );
+                print!("{}", m.dump());
+            }
+            None if !csfma_hls::jit_available() => {
+                println!(
+                    "jit module: none (JIT unavailable on this platform or disabled via CSFMA_JIT)"
+                );
+            }
+            None => match csfma_hls::jit_refusal(&tape) {
+                Some(r) => println!("jit module: none ({r})"),
+                None => println!("jit module: none (emitter refused this tape)"),
+            },
+        }
+    }
     if tape.num_inputs() == 0 {
         // constant graph: a single row is the whole story
         let mut out = vec![0.0; tape.num_outputs()];
@@ -500,6 +536,8 @@ fn main() -> ExitCode {
         prof.set_counter(c, 0.0);
     }
 
+    let jit_rows0 = csfma_hls::profile::jit_rows();
+    let jit_bail0 = csfma_hls::profile::jit_bailouts();
     let t0 = std::time::Instant::now();
     let (out, faulted) = match opts.fault_seed {
         None => (
@@ -545,6 +583,27 @@ fn main() -> ExitCode {
         }
     };
     let dt = t0.elapsed();
+
+    // advisory only — the bailed rows were interpreted bit-exactly, the
+    // run just did not get the native speedup it asked for. Silent when
+    // the obs layer is compiled out (the counters stay zero).
+    if opts.backend == TapeBackend::Jit {
+        let jit_rows = csfma_hls::profile::jit_rows() - jit_rows0;
+        let jit_bails = csfma_hls::profile::jit_bailouts() - jit_bail0;
+        if jit_rows > 0 && jit_bails * 2 > jit_rows {
+            eprintln!(
+                "csfma-run: {}",
+                Diagnostic::warning(
+                    Rule::JitBailoutRate,
+                    Span::Global,
+                    format!(
+                        "{jit_bails} of {jit_rows} row(s) bailed from the JIT to the \
+                         interpreter (> the 50% advisory threshold); see docs/JIT.md"
+                    ),
+                )
+            );
+        }
+    }
 
     // show the first row symbolically, then the digest of everything
     for (name, v) in tape.output_names().iter().zip(&out) {

@@ -365,6 +365,10 @@ fn profile_json_round_trips_with_full_stage_breakdown() {
     };
     assert_eq!(counter("tape_cache_misses"), 1.0);
     assert_eq!(counter("tape_cache_hits"), 0.0);
+    assert!(
+        counter("tape_cache_shards") >= 1.0,
+        "shard count (PR 9) is part of the stable profile schema"
+    );
     assert_eq!(counter("rows"), 100.0);
     assert_eq!(counter("threads"), 2.0);
     assert_eq!(counter("fault_detections"), 0.0);

@@ -109,7 +109,9 @@ fn eval_batch_is_thread_count_invariant() {
                 .collect();
             let want = match backend {
                 TapeBackend::F64 => eval_f64(&rep.fused, &m),
-                TapeBackend::BitAccurate | TapeBackend::Oracle => eval_bit_accurate(&rep.fused, &m),
+                TapeBackend::BitAccurate | TapeBackend::Oracle | TapeBackend::Jit => {
+                    eval_bit_accurate(&rep.fused, &m)
+                }
             };
             for (k, name) in tape.output_names().iter().enumerate() {
                 assert_eq!(

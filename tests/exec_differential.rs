@@ -120,8 +120,14 @@ fn assert_tape_matches(g: &Cdfg, vals: &[f64]) {
 /// the optimizer.
 fn assert_optimizer_equivalent(g: &Cdfg, vals: &[f64]) {
     let opt = compile(g).expect("generated graphs are valid");
-    let plain =
-        compile_with_options(g, CompileOptions { optimize: false }).expect("same gate, same graph");
+    let plain = compile_with_options(
+        g,
+        CompileOptions {
+            optimize: false,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("same gate, same graph");
     prop_assert_eq!(opt.input_names(), plain.input_names());
     prop_assert_eq!(opt.output_names(), plain.output_names());
     let ni = opt.num_inputs();

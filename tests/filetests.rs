@@ -28,6 +28,16 @@
 //!                         with identical semantics: any two of softfloat,
 //!                         bit, oracle (f64 only against itself — its
 //!                         fused nodes use the ideal `mul_add`).
+//! ; run-jit:              evaluate the 193-row adversarial batch on the
+//!                         `jit` backend at 1 and 4 threads and require
+//!                         bitwise identity with the 1-thread bit-accurate
+//!                         interpreter. The adversarial mix (NaN, ±inf,
+//!                         subnormals, bit noise) drives rows down the
+//!                         guard-bailout path; on hosts where no native
+//!                         module can be built (non-x86-64/aarch64, or
+//!                         CSFMA_JIT=off) the jit backend degrades to the
+//!                         interpreter and the identity is trivial — the
+//!                         directive is valid everywhere.
 //! ; run-many: <backend...>
 //!                         build one `eval_many` request per backend token
 //!                         (f64 | bit | oracle): request i evaluates
@@ -68,6 +78,7 @@ struct Directives {
     runs: Vec<RunCase>,
     run_differentials: Vec<(String, String)>,
     run_manys: Vec<Vec<String>>,
+    run_jit: bool,
 }
 
 fn parse_input_value(tok: &str) -> f64 {
@@ -134,6 +145,9 @@ fn parse_directives(src: &str) -> Directives {
                 "run-many needs at least two backend tokens"
             );
             d.run_manys.push(backends);
+        } else if let Some(tail) = rest.strip_prefix("run-jit:") {
+            assert!(tail.trim().is_empty(), "run-jit takes no arguments");
+            d.run_jit = true;
         } else if let Some(pair) = rest.strip_prefix("run-differential:") {
             let mut toks = pair.split_whitespace();
             let a = toks.next().expect("run-differential needs two backends");
@@ -145,7 +159,10 @@ fn parse_directives(src: &str) -> Directives {
         }
     }
     let has_lint = d.expect_clean || !d.expect_rules.is_empty();
-    let has_run = !d.runs.is_empty() || !d.run_differentials.is_empty() || !d.run_manys.is_empty();
+    let has_run = !d.runs.is_empty()
+        || !d.run_differentials.is_empty()
+        || !d.run_manys.is_empty()
+        || d.run_jit;
     assert!(
         has_lint || has_run,
         "a filetest needs `; lint: <RULE>` / `; lint-clean` or `; run:` directives"
@@ -195,6 +212,7 @@ fn eval_backend(backend: &str, g: &Cdfg, tape: &Tape, rows: &[f64], threads: usi
         "f64" => tape.eval_batch(TapeBackend::F64, rows, threads),
         "bit" => tape.eval_batch(TapeBackend::BitAccurate, rows, threads),
         "oracle" => tape.eval_batch(TapeBackend::Oracle, rows, threads),
+        "jit" => tape.eval_batch(TapeBackend::Jit, rows, threads),
         "softfloat" => {
             let ni = tape.num_inputs();
             let mut out = Vec::new();
@@ -212,7 +230,7 @@ fn eval_backend(backend: &str, g: &Cdfg, tape: &Tape, rows: &[f64], threads: usi
             }
             out
         }
-        other => panic!("unknown run backend {other:?} (f64|softfloat|bit|oracle)"),
+        other => panic!("unknown run backend {other:?} (f64|softfloat|bit|oracle|jit)"),
     }
 }
 
@@ -308,6 +326,25 @@ fn run_directives(path: &std::path::Path, d: &Directives, g: &Cdfg) {
             }
         }
     }
+    if d.run_jit {
+        let mut seed = 0x1117_0000_0000_0000 ^ (ni as u64);
+        let n_rows = 3 * LANES + 1; // 3 full chunks + a ragged tail
+        let rows: Vec<f64> = (0..n_rows * ni)
+            .map(|_| adversarial_value(splitmix(&mut seed)))
+            .collect();
+        let want = eval_backend("bit", g, &tape, &rows, 1);
+        for threads in [1usize, 4] {
+            let got = eval_backend("jit", g, &tape, &rows, threads);
+            for (i, (x, y)) in want.iter().zip(got.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{path:?} run-jit ({threads}t): flat output {i} diverged from the \
+                     bit-accurate interpreter ({x:e} vs {y:e})"
+                );
+            }
+        }
+    }
     for (a, b) in &d.run_differentials {
         let mut seed = 0x5EED_0000_0000_0000 ^ (ni as u64);
         let n_rows = 3 * LANES + 1; // 3 full chunks + a ragged tail
@@ -348,8 +385,14 @@ fn run_filetest(path: &std::path::Path) -> Vec<Diagnostic> {
     if let Some(name) = &d.mutate {
         // a correct compiler never emits a T*-dirty tape, so T* rule
         // reproducers seed their defect with a named mutation
-        let mut tape =
-            compile_with_options(&g, CompileOptions { optimize: false }).expect("must compile");
+        let mut tape = compile_with_options(
+            &g,
+            CompileOptions {
+                optimize: false,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("must compile");
         assert!(
             apply_mutation(&mut tape, name),
             "{path:?}: no mutation site"
@@ -358,7 +401,13 @@ fn run_filetest(path: &std::path::Path) -> Vec<Diagnostic> {
     } else {
         diags.extend(csfma::hls::lint_dataflow(&g, &OpTiming::default()));
         for optimize in [false, true] {
-            if let Ok(tape) = compile_with_options(&g, CompileOptions { optimize }) {
+            if let Ok(tape) = compile_with_options(
+                &g,
+                CompileOptions {
+                    optimize,
+                    ..CompileOptions::default()
+                },
+            ) {
                 diags.extend(verify_tape(&tape, &g));
             }
         }

@@ -1,0 +1,296 @@
+//! Differential testing of the native JIT backend (`hls::jit`): for the
+//! example datapaths, randomly generated IEEE graphs, and adversarial
+//! stimulus (NaN, infinities, signed zeros, subnormals, arbitrary bit
+//! patterns), `TapeBackend::Jit` must reproduce the bit-accurate
+//! interpreter **bit for bit** at every row count and thread count —
+//! whether a row ran native, bailed to the interpreter on a guard, or
+//! the whole tape fell back because no module could be built.
+//!
+//! The suite is valid on every host: where the platform (or
+//! `CSFMA_JIT=off`, which `ci.sh` exercises explicitly) forbids native
+//! code, the jit backend degrades to the interpreter and the identity
+//! becomes trivial. Assertions about the module itself are therefore
+//! conditional on [`jit_available`].
+
+use csfma::hls::jit::{compile_module, jit_available, JitSemantics};
+use csfma::hls::{
+    compile, fuse_critical_paths, lint_ranges, parse_program, parse_program_with_ranges,
+    promotion_mask, Cdfg, FmaKind, FusionConfig, NodeId, Op, TapeBackend,
+};
+use proptest::prelude::*;
+
+type OpPick = (usize, prop::sample::Index, prop::sample::Index);
+
+/// Build a random straight-line IEEE graph (same construction as
+/// `tests/exec_differential.rs`): `n_inputs` inputs, arithmetic nodes
+/// whose arguments sample everything built so far, outputs on the last
+/// node and one sampled node.
+fn random_graph(
+    n_inputs: usize,
+    consts: &[f64],
+    ops: &[OpPick],
+    extra_out: prop::sample::Index,
+) -> Cdfg {
+    let mut g = Cdfg::new();
+    let mut nodes: Vec<NodeId> = (0..n_inputs).map(|i| g.input(format!("i{i}"))).collect();
+    for &c in consts {
+        nodes.push(g.constant(c));
+    }
+    for (pick, a, b) in ops {
+        let x = nodes[a.index(nodes.len())];
+        let y = nodes[b.index(nodes.len())];
+        let n = match pick % 5 {
+            0 => g.add(x, y),
+            1 => g.sub(x, y),
+            2 => g.mul(x, y),
+            3 => g.div(x, y),
+            _ => g.push(Op::Neg, vec![x]),
+        };
+        nodes.push(n);
+    }
+    g.output("last", *nodes.last().unwrap());
+    let pick = nodes[extra_out.index(nodes.len())];
+    g.output("extra", pick);
+    g
+}
+
+/// Adversarial stimulus: specials, subnormals, raw bit patterns and
+/// ordinary magnitudes in one distribution.
+fn stimulus() -> impl Strategy<Value = f64> {
+    (0usize..10, any::<u64>(), -1.0e6f64..1.0e6).prop_map(|(class, bits, x)| match class {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::from_bits(bits % (1u64 << 52)), // +subnormal
+        6 => 1e-310,                              // mid-window subnormal
+        7 => f64::from_bits(bits),                // anything at all
+        8 => f64::MIN_POSITIVE * (1.0 + (bits % 8) as f64), // guard-window border
+        _ => x,
+    })
+}
+
+/// The identity every test asserts: `Jit` output equals `BitAccurate`
+/// output bit-for-bit at 1 and 4 threads over the same batch.
+fn assert_jit_matches_interpreter(g: &Cdfg, vals: &[f64], n_rows: usize) {
+    let tape = compile(g).expect("test graphs compile");
+    let ni = tape.num_inputs();
+    let rows: Vec<f64> = (0..n_rows * ni).map(|i| vals[i % vals.len()]).collect();
+    let want = tape.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+    for threads in [1usize, 4] {
+        let got = tape.eval_batch(TapeBackend::Jit, &rows, threads);
+        assert_eq!(want.len(), got.len());
+        for (i, (x, y)) in want.iter().zip(got.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "jit({threads}t) diverged from interpreter at flat output {i} ({x:e} vs {y:e})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random IEEE graphs, adversarial values, row counts straddling the
+    /// 64-row chunk boundary: native rows, guard bailouts and spilled
+    /// register files all under one identity.
+    #[test]
+    fn jit_matches_interpreter_on_random_ieee_graphs(
+        n_inputs in 1usize..5,
+        consts in prop::collection::vec(stimulus(), 0..3),
+        ops in prop::collection::vec((0usize..5, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 1..40),
+        extra_out: prop::sample::Index,
+        vals in prop::collection::vec(stimulus(), 1..12),
+        n_rows in 1usize..150,
+    ) {
+        let g = random_graph(n_inputs, &consts, &ops, extra_out);
+        assert_jit_matches_interpreter(&g, &vals, n_rows);
+    }
+
+    /// The same graphs through the fusion pass: fused tapes refuse a
+    /// native module, so this pins the whole-tape fallback (including
+    /// the bit-plane kernel on full chunks) under the jit label.
+    #[test]
+    fn jit_matches_interpreter_on_fused_graphs(
+        n_inputs in 1usize..5,
+        ops in prop::collection::vec((0usize..5, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 4..30),
+        extra_out: prop::sample::Index,
+        kind_pick: bool,
+        vals in prop::collection::vec(stimulus(), 1..12),
+        n_rows in 60usize..70,
+    ) {
+        let g = random_graph(n_inputs, &[], &ops, extra_out);
+        let kind = if kind_pick { FmaKind::Pcs } else { FmaKind::Fcs };
+        let fused = fuse_critical_paths(&g, &FusionConfig::new(kind)).fused;
+        assert_jit_matches_interpreter(&fused, &vals, n_rows);
+    }
+}
+
+/// Every example datapath (the acceptance surface of ISSUE 10), both
+/// unfused and PCS-fused, over an adversarial deterministic batch.
+#[test]
+fn jit_matches_interpreter_on_example_datapaths() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir("examples/datapaths").expect("examples/datapaths exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "csfma") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let (g, _) = parse_program_with_ranges(&src).expect("example datapaths parse");
+        let fused = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Pcs)).fused;
+        for g in [&g, &fused] {
+            let vals: Vec<f64> = (0..37)
+                .map(|i| {
+                    let k = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    match k % 7 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => 1e-310,
+                        3 => -0.0,
+                        _ => ((k % 4001) as f64 - 2000.0) * 0.73,
+                    }
+                })
+                .collect();
+            assert_jit_matches_interpreter(g, &vals, 193);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 8, "example corpus shrank to {checked} variants");
+}
+
+/// Range-promoted tapes: `in x [lo, hi];` bounds license guard-free
+/// native instructions. Within the declared bounds the promoted module
+/// must agree with the promoted interpreter (which is itself pinned to
+/// the unpromoted one by the R* analysis).
+#[test]
+fn jit_matches_interpreter_on_promoted_tape() {
+    let src = std::fs::read_to_string("examples/datapaths/dot6_bounded.csfma").unwrap();
+    let (g, decls) = parse_program_with_ranges(&src).unwrap();
+    let tape = compile(&g).unwrap();
+    let report = lint_ranges(&g, &decls);
+    let mask = promotion_mask(&tape, &report);
+    assert!(
+        mask.iter().any(|&p| p),
+        "bounded example must license promotions"
+    );
+    let mut promoted = tape.clone();
+    promoted.set_promoted(mask);
+
+    let ni = promoted.num_inputs();
+    let n_rows = 193;
+    // stimulus inside every declared bound, the promotion hypothesis
+    let rows: Vec<f64> = (0..n_rows * ni)
+        .map(|i| {
+            let k = (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let name = promoted.input_names()[i % ni].clone();
+            let d = decls.iter().find(|d| d.name == name).unwrap();
+            d.lo + (d.hi - d.lo) * ((k % 1_000_001) as f64 / 1_000_000.0)
+        })
+        .collect();
+    let want = promoted.eval_batch(TapeBackend::BitAccurate, &rows, 1);
+    let got = promoted.eval_batch(TapeBackend::Jit, &rows, 2);
+    for (i, (x, y)) in want.iter().zip(got.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "promoted jit diverged at flat output {i}"
+        );
+    }
+    if jit_available() {
+        let m = promoted.jit_module().expect("IEEE tape builds a module");
+        let unpromoted = tape.jit_module().expect("IEEE tape builds a module");
+        assert!(
+            m.guard_count() < unpromoted.guard_count(),
+            "promotion must shed result guards ({} vs {})",
+            m.guard_count(),
+            unpromoted.guard_count()
+        );
+    }
+}
+
+/// Bailout accounting: a batch saturated with NaN rows must run (and
+/// match) with every row bailing; an ordinary batch must not bail at
+/// all. Counter assertions need the obs feature and a real module.
+#[test]
+fn nan_rows_bail_and_ordinary_rows_do_not() {
+    let g = parse_program("x1 = a*b + c*d;\nx2 = e*f + g*x1;\nout x3 = h*i + k*x2;\n").unwrap();
+    let tape = compile(&g).unwrap();
+    let ni = tape.num_inputs();
+    if !jit_available() || tape.jit_module().is_none() {
+        return;
+    }
+    let nan_rows: Vec<f64> = vec![f64::NAN; 70 * ni];
+    let ok_rows: Vec<f64> = (0..70 * ni).map(|i| (i % 97) as f64 * 0.5 - 24.0).collect();
+
+    let r0 = csfma::hls::profile::jit_rows();
+    let b0 = csfma::hls::profile::jit_bailouts();
+    let want = tape.eval_batch(TapeBackend::BitAccurate, &nan_rows, 1);
+    let got = tape.eval_batch(TapeBackend::Jit, &nan_rows, 1);
+    assert!(want
+        .iter()
+        .zip(got.iter())
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    if cfg!(feature = "obs") {
+        assert_eq!(
+            csfma::hls::profile::jit_rows() - r0,
+            70,
+            "every row goes through the jit dispatcher"
+        );
+        assert_eq!(
+            csfma::hls::profile::jit_bailouts() - b0,
+            70,
+            "every NaN row must bail on a load guard"
+        );
+    }
+
+    let r1 = csfma::hls::profile::jit_rows();
+    let b1 = csfma::hls::profile::jit_bailouts();
+    let want = tape.eval_batch(TapeBackend::BitAccurate, &ok_rows, 1);
+    let got = tape.eval_batch(TapeBackend::Jit, &ok_rows, 1);
+    assert!(want
+        .iter()
+        .zip(got.iter())
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    if cfg!(feature = "obs") {
+        assert_eq!(csfma::hls::profile::jit_rows() - r1, 70);
+        assert_eq!(
+            csfma::hls::profile::jit_bailouts() - b1,
+            0,
+            "ordinary rows must run native"
+        );
+    }
+}
+
+/// F64-mode modules (hardware `vfmadd`/`fmadd` against the interpreter's
+/// `mul_add`) on fused tapes, finite stimulus only — NaN payloads of the
+/// two fma implementations are not pinned cross-platform.
+#[test]
+fn f64_semantics_module_matches_f64_interpreter() {
+    let g = parse_program("x1 = a*b + c*d;\nx2 = e*f + g*x1;\nout x3 = h*i + k*x2;\n").unwrap();
+    let fused = fuse_critical_paths(&g, &FusionConfig::new(FmaKind::Pcs)).fused;
+    let tape = compile(&fused).unwrap();
+    let Some(m) = compile_module(&tape, JitSemantics::F64) else {
+        return; // platform without jit or without hardware fma
+    };
+    let ni = tape.num_inputs();
+    let mut s = tape.scratch();
+    for seed in 0..50u64 {
+        let row: Vec<f64> = (0..ni)
+            .map(|k| {
+                let r = (seed * 31 + k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((r % 2_000_001) as f64 - 1_000_000.0) * 1.0e-3
+            })
+            .collect();
+        let mut want = vec![0.0; tape.num_outputs()];
+        tape.eval_row(TapeBackend::F64, &row, &mut want, &mut s);
+        let mut got = vec![0.0; tape.num_outputs()];
+        assert!(m.run_row(&row, &mut got), "f64 mode has no guards");
+        for (x, y) in want.iter().zip(&got) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -21,7 +21,14 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
 fn compile_opts(g: &Cdfg, optimize: bool) -> Tape {
-    compile_with_options(g, CompileOptions { optimize }).expect("fixture graph must compile")
+    compile_with_options(
+        g,
+        CompileOptions {
+            optimize,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("fixture graph must compile")
 }
 
 /// IEEE-only fixture: ≥2 inputs, 2 outputs, an unfoldable constant, all
